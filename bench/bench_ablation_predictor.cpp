@@ -1,0 +1,82 @@
+// Ablation: lifetime-predictor design choices.
+//
+// Sweeps (a) the percentile of the L(b) distribution used as the prediction
+// (paper: "a small percentile, e.g. the 5th") and (b) the history window
+// length, reporting the over-estimation rate f and the usable-prediction
+// fraction. Shows the conservativeness/utilization trade-off behind the
+// paper's choices.
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/cloud/spot_price_model.h"
+#include "src/predict/spot_predictor.h"
+#include "src/util/table.h"
+
+using namespace spotcache;
+
+int main() {
+  const InstanceCatalog catalog = InstanceCatalog::Default();
+  const auto markets = MakeEvaluationMarkets(catalog, Duration::Days(90), 7);
+
+  std::printf("Ablation: lifetime predictor percentile and window\n\n");
+
+  TextTable pct("(a) L(b) percentile, 7-day window, bid = d, all markets");
+  pct.SetHeader({"percentile", "mean f(b)", "mean xi(b)", "mean L-hat (h)"});
+  for (double percentile : {0.01, 0.05, 0.10, 0.25, 0.50}) {
+    double f_sum = 0.0, xi_sum = 0.0, life_sum = 0.0;
+    int n = 0, life_n = 0;
+    for (const auto& m : markets) {
+      LifetimePredictor::Config cfg;
+      cfg.lifetime_percentile = percentile;
+      const LifetimePredictor predictor(cfg);
+      const PredictorAssessment a =
+          AssessPredictor(predictor, m.trace, m.od_price(),
+                          SimTime() + Duration::Days(7), m.trace.end(),
+                          Duration::Hours(1));
+      f_sum += a.overestimation_rate;
+      xi_sum += a.price_rel_deviation;
+      ++n;
+      for (int day = 7; day < 90; day += 3) {
+        const SpotPrediction p = predictor.Predict(
+            m.trace, SimTime() + Duration::Days(day), m.od_price());
+        if (p.usable) {
+          life_sum += p.lifetime.hours();
+          ++life_n;
+        }
+      }
+    }
+    pct.AddRow({TextTable::Num(percentile, 2), TextTable::Num(f_sum / n, 3),
+                TextTable::Num(xi_sum / n, 3),
+                TextTable::Num(life_n ? life_sum / life_n : 0.0, 1)});
+  }
+  pct.Print(std::cout);
+
+  std::printf("\n");
+  TextTable win("(b) history window, 5th percentile, bid = d, all markets");
+  win.SetHeader({"window (days)", "mean f(b)", "mean xi(b)"});
+  for (int days : {3, 7, 14, 28}) {
+    double f_sum = 0.0, xi_sum = 0.0;
+    int n = 0;
+    for (const auto& m : markets) {
+      LifetimePredictor::Config cfg;
+      cfg.history_window = Duration::Days(days);
+      const LifetimePredictor predictor(cfg);
+      const PredictorAssessment a =
+          AssessPredictor(predictor, m.trace, m.od_price(),
+                          SimTime() + Duration::Days(days), m.trace.end(),
+                          Duration::Hours(1));
+      f_sum += a.overestimation_rate;
+      xi_sum += a.price_rel_deviation;
+      ++n;
+    }
+    win.AddRow({std::to_string(days), TextTable::Num(f_sum / n, 3),
+                TextTable::Num(xi_sum / n, 3)});
+  }
+  win.Print(std::cout);
+  std::printf(
+      "\n(lower percentiles are safer but waste opportunity: the predicted\n"
+      " lifetime collapses; longer windows smooth regime shifts but react\n"
+      " slower — the paper's 5th percentile / 7 days sits at the knee)\n");
+  return 0;
+}

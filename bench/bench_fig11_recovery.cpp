@@ -1,0 +1,122 @@
+// Figure 11: failure-recovery latency with different passive backups.
+//
+// (a) Recovery latency over time for Prop with backup = t2.medium /
+//     m3.medium / c3.large, vs Prop_NoBackup (all misses from the back-end)
+//     and OD+Spot_Sep (only cold content lost). Workload: 40 kops to the
+//     affected content, 10 GB shard with 3 GB hot, Zipf 1.0.
+//     Targets: backups beat no-backup decisively; t2.medium ~= c3.large
+//     (both receiver-NIC-limited) at half the price; m3.medium worse;
+//     t2.medium's p95 during recovery ~25% better than m3.medium's.
+// (b) Warm-up time across popularity skews and t2 sizes, plus the idle time
+//     each type needs to earn enough network tokens to burst through a
+//     recovery (its feasible MTBF as a backup).
+
+#include <cstdio>
+#include <string>
+#include <iostream>
+
+#include "src/core/recovery_sim.h"
+#include "src/util/table.h"
+
+using namespace spotcache;
+
+int main() {
+  const InstanceCatalog catalog = InstanceCatalog::Default();
+
+  std::printf(
+      "Figure 11 reproduction: recovery after a spot revocation\n"
+      "(40 kops affected traffic, 10 GB shard, 3 GB hot, Zipf 1.0)\n\n");
+
+  // ---------- (a) latency during recovery, per backup choice ----------
+  struct Option {
+    const char* label;
+    const char* backup;  // nullptr = no backup
+    bool separation;
+  };
+  const Option options[] = {
+      {"Prop + t2.medium", "t2.medium", false},
+      {"Prop + m3.medium", "m3.medium", false},
+      {"Prop + c3.large", "c3.large", false},
+      {"Prop_NoBackup", nullptr, false},
+      {"OD+Spot_Sep (cold only lost)", nullptr, true},
+      {"Checkpoint/restore [prior work]", nullptr, false},
+  };
+
+  TextTable summary("(a) recovery summary per configuration");
+  summary.SetHeader({"configuration", "warm-up (s)", "hot p95 in recovery (us)",
+                     "max mean (us)", "backup $/h"});
+  std::vector<RecoveryResult> results;
+  for (const Option& opt : options) {
+    RecoveryConfig cfg;
+    cfg.backup_type = opt.backup ? catalog.Find(opt.backup) : nullptr;
+    cfg.separation_mode = opt.separation;
+    cfg.checkpoint_restore =
+        std::string(opt.label).rfind("Checkpoint", 0) == 0;
+    const RecoveryResult r = SimulateRecovery(cfg);
+    results.push_back(r);
+    summary.AddRow({opt.label, TextTable::Num(r.warmup_time.seconds(), 0),
+                    TextTable::Num(r.p95_during_recovery.seconds() * 1e6, 0),
+                    TextTable::Num(r.max_mean_latency.seconds() * 1e6, 0),
+                    TextTable::Num(
+                        opt.backup ? catalog.Find(opt.backup)->od_price_per_hour
+                                   : 0.0,
+                        3)});
+  }
+  summary.Print(std::cout);
+
+  const double t2_p95 = results[0].p95_during_recovery.seconds();
+  const double m3_p95 = results[1].p95_during_recovery.seconds();
+  std::printf(
+      "\n  t2.medium p95 during recovery improves %.0f%% over m3.medium\n"
+      "  (paper: 25%%; the gap is larger here because at this request rate the\n"
+      "  1-vCPU m3.medium saturates under the first-touch load and spills to\n"
+      "  the back-end, while the bursting t2.medium keeps up)\n\n",
+      (1.0 - t2_p95 / m3_p95) * 100.0);
+
+  // Latency time series (every 10 s) for the five configurations.
+  SeriesPrinter series("(a) mean latency during recovery (us)",
+                       {"t_s", "t2.medium", "m3.medium", "c3.large",
+                        "no_backup", "sep", "checkpoint"});
+  const size_t points = results[0].series.size();
+  for (size_t i = 0; i < points; i += 10) {
+    std::vector<double> row = {results[0].series[i].t_seconds};
+    for (const auto& r : results) {
+      row.push_back(i < r.series.size() ? r.series[i].mean.seconds() * 1e6
+                                        : 0.0);
+    }
+    series.AddPoint(row);
+    if (row[0] > 400) {
+      break;
+    }
+  }
+  series.Print(std::cout, 0);
+
+  // ---------- (b) warm-up time vs skew and t2 type ----------
+  std::printf("\n");
+  TextTable part_b("(b) warm-up time (s) per popularity skew and t2 type");
+  part_b.SetHeader({"type", "dataset", "zipf 0.5", "zipf 1.0", "zipf 1.5",
+                    "zipf 2.0", "token-earn time"});
+  for (const char* name : {"t2.small", "t2.medium", "t2.large"}) {
+    const InstanceTypeSpec* t2 = catalog.Find(name);
+    // Dataset sized to the backup's RAM (the paper's choice).
+    const double data_gb = t2->capacity.ram_gb;
+    std::vector<std::string> row = {name,
+                                    TextTable::Num(data_gb, 0) + " GB"};
+    for (double zipf : {0.5, 1.0, 1.5, 2.0}) {
+      RecoveryConfig cfg;
+      cfg.backup_type = t2;
+      cfg.data_gb = data_gb * 10.0 / 3.0;  // keep the 3:10 hot:total ratio
+      cfg.hot_gb = data_gb;
+      cfg.zipf_theta = zipf;
+      const RecoveryResult r = SimulateRecovery(cfg);
+      row.push_back(TextTable::Num(r.warmup_time.seconds(), 0));
+    }
+    row.push_back(ToString(NetworkCreditEarnTime(*t2, data_gb)));
+    part_b.AddRow(row);
+  }
+  part_b.Print(std::cout);
+  std::printf(
+      "\n(less skewed popularity -> longer warm-up: covering the same traffic\n"
+      " share requires copying more items, exactly the paper's observation)\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 2: the 90-day spot price traces of the four evaluation markets.
+//
+// Prints per-market summary statistics plus a daily max/mean series (the
+// paper plots the raw traces; a daily digest captures the same structure:
+// calm bases, spike regimes, and the hostile m4.XL-c window at days 30-60).
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "src/cloud/spot_price_model.h"
+#include "src/util/table.h"
+
+using namespace spotcache;
+
+int main() {
+  const InstanceCatalog catalog = InstanceCatalog::Default();
+  const auto markets = MakeEvaluationMarkets(catalog, Duration::Days(90), 7);
+
+  std::printf("Figure 2 reproduction: synthetic 90-day spot price traces\n\n");
+
+  TextTable summary("market summaries (prices in $/h; d = on-demand price)");
+  summary.SetHeader({"market", "od ($)", "mean", "mean/d", "p99/d", "max/d",
+                     "time>0.5d", "time>1d", "time>5d"});
+  for (const auto& m : markets) {
+    const double d = m.od_price();
+    std::vector<double> samples;
+    double above_half = 0, above_1 = 0, above_5 = 0;
+    const Duration step = Duration::Minutes(5);
+    int n = 0;
+    for (SimTime t; t < m.trace.end(); t += step, ++n) {
+      const double p = m.trace.PriceAt(t);
+      samples.push_back(p);
+      above_half += p > 0.5 * d ? 1 : 0;
+      above_1 += p > d ? 1 : 0;
+      above_5 += p > 5 * d ? 1 : 0;
+    }
+    double mean = 0;
+    for (double p : samples) {
+      mean += p;
+    }
+    mean /= n;
+    std::sort(samples.begin(), samples.end());
+    const double p99 = samples[static_cast<size_t>(0.99 * (n - 1))];
+    summary.AddRow({m.name, TextTable::Num(d, 3), TextTable::Num(mean, 4),
+                    TextTable::Num(mean / d, 3),
+                    TextTable::Num(p99 / d, 2),
+                    TextTable::Num(samples.back() / d, 2),
+                    TextTable::Pct(above_half / n), TextTable::Pct(above_1 / n),
+                    TextTable::Pct(above_5 / n)});
+  }
+  summary.Print(std::cout);
+
+  std::printf("\n");
+  SeriesPrinter daily("daily price digest: max price / on-demand, per market",
+                      {"day", "m4.L-c", "m4.L-d", "m4.XL-c", "m4.XL-d"});
+  for (int day = 0; day < 90; ++day) {
+    std::vector<double> row = {static_cast<double>(day)};
+    for (const auto& m : markets) {
+      double mx = 0;
+      for (SimTime t = SimTime() + Duration::Days(day);
+           t < SimTime() + Duration::Days(day + 1); t += Duration::Minutes(15)) {
+        mx = std::max(mx, m.trace.PriceAt(t));
+      }
+      row.push_back(mx / m.od_price());
+    }
+    daily.AddPoint(row);
+  }
+  daily.Print(std::cout, 2);
+  return 0;
+}

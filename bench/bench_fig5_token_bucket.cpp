@@ -1,0 +1,59 @@
+// Figure 5: the deterministic token-bucket mechanisms of a t2.micro.
+//
+// Drives a t2.micro through load/idle phases and prints the delivered CPU
+// capacity, CPU-credit balance, delivered network bandwidth, and network
+// token balance over time — the saw-tooth the paper measures on EC2.
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/cloud/burstable.h"
+#include "src/util/table.h"
+
+using namespace spotcache;
+
+int main() {
+  const InstanceCatalog catalog = InstanceCatalog::Default();
+  const InstanceTypeSpec& t2 = *catalog.Find("t2.micro");
+
+  std::printf("Figure 5 reproduction: t2.micro token buckets\n");
+  std::printf("baseline %.2f vCPU, peak %.0f vCPU; credits earn %.1f/h cap %.0f\n",
+              t2.baseline_vcpus, t2.capacity.vcpus, t2.cpu_credits_per_hour,
+              t2.cpu_credit_cap);
+  std::printf("baseline %.0f Mbps, peak %.0f Mbps\n\n", t2.baseline_net_mbps,
+              t2.capacity.net_mbps);
+
+  // Phase plan: 2 h full load, 2 h idle, 2 h full load, repeated.
+  BurstableState state(t2, /*initial_credit_fraction=*/0.5);
+  SeriesPrinter cpu("CPU: demand 1.0 vCPU during load phases",
+                    {"minute", "delivered_vcpu", "credits"});
+  SeriesPrinter net("network: demand 1000 Mbps during load phases",
+                    {"minute", "delivered_mbps", "tokens_Mb"});
+
+  const Duration step = Duration::Minutes(5);
+  for (int minute = 0; minute < 8 * 60; minute += 5) {
+    const SimTime from = SimTime() + Duration::Minutes(minute);
+    const SimTime to = from + step;
+    const int phase = (minute / 120) % 2;  // 0: load, 1: idle
+    const double cpu_demand = phase == 0 ? 1.0 : 0.0;
+    const double net_demand = phase == 0 ? 1000.0 : 0.0;
+    const double vcpu = state.RunCpu(from, to, cpu_demand);
+    const double mbps = state.RunNetwork(from, to, net_demand);
+    cpu.AddPoint({static_cast<double>(minute), vcpu, state.cpu_credits(to)});
+    net.AddPoint({static_cast<double>(minute), mbps, state.net_tokens(to)});
+  }
+  cpu.Print(std::cout, 2);
+  std::printf("\n");
+  net.Print(std::cout, 1);
+
+  std::printf("\nburst horizons from a full bucket:\n");
+  BurstableState full(t2, 1.0);
+  std::printf("  CPU at 1.0 vCPU: %s\n",
+              ToString(full.CpuBurstHorizon(SimTime(), 1.0)).c_str());
+  std::printf("  time to earn a 10-minute full-CPU burst from empty: %s\n",
+              ToString(BurstableState(t2, 0.0)
+                           .TimeToEarnCpuBurst(SimTime(), 1.0,
+                                               Duration::Minutes(10)))
+                  .c_str());
+  return 0;
+}

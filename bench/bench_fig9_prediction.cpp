@@ -1,0 +1,88 @@
+// Figure 9: 24-hour prototype run — impact of spot prediction.
+//
+// Market m4.XL-c on its hostile day (the paper uses day 51 where OD+Spot_CDF
+// suffers partial bid failures), workload 320 kops / 60 GB. Prints per-hour
+// instance allocation (bid1 / bid2 / on-demand) and latency for Prop_NoBackup
+// vs OD+Spot_CDF. Reproduction target: the CDF approach keeps buying the low
+// bid and eats revocations; ours shifts to bid2/on-demand and sees none.
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/experiment.h"
+#include "src/util/table.h"
+
+using namespace spotcache;
+
+namespace {
+
+// Runs 45 days (so the hostile regime is in effect) but reports only the
+// final 24 hours, mimicking the paper's "day 51" excerpt.
+ExperimentResult Run(Approach approach, int days) {
+  ExperimentConfig cfg;
+  cfg.workload = PrototypeWorkload(days, /*zipf_theta=*/1.0);
+  cfg.approach = approach;
+  cfg.market_filter = {"m4.XL-c"};
+  return RunExperiment(cfg);
+}
+
+void Report(const ExperimentResult& r, size_t last_day_slots) {
+  const size_t begin = r.slots.size() - last_day_slots;
+  // Option indices for the two bids in this market.
+  const size_t bid1 = r.OptionIndex("m4.XL-c@1d");
+  const size_t bid2 = r.OptionIndex("m4.XL-c@5d");
+
+  SeriesPrinter series(
+      r.approach_name + ": final-day allocation and latency",
+      {"hour", "kops", "od_nodes", "spot_bid1", "spot_bid2", "mean_us",
+       "p95_us", "affected%"});
+  for (size_t s = begin; s < r.slots.size(); ++s) {
+    const SlotRecord& rec = r.slots[s];
+    int od = 0;
+    for (size_t o = 0; o < rec.counts.size(); ++o) {
+      if (o != bid1 && o != bid2) {
+        od += rec.counts[o];
+      }
+    }
+    series.AddPoint({static_cast<double>(s - begin), rec.lambda / 1000.0,
+                     static_cast<double>(od),
+                     static_cast<double>(bid1 < rec.counts.size()
+                                             ? rec.counts[bid1]
+                                             : 0),
+                     static_cast<double>(bid2 < rec.counts.size()
+                                             ? rec.counts[bid2]
+                                             : 0),
+                     rec.mean_latency.seconds() * 1e6,
+                     rec.p95_latency.seconds() * 1e6,
+                     rec.affected_fraction * 100.0});
+  }
+  series.Print(std::cout, 1);
+
+  double mean = 0.0, p95 = 0.0, affected = 0.0;
+  int revocations = 0;
+  for (size_t s = begin; s < r.slots.size(); ++s) {
+    mean += r.slots[s].mean_latency.seconds();
+    p95 = std::max(p95, r.slots[s].p95_latency.seconds());
+    affected += r.slots[s].affected_fraction;
+    revocations += r.slots[s].revocations;
+  }
+  mean /= last_day_slots;
+  affected /= last_day_slots;
+  std::printf(
+      "  summary: mean %.0f us, worst p95 %.0f us, affected %.3f%%, "
+      "revocations %d\n\n",
+      mean * 1e6, p95 * 1e6, affected * 100.0, revocations);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int days = argc > 1 ? std::atoi(argv[1]) : 45;
+  std::printf(
+      "Figure 9 reproduction: market m4.XL-c, %d-day run, final 24 h shown\n"
+      "(320 kops peak, 60 GB working set)\n\n",
+      days);
+  Report(Run(Approach::kPropNoBackup, days), 24);
+  Report(Run(Approach::kOdSpotCdf, days), 24);
+  return 0;
+}

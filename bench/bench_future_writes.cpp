@@ -1,0 +1,52 @@
+// Future-work exploration: write-heavier workloads.
+//
+// The paper targets read-heavy workloads (its reference trace, Facebook USR,
+// is 99.8% reads) and defers write optimization — suggesting a small pool of
+// highly available on-demand instances for writes. This bench sweeps the GET
+// share and shows how write-through to the back-end erodes mean latency while
+// leaving the procurement economics intact, quantifying when the future-work
+// extension would start to matter.
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/experiment.h"
+#include "src/util/table.h"
+
+using namespace spotcache;
+
+int main(int argc, char** argv) {
+  const int days = argc > 1 ? std::atoi(argv[1]) : 7;
+  std::printf(
+      "Future work: write share vs latency/cost (%d-day runs, Prop, "
+      "320 kops / 60 GB)\n\n",
+      days);
+
+  TextTable table("impact of the GET share");
+  table.SetHeader({"read fraction", "mean latency (us)", "worst p95 (us)",
+                   "cost ($)", "norm vs 100% read"});
+  double base_cost = 0.0;
+  for (double rf : {1.0, 0.998, 0.95, 0.85, 0.70}) {
+    ExperimentConfig cfg;
+    cfg.workload = PrototypeWorkload(days);
+    cfg.workload.read_fraction = rf;
+    cfg.approach = Approach::kProp;
+    const ExperimentResult r = RunExperiment(cfg);
+    if (base_cost == 0.0) {
+      base_cost = r.total_cost;
+    }
+    table.AddRow({TextTable::Pct(rf, 1),
+                  TextTable::Num(r.tracker.MeanLatency().seconds() * 1e6, 0),
+                  TextTable::Num(r.tracker.MaxP95().seconds() * 1e6, 0),
+                  TextTable::Num(r.total_cost, 0),
+                  TextTable::Num(r.total_cost / base_cost, 3)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\n(USR-like 99.8%% reads is indistinguishable from pure reads; by 85%%\n"
+      " reads the synchronous write-through dominates the mean and the paper's\n"
+      " proposed extension - a small on-demand write pool absorbing updates -\n"
+      " becomes worth building. Procurement costs barely move: writes shift\n"
+      " latency, not capacity, under write-through semantics.)\n");
+  return 0;
+}

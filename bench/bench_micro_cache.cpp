@@ -1,0 +1,95 @@
+// Micro-benchmarks of the cache data path (google-benchmark): LRU get/put,
+// eviction pressure, and back-end reads. Not a paper artifact; supports the
+// claim that the simulator's data plane is cheap enough to run key-level
+// experiments.
+
+#include <benchmark/benchmark.h>
+
+#include "src/cache/backend_store.h"
+#include "src/cache/cache_node.h"
+#include "src/cache/lru_cache.h"
+#include "src/util/rng.h"
+#include "src/workload/zipf.h"
+
+using namespace spotcache;
+
+namespace {
+
+void BM_LruPut(benchmark::State& state) {
+  LruCache<uint64_t, uint64_t> cache(64ull << 20);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    cache.Put(key++, key, 4096);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruPut);
+
+void BM_LruGetHit(benchmark::State& state) {
+  LruCache<uint64_t, uint64_t> cache(1ull << 30);
+  const uint64_t n = 100'000;
+  for (uint64_t i = 0; i < n; ++i) {
+    cache.Put(i, i, 4096);
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Get(rng.NextBelow(n)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruGetHit);
+
+void BM_LruZipfMixedEvicting(benchmark::State& state) {
+  // 4x over-subscription: constant eviction under a Zipf(1.0) stream.
+  const uint64_t n = 200'000;
+  LruCache<uint64_t, uint64_t> cache(n / 4 * 4096);
+  ZipfianGenerator gen(n, 1.0);
+  Rng rng(2);
+  for (auto _ : state) {
+    const uint64_t key = gen.Sample(rng);
+    if (!cache.Get(key)) {
+      cache.Put(key, key, 4096);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["hit_rate"] =
+      static_cast<double>(cache.hits()) /
+      static_cast<double>(cache.hits() + cache.misses());
+}
+BENCHMARK(BM_LruZipfMixedEvicting);
+
+void BM_CacheNodeGet(benchmark::State& state) {
+  CacheNode node(1, 4.0, "bench");
+  for (uint64_t i = 0; i < 100'000; ++i) {
+    node.Set(i, 4096);
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node.Get(rng.NextBelow(100'000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheNodeGet);
+
+void BM_BackendRead(benchmark::State& state) {
+  BackendStore backend;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend.Read(10'000.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BackendRead);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfianGenerator gen(1'000'000, static_cast<double>(state.range(0)) / 10.0);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(5)->Arg(10)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Reserved instances: the §2.3 baseline the paper rejects, quantified.
+//
+// For stable, diurnal, and growing/declining demand patterns, finds the
+// cost-optimal reservation and the regret if demand shifts after the
+// commitment — reproducing the "reserved instances are a high-risk
+// proposition without long-term predictability" argument.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "src/opt/reserved.h"
+#include "src/util/table.h"
+
+using namespace spotcache;
+
+int main() {
+  const InstanceCatalog catalog = InstanceCatalog::Default();
+  const InstanceTypeSpec& r3 = *catalog.Find("r3.large");
+  const double ops_cap = 37'000.0;  // lambda^sb of r3.large at the 800us target
+
+  std::printf(
+      "Reserved-instance analysis (r3.large, 32%% discount, 90-day horizon)\n\n");
+
+  TextTable table("optimal reservation and post-commitment regret");
+  table.SetHeader({"demand pattern", "peak inst", "reserve", "savings",
+                   "regret if demand -60%"});
+
+  struct Pattern {
+    const char* label;
+    DiurnalTraceConfig cfg;
+  };
+  std::vector<Pattern> patterns;
+  {
+    Pattern stable{"stable (flat-ish)", {}};
+    stable.cfg.peak_rate_ops = 100e3;
+    stable.cfg.peak_working_set_gb = 60;
+    stable.cfg.min_rate_fraction = 0.85;
+    stable.cfg.min_working_set_fraction = 0.9;
+    stable.cfg.days = 90;
+    patterns.push_back(stable);
+  }
+  {
+    Pattern diurnal{"diurnal (paper-style)", {}};
+    diurnal.cfg.peak_rate_ops = 100e3;
+    diurnal.cfg.peak_working_set_gb = 60;
+    diurnal.cfg.days = 90;
+    patterns.push_back(diurnal);
+  }
+  {
+    Pattern spiky{"spiky (deep troughs)", {}};
+    spiky.cfg.peak_rate_ops = 100e3;
+    spiky.cfg.peak_working_set_gb = 60;
+    spiky.cfg.min_rate_fraction = 0.1;
+    spiky.cfg.min_working_set_fraction = 0.15;
+    spiky.cfg.days = 90;
+    patterns.push_back(spiky);
+  }
+
+  for (const auto& p : patterns) {
+    const WorkloadTrace trace = WorkloadTrace::GenerateDiurnal(p.cfg);
+    const auto demand = InstanceDemandSeries(trace, r3, ops_cap);
+    const ReservedAnalysis a =
+        AnalyzeReservation(demand, r3.od_price_per_hour, 0.32, 0.4);
+    int peak = 0;
+    for (double d : demand) {
+      peak = std::max(peak, static_cast<int>(std::ceil(d)));
+    }
+    table.AddRow({p.label, std::to_string(peak), std::to_string(a.best_count),
+                  TextTable::Pct(a.savings_fraction),
+                  TextTable::Pct(a.regret_fraction)});
+  }
+  table.Print(std::cout);
+
+  std::printf(
+      "\n(the discount only pays for the always-on base; the deeper the\n"
+      " troughs, the smaller the sensible reservation — and if demand falls\n"
+      " after committing, the locked-in reservation costs far more than\n"
+      " plain on-demand, the paper's reason to exclude reserved instances.\n"
+      " Spot, by contrast, is cheaper than even a fully-utilized reservation\n"
+      " and carries no commitment.)\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Table 1: per-unit resource prices of regular / spot / burstable offerings.
+//
+// Fits the linear pricing model p = a*vCPU + b*GB to the 25-type on-demand
+// catalog (paper: a=0.0397, b=0.0057, R^2=0.99), a RAM-only model to the
+// burstable family, and prints the smallest sizes and CPU-or-network-per-GB
+// ratios per class.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "src/cloud/pricing.h"
+#include "src/util/table.h"
+
+using namespace spotcache;
+
+int main() {
+  const InstanceCatalog catalog = InstanceCatalog::Default();
+
+  const PriceModel regular = FitPriceModel(catalog.RegressionCatalog());
+  const PriceModel burst = FitBurstableModel(catalog.BurstableCandidates());
+
+  std::printf("Table 1 reproduction: EC2-like offering comparison\n\n");
+  std::printf("on-demand price regression over %zu types:\n",
+              catalog.RegressionCatalog().size());
+  std::printf("  p = %.4f * vCPU + %.4f * GB   (R^2 = %.3f)\n", regular.per_vcpu,
+              regular.per_gb, regular.r_squared);
+  std::printf("  paper: p = 0.0397 * vCPU + 0.0057 * GB  (R^2 = 0.99)\n\n");
+  std::printf("burstable price regression (t2 family):\n");
+  std::printf("  p = %.4f * GB                 (R^2 = %.3f)\n", burst.per_gb,
+              burst.r_squared);
+  std::printf("  paper: p = 0.013 * GB (perfectly proportional to RAM)\n\n");
+
+  // Per-class rows: smallest size and capacity/RAM ratio ranges.
+  auto ratio_range = [](const std::vector<const InstanceTypeSpec*>& types) {
+    double cpu_lo = 1e9, cpu_hi = 0, net_lo = 1e9, net_hi = 0;
+    for (const auto* t : types) {
+      cpu_lo = std::min(cpu_lo, t->CpuPerGb());
+      cpu_hi = std::max(cpu_hi, t->CpuPerGb());
+      net_lo = std::min(net_lo, t->NetPerGb());
+      net_hi = std::max(net_hi, t->NetPerGb());
+    }
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%.2f-%.2f vCPU/GB, %.0f-%.0f Mbps/GB",
+                  cpu_lo, cpu_hi, net_lo, net_hi);
+    return std::string(buf);
+  };
+
+  TextTable table("class comparison");
+  table.SetHeader({"class", "unit price", "smallest size", "capacity per GB"});
+  const auto od = catalog.OnDemandCandidates();
+  char unit[96];
+  std::snprintf(unit, sizeof(unit), "$%.4f/vCPU-h + $%.4f/GB-h", regular.per_vcpu,
+                regular.per_gb);
+  table.AddRow({"regular (OD)", unit, "1 vCPU / 3.75 GB", ratio_range(od)});
+  table.AddRow({"spot", "70-90% below OD (market)", "2 vCPU / 8 GB",
+                ratio_range(catalog.SpotCandidates())});
+  std::snprintf(unit, sizeof(unit), "$%.4f/GB-h (RAM only)", burst.per_gb);
+  const auto bursts = catalog.BurstableCandidates();
+  table.AddRow({"burstable (peak)", unit, "1 vCPU / 0.5 GB", ratio_range(bursts)});
+  // Baseline burstable ratios.
+  {
+    double cpu_lo = 1e9, cpu_hi = 0, net_lo = 1e9, net_hi = 0;
+    for (const auto* t : bursts) {
+      cpu_lo = std::min(cpu_lo, t->baseline_vcpus / t->capacity.ram_gb);
+      cpu_hi = std::max(cpu_hi, t->baseline_vcpus / t->capacity.ram_gb);
+      net_lo = std::min(net_lo, t->baseline_net_mbps / t->capacity.ram_gb);
+      net_hi = std::max(net_hi, t->baseline_net_mbps / t->capacity.ram_gb);
+    }
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%.3f-%.3f vCPU/GB, %.0f Mbps/GB", cpu_lo,
+                  cpu_hi, net_lo);
+    table.AddRow({"burstable (base)", "(included above)", "0.05 vCPU / 0.5 GB",
+                  buf});
+  }
+  table.Print(std::cout);
+
+  // Per-type fitted-vs-listed price detail.
+  TextTable detail("on-demand catalog: listed vs model price");
+  detail.SetHeader({"type", "vCPU", "GB", "listed $/h", "model $/h", "err"});
+  for (const auto* t : catalog.RegressionCatalog()) {
+    const double model_price =
+        regular.Price(t->capacity.vcpus, t->capacity.ram_gb);
+    detail.AddRow({t->name, TextTable::Num(t->capacity.vcpus, 0),
+                   TextTable::Num(t->capacity.ram_gb, 2),
+                   TextTable::Num(t->od_price_per_hour, 4),
+                   TextTable::Num(model_price, 4),
+                   TextTable::Pct((model_price - t->od_price_per_hour) /
+                                  t->od_price_per_hour)});
+  }
+  std::printf("\n");
+  detail.Print(std::cout);
+  return 0;
+}

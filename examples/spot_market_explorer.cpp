@@ -1,0 +1,91 @@
+// Spot market explorer: generate the synthetic markets, inspect a market's
+// price behaviour, and compare what the two spot feature predictors would
+// tell a tenant bidding on it.
+//
+//   $ ./spot_market_explorer [market] [bid_multiplier]
+//   $ ./spot_market_explorer m4.XL-c 1.0
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/cloud/spot_price_model.h"
+#include "src/predict/spot_predictor.h"
+#include "src/util/table.h"
+
+using namespace spotcache;
+
+int main(int argc, char** argv) {
+  const std::string market_name = argc > 1 ? argv[1] : "m4.XL-c";
+  const double bid_mult = argc > 2 ? std::atof(argv[2]) : 1.0;
+
+  const InstanceCatalog catalog = InstanceCatalog::Default();
+  const auto markets = MakeEvaluationMarkets(catalog, Duration::Days(90), 7);
+
+  const SpotMarket* market = nullptr;
+  for (const auto& m : markets) {
+    if (m.name == market_name) {
+      market = &m;
+    }
+  }
+  if (market == nullptr) {
+    std::printf("unknown market '%s'; available:", market_name.c_str());
+    for (const auto& m : markets) {
+      std::printf(" %s", m.name.c_str());
+    }
+    std::printf("\n");
+    return 1;
+  }
+
+  const double bid = market->od_price() * bid_mult;
+  std::printf("market %s (%s in %s), on-demand $%.3f/h, bid $%.4f (%.2gd)\n\n",
+              market->name.c_str(), market->type->name.c_str(),
+              market->zone.c_str(), market->od_price(), bid, bid_mult);
+
+  // Price digest.
+  std::printf("price at day 10: $%.4f   day 45: $%.4f   day 80: $%.4f\n",
+              market->trace.PriceAt(SimTime() + Duration::Days(10)),
+              market->trace.PriceAt(SimTime() + Duration::Days(45)),
+              market->trace.PriceAt(SimTime() + Duration::Days(80)));
+  std::printf("mean price over 90 days: $%.4f (%.0f%% below on-demand)\n\n",
+              market->trace.AveragePrice(SimTime(), market->trace.end()),
+              (1.0 - market->trace.AveragePrice(SimTime(), market->trace.end()) /
+                         market->od_price()) *
+                  100.0);
+
+  // What each predictor would say, weekly.
+  const LifetimePredictor ours;
+  const CdfPredictor cdf;
+  TextTable table("weekly predictions at this bid");
+  table.SetHeader({"day", "price now", "ours: L-hat (h)", "ours: p-hat ($)",
+                   "cdf: L-hat (h)", "cdf: p-hat ($)", "actual residual (h)"});
+  for (int day = 7; day <= 84; day += 7) {
+    const SimTime t = SimTime() + Duration::Days(day);
+    const SpotPrediction a = ours.Predict(market->trace, t, bid);
+    const SpotPrediction b = cdf.Predict(market->trace, t, bid);
+    const SimTime revoked = market->trace.NextTimeAbove(t, bid);
+    table.AddRow({std::to_string(day),
+                  TextTable::Num(market->trace.PriceAt(t), 4),
+                  a.usable ? TextTable::Num(a.lifetime.hours(), 1) : "n/a",
+                  a.usable ? TextTable::Num(a.avg_price, 4) : "n/a",
+                  b.usable ? TextTable::Num(b.lifetime.hours(), 1) : "n/a",
+                  b.usable ? TextTable::Num(b.avg_price, 4) : "n/a",
+                  TextTable::Num((revoked - t).hours(), 1)});
+  }
+  table.Print(std::cout);
+
+  // Overall assessment.
+  const PredictorAssessment a = AssessPredictor(
+      ours, market->trace, bid, SimTime() + Duration::Days(7),
+      market->trace.end(), Duration::Hours(1));
+  const PredictorAssessment b = AssessPredictor(
+      cdf, market->trace, bid, SimTime() + Duration::Days(7),
+      market->trace.end(), Duration::Hours(1));
+  std::printf("\nassessment over the trace (lower is better):\n");
+  std::printf("  lifetime model: f=%.3f xi=%.3f (%d evaluations)\n",
+              a.overestimation_rate, a.price_rel_deviation, a.evaluations);
+  std::printf("  cdf baseline:   f=%.3f xi=%.3f (%d evaluations)\n",
+              b.overestimation_rate, b.price_rel_deviation, b.evaluations);
+  return 0;
+}

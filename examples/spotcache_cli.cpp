@@ -1,0 +1,173 @@
+// spotcache_cli: run any approach on any workload from the command line.
+//
+//   spotcache_cli run <approach> [days] [rate_kops] [ws_gb] [zipf] [market]
+//   spotcache_cli compare [days] [rate_kops] [ws_gb] [zipf]
+//   spotcache_cli markets
+//   spotcache_cli recover [backup_type] [delay_s]
+//
+//   $ ./spotcache_cli run prop 30 320 60 1.0
+//   $ ./spotcache_cli compare 10 500 100 2.0
+//
+// Approaches: odpeak, odonly, sep, cdf, prop-nobackup, prop.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "src/cloud/spot_price_model.h"
+#include "src/core/experiment.h"
+#include "src/core/recovery_sim.h"
+#include "src/util/table.h"
+
+using namespace spotcache;
+
+namespace {
+
+std::optional<Approach> ParseApproach(const std::string& name) {
+  if (name == "odpeak") return Approach::kOdPeak;
+  if (name == "odonly") return Approach::kOdOnly;
+  if (name == "sep") return Approach::kOdSpotSep;
+  if (name == "cdf") return Approach::kOdSpotCdf;
+  if (name == "prop-nobackup") return Approach::kPropNoBackup;
+  if (name == "prop") return Approach::kProp;
+  return std::nullopt;
+}
+
+WorkloadSpec ParseWorkload(int argc, char** argv, int base) {
+  WorkloadSpec w;
+  w.name = "cli";
+  w.days = argc > base ? std::atoi(argv[base]) : 10;
+  w.peak_rate_ops = (argc > base + 1 ? std::atof(argv[base + 1]) : 320.0) * 1e3;
+  w.peak_working_set_gb = argc > base + 2 ? std::atof(argv[base + 2]) : 60.0;
+  w.zipf_theta = argc > base + 3 ? std::atof(argv[base + 3]) : 1.0;
+  return w;
+}
+
+void PrintSummary(const ExperimentResult& r) {
+  TextTable t("result: " + r.approach_name);
+  t.SetHeader({"metric", "value"});
+  t.AddRow({"total cost", "$" + TextTable::Num(r.total_cost, 2)});
+  t.AddRow({"  on-demand", "$" + TextTable::Num(r.od_cost, 2)});
+  t.AddRow({"  spot", "$" + TextTable::Num(r.spot_cost, 2)});
+  t.AddRow({"  backup", "$" + TextTable::Num(r.backup_cost, 2)});
+  t.AddRow({"mean latency",
+            TextTable::Num(r.tracker.MeanLatency().seconds() * 1e6, 0) + " us"});
+  t.AddRow({"worst slot p95",
+            TextTable::Num(r.tracker.MaxP95().seconds() * 1e6, 0) + " us"});
+  t.AddRow({"revocations", std::to_string(r.revocations)});
+  t.AddRow({"bid rejections", std::to_string(r.bid_rejections)});
+  t.AddRow({"days >1% affected",
+            TextTable::Pct(r.tracker.DaysViolatedFraction(0.01))});
+  t.Print(std::cout);
+}
+
+int Usage() {
+  std::printf(
+      "usage:\n"
+      "  spotcache_cli run <odpeak|odonly|sep|cdf|prop-nobackup|prop>"
+      " [days] [rate_kops] [ws_gb] [zipf] [market]\n"
+      "  spotcache_cli compare [days] [rate_kops] [ws_gb] [zipf]\n"
+      "  spotcache_cli markets\n"
+      "  spotcache_cli recover [backup_type|none] [delay_s]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+
+  if (command == "run") {
+    if (argc < 3) {
+      return Usage();
+    }
+    const auto approach = ParseApproach(argv[2]);
+    if (!approach) {
+      return Usage();
+    }
+    ExperimentConfig cfg;
+    cfg.workload = ParseWorkload(argc, argv, 3);
+    cfg.approach = *approach;
+    if (argc > 7) {
+      cfg.market_filter = {argv[7]};
+    }
+    std::printf("running %s: %d days, %.0f kops peak, %.0f GB, Zipf %.1f\n\n",
+                argv[2], cfg.workload.days, cfg.workload.peak_rate_ops / 1e3,
+                cfg.workload.peak_working_set_gb, cfg.workload.zipf_theta);
+    PrintSummary(RunExperiment(cfg));
+    return 0;
+  }
+
+  if (command == "compare") {
+    ExperimentConfig cfg;
+    cfg.workload = ParseWorkload(argc, argv, 2);
+    std::printf("comparing all approaches: %d days, %.0f kops, %.0f GB, "
+                "Zipf %.1f\n\n",
+                cfg.workload.days, cfg.workload.peak_rate_ops / 1e3,
+                cfg.workload.peak_working_set_gb, cfg.workload.zipf_theta);
+    TextTable t("approach comparison");
+    t.SetHeader({"approach", "cost ($)", "norm", "mean (us)", "viol. days",
+                 "revocations"});
+    double od_only = 0.0;
+    for (Approach a : AllApproaches()) {
+      cfg.approach = a;
+      const ExperimentResult r = RunExperiment(cfg);
+      if (a == Approach::kOdOnly) {
+        od_only = r.total_cost;
+      }
+      t.AddRow({std::string(ToString(a)), TextTable::Num(r.total_cost, 0),
+                od_only > 0 ? TextTable::Num(r.total_cost / od_only, 3) : "-",
+                TextTable::Num(r.tracker.MeanLatency().seconds() * 1e6, 0),
+                TextTable::Pct(r.tracker.DaysViolatedFraction(0.01)),
+                std::to_string(r.revocations)});
+    }
+    t.Print(std::cout);
+    return 0;
+  }
+
+  if (command == "markets") {
+    const InstanceCatalog catalog = InstanceCatalog::Default();
+    const auto markets = MakeEvaluationMarkets(catalog, Duration::Days(90), 7);
+    TextTable t("evaluation markets (90-day synthetic traces)");
+    t.SetHeader({"market", "type", "zone", "od ($/h)", "mean spot", "discount"});
+    for (const auto& m : markets) {
+      const double mean = m.trace.AveragePrice(SimTime(), m.trace.end());
+      t.AddRow({m.name, m.type->name, m.zone, TextTable::Num(m.od_price(), 3),
+                TextTable::Num(mean, 4),
+                TextTable::Pct(1.0 - mean / m.od_price())});
+    }
+    t.Print(std::cout);
+    return 0;
+  }
+
+  if (command == "recover") {
+    const InstanceCatalog catalog = InstanceCatalog::Default();
+    RecoveryConfig cfg;
+    const std::string backup = argc > 2 ? argv[2] : "t2.medium";
+    if (backup != "none") {
+      cfg.backup_type = catalog.Find(backup);
+      if (cfg.backup_type == nullptr) {
+        std::printf("unknown type '%s'\n", backup.c_str());
+        return 2;
+      }
+    }
+    cfg.replacement_delay =
+        Duration::Seconds(argc > 3 ? std::atoi(argv[3]) : 0);
+    const RecoveryResult r = SimulateRecovery(cfg);
+    std::printf("backup=%s delay=%ds: warm-up %s, hot p95 %.0f us, "
+                "max mean %.0f us%s\n",
+                backup.c_str(), argc > 3 ? std::atoi(argv[3]) : 0,
+                ToString(r.warmup_time).c_str(),
+                r.p95_during_recovery.seconds() * 1e6,
+                r.max_mean_latency.seconds() * 1e6,
+                r.backup_tokens_exhausted ? " (tokens exhausted)" : "");
+    return 0;
+  }
+
+  return Usage();
+}

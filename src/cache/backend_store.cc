@@ -1,0 +1,27 @@
+#include "src/cache/backend_store.h"
+
+#include <algorithm>
+
+namespace spotcache {
+
+Duration BackendStore::LatencyAt(double offered_rate) const {
+  if (offered_rate <= params_.comfortable_read_rate) {
+    return params_.base_latency;
+  }
+  // Linear inflation beyond the comfortable rate, capped at 10x.
+  const double overload = offered_rate / params_.comfortable_read_rate;
+  const double factor = std::min(10.0, overload);
+  return params_.base_latency * factor;
+}
+
+Duration BackendStore::Read(double offered_rate) {
+  ++reads_;
+  return LatencyAt(offered_rate);
+}
+
+Duration BackendStore::Write(double offered_rate) {
+  ++writes_;
+  return LatencyAt(offered_rate);
+}
+
+}  // namespace spotcache

@@ -1,0 +1,47 @@
+// The persistent back-end (source of truth behind the cache tier).
+//
+// The paper locates its back-end on an instance provisioned for worst-case
+// needs and write-throughs to it; a miss is always servable, just slowly. We
+// model it as an always-hit store with a fixed base latency plus a load-
+// dependent term, and track the read pressure failures push onto it.
+
+#pragma once
+
+#include <cstdint>
+
+#include "src/cache/cache_protocol.h"
+#include "src/util/time.h"
+
+namespace spotcache {
+
+class BackendStore {
+ public:
+  struct Params {
+    Duration base_latency = Duration::Millis(5);
+    /// Reads/s the back-end serves at base latency; beyond this, latency
+    /// inflates linearly (a deliberately simple overload model).
+    double comfortable_read_rate = 50'000.0;
+  };
+
+  BackendStore() : BackendStore(Params{}) {}
+  explicit BackendStore(const Params& params) : params_(params) {}
+
+  /// Serves a read at the given instantaneous offered rate (reads/s).
+  Duration Read(double offered_rate);
+
+  /// Accepts a write (write-through). Latency mirrors reads.
+  Duration Write(double offered_rate);
+
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  const Params& params() const { return params_; }
+
+ private:
+  Duration LatencyAt(double offered_rate) const;
+
+  Params params_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace spotcache

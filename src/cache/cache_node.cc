@@ -1,0 +1,21 @@
+#include "src/cache/cache_node.h"
+
+#include <cmath>
+
+namespace spotcache {
+
+CacheNode::CacheNode(InstanceId instance_id, double ram_gb, std::string name)
+    : instance_id_(instance_id),
+      name_(std::move(name)),
+      store_(static_cast<size_t>(ram_gb * kUsableRamFraction * 1024.0 * 1024.0 *
+                                 1024.0)) {}
+
+bool CacheNode::Get(KeyId key) { return store_.Get(key).has_value(); }
+
+void CacheNode::Set(KeyId key, uint32_t bytes, uint64_t version) {
+  store_.Put(key, CacheValue{version}, bytes);
+}
+
+bool CacheNode::Delete(KeyId key) { return store_.Erase(key); }
+
+}  // namespace spotcache

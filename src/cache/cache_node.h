@@ -1,0 +1,57 @@
+// A memcached-like server bound to one instance's RAM.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/cache/cache_protocol.h"
+#include "src/cache/lru_cache.h"
+#include "src/cloud/instance.h"
+
+namespace spotcache {
+
+/// Stored item metadata (the simulator doesn't carry payload bytes).
+struct CacheValue {
+  uint64_t version = 0;
+};
+
+/// One cache server. Usable capacity is the instance RAM times a utilization
+/// factor (memcached overhead: slab headers, hash table, connection buffers).
+class CacheNode {
+ public:
+  static constexpr double kUsableRamFraction = 0.85;
+
+  CacheNode(InstanceId instance_id, double ram_gb, std::string name);
+
+  InstanceId instance_id() const { return instance_id_; }
+  const std::string& name() const { return name_; }
+
+  /// GET: returns true on hit (promotes the key).
+  bool Get(KeyId key);
+  /// SET: stores/overwrites the key.
+  void Set(KeyId key, uint32_t bytes, uint64_t version = 0);
+  /// DELETE.
+  bool Delete(KeyId key);
+  bool Contains(KeyId key) const { return store_.Contains(key); }
+
+  size_t item_count() const { return store_.size(); }
+  size_t bytes_used() const { return store_.bytes_used(); }
+  size_t capacity_bytes() const { return store_.capacity_bytes(); }
+  uint64_t hits() const { return store_.hits(); }
+  uint64_t misses() const { return store_.misses(); }
+  uint64_t evictions() const { return store_.evictions(); }
+
+  /// Copies the `n` most-recently-used keys into `out` (for warm-up streams).
+  template <typename Fn>
+  void ForEachMruToLru(Fn&& fn) const {
+    store_.ForEachMruToLru([&fn](const auto& e) { fn(e.key, e.bytes); });
+  }
+
+ private:
+  InstanceId instance_id_;
+  std::string name_;
+  LruCache<KeyId, CacheValue> store_;
+};
+
+}  // namespace spotcache

@@ -1,0 +1,37 @@
+// Request/response types of the cache data path.
+
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/time.h"
+
+namespace spotcache {
+
+/// Keys are dense integer ids; the workload generator ranks them by
+/// popularity (key 0 is the hottest). Hot/cold "prefixes" (the paper's "h"/"c"
+/// key annotations) are carried as metadata, not string prefixes.
+using KeyId = uint64_t;
+
+enum class CacheOp : uint8_t { kGet, kSet, kDelete };
+
+struct CacheRequest {
+  CacheOp op = CacheOp::kGet;
+  KeyId key = 0;
+  uint32_t value_bytes = 4096;
+};
+
+enum class ServedBy : uint8_t {
+  kCacheNode,   // primary in-memory node
+  kBackup,      // passive backup (during recovery)
+  kBackend,     // persistent store (miss or failure path)
+  kDropped,     // no node available and back-end path saturated
+};
+
+struct CacheResponse {
+  bool hit = false;
+  ServedBy served_by = ServedBy::kCacheNode;
+  Duration latency;
+};
+
+}  // namespace spotcache

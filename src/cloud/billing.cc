@@ -1,0 +1,38 @@
+#include "src/cloud/billing.h"
+
+namespace spotcache {
+
+std::string_view ToString(CostCategory c) {
+  switch (c) {
+    case CostCategory::kOnDemand:
+      return "on-demand";
+    case CostCategory::kSpot:
+      return "spot";
+    case CostCategory::kBurstableBackup:
+      return "backup";
+    case CostCategory::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+void BillingLedger::Charge(SimTime t, uint64_t instance_id, CostCategory category,
+                           double dollars) {
+  entries_.push_back({t, instance_id, category, dollars});
+  total_ += dollars;
+  by_category_[static_cast<int>(category)] += dollars;
+}
+
+double BillingLedger::TotalFor(CostCategory category) const {
+  return by_category_[static_cast<int>(category)];
+}
+
+void BillingLedger::Clear() {
+  entries_.clear();
+  total_ = 0.0;
+  for (double& v : by_category_) {
+    v = 0.0;
+  }
+}
+
+}  // namespace spotcache

@@ -1,0 +1,48 @@
+// Cost accounting.
+//
+// The ledger records every charge with a category so the Figure 12 cost
+// breakdown (on-demand vs spot vs backup) falls straight out of it.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace spotcache {
+
+enum class CostCategory {
+  kOnDemand,
+  kSpot,
+  kBurstableBackup,
+  kOther,
+};
+
+std::string_view ToString(CostCategory c);
+
+struct CostEntry {
+  SimTime time;
+  uint64_t instance_id = 0;
+  CostCategory category = CostCategory::kOther;
+  double dollars = 0.0;
+};
+
+class BillingLedger {
+ public:
+  void Charge(SimTime t, uint64_t instance_id, CostCategory category,
+              double dollars);
+
+  double TotalFor(CostCategory category) const;
+  double Total() const { return total_; }
+  const std::vector<CostEntry>& entries() const { return entries_; }
+  void Clear();
+
+ private:
+  std::vector<CostEntry> entries_;
+  double total_ = 0.0;
+  double by_category_[4] = {0, 0, 0, 0};
+};
+
+}  // namespace spotcache

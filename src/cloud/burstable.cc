@@ -1,0 +1,93 @@
+#include "src/cloud/burstable.h"
+
+#include <algorithm>
+
+namespace spotcache {
+
+namespace {
+// Network tokens are megabits; the bucket refills at the baseline bandwidth
+// and caps at ten minutes of peak-rate transfer — enough for a multi-minute
+// burst, matching the qualitative shape of paper Figure 5.
+constexpr double kNetCapSecondsOfPeak = 600.0;
+}  // namespace
+
+BurstableState::BurstableState(const InstanceTypeSpec& spec,
+                               double initial_credit_fraction)
+    : spec_(&spec),
+      cpu_credits_(spec.cpu_credits_per_hour, spec.cpu_credit_cap,
+                   spec.cpu_credit_cap * initial_credit_fraction),
+      net_tokens_(spec.baseline_net_mbps * 3600.0,
+                  spec.capacity.net_mbps * kNetCapSecondsOfPeak,
+                  spec.capacity.net_mbps * kNetCapSecondsOfPeak *
+                      initial_credit_fraction) {}
+
+double BurstableState::RunCpu(SimTime from, SimTime to, double demand_vcpus) {
+  const double demand = std::clamp(demand_vcpus, 0.0, spec_->capacity.vcpus);
+  const double base = spec_->baseline_vcpus;
+  // Credits drain at the usage rate (vCPU-minutes per hour) while accruing at
+  // the baseline rate; FlowInterval handles the combined flow.
+  const double fraction = cpu_credits_.FlowInterval(from, to, demand * 60.0);
+  if (demand <= base) {
+    return demand;
+  }
+  return demand * fraction + base * (1.0 - fraction);
+}
+
+double BurstableState::RunNetwork(SimTime from, SimTime to, double demand_mbps) {
+  const double demand = std::clamp(demand_mbps, 0.0, spec_->capacity.net_mbps);
+  const double base = spec_->baseline_net_mbps;
+  const double fraction = net_tokens_.FlowInterval(from, to, demand * 3600.0);
+  if (demand <= base) {
+    return demand;
+  }
+  return demand * fraction + base * (1.0 - fraction);
+}
+
+double BurstableState::PeekCpuCapacity(SimTime now, double demand_vcpus) {
+  cpu_credits_.AdvanceTo(now);
+  const double demand = std::clamp(demand_vcpus, 0.0, spec_->capacity.vcpus);
+  if (demand <= spec_->baseline_vcpus || cpu_credits_.balance() > 0.0) {
+    return demand;
+  }
+  return std::min(demand, spec_->baseline_vcpus);
+}
+
+double BurstableState::PeekNetCapacity(SimTime now, double demand_mbps) {
+  net_tokens_.AdvanceTo(now);
+  const double demand = std::clamp(demand_mbps, 0.0, spec_->capacity.net_mbps);
+  if (demand <= spec_->baseline_net_mbps || net_tokens_.balance() > 0.0) {
+    return demand;
+  }
+  return std::min(demand, spec_->baseline_net_mbps);
+}
+
+Duration BurstableState::CpuBurstHorizon(SimTime now, double demand_vcpus) {
+  cpu_credits_.AdvanceTo(now);
+  const double demand = std::clamp(demand_vcpus, 0.0, spec_->capacity.vcpus);
+  const double drain = (demand - spec_->baseline_vcpus) * 60.0;  // credits/hour
+  if (drain <= 0.0) {
+    return Duration::Days(365 * 100);
+  }
+  return Duration::FromSecondsF(cpu_credits_.balance() / drain * 3600.0);
+}
+
+Duration BurstableState::TimeToEarnCpuBurst(SimTime now, double demand_vcpus,
+                                            Duration burst) {
+  cpu_credits_.AdvanceTo(now);
+  const double demand = std::clamp(demand_vcpus, 0.0, spec_->capacity.vcpus);
+  const double needed =
+      std::max(0.0, (demand - spec_->baseline_vcpus) * 60.0 * burst.hours());
+  return cpu_credits_.TimeToAccrue(needed);
+}
+
+double BurstableState::cpu_credits(SimTime now) {
+  cpu_credits_.AdvanceTo(now);
+  return cpu_credits_.balance();
+}
+
+double BurstableState::net_tokens(SimTime now) {
+  net_tokens_.AdvanceTo(now);
+  return net_tokens_.balance();
+}
+
+}  // namespace spotcache

@@ -1,0 +1,59 @@
+// Burstable-instance capacity model: CPU credits plus network tokens.
+//
+// Reproduces the t2-family mechanics of paper Figure 5. CPU credits are in
+// vCPU-minutes: they accrue at baseline_vcpus * 60 per hour (so running at
+// exactly the baseline is credit-neutral) and cap at 24 hours of earnings.
+// While credits remain, the instance delivers up to its peak vCPUs; once the
+// balance hits zero it is throttled to the baseline. Network bandwidth follows
+// the same token-bucket shape in megabits.
+
+#pragma once
+
+#include "src/cloud/instance_types.h"
+#include "src/cloud/token_bucket.h"
+#include "src/util/time.h"
+
+namespace spotcache {
+
+class BurstableState {
+ public:
+  /// `initial_credit_fraction` of the credit cap is granted at launch (EC2
+  /// gives new t2 instances a launch-credit balance).
+  explicit BurstableState(const InstanceTypeSpec& spec,
+                          double initial_credit_fraction = 0.25);
+
+  const InstanceTypeSpec& spec() const { return *spec_; }
+
+  /// Runs the CPU at `demand_vcpus` over [from, to]; returns the average vCPUs
+  /// actually delivered (peak while credits last, baseline afterwards).
+  /// Updates the credit balance.
+  double RunCpu(SimTime from, SimTime to, double demand_vcpus);
+
+  /// Moves data at `demand_mbps` over [from, to]; returns the average Mbps
+  /// actually delivered.
+  double RunNetwork(SimTime from, SimTime to, double demand_mbps);
+
+  /// Effective instantaneous capacities at `now` for a given demand, without
+  /// consuming anything.
+  double PeekCpuCapacity(SimTime now, double demand_vcpus);
+  double PeekNetCapacity(SimTime now, double demand_mbps);
+
+  /// How long the instance can sustain `demand_vcpus` before throttling to
+  /// baseline, with the current balance.
+  Duration CpuBurstHorizon(SimTime now, double demand_vcpus);
+
+  /// Time (idle, from `now`) to accrue enough CPU credits to sustain
+  /// `demand_vcpus` for `burst`. Used by Figure 11(b)'s "time to earn enough
+  /// credits to burst through a recovery".
+  Duration TimeToEarnCpuBurst(SimTime now, double demand_vcpus, Duration burst);
+
+  double cpu_credits(SimTime now);
+  double net_tokens(SimTime now);
+
+ private:
+  const InstanceTypeSpec* spec_;
+  TokenBucket cpu_credits_;
+  TokenBucket net_tokens_;
+};
+
+}  // namespace spotcache

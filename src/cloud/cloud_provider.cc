@@ -1,0 +1,253 @@
+#include "src/cloud/cloud_provider.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spotcache {
+
+namespace {
+constexpr Duration kRevocationWarningLead = Duration::Minutes(2);
+constexpr Duration kBillingHour = Duration::Hours(1);
+}  // namespace
+
+std::string_view ToString(InstanceState s) {
+  switch (s) {
+    case InstanceState::kPending:
+      return "pending";
+    case InstanceState::kRunning:
+      return "running";
+    case InstanceState::kRevoked:
+      return "revoked";
+    case InstanceState::kTerminated:
+      return "terminated";
+  }
+  return "?";
+}
+
+std::string_view ToString(PurchaseKind k) {
+  switch (k) {
+    case PurchaseKind::kOnDemand:
+      return "on-demand";
+    case PurchaseKind::kSpot:
+      return "spot";
+    case PurchaseKind::kBurstable:
+      return "burstable";
+  }
+  return "?";
+}
+
+CloudProvider::CloudProvider(const InstanceCatalog* catalog,
+                             std::vector<SpotMarket> markets, uint64_t seed)
+    : catalog_(catalog), markets_(std::move(markets)), rng_(seed) {}
+
+const SpotMarket* CloudProvider::FindMarket(std::string_view name) const {
+  for (const auto& m : markets_) {
+    if (m.name == name) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+Duration CloudProvider::SampleBootDelay() {
+  const double mean = boot_mean_.seconds();
+  const double sd = boot_stddev_.seconds();
+  const double s = std::max(10.0, rng_.Normal(mean, sd));
+  return Duration::FromSecondsF(s);
+}
+
+void CloudProvider::SetBootDelay(Duration mean, Duration stddev) {
+  boot_mean_ = mean;
+  boot_stddev_ = stddev;
+}
+
+InstanceId CloudProvider::Launch(const InstanceTypeSpec& type, PurchaseKind purchase,
+                                 const SpotMarket* market, double bid,
+                                 std::string tag) {
+  auto inst = std::make_unique<Instance>();
+  inst->id = next_id_++;
+  inst->type = &type;
+  inst->purchase = purchase;
+  inst->market = market;
+  inst->bid = bid;
+  inst->state = InstanceState::kPending;
+  inst->request_time = now_;
+  inst->ready_time = now_ + SampleBootDelay();
+  inst->tag = std::move(tag);
+  if (purchase == PurchaseKind::kBurstable) {
+    inst->burst.emplace(type);
+  }
+  if (purchase == PurchaseKind::kSpot) {
+    const SimTime cross = market->trace.NextTimeAbove(now_, bid);
+    if (cross < market->trace.end()) {
+      inst->revocation_time = cross;
+    }
+  }
+  const InstanceId id = inst->id;
+  instances_.emplace(id, std::move(inst));
+  return id;
+}
+
+InstanceId CloudProvider::LaunchOnDemand(const InstanceTypeSpec& type,
+                                         std::string tag) {
+  return Launch(type, PurchaseKind::kOnDemand, nullptr, 0.0, std::move(tag));
+}
+
+InstanceId CloudProvider::LaunchBurstable(const InstanceTypeSpec& type,
+                                          std::string tag) {
+  return Launch(type, PurchaseKind::kBurstable, nullptr, 0.0, std::move(tag));
+}
+
+InstanceId CloudProvider::RequestSpot(const SpotMarket& market, double bid,
+                                      std::string tag) {
+  if (market.trace.PriceAt(now_) > bid) {
+    return kInvalidInstanceId;  // immediate bid failure
+  }
+  return Launch(*market.type, PurchaseKind::kSpot, &market, bid, std::move(tag));
+}
+
+CostCategory CloudProvider::CategoryFor(const Instance& inst) const {
+  switch (inst.purchase) {
+    case PurchaseKind::kOnDemand:
+      return CostCategory::kOnDemand;
+    case PurchaseKind::kSpot:
+      return CostCategory::kSpot;
+    case PurchaseKind::kBurstable:
+      return CostCategory::kBurstableBackup;
+  }
+  return CostCategory::kOther;
+}
+
+double CloudProvider::HourPrice(const Instance& inst, SimTime hour_start) const {
+  if (inst.purchase == PurchaseKind::kSpot) {
+    return inst.market->trace.PriceAt(hour_start);
+  }
+  return inst.type->od_price_per_hour;
+}
+
+void CloudProvider::AccrueInstance(Instance& inst, SimTime upto) {
+  if (inst.ready_time >= upto) {
+    return;  // not yet usable: nothing billable
+  }
+  if (inst.billed_until < inst.ready_time) {
+    inst.billed_until = inst.ready_time;
+  }
+  const CostCategory category = CategoryFor(inst);
+  while (inst.billed_until + kBillingHour <= upto) {
+    ledger_.Charge(inst.billed_until + kBillingHour, inst.id, category,
+                   HourPrice(inst, inst.billed_until));
+    inst.billed_until += kBillingHour;
+  }
+}
+
+void CloudProvider::Bill(Instance& inst, SimTime end, bool provider_revoked) {
+  // Complete hours first, then the final partial hour: free when the provider
+  // revokes a spot instance, charged as a full hour otherwise (EC2's 2016
+  // rules; on-demand partial hours always round up).
+  AccrueInstance(inst, end);
+  if (end > inst.billed_until && inst.billed_until >= inst.ready_time &&
+      end > inst.ready_time && !provider_revoked) {
+    ledger_.Charge(end, inst.id, CategoryFor(inst),
+                   HourPrice(inst, inst.billed_until));
+  }
+  inst.billed_until = end;
+}
+
+std::vector<ProviderEvent> CloudProvider::AdvanceTo(SimTime t) {
+  std::vector<ProviderEvent> events;
+  if (t <= now_) {
+    now_ = std::max(now_, t);
+    return events;
+  }
+  for (auto& [id, inst_ptr] : instances_) {
+    Instance& inst = *inst_ptr;
+    if (!inst.alive()) {
+      continue;
+    }
+    // Boot completion.
+    if (inst.state == InstanceState::kPending && inst.ready_time <= t) {
+      // A spot instance whose revocation lands before boot completes is
+      // revoked without ever becoming ready.
+      if (!inst.revocation_time || *inst.revocation_time > inst.ready_time) {
+        inst.state = InstanceState::kRunning;
+        events.push_back({ProviderEventKind::kInstanceReady, inst.ready_time, id});
+      }
+    }
+    if (inst.revocation_time) {
+      const SimTime revoke_at = *inst.revocation_time;
+      const SimTime warn_at = revoke_at - kRevocationWarningLead;
+      if (!inst.warning_delivered && warn_at <= t) {
+        inst.warning_delivered = true;
+        events.push_back({ProviderEventKind::kRevocationWarning,
+                          std::max(warn_at, inst.request_time), id});
+      }
+      if (revoke_at <= t) {
+        inst.state = InstanceState::kRevoked;
+        inst.end_time = revoke_at;
+        Bill(inst, revoke_at, /*provider_revoked=*/true);
+        events.push_back({ProviderEventKind::kRevoked, revoke_at, id});
+      }
+    }
+  }
+  now_ = t;
+  // Accrue complete instance-hours so the ledger tracks costs continuously.
+  for (auto& [id, inst] : instances_) {
+    if (inst->alive()) {
+      AccrueInstance(*inst, t);
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const auto& a, const auto& b) {
+    if (a.time != b.time) {
+      return a.time < b.time;
+    }
+    if (a.instance_id != b.instance_id) {
+      return a.instance_id < b.instance_id;
+    }
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  });
+  return events;
+}
+
+void CloudProvider::Terminate(InstanceId id) {
+  Instance* inst = GetMutable(id);
+  if (inst == nullptr || !inst->alive()) {
+    return;
+  }
+  inst->state = InstanceState::kTerminated;
+  inst->end_time = now_;
+  Bill(*inst, now_, /*provider_revoked=*/false);
+}
+
+const Instance* CloudProvider::Get(InstanceId id) const {
+  const auto it = instances_.find(id);
+  return it == instances_.end() ? nullptr : it->second.get();
+}
+
+Instance* CloudProvider::GetMutable(InstanceId id) {
+  const auto it = instances_.find(id);
+  return it == instances_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const Instance*> CloudProvider::AliveInstances() const {
+  std::vector<const Instance*> out;
+  for (const auto& [id, inst] : instances_) {
+    if (inst->alive()) {
+      out.push_back(inst.get());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Instance* a, const Instance* b) { return a->id < b->id; });
+  return out;
+}
+
+void CloudProvider::FinalizeBilling() {
+  for (auto& [id, inst] : instances_) {
+    if (inst->alive()) {
+      inst->state = InstanceState::kTerminated;
+      inst->end_time = now_;
+      Bill(*inst, now_, /*provider_revoked=*/false);
+    }
+  }
+}
+
+}  // namespace spotcache

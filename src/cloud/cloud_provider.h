@@ -1,0 +1,119 @@
+// The cloud-provider facade: the "EC2" our controller talks to.
+//
+// Poll-driven: the simulation advances the provider clock with AdvanceTo and
+// receives the events (instance ready, revocation warning, revocation) that
+// occurred in the elapsed window — mirroring how a tenant observes EC2 through
+// polling / notifications. Spot semantics follow EC2 circa 2016:
+//   * a spot request is rejected outright if the market price exceeds the bid;
+//   * a running spot instance is revoked when the price first exceeds its bid,
+//     with a warning two minutes beforehand;
+//   * billing is per instance-hour at the price in effect when the hour began;
+//     the final partial hour is free when the *provider* revokes and charged
+//     in full when the tenant terminates. On-demand/burstable instances are
+//     billed per started hour at the list price.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cloud/billing.h"
+#include "src/cloud/instance.h"
+#include "src/cloud/instance_types.h"
+#include "src/cloud/spot_market.h"
+#include "src/util/rng.h"
+#include "src/util/time.h"
+
+namespace spotcache {
+
+enum class ProviderEventKind {
+  kInstanceReady,
+  kRevocationWarning,  // two minutes before the revocation
+  kRevoked,
+};
+
+struct ProviderEvent {
+  ProviderEventKind kind;
+  SimTime time;
+  InstanceId instance_id;
+};
+
+class CloudProvider {
+ public:
+  /// Takes ownership of the markets. `catalog` must outlive the provider.
+  CloudProvider(const InstanceCatalog* catalog, std::vector<SpotMarket> markets,
+                uint64_t seed);
+
+  SimTime now() const { return now_; }
+  const InstanceCatalog& catalog() const { return *catalog_; }
+  const std::vector<SpotMarket>& markets() const { return markets_; }
+  const SpotMarket* FindMarket(std::string_view name) const;
+
+  /// Advances the clock, returning the events in (previous now, t], ordered
+  /// by time (ties broken by instance id).
+  std::vector<ProviderEvent> AdvanceTo(SimTime t);
+
+  /// Launches a regular on-demand instance; it becomes ready after the boot
+  /// delay. Never fails.
+  InstanceId LaunchOnDemand(const InstanceTypeSpec& type, std::string tag);
+
+  /// Launches a burstable instance (with fresh launch credits).
+  InstanceId LaunchBurstable(const InstanceTypeSpec& type, std::string tag);
+
+  /// Places a one-time spot request at `bid`. Returns kInvalidInstanceId if
+  /// the current market price already exceeds the bid (immediate bid failure).
+  InstanceId RequestSpot(const SpotMarket& market, double bid, std::string tag);
+
+  /// Tenant-initiated termination. No-op if already ended.
+  void Terminate(InstanceId id);
+
+  const Instance* Get(InstanceId id) const;
+  Instance* GetMutable(InstanceId id);
+  /// All alive (pending or running) instances, ordered by id.
+  std::vector<const Instance*> AliveInstances() const;
+
+  /// Current spot price in a market.
+  double SpotPrice(const SpotMarket& market) const {
+    return market.trace.PriceAt(now_);
+  }
+
+  /// Bills every still-alive instance through the current time and terminates
+  /// it. Call once at the end of an experiment.
+  void FinalizeBilling();
+
+  const BillingLedger& ledger() const { return ledger_; }
+
+  /// Overrides the boot-delay distribution (mean/stddev, clamped >= 10 s).
+  void SetBootDelay(Duration mean, Duration stddev);
+
+  /// Total instances ever launched (diagnostics).
+  size_t launched_count() const { return next_id_ - 1; }
+
+ private:
+  InstanceId Launch(const InstanceTypeSpec& type, PurchaseKind purchase,
+                    const SpotMarket* market, double bid, std::string tag);
+  Duration SampleBootDelay();
+  double HourPrice(const Instance& inst, SimTime hour_start) const;
+  /// Bills complete instance-hours up to `upto` (idempotent watermark).
+  void AccrueInstance(Instance& inst, SimTime upto);
+  void Bill(Instance& inst, SimTime end, bool provider_revoked);
+  CostCategory CategoryFor(const Instance& inst) const;
+
+  const InstanceCatalog* catalog_;
+  std::vector<SpotMarket> markets_;
+  Rng rng_;
+  SimTime now_;
+  InstanceId next_id_ = 1;
+  // unique_ptr: Instance addresses stay stable across map growth (burstable
+  // state is referenced by the recovery manager).
+  std::unordered_map<InstanceId, std::unique_ptr<Instance>> instances_;
+  BillingLedger ledger_;
+  Duration boot_mean_ = Duration::Seconds(100);
+  Duration boot_stddev_ = Duration::Seconds(15);
+};
+
+}  // namespace spotcache

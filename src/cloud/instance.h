@@ -1,0 +1,66 @@
+// Instance lifecycle state.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/cloud/burstable.h"
+#include "src/cloud/instance_types.h"
+#include "src/cloud/spot_market.h"
+#include "src/util/time.h"
+
+namespace spotcache {
+
+enum class InstanceState {
+  kPending,     // requested, still booting
+  kRunning,
+  kRevoked,     // reclaimed by the provider (spot only)
+  kTerminated,  // stopped by the tenant
+};
+
+std::string_view ToString(InstanceState s);
+
+/// How an instance is billed.
+enum class PurchaseKind { kOnDemand, kSpot, kBurstable };
+
+std::string_view ToString(PurchaseKind k);
+
+using InstanceId = uint64_t;
+inline constexpr InstanceId kInvalidInstanceId = 0;
+
+/// A virtual machine owned by the tenant.
+struct Instance {
+  InstanceId id = kInvalidInstanceId;
+  const InstanceTypeSpec* type = nullptr;
+  PurchaseKind purchase = PurchaseKind::kOnDemand;
+
+  /// Spot-only: the market the instance was procured in, and the bid.
+  const SpotMarket* market = nullptr;
+  double bid = 0.0;
+
+  InstanceState state = InstanceState::kPending;
+  SimTime request_time;
+  SimTime ready_time;  // when boot completes (valid in every state)
+  SimTime end_time;    // valid once revoked/terminated
+  /// Billing watermark: instance-hours before this are already in the ledger.
+  SimTime billed_until;
+
+  /// Spot-only: precomputed revocation schedule (price first exceeds the bid).
+  /// A revocation warning fires two minutes before `revocation_time`.
+  std::optional<SimTime> revocation_time;
+  bool warning_delivered = false;
+
+  /// Burstable-only: token-bucket state.
+  std::optional<BurstableState> burst;
+
+  /// Free-form role label ("primary", "backup", "replacement", ...).
+  std::string tag;
+
+  bool alive() const {
+    return state == InstanceState::kPending || state == InstanceState::kRunning;
+  }
+};
+
+}  // namespace spotcache

@@ -1,0 +1,94 @@
+// The EC2-like instance-type catalog.
+//
+// Reproduces the offerings the paper works with (Table 1 / Table 3 and §5.1):
+//   * regular on-demand candidates: the m3 / c3 / r3 series with <= 4 vCPUs
+//     (memcached scales poorly past four cores, so the paper excludes larger);
+//   * spot-capable types: m4.large and m4.xlarge;
+//   * burstable types: the t2 family (nano .. large) with token-bucket CPU and
+//     network capacity.
+//
+// Prices follow the paper's fitted linear model p = 0.0397*vCPU + 0.0057*GB
+// (Table 1), with a small deterministic perturbation on the wide catalog used
+// for the Table 1 regression so that R^2 is ~0.99 rather than exactly 1.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/cloud/resources.h"
+
+namespace spotcache {
+
+/// First-order classification of EC2 instance classes (paper §2.2).
+enum class InstanceClass {
+  kRegular,    // conventional on-demand / reserved
+  kSpot,       // revocable, market-priced
+  kBurstable,  // token-bucket governed capacity (t2 family)
+};
+
+std::string_view ToString(InstanceClass c);
+
+/// Static description of one instance type.
+struct InstanceTypeSpec {
+  std::string name;
+  InstanceClass klass = InstanceClass::kRegular;
+
+  /// Sustained (for regular/spot) or peak (for burstable) capacity.
+  ResourceVector capacity;
+
+  /// Hourly on-demand price in dollars. For burstables this is the t2 list
+  /// price; spot types are billed at the market price instead.
+  double od_price_per_hour = 0.0;
+
+  // --- Burstable-only fields (zero for other classes) ---
+  /// Guaranteed baseline CPU, as a fraction of one vCPU (e.g. 0.10 for
+  /// t2.micro). Baseline capacity = baseline_vcpus; peak = capacity.vcpus.
+  double baseline_vcpus = 0.0;
+  /// CPU-credit earn rate in credits/hour; one credit = one vCPU-minute.
+  double cpu_credits_per_hour = 0.0;
+  /// Maximum CPU-credit balance (EC2: 24 hours of earnings).
+  double cpu_credit_cap = 0.0;
+  /// Baseline network bandwidth (Mbps); peak is capacity.net_mbps.
+  double baseline_net_mbps = 0.0;
+
+  bool is_burstable() const { return klass == InstanceClass::kBurstable; }
+
+  /// CPU per GB of RAM — the ratio Table 1 compares across classes.
+  double CpuPerGb() const { return capacity.vcpus / capacity.ram_gb; }
+  /// Network Mbps per GB of RAM.
+  double NetPerGb() const { return capacity.net_mbps / capacity.ram_gb; }
+};
+
+/// The full catalog plus the named subsets used in the evaluation.
+class InstanceCatalog {
+ public:
+  /// Builds the default catalog described in the header comment.
+  static InstanceCatalog Default();
+
+  /// All types, regular + spot-capable + burstable.
+  const std::vector<InstanceTypeSpec>& all() const { return types_; }
+
+  /// The 6 on-demand candidates of §5.1 (m3/c3/r3, <= 4 vCPU).
+  std::vector<const InstanceTypeSpec*> OnDemandCandidates() const;
+  /// The spot-capable types (m4.large, m4.xlarge).
+  std::vector<const InstanceTypeSpec*> SpotCandidates() const;
+  /// The burstable t2 family.
+  std::vector<const InstanceTypeSpec*> BurstableCandidates() const;
+
+  /// The wide 25-type on-demand catalog used for the Table 1 regression.
+  /// (Includes the candidates plus larger sizes the optimizer never procures.)
+  std::vector<const InstanceTypeSpec*> RegressionCatalog() const;
+
+  /// Looks a type up by name; nullptr if absent.
+  const InstanceTypeSpec* Find(std::string_view name) const;
+
+ private:
+  std::vector<InstanceTypeSpec> types_;
+  std::vector<std::string> regression_names_;
+};
+
+}  // namespace spotcache

@@ -1,0 +1,46 @@
+#include "src/cloud/pricing.h"
+
+namespace spotcache {
+
+PriceModel FitPriceModel(const std::vector<const InstanceTypeSpec*>& types) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> prices;
+  for (const auto* t : types) {
+    rows.push_back({t->capacity.vcpus, t->capacity.ram_gb});
+    prices.push_back(t->od_price_per_hour);
+  }
+  const RegressionResult r = FitLeastSquares(rows, prices, /*with_intercept=*/false);
+  PriceModel m;
+  if (r.ok && r.coefficients.size() == 2) {
+    m.per_vcpu = r.coefficients[0];
+    m.per_gb = r.coefficients[1];
+    m.r_squared = r.r_squared;
+    m.ok = true;
+  }
+  return m;
+}
+
+PriceModel FitBurstableModel(const std::vector<const InstanceTypeSpec*>& types) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> prices;
+  for (const auto* t : types) {
+    rows.push_back({t->capacity.ram_gb});
+    prices.push_back(t->od_price_per_hour);
+  }
+  const RegressionResult r = FitLeastSquares(rows, prices, /*with_intercept=*/false);
+  PriceModel m;
+  if (r.ok && r.coefficients.size() == 1) {
+    m.per_vcpu = 0.0;
+    m.per_gb = r.coefficients[0];
+    m.r_squared = r.r_squared;
+    m.ok = true;
+  }
+  return m;
+}
+
+double PeakEquivalentOdPrice(const InstanceTypeSpec& burstable,
+                             const PriceModel& regular_model) {
+  return regular_model.Price(burstable.capacity.vcpus, burstable.capacity.ram_gb);
+}
+
+}  // namespace spotcache

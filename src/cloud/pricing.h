@@ -1,0 +1,39 @@
+// Pricing analysis: fits the paper's linear price model to the catalog and
+// derives the per-unit-resource prices and burstable cost comparisons of
+// Tables 1 and 3.
+
+#pragma once
+
+#include <vector>
+
+#include "src/cloud/instance_types.h"
+#include "src/util/linear_regression.h"
+
+namespace spotcache {
+
+/// Result of fitting p = a*vCPU + b*GB to a set of instance types.
+struct PriceModel {
+  double per_vcpu = 0.0;  // $/vCPU-hour
+  double per_gb = 0.0;    // $/GB-hour
+  double r_squared = 0.0;
+  bool ok = false;
+
+  double Price(double vcpus, double ram_gb) const {
+    return per_vcpu * vcpus + per_gb * ram_gb;
+  }
+};
+
+/// Fits the two-feature linear model (no intercept, as in the paper) to the
+/// given types' on-demand prices.
+PriceModel FitPriceModel(const std::vector<const InstanceTypeSpec*>& types);
+
+/// Fits a RAM-only model to the burstable family; the paper observes burstable
+/// prices are perfectly proportional to RAM ($0.013/GB-hour).
+PriceModel FitBurstableModel(const std::vector<const InstanceTypeSpec*>& types);
+
+/// Table 3 row: the hypothetical on-demand price of a burstable type if its
+/// *peak* capacity were bought at the fitted regular per-unit prices.
+double PeakEquivalentOdPrice(const InstanceTypeSpec& burstable,
+                             const PriceModel& regular_model);
+
+}  // namespace spotcache

@@ -1,0 +1,39 @@
+// Resource capacity vectors: vCPUs, RAM, and network bandwidth.
+//
+// These are the three dimensions the paper's procurement optimizer reasons
+// about (it notes network bandwidth is also considered but conducts the
+// discussion in terms of CPU and RAM; we carry all three).
+
+#pragma once
+
+#include <string>
+
+namespace spotcache {
+
+/// A bundle of resource capacities. vCPUs may be fractional (burstable
+/// baselines are e.g. 0.05 vCPU).
+struct ResourceVector {
+  double vcpus = 0.0;
+  double ram_gb = 0.0;
+  double net_mbps = 0.0;
+
+  ResourceVector operator+(const ResourceVector& o) const {
+    return {vcpus + o.vcpus, ram_gb + o.ram_gb, net_mbps + o.net_mbps};
+  }
+  ResourceVector operator-(const ResourceVector& o) const {
+    return {vcpus - o.vcpus, ram_gb - o.ram_gb, net_mbps - o.net_mbps};
+  }
+  ResourceVector operator*(double k) const {
+    return {vcpus * k, ram_gb * k, net_mbps * k};
+  }
+  bool operator==(const ResourceVector&) const = default;
+
+  /// True if every component of `need` fits within this vector.
+  bool Covers(const ResourceVector& need) const {
+    return vcpus >= need.vcpus && ram_gb >= need.ram_gb && net_mbps >= need.net_mbps;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace spotcache

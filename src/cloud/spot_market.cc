@@ -1,0 +1,121 @@
+#include "src/cloud/spot_market.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace spotcache {
+
+PriceTrace::PriceTrace(std::vector<Point> points) : points_(std::move(points)) {
+  if (!points_.empty()) {
+    end_ = points_.back().time;
+  }
+}
+
+void PriceTrace::Append(SimTime t, double price) {
+  assert(points_.empty() || t >= points_.back().time);
+  // Coalesce consecutive equal prices to keep the trace compact.
+  if (!points_.empty() && points_.back().price == price) {
+    if (t > end_) {
+      end_ = t;
+    }
+    return;
+  }
+  points_.push_back({t, price});
+  if (t > end_) {
+    end_ = t;
+  }
+}
+
+size_t PriceTrace::SegmentFor(SimTime t) const {
+  // Last point with time <= t; clamps below the first point to segment 0.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](SimTime lhs, const Point& p) { return lhs < p.time; });
+  if (it == points_.begin()) {
+    return 0;
+  }
+  return static_cast<size_t>(it - points_.begin()) - 1;
+}
+
+double PriceTrace::PriceAt(SimTime t) const {
+  if (points_.empty()) {
+    return 0.0;
+  }
+  return points_[SegmentFor(t)].price;
+}
+
+double PriceTrace::AveragePrice(SimTime t0, SimTime t1) const {
+  if (points_.empty() || t1 <= t0) {
+    return PriceAt(t0);
+  }
+  double weighted = 0.0;
+  size_t i = SegmentFor(t0);
+  SimTime cursor = t0;
+  while (cursor < t1) {
+    const SimTime seg_end =
+        (i + 1 < points_.size()) ? points_[i + 1].time : t1;
+    const SimTime upto = std::min(seg_end, t1);
+    weighted += points_[i].price * (upto - cursor).seconds();
+    cursor = upto;
+    ++i;
+    if (i >= points_.size()) {
+      if (cursor < t1) {
+        weighted += points_.back().price * (t1 - cursor).seconds();
+      }
+      break;
+    }
+  }
+  return weighted / (t1 - t0).seconds();
+}
+
+SimTime PriceTrace::NextTimeAbove(SimTime t, double threshold) const {
+  if (points_.empty()) {
+    return end_;
+  }
+  size_t i = SegmentFor(t);
+  if (points_[i].price > threshold && points_[i].time <= t) {
+    return std::max(t, points_[i].time);
+  }
+  for (++i; i < points_.size(); ++i) {
+    if (points_[i].price > threshold) {
+      return points_[i].time;
+    }
+  }
+  return end_;
+}
+
+SimTime PriceTrace::NextTimeAtOrBelow(SimTime t, double threshold) const {
+  if (points_.empty()) {
+    return end_;
+  }
+  size_t i = SegmentFor(t);
+  if (points_[i].price <= threshold) {
+    return std::max(t, points_[i].time);
+  }
+  for (++i; i < points_.size(); ++i) {
+    if (points_[i].price <= threshold) {
+      return points_[i].time;
+    }
+  }
+  return end_;
+}
+
+PriceTrace::Interval PriceTrace::BelowInterval(SimTime t, double threshold) const {
+  if (points_.empty() || PriceAt(t) > threshold) {
+    return {t, t};
+  }
+  // Walk backwards to the start of the contiguous below-threshold run.
+  size_t i = SegmentFor(t);
+  SimTime begin = points_[i].time;
+  while (i > 0 && points_[i - 1].price <= threshold) {
+    --i;
+    begin = points_[i].time;
+  }
+  if (i == 0) {
+    begin = std::min(begin, start());
+  }
+  const SimTime above = NextTimeAbove(t, threshold);
+  return {begin, above};
+}
+
+}  // namespace spotcache

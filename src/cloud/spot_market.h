@@ -1,0 +1,83 @@
+// Spot markets and piecewise-constant price traces.
+//
+// A market is one (instance type, availability zone) pair with its own price
+// series, as in paper Figure 2 (m4.large / m4.xlarge in us-east-1c / 1d). The
+// trace is piecewise constant: EC2 publishes discrete price updates.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/cloud/instance_types.h"
+#include "src/util/time.h"
+
+namespace spotcache {
+
+/// A piecewise-constant price series. Points are (start time, price), sorted
+/// by time; each price holds until the next point (the last holds forever).
+class PriceTrace {
+ public:
+  struct Point {
+    SimTime time;
+    double price;
+  };
+
+  PriceTrace() = default;
+  explicit PriceTrace(std::vector<Point> points);
+
+  bool empty() const { return points_.empty(); }
+  size_t size() const { return points_.size(); }
+  const std::vector<Point>& points() const { return points_; }
+  SimTime start() const { return points_.empty() ? SimTime() : points_.front().time; }
+  SimTime end() const { return end_; }
+
+  /// Appends a point; times must be non-decreasing.
+  void Append(SimTime t, double price);
+  /// Marks the end of the trace (prices undefined past it; PriceAt clamps).
+  void SetEnd(SimTime t) { end_ = t; }
+
+  /// Price in effect at time t (clamped to the first/last segment).
+  double PriceAt(SimTime t) const;
+
+  /// Time-weighted average price over [t0, t1].
+  double AveragePrice(SimTime t0, SimTime t1) const;
+
+  /// First instant at or after `t` when the price exceeds `threshold`;
+  /// returns end() if it never does within the trace.
+  SimTime NextTimeAbove(SimTime t, double threshold) const;
+
+  /// First instant at or after `t` when the price is <= `threshold`;
+  /// returns end() if never.
+  SimTime NextTimeAtOrBelow(SimTime t, double threshold) const;
+
+  /// The maximal contiguous below-or-equal-`threshold` interval containing
+  /// `t`, i.e. the paper's L(b) anchored at `t`. Returns a zero-length
+  /// interval at `t` if the price at `t` already exceeds the threshold.
+  struct Interval {
+    SimTime begin;
+    SimTime end;
+    Duration length() const { return end - begin; }
+  };
+  Interval BelowInterval(SimTime t, double threshold) const;
+
+ private:
+  /// Index of the segment containing t.
+  size_t SegmentFor(SimTime t) const;
+
+  std::vector<Point> points_;
+  SimTime end_;
+};
+
+/// One spot market: an instance type in a named zone, with its price history.
+struct SpotMarket {
+  std::string name;  // e.g. "m4.L-c"
+  const InstanceTypeSpec* type = nullptr;
+  std::string zone;
+  PriceTrace trace;
+
+  double od_price() const { return type->od_price_per_hour; }
+};
+
+}  // namespace spotcache

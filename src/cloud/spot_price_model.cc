@@ -1,0 +1,119 @@
+#include "src/cloud/spot_price_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spotcache {
+
+namespace {
+
+const RegimeWindow& RegimeAt(const SpotTraceConfig& config, double day) {
+  for (const auto& w : config.regimes) {
+    if (day >= w.start_day && day < w.end_day) {
+      return w;
+    }
+  }
+  return config.default_regime;
+}
+
+double Quantize(double price) {
+  // EC2 publishes prices with four decimal places.
+  return std::round(price * 10000.0) / 10000.0;
+}
+
+}  // namespace
+
+PriceTrace GenerateSpotTrace(const SpotTraceConfig& config, Duration length,
+                             uint64_t seed) {
+  Rng rng(seed);
+  PriceTrace trace;
+  const double mean_base = config.od_price * config.base_fraction;
+  const double cap = config.od_price * config.price_cap_mult;
+  const double step_days = config.step.days();
+
+  double base = mean_base;
+  SimTime spike_end;     // spike active while t < spike_end
+  double spike_height = 0.0;
+
+  for (SimTime t; t < SimTime() + length; t += config.step) {
+    const RegimeWindow& regime = RegimeAt(config, t.days());
+
+    // Mean-reverting base with multiplicative noise.
+    base += 0.1 * (mean_base - base) + config.base_volatility * mean_base *
+                                           0.3 * rng.StdNormal();
+    base = std::clamp(base, 0.4 * mean_base, 3.0 * mean_base);
+
+    // Possibly start a new spike.
+    if (t >= spike_end && rng.Bernoulli(regime.spikes_per_day * step_days)) {
+      spike_height = config.od_price * regime.spike_median_mult *
+                     std::exp(regime.spike_sigma * rng.StdNormal());
+      const double minutes =
+          rng.Exponential(regime.spike_duration_mean_min) + 1.0;
+      spike_end = t + Duration::FromSecondsF(minutes * 60.0);
+    }
+
+    double price = base;
+    if (t < spike_end) {
+      price = std::max(price, spike_height);
+    }
+    trace.Append(t, Quantize(std::min(price, cap)));
+  }
+  trace.SetEnd(SimTime() + length);
+  return trace;
+}
+
+std::vector<SpotMarket> MakeEvaluationMarkets(const InstanceCatalog& catalog,
+                                              Duration length, uint64_t seed) {
+  const InstanceTypeSpec* m4l = catalog.Find("m4.large");
+  const InstanceTypeSpec* m4xl = catalog.Find("m4.xlarge");
+
+  std::vector<SpotMarket> markets;
+
+  {
+    // m4.L-c: moderately spiky everywhere; regular excursions above 0.5d and d.
+    SpotTraceConfig cfg;
+    cfg.od_price = m4l->od_price_per_hour;
+    cfg.default_regime = {0, 0, 2.5, 1.1, 0.6, 25.0};
+    markets.push_back(
+        {"m4.L-c", m4l, "us-east-1c", GenerateSpotTrace(cfg, length, seed ^ 0x1)});
+  }
+  {
+    // m4.L-d: calm base, but recurring multi-day windows of sub-d churn that
+    // defeat a pooled CDF (Table 2 shows the CDF baseline at its worst here).
+    SpotTraceConfig cfg;
+    cfg.od_price = m4l->od_price_per_hour;
+    cfg.default_regime = {0, 0, 0.6, 0.8, 0.5, 15.0};
+    cfg.regimes = {
+        {10, 14, 6.0, 0.9, 0.5, 90.0},
+        {28, 33, 7.0, 1.0, 0.6, 120.0},
+        {52, 57, 6.0, 0.9, 0.5, 90.0},
+        {75, 80, 6.0, 1.0, 0.6, 120.0},
+    };
+    markets.push_back(
+        {"m4.L-d", m4l, "us-east-1d", GenerateSpotTrace(cfg, length, seed ^ 0x2)});
+  }
+  {
+    // m4.XL-c: hostile regime in days 30-60 — frequent, *sustained* (multi-
+    // hour) excursions above the low bid, the Figure 8 scenario where the CDF
+    // approach keeps failing while the lifetime model backs off.
+    SpotTraceConfig cfg;
+    cfg.od_price = m4xl->od_price_per_hour;
+    cfg.default_regime = {0, 0, 1.2, 0.9, 0.5, 20.0};
+    cfg.regimes = {
+        {30, 60, 4.0, 1.6, 0.6, 420.0},
+    };
+    markets.push_back(
+        {"m4.XL-c", m4xl, "us-east-1c", GenerateSpotTrace(cfg, length, seed ^ 0x3)});
+  }
+  {
+    // m4.XL-d: calm with rare tall spikes (above 2d, occasionally 5d).
+    SpotTraceConfig cfg;
+    cfg.od_price = m4xl->od_price_per_hour;
+    cfg.default_regime = {0, 0, 0.5, 2.2, 0.8, 30.0};
+    markets.push_back(
+        {"m4.XL-d", m4xl, "us-east-1d", GenerateSpotTrace(cfg, length, seed ^ 0x4)});
+  }
+  return markets;
+}
+
+}  // namespace spotcache

@@ -1,0 +1,68 @@
+// Synthetic spot-price generation.
+//
+// The paper uses 90-day historical EC2 traces (Figure 2) that are not
+// available here; this module generates seeded synthetic traces that
+// reproduce the phenomena the paper's predictors exploit and the baselines
+// miss: a mean-reverting low base price, price spikes whose heights straddle
+// the bid levels {0.5d, d, 2d, 5d, 10d}, and *regimes* — multi-day windows in
+// which spikes above low bids become frequent. The CDF baseline, which pools
+// the whole history window, reacts slowly to regime shifts; the paper's
+// lifetime model reacts within a window. Deterministic given (config, seed).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cloud/instance_types.h"
+#include "src/cloud/spot_market.h"
+#include "src/util/rng.h"
+#include "src/util/time.h"
+
+namespace spotcache {
+
+/// A window of days with its own spike behaviour.
+struct RegimeWindow {
+  double start_day = 0.0;
+  double end_day = 0.0;
+  /// Expected number of price spikes per day in this window.
+  double spikes_per_day = 1.0;
+  /// Median spike height as a multiple of the on-demand price.
+  double spike_median_mult = 1.0;
+  /// Log-normal sigma of spike heights (higher -> occasional 5d/10d spikes).
+  double spike_sigma = 0.5;
+  /// Mean spike duration, minutes (exponentially distributed).
+  double spike_duration_mean_min = 20.0;
+};
+
+/// Full configuration of one market's price process.
+struct SpotTraceConfig {
+  double od_price = 0.1;
+  /// Calm-market mean as a fraction of the OD price (spot is 70-90% cheaper).
+  double base_fraction = 0.15;
+  /// Relative amplitude of base-price noise (mean-reverting).
+  double base_volatility = 0.10;
+  /// Price update granularity.
+  Duration step = Duration::Minutes(5);
+  /// Spike regimes; outside every window a default calm regime applies.
+  std::vector<RegimeWindow> regimes;
+  RegimeWindow default_regime{0, 0, 0.8, 0.9, 0.5, 20.0};
+  /// EC2 caps spot prices at 10x the on-demand price.
+  double price_cap_mult = 10.0;
+};
+
+/// Generates a piecewise-constant trace of the given length.
+PriceTrace GenerateSpotTrace(const SpotTraceConfig& config, Duration length,
+                             uint64_t seed);
+
+/// The four evaluation markets of Figure 2: m4.large / m4.xlarge in zones "c"
+/// and "d", with distinct personalities:
+///   m4.L-c : moderately spiky throughout;
+///   m4.L-d : mostly calm, occasional bursts above 0.5d;
+///   m4.XL-c: a hostile regime between days 30 and 60 with frequent spikes
+///            above the low bid (the Figure 8 story);
+///   m4.XL-d: calm with rare tall spikes.
+std::vector<SpotMarket> MakeEvaluationMarkets(const InstanceCatalog& catalog,
+                                              Duration length, uint64_t seed);
+
+}  // namespace spotcache

@@ -1,0 +1,69 @@
+#include "src/cloud/token_bucket.h"
+
+#include <algorithm>
+
+namespace spotcache {
+
+TokenBucket::TokenBucket(double rate_per_hour, double cap, double initial)
+    : rate_per_hour_(rate_per_hour),
+      cap_(cap),
+      balance_(std::min(initial, cap)),
+      last_update_() {}
+
+void TokenBucket::AdvanceTo(SimTime now) {
+  if (now <= last_update_) {
+    return;
+  }
+  const double hours = (now - last_update_).hours();
+  balance_ = std::min(cap_, balance_ + rate_per_hour_ * hours);
+  last_update_ = now;
+}
+
+bool TokenBucket::TryConsume(double amount) {
+  if (amount > balance_) {
+    return false;
+  }
+  balance_ -= amount;
+  return true;
+}
+
+double TokenBucket::ConsumeUpTo(double amount) {
+  const double taken = std::min(amount, balance_);
+  balance_ -= taken;
+  return taken;
+}
+
+double TokenBucket::FlowInterval(SimTime from, SimTime to, double drain_per_hour) {
+  AdvanceTo(from);
+  const double dt_h = (to - from).hours();
+  if (dt_h <= 0.0) {
+    return 1.0;
+  }
+  const double net = rate_per_hour_ - drain_per_hour;
+  double fraction = 1.0;
+  if (net >= 0.0) {
+    balance_ = std::min(cap_, balance_ + net * dt_h);
+  } else {
+    const double hours_to_exhaust = balance_ / -net;
+    if (hours_to_exhaust >= dt_h) {
+      balance_ += net * dt_h;
+    } else {
+      balance_ = 0.0;
+      fraction = hours_to_exhaust / dt_h;
+    }
+  }
+  last_update_ = to;
+  return fraction;
+}
+
+Duration TokenBucket::TimeToAccrue(double target) const {
+  if (balance_ >= target) {
+    return Duration::Hours(0);
+  }
+  if (target > cap_ || rate_per_hour_ <= 0.0) {
+    return Duration::Days(365 * 100);  // effectively never
+  }
+  return Duration::FromSecondsF((target - balance_) / rate_per_hour_ * 3600.0);
+}
+
+}  // namespace spotcache

@@ -1,0 +1,59 @@
+// Deterministic token bucket, the mechanism governing burstable-instance CPU
+// credits and network bandwidth (paper Figure 5).
+//
+// The paper's key observation is that these buckets are *deterministic*, not
+// random: a tenant that tracks its token balance can plan exactly when the
+// instance may burst. This class is that tracking.
+
+#pragma once
+
+#include "src/util/time.h"
+
+namespace spotcache {
+
+/// A token bucket with a linear accrual rate and a hard cap.
+///
+/// Units are caller-defined (CPU credits: 1 credit = 1 vCPU-minute; network:
+/// megabits). Accrual is continuous in time; consumption is explicit.
+class TokenBucket {
+ public:
+  /// `rate_per_hour` tokens accrue per hour up to `cap`. Starts at
+  /// `initial` tokens (EC2 grants t2 instances a launch credit balance).
+  TokenBucket(double rate_per_hour, double cap, double initial = 0.0);
+
+  /// Advances time, accruing tokens. Time must not move backwards.
+  void AdvanceTo(SimTime now);
+
+  /// Attempts to take `amount` tokens; returns false (and takes nothing) if
+  /// the balance is insufficient.
+  bool TryConsume(double amount);
+
+  /// Takes up to `amount` tokens, returning how many were actually taken.
+  double ConsumeUpTo(double amount);
+
+  double balance() const { return balance_; }
+  double cap() const { return cap_; }
+  double rate_per_hour() const { return rate_per_hour_; }
+  bool full() const { return balance_ >= cap_; }
+
+  /// Simultaneous accrual and drain over [from, to]: tokens accrue at the
+  /// bucket rate while draining at `drain_per_hour`. Returns the fraction of
+  /// the interval during which the drain was fully satisfied (1.0 if the
+  /// balance never hit zero). After exhaustion the drain is implicitly limited
+  /// to the accrual rate and the balance stays at zero. This models running a
+  /// burstable instance above its baseline.
+  double FlowInterval(SimTime from, SimTime to, double drain_per_hour);
+
+  /// Time needed, from `now` with no consumption, to reach `target` tokens.
+  /// Returns Duration::Hours(0) if already there; a very large duration if the
+  /// target exceeds the cap.
+  Duration TimeToAccrue(double target) const;
+
+ private:
+  double rate_per_hour_;
+  double cap_;
+  double balance_;
+  SimTime last_update_;
+};
+
+}  // namespace spotcache

@@ -1,0 +1,96 @@
+#include "src/cloud/trace_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace spotcache {
+
+void WritePriceTraceCsv(const PriceTrace& trace, std::ostream& os) {
+  os << "time_s,price\n";
+  for (const auto& point : trace.points()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f,%.6f\n", point.time.seconds(),
+                  point.price);
+    os << buf;
+  }
+  // A terminal comment records the trace end so round-trips preserve it.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "# end,%.6f\n", trace.end().seconds());
+  os << buf;
+}
+
+std::optional<PriceTrace> ReadPriceTraceCsv(std::istream& is, std::string* error) {
+  auto fail = [error](const std::string& message) -> std::optional<PriceTrace> {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return std::nullopt;
+  };
+
+  PriceTrace trace;
+  std::string line;
+  int line_no = 0;
+  double prev_time = -1.0;
+  std::optional<double> explicit_end;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    if (line.rfind("# end,", 0) == 0) {
+      explicit_end = std::atof(line.c_str() + 6);
+      continue;
+    }
+    if (line[0] == '#') {
+      continue;
+    }
+    if (line_no == 1 && line.rfind("time_s", 0) == 0) {
+      continue;  // header
+    }
+    double time_s = 0.0;
+    double price = 0.0;
+    if (std::sscanf(line.c_str(), "%lf,%lf", &time_s, &price) != 2) {
+      return fail("line " + std::to_string(line_no) + ": expected time,price");
+    }
+    if (time_s < prev_time) {
+      return fail("line " + std::to_string(line_no) + ": times must not decrease");
+    }
+    if (price < 0.0) {
+      return fail("line " + std::to_string(line_no) + ": negative price");
+    }
+    trace.Append(SimTime::FromSeconds(time_s), price);
+    prev_time = time_s;
+  }
+  if (trace.empty()) {
+    return fail("no data rows");
+  }
+  if (explicit_end) {
+    trace.SetEnd(SimTime::FromSeconds(*explicit_end));
+  }
+  return trace;
+}
+
+bool SavePriceTrace(const PriceTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  WritePriceTraceCsv(trace, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<PriceTrace> LoadPriceTrace(const std::string& path,
+                                         std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return std::nullopt;
+  }
+  return ReadPriceTraceCsv(in, error);
+}
+
+}  // namespace spotcache

@@ -1,0 +1,33 @@
+// Price-trace serialization.
+//
+// The evaluation runs on synthetic traces, but the predictors and the whole
+// control plane only consume a PriceTrace — so a user with real spot price
+// history (e.g. `aws ec2 describe-spot-price-history` output) can load it
+// here and run every experiment against it. Format: CSV with a header,
+// one `<seconds_since_epoch0>,<price>` row per price change.
+
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "src/cloud/spot_market.h"
+
+namespace spotcache {
+
+/// Writes `time_s,price` rows (header included).
+void WritePriceTraceCsv(const PriceTrace& trace, std::ostream& os);
+
+/// Parses a trace written by WritePriceTraceCsv (or hand-made in the same
+/// format). Rows must be time-ordered; returns nullopt with a message in
+/// `error` on malformed input. Blank lines and '#' comments are skipped.
+std::optional<PriceTrace> ReadPriceTraceCsv(std::istream& is,
+                                            std::string* error = nullptr);
+
+/// File-path conveniences.
+bool SavePriceTrace(const PriceTrace& trace, const std::string& path);
+std::optional<PriceTrace> LoadPriceTrace(const std::string& path,
+                                         std::string* error = nullptr);
+
+}  // namespace spotcache

@@ -1,0 +1,458 @@
+#include "src/core/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace spotcache {
+
+namespace {
+constexpr double kBytesPerGb = 1024.0 * 1024.0 * 1024.0;
+
+// A warm-up window's average affected traffic: coverage of the replacement
+// grows during the window, so on average roughly half the affected traffic is
+// still being served by the fallback path at any instant.
+constexpr double kWarmupAverageFactor = 0.5;
+
+double CopySecondsFor(double gigabytes, double mbps) {
+  if (gigabytes <= 0.0) {
+    return 0.0;
+  }
+  if (mbps <= 0.0) {
+    return 3600.0;  // no path: cap at an hour of degradation
+  }
+  return gigabytes * kBytesPerGb * 8.0 / (mbps * 1e6);
+}
+}  // namespace
+
+Cluster::Cluster(CloudProvider* provider,
+                 const std::vector<ProcurementOption>* options,
+                 ClusterConfig config)
+    : provider_(provider), options_(options), config_(std::move(config)) {
+  holdings_.resize(options_->size());
+}
+
+const InstanceTypeSpec& Cluster::BackupType() const {
+  if (config_.backup_type != nullptr) {
+    return *config_.backup_type;
+  }
+  return *provider_->catalog().Find("t2.medium");
+}
+
+double Cluster::TrafficWeight(const AllocationItem& item) const {
+  const SlotContext& c = context_;
+  double w = 0.0;
+  if (c.hot_ws_fraction > 0.0) {
+    w += item.x / c.hot_ws_fraction * c.hot_access_fraction;
+  }
+  const double cold_ws = c.alpha - c.hot_ws_fraction;
+  if (cold_ws > 0.0) {
+    w += item.y / cold_ws *
+         std::max(0.0, c.alpha_access_fraction - c.hot_access_fraction);
+  }
+  return w;
+}
+
+Cluster::ApplyResult Cluster::Apply(const AllocationPlan& plan,
+                                    const SlotContext& context) {
+  ApplyResult result;
+  plan_ = plan;
+  context_ = context;
+
+  // Replacements from the previous slot are superseded by the new plan.
+  for (InstanceId id : replacements_) {
+    provider_->Terminate(id);
+  }
+  replacements_.clear();
+  replacement_for_.clear();
+
+  // Reconcile each option's holdings with its target count.
+  for (size_t o = 0; o < options_->size(); ++o) {
+    auto& held = holdings_[o];
+    held.erase(std::remove_if(held.begin(), held.end(),
+                              [this](InstanceId id) {
+                                const Instance* inst = provider_->Get(id);
+                                return inst == nullptr || !inst->alive();
+                              }),
+               held.end());
+    const int target = plan.CountFor(o);
+    while (static_cast<int>(held.size()) > target) {
+      provider_->Terminate(held.back());
+      held.pop_back();
+      ++result.terminated;
+    }
+    const ProcurementOption& opt = (*options_)[o];
+    while (static_cast<int>(held.size()) < target) {
+      InstanceId id;
+      if (opt.is_on_demand()) {
+        id = provider_->LaunchOnDemand(*opt.type, "primary:" + opt.label);
+      } else {
+        id = provider_->RequestSpot(*opt.market, opt.bid, "primary:" + opt.label);
+      }
+      if (id == kInvalidInstanceId) {
+        ++result.bid_rejected;
+        ++total_bid_rejections_;
+        break;  // market moved above the bid; shortfall stands this slot
+      }
+      held.push_back(id);
+      ++result.launched;
+    }
+  }
+
+  // Size the backup fleet to the hot data sitting on spot instances.
+  int backup_target = 0;
+  if (config_.use_backup) {
+    double hot_on_spot_gb = 0.0;
+    for (const auto& item : plan.items) {
+      if (!(*options_)[item.option].is_on_demand()) {
+        hot_on_spot_gb += item.x * context.working_set_gb;
+      }
+    }
+    const double per_backup =
+        BackupType().capacity.ram_gb * config_.ram_usable_fraction;
+    if (hot_on_spot_gb > 1e-9) {
+      backup_target =
+          static_cast<int>(std::ceil(hot_on_spot_gb / per_backup - 1e-9));
+    }
+  }
+  backups_.erase(std::remove_if(backups_.begin(), backups_.end(),
+                                [this](InstanceId id) {
+                                  const Instance* inst = provider_->Get(id);
+                                  return inst == nullptr || !inst->alive();
+                                }),
+                 backups_.end());
+  while (static_cast<int>(backups_.size()) > backup_target) {
+    provider_->Terminate(backups_.back());
+    backups_.pop_back();
+  }
+  while (static_cast<int>(backups_.size()) < backup_target) {
+    backups_.push_back(provider_->LaunchBurstable(BackupType(), "backup"));
+  }
+  result.backup_count = static_cast<int>(backups_.size());
+  return result;
+}
+
+void Cluster::HandleWarning(const Instance& inst) {
+  if (replacement_for_.count(inst.id) > 0) {
+    return;
+  }
+  // Only react for instances we actually hold.
+  bool ours = false;
+  for (const auto& held : holdings_) {
+    if (std::find(held.begin(), held.end(), inst.id) != held.end()) {
+      ours = true;
+      break;
+    }
+  }
+  if (!ours) {
+    return;
+  }
+  // Launch the on-demand replacement immediately (paper: upon receiving the
+  // two-minute warning). Same hardware type, on-demand billing.
+  const InstanceId repl =
+      provider_->LaunchOnDemand(*inst.type, "replacement:" + inst.tag);
+  replacement_for_[inst.id] = repl;
+  replacements_.push_back(repl);
+}
+
+double Cluster::BackupCopyMbps(SimTime from, Duration window, double demand_mbps) {
+  if (backups_.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  const double per_backup = demand_mbps / static_cast<double>(backups_.size());
+  for (InstanceId id : backups_) {
+    Instance* b = provider_->GetMutable(id);
+    if (b == nullptr || b->burst == std::nullopt) {
+      continue;
+    }
+    total += b->burst->RunNetwork(from, from + window, per_backup);
+  }
+  return total;
+}
+
+void Cluster::HandleRevocation(const Instance& inst) {
+  ++total_revocations_;
+  ++step_revocations_;
+
+  // Locate the option the instance belonged to.
+  size_t option = options_->size();
+  for (size_t o = 0; o < holdings_.size(); ++o) {
+    auto it = std::find(holdings_[o].begin(), holdings_[o].end(), inst.id);
+    if (it != holdings_[o].end()) {
+      holdings_[o].erase(it);
+      option = o;
+      break;
+    }
+  }
+  if (option == options_->size()) {
+    return;  // not one of ours (already superseded)
+  }
+  const AllocationItem* item = plan_.ItemFor(option);
+  if (item == nullptr || item->count <= 0) {
+    return;
+  }
+  const double n = static_cast<double>(item->count);
+  const SlotContext& c = context_;
+
+  // Per-instance shares of data and traffic.
+  const double hot_gb = item->x * c.working_set_gb / n;
+  const double cold_gb = item->y * c.working_set_gb / n;
+  double hot_traffic = 0.0;
+  if (c.hot_ws_fraction > 0.0) {
+    hot_traffic = item->x / c.hot_ws_fraction * c.hot_access_fraction / n;
+  }
+  double cold_traffic = 0.0;
+  const double cold_ws = c.alpha - c.hot_ws_fraction;
+  if (cold_ws > 0.0) {
+    cold_traffic = item->y / cold_ws *
+                   std::max(0.0, c.alpha_access_fraction - c.hot_access_fraction) /
+                   n;
+  }
+
+  const SimTime now = provider_->now();
+  const Duration miss_latency =
+      config_.latency_model.params().base_latency +
+      config_.latency_model.params().miss_penalty;
+  const Duration backup_latency =
+      config_.latency_model.params().base_latency + config_.backup_hop_latency;
+
+  // Replacement readiness (scenario A: ready before revocation; B: after).
+  SimTime ready = now;
+  auto rit = replacement_for_.find(inst.id);
+  if (rit != replacement_for_.end()) {
+    const Instance* repl = provider_->Get(rit->second);
+    if (repl != nullptr) {
+      ready = std::max(now, repl->ready_time);
+      holdings_[option].push_back(rit->second);  // joins the pool post-warm-up
+    }
+  } else {
+    // No warning was processed (e.g. revocation at boot); launch now.
+    const InstanceId repl =
+        provider_->LaunchOnDemand(*inst.type, "replacement:" + inst.tag);
+    replacements_.push_back(repl);
+    replacement_for_[inst.id] = repl;
+    const Instance* r = provider_->Get(repl);
+    ready = r->ready_time;
+    holdings_[option].push_back(repl);
+  }
+
+  // Interim gap (case 2 / 1(b)): revoked but replacement not yet ready.
+  const bool backup_available = config_.use_backup && !backups_.empty();
+  if (ready > now) {
+    if (backup_available && hot_traffic > 0.0) {
+      degradations_.push_back({ready, hot_traffic, backup_latency});
+    } else if (hot_traffic > 0.0) {
+      degradations_.push_back({ready, hot_traffic, miss_latency});
+    }
+    if (cold_traffic > 0.0) {
+      degradations_.push_back({ready, cold_traffic, miss_latency});
+    }
+  }
+
+  // Warm-up windows from `ready`.
+  const double repl_net = inst.type->capacity.net_mbps * config_.copy_efficiency;
+  if (backup_available && hot_gb > 0.0) {
+    // Hot content warms from the backup at min(backup burst, replacement NIC).
+    const Duration est_window =
+        Duration::FromSecondsF(CopySecondsFor(hot_gb, repl_net));
+    const double backup_mbps =
+        BackupCopyMbps(ready, est_window, repl_net / config_.copy_efficiency) *
+        config_.copy_efficiency;
+    const double rate = std::min(repl_net, backup_mbps > 0.0 ? backup_mbps : repl_net);
+    const Duration w_hot = Duration::FromSecondsF(CopySecondsFor(hot_gb, rate));
+    if (hot_traffic > 0.0) {
+      degradations_.push_back(
+          {ready + w_hot, hot_traffic * kWarmupAverageFactor, backup_latency});
+    }
+  } else if (hot_gb > 0.0 && hot_traffic > 0.0) {
+    const Duration w_hot = Duration::FromSecondsF(
+        CopySecondsFor(hot_gb, config_.backend_copy_mbps));
+    degradations_.push_back(
+        {ready + w_hot, hot_traffic * kWarmupAverageFactor, miss_latency});
+  }
+  if (cold_gb > 0.0 && cold_traffic > 0.0) {
+    // Cold data is never backed up; it always refills from the back-end.
+    const Duration w_cold = Duration::FromSecondsF(
+        CopySecondsFor(cold_gb, config_.backend_copy_mbps));
+    degradations_.push_back(
+        {ready + w_cold, cold_traffic * kWarmupAverageFactor, miss_latency});
+  }
+}
+
+Cluster::StepPerf Cluster::Step(SimTime to, double lambda_actual) {
+  const SimTime from = provider_->now();
+  const Duration step_len = to - from;
+  step_revocations_ = 0;
+
+  for (const ProviderEvent& ev : provider_->AdvanceTo(to)) {
+    const Instance* inst = provider_->Get(ev.instance_id);
+    if (inst == nullptr) {
+      continue;
+    }
+    switch (ev.kind) {
+      case ProviderEventKind::kRevocationWarning:
+        HandleWarning(*inst);
+        break;
+      case ProviderEventKind::kRevoked:
+        HandleRevocation(*inst);
+        break;
+      case ProviderEventKind::kInstanceReady:
+        break;
+    }
+  }
+
+  StepPerf perf;
+  perf.revocations = step_revocations_;
+  const SlotContext& c = context_;
+  if (lambda_actual <= 0.0 || step_len <= Duration::Micros(0)) {
+    perf.mean_latency = config_.latency_model.params().base_latency;
+    perf.p95_latency = perf.mean_latency;
+    return perf;
+  }
+
+  // Active degradation mass over this step (time-overlap weighted). Windows
+  // are created at event times within the step; treat each as covering from
+  // its creation to `until`, clipped to the step.
+  double degraded = 0.0;
+  std::vector<std::pair<double, double>> mixture;  // (latency s, weight)
+  for (const auto& d : degradations_) {
+    if (d.until <= from) {
+      continue;
+    }
+    const double overlap =
+        std::min(1.0, (std::min(d.until, to) - from) / step_len);
+    const double w = d.traffic_fraction * overlap;
+    if (w <= 0.0) {
+      continue;
+    }
+    degraded += w;
+    mixture.push_back({d.served_latency.seconds(), w});
+  }
+  degradations_.erase(
+      std::remove_if(degradations_.begin(), degradations_.end(),
+                     [to](const Degradation& d) { return d.until <= to; }),
+      degradations_.end());
+  degraded = std::min(degraded, c.alpha_access_fraction);
+  perf.affected_fraction = degraded;
+
+  // Healthy in-memory traffic, spread across options by plan weight.
+  const double healthy_scale =
+      c.alpha_access_fraction > 0.0
+          ? std::max(0.0, c.alpha_access_fraction - degraded) /
+                c.alpha_access_fraction
+          : 0.0;
+  for (const auto& item : plan_.items) {
+    const double w = TrafficWeight(item) * healthy_scale;
+    if (w <= 0.0) {
+      continue;
+    }
+    // Count instances currently able to serve.
+    int running = 0;
+    for (InstanceId id : holdings_[item.option]) {
+      const Instance* inst = provider_->Get(id);
+      if (inst != nullptr && inst->state == InstanceState::kRunning) {
+        ++running;
+      }
+    }
+    const Duration miss_latency = config_.latency_model.params().base_latency +
+                                  config_.latency_model.params().miss_penalty;
+    if (running == 0) {
+      // Nothing to serve from: the whole share goes to the back-end.
+      mixture.push_back({miss_latency.seconds(), w});
+      perf.affected_fraction += w;
+      continue;
+    }
+    const double per_node = lambda_actual * w / static_cast<double>(running);
+    const NodeLatency nl = config_.latency_model.HitLatency(
+        per_node, (*options_)[item.option].type->capacity);
+    perf.saturated = perf.saturated || nl.saturated;
+    mixture.push_back({nl.mean.seconds(), w * 0.95});
+    mixture.push_back({nl.p95.seconds(), w * 0.05});
+  }
+
+  // Misses past alpha go to the back-end.
+  const double miss_w = std::max(0.0, 1.0 - c.alpha_access_fraction);
+  if (miss_w > 0.0) {
+    const Duration miss_latency = config_.latency_model.params().base_latency +
+                                  config_.latency_model.params().miss_penalty;
+    mixture.push_back({miss_latency.seconds(), miss_w});
+  }
+  // Writes pay the synchronous write-through to the back-end. The read-side
+  // mixture weights were built as fractions of the read stream; rescale and
+  // append the write mass.
+  const double write_w = std::max(0.0, 1.0 - c.read_fraction);
+  if (write_w > 0.0) {
+    for (auto& [lat, w] : mixture) {
+      w *= c.read_fraction;
+    }
+    const Duration write_latency = config_.latency_model.params().base_latency +
+                                   config_.latency_model.params().miss_penalty;
+    mixture.push_back({write_latency.seconds(), write_w});
+    perf.affected_fraction *= c.read_fraction;
+  }
+  perf.hit_fraction = std::max(
+      0.0, c.read_fraction * (1.0 - miss_w) - perf.affected_fraction);
+
+  // Collapse the mixture into mean and p95.
+  double total_w = 0.0;
+  double mean = 0.0;
+  for (const auto& [lat, w] : mixture) {
+    total_w += w;
+    mean += lat * w;
+  }
+  if (total_w <= 0.0) {
+    perf.mean_latency = config_.latency_model.params().base_latency;
+    perf.p95_latency = perf.mean_latency;
+    return perf;
+  }
+  mean /= total_w;
+  std::sort(mixture.begin(), mixture.end());
+  double acc = 0.0;
+  double p95 = mixture.back().first;
+  for (const auto& [lat, w] : mixture) {
+    acc += w;
+    // Strictly exceed the 0.95 mass so a component ending exactly at the
+    // boundary doesn't masquerade as the tail.
+    if (acc > 0.95 * total_w * (1.0 + 1e-12)) {
+      p95 = lat;
+      break;
+    }
+  }
+  perf.mean_latency = Duration::FromSecondsF(mean);
+  perf.p95_latency = Duration::FromSecondsF(p95);
+  return perf;
+}
+
+std::vector<int> Cluster::ExistingCounts() const {
+  std::vector<int> counts(options_->size(), 0);
+  for (size_t o = 0; o < holdings_.size(); ++o) {
+    for (InstanceId id : holdings_[o]) {
+      const Instance* inst = provider_->Get(id);
+      if (inst != nullptr && inst->alive()) {
+        ++counts[o];
+      }
+    }
+  }
+  return counts;
+}
+
+void Cluster::Shutdown() {
+  for (auto& held : holdings_) {
+    for (InstanceId id : held) {
+      provider_->Terminate(id);
+    }
+    held.clear();
+  }
+  for (InstanceId id : backups_) {
+    provider_->Terminate(id);
+  }
+  backups_.clear();
+  for (InstanceId id : replacements_) {
+    provider_->Terminate(id);
+  }
+  replacements_.clear();
+}
+
+}  // namespace spotcache

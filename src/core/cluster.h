@@ -1,0 +1,132 @@
+// Cluster actuation and slot-level performance accounting.
+//
+// Materializes each AllocationPlan into provider instances (launch / keep /
+// terminate per option), maintains the burstable backup fleet for hot data on
+// spot, reacts to revocation warnings by launching replacements, and converts
+// the cluster state within each sub-step into the analytic latency / affected-
+// traffic numbers the experiment harness records.
+//
+// Long-horizon experiments run at sub-step granularity (default 5 minutes);
+// the key-level recovery dynamics of Figure 11 live in recovery_sim.h.
+
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cloud/cloud_provider.h"
+#include "src/opt/procurement.h"
+#include "src/sim/latency_model.h"
+#include "src/workload/zipf.h"
+
+namespace spotcache {
+
+struct ClusterConfig {
+  /// Maintain a passive burstable backup of hot-on-spot content (Prop).
+  bool use_backup = false;
+  /// Burstable type used for backups; null selects t2.medium.
+  const InstanceTypeSpec* backup_type = nullptr;
+  LatencyModel latency_model;
+  /// Extra hop latency when a request is served by the backup during warm-up.
+  Duration backup_hop_latency = Duration::Micros(250);
+  /// Effective warm-from-back-end rate (Mbps): the back-end must not be
+  /// flattened by recovery traffic, so warm-up reads are throttled.
+  double backend_copy_mbps = 100.0;
+  /// Fraction of line rate a warm-up copy stream achieves.
+  double copy_efficiency = 0.7;
+  double ram_usable_fraction = 0.85;
+};
+
+/// Demand context attached to an applied plan.
+struct SlotContext {
+  double lambda = 0.0;          // planned arrival rate, ops/s
+  double working_set_gb = 0.0;  // M-hat
+  double hot_ws_fraction = 0.0;
+  double hot_access_fraction = 0.0;
+  double alpha_access_fraction = 1.0;
+  double alpha = 1.0;
+  /// GET share of the request stream; writes go through to the back-end
+  /// (paper: read-heavy focus, write-through semantics).
+  double read_fraction = 1.0;
+};
+
+class Cluster {
+ public:
+  Cluster(CloudProvider* provider, const std::vector<ProcurementOption>* options,
+          ClusterConfig config);
+
+  /// Reconciles holdings with `plan` at the provider's current time and
+  /// resizes the backup fleet. Returns how many spot requests were rejected
+  /// outright (bid below current price at request time).
+  struct ApplyResult {
+    int launched = 0;
+    int terminated = 0;
+    int bid_rejected = 0;
+    int backup_count = 0;
+  };
+  ApplyResult Apply(const AllocationPlan& plan, const SlotContext& context);
+
+  /// Advances the provider to `to`, processing ready/warning/revocation
+  /// events and updating degradation windows. Returns performance over the
+  /// elapsed interval under `lambda_actual`.
+  struct StepPerf {
+    double affected_fraction = 0.0;  // of requests, failure-degraded
+    Duration mean_latency;
+    Duration p95_latency;
+    double hit_fraction = 1.0;
+    int revocations = 0;
+    bool saturated = false;
+  };
+  StepPerf Step(SimTime to, double lambda_actual);
+
+  /// Alive instance count per option (the optimizer's N_t for next slot).
+  std::vector<int> ExistingCounts() const;
+
+  const AllocationPlan& plan() const { return plan_; }
+  const SlotContext& context() const { return context_; }
+  int backup_count() const { return static_cast<int>(backups_.size()); }
+  int total_revocations() const { return total_revocations_; }
+  int total_bid_rejections() const { return total_bid_rejections_; }
+
+  /// Terminates everything (end of experiment).
+  void Shutdown();
+
+  /// Instance ids held per option (parallel to the option vector).
+  const std::vector<std::vector<InstanceId>>& holdings() const {
+    return holdings_;
+  }
+  const std::vector<InstanceId>& backup_ids() const { return backups_; }
+
+ private:
+  struct Degradation {
+    SimTime until;
+    double traffic_fraction = 0.0;  // of all arrivals
+    Duration served_latency;        // latency those requests experience
+  };
+
+  const InstanceTypeSpec& BackupType() const;
+  double TrafficWeight(const AllocationItem& item) const;
+  void HandleWarning(const Instance& inst);
+  void HandleRevocation(const Instance& inst);
+  /// Copy rate (Mbps) available for warming from the backup fleet at `now`
+  /// over an estimated window; consumes backup network tokens.
+  double BackupCopyMbps(SimTime from, Duration window, double demand_mbps);
+
+  CloudProvider* provider_;
+  const std::vector<ProcurementOption>* options_;
+  ClusterConfig config_;
+
+  AllocationPlan plan_;
+  SlotContext context_;
+  std::vector<std::vector<InstanceId>> holdings_;  // per option
+  std::vector<InstanceId> backups_;
+  std::vector<InstanceId> replacements_;
+  std::unordered_map<InstanceId, InstanceId> replacement_for_;  // spot -> repl
+  std::vector<Degradation> degradations_;
+  int total_revocations_ = 0;
+  int total_bid_rejections_ = 0;
+  int step_revocations_ = 0;
+};
+
+}  // namespace spotcache

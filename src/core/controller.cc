@@ -1,0 +1,69 @@
+#include "src/core/controller.h"
+
+#include <algorithm>
+
+namespace spotcache {
+
+GlobalController::GlobalController(ProcurementOptimizer optimizer,
+                                   std::unique_ptr<SpotFeaturePredictor> predictor)
+    : optimizer_(std::move(optimizer)), spot_predictor_(std::move(predictor)) {}
+
+void GlobalController::ObserveSlot(double lambda, double working_set_gb) {
+  lambda_predictor_.Observe(lambda);
+  ws_predictor_.Observe(working_set_gb);
+}
+
+SlotInputs GlobalController::BuildInputs(SimTime now, double lambda, double ws_gb,
+                                         const ZipfPopularity& popularity,
+                                         const std::vector<int>& existing) const {
+  const auto& options = optimizer_.options();
+  SlotInputs in;
+  in.lambda_hat = lambda;
+  in.working_set_gb = ws_gb;
+
+  const double alpha = optimizer_.config().alpha;
+  const double coverage = optimizer_.config().hot_coverage;
+  // Hot set: smallest key-fraction covering `coverage` of accesses, relative
+  // to the in-memory portion. Uniform item sizes make key fraction == working
+  // set fraction. Highly skewed workloads can shrink the true hot set to a
+  // few kilobytes; pad it to 100 MB for placement purposes — harmless for
+  // cost, and it keeps the LP coefficients well conditioned.
+  in.hot_ws_fraction = std::min(popularity.KeyFractionForCoverage(coverage), alpha);
+  if (ws_gb > 0.0) {
+    in.hot_ws_fraction = std::min(
+        alpha, std::max(in.hot_ws_fraction, 0.1 / ws_gb));
+  }
+  in.hot_access_fraction = popularity.AccessFraction(in.hot_ws_fraction);
+  in.alpha_access_fraction = popularity.AccessFraction(alpha);
+
+  in.spot_predictions.resize(options.size());
+  in.available.assign(options.size(), false);
+  in.existing = existing;
+  in.existing.resize(options.size(), 0);
+
+  for (size_t o = 0; o < options.size(); ++o) {
+    const ProcurementOption& opt = options[o];
+    if (opt.is_on_demand()) {
+      in.available[o] = true;
+      continue;
+    }
+    if (spot_predictor_ == nullptr) {
+      continue;  // spot disabled for this approach
+    }
+    // A bid below the current price fails immediately: not available.
+    if (opt.market->trace.PriceAt(now) > opt.bid) {
+      continue;
+    }
+    in.spot_predictions[o] = spot_predictor_->Predict(opt.market->trace, now, opt.bid);
+    in.available[o] = in.spot_predictions[o].usable;
+  }
+  return in;
+}
+
+AllocationPlan GlobalController::Plan(SimTime now, double lambda, double ws_gb,
+                                      const ZipfPopularity& popularity,
+                                      const std::vector<int>& existing) const {
+  return optimizer_.Solve(BuildInputs(now, lambda, ws_gb, popularity, existing));
+}
+
+}  // namespace spotcache

@@ -1,0 +1,60 @@
+// The global controller (paper §4.2): each control slot it
+//   1. updates workload predictions (AR(2) over observed lambda and M),
+//   2. queries the configured spot feature predictor per (market, bid),
+//   3. solves the procurement optimization,
+// and additionally offers a reactive re-plan for mid-slot surprises (flash
+// crowds, revocations) — the hierarchical predictive+reactive split the paper
+// describes.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/opt/optimizer.h"
+#include "src/predict/spot_predictor.h"
+#include "src/predict/workload_predictor.h"
+#include "src/workload/zipf.h"
+
+namespace spotcache {
+
+class GlobalController {
+ public:
+  /// `predictor` may be null for approaches that never use spot (ODOnly).
+  GlobalController(ProcurementOptimizer optimizer,
+                   std::unique_ptr<SpotFeaturePredictor> predictor);
+
+  const ProcurementOptimizer& optimizer() const { return optimizer_; }
+  const std::vector<ProcurementOption>& options() const {
+    return optimizer_.options();
+  }
+
+  /// Feeds the previous slot's observed workload into the predictors.
+  void ObserveSlot(double lambda, double working_set_gb);
+
+  /// Predicted workload for the upcoming slot (persistence until enough
+  /// history accumulates).
+  double PredictLambda() const { return lambda_predictor_.Predict(); }
+  double PredictWorkingSetGb() const { return ws_predictor_.Predict(); }
+
+  /// Builds the optimizer inputs at `now` for the given popularity profile
+  /// and current holdings, then solves. `lambda` / `ws_gb` are the demand
+  /// values to plan for (predictions for the proactive plan, observed actuals
+  /// for a reactive re-plan).
+  AllocationPlan Plan(SimTime now, double lambda, double ws_gb,
+                      const ZipfPopularity& popularity,
+                      const std::vector<int>& existing) const;
+
+  /// Convenience: the slot inputs Plan() would use (exposed for tests).
+  SlotInputs BuildInputs(SimTime now, double lambda, double ws_gb,
+                         const ZipfPopularity& popularity,
+                         const std::vector<int>& existing) const;
+
+ private:
+  ProcurementOptimizer optimizer_;
+  std::unique_ptr<SpotFeaturePredictor> spot_predictor_;
+  Ar2Predictor lambda_predictor_;
+  Ar2Predictor ws_predictor_;
+};
+
+}  // namespace spotcache

@@ -1,0 +1,214 @@
+#include "src/core/system.h"
+
+#include <algorithm>
+
+#include "src/cloud/spot_price_model.h"
+
+namespace spotcache {
+
+SpotCacheSystem::SpotCacheSystem(const Config& config)
+    : config_(config),
+      catalog_(InstanceCatalog::Default()),
+      provider_(&catalog_,
+                TraitsOf(config.approach).uses_spot
+                    ? MakeEvaluationMarkets(catalog_, config.market_horizon,
+                                            config.seed)
+                    : std::vector<SpotMarket>{},
+                config.seed ^ 0xc10d),
+      popularity_(config.num_keys, config.zipf_theta) {
+  const ApproachTraits traits = TraitsOf(config.approach);
+  OptimizerConfig opt_config = config.optimizer;
+  opt_config.mixing = (traits.hot_cold_mixing || !traits.uses_spot)
+                          ? MixingPolicy::kMix
+                          : MixingPolicy::kSeparate;
+  std::vector<ProcurementOption> options =
+      BuildOptions(catalog_, provider_.markets(), config.bid_multipliers);
+  controller_ = std::make_unique<GlobalController>(
+      ProcurementOptimizer(std::move(options), config.cluster.latency_model,
+                           opt_config),
+      MakePredictor(config.approach));
+  ClusterConfig cluster_config = config.cluster;
+  cluster_config.use_backup = traits.passive_backup;
+  cluster_ = std::make_unique<Cluster>(&provider_, &controller_->options(),
+                                       cluster_config);
+}
+
+void SpotCacheSystem::AdvanceSlot(double observed_lambda,
+                                  double observed_working_set_gb) {
+  controller_->ObserveSlot(observed_lambda, observed_working_set_gb);
+  double lambda_hat = controller_->PredictLambda();
+  double ws_hat = controller_->PredictWorkingSetGb();
+  if (lambda_hat <= 0.0) {
+    lambda_hat = observed_lambda;
+  }
+  if (ws_hat <= 0.0) {
+    ws_hat = observed_working_set_gb;
+  }
+  last_lambda_ = lambda_hat;
+
+  AllocationPlan plan = controller_->Plan(provider_.now(), lambda_hat, ws_hat,
+                                          popularity_, cluster_->ExistingCounts());
+  if (!plan.feasible) {
+    SlotInputs inputs = controller_->BuildInputs(
+        provider_.now(), lambda_hat, ws_hat, popularity_,
+        cluster_->ExistingCounts());
+    for (size_t o = 0; o < controller_->options().size(); ++o) {
+      if (!controller_->options()[o].is_on_demand()) {
+        inputs.available[o] = false;
+      }
+    }
+    plan = controller_->optimizer().Solve(inputs);
+  }
+
+  const SlotInputs ctx = controller_->BuildInputs(provider_.now(), lambda_hat,
+                                                  ws_hat, popularity_,
+                                                  cluster_->ExistingCounts());
+  cluster_->Apply(plan, {lambda_hat, ws_hat, ctx.hot_ws_fraction,
+                         ctx.hot_access_fraction, ctx.alpha_access_fraction,
+                         controller_->optimizer().config().alpha});
+  cluster_->Step(provider_.now() + controller_->optimizer().config().slot,
+                 lambda_hat);
+  SyncDataPlane();
+}
+
+void SpotCacheSystem::SyncDataPlane() {
+  const auto& options = controller_->options();
+  const auto& holdings = cluster_->holdings();
+  const AllocationPlan& plan = cluster_->plan();
+
+  // Drop nodes for instances that died.
+  for (auto it = nodes_.begin(); it != nodes_.end();) {
+    const Instance* inst = provider_.Get(it->first);
+    if (inst == nullptr || !inst->alive()) {
+      router_.RemoveNode(it->first);
+      it = nodes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Upsert a node and weights for every held instance.
+  for (size_t o = 0; o < holdings.size(); ++o) {
+    const AllocationItem* item = plan.ItemFor(o);
+    const double n = item != nullptr && item->count > 0
+                         ? static_cast<double>(item->count)
+                         : 1.0;
+    const double hot_w = item != nullptr ? item->x / n : 0.0;
+    const double cold_w = item != nullptr ? item->y / n : 0.0;
+    for (InstanceId id : holdings[o]) {
+      const Instance* inst = provider_.Get(id);
+      if (inst == nullptr || !inst->alive()) {
+        continue;
+      }
+      if (nodes_.find(id) == nodes_.end()) {
+        nodes_.emplace(id, std::make_unique<CacheNode>(
+                               id, inst->type->capacity.ram_gb *
+                                       config_.cluster.ram_usable_fraction,
+                               options[o].label));
+      }
+      router_.UpsertNode(id, hot_w, cold_w);
+    }
+  }
+
+  // Map each spot-held node to a backup (round-robin over the backup fleet).
+  const auto& backup_ids = cluster_->backup_ids();
+  size_t rr = 0;
+  for (size_t o = 0; o < holdings.size(); ++o) {
+    if (options[o].is_on_demand()) {
+      continue;
+    }
+    for (InstanceId id : holdings[o]) {
+      if (backup_ids.empty()) {
+        router_.ClearBackup(id);
+      } else {
+        router_.SetBackup(id, backup_ids[rr++ % backup_ids.size()]);
+      }
+    }
+  }
+}
+
+CacheNode* SpotCacheSystem::NodeFor(InstanceId id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+bool SpotCacheSystem::IsSpotInstance(InstanceId id) const {
+  const Instance* inst = provider_.Get(id);
+  return inst != nullptr && inst->purchase == PurchaseKind::kSpot;
+}
+
+CacheResponse SpotCacheSystem::Get(KeyId key) {
+  ++gets_;
+  partitioner_.Observe(key);
+  const bool hot = partitioner_.IsHot(key);
+  CacheResponse resp;
+  const auto target = router_.Route(key, hot);
+  const LatencyModel& model = config_.cluster.latency_model;
+  if (!target) {
+    // No node can serve this pool: straight to the back-end.
+    ++misses_;
+    resp.hit = false;
+    resp.served_by = ServedBy::kBackend;
+    resp.latency = backend_.Read(last_lambda_) + model.params().base_latency;
+    return resp;
+  }
+  CacheNode* node = NodeFor(*target);
+  if (node != nullptr && node->Get(key)) {
+    ++hits_;
+    resp.hit = true;
+    resp.served_by = ServedBy::kCacheNode;
+    const double share = router_.HotWeightOf(*target) + router_.ColdWeightOf(*target);
+    const Instance* inst = provider_.Get(*target);
+    resp.latency =
+        model.HitLatency(last_lambda_ * share, inst->type->capacity).mean;
+    return resp;
+  }
+  // Miss: read through the back-end and fill the node.
+  ++misses_;
+  resp.hit = false;
+  resp.served_by = ServedBy::kBackend;
+  resp.latency = backend_.Read(last_lambda_) + model.params().base_latency;
+  if (node != nullptr) {
+    node->Set(key, config_.value_bytes);
+  }
+  return resp;
+}
+
+CacheResponse SpotCacheSystem::Put(KeyId key, uint32_t value_bytes) {
+  ++sets_;
+  partitioner_.Observe(key);
+  const bool hot = partitioner_.IsHot(key);
+  CacheResponse resp;
+  resp.served_by = ServedBy::kCacheNode;
+  const auto target = router_.Route(key, hot);
+  if (target) {
+    CacheNode* node = NodeFor(*target);
+    if (node != nullptr) {
+      node->Set(key, value_bytes);
+    }
+    // Hot writes on spot primaries are also mirrored to the passive backup;
+    // the mirror is asynchronous (the paper sends updates to backup nodes in
+    // the background) so it adds no client-visible latency here, and the
+    // backup fleet's capacity accounting lives in the cluster layer.
+  }
+  // Write-through.
+  resp.latency = backend_.Write(last_lambda_) +
+                 config_.cluster.latency_model.params().base_latency;
+  return resp;
+}
+
+SpotCacheSystem::Stats SpotCacheSystem::GetStats() const {
+  Stats s;
+  s.gets = gets_;
+  s.sets = sets_;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.hit_rate = gets_ > 0 ? static_cast<double>(hits_) / gets_ : 0.0;
+  s.nodes = static_cast<int>(nodes_.size());
+  s.backups = cluster_->backup_count();
+  s.revocations = cluster_->total_revocations();
+  s.total_cost = provider_.ledger().Total();
+  return s;
+}
+
+}  // namespace spotcache

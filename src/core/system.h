@@ -1,0 +1,106 @@
+// SpotCacheSystem: the library's top-level facade.
+//
+// Wires the whole paper system together — simulated cloud, global controller,
+// cluster actuation, mcrouter-style router, online key partitioner, real LRU
+// cache nodes, and the persistent back-end — behind a small API:
+//
+//   SpotCacheSystem system(config);
+//   system.AdvanceSlot(observed_rate, observed_working_set_gb);  // control
+//   CacheResponse r = system.Get(key);                           // data path
+//
+// The control plane runs at slot (hour) granularity; the data plane executes
+// individual requests against real cache nodes, with latencies taken from the
+// queueing model. Examples and integration tests build on this class.
+
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/cache/backend_store.h"
+#include "src/cache/cache_node.h"
+#include "src/cloud/cloud_provider.h"
+#include "src/core/cluster.h"
+#include "src/core/controller.h"
+#include "src/core/experiment.h"
+#include "src/routing/key_partitioner.h"
+#include "src/routing/router.h"
+#include "src/workload/zipf.h"
+
+namespace spotcache {
+
+class SpotCacheSystem {
+ public:
+  struct Config {
+    Approach approach = Approach::kProp;
+    /// Key population and popularity used for the analytic hot fraction.
+    uint64_t num_keys = 1'000'000;
+    double zipf_theta = 1.0;
+    uint32_t value_bytes = 4096;
+    OptimizerConfig optimizer;
+    ClusterConfig cluster;
+    std::vector<double> bid_multipliers = {1.0, 5.0};
+    uint64_t seed = 42;
+    /// Length of the market traces to pre-generate.
+    Duration market_horizon = Duration::Days(30);
+  };
+
+  explicit SpotCacheSystem(const Config& config);
+
+  /// Control-plane tick: observes the past slot's demand, re-plans and
+  /// actuates, then advances the clock one slot, processing cloud events.
+  void AdvanceSlot(double observed_lambda, double observed_working_set_gb);
+
+  /// Data-plane GET. Misses are served by the back-end and filled.
+  CacheResponse Get(KeyId key);
+  /// Data-plane SET (write-through to the back-end; mirrored to the backup
+  /// when the primary is a spot node and a backup exists).
+  CacheResponse Put(KeyId key, uint32_t value_bytes);
+
+  struct Stats {
+    uint64_t gets = 0;
+    uint64_t sets = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    double hit_rate = 0.0;
+    int nodes = 0;
+    int backups = 0;
+    int revocations = 0;
+    double total_cost = 0.0;
+  };
+  Stats GetStats() const;
+
+  SimTime now() const { return provider_.now(); }
+  const std::vector<ProcurementOption>& options() const {
+    return controller_->options();
+  }
+  const AllocationPlan& current_plan() const { return cluster_->plan(); }
+  const CloudProvider& provider() const { return provider_; }
+  const Router& router() const { return router_; }
+  const KeyPartitioner& partitioner() const { return partitioner_; }
+
+ private:
+  /// Rebuilds router weights and cache-node set from cluster holdings.
+  void SyncDataPlane();
+  CacheNode* NodeFor(InstanceId id);
+  /// True if the instance backing `id` was bought on the spot market.
+  bool IsSpotInstance(InstanceId id) const;
+
+  Config config_;
+  const InstanceCatalog catalog_;
+  CloudProvider provider_;
+  std::unique_ptr<GlobalController> controller_;
+  std::unique_ptr<Cluster> cluster_;
+  Router router_;
+  KeyPartitioner partitioner_;
+  BackendStore backend_;
+  ZipfPopularity popularity_;
+  std::unordered_map<InstanceId, std::unique_ptr<CacheNode>> nodes_;
+  double last_lambda_ = 0.0;
+  uint64_t gets_ = 0;
+  uint64_t sets_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace spotcache

@@ -1,0 +1,253 @@
+#include "src/opt/multiclass.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/opt/simplex.h"
+
+namespace spotcache {
+
+std::vector<PopularityClass> MakePopularityClasses(
+    const ZipfPopularity& popularity, const std::vector<double>& coverage_cuts,
+    double alpha, double hot_penalty, double cold_penalty,
+    double min_band_ws_fraction) {
+  std::vector<PopularityClass> classes;
+  const double alpha_access = popularity.AccessFraction(alpha);
+
+  double prev_ws = 0.0;
+  double prev_access = 0.0;
+  for (double cut : coverage_cuts) {
+    const double ws = std::min(
+        alpha, std::max(popularity.KeyFractionForCoverage(cut),
+                        prev_ws + min_band_ws_fraction));
+    const double access = popularity.AccessFraction(ws);
+    PopularityClass band;
+    band.ws_fraction = ws - prev_ws;
+    band.access_fraction = std::max(0.0, access - prev_access);
+    classes.push_back(band);
+    prev_ws = ws;
+    prev_access = access;
+    if (ws >= alpha) {
+      break;
+    }
+  }
+  // The residual cold band up to alpha.
+  if (prev_ws < alpha) {
+    PopularityClass band;
+    band.ws_fraction = alpha - prev_ws;
+    band.access_fraction = std::max(0.0, alpha_access - prev_access);
+    classes.push_back(band);
+  }
+
+  // Penalties: scale from hot to cold by each band's traffic density relative
+  // to the hottest band's (denser bands hurt more when lost).
+  double max_density = 0.0;
+  for (const auto& band : classes) {
+    if (band.ws_fraction > 0.0) {
+      max_density = std::max(max_density, band.access_fraction / band.ws_fraction);
+    }
+  }
+  for (auto& band : classes) {
+    const double density =
+        band.ws_fraction > 0.0 ? band.access_fraction / band.ws_fraction : 0.0;
+    const double rel = max_density > 0.0 ? density / max_density : 0.0;
+    band.loss_penalty = cold_penalty + (hot_penalty - cold_penalty) * rel;
+  }
+  return classes;
+}
+
+int MultiClassPlan::TotalInstances() const {
+  int n = 0;
+  for (const auto& item : items) {
+    n += item.count;
+  }
+  return n;
+}
+
+double MultiClassPlan::OnDemandDataFraction(
+    const std::vector<ProcurementOption>& options) const {
+  double od = 0.0;
+  double total = 0.0;
+  for (const auto& item : items) {
+    double data = 0.0;
+    for (double f : item.class_fractions) {
+      data += f;
+    }
+    total += data;
+    if (options[item.option].is_on_demand()) {
+      od += data;
+    }
+  }
+  return total > 0.0 ? od / total : 0.0;
+}
+
+AllocationPlan MultiClassPlan::Collapse(size_t hot_classes) const {
+  AllocationPlan plan;
+  plan.feasible = feasible;
+  plan.lp_objective = lp_objective;
+  for (const auto& item : items) {
+    AllocationItem out;
+    out.option = item.option;
+    out.count = item.count;
+    for (size_t c = 0; c < item.class_fractions.size(); ++c) {
+      (c < hot_classes ? out.x : out.y) += item.class_fractions[c];
+    }
+    plan.items.push_back(out);
+  }
+  return plan;
+}
+
+MultiClassOptimizer::MultiClassOptimizer(std::vector<ProcurementOption> options,
+                                         LatencyModel latency_model,
+                                         Config config)
+    : options_(std::move(options)),
+      latency_model_(latency_model),
+      config_(config) {}
+
+MultiClassPlan MultiClassOptimizer::Solve(const MultiClassInputs& inputs) const {
+  MultiClassPlan plan;
+  const size_t n_opts = options_.size();
+  const size_t k_classes = inputs.classes.size();
+  if (inputs.spot_predictions.size() != n_opts ||
+      inputs.existing.size() != n_opts || inputs.available.size() != n_opts ||
+      k_classes == 0) {
+    return plan;
+  }
+  const double m_hat = inputs.working_set_gb;
+  double total_ws = 0.0;
+  double total_access = 0.0;
+  for (const auto& band : inputs.classes) {
+    total_ws += band.ws_fraction;
+    total_access += band.access_fraction;
+  }
+  if (m_hat <= 0.0 || total_ws <= 0.0) {
+    plan.feasible = true;
+    return plan;
+  }
+
+  // Traffic density per class, ops/s per GB.
+  std::vector<double> density(k_classes, 0.0);
+  for (size_t c = 0; c < k_classes; ++c) {
+    const double gb = inputs.classes[c].ws_fraction * m_hat;
+    if (gb > 0.0) {
+      density[c] = inputs.lambda_hat * inputs.classes[c].access_fraction / gb;
+    }
+  }
+
+  // Usable options with coefficients.
+  struct Usable {
+    size_t opt;
+    double price;
+    double ram_gb;
+    double max_rate;
+    double penalty_scale;  // slot_hours / predicted-lifetime-hours (0 for OD)
+    bool on_demand;
+  };
+  std::vector<Usable> usable;
+  const double slot_hours = config_.slot.hours();
+  const Duration l_hit = latency_model_.HitBoundFor(
+      config_.mean_latency_target, std::min(1.0, total_access));
+  for (size_t o = 0; o < n_opts; ++o) {
+    if (!inputs.available[o]) {
+      continue;
+    }
+    Usable u;
+    u.opt = o;
+    u.on_demand = options_[o].is_on_demand();
+    u.ram_gb = options_[o].type->capacity.ram_gb * config_.ram_usable_fraction;
+    u.max_rate = latency_model_.MaxRate(options_[o].type->capacity, l_hit);
+    if (u.max_rate <= 0.0 || u.ram_gb <= 0.0) {
+      continue;
+    }
+    if (u.on_demand) {
+      u.price = options_[o].type->od_price_per_hour;
+      u.penalty_scale = 0.0;
+    } else {
+      const SpotPrediction& pred = inputs.spot_predictions[o];
+      if (!pred.usable ||
+          pred.lifetime.hours() < config_.min_spot_lifetime_hours) {
+        continue;
+      }
+      u.price = pred.avg_price;
+      u.penalty_scale = slot_hours / std::max(pred.lifetime.hours(), 1e-3);
+    }
+    usable.push_back(u);
+  }
+  if (usable.empty()) {
+    return plan;
+  }
+
+  // Variables per usable option: k class-GB vars + n + dealloc slack.
+  const size_t stride = k_classes + 2;
+  LinearProgram lp(usable.size() * stride);
+  auto gvar = [stride](size_t i, size_t c) { return i * stride + c; };
+  auto nvar = [stride, k_classes](size_t i) { return i * stride + k_classes; };
+  auto dvar = [stride, k_classes](size_t i) {
+    return i * stride + k_classes + 1;
+  };
+
+  std::vector<std::vector<std::pair<size_t, double>>> class_sums(k_classes);
+  std::vector<std::pair<size_t, double>> od_data;
+  for (size_t i = 0; i < usable.size(); ++i) {
+    const Usable& u = usable[i];
+    for (size_t c = 0; c < k_classes; ++c) {
+      lp.SetObjective(gvar(i, c),
+                      inputs.classes[c].loss_penalty * u.penalty_scale);
+      class_sums[c].push_back({gvar(i, c), 1.0});
+      if (u.on_demand) {
+        od_data.push_back({gvar(i, c), 1.0});
+      }
+    }
+    lp.SetObjective(nvar(i), u.price * slot_hours);
+    lp.SetObjective(dvar(i), config_.eta);
+
+    // Capacity.
+    std::vector<std::pair<size_t, double>> cap{{nvar(i), u.ram_gb}};
+    for (size_t c = 0; c < k_classes; ++c) {
+      cap.push_back({gvar(i, c), -1.0});
+    }
+    lp.AddGreaterEqual(cap, 0.0);
+    // Throughput.
+    std::vector<std::pair<size_t, double>> thr{{nvar(i), u.max_rate}};
+    for (size_t c = 0; c < k_classes; ++c) {
+      thr.push_back({gvar(i, c), -density[c]});
+    }
+    lp.AddGreaterEqual(thr, 0.0);
+    // Deallocation damping.
+    lp.AddGreaterEqual({{nvar(i), 1.0}, {dvar(i), 1.0}},
+                       static_cast<double>(inputs.existing[u.opt]));
+  }
+  for (size_t c = 0; c < k_classes; ++c) {
+    lp.AddEquality(class_sums[c], inputs.classes[c].ws_fraction * m_hat);
+  }
+  if (config_.zeta > 0.0) {
+    lp.AddGreaterEqual(od_data, config_.zeta * total_ws * m_hat);
+  }
+
+  const LinearProgram::Solution sol = lp.Solve();
+  if (!sol.feasible) {
+    return plan;
+  }
+  plan.feasible = true;
+  plan.lp_objective = sol.objective;
+  for (size_t i = 0; i < usable.size(); ++i) {
+    MultiClassItem item;
+    item.option = usable[i].opt;
+    item.count = static_cast<int>(std::ceil(sol.x[nvar(i)] - 1e-6));
+    item.class_fractions.resize(k_classes, 0.0);
+    double data = 0.0;
+    for (size_t c = 0; c < k_classes; ++c) {
+      item.class_fractions[c] = sol.x[gvar(i, c)] / m_hat;
+      data += item.class_fractions[c];
+    }
+    if (item.count > 0 || data > 1e-12) {
+      if (item.count == 0) {
+        item.count = 1;
+      }
+      plan.items.push_back(std::move(item));
+    }
+  }
+  return plan;
+}
+
+}  // namespace spotcache

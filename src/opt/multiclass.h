@@ -1,0 +1,103 @@
+// Multi-level popularity placement — the paper's footnote-3 extension.
+//
+// The base optimizer splits the working set into two classes (hot / cold).
+// This generalizes to K popularity classes, each a contiguous band of the
+// popularity-ranked key space with its own traffic density and bid-failure
+// penalty: class 1 might cover accesses up to 60% ("scorching"), class 2 to
+// 90% ("warm"), class 3 the remainder ("cold"). Finer classes let the LP
+// match each band's CPU-per-GB profile to the instance mix more precisely and
+// pay replication/penalty costs only where they matter.
+//
+// The K=2 instantiation with a 90% cut reproduces the base optimizer's
+// problem (tested in test_multiclass.cc); bench_ablation_multiclass measures
+// what the extra resolution buys.
+
+#pragma once
+
+#include <vector>
+
+#include "src/opt/procurement.h"
+#include "src/sim/latency_model.h"
+#include "src/predict/spot_predictor.h"
+#include "src/util/time.h"
+#include "src/workload/zipf.h"
+
+namespace spotcache {
+
+/// One popularity band (classes are ordered hottest first; fractions are of
+/// the full working set / access stream and sum to alpha / F(alpha)).
+struct PopularityClass {
+  double ws_fraction = 0.0;      // share of the working set in this band
+  double access_fraction = 0.0;  // share of all accesses hitting this band
+  /// Bid-failure penalty coefficient, $ per GB-hour over predicted lifetime
+  /// (beta_1-like for hot bands, beta_2-like for cold ones).
+  double loss_penalty = 0.0;
+};
+
+/// Cuts the key space at the given access-coverage levels (ascending, e.g.
+/// {0.6, 0.9} -> three classes). Penalties interpolate from `hot_penalty`
+/// for the first class down to `cold_penalty` for the last, proportional to
+/// each class's access share. A minimum band size of `min_band_ws_fraction`
+/// keeps LP coefficients conditioned.
+std::vector<PopularityClass> MakePopularityClasses(
+    const ZipfPopularity& popularity, const std::vector<double>& coverage_cuts,
+    double alpha, double hot_penalty, double cold_penalty,
+    double min_band_ws_fraction = 1e-4);
+
+struct MultiClassInputs {
+  double lambda_hat = 0.0;
+  double working_set_gb = 0.0;
+  std::vector<PopularityClass> classes;
+  std::vector<SpotPrediction> spot_predictions;  // parallel to options
+  std::vector<int> existing;
+  std::vector<bool> available;
+};
+
+/// Allocation with per-class data fractions (parallel to the class vector).
+struct MultiClassItem {
+  size_t option = 0;
+  int count = 0;
+  std::vector<double> class_fractions;  // of the working set, per class
+};
+
+struct MultiClassPlan {
+  bool feasible = false;
+  std::vector<MultiClassItem> items;
+  double lp_objective = 0.0;
+
+  int TotalInstances() const;
+  /// Total data fraction placed on on-demand options.
+  double OnDemandDataFraction(const std::vector<ProcurementOption>& options) const;
+  /// Collapses classes {0..k-1 hottest} vs the rest into an AllocationPlan
+  /// (x = first `hot_classes` bands, y = the rest) for reuse of the cluster
+  /// actuation path.
+  AllocationPlan Collapse(size_t hot_classes) const;
+};
+
+class MultiClassOptimizer {
+ public:
+  struct Config {
+    double alpha = 1.0;
+    double zeta = 0.10;
+    double eta = 0.01;
+    Duration slot = Duration::Hours(1);
+    Duration mean_latency_target = Duration::Micros(800);
+    double min_spot_lifetime_hours = 1.0;
+    double ram_usable_fraction = 0.85;
+  };
+
+  MultiClassOptimizer(std::vector<ProcurementOption> options,
+                      LatencyModel latency_model, Config config);
+
+  const std::vector<ProcurementOption>& options() const { return options_; }
+  const Config& config() const { return config_; }
+
+  MultiClassPlan Solve(const MultiClassInputs& inputs) const;
+
+ private:
+  std::vector<ProcurementOption> options_;
+  LatencyModel latency_model_;
+  Config config_;
+};
+
+}  // namespace spotcache

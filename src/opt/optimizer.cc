@@ -1,0 +1,176 @@
+#include "src/opt/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/opt/simplex.h"
+
+namespace spotcache {
+
+ProcurementOptimizer::ProcurementOptimizer(std::vector<ProcurementOption> options,
+                                           LatencyModel latency_model,
+                                           OptimizerConfig config)
+    : options_(std::move(options)),
+      latency_model_(latency_model),
+      config_(config) {}
+
+double ProcurementOptimizer::MaxRatePerInstance(size_t option,
+                                                double alpha_access_fraction) const {
+  const Duration l_hit = latency_model_.HitBoundFor(config_.mean_latency_target,
+                                                    alpha_access_fraction);
+  return latency_model_.MaxRate(options_[option].type->capacity, l_hit);
+}
+
+double ProcurementOptimizer::UsableRamGb(size_t option) const {
+  return options_[option].type->capacity.ram_gb * config_.ram_usable_fraction;
+}
+
+AllocationPlan ProcurementOptimizer::Solve(const SlotInputs& inputs) const {
+  AllocationPlan plan;
+  const size_t n_opts = options_.size();
+  if (inputs.spot_predictions.size() != n_opts ||
+      inputs.existing.size() != n_opts || inputs.available.size() != n_opts) {
+    return plan;
+  }
+
+  const double m_hat = inputs.working_set_gb;
+  const double hot_gb = inputs.hot_ws_fraction * m_hat;
+  const double cold_gb =
+      std::max(0.0, (config_.alpha - inputs.hot_ws_fraction)) * m_hat;
+  if (m_hat <= 0.0 || (hot_gb + cold_gb) <= 0.0) {
+    plan.feasible = true;  // nothing to place
+    return plan;
+  }
+
+  // Traffic density (ops/s per GB) of each data class.
+  const double hot_traffic = inputs.lambda_hat * inputs.hot_access_fraction;
+  const double cold_traffic =
+      inputs.lambda_hat *
+      std::max(0.0, inputs.alpha_access_fraction - inputs.hot_access_fraction);
+  const double rate_hot = hot_gb > 0.0 ? hot_traffic / hot_gb : 0.0;
+  const double rate_cold = cold_gb > 0.0 ? cold_traffic / cold_gb : 0.0;
+
+  // Select usable options and precompute their LP coefficients.
+  struct Usable {
+    size_t opt;
+    double price;        // $/instance-hour expected this slot
+    double ram_gb;       // usable cache capacity
+    double max_rate;     // lambda^{sb}
+    double hot_penalty;  // $/GB for the slot
+    double cold_penalty;
+    bool on_demand;
+  };
+  std::vector<Usable> usable;
+  const double slot_hours = config_.slot.hours();
+  bool any_spot = false;
+  for (size_t o = 0; o < n_opts; ++o) {
+    if (!inputs.available[o]) {
+      continue;
+    }
+    Usable u;
+    u.opt = o;
+    u.on_demand = options_[o].is_on_demand();
+    u.ram_gb = UsableRamGb(o);
+    u.max_rate = MaxRatePerInstance(o, inputs.alpha_access_fraction);
+    if (u.max_rate <= 0.0 || u.ram_gb <= 0.0) {
+      continue;
+    }
+    if (u.on_demand) {
+      u.price = options_[o].type->od_price_per_hour;
+      u.hot_penalty = 0.0;
+      u.cold_penalty = 0.0;
+    } else {
+      const SpotPrediction& pred = inputs.spot_predictions[o];
+      if (!pred.usable ||
+          pred.lifetime.hours() < config_.min_spot_lifetime_hours) {
+        continue;
+      }
+      const double life_h = std::max(pred.lifetime.hours(), 1e-3);
+      u.price = pred.avg_price;
+      u.hot_penalty = config_.beta1 * slot_hours / life_h;
+      u.cold_penalty = config_.beta2 * slot_hours / life_h;
+      any_spot = true;
+    }
+    usable.push_back(u);
+  }
+  if (usable.empty()) {
+    return plan;
+  }
+
+  const bool separate = config_.mixing == MixingPolicy::kSeparate;
+
+  // Variables per usable option: [g_hot (GB), g_cold (GB), n (instances),
+  // d (deallocation slack, instances)].
+  const size_t k = usable.size();
+  LinearProgram lp(4 * k);
+  auto gh = [](size_t i) { return 4 * i + 0; };
+  auto gc = [](size_t i) { return 4 * i + 1; };
+  auto nn = [](size_t i) { return 4 * i + 2; };
+  auto dd = [](size_t i) { return 4 * i + 3; };
+
+  std::vector<std::pair<size_t, double>> hot_sum;
+  std::vector<std::pair<size_t, double>> cold_sum;
+  std::vector<std::pair<size_t, double>> od_data;
+  for (size_t i = 0; i < k; ++i) {
+    const Usable& u = usable[i];
+    lp.SetObjective(gh(i), u.hot_penalty);
+    lp.SetObjective(gc(i), u.cold_penalty);
+    lp.SetObjective(nn(i), u.price * slot_hours);
+    lp.SetObjective(dd(i), config_.eta);
+
+    hot_sum.push_back({gh(i), 1.0});
+    cold_sum.push_back({gc(i), 1.0});
+    if (u.on_demand) {
+      od_data.push_back({gh(i), 1.0});
+      od_data.push_back({gc(i), 1.0});
+    }
+
+    // Capacity: ram*n - g_h - g_c >= 0.
+    lp.AddGreaterEqual({{nn(i), u.ram_gb}, {gh(i), -1.0}, {gc(i), -1.0}}, 0.0);
+    // Throughput: lam*n - r_h*g_h - r_c*g_c >= 0.
+    lp.AddGreaterEqual(
+        {{nn(i), u.max_rate}, {gh(i), -rate_hot}, {gc(i), -rate_cold}}, 0.0);
+    // Deallocation slack: n + d >= existing.
+    lp.AddGreaterEqual({{nn(i), 1.0}, {dd(i), 1.0}},
+                       static_cast<double>(inputs.existing[u.opt]));
+
+    if (separate) {
+      if (!u.on_demand) {
+        lp.AddEquality({{gh(i), 1.0}}, 0.0);  // hot never on spot
+      } else if (any_spot) {
+        lp.AddEquality({{gc(i), 1.0}}, 0.0);  // cold never on OD when spot exists
+      }
+    }
+  }
+
+  lp.AddEquality(hot_sum, hot_gb);
+  lp.AddEquality(cold_sum, cold_gb);
+  if (!separate && config_.zeta > 0.0) {
+    lp.AddGreaterEqual(od_data, config_.zeta * (hot_gb + cold_gb));
+  }
+
+  const LinearProgram::Solution sol = lp.Solve();
+  if (!sol.feasible) {
+    return plan;
+  }
+
+  plan.feasible = true;
+  plan.lp_objective = sol.objective;
+  for (size_t i = 0; i < k; ++i) {
+    AllocationItem item;
+    item.option = usable[i].opt;
+    item.count = static_cast<int>(std::ceil(sol.x[nn(i)] - 1e-6));
+    item.x = sol.x[gh(i)] / m_hat;
+    item.y = sol.x[gc(i)] / m_hat;
+    if (item.count > 0 || item.x > 1e-12 || item.y > 1e-12) {
+      // Data with no instance (LP degeneracies) gets one instance to live on.
+      if (item.count == 0) {
+        item.count = 1;
+      }
+      plan.items.push_back(item);
+    }
+  }
+  return plan;
+}
+
+}  // namespace spotcache

@@ -1,0 +1,97 @@
+// The per-slot procurement optimizer (paper §4.1).
+//
+// Minimizes   sum_o [ price_o * N_o * slot
+//                     + eta * max(0, existing_o - N_o)
+//                     + slot * (beta1 * x_o + beta2 * y_o) * M / L_o ]
+// subject to  sum x_o = H,  sum y_o = alpha - H          (placement, eq. 1)
+//             N_o * ram_o   >= (x_o + y_o) * M            (capacity)
+//             N_o * lam_o   >= traffic share of (x_o, y_o) (throughput, eq. 2)
+//             sum_{o in OD} (x_o + y_o) >= zeta * alpha    (availability)
+//
+// The integrality of N is relaxed to an LP (see simplex.h) and the result is
+// rounded up — the problem is small enough that ceil-rounding loses only
+// fractional-instance slack. The Mixing knob reproduces the OD+Spot_Sep
+// baseline: hot pinned to on-demand, cold pinned to spot (when any is
+// usable), with the availability floor disabled since separation itself is
+// the availability story.
+
+#pragma once
+
+#include <vector>
+
+#include "src/opt/procurement.h"
+#include "src/predict/spot_predictor.h"
+#include "src/sim/latency_model.h"
+#include "src/util/time.h"
+
+namespace spotcache {
+
+enum class MixingPolicy {
+  kMix,       // the paper's hot-cold mixing
+  kSeparate,  // hot on OD only, cold on spot only (OD+Spot_Sep baseline)
+};
+
+struct OptimizerConfig {
+  /// Fraction of the working set that must be in memory (1.0 = full store).
+  double alpha = 1.0;
+  /// Access coverage defining "hot" (footnote 3: 90%).
+  double hot_coverage = 0.90;
+  /// Minimum working-set fraction on on-demand instances (availability).
+  double zeta = 0.10;
+  /// Bid-failure penalty coefficients, $ per GB-hour over predicted lifetime.
+  double beta1 = 0.5;   // hot data
+  double beta2 = 0.02;  // cold data
+  /// Deallocation damping, $ per instance removed. Must stay below typical
+  /// spot hourly prices or the myopic slot problem never scales in (keeping
+  /// always looks cheaper than one deallocation hit).
+  double eta = 0.01;
+  Duration slot = Duration::Hours(1);
+  Duration mean_latency_target = Duration::Micros(800);
+  /// Spot options predicted to live less than this are excluded outright.
+  double min_spot_lifetime_hours = 1.0;
+  MixingPolicy mixing = MixingPolicy::kMix;
+  /// Fraction of instance RAM usable for cache data (memcached overhead).
+  double ram_usable_fraction = 0.85;
+};
+
+/// Per-slot inputs (predictions + current state), parallel to the option set.
+struct SlotInputs {
+  double lambda_hat = 0.0;       // predicted arrivals, ops/s
+  double working_set_gb = 0.0;   // predicted M-hat
+  double hot_ws_fraction = 0.0;  // H: hot share of the working set
+  double hot_access_fraction = 0.0;    // F(H)
+  double alpha_access_fraction = 1.0;  // F(alpha)
+  /// Spot feature predictions; entries for on-demand options are ignored.
+  std::vector<SpotPrediction> spot_predictions;
+  /// Instances currently held per option (N_t).
+  std::vector<int> existing;
+  /// Whether the option may be used this slot (e.g. current price <= bid).
+  std::vector<bool> available;
+};
+
+class ProcurementOptimizer {
+ public:
+  ProcurementOptimizer(std::vector<ProcurementOption> options,
+                       LatencyModel latency_model, OptimizerConfig config);
+
+  const std::vector<ProcurementOption>& options() const { return options_; }
+  const OptimizerConfig& config() const { return config_; }
+  const LatencyModel& latency_model() const { return latency_model_; }
+
+  /// Solves the slot problem. Infeasible inputs yield plan.feasible == false.
+  AllocationPlan Solve(const SlotInputs& inputs) const;
+
+  /// lambda^{sb}: max per-instance rate under the hit-latency bound implied
+  /// by the mean target and F(alpha).
+  double MaxRatePerInstance(size_t option, double alpha_access_fraction) const;
+
+  /// Usable cache GB per instance of an option.
+  double UsableRamGb(size_t option) const;
+
+ private:
+  std::vector<ProcurementOption> options_;
+  LatencyModel latency_model_;
+  OptimizerConfig config_;
+};
+
+}  // namespace spotcache

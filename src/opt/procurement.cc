@@ -1,0 +1,70 @@
+#include "src/opt/procurement.h"
+
+#include <cstdio>
+
+namespace spotcache {
+
+std::vector<ProcurementOption> BuildOptions(
+    const InstanceCatalog& catalog, const std::vector<SpotMarket>& markets,
+    const std::vector<double>& bid_multipliers) {
+  std::vector<ProcurementOption> options;
+  for (const auto* type : catalog.OnDemandCandidates()) {
+    ProcurementOption o;
+    o.kind = ProcurementOption::Kind::kOnDemand;
+    o.type = type;
+    o.label = "od:" + type->name;
+    options.push_back(std::move(o));
+  }
+  for (const auto& market : markets) {
+    for (double mult : bid_multipliers) {
+      ProcurementOption o;
+      o.kind = ProcurementOption::Kind::kSpot;
+      o.type = market.type;
+      o.market = &market;
+      o.bid = market.od_price() * mult;
+      char label[96];
+      std::snprintf(label, sizeof(label), "%s@%.2gd", market.name.c_str(), mult);
+      o.label = label;
+      options.push_back(std::move(o));
+    }
+  }
+  return options;
+}
+
+int AllocationPlan::TotalInstances() const {
+  int n = 0;
+  for (const auto& item : items) {
+    n += item.count;
+  }
+  return n;
+}
+
+int AllocationPlan::CountFor(size_t option) const {
+  const AllocationItem* item = ItemFor(option);
+  return item == nullptr ? 0 : item->count;
+}
+
+const AllocationItem* AllocationPlan::ItemFor(size_t option) const {
+  for (const auto& item : items) {
+    if (item.option == option) {
+      return &item;
+    }
+  }
+  return nullptr;
+}
+
+double AllocationPlan::OnDemandDataFraction(
+    const std::vector<ProcurementOption>& options) const {
+  double placed_total = 0.0;
+  double placed_od = 0.0;
+  for (const auto& item : items) {
+    const double data = item.x + item.y;
+    placed_total += data;
+    if (options[item.option].is_on_demand()) {
+      placed_od += data;
+    }
+  }
+  return placed_total > 0.0 ? placed_od / placed_total : 0.0;
+}
+
+}  // namespace spotcache

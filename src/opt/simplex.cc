@@ -1,0 +1,278 @@
+#include "src/opt/simplex.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace spotcache {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+LinearProgram::LinearProgram(size_t num_vars)
+    : n_(num_vars), objective_(num_vars, 0.0) {}
+
+void LinearProgram::SetObjective(size_t j, double c) { objective_.at(j) = c; }
+
+void LinearProgram::AddEquality(const std::vector<std::pair<size_t, double>>& terms,
+                                double rhs) {
+  Row row{std::vector<double>(n_, 0.0), rhs, 0};
+  for (const auto& [j, v] : terms) {
+    row.coeffs.at(j) += v;
+  }
+  rows_.push_back(std::move(row));
+}
+
+void LinearProgram::AddGreaterEqual(
+    const std::vector<std::pair<size_t, double>>& terms, double rhs) {
+  Row row{std::vector<double>(n_, 0.0), rhs, 1};
+  for (const auto& [j, v] : terms) {
+    row.coeffs.at(j) += v;
+  }
+  rows_.push_back(std::move(row));
+}
+
+void LinearProgram::AddLessEqual(const std::vector<std::pair<size_t, double>>& terms,
+                                 double rhs) {
+  Row row{std::vector<double>(n_, 0.0), rhs, -1};
+  for (const auto& [j, v] : terms) {
+    row.coeffs.at(j) += v;
+  }
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+
+/// Dense tableau simplex state shared by both phases.
+struct Tableau {
+  size_t m;      // constraint rows
+  size_t ncols;  // structural + slack + artificial columns
+  std::vector<std::vector<double>> a;  // m x ncols
+  std::vector<double> rhs;             // m
+  std::vector<size_t> basis;           // m: basic column per row
+  std::vector<double> cost;            // ncols reduced costs
+  double objective = 0.0;              // current objective value
+
+  void Pivot(size_t row, size_t col) {
+    const double p = a[row][col];
+    for (size_t j = 0; j < ncols; ++j) {
+      a[row][j] /= p;
+    }
+    rhs[row] /= p;
+    for (size_t i = 0; i < m; ++i) {
+      if (i == row || std::fabs(a[i][col]) < kEps) {
+        continue;
+      }
+      const double f = a[i][col];
+      for (size_t j = 0; j < ncols; ++j) {
+        a[i][j] -= f * a[row][j];
+      }
+      rhs[i] -= f * rhs[row];
+    }
+    const double cf = cost[col];
+    if (std::fabs(cf) > 0.0) {
+      for (size_t j = 0; j < ncols; ++j) {
+        cost[j] -= cf * a[row][j];
+      }
+      objective -= cf * rhs[row];
+    }
+    basis[row] = col;
+  }
+
+  /// Prices the objective `c` against the current basis.
+  void SetCost(const std::vector<double>& c) {
+    cost = c;
+    objective = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      const double cb = c[basis[i]];
+      if (std::fabs(cb) < kEps) {
+        continue;
+      }
+      for (size_t j = 0; j < ncols; ++j) {
+        cost[j] -= cb * a[i][j];
+      }
+      objective -= cb * rhs[i];
+    }
+  }
+
+  /// Runs simplex to optimality over columns where allowed[j]. Returns false
+  /// if unbounded.
+  bool Optimize(const std::vector<bool>& allowed) {
+    // Dantzig's rule (most negative reduced cost) for speed; after enough
+    // iterations switch to Bland's rule, which cannot cycle, so termination
+    // is guaranteed either way.
+    const uint64_t bland_after = 50 * (m + ncols);
+    uint64_t iterations = 0;
+    for (;;) {
+      const bool bland = ++iterations > bland_after;
+      size_t enter = ncols;
+      double best = -kEps;
+      for (size_t j = 0; j < ncols; ++j) {
+        if (!allowed[j] || cost[j] >= -kEps) {
+          continue;
+        }
+        if (bland) {
+          enter = j;
+          break;
+        }
+        if (cost[j] < best) {
+          best = cost[j];
+          enter = j;
+        }
+      }
+      if (enter == ncols) {
+        return true;  // optimal
+      }
+      size_t leave = m;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < m; ++i) {
+        if (a[i][enter] > kEps) {
+          const double ratio = rhs[i] / a[i][enter];
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps &&
+               (leave == m || basis[i] < basis[leave]))) {
+            best_ratio = ratio;
+            leave = i;
+          }
+        }
+      }
+      if (leave == m) {
+        return false;  // unbounded
+      }
+      Pivot(leave, enter);
+    }
+  }
+};
+
+}  // namespace
+
+LinearProgram::Solution LinearProgram::Solve() const {
+  Solution sol;
+  const size_t m = rows_.size();
+
+  // Normalize rows to rhs >= 0 and count auxiliary columns.
+  std::vector<Row> rows = rows_;
+  size_t n_slack = 0;
+  size_t n_art = 0;
+  for (auto& r : rows) {
+    if (r.rhs < 0.0) {
+      for (double& v : r.coeffs) {
+        v = -v;
+      }
+      r.rhs = -r.rhs;
+      r.kind = -r.kind;
+    }
+    if (r.kind != 0) {
+      ++n_slack;
+    }
+    if (r.kind >= 0) {
+      ++n_art;  // >= needs artificial (after surplus); == needs artificial
+    }
+  }
+
+  Tableau t;
+  t.m = m;
+  t.ncols = n_ + n_slack + n_art;
+  t.a.assign(m, std::vector<double>(t.ncols, 0.0));
+  t.rhs.assign(m, 0.0);
+  t.basis.assign(m, 0);
+
+  size_t slack_col = n_;
+  size_t art_col = n_ + n_slack;
+  std::vector<bool> is_artificial(t.ncols, false);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n_; ++j) {
+      t.a[i][j] = rows[i].coeffs[j];
+    }
+    t.rhs[i] = rows[i].rhs;
+    if (rows[i].kind == -1) {  // <= : slack enters the basis directly
+      t.a[i][slack_col] = 1.0;
+      t.basis[i] = slack_col++;
+    } else if (rows[i].kind == 1) {  // >= : surplus + artificial
+      t.a[i][slack_col] = -1.0;
+      ++slack_col;
+      t.a[i][art_col] = 1.0;
+      is_artificial[art_col] = true;
+      t.basis[i] = art_col++;
+    } else {  // == : artificial
+      t.a[i][art_col] = 1.0;
+      is_artificial[art_col] = true;
+      t.basis[i] = art_col++;
+    }
+  }
+
+  std::vector<bool> allow_all(t.ncols, true);
+
+  // Phase 1: minimize the sum of artificials.
+  if (n_art > 0) {
+    std::vector<double> phase1(t.ncols, 0.0);
+    for (size_t j = 0; j < t.ncols; ++j) {
+      if (is_artificial[j]) {
+        phase1[j] = 1.0;
+      }
+    }
+    t.SetCost(phase1);
+    if (!t.Optimize(allow_all)) {
+      return sol;  // phase 1 cannot be unbounded; defensive
+    }
+    // The tableau accumulates the *negated* objective (SetCost/Pivot subtract
+    // c_B * rhs), so the phase-1 optimum is -t.objective.
+    if (-t.objective > 1e-6) {
+      return sol;  // infeasible
+    }
+    // Drive any remaining basic artificials out (degenerate rows).
+    for (size_t i = 0; i < m; ++i) {
+      if (!is_artificial[t.basis[i]]) {
+        continue;
+      }
+      size_t pivot_col = t.ncols;
+      for (size_t j = 0; j < n_ + n_slack; ++j) {
+        if (std::fabs(t.a[i][j]) > kEps) {
+          pivot_col = j;
+          break;
+        }
+      }
+      if (pivot_col < t.ncols) {
+        t.Pivot(i, pivot_col);
+      }
+      // Else the row is all-zero (redundant constraint): the artificial stays
+      // basic at value 0, which is harmless as long as it cannot re-enter.
+    }
+  }
+
+  // Phase 2: real objective; artificial columns barred from entering.
+  std::vector<double> phase2(t.ncols, 0.0);
+  for (size_t j = 0; j < n_; ++j) {
+    phase2[j] = objective_[j];
+  }
+  std::vector<bool> allowed(t.ncols, true);
+  for (size_t j = 0; j < t.ncols; ++j) {
+    if (is_artificial[j]) {
+      allowed[j] = false;
+    }
+  }
+  t.SetCost(phase2);
+  if (!t.Optimize(allowed)) {
+    sol.bounded = false;
+    return sol;
+  }
+
+  sol.feasible = true;
+  sol.x.assign(n_, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    if (t.basis[i] < n_) {
+      sol.x[t.basis[i]] = t.rhs[i];
+    }
+  }
+  sol.objective = -t.objective;
+  // The tableau tracks objective as negated accumulation; recompute directly
+  // for clarity and to avoid sign conventions leaking out.
+  sol.objective = 0.0;
+  for (size_t j = 0; j < n_; ++j) {
+    sol.objective += objective_[j] * sol.x[j];
+  }
+  return sol;
+}
+
+}  // namespace spotcache

@@ -1,0 +1,58 @@
+// A small dense linear-programming solver (two-phase primal simplex).
+//
+// The per-slot procurement problem (paper §4.1) relaxes to an LP with a few
+// dozen variables and constraints; this solver handles exactly that scale.
+// Bland's rule guarantees termination; no effort is made to be fast on large
+// problems.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace spotcache {
+
+/// minimize c'x  subject to  A_eq x = b_eq,  A_ge x >= b_ge,  x >= 0.
+class LinearProgram {
+ public:
+  explicit LinearProgram(size_t num_vars);
+
+  size_t num_vars() const { return n_; }
+
+  /// Sets the objective coefficient of variable `j`.
+  void SetObjective(size_t j, double c);
+
+  /// Adds `sum coeffs[j]*x[j] == rhs`. Sparse: pairs of (var, coeff).
+  void AddEquality(const std::vector<std::pair<size_t, double>>& terms, double rhs);
+
+  /// Adds `sum coeffs[j]*x[j] >= rhs`.
+  void AddGreaterEqual(const std::vector<std::pair<size_t, double>>& terms,
+                       double rhs);
+
+  /// Adds `sum coeffs[j]*x[j] <= rhs`.
+  void AddLessEqual(const std::vector<std::pair<size_t, double>>& terms,
+                    double rhs);
+
+  struct Solution {
+    bool feasible = false;
+    bool bounded = true;
+    double objective = 0.0;
+    std::vector<double> x;
+  };
+
+  /// Solves; x is empty when infeasible.
+  Solution Solve() const;
+
+ private:
+  struct Row {
+    std::vector<double> coeffs;
+    double rhs;
+    int kind;  // 0: ==, 1: >=, -1: <=
+  };
+
+  size_t n_;
+  std::vector<double> objective_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace spotcache

@@ -1,0 +1,137 @@
+#include "src/predict/spot_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/stats.h"
+
+namespace spotcache {
+
+std::vector<LifetimeSample> ExtractLifetimes(const PriceTrace& trace, SimTime from,
+                                             SimTime to, double bid) {
+  std::vector<LifetimeSample> out;
+  if (to <= from) {
+    return out;
+  }
+  SimTime cursor = from;
+  while (cursor < to) {
+    // Find the next below-bid stretch.
+    const SimTime begin = trace.NextTimeAtOrBelow(cursor, bid);
+    if (begin >= to) {
+      break;
+    }
+    SimTime end = trace.NextTimeAbove(begin, bid);
+    end = std::min(end, to);
+    if (end > begin) {
+      out.push_back({end - begin, trace.AveragePrice(begin, end)});
+      cursor = end;
+    } else {
+      // Zero-length artifact (shouldn't happen with a well-formed trace);
+      // step past it to guarantee progress.
+      cursor = begin + Duration::Micros(1);
+    }
+  }
+  return out;
+}
+
+SpotPrediction LifetimePredictor::Predict(const PriceTrace& trace, SimTime now,
+                                          double bid) const {
+  SpotPrediction pred;
+  const SimTime from = std::max(trace.start(), now - config_.history_window);
+  const auto samples = ExtractLifetimes(trace, from, now, bid);
+  if (samples.empty()) {
+    return pred;  // bid never succeeded in the window: unusable
+  }
+  std::vector<double> lengths;
+  double price_sum = 0.0;
+  lengths.reserve(samples.size());
+  for (const auto& s : samples) {
+    lengths.push_back(s.length.seconds());
+    price_sum += s.avg_price;
+  }
+  pred.lifetime = Duration::FromSecondsF(
+      Percentile(std::move(lengths), config_.lifetime_percentile));
+  pred.avg_price = price_sum / static_cast<double>(samples.size());
+  pred.usable = true;
+  return pred;
+}
+
+SpotPrediction CdfPredictor::Predict(const PriceTrace& trace, SimTime now,
+                                     double bid) const {
+  SpotPrediction pred;
+  const SimTime from = std::max(trace.start(), now - config_.history_window);
+  if (now <= from) {
+    return pred;
+  }
+  // Time-weighted CDF over the window: fraction of time at or below the bid,
+  // and the mean price conditioned on being at or below.
+  double below_seconds = 0.0;
+  double below_price_weighted = 0.0;
+  SimTime cursor = from;
+  while (cursor < now) {
+    const SimTime begin = trace.NextTimeAtOrBelow(cursor, bid);
+    if (begin >= now) {
+      break;
+    }
+    const SimTime end = std::min(trace.NextTimeAbove(begin, bid), now);
+    if (end <= begin) {
+      cursor = begin + Duration::Micros(1);
+      continue;
+    }
+    below_seconds += (end - begin).seconds();
+    below_price_weighted += trace.AveragePrice(begin, end) * (end - begin).seconds();
+    cursor = end;
+  }
+  const double window_seconds = (now - from).seconds();
+  if (below_seconds <= 0.0) {
+    return pred;
+  }
+  const double prob_below = below_seconds / window_seconds;
+  pred.lifetime = Duration::FromSecondsF(window_seconds * prob_below);
+  pred.avg_price = below_price_weighted / below_seconds;
+  pred.usable = true;
+  return pred;
+}
+
+PredictorAssessment AssessPredictor(const SpotFeaturePredictor& predictor,
+                                    const PriceTrace& trace, double bid,
+                                    SimTime eval_start, SimTime eval_end,
+                                    Duration step) {
+  PredictorAssessment result;
+  int overestimates = 0;
+  double deviation_sum = 0.0;
+  for (SimTime t = eval_start; t < eval_end; t += step) {
+    if (trace.PriceAt(t) > bid) {
+      continue;  // a bid placed now fails outright; no lifetime to assess
+    }
+    const SpotPrediction pred = predictor.Predict(trace, t, bid);
+    if (!pred.usable) {
+      continue;
+    }
+    // L(b) is the paper's *contiguous* below-bid period containing t; samples
+    // censored by the end of the evaluation window are skipped (their true
+    // length is unknown).
+    const PriceTrace::Interval interval = trace.BelowInterval(t, bid);
+    const bool censored = interval.end >= eval_end;
+    if (censored && pred.lifetime > interval.length()) {
+      continue;  // truth unknown: the interval outlives the evaluation window
+    }
+    if (pred.lifetime > interval.length()) {
+      ++overestimates;
+    }
+    const double actual_avg =
+        trace.AveragePrice(interval.begin, interval.end);
+    if (actual_avg > 0.0) {
+      deviation_sum += std::fabs(actual_avg - pred.avg_price) / actual_avg;
+    }
+    ++result.evaluations;
+  }
+  if (result.evaluations > 0) {
+    result.overestimation_rate =
+        static_cast<double>(overestimates) / result.evaluations;
+    result.price_rel_deviation = deviation_sum / result.evaluations;
+  }
+  return result;
+}
+
+}  // namespace spotcache

@@ -1,0 +1,113 @@
+// Spot feature prediction (paper §3.1).
+//
+// Both predictors consume a price trace and answer, for a (market, bid) at
+// time t: "how long will a bid-b instance placed now live, and what will it
+// cost per hour while it lives?"
+//
+//   * LifetimePredictor — the paper's model: build the empirical distribution
+//     of contiguous below-bid interval lengths L(b) over a sliding history
+//     window and predict a small percentile of it (conservative: with high
+//     probability the instance lives at least that long). The average price
+//     during a lifetime, p-bar(b), is predicted by the window mean of
+//     per-interval average prices.
+//   * CdfPredictor — the literature baseline: L-hat = W * P(price <= b) over
+//     the window (discarding contiguity) and p-hat = E[price | price <= b].
+//
+// AssessPredictor computes the paper's Table 2 metrics: the over-estimation
+// rate f (predicted lifetime exceeded the realized residual lifetime) and the
+// mean relative deviation xi of the price prediction.
+
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "src/cloud/spot_market.h"
+#include "src/util/time.h"
+
+namespace spotcache {
+
+struct SpotPrediction {
+  /// Predicted (residual) lifetime of an instance procured at this bid.
+  Duration lifetime;
+  /// Predicted average spot price during the lifetime ($/hour).
+  double avg_price = 0.0;
+  /// False when the window offers no evidence the bid ever succeeds.
+  bool usable = false;
+};
+
+class SpotFeaturePredictor {
+ public:
+  virtual ~SpotFeaturePredictor() = default;
+  virtual SpotPrediction Predict(const PriceTrace& trace, SimTime now,
+                                 double bid) const = 0;
+  virtual std::string_view name() const = 0;
+};
+
+/// One completed below-bid interval with its average price.
+struct LifetimeSample {
+  Duration length;
+  double avg_price;
+};
+
+/// Extracts the below-bid intervals of `trace` overlapping [from, to].
+/// Intervals are clipped to the window; a window fully below the bid yields a
+/// single window-length sample.
+std::vector<LifetimeSample> ExtractLifetimes(const PriceTrace& trace, SimTime from,
+                                             SimTime to, double bid);
+
+class LifetimePredictor : public SpotFeaturePredictor {
+ public:
+  struct Config {
+    Duration history_window = Duration::Days(7);
+    /// Percentile of the L(b) distribution used as the prediction (paper: a
+    /// small percentile such as the 5th).
+    double lifetime_percentile = 0.05;
+  };
+
+  LifetimePredictor() : LifetimePredictor(Config{}) {}
+  explicit LifetimePredictor(const Config& config) : config_(config) {}
+
+  SpotPrediction Predict(const PriceTrace& trace, SimTime now,
+                         double bid) const override;
+  std::string_view name() const override { return "lifetime-model"; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+class CdfPredictor : public SpotFeaturePredictor {
+ public:
+  struct Config {
+    Duration history_window = Duration::Days(7);
+  };
+
+  CdfPredictor() : CdfPredictor(Config{}) {}
+  explicit CdfPredictor(const Config& config) : config_(config) {}
+
+  SpotPrediction Predict(const PriceTrace& trace, SimTime now,
+                         double bid) const override;
+  std::string_view name() const override { return "cdf-baseline"; }
+
+ private:
+  Config config_;
+};
+
+/// Table 2 metrics for one predictor on one (market, bid).
+struct PredictorAssessment {
+  double overestimation_rate = 0.0;  // f^s(b)
+  double price_rel_deviation = 0.0;  // xi^s(b)
+  int evaluations = 0;
+};
+
+/// Walks [eval_start, eval_end] in `step` increments; at every instant where
+/// the price is at or below the bid, compares the prediction against the
+/// realized residual lifetime and realized average price.
+PredictorAssessment AssessPredictor(const SpotFeaturePredictor& predictor,
+                                    const PriceTrace& trace, double bid,
+                                    SimTime eval_start, SimTime eval_end,
+                                    Duration step);
+
+}  // namespace spotcache

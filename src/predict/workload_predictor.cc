@@ -1,0 +1,47 @@
+#include "src/predict/workload_predictor.h"
+
+#include <algorithm>
+
+namespace spotcache {
+
+void Ar2Predictor::Observe(double value) {
+  history_.push_back(value);
+  while (history_.size() > config_.window) {
+    history_.pop_front();
+  }
+  if (history_.size() >= config_.min_fit) {
+    Refit();
+  }
+}
+
+void Ar2Predictor::Refit() {
+  // Rows: (x[t-1], x[t-2]) -> x[t].
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (size_t t = 2; t < history_.size(); ++t) {
+    rows.push_back({history_[t - 1], history_[t - 2]});
+    targets.push_back(history_[t]);
+  }
+  const RegressionResult r = FitLeastSquares(rows, targets, /*with_intercept=*/false);
+  if (r.ok && r.coefficients.size() == 2) {
+    gamma1_ = r.coefficients[0];
+    gamma2_ = r.coefficients[1];
+    fitted_ = true;
+  }
+}
+
+double Ar2Predictor::Predict() const {
+  if (history_.empty()) {
+    return 0.0;
+  }
+  double pred;
+  if (!fitted_ || history_.size() < 2) {
+    pred = history_.back();
+  } else {
+    pred = gamma1_ * history_[history_.size() - 1] +
+           gamma2_ * history_[history_.size() - 2];
+  }
+  return std::max(0.0, pred * config_.headroom);
+}
+
+}  // namespace spotcache

@@ -1,0 +1,53 @@
+// Workload prediction for the controller's inputs lambda-hat and M-hat
+// (paper §4.1 suggests e.g. an AR(2) model; we fit its coefficients online by
+// least squares over a sliding history).
+
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "src/util/linear_regression.h"
+
+namespace spotcache {
+
+/// Online AR(2) one-step-ahead predictor with least-squares coefficient
+/// refitting over a sliding window. Falls back to persistence (last value)
+/// until enough history accumulates, and clamps predictions to be
+/// non-negative.
+class Ar2Predictor {
+ public:
+  struct Config {
+    /// Observations kept for fitting.
+    size_t window = 48;
+    /// Minimum observations before switching from persistence to AR(2).
+    size_t min_fit = 8;
+    /// Safety margin multiplied into predictions (the controller prefers
+    /// slight over-provisioning to under-provisioning).
+    double headroom = 1.0;
+  };
+
+  Ar2Predictor() : Ar2Predictor(Config{}) {}
+  explicit Ar2Predictor(const Config& config) : config_(config) {}
+
+  void Observe(double value);
+
+  /// Predicts the next value.
+  double Predict() const;
+
+  size_t observations() const { return history_.size(); }
+  /// Last fitted (gamma1, gamma2); (0,0) before the first fit.
+  double gamma1() const { return gamma1_; }
+  double gamma2() const { return gamma2_; }
+
+ private:
+  void Refit();
+
+  Config config_;
+  std::deque<double> history_;
+  double gamma1_ = 0.0;
+  double gamma2_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace spotcache

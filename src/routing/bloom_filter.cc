@@ -1,0 +1,51 @@
+#include "src/routing/bloom_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spotcache {
+
+BloomFilter::BloomFilter(size_t expected_items, double fp_rate) {
+  expected_items = std::max<size_t>(expected_items, 1);
+  fp_rate = std::clamp(fp_rate, 1e-9, 0.5);
+  const double ln2 = std::log(2.0);
+  const double bits = -static_cast<double>(expected_items) * std::log(fp_rate) /
+                      (ln2 * ln2);
+  bit_count_ = std::max<size_t>(64, static_cast<size_t>(std::ceil(bits)));
+  hash_count_ = std::max(
+      1, static_cast<int>(std::lround(bits / static_cast<double>(expected_items) *
+                                      ln2)));
+  bits_.assign((bit_count_ + 63) / 64, 0);
+}
+
+void BloomFilter::Add(uint64_t key) {
+  for (int i = 0; i < hash_count_; ++i) {
+    const size_t b = BitIndex(key, i);
+    bits_[b >> 6] |= (1ULL << (b & 63));
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::MightContain(uint64_t key) const {
+  for (int i = 0; i < hash_count_; ++i) {
+    const size_t b = BitIndex(key, i);
+    if ((bits_[b >> 6] & (1ULL << (b & 63))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BloomFilter::Clear() {
+  std::fill(bits_.begin(), bits_.end(), 0);
+  inserted_ = 0;
+}
+
+double BloomFilter::EstimatedFpRate() const {
+  const double k = hash_count_;
+  const double n = static_cast<double>(inserted_);
+  const double m = static_cast<double>(bit_count_);
+  return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+}  // namespace spotcache

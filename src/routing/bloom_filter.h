@@ -1,0 +1,49 @@
+// Bloom filter — the paper's hot-key membership structure.
+//
+// The key partitioner rebuilds one of these each refresh interval from the
+// current heavy hitters; routing then classifies every key in O(k) with no
+// false negatives (a cold key misclassified hot costs a little on-demand RAM;
+// the reverse never happens).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/routing/hash.h"
+
+namespace spotcache {
+
+class BloomFilter {
+ public:
+  /// Sizes the filter for `expected_items` at `fp_rate` false positives.
+  BloomFilter(size_t expected_items, double fp_rate);
+
+  void Add(uint64_t key);
+  /// True if possibly present; false means definitely absent.
+  bool MightContain(uint64_t key) const;
+
+  void Clear();
+
+  size_t bit_count() const { return bit_count_; }
+  int hash_count() const { return hash_count_; }
+  size_t inserted() const { return inserted_; }
+
+  /// Predicted false-positive rate at the current fill.
+  double EstimatedFpRate() const;
+
+ private:
+  size_t BitIndex(uint64_t key, int i) const {
+    // Kirsch–Mitzenmacher double hashing.
+    const uint64_t h1 = HashU64(key);
+    const uint64_t h2 = HashCombine(key, 0x517cc1b727220a95ULL) | 1;
+    return (h1 + static_cast<uint64_t>(i) * h2) % bit_count_;
+  }
+
+  size_t bit_count_;
+  int hash_count_;
+  size_t inserted_ = 0;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace spotcache

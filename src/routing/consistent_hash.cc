@@ -1,0 +1,81 @@
+#include "src/routing/consistent_hash.h"
+
+#include <cmath>
+
+#include "src/routing/hash.h"
+
+namespace spotcache {
+
+void ConsistentHashRing::SetNode(uint64_t node_id, double weight) {
+  // Drop existing vnodes.
+  auto existing = vnodes_.find(node_id);
+  if (existing != vnodes_.end()) {
+    for (uint64_t pos : existing->second) {
+      auto it = ring_.find(pos);
+      // Only erase if we still own the position (a later node may have
+      // collided and taken it; collisions are ~impossible at 64 bits but the
+      // check keeps the structure consistent regardless).
+      if (it != ring_.end() && it->second == node_id) {
+        ring_.erase(it);
+      }
+    }
+    vnodes_.erase(existing);
+    weights_.erase(node_id);
+  }
+  if (weight <= 0.0) {
+    return;
+  }
+  const int count = std::max(1, static_cast<int>(std::lround(
+                                    weight * kVnodesPerUnitWeight)));
+  std::vector<uint64_t> positions;
+  positions.reserve(count);
+  for (int r = 0; r < count; ++r) {
+    const uint64_t pos = HashCombine(HashU64(node_id), static_cast<uint64_t>(r));
+    if (ring_.emplace(pos, node_id).second) {
+      positions.push_back(pos);
+    }
+  }
+  vnodes_.emplace(node_id, std::move(positions));
+  weights_.emplace(node_id, weight);
+}
+
+std::optional<uint64_t> ConsistentHashRing::NodeFor(uint64_t key_hash) const {
+  if (ring_.empty()) {
+    return std::nullopt;
+  }
+  auto it = ring_.lower_bound(key_hash);
+  if (it == ring_.end()) {
+    it = ring_.begin();  // wrap around
+  }
+  return it->second;
+}
+
+std::unordered_map<uint64_t, double> ConsistentHashRing::OwnershipFractions() const {
+  std::unordered_map<uint64_t, double> out;
+  if (ring_.empty()) {
+    return out;
+  }
+  // Each vnode owns the arc from the previous position (exclusive) to itself.
+  const double full = std::pow(2.0, 64);
+  uint64_t prev = ring_.rbegin()->first;  // wrap: last vnode precedes first
+  bool first = true;
+  for (const auto& [pos, node] : ring_) {
+    uint64_t arc;
+    if (first) {
+      arc = pos + (~prev) + 1;  // wrap-around arc length
+      first = false;
+    } else {
+      arc = pos - prev;
+    }
+    out[node] += static_cast<double>(arc) / full;
+    prev = pos;
+  }
+  return out;
+}
+
+double ConsistentHashRing::WeightOf(uint64_t node_id) const {
+  auto it = weights_.find(node_id);
+  return it == weights_.end() ? 0.0 : it->second;
+}
+
+}  // namespace spotcache

@@ -1,0 +1,50 @@
+// Weighted consistent hashing.
+//
+// mcrouter's WeightedCh3-style behaviour, realized as a classic virtual-node
+// ring: each node owns round(weight * kVnodesPerUnitWeight) pseudo-random
+// positions; a key maps to the first vnode clockwise of its hash. Weight
+// changes and node arrivals/departures only move the keys they must — the
+// property that lets the paper's controller rebalance hot/cold weights every
+// slot without reshuffling the cluster.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace spotcache {
+
+class ConsistentHashRing {
+ public:
+  /// Virtual nodes granted per 1.0 of weight. More vnodes = smoother
+  /// ownership at higher ring-maintenance cost.
+  static constexpr int kVnodesPerUnitWeight = 64;
+
+  /// Adds a node or updates its weight (weight >= 0; 0 removes it from the
+  /// ring but remembers nothing).
+  void SetNode(uint64_t node_id, double weight);
+
+  void RemoveNode(uint64_t node_id) { SetNode(node_id, 0.0); }
+
+  bool Contains(uint64_t node_id) const { return weights_.count(node_id) > 0; }
+  size_t node_count() const { return weights_.size(); }
+  bool empty() const { return ring_.empty(); }
+
+  /// The node owning `key_hash`; nullopt on an empty ring.
+  std::optional<uint64_t> NodeFor(uint64_t key_hash) const;
+
+  /// Fraction of hash space owned by each node (diagnostics / tests).
+  std::unordered_map<uint64_t, double> OwnershipFractions() const;
+
+  double WeightOf(uint64_t node_id) const;
+
+ private:
+  std::map<uint64_t, uint64_t> ring_;  // vnode position -> node id
+  std::unordered_map<uint64_t, double> weights_;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> vnodes_;  // node -> positions
+};
+
+}  // namespace spotcache

@@ -1,0 +1,43 @@
+#include "src/routing/count_min_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spotcache {
+
+CountMinSketch::CountMinSketch(double epsilon, double delta) {
+  epsilon = std::clamp(epsilon, 1e-6, 1.0);
+  delta = std::clamp(delta, 1e-9, 0.5);
+  width_ = std::max<size_t>(8, static_cast<size_t>(std::ceil(M_E / epsilon)));
+  depth_ = std::max<size_t>(2, static_cast<size_t>(std::ceil(std::log(1.0 / delta))));
+  table_.assign(width_ * depth_, 0);
+}
+
+void CountMinSketch::Add(uint64_t key, uint64_t count) {
+  for (size_t r = 0; r < depth_; ++r) {
+    table_[r * width_ + Index(key, r)] += count;
+  }
+  total_ += count;
+}
+
+uint64_t CountMinSketch::Estimate(uint64_t key) const {
+  uint64_t best = ~0ULL;
+  for (size_t r = 0; r < depth_; ++r) {
+    best = std::min(best, table_[r * width_ + Index(key, r)]);
+  }
+  return best == ~0ULL ? 0 : best;
+}
+
+void CountMinSketch::Clear() {
+  std::fill(table_.begin(), table_.end(), 0);
+  total_ = 0;
+}
+
+void CountMinSketch::Decay() {
+  for (auto& c : table_) {
+    c >>= 1;
+  }
+  total_ >>= 1;
+}
+
+}  // namespace spotcache

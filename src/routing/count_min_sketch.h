@@ -1,0 +1,47 @@
+// Count-Min sketch [Cormode & Muthukrishnan] — frequency estimation over the
+// key stream. The paper lists it as one of the interchangeable hot-key
+// heuristics; we use it inside the key partitioner alongside a Space-Saving
+// heavy-hitter table.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/routing/hash.h"
+
+namespace spotcache {
+
+class CountMinSketch {
+ public:
+  /// epsilon: additive error as a fraction of total count; delta: probability
+  /// the error bound is exceeded. width = e/epsilon, depth = ln(1/delta).
+  CountMinSketch(double epsilon, double delta);
+
+  void Add(uint64_t key, uint64_t count = 1);
+
+  /// Point estimate (never underestimates the true count).
+  uint64_t Estimate(uint64_t key) const;
+
+  uint64_t total() const { return total_; }
+  size_t width() const { return width_; }
+  size_t depth() const { return depth_; }
+
+  void Clear();
+
+  /// Halves every counter — cheap exponential decay so the sketch tracks a
+  /// sliding notion of popularity (the partitioner calls this per refresh).
+  void Decay();
+
+ private:
+  size_t Index(uint64_t key, size_t row) const {
+    return HashCombine(HashU64(key), row * 0x9e3779b97f4a7c15ULL + 1) % width_;
+  }
+
+  size_t width_;
+  size_t depth_;
+  uint64_t total_ = 0;
+  std::vector<uint64_t> table_;  // depth_ rows of width_
+};
+
+}  // namespace spotcache

@@ -1,0 +1,36 @@
+// Deterministic 64-bit hashing used by the ring, filters, and sketches.
+// (std::hash is implementation-defined; simulations must hash identically
+// everywhere, so we fix the functions here.)
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace spotcache {
+
+/// Stafford/SplitMix64 finalizer: a strong 64-bit mix.
+constexpr uint64_t HashU64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+constexpr uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return HashU64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// FNV-1a over bytes, finalized.
+constexpr uint64_t HashString(std::string_view s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return HashU64(h);
+}
+
+}  // namespace spotcache

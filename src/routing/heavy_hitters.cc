@@ -1,0 +1,92 @@
+#include "src/routing/heavy_hitters.h"
+
+#include <algorithm>
+
+namespace spotcache {
+
+HeavyHitters::HeavyHitters(size_t capacity) : capacity_(std::max<size_t>(capacity, 1)) {
+  entries_.reserve(capacity_);
+}
+
+size_t HeavyHitters::MinSlot() const {
+  size_t best = 0;
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].count < entries_[best].count) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+void HeavyHitters::Add(uint64_t key, uint64_t count) {
+  total_ += count;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    entries_[it->second].count += count;
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    index_.emplace(key, entries_.size());
+    entries_.push_back({key, count, 0});
+    return;
+  }
+  // Space-Saving replacement: evict the minimum, inheriting its count as the
+  // new entry's error bound.
+  const size_t slot = MinSlot();
+  index_.erase(entries_[slot].key);
+  const uint64_t floor = entries_[slot].count;
+  entries_[slot] = {key, floor + count, floor};
+  index_.emplace(key, slot);
+}
+
+std::vector<HeavyHitters::Item> HeavyHitters::Top() const {
+  std::vector<Item> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    out.push_back({e.key, e.count, e.error});
+  }
+  std::sort(out.begin(), out.end(), [](const Item& a, const Item& b) {
+    if (a.count != b.count) {
+      return a.count > b.count;
+    }
+    return a.key < b.key;
+  });
+  return out;
+}
+
+std::vector<HeavyHitters::Item> HeavyHitters::AtLeast(uint64_t threshold) const {
+  std::vector<Item> out;
+  for (const auto& e : entries_) {
+    if (e.count - e.error >= threshold) {
+      out.push_back({e.key, e.count, e.error});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Item& a, const Item& b) {
+    if (a.count != b.count) {
+      return a.count > b.count;
+    }
+    return a.key < b.key;
+  });
+  return out;
+}
+
+uint64_t HeavyHitters::EstimateCount(uint64_t key) const {
+  auto it = index_.find(key);
+  return it == index_.end() ? 0 : entries_[it->second].count;
+}
+
+void HeavyHitters::Clear() {
+  index_.clear();
+  entries_.clear();
+  total_ = 0;
+}
+
+void HeavyHitters::Decay() {
+  for (auto& e : entries_) {
+    e.count >>= 1;
+    e.error >>= 1;
+  }
+  total_ >>= 1;
+}
+
+}  // namespace spotcache

@@ -1,0 +1,58 @@
+// Space-Saving heavy hitters [Metwally et al.]: tracks the top-k most frequent
+// keys of a stream with bounded memory and a known overestimation bound.
+// The key partitioner uses it to *enumerate* hot candidates (a sketch can only
+// answer point queries), then the Bloom filter serves the fast-path check.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace spotcache {
+
+class HeavyHitters {
+ public:
+  explicit HeavyHitters(size_t capacity);
+
+  void Add(uint64_t key, uint64_t count = 1);
+
+  struct Item {
+    uint64_t key;
+    uint64_t count;  // upper bound on the true count
+    uint64_t error;  // max overestimation
+  };
+
+  /// Current entries, most frequent first.
+  std::vector<Item> Top() const;
+
+  /// Entries whose (count - error) lower bound reaches `threshold`.
+  std::vector<Item> AtLeast(uint64_t threshold) const;
+
+  uint64_t EstimateCount(uint64_t key) const;
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t stream_total() const { return total_; }
+
+  void Clear();
+  /// Halves all counts (sliding-popularity decay, paired with the sketch's).
+  void Decay();
+
+ private:
+  struct Entry {
+    uint64_t key;
+    uint64_t count;
+    uint64_t error;
+  };
+
+  size_t capacity_;
+  uint64_t total_ = 0;
+  std::unordered_map<uint64_t, size_t> index_;  // key -> slot in entries_
+  std::vector<Entry> entries_;
+
+  size_t MinSlot() const;
+};
+
+}  // namespace spotcache

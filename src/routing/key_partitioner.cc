@@ -1,0 +1,57 @@
+#include "src/routing/key_partitioner.h"
+
+#include <algorithm>
+
+namespace spotcache {
+
+KeyPartitioner::KeyPartitioner(const Config& config)
+    : config_(config),
+      sketch_(config.sketch_epsilon, config.sketch_delta),
+      hitters_(config.heavy_hitter_slots) {}
+
+void KeyPartitioner::Observe(KeyId key) {
+  sketch_.Add(key);
+  hitters_.Add(key);
+  ++observed_;
+  if (++since_refresh_ >= config_.refresh_interval) {
+    Refresh();
+  }
+}
+
+bool KeyPartitioner::IsHot(KeyId key) const {
+  return hot_filter_ != nullptr && hot_filter_->MightContain(key);
+}
+
+void KeyPartitioner::Refresh() {
+  const auto top = hitters_.Top();
+  const uint64_t stream_total = hitters_.stream_total();
+  const uint64_t target =
+      static_cast<uint64_t>(config_.hot_access_fraction *
+                            static_cast<double>(stream_total));
+
+  // Smallest prefix of the (sorted) heavy hitters covering the target mass.
+  size_t take = 0;
+  uint64_t covered = 0;
+  for (const auto& item : top) {
+    if (covered >= target) {
+      break;
+    }
+    covered += item.count;
+    ++take;
+  }
+
+  auto filter = std::make_unique<BloomFilter>(std::max<size_t>(take, 16),
+                                              config_.bloom_fp_rate);
+  for (size_t i = 0; i < take; ++i) {
+    filter->Add(top[i].key);
+  }
+  hot_filter_ = std::move(filter);
+  hot_count_ = take;
+
+  sketch_.Decay();
+  hitters_.Decay();
+  since_refresh_ = 0;
+  ++refreshes_;
+}
+
+}  // namespace spotcache

@@ -1,0 +1,93 @@
+#include "src/routing/router.h"
+
+#include <algorithm>
+
+namespace spotcache {
+
+void Router::UpsertNode(uint64_t node_id, double hot_weight, double cold_weight) {
+  hot_ring_.SetNode(node_id, hot_weight);
+  cold_ring_.SetNode(node_id, cold_weight);
+  if (hot_weight <= 0.0 && cold_weight <= 0.0) {
+    weights_.erase(node_id);
+  } else {
+    weights_[node_id] = {hot_weight, cold_weight};
+  }
+}
+
+void Router::RemoveNode(uint64_t node_id) {
+  hot_ring_.RemoveNode(node_id);
+  cold_ring_.RemoveNode(node_id);
+  weights_.erase(node_id);
+  backup_of_.erase(node_id);
+}
+
+bool Router::HasNode(uint64_t node_id) const { return weights_.count(node_id) > 0; }
+
+std::vector<uint64_t> Router::NodeIds() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(weights_.size());
+  for (const auto& [id, w] : weights_) {
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::optional<uint64_t> Router::Route(KeyId key, bool is_hot) const {
+  const uint64_t salt = is_hot ? kHotSalt : kColdSalt;
+  const uint64_t h = HashCombine(HashU64(key), salt);
+  return is_hot ? hot_ring_.NodeFor(h) : cold_ring_.NodeFor(h);
+}
+
+void Router::SetBackup(uint64_t primary, uint64_t backup) {
+  backup_of_[primary] = backup;
+}
+
+void Router::ClearBackup(uint64_t primary) { backup_of_.erase(primary); }
+
+std::optional<uint64_t> Router::BackupFor(uint64_t primary) const {
+  auto it = backup_of_.find(primary);
+  if (it == backup_of_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::vector<uint64_t> Router::PrimariesOf(uint64_t backup) const {
+  std::vector<uint64_t> out;
+  for (const auto& [primary, b] : backup_of_) {
+    if (b == backup) {
+      out.push_back(primary);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double Router::HotWeightOf(uint64_t node_id) const {
+  auto it = weights_.find(node_id);
+  return it == weights_.end() ? 0.0 : it->second.hot;
+}
+
+double Router::ColdWeightOf(uint64_t node_id) const {
+  auto it = weights_.find(node_id);
+  return it == weights_.end() ? 0.0 : it->second.cold;
+}
+
+double Router::TotalHotWeight() const {
+  double s = 0.0;
+  for (const auto& [id, w] : weights_) {
+    s += w.hot;
+  }
+  return s;
+}
+
+double Router::TotalColdWeight() const {
+  double s = 0.0;
+  for (const auto& [id, w] : weights_) {
+    s += w.cold;
+  }
+  return s;
+}
+
+}  // namespace spotcache

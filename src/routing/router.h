@@ -1,0 +1,70 @@
+// The mcrouter-like load balancer (paper §4.2 "Load balancer").
+//
+// Two virtual pools — hot and cold — share the same physical nodes: each node
+// carries a hot weight and a cold weight (the controller's x/y outputs), and
+// each pool is a weighted consistent-hash ring over those weights, mirroring
+// mcrouter's PrefixRouting + WeightedCh. The router also tracks the passive
+// backup assignment for spot-held nodes so writes can be mirrored and
+// recovery knows where warm data lives.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/cache_protocol.h"
+#include "src/routing/consistent_hash.h"
+#include "src/routing/hash.h"
+
+namespace spotcache {
+
+class Router {
+ public:
+  /// Adds a node or updates its pool weights. A zero weight removes the node
+  /// from that pool only.
+  void UpsertNode(uint64_t node_id, double hot_weight, double cold_weight);
+
+  /// Removes the node from both pools (e.g. on revocation).
+  void RemoveNode(uint64_t node_id);
+
+  bool HasNode(uint64_t node_id) const;
+  std::vector<uint64_t> NodeIds() const;
+  size_t node_count() const { return weights_.size(); }
+
+  /// Routes a key in its popularity pool; nullopt if the pool is empty.
+  std::optional<uint64_t> Route(KeyId key, bool is_hot) const;
+
+  /// Registers `backup` as the passive backup of `primary`.
+  void SetBackup(uint64_t primary, uint64_t backup);
+  void ClearBackup(uint64_t primary);
+  std::optional<uint64_t> BackupFor(uint64_t primary) const;
+  /// Primaries assigned to the given backup node.
+  std::vector<uint64_t> PrimariesOf(uint64_t backup) const;
+
+  double HotWeightOf(uint64_t node_id) const;
+  double ColdWeightOf(uint64_t node_id) const;
+  double TotalHotWeight() const;
+  double TotalColdWeight() const;
+
+  const ConsistentHashRing& hot_ring() const { return hot_ring_; }
+  const ConsistentHashRing& cold_ring() const { return cold_ring_; }
+
+ private:
+  struct Weights {
+    double hot = 0.0;
+    double cold = 0.0;
+  };
+
+  // Distinct salts keep the two pools' key placements independent.
+  static constexpr uint64_t kHotSalt = 0x686f74;   // "hot"
+  static constexpr uint64_t kColdSalt = 0x636f6c64;  // "cold"
+
+  ConsistentHashRing hot_ring_;
+  ConsistentHashRing cold_ring_;
+  std::unordered_map<uint64_t, Weights> weights_;
+  std::unordered_map<uint64_t, uint64_t> backup_of_;  // primary -> backup
+};
+
+}  // namespace spotcache

@@ -1,0 +1,41 @@
+#include "src/sim/event_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace spotcache {
+
+void EventQueue::Schedule(SimTime t, Callback cb) {
+  queue_.push({std::max(t, now_), next_seq_++, std::move(cb)});
+}
+
+bool EventQueue::RunNext() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // priority_queue::top returns const&; the callback must be moved out before
+  // pop, so copy the entry (Callback is cheap to move, not copy — use const
+  // cast via re-push-free extraction).
+  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_ = entry.time;
+  ++executed_;
+  entry.cb();
+  return true;
+}
+
+void EventQueue::RunUntil(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    RunNext();
+  }
+  now_ = std::max(now_, t);
+}
+
+void EventQueue::RunAll(SimTime horizon) {
+  while (!queue_.empty() && queue_.top().time <= horizon) {
+    RunNext();
+  }
+  now_ = std::max(now_, horizon);
+}
+
+}  // namespace spotcache

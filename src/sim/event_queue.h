@@ -1,0 +1,63 @@
+// Discrete-event engine.
+//
+// A time-ordered queue of callbacks with a deterministic tie-break (insertion
+// sequence), driving the fine-grained simulations (failure recovery, token
+// dynamics). Long-horizon experiments instead advance in fixed control slots;
+// both styles share this clock.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace spotcache {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute time `t` (>= now, else clamped to now).
+  void Schedule(SimTime t, Callback cb);
+  /// Schedules `cb` `d` after the current time.
+  void ScheduleAfter(Duration d, Callback cb) { Schedule(now_ + d, std::move(cb)); }
+
+  /// Runs the earliest event, advancing the clock to it. Returns false if the
+  /// queue was empty.
+  bool RunNext();
+
+  /// Runs all events with time <= `t`; the clock finishes exactly at `t`.
+  void RunUntil(SimTime t);
+
+  /// Runs until the queue drains or the horizon is reached.
+  void RunAll(SimTime horizon);
+
+  SimTime now() const { return now_; }
+  size_t pending() const { return queue_.size(); }
+  uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  SimTime now_;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+};
+
+}  // namespace spotcache

@@ -1,0 +1,76 @@
+#include "src/sim/latency_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spotcache {
+
+namespace {
+// p95 of an exponential sojourn is ln(20) ~ 3.0 times its mean.
+constexpr double kP95Factor = 3.0;
+}  // namespace
+
+double LatencyModel::Utilization(double lambda, const ResourceVector& capacity) const {
+  if (lambda <= 0.0) {
+    return 0.0;
+  }
+  const double cpu_rate = capacity.vcpus * params_.service_rate_per_vcpu;
+  const double net_rate =
+      capacity.net_mbps * 1e6 / (params_.item_size_bytes * 8.0);
+  const double rho_cpu = cpu_rate > 0.0 ? lambda / cpu_rate : 1e9;
+  const double rho_net = net_rate > 0.0 ? lambda / net_rate : 1e9;
+  return std::max(rho_cpu, rho_net);
+}
+
+NodeLatency LatencyModel::HitLatency(double lambda,
+                                     const ResourceVector& capacity) const {
+  NodeLatency out;
+  const double rho = Utilization(lambda, capacity);
+  out.utilization = rho;
+  const double service_s = 1.0 / params_.service_rate_per_vcpu;
+  if (rho >= 1.0) {
+    out.saturated = true;
+    out.mean = params_.saturated_latency;
+    out.p95 = params_.saturated_latency * 2.0;
+    return out;
+  }
+  const double q_s = service_s / (1.0 - rho);
+  out.mean = params_.base_latency + Duration::FromSecondsF(q_s);
+  out.p95 = params_.base_latency + Duration::FromSecondsF(kP95Factor * q_s);
+  // Clip to the saturated ceiling so near-1 utilizations don't explode.
+  out.mean = std::min(out.mean, params_.saturated_latency);
+  out.p95 = std::min(out.p95, params_.saturated_latency * 2.0);
+  return out;
+}
+
+Duration LatencyModel::BlendedMean(double lambda, const ResourceVector& capacity,
+                                   double hit_fraction) const {
+  const NodeLatency hit = HitLatency(lambda, capacity);
+  const double miss_fraction = std::clamp(1.0 - hit_fraction, 0.0, 1.0);
+  return hit.mean + params_.miss_penalty * miss_fraction;
+}
+
+Duration LatencyModel::HitBoundFor(Duration target, double hit_fraction) const {
+  const double miss_fraction = std::clamp(1.0 - hit_fraction, 0.0, 1.0);
+  const Duration bound = target - params_.miss_penalty * miss_fraction;
+  return std::max(bound, Duration::Micros(0));
+}
+
+double LatencyModel::MaxRate(const ResourceVector& capacity, Duration bound) const {
+  const double service_s = 1.0 / params_.service_rate_per_vcpu;
+  const double floor_s = params_.base_latency.seconds() + service_s;
+  if (bound.seconds() <= floor_s) {
+    return 0.0;
+  }
+  // Invert mean = base + service/(1-rho) for rho, then cap utilization.
+  const double q_s = bound.seconds() - params_.base_latency.seconds();
+  double rho = 1.0 - service_s / q_s;
+  rho = std::clamp(rho, 0.0, params_.max_utilization);
+
+  const double cpu_rate = capacity.vcpus * params_.service_rate_per_vcpu;
+  const double net_rate =
+      capacity.net_mbps * 1e6 / (params_.item_size_bytes * 8.0);
+  return rho * std::min(cpu_rate, net_rate);
+}
+
+}  // namespace spotcache

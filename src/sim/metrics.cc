@@ -1,0 +1,122 @@
+#include "src/sim/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace spotcache {
+
+double TimeSeries::Mean() const {
+  if (points_.empty()) {
+    return 0.0;
+  }
+  double s = 0.0;
+  for (const auto& p : points_) {
+    s += p.value;
+  }
+  return s / static_cast<double>(points_.size());
+}
+
+double TimeSeries::Max() const {
+  double m = 0.0;
+  for (const auto& p : points_) {
+    m = std::max(m, p.value);
+  }
+  return m;
+}
+
+std::vector<double> TimeSeries::Values() const {
+  std::vector<double> v;
+  v.reserve(points_.size());
+  for (const auto& p : points_) {
+    v.push_back(p.value);
+  }
+  return v;
+}
+
+Duration SloTracker::MeanLatency() const {
+  double weighted = 0.0;
+  double total = 0.0;
+  for (const auto& s : slots_) {
+    weighted += s.mean_latency.seconds() * s.arrival_rate;
+    total += s.arrival_rate;
+  }
+  if (total <= 0.0) {
+    return Duration::Micros(0);
+  }
+  return Duration::FromSecondsF(weighted / total);
+}
+
+Duration SloTracker::MaxP95() const {
+  Duration m;
+  for (const auto& s : slots_) {
+    m = std::max(m, s.p95_latency);
+  }
+  return m;
+}
+
+Duration SloTracker::WeightedP95() const {
+  // Percentile of per-slot p95s, weighted by arrivals: sort by p95 and find
+  // the 95th percentile of request mass.
+  std::vector<std::pair<double, double>> entries;  // (p95 seconds, weight)
+  double total = 0.0;
+  for (const auto& s : slots_) {
+    entries.emplace_back(s.p95_latency.seconds(), s.arrival_rate);
+    total += s.arrival_rate;
+  }
+  if (total <= 0.0 || entries.empty()) {
+    return Duration::Micros(0);
+  }
+  std::sort(entries.begin(), entries.end());
+  double acc = 0.0;
+  for (const auto& [lat, w] : entries) {
+    acc += w;
+    if (acc >= 0.95 * total) {
+      return Duration::FromSecondsF(lat);
+    }
+  }
+  return Duration::FromSecondsF(entries.back().first);
+}
+
+double SloTracker::DaysViolatedFraction(double threshold) const {
+  if (slots_.empty()) {
+    return 0.0;
+  }
+  // Group slots by simulation day; a day is violated if its request-weighted
+  // affected fraction exceeds the threshold.
+  std::map<int64_t, std::pair<double, double>> days;  // day -> (affected, total)
+  for (const auto& s : slots_) {
+    const int64_t day = static_cast<int64_t>(s.slot_start.days());
+    auto& [affected, total] = days[day];
+    affected += s.affected_fraction * s.arrival_rate;
+    total += s.arrival_rate;
+  }
+  int violated = 0;
+  for (const auto& [day, at] : days) {
+    const auto& [affected, total] = at;
+    if (total > 0.0 && affected / total > threshold) {
+      ++violated;
+    }
+  }
+  return static_cast<double>(violated) / static_cast<double>(days.size());
+}
+
+double SloTracker::AffectedRequestFraction() const {
+  double affected = 0.0;
+  double total = 0.0;
+  for (const auto& s : slots_) {
+    affected += s.affected_fraction * s.arrival_rate;
+    total += s.arrival_rate;
+  }
+  return total > 0.0 ? affected / total : 0.0;
+}
+
+double SloTracker::TotalCost() const {
+  double c = 0.0;
+  for (const auto& s : slots_) {
+    c += s.cost_dollars;
+  }
+  return c;
+}
+
+}  // namespace spotcache

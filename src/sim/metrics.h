@@ -1,0 +1,75 @@
+// Experiment metrics: time series and SLO-violation accounting.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/util/stats.h"
+#include "src/util/time.h"
+
+namespace spotcache {
+
+/// An append-only (time, value) series.
+class TimeSeries {
+ public:
+  struct Point {
+    SimTime time;
+    double value;
+  };
+
+  void Add(SimTime t, double v) { points_.push_back({t, v}); }
+  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  size_t size() const { return points_.size(); }
+
+  double Mean() const;
+  double Max() const;
+  /// Values only, for percentile computation.
+  std::vector<double> Values() const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Per-slot performance record produced by the experiment harness.
+struct SlotPerf {
+  SimTime slot_start;
+  double arrival_rate = 0.0;       // offered ops/s
+  double affected_fraction = 0.0;  // requests impacted by failures/saturation
+  Duration mean_latency;
+  Duration p95_latency;
+  double hit_fraction = 1.0;
+  double cost_dollars = 0.0;
+};
+
+/// Aggregates slot records into the paper's reporting units: average/p95
+/// latency and the fraction of *days* on which more than `threshold` of
+/// requests were affected by bid failures (Figure 7's y-axis).
+class SloTracker {
+ public:
+  void Record(const SlotPerf& slot) { slots_.push_back(slot); }
+  const std::vector<SlotPerf>& slots() const { return slots_; }
+
+  /// Request-weighted mean latency over the whole run.
+  Duration MeanLatency() const;
+  /// Worst p95 across slots (conservative tail summary).
+  Duration MaxP95() const;
+  /// Request-weighted p95: percentile of per-slot p95 weighted by arrivals.
+  Duration WeightedP95() const;
+
+  /// Fraction of days where the affected-request fraction exceeded
+  /// `threshold` (paper uses 1%).
+  double DaysViolatedFraction(double threshold = 0.01) const;
+
+  /// Fraction of all requests affected by failures.
+  double AffectedRequestFraction() const;
+
+  double TotalCost() const;
+
+ private:
+  std::vector<SlotPerf> slots_;
+};
+
+}  // namespace spotcache

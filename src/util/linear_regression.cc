@@ -1,0 +1,109 @@
+#include "src/util/linear_regression.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace spotcache {
+
+double RegressionResult::Predict(const std::vector<double>& features) const {
+  double y = 0.0;
+  const size_t n_features = has_intercept ? coefficients.size() - 1 : coefficients.size();
+  for (size_t j = 0; j < n_features && j < features.size(); ++j) {
+    y += coefficients[j] * features[j];
+  }
+  if (has_intercept) {
+    y += coefficients.back();
+  }
+  return y;
+}
+
+bool SolveLinearSystem(std::vector<std::vector<double>>& a, std::vector<double>& b,
+                       std::vector<double>& x) {
+  const size_t n = a.size();
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) {
+        pivot = r;
+      }
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) {
+      return false;
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r][col] / a[col][col];
+      for (size_t c = col; c < n; ++c) {
+        a[r][c] -= factor * a[col][c];
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  x.assign(n, 0.0);
+  for (size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (size_t c = ri + 1; c < n; ++c) {
+      acc -= a[ri][c] * x[c];
+    }
+    x[ri] = acc / a[ri][ri];
+  }
+  return true;
+}
+
+RegressionResult FitLeastSquares(const std::vector<std::vector<double>>& rows,
+                                 const std::vector<double>& targets,
+                                 bool with_intercept) {
+  RegressionResult result;
+  result.has_intercept = with_intercept;
+  if (rows.empty() || rows.size() != targets.size()) {
+    return result;
+  }
+  const size_t d = rows[0].size() + (with_intercept ? 1 : 0);
+  if (rows.size() < d) {
+    return result;
+  }
+
+  // Normal equations: (XᵀX) w = Xᵀy.
+  std::vector<std::vector<double>> xtx(d, std::vector<double>(d, 0.0));
+  std::vector<double> xty(d, 0.0);
+  std::vector<double> row(d);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = 0; j < rows[i].size(); ++j) {
+      row[j] = rows[i][j];
+    }
+    if (with_intercept) {
+      row[d - 1] = 1.0;
+    }
+    for (size_t j = 0; j < d; ++j) {
+      for (size_t k = 0; k < d; ++k) {
+        xtx[j][k] += row[j] * row[k];
+      }
+      xty[j] += row[j] * targets[i];
+    }
+  }
+
+  if (!SolveLinearSystem(xtx, xty, result.coefficients)) {
+    return result;
+  }
+
+  // R² = 1 - SS_res / SS_tot.
+  double mean_y = 0.0;
+  for (double y : targets) {
+    mean_y += y;
+  }
+  mean_y /= static_cast<double>(targets.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const double pred = result.Predict(rows[i]);
+    ss_res += (targets[i] - pred) * (targets[i] - pred);
+    ss_tot += (targets[i] - mean_y) * (targets[i] - mean_y);
+  }
+  result.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace spotcache

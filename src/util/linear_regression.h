@@ -1,0 +1,40 @@
+// Small-dimension multivariate ordinary least squares.
+//
+// Used to reproduce the paper's Table 1: a linear model p = w·x (+ optional
+// intercept) fit to the EC2 instance catalog explains on-demand prices with
+// R² ≈ 0.99. Solves the normal equations by Gaussian elimination with partial
+// pivoting — dimensions here are tiny (2–4 features).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace spotcache {
+
+struct RegressionResult {
+  /// Fitted coefficients, one per feature (intercept last when requested).
+  std::vector<double> coefficients;
+  /// Coefficient of determination on the training data.
+  double r_squared = 0.0;
+  /// False if the system was singular (collinear features / too few rows).
+  bool ok = false;
+
+  /// Applies the fitted model to a feature row (without intercept column).
+  double Predict(const std::vector<double>& features) const;
+  /// True iff an intercept column was appended during the fit.
+  bool has_intercept = false;
+};
+
+/// Fits y ≈ X w. `rows` are feature vectors (all the same length); `targets`
+/// the observed values. When `with_intercept`, a constant-1 column is appended.
+RegressionResult FitLeastSquares(const std::vector<std::vector<double>>& rows,
+                                 const std::vector<double>& targets,
+                                 bool with_intercept = false);
+
+/// Solves A x = b in place by Gaussian elimination with partial pivoting.
+/// Returns false if A is (numerically) singular. Exposed for testing.
+bool SolveLinearSystem(std::vector<std::vector<double>>& a, std::vector<double>& b,
+                       std::vector<double>& x);
+
+}  // namespace spotcache

@@ -1,0 +1,52 @@
+// Minimal leveled logging. Off by default so benches print clean tables;
+// tests and examples can raise the level to trace controller decisions.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace spotcache {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one line to stderr if `level` >= the global level.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace log_internal {
+
+class LineLogger {
+ public:
+  explicit LineLogger(LogLevel level) : level_(level) {}
+  ~LineLogger() { LogMessage(level_, stream_.str()); }
+  LineLogger(const LineLogger&) = delete;
+  LineLogger& operator=(const LineLogger&) = delete;
+
+  template <typename T>
+  LineLogger& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define SPOTCACHE_LOG(level) \
+  ::spotcache::log_internal::LineLogger(::spotcache::LogLevel::level)
+
+}  // namespace spotcache

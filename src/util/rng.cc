@@ -1,0 +1,38 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+namespace spotcache {
+
+double Rng::Exponential(double mean) {
+  // Inverse-CDF; guard against log(0).
+  double u = NextDouble();
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -mean * std::log1p(-u);
+}
+
+double Rng::StdNormal() {
+  double u1 = NextDouble();
+  if (u1 <= 0.0) {
+    u1 = 0x1.0p-53;
+  }
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Pareto(double x_m, double a) {
+  double u = NextDouble();
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return x_m / std::pow(u, 1.0 / a);
+}
+
+Rng Rng::Fork(uint64_t tag) {
+  uint64_t mix = s_[0] ^ (s_[3] + 0x9e3779b97f4a7c15ULL * (tag + 1));
+  return Rng(SplitMix64(mix));
+}
+
+}  // namespace spotcache

@@ -1,0 +1,93 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library takes an explicit `Rng` (or a seed),
+// so simulations are exactly reproducible. The generator is xoshiro256**, seeded
+// through SplitMix64 per the reference implementation's recommendation.
+
+#pragma once
+
+#include <cstdint>
+
+namespace spotcache {
+
+/// SplitMix64 step; used for seeding and for cheap stateless hashing of seeds.
+constexpr uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) {
+    uint64_t sm = seed;
+    for (auto& w : s_) {
+      w = SplitMix64(sm);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  uint64_t operator()() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n) {
+    // Lemire's nearly-divisionless bounded sampling (biased < 2^-64; fine here).
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * n) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponential with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Standard normal via Box–Muller (no cached spare: keeps state minimal).
+  double StdNormal();
+
+  /// Normal with mean/stddev.
+  double Normal(double mean, double stddev) { return mean + stddev * StdNormal(); }
+
+  /// Pareto with scale x_m and shape a (> 0). Heavy-tailed durations.
+  double Pareto(double x_m, double a);
+
+  /// Forks an independent stream; deterministic function of current state + tag.
+  Rng Fork(uint64_t tag);
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace spotcache

@@ -1,0 +1,142 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spotcache {
+
+void OnlineStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(n_);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::Merge(const OnlineStats& other) {
+  if (other.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double PercentileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Percentile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  return PercentileSorted(samples, q);
+}
+
+LogHistogram::LogHistogram(double min_value, double growth)
+    : min_value_(min_value), log_growth_(std::log(growth)) {}
+
+size_t LogHistogram::BucketFor(double value) const {
+  if (value <= min_value_) {
+    return 0;
+  }
+  return 1 + static_cast<size_t>(std::log(value / min_value_) / log_growth_);
+}
+
+double LogHistogram::BucketMid(size_t b) const {
+  if (b == 0) {
+    return min_value_ / 2.0;
+  }
+  // Geometric midpoint of the bucket's span.
+  const double lo = min_value_ * std::exp(static_cast<double>(b - 1) * log_growth_);
+  const double hi = lo * std::exp(log_growth_);
+  return std::sqrt(lo * hi);
+}
+
+void LogHistogram::RecordN(double value, uint64_t n) {
+  if (n == 0) {
+    return;
+  }
+  if (value < 0.0) {
+    value = 0.0;
+  }
+  const size_t b = BucketFor(value);
+  if (b >= buckets_.size()) {
+    buckets_.resize(b + 1, 0);
+  }
+  buckets_[b] += n;
+  count_ += n;
+  sum_ += value * static_cast<double>(n);
+  max_ = std::max(max_, value);
+}
+
+double LogHistogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen >= target) {
+      return std::min(BucketMid(b), max_);
+    }
+  }
+  return max_;
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  for (size_t b = 0; b < other.buckets_.size(); ++b) {
+    if (other.buckets_[b] == 0) {
+      continue;
+    }
+    if (b >= buckets_.size()) {
+      buckets_.resize(b + 1, 0);
+    }
+    buckets_[b] += other.buckets_[b];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+void LogHistogram::Reset() {
+  buckets_.clear();
+  count_ = 0;
+  sum_ = 0.0;
+  max_ = 0.0;
+}
+
+}  // namespace spotcache

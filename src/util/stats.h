@@ -1,0 +1,79 @@
+// Streaming and batch statistics used throughout the simulator: online mean /
+// variance (Welford), exact percentiles over collected samples, and a
+// log-bucketed latency histogram for cheap high-volume percentile queries.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace spotcache {
+
+/// Welford online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance; 0 if fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void Merge(const OnlineStats& other);
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile of a sample set; q in [0, 1]. Uses linear interpolation
+/// between closest ranks. Returns 0 for an empty sample. Copies + sorts.
+double Percentile(std::vector<double> samples, double q);
+
+/// Percentile over pre-sorted data (no copy).
+double PercentileSorted(const std::vector<double>& sorted, double q);
+
+/// Log-bucketed histogram for nonnegative values (latencies in seconds, byte
+/// counts, ...). Buckets grow geometrically, giving a bounded relative error
+/// (~5 % with the default growth) on percentile queries at O(1) record cost.
+class LogHistogram {
+ public:
+  /// `min_value` is the resolution floor; anything smaller lands in bucket 0.
+  /// `growth` is the per-bucket geometric factor (> 1).
+  explicit LogHistogram(double min_value = 1e-6, double growth = 1.05);
+
+  void Record(double value) { RecordN(value, 1); }
+  void RecordN(double value, uint64_t n);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double max_recorded() const { return max_; }
+
+  /// Percentile estimate; q in [0, 1]. Returns 0 on an empty histogram.
+  double Quantile(double q) const;
+
+  void Merge(const LogHistogram& other);
+  void Reset();
+
+ private:
+  size_t BucketFor(double value) const;
+  double BucketMid(size_t b) const;
+
+  double min_value_;
+  double log_growth_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace spotcache

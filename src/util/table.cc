@@ -1,0 +1,100 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace spotcache {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+std::string TextTable::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::Pct(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v * 100.0);
+  return buf;
+}
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) {
+      widths.resize(row.size(), 0);
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) {
+    widen(r);
+  }
+
+  if (!title_.empty()) {
+    os << "== " << title_ << " ==\n";
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << row[i];
+      if (i + 1 < row.size()) {
+        os << std::string(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    size_t total = 0;
+    for (size_t w : widths) {
+      total += w + 2;
+    }
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  }
+  for (const auto& r : rows_) {
+    print_row(r);
+  }
+}
+
+void TextTable::PrintCsv(std::ostream& os) const {
+  auto print_row = [&os](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) {
+        os << ',';
+      }
+      os << row[i];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+  }
+  for (const auto& r : rows_) {
+    print_row(r);
+  }
+}
+
+void SeriesPrinter::Print(std::ostream& os, int precision) const {
+  os << "-- " << title_ << " --\n";
+  TextTable t;
+  t.SetHeader(names_);
+  for (const auto& p : points_) {
+    std::vector<std::string> row;
+    row.reserve(p.size());
+    for (double v : p) {
+      row.push_back(TextTable::Num(v, precision));
+    }
+    t.AddRow(std::move(row));
+  }
+  t.Print(os);
+}
+
+}  // namespace spotcache

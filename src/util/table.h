@@ -1,0 +1,61 @@
+// Plain-text table and CSV rendering for benchmark output.
+//
+// Bench binaries print the rows/series of the paper's tables and figures; this
+// keeps formatting consistent and the bench code free of printf noise.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace spotcache {
+
+/// A simple column-aligned text table with an optional title.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row (cells already formatted).
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats a double with the given precision — convenience for callers.
+  static std::string Num(double v, int precision = 3);
+  /// Formats as a percentage (v=0.25 -> "25.0%").
+  static std::string Pct(double v, int precision = 1);
+
+  /// Renders the table, column-aligned, to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Renders the table as CSV (no alignment, header first).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints an (x, y...) series as aligned columns — used for "figure" benches
+/// that emit time series the paper plots.
+class SeriesPrinter {
+ public:
+  SeriesPrinter(std::string title, std::vector<std::string> column_names)
+      : title_(std::move(title)), names_(std::move(column_names)) {}
+
+  void AddPoint(std::vector<double> values) { points_.push_back(std::move(values)); }
+  void Print(std::ostream& os, int precision = 4) const;
+  size_t size() const { return points_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> points_;
+};
+
+}  // namespace spotcache

@@ -1,0 +1,101 @@
+// Strong time types for the simulation.
+//
+// All simulated time is kept in integer microseconds to make event ordering and
+// billing arithmetic exact and deterministic. `Duration` is a length of time,
+// `SimTime` a point on the simulation clock; mixing them up is a compile error.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spotcache {
+
+/// A length of simulated time, in integer microseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration Micros(int64_t us) { return Duration(us); }
+  static constexpr Duration Millis(int64_t ms) { return Duration(ms * 1000); }
+  static constexpr Duration Seconds(int64_t s) { return Duration(s * 1'000'000); }
+  static constexpr Duration Minutes(int64_t m) { return Seconds(m * 60); }
+  static constexpr Duration Hours(int64_t h) { return Seconds(h * 3600); }
+  static constexpr Duration Days(int64_t d) { return Hours(d * 24); }
+  /// Converts a fractional second count; rounds toward zero.
+  static constexpr Duration FromSecondsF(double s) {
+    return Duration(static_cast<int64_t>(s * 1e6));
+  }
+
+  constexpr int64_t micros() const { return us_; }
+  constexpr double seconds() const { return static_cast<double>(us_) / 1e6; }
+  constexpr double minutes() const { return seconds() / 60.0; }
+  constexpr double hours() const { return seconds() / 3600.0; }
+  constexpr double days() const { return hours() / 24.0; }
+
+  constexpr Duration operator+(Duration o) const { return Duration(us_ + o.us_); }
+  constexpr Duration operator-(Duration o) const { return Duration(us_ - o.us_); }
+  constexpr Duration operator*(int64_t k) const { return Duration(us_ * k); }
+  // Plain-int overload disambiguates `d * 2` (int converts equally well to
+  // int64_t and double, which would otherwise be ambiguous).
+  constexpr Duration operator*(int k) const {
+    return Duration(us_ * static_cast<int64_t>(k));
+  }
+  constexpr Duration operator*(double k) const {
+    return Duration(static_cast<int64_t>(static_cast<double>(us_) * k));
+  }
+  constexpr Duration operator/(int64_t k) const { return Duration(us_ / k); }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(us_) / static_cast<double>(o.us_);
+  }
+  Duration& operator+=(Duration o) {
+    us_ += o.us_;
+    return *this;
+  }
+  Duration& operator-=(Duration o) {
+    us_ -= o.us_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  constexpr explicit Duration(int64_t us) : us_(us) {}
+  int64_t us_ = 0;
+};
+
+/// An instant on the simulation clock. Time zero is the start of a simulation.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime FromMicros(int64_t us) { return SimTime(us); }
+  static constexpr SimTime FromSeconds(double s) {
+    return SimTime(static_cast<int64_t>(s * 1e6));
+  }
+
+  constexpr int64_t micros() const { return us_; }
+  constexpr double seconds() const { return static_cast<double>(us_) / 1e6; }
+  constexpr double hours() const { return seconds() / 3600.0; }
+  constexpr double days() const { return hours() / 24.0; }
+
+  constexpr SimTime operator+(Duration d) const { return SimTime(us_ + d.micros()); }
+  constexpr SimTime operator-(Duration d) const { return SimTime(us_ - d.micros()); }
+  constexpr Duration operator-(SimTime o) const { return Duration::Micros(us_ - o.us_); }
+  SimTime& operator+=(Duration d) {
+    us_ += d.micros();
+    return *this;
+  }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+ private:
+  constexpr explicit SimTime(int64_t us) : us_(us) {}
+  int64_t us_ = 0;
+};
+
+/// Formats a duration as a compact human-readable string, e.g. "2h03m" or "15.2s".
+std::string ToString(Duration d);
+
+/// Formats a sim time as "d<days> hh:mm:ss".
+std::string ToString(SimTime t);
+
+}  // namespace spotcache

@@ -1,0 +1,26 @@
+#include "src/workload/request_gen.h"
+
+namespace spotcache {
+
+RequestGenerator::RequestGenerator(const RequestGenConfig& config)
+    : config_(config),
+      sampler_(config.num_keys, config.zipf_theta),
+      popularity_(config.num_keys, config.zipf_theta) {}
+
+KeyId RequestGenerator::KeyForRank(uint64_t rank) const {
+  if (!config_.scramble) {
+    return rank;
+  }
+  // Hash the rank into the key space; collisions merge a negligible mass.
+  return HashU64(rank) % config_.num_keys;
+}
+
+CacheRequest RequestGenerator::Next(Rng& rng) const {
+  CacheRequest req;
+  req.key = KeyForRank(sampler_.Sample(rng));
+  req.value_bytes = config_.value_bytes;
+  req.op = rng.Bernoulli(config_.read_fraction) ? CacheOp::kGet : CacheOp::kSet;
+  return req;
+}
+
+}  // namespace spotcache

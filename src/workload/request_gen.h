@@ -1,0 +1,46 @@
+// Request stream generation (the YCSB client of the paper's evaluation).
+
+#pragma once
+
+#include <cstdint>
+
+#include "src/cache/cache_protocol.h"
+#include "src/routing/hash.h"
+#include "src/util/rng.h"
+#include "src/workload/zipf.h"
+
+namespace spotcache {
+
+struct RequestGenConfig {
+  uint64_t num_keys = 1'000'000;
+  double zipf_theta = 1.0;
+  /// Fraction of GET requests (the paper's workloads are 100% read; USR-style
+  /// mixes are ~99.8%).
+  double read_fraction = 1.0;
+  uint32_t value_bytes = 4096;
+  /// When true, the popularity rank is hashed into a scattered key id
+  /// (YCSB's scrambled Zipf); when false, key id == popularity rank.
+  bool scramble = false;
+};
+
+class RequestGenerator {
+ public:
+  explicit RequestGenerator(const RequestGenConfig& config);
+
+  /// Draws the next request.
+  CacheRequest Next(Rng& rng) const;
+
+  /// Maps a popularity rank to the emitted key id (identity unless
+  /// scrambling). Exposed so analytic code can align with the stream.
+  KeyId KeyForRank(uint64_t rank) const;
+
+  const RequestGenConfig& config() const { return config_; }
+  const ZipfPopularity& popularity() const { return popularity_; }
+
+ private:
+  RequestGenConfig config_;
+  ZipfianGenerator sampler_;
+  ZipfPopularity popularity_;
+};
+
+}  // namespace spotcache

@@ -1,0 +1,58 @@
+#include "src/workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spotcache {
+
+WorkloadTrace::WorkloadTrace(std::vector<double> rates, std::vector<double> ws_gb,
+                             Duration slot)
+    : rates_(std::move(rates)), ws_gb_(std::move(ws_gb)), slot_(slot) {}
+
+WorkloadTrace WorkloadTrace::GenerateDiurnal(const DiurnalTraceConfig& config) {
+  Rng rng(config.seed);
+  const size_t slots_per_day =
+      static_cast<size_t>(Duration::Days(1) / config.slot);
+  const size_t total = slots_per_day * static_cast<size_t>(config.days);
+
+  std::vector<double> rates;
+  std::vector<double> ws;
+  rates.reserve(total);
+  ws.reserve(total);
+
+  for (size_t i = 0; i < total; ++i) {
+    const double hour_of_day =
+        std::fmod(static_cast<double>(i) * config.slot.hours(), 24.0);
+    const int day = static_cast<int>(static_cast<double>(i) /
+                                     static_cast<double>(slots_per_day));
+    // Cosine diurnal shape peaking at peak_hour, in [min_fraction, 1].
+    const double phase =
+        std::cos((hour_of_day - config.peak_hour) / 24.0 * 2.0 * M_PI);
+    const double shape01 = 0.5 * (1.0 + phase);
+    const double rate_shape =
+        config.min_rate_fraction + (1.0 - config.min_rate_fraction) * shape01;
+    const double ws_shape = config.min_working_set_fraction +
+                            (1.0 - config.min_working_set_fraction) * shape01;
+
+    const bool weekend = (day % 7) >= 5;
+    const double week = weekend ? config.weekend_factor : 1.0;
+    const double noise = std::exp(config.noise * rng.StdNormal());
+    const double ws_noise = std::exp(0.5 * config.noise * rng.StdNormal());
+
+    rates.push_back(
+        std::min(config.peak_rate_ops, config.peak_rate_ops * rate_shape * week * noise));
+    ws.push_back(std::min(config.peak_working_set_gb,
+                          config.peak_working_set_gb * ws_shape * ws_noise));
+  }
+  return WorkloadTrace(std::move(rates), std::move(ws), config.slot);
+}
+
+double WorkloadTrace::PeakRate() const {
+  return rates_.empty() ? 0.0 : *std::max_element(rates_.begin(), rates_.end());
+}
+
+double WorkloadTrace::PeakWorkingSetGb() const {
+  return ws_gb_.empty() ? 0.0 : *std::max_element(ws_gb_.begin(), ws_gb_.end());
+}
+
+}  // namespace spotcache

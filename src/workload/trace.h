@@ -1,0 +1,61 @@
+// Arrival-rate / working-set traces.
+//
+// The paper scales the Wikipedia access trace [42] to different peak rates
+// and working-set sizes; that trace is not redistributable, so we synthesize
+// the same qualitative structure: a strong diurnal cycle, a weekly modulation
+// (weekends ~15% lighter), and multiplicative noise, with the working set
+// breathing between a floor and its peak on the same daily rhythm.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/time.h"
+
+namespace spotcache {
+
+struct DiurnalTraceConfig {
+  double peak_rate_ops = 320'000.0;
+  /// Overnight trough as a fraction of the peak.
+  double min_rate_fraction = 0.30;
+  double peak_working_set_gb = 60.0;
+  double min_working_set_fraction = 0.40;
+  int days = 1;
+  Duration slot = Duration::Hours(1);
+  /// Local hour of the daily peak.
+  double peak_hour = 14.0;
+  /// Multiplicative log-normal-ish noise sigma on each slot.
+  double noise = 0.05;
+  /// Weekend damping factor applied on days 5 and 6 of each week.
+  double weekend_factor = 0.85;
+  uint64_t seed = 42;
+};
+
+/// A per-slot (arrival rate, working-set size) trace.
+class WorkloadTrace {
+ public:
+  static WorkloadTrace GenerateDiurnal(const DiurnalTraceConfig& config);
+
+  /// Builds a trace directly from per-slot values (for tests / custom loads).
+  WorkloadTrace(std::vector<double> rates, std::vector<double> ws_gb,
+                Duration slot);
+
+  size_t slots() const { return rates_.size(); }
+  Duration slot_length() const { return slot_; }
+  Duration total_length() const { return slot_ * static_cast<int64_t>(slots()); }
+
+  double RateAt(size_t slot_index) const { return rates_.at(slot_index); }
+  double WorkingSetGbAt(size_t slot_index) const { return ws_gb_.at(slot_index); }
+
+  double PeakRate() const;
+  double PeakWorkingSetGb() const;
+
+ private:
+  std::vector<double> rates_;
+  std::vector<double> ws_gb_;
+  Duration slot_;
+};
+
+}  // namespace spotcache

@@ -1,0 +1,66 @@
+#include "src/workload/workload_spec.h"
+
+#include <cstdio>
+
+namespace spotcache {
+
+std::vector<WorkloadSpec> LongTermGrid(int days, uint64_t seed) {
+  std::vector<WorkloadSpec> out;
+  const double rates[] = {100e3, 500e3, 1000e3};
+  const double sets[] = {10.0, 100.0, 500.0};
+  const double thetas[] = {1.0, 2.0};
+  uint64_t salt = 0;
+  for (double theta : thetas) {
+    for (double rate : rates) {
+      for (double set : sets) {
+        WorkloadSpec w;
+        char name[96];
+        std::snprintf(name, sizeof(name), "rate=%.0fk ws=%.0fGB zipf=%.1f",
+                      rate / 1000.0, set, theta);
+        w.name = name;
+        w.peak_rate_ops = rate;
+        w.peak_working_set_gb = set;
+        w.zipf_theta = theta;
+        w.days = days;
+        w.seed = seed + (salt++);
+        out.push_back(w);
+      }
+    }
+  }
+  return out;
+}
+
+WorkloadSpec SpotModelingWorkload(int days, uint64_t seed) {
+  WorkloadSpec w;
+  w.name = "spot-modeling (500kops, 100GB, zipf 2.0)";
+  w.peak_rate_ops = 500e3;
+  w.peak_working_set_gb = 100.0;
+  w.zipf_theta = 2.0;
+  w.days = days;
+  w.seed = seed;
+  return w;
+}
+
+WorkloadSpec PrototypeWorkload(int days, double zipf_theta, uint64_t seed) {
+  WorkloadSpec w;
+  w.name = "prototype (320kops, 60GB)";
+  w.peak_rate_ops = 320e3;
+  w.peak_working_set_gb = 60.0;
+  w.zipf_theta = zipf_theta;
+  w.days = days;
+  w.seed = seed;
+  return w;
+}
+
+WorkloadSpec RecoveryWorkload(uint64_t seed) {
+  WorkloadSpec w;
+  w.name = "recovery (40kops, 10GB)";
+  w.peak_rate_ops = 40e3;
+  w.peak_working_set_gb = 10.0;
+  w.zipf_theta = 1.0;
+  w.days = 1;
+  w.seed = seed;
+  return w;
+}
+
+}  // namespace spotcache

@@ -1,0 +1,54 @@
+// Named workload specifications of the paper's evaluation (§5).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/workload/trace.h"
+
+namespace spotcache {
+
+/// One evaluation workload: arrival/working-set dynamics plus popularity.
+struct WorkloadSpec {
+  std::string name;
+  double peak_rate_ops = 0.0;
+  double peak_working_set_gb = 0.0;
+  double zipf_theta = 1.0;
+  /// GET share; the paper's workloads are 100% read (USR is 99.8%).
+  double read_fraction = 1.0;
+  int days = 1;
+  uint32_t value_bytes = 4096;
+  uint64_t seed = 42;
+
+  DiurnalTraceConfig TraceConfig() const {
+    DiurnalTraceConfig cfg;
+    cfg.peak_rate_ops = peak_rate_ops;
+    cfg.peak_working_set_gb = peak_working_set_gb;
+    cfg.days = days;
+    cfg.seed = seed;
+    return cfg;
+  }
+
+  /// Number of distinct keys implied by the peak working set and item size.
+  uint64_t NumKeys() const {
+    return static_cast<uint64_t>(peak_working_set_gb * 1024.0 * 1024.0 * 1024.0 /
+                                 value_bytes);
+  }
+};
+
+/// The §5.5 grid: rate {100k, 500k, 1000k} x working set {10, 100, 500 GB}
+/// x Zipf {1.0, 2.0} = 18 workloads.
+std::vector<WorkloadSpec> LongTermGrid(int days, uint64_t seed = 42);
+
+/// §5.2 / Figure 7: 500 kops peak, 100 GB, Zipf 2.0.
+WorkloadSpec SpotModelingWorkload(int days, uint64_t seed = 42);
+
+/// §5.3 / Figures 9-10: 320 kops peak, 60 GB.
+WorkloadSpec PrototypeWorkload(int days, double zipf_theta = 1.0,
+                               uint64_t seed = 42);
+
+/// §5.4 / Figure 11: 40 kops, 10 GB working set (3 GB hot at Zipf 1.0).
+WorkloadSpec RecoveryWorkload(uint64_t seed = 42);
+
+}  // namespace spotcache

@@ -1,0 +1,105 @@
+#include "src/cloud/burstable.h"
+
+#include <gtest/gtest.h>
+
+namespace spotcache {
+namespace {
+
+class BurstableTest : public ::testing::Test {
+ protected:
+  InstanceCatalog catalog_ = InstanceCatalog::Default();
+  const InstanceTypeSpec& micro() { return *catalog_.Find("t2.micro"); }
+  const InstanceTypeSpec& medium() { return *catalog_.Find("t2.medium"); }
+};
+
+TEST_F(BurstableTest, BelowBaselineNeverThrottles) {
+  BurstableState s(micro(), 0.0);  // no credits at all
+  const double demand = micro().baseline_vcpus * 0.5;
+  const double got =
+      s.RunCpu(SimTime(), SimTime() + Duration::Hours(5), demand);
+  EXPECT_DOUBLE_EQ(got, demand);
+}
+
+TEST_F(BurstableTest, FullCreditsSustainPeakForAWhile) {
+  BurstableState s(micro(), 1.0);
+  // t2.micro: 144-credit cap, peak 1 vCPU, baseline 0.1: net drain 54/hour
+  // => ~2.67 hours of full-speed burst.
+  const double got = s.RunCpu(SimTime(), SimTime() + Duration::Hours(2), 1.0);
+  EXPECT_DOUBLE_EQ(got, 1.0);
+}
+
+TEST_F(BurstableTest, ExhaustionDropsToBaseline) {
+  BurstableState s(micro(), 1.0);
+  // Run at peak for 10 hours: credits exhaust after ~2.67h, the average
+  // delivered CPU lands between baseline and peak.
+  const double got = s.RunCpu(SimTime(), SimTime() + Duration::Hours(10), 1.0);
+  EXPECT_LT(got, 1.0);
+  EXPECT_GT(got, micro().baseline_vcpus);
+  // After exhaustion, further demand gets the baseline only.
+  const double after = s.RunCpu(SimTime() + Duration::Hours(10),
+                                SimTime() + Duration::Hours(11), 1.0);
+  EXPECT_NEAR(after, micro().baseline_vcpus, 0.02);
+}
+
+TEST_F(BurstableTest, IdleRebuildsCredits) {
+  BurstableState s(micro(), 0.0);
+  EXPECT_NEAR(s.cpu_credits(SimTime()), 0.0, 1e-9);
+  // 10 idle hours at 6 credits/hour.
+  EXPECT_NEAR(s.cpu_credits(SimTime() + Duration::Hours(10)), 60.0, 1e-6);
+}
+
+TEST_F(BurstableTest, DemandClampedToPeak) {
+  BurstableState s(medium(), 1.0);
+  const double got = s.RunCpu(SimTime(), SimTime() + Duration::Minutes(1), 99.0);
+  EXPECT_DOUBLE_EQ(got, medium().capacity.vcpus);
+}
+
+TEST_F(BurstableTest, NetworkBurstsThenBaseline) {
+  BurstableState s(micro(), 1.0);
+  const double peak = micro().capacity.net_mbps;
+  // Short burst at peak succeeds.
+  EXPECT_DOUBLE_EQ(
+      s.RunNetwork(SimTime(), SimTime() + Duration::Seconds(60), peak), peak);
+  // A very long transfer averages below peak (tokens exhausted).
+  const double longrun = s.RunNetwork(SimTime() + Duration::Seconds(60),
+                                      SimTime() + Duration::Hours(2), peak);
+  EXPECT_LT(longrun, peak);
+  EXPECT_GE(longrun, micro().baseline_net_mbps * 0.99);
+}
+
+TEST_F(BurstableTest, CpuBurstHorizonMatchesArithmetic) {
+  BurstableState s(micro(), 1.0);
+  // 144 credits, drain (1.0 - 0.1)*60 = 54/hour => 2.667 hours.
+  const Duration h = s.CpuBurstHorizon(SimTime(), 1.0);
+  EXPECT_NEAR(h.hours(), 144.0 / 54.0, 0.01);
+}
+
+TEST_F(BurstableTest, CpuBurstHorizonInfiniteAtBaseline) {
+  BurstableState s(micro(), 0.0);
+  EXPECT_GT(s.CpuBurstHorizon(SimTime(), micro().baseline_vcpus),
+            Duration::Days(10000));
+}
+
+TEST_F(BurstableTest, TimeToEarnCpuBurst) {
+  BurstableState s(micro(), 0.0);
+  // A 1-hour burst at 1 vCPU needs 54 credits above baseline; earn rate is
+  // 6/hour => 9 hours.
+  const Duration t =
+      s.TimeToEarnCpuBurst(SimTime(), 1.0, Duration::Hours(1));
+  EXPECT_NEAR(t.hours(), 9.0, 0.01);
+}
+
+TEST_F(BurstableTest, PeekDoesNotConsume) {
+  BurstableState s(micro(), 1.0);
+  const double before = s.cpu_credits(SimTime());
+  EXPECT_DOUBLE_EQ(s.PeekCpuCapacity(SimTime(), 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.cpu_credits(SimTime()), before);
+}
+
+TEST_F(BurstableTest, LaunchCreditFraction) {
+  BurstableState half(micro(), 0.5);
+  EXPECT_NEAR(half.cpu_credits(SimTime()), micro().cpu_credit_cap * 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace spotcache

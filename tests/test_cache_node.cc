@@ -1,0 +1,91 @@
+#include "src/cache/cache_node.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cache/backend_store.h"
+
+namespace spotcache {
+namespace {
+
+TEST(CacheNode, CapacityFromRamWithOverhead) {
+  CacheNode node(1, 8.0, "n");
+  EXPECT_EQ(node.capacity_bytes(),
+            static_cast<size_t>(8.0 * 0.85 * 1024 * 1024 * 1024));
+  EXPECT_EQ(node.instance_id(), 1u);
+  EXPECT_EQ(node.name(), "n");
+}
+
+TEST(CacheNode, GetSetDelete) {
+  CacheNode node(1, 1.0, "n");
+  EXPECT_FALSE(node.Get(5));
+  node.Set(5, 4096);
+  EXPECT_TRUE(node.Get(5));
+  EXPECT_TRUE(node.Contains(5));
+  EXPECT_TRUE(node.Delete(5));
+  EXPECT_FALSE(node.Contains(5));
+  EXPECT_EQ(node.hits(), 1u);
+  EXPECT_EQ(node.misses(), 1u);
+}
+
+TEST(CacheNode, EvictsWhenFull) {
+  // Tiny node: ~0.85 MB usable.
+  CacheNode node(1, 0.001, "n");
+  const size_t items = node.capacity_bytes() / 4096 + 10;
+  for (size_t k = 0; k < items; ++k) {
+    node.Set(k, 4096);
+  }
+  EXPECT_GT(node.evictions(), 0u);
+  EXPECT_LE(node.bytes_used(), node.capacity_bytes());
+  // Oldest key evicted, newest present.
+  EXPECT_FALSE(node.Contains(0));
+  EXPECT_TRUE(node.Contains(items - 1));
+}
+
+TEST(CacheNode, MruIterationForWarmup) {
+  CacheNode node(1, 1.0, "n");
+  node.Set(1, 100);
+  node.Set(2, 100);
+  node.Get(1);
+  std::vector<KeyId> order;
+  node.ForEachMruToLru([&](KeyId k, size_t) { order.push_back(k); });
+  EXPECT_EQ(order, (std::vector<KeyId>{1, 2}));
+}
+
+TEST(BackendStore, BaseLatencyAtComfortableRate) {
+  BackendStore b;
+  EXPECT_EQ(b.Read(10'000), Duration::Millis(5));
+  EXPECT_EQ(b.reads(), 1u);
+}
+
+TEST(BackendStore, OverloadInflatesLinearly) {
+  BackendStore b;
+  const Duration l1 = b.Read(50'000);
+  const Duration l2 = b.Read(100'000);
+  EXPECT_EQ(l1, Duration::Millis(5));
+  EXPECT_EQ(l2, Duration::Millis(10));
+}
+
+TEST(BackendStore, OverloadCappedAtTenX) {
+  BackendStore b;
+  EXPECT_EQ(b.Read(5'000'000), Duration::Millis(50));
+}
+
+TEST(BackendStore, WritesCounted) {
+  BackendStore b;
+  b.Write(1000);
+  b.Write(1000);
+  EXPECT_EQ(b.writes(), 2u);
+  EXPECT_EQ(b.reads(), 0u);
+}
+
+TEST(BackendStore, CustomParams) {
+  BackendStore::Params p;
+  p.base_latency = Duration::Millis(2);
+  p.comfortable_read_rate = 10'000;
+  BackendStore b(p);
+  EXPECT_EQ(b.Read(5'000), Duration::Millis(2));
+  EXPECT_EQ(b.Read(20'000), Duration::Millis(4));
+}
+
+}  // namespace
+}  // namespace spotcache

@@ -1,0 +1,202 @@
+#include "src/cloud/cloud_provider.h"
+
+#include <gtest/gtest.h>
+
+namespace spotcache {
+namespace {
+
+class ProviderTest : public ::testing::Test {
+ protected:
+  ProviderTest() {
+    // One hand-built market: cheap until hour 5, spike above 0.08 for an
+    // hour, cheap again. On-demand price of m4.large is 0.10.
+    PriceTrace trace;
+    trace.Append(SimTime(), 0.02);
+    trace.Append(SimTime() + Duration::Hours(5), 0.09);
+    trace.Append(SimTime() + Duration::Hours(6), 0.02);
+    trace.SetEnd(SimTime() + Duration::Days(10));
+    SpotMarket market{"test-mkt", catalog_.Find("m4.large"), "zone-a",
+                      std::move(trace)};
+    std::vector<SpotMarket> markets;
+    markets.push_back(std::move(market));
+    provider_ =
+        std::make_unique<CloudProvider>(&catalog_, std::move(markets), 42);
+    provider_->SetBootDelay(Duration::Seconds(100), Duration::Seconds(0));
+  }
+
+  const SpotMarket& market() { return provider_->markets()[0]; }
+
+  InstanceCatalog catalog_ = InstanceCatalog::Default();
+  std::unique_ptr<CloudProvider> provider_;
+};
+
+TEST_F(ProviderTest, OnDemandBootsAfterDelay) {
+  const InstanceId id =
+      provider_->LaunchOnDemand(*catalog_.Find("m3.large"), "t");
+  EXPECT_EQ(provider_->Get(id)->state, InstanceState::kPending);
+
+  auto events = provider_->AdvanceTo(SimTime() + Duration::Seconds(50));
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(provider_->Get(id)->state, InstanceState::kPending);
+
+  events = provider_->AdvanceTo(SimTime() + Duration::Seconds(150));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, ProviderEventKind::kInstanceReady);
+  EXPECT_EQ(events[0].time, SimTime() + Duration::Seconds(100));
+  EXPECT_EQ(provider_->Get(id)->state, InstanceState::kRunning);
+}
+
+TEST_F(ProviderTest, SpotRejectedWhenPriceAboveBid) {
+  provider_->AdvanceTo(SimTime() + Duration::Hours(5) + Duration::Minutes(10));
+  EXPECT_EQ(provider_->RequestSpot(market(), 0.05, "t"), kInvalidInstanceId);
+  // A higher bid is accepted even during the spike.
+  EXPECT_NE(provider_->RequestSpot(market(), 0.10, "t"), kInvalidInstanceId);
+}
+
+TEST_F(ProviderTest, RevocationWarningTwoMinutesAhead) {
+  const InstanceId id = provider_->RequestSpot(market(), 0.05, "t");
+  ASSERT_NE(id, kInvalidInstanceId);
+  const auto events = provider_->AdvanceTo(SimTime() + Duration::Hours(7));
+  // Expect: ready, warning at 5h - 2min, revoked at 5h.
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, ProviderEventKind::kInstanceReady);
+  EXPECT_EQ(events[1].kind, ProviderEventKind::kRevocationWarning);
+  EXPECT_EQ(events[1].time, SimTime() + Duration::Hours(5) - Duration::Minutes(2));
+  EXPECT_EQ(events[2].kind, ProviderEventKind::kRevoked);
+  EXPECT_EQ(events[2].time, SimTime() + Duration::Hours(5));
+  EXPECT_EQ(provider_->Get(id)->state, InstanceState::kRevoked);
+}
+
+TEST_F(ProviderTest, HighBidSurvivesSpike) {
+  const InstanceId id = provider_->RequestSpot(market(), 0.50, "t");
+  const auto events = provider_->AdvanceTo(SimTime() + Duration::Hours(8));
+  ASSERT_EQ(events.size(), 1u);  // ready only
+  EXPECT_EQ(provider_->Get(id)->state, InstanceState::kRunning);
+}
+
+TEST_F(ProviderTest, SpotBillingChargesPriceAtHourStart) {
+  const InstanceId id = provider_->RequestSpot(market(), 0.50, "t");
+  provider_->AdvanceTo(SimTime() + Duration::Hours(3));
+  // Ready at t=100s; two complete hours by t=3h, each at price 0.02.
+  EXPECT_NEAR(provider_->ledger().Total(), 0.04, 1e-9);
+  provider_->Terminate(id);
+  // Tenant termination: the partial third hour is charged in full.
+  EXPECT_NEAR(provider_->ledger().Total(), 0.06, 1e-9);
+  EXPECT_NEAR(provider_->ledger().TotalFor(CostCategory::kSpot), 0.06, 1e-9);
+}
+
+TEST_F(ProviderTest, ProviderRevocationFinalPartialHourFree) {
+  // Bid fails at the 5h spike. Ready at 100s: complete billed hours end at
+  // 100s + 4h; the partial hour to the 5h revocation is free.
+  provider_->RequestSpot(market(), 0.05, "t");
+  provider_->AdvanceTo(SimTime() + Duration::Hours(6));
+  EXPECT_NEAR(provider_->ledger().Total(), 4 * 0.02, 1e-9);
+}
+
+TEST_F(ProviderTest, SpikePricedHourCostsMore) {
+  // Launch just before the spike with a high bid: the hour starting inside
+  // the spike is billed at the spike price.
+  provider_->AdvanceTo(SimTime() + Duration::Hours(5) - Duration::Seconds(200));
+  const InstanceId id = provider_->RequestSpot(market(), 0.50, "t");
+  provider_->AdvanceTo(SimTime() + Duration::Hours(8));
+  provider_->Terminate(id);
+  // Ready at 5h-100s. Billed hours start at 5h-100s (price 0.02, pre-spike),
+  // 6h-100s (0.09, inside the spike), 7h-100s (0.02), plus the tenant-
+  // terminated partial hour at 8h-100s (0.02, charged in full).
+  const double total = provider_->ledger().Total();
+  EXPECT_NEAR(total, 0.02 + 0.09 + 0.02 + 0.02, 1e-9);
+}
+
+TEST_F(ProviderTest, OnDemandPartialHourRoundsUp) {
+  const InstanceId id =
+      provider_->LaunchOnDemand(*catalog_.Find("m3.large"), "t");
+  provider_->AdvanceTo(SimTime() + Duration::Minutes(30));
+  provider_->Terminate(id);
+  EXPECT_NEAR(provider_->ledger().Total(),
+              catalog_.Find("m3.large")->od_price_per_hour, 1e-9);
+}
+
+TEST_F(ProviderTest, NeverReadyInstanceIsFree) {
+  const InstanceId id =
+      provider_->LaunchOnDemand(*catalog_.Find("m3.large"), "t");
+  provider_->AdvanceTo(SimTime() + Duration::Seconds(10));
+  provider_->Terminate(id);
+  EXPECT_EQ(provider_->ledger().Total(), 0.0);
+}
+
+TEST_F(ProviderTest, BurstableBilledAtListPrice) {
+  const InstanceId id =
+      provider_->LaunchBurstable(*catalog_.Find("t2.medium"), "backup");
+  EXPECT_TRUE(provider_->Get(id)->burst.has_value());
+  provider_->AdvanceTo(SimTime() + Duration::Hours(2));
+  provider_->Terminate(id);
+  EXPECT_NEAR(provider_->ledger().TotalFor(CostCategory::kBurstableBackup),
+              2 * 0.052, 1e-9);
+}
+
+TEST_F(ProviderTest, AccrualIsIncrementalAndIdempotent) {
+  provider_->LaunchOnDemand(*catalog_.Find("m3.large"), "t");
+  provider_->AdvanceTo(SimTime() + Duration::Hours(2));
+  const double after_two = provider_->ledger().Total();
+  EXPECT_GT(after_two, 0.0);
+  provider_->AdvanceTo(SimTime() + Duration::Hours(2));  // no time passes
+  EXPECT_EQ(provider_->ledger().Total(), after_two);
+}
+
+TEST_F(ProviderTest, FinalizeBillingTerminatesEverything) {
+  provider_->LaunchOnDemand(*catalog_.Find("m3.large"), "a");
+  provider_->RequestSpot(market(), 0.50, "b");
+  provider_->AdvanceTo(SimTime() + Duration::Hours(2));
+  provider_->FinalizeBilling();
+  EXPECT_TRUE(provider_->AliveInstances().empty());
+  EXPECT_GT(provider_->ledger().TotalFor(CostCategory::kOnDemand), 0.0);
+  EXPECT_GT(provider_->ledger().TotalFor(CostCategory::kSpot), 0.0);
+}
+
+TEST_F(ProviderTest, TerminatePendingIsSafe) {
+  const InstanceId id =
+      provider_->LaunchOnDemand(*catalog_.Find("m3.large"), "t");
+  provider_->Terminate(id);
+  EXPECT_EQ(provider_->Get(id)->state, InstanceState::kTerminated);
+  provider_->Terminate(id);  // no-op
+  const auto events = provider_->AdvanceTo(SimTime() + Duration::Hours(1));
+  EXPECT_TRUE(events.empty());
+}
+
+TEST_F(ProviderTest, AliveInstancesSortedById) {
+  const InstanceId a = provider_->LaunchOnDemand(*catalog_.Find("m3.large"), "a");
+  const InstanceId b = provider_->LaunchOnDemand(*catalog_.Find("c3.large"), "b");
+  const auto alive = provider_->AliveInstances();
+  ASSERT_EQ(alive.size(), 2u);
+  EXPECT_EQ(alive[0]->id, a);
+  EXPECT_EQ(alive[1]->id, b);
+}
+
+TEST_F(ProviderTest, EventsSortedByTime) {
+  provider_->RequestSpot(market(), 0.05, "a");  // revoked at 5h
+  provider_->LaunchOnDemand(*catalog_.Find("m3.large"), "b");
+  const auto events = provider_->AdvanceTo(SimTime() + Duration::Hours(7));
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time, events[i].time);
+  }
+}
+
+TEST_F(ProviderTest, RevocationBeforeBootNeverBecomesReady) {
+  // Request 30 seconds before the spike: boot (100s) completes after the
+  // revocation moment, so the instance is revoked while pending.
+  provider_->AdvanceTo(SimTime() + Duration::Hours(5) - Duration::Seconds(30));
+  const InstanceId id = provider_->RequestSpot(market(), 0.05, "t");
+  ASSERT_NE(id, kInvalidInstanceId);
+  const auto events = provider_->AdvanceTo(SimTime() + Duration::Hours(6));
+  bool saw_ready = false;
+  for (const auto& e : events) {
+    saw_ready |= e.kind == ProviderEventKind::kInstanceReady &&
+                 e.instance_id == id;
+  }
+  EXPECT_FALSE(saw_ready);
+  EXPECT_EQ(provider_->Get(id)->state, InstanceState::kRevoked);
+  EXPECT_EQ(provider_->ledger().Total(), 0.0);
+}
+
+}  // namespace
+}  // namespace spotcache

@@ -1,0 +1,90 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace spotcache {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(SimTime::FromSeconds(3), [&] { order.push_back(3); });
+  q.Schedule(SimTime::FromSeconds(1), [&] { order.push_back(1); });
+  q.Schedule(SimTime::FromSeconds(2), [&] { order.push_back(2); });
+  q.RunAll(SimTime::FromSeconds(10));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.executed(), 3u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(SimTime::FromSeconds(1), [&order, i] { order.push_back(i); });
+  }
+  q.RunAll(SimTime::FromSeconds(2));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ClockAdvancesToEventTime) {
+  EventQueue q;
+  SimTime seen;
+  q.Schedule(SimTime::FromSeconds(5), [&] { seen = q.now(); });
+  ASSERT_TRUE(q.RunNext());
+  EXPECT_EQ(seen, SimTime::FromSeconds(5));
+  EXPECT_EQ(q.now(), SimTime::FromSeconds(5));
+}
+
+TEST(EventQueue, RunNextOnEmptyReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.RunNext());
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEvents) {
+  EventQueue q;
+  int ran = 0;
+  q.Schedule(SimTime::FromSeconds(1), [&] { ++ran; });
+  q.Schedule(SimTime::FromSeconds(5), [&] { ++ran; });
+  q.RunUntil(SimTime::FromSeconds(3));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.now(), SimTime::FromSeconds(3));
+}
+
+TEST(EventQueue, EventsScheduleMoreEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) {
+      q.ScheduleAfter(Duration::Seconds(1), chain);
+    }
+  };
+  q.Schedule(SimTime::FromSeconds(1), chain);
+  q.RunAll(SimTime::FromSeconds(100));
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(q.now(), SimTime::FromSeconds(100));
+}
+
+TEST(EventQueue, PastScheduleClampsToNow) {
+  EventQueue q;
+  q.Schedule(SimTime::FromSeconds(5), [] {});
+  q.RunNext();
+  SimTime ran_at;
+  q.Schedule(SimTime::FromSeconds(1), [&] { ran_at = q.now(); });
+  q.RunNext();
+  EXPECT_EQ(ran_at, SimTime::FromSeconds(5));  // not back in time
+}
+
+TEST(EventQueue, RunAllStopsAtHorizon) {
+  EventQueue q;
+  int ran = 0;
+  q.Schedule(SimTime::FromSeconds(50), [&] { ++ran; });
+  q.RunAll(SimTime::FromSeconds(10));
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace spotcache

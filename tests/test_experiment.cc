@@ -1,0 +1,132 @@
+// Integration tests: full experiment runs on short horizons, checking the
+// cross-approach orderings the paper reports.
+
+#include "src/core/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace spotcache {
+namespace {
+
+ExperimentConfig ShortConfig(Approach approach, int days = 3) {
+  ExperimentConfig cfg;
+  cfg.workload = PrototypeWorkload(days);
+  cfg.approach = approach;
+  return cfg;
+}
+
+TEST(ApproachTraits, MatchTable4) {
+  EXPECT_FALSE(TraitsOf(Approach::kOdOnly).uses_spot);
+  EXPECT_TRUE(TraitsOf(Approach::kOdPeak).static_peak);
+  EXPECT_TRUE(TraitsOf(Approach::kOdSpotSep).our_spot_model);
+  EXPECT_FALSE(TraitsOf(Approach::kOdSpotSep).hot_cold_mixing);
+  EXPECT_FALSE(TraitsOf(Approach::kOdSpotCdf).our_spot_model);
+  EXPECT_TRUE(TraitsOf(Approach::kOdSpotCdf).hot_cold_mixing);
+  EXPECT_TRUE(TraitsOf(Approach::kProp).passive_backup);
+  EXPECT_FALSE(TraitsOf(Approach::kPropNoBackup).passive_backup);
+  EXPECT_EQ(AllApproaches().size(), 6u);
+}
+
+TEST(MakePredictor, TypesPerApproach) {
+  EXPECT_EQ(MakePredictor(Approach::kOdOnly), nullptr);
+  EXPECT_EQ(MakePredictor(Approach::kPropNoBackup)->name(), "lifetime-model");
+  EXPECT_EQ(MakePredictor(Approach::kOdSpotCdf)->name(), "cdf-baseline");
+}
+
+TEST(Experiment, DeterministicForConfig) {
+  const ExperimentResult a = RunExperiment(ShortConfig(Approach::kPropNoBackup));
+  const ExperimentResult b = RunExperiment(ShortConfig(Approach::kPropNoBackup));
+  EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+  EXPECT_EQ(a.revocations, b.revocations);
+  ASSERT_EQ(a.slots.size(), b.slots.size());
+  for (size_t s = 0; s < a.slots.size(); ++s) {
+    EXPECT_EQ(a.slots[s].counts, b.slots[s].counts);
+  }
+}
+
+TEST(Experiment, SlotRecordsComplete) {
+  const ExperimentResult r = RunExperiment(ShortConfig(Approach::kPropNoBackup));
+  EXPECT_EQ(r.slots.size(), 3u * 24u);
+  for (const auto& slot : r.slots) {
+    EXPECT_GT(slot.lambda, 0.0);
+    EXPECT_GT(slot.working_set_gb, 0.0);
+    EXPECT_EQ(slot.counts.size(), r.option_labels.size());
+    EXPECT_GE(slot.cost, 0.0);
+    EXPECT_GT(slot.mean_latency, Duration::Micros(50));
+  }
+  // Costs reconcile with the ledger total.
+  double sum = 0.0;
+  for (const auto& slot : r.slots) {
+    sum += slot.cost;
+  }
+  EXPECT_NEAR(sum, r.total_cost, 1e-6);
+}
+
+TEST(Experiment, CostBreakdownConsistent) {
+  const ExperimentResult r = RunExperiment(ShortConfig(Approach::kProp));
+  EXPECT_NEAR(r.od_cost + r.spot_cost + r.backup_cost, r.total_cost, 1e-6);
+  EXPECT_GT(r.backup_cost, 0.0);  // Prop keeps a backup fleet
+}
+
+TEST(Experiment, SpotApproachesCheaperThanOdOnly) {
+  const double od_only =
+      RunExperiment(ShortConfig(Approach::kOdOnly)).total_cost;
+  const double prop =
+      RunExperiment(ShortConfig(Approach::kPropNoBackup)).total_cost;
+  const double cdf =
+      RunExperiment(ShortConfig(Approach::kOdSpotCdf)).total_cost;
+  EXPECT_LT(prop, od_only * 0.7);
+  EXPECT_LT(cdf, od_only * 0.7);
+}
+
+TEST(Experiment, OdPeakMostExpensive) {
+  const double od_only =
+      RunExperiment(ShortConfig(Approach::kOdOnly)).total_cost;
+  const double od_peak =
+      RunExperiment(ShortConfig(Approach::kOdPeak)).total_cost;
+  EXPECT_GT(od_peak, od_only);
+}
+
+TEST(Experiment, MixingBeatsSeparation) {
+  const double mix =
+      RunExperiment(ShortConfig(Approach::kPropNoBackup)).total_cost;
+  const double sep =
+      RunExperiment(ShortConfig(Approach::kOdSpotSep)).total_cost;
+  EXPECT_LT(mix, sep);
+}
+
+TEST(Experiment, OdOnlyNeverRevoked) {
+  const ExperimentResult r = RunExperiment(ShortConfig(Approach::kOdOnly));
+  EXPECT_EQ(r.revocations, 0);
+  EXPECT_EQ(r.spot_cost, 0.0);
+  EXPECT_EQ(r.tracker.DaysViolatedFraction(0.01), 0.0);
+}
+
+TEST(Experiment, MarketFilterRestrictsOptions) {
+  ExperimentConfig cfg = ShortConfig(Approach::kPropNoBackup);
+  cfg.market_filter = {"m4.L-d"};
+  const ExperimentResult r = RunExperiment(cfg);
+  // 6 OD + 1 market x 2 bids.
+  EXPECT_EQ(r.option_labels.size(), 8u);
+  EXPECT_NE(r.OptionIndex("m4.L-d@1d"), static_cast<size_t>(-1));
+  EXPECT_EQ(r.OptionIndex("m4.XL-c@1d"), static_cast<size_t>(-1));
+}
+
+TEST(Experiment, BackupsTrackHotOnSpot) {
+  const ExperimentResult r = RunExperiment(ShortConfig(Approach::kProp));
+  int with_backups = 0;
+  for (const auto& slot : r.slots) {
+    with_backups += slot.backups > 0 ? 1 : 0;
+  }
+  EXPECT_GT(with_backups, static_cast<int>(r.slots.size()) / 2);
+}
+
+TEST(Experiment, LatencyWithinSaneRange) {
+  const ExperimentResult r = RunExperiment(ShortConfig(Approach::kPropNoBackup));
+  const Duration mean = r.tracker.MeanLatency();
+  EXPECT_GT(mean, Duration::Micros(100));
+  EXPECT_LT(mean, Duration::Millis(2));
+}
+
+}  // namespace
+}  // namespace spotcache

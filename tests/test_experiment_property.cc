@@ -1,0 +1,72 @@
+// Cross-seed property tests on the full experiment harness: the paper's
+// qualitative orderings must hold regardless of the random workload/market
+// realization, not just for one lucky seed.
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+
+namespace spotcache {
+namespace {
+
+class ExperimentSeedProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  ExperimentConfig Config(Approach approach) const {
+    ExperimentConfig cfg;
+    cfg.workload = PrototypeWorkload(/*days=*/2);
+    cfg.workload.seed = GetParam();
+    cfg.market_seed = GetParam() * 31 + 7;
+    cfg.approach = approach;
+    return cfg;
+  }
+};
+
+TEST_P(ExperimentSeedProperty, CostOrderingsHold) {
+  const double od_peak = RunExperiment(Config(Approach::kOdPeak)).total_cost;
+  const double od_only = RunExperiment(Config(Approach::kOdOnly)).total_cost;
+  const ExperimentResult no_backup =
+      RunExperiment(Config(Approach::kPropNoBackup));
+  const ExperimentResult prop = RunExperiment(Config(Approach::kProp));
+
+  // Static peak provisioning is never cheaper than autoscaling.
+  EXPECT_GE(od_peak, od_only * 0.999);
+  // Spot + mixing saves materially over on-demand-only.
+  EXPECT_LT(no_backup.total_cost, od_only * 0.8);
+  // The backup costs extra but only the backup line differs.
+  EXPECT_GE(prop.total_cost, no_backup.total_cost * 0.999);
+  EXPECT_GT(prop.backup_cost, 0.0);
+  EXPECT_EQ(no_backup.backup_cost, 0.0);
+}
+
+TEST_P(ExperimentSeedProperty, BudgetsNeverNegativeAndSlotsComplete) {
+  const ExperimentResult r = RunExperiment(Config(Approach::kProp));
+  EXPECT_EQ(r.slots.size(), 48u);
+  for (const auto& slot : r.slots) {
+    EXPECT_GE(slot.cost, -1e-9);
+    EXPECT_GE(slot.affected_fraction, 0.0);
+    EXPECT_LE(slot.affected_fraction, 1.0);
+    EXPECT_GE(slot.p95_latency, slot.mean_latency * 0.5);
+    for (int c : slot.counts) {
+      EXPECT_GE(c, 0);
+    }
+  }
+}
+
+TEST_P(ExperimentSeedProperty, LifetimeModelNoWorseOnViolations) {
+  ExperimentConfig ours_cfg = Config(Approach::kPropNoBackup);
+  ExperimentConfig cdf_cfg = Config(Approach::kOdSpotCdf);
+  // Pin both to the hostile market so the predictors actually matter.
+  ours_cfg.market_filter = {"m4.L-c"};
+  cdf_cfg.market_filter = {"m4.L-c"};
+  const ExperimentResult ours = RunExperiment(ours_cfg);
+  const ExperimentResult cdf = RunExperiment(cdf_cfg);
+  EXPECT_LE(ours.revocations, cdf.revocations + 2);
+  EXPECT_LE(ours.tracker.AffectedRequestFraction(),
+            cdf.tracker.AffectedRequestFraction() + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExperimentSeedProperty,
+                         ::testing::Values(11ull, 23ull, 57ull, 91ull));
+
+}  // namespace
+}  // namespace spotcache

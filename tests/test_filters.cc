@@ -1,0 +1,182 @@
+// Bloom filter, Count-Min sketch, and Space-Saving heavy-hitter tests,
+// including the structures' probabilistic guarantees.
+
+#include <gtest/gtest.h>
+
+#include "src/routing/bloom_filter.h"
+#include "src/routing/count_min_sketch.h"
+#include "src/routing/heavy_hitters.h"
+#include "src/util/rng.h"
+#include "src/workload/zipf.h"
+
+namespace spotcache {
+namespace {
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter f(10'000, 0.01);
+  for (uint64_t k = 0; k < 10'000; ++k) {
+    f.Add(k * 7919);
+  }
+  for (uint64_t k = 0; k < 10'000; ++k) {
+    EXPECT_TRUE(f.MightContain(k * 7919));
+  }
+}
+
+TEST(BloomFilter, FalsePositiveRateNearTarget) {
+  BloomFilter f(10'000, 0.01);
+  for (uint64_t k = 0; k < 10'000; ++k) {
+    f.Add(k);
+  }
+  int fp = 0;
+  const int probes = 100'000;
+  for (int i = 0; i < probes; ++i) {
+    fp += f.MightContain(1'000'000 + i) ? 1 : 0;
+  }
+  const double rate = static_cast<double>(fp) / probes;
+  EXPECT_LT(rate, 0.03);
+  EXPECT_NEAR(f.EstimatedFpRate(), rate, 0.01);
+}
+
+TEST(BloomFilter, ClearEmpties) {
+  BloomFilter f(100, 0.01);
+  f.Add(42);
+  f.Clear();
+  EXPECT_FALSE(f.MightContain(42));
+  EXPECT_EQ(f.inserted(), 0u);
+}
+
+TEST(BloomFilter, SizingGrowsWithItemsAndPrecision) {
+  EXPECT_GT(BloomFilter(100'000, 0.01).bit_count(),
+            BloomFilter(10'000, 0.01).bit_count());
+  EXPECT_GT(BloomFilter(10'000, 0.001).bit_count(),
+            BloomFilter(10'000, 0.01).bit_count());
+}
+
+TEST(CountMinSketch, NeverUnderestimates) {
+  CountMinSketch s(1e-4, 1e-3);
+  Rng rng(1);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  for (int i = 0; i < 50'000; ++i) {
+    const uint64_t k = rng.NextBelow(500);
+    s.Add(k);
+    ++truth[k];
+  }
+  for (const auto& [k, n] : truth) {
+    EXPECT_GE(s.Estimate(k), n);
+  }
+}
+
+TEST(CountMinSketch, ErrorWithinEpsilonBound) {
+  const double eps = 1e-3;
+  CountMinSketch s(eps, 1e-3);
+  Rng rng(2);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  for (int i = 0; i < 100'000; ++i) {
+    const uint64_t k = rng.NextBelow(10'000);
+    s.Add(k);
+    ++truth[k];
+  }
+  // With probability 1-delta each estimate is within eps * total.
+  const uint64_t bound = static_cast<uint64_t>(eps * s.total()) + 1;
+  int violations = 0;
+  for (const auto& [k, n] : truth) {
+    if (s.Estimate(k) > n + bound) {
+      ++violations;
+    }
+  }
+  EXPECT_LT(violations, 15);  // ~delta * #keys with margin
+}
+
+TEST(CountMinSketch, DecayHalves) {
+  CountMinSketch s(1e-3, 1e-3);
+  s.Add(7, 100);
+  s.Decay();
+  EXPECT_EQ(s.Estimate(7), 50u);
+  EXPECT_EQ(s.total(), 50u);
+}
+
+TEST(CountMinSketch, ClearZeroes) {
+  CountMinSketch s(1e-3, 1e-3);
+  s.Add(7, 100);
+  s.Clear();
+  EXPECT_EQ(s.Estimate(7), 0u);
+  EXPECT_EQ(s.total(), 0u);
+}
+
+TEST(HeavyHitters, ExactWhenUnderCapacity) {
+  HeavyHitters hh(16);
+  for (uint64_t k = 0; k < 10; ++k) {
+    hh.Add(k, k + 1);
+  }
+  const auto top = hh.Top();
+  ASSERT_EQ(top.size(), 10u);
+  EXPECT_EQ(top[0].key, 9u);
+  EXPECT_EQ(top[0].count, 10u);
+  EXPECT_EQ(top[0].error, 0u);
+  EXPECT_EQ(hh.EstimateCount(9), 10u);
+}
+
+TEST(HeavyHitters, FindsZipfHead) {
+  HeavyHitters hh(256);
+  ZipfianGenerator gen(100'000, 1.2);
+  Rng rng(3);
+  for (int i = 0; i < 500'000; ++i) {
+    hh.Add(gen.Sample(rng));
+  }
+  const auto top = hh.Top();
+  // The 10 hottest ranks must all be tracked near the top.
+  for (uint64_t rank = 0; rank < 10; ++rank) {
+    bool found = false;
+    for (size_t i = 0; i < 30 && i < top.size(); ++i) {
+      found |= top[i].key == rank;
+    }
+    EXPECT_TRUE(found) << "rank " << rank;
+  }
+}
+
+TEST(HeavyHitters, CountUpperBoundsTruth) {
+  HeavyHitters hh(64);
+  ZipfianGenerator gen(10'000, 1.0);
+  Rng rng(4);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  for (int i = 0; i < 100'000; ++i) {
+    const uint64_t k = gen.Sample(rng);
+    hh.Add(k);
+    ++truth[k];
+  }
+  for (const auto& item : hh.Top()) {
+    EXPECT_GE(item.count, truth[item.key]);
+    EXPECT_GE(truth[item.key] + item.error + 1, item.count);
+  }
+}
+
+TEST(HeavyHitters, AtLeastFiltersByLowerBound) {
+  HeavyHitters hh(8);
+  hh.Add(1, 100);
+  hh.Add(2, 5);
+  const auto big = hh.AtLeast(50);
+  ASSERT_EQ(big.size(), 1u);
+  EXPECT_EQ(big[0].key, 1u);
+}
+
+TEST(HeavyHitters, DecayAndClear) {
+  HeavyHitters hh(8);
+  hh.Add(1, 100);
+  hh.Decay();
+  EXPECT_EQ(hh.EstimateCount(1), 50u);
+  hh.Clear();
+  EXPECT_EQ(hh.size(), 0u);
+  EXPECT_EQ(hh.stream_total(), 0u);
+}
+
+TEST(HeavyHitters, CapacityBounded) {
+  HeavyHitters hh(4);
+  for (uint64_t k = 0; k < 100; ++k) {
+    hh.Add(k);
+  }
+  EXPECT_EQ(hh.size(), 4u);
+  EXPECT_EQ(hh.stream_total(), 100u);
+}
+
+}  // namespace
+}  // namespace spotcache

@@ -1,0 +1,134 @@
+#include "src/cloud/instance_types.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cloud/pricing.h"
+
+namespace spotcache {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  InstanceCatalog catalog_ = InstanceCatalog::Default();
+};
+
+TEST_F(CatalogTest, OnDemandCandidatesAreTheSixOfSection51) {
+  const auto od = catalog_.OnDemandCandidates();
+  ASSERT_EQ(od.size(), 6u);
+  for (const auto* t : od) {
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->klass, InstanceClass::kRegular);
+    // memcached scales poorly past four cores: candidates are <= 4 vCPU.
+    EXPECT_LE(t->capacity.vcpus, 4.0);
+  }
+}
+
+TEST_F(CatalogTest, SpotCandidates) {
+  const auto spot = catalog_.SpotCandidates();
+  ASSERT_EQ(spot.size(), 2u);
+  EXPECT_EQ(spot[0]->name, "m4.large");
+  EXPECT_EQ(spot[1]->name, "m4.xlarge");
+  EXPECT_EQ(spot[0]->klass, InstanceClass::kSpot);
+}
+
+TEST_F(CatalogTest, BurstableFamilyComplete) {
+  const auto b = catalog_.BurstableCandidates();
+  ASSERT_EQ(b.size(), 5u);
+  for (const auto* t : b) {
+    EXPECT_TRUE(t->is_burstable());
+    EXPECT_GT(t->baseline_vcpus, 0.0);
+    EXPECT_LT(t->baseline_vcpus, t->capacity.vcpus);
+    EXPECT_GT(t->cpu_credits_per_hour, 0.0);
+    // EC2: the credit cap is 24 hours of earnings.
+    EXPECT_DOUBLE_EQ(t->cpu_credit_cap, t->cpu_credits_per_hour * 24.0);
+    EXPECT_LT(t->baseline_net_mbps, t->capacity.net_mbps);
+  }
+}
+
+TEST_F(CatalogTest, Table3UnitPrices) {
+  // The t2 list prices of paper Table 3.
+  EXPECT_DOUBLE_EQ(catalog_.Find("t2.nano")->od_price_per_hour, 0.0065);
+  EXPECT_DOUBLE_EQ(catalog_.Find("t2.micro")->od_price_per_hour, 0.013);
+  EXPECT_DOUBLE_EQ(catalog_.Find("t2.small")->od_price_per_hour, 0.026);
+  EXPECT_DOUBLE_EQ(catalog_.Find("t2.medium")->od_price_per_hour, 0.052);
+  EXPECT_DOUBLE_EQ(catalog_.Find("t2.large")->od_price_per_hour, 0.104);
+}
+
+TEST_F(CatalogTest, BurstablePricesProportionalToRam) {
+  const PriceModel m = FitBurstableModel(catalog_.BurstableCandidates());
+  ASSERT_TRUE(m.ok);
+  EXPECT_NEAR(m.per_gb, 0.013, 1e-6);
+  EXPECT_GT(m.r_squared, 0.9999);
+}
+
+TEST_F(CatalogTest, RegressionCatalogRecoversPaperCoefficients) {
+  const auto types = catalog_.RegressionCatalog();
+  EXPECT_EQ(types.size(), 25u);
+  const PriceModel m = FitPriceModel(types);
+  ASSERT_TRUE(m.ok);
+  // Paper Table 1: p = 0.0397 c + 0.0057 m with R^2 = 0.99.
+  EXPECT_NEAR(m.per_vcpu, 0.0397, 0.002);
+  EXPECT_NEAR(m.per_gb, 0.0057, 0.0006);
+  EXPECT_GT(m.r_squared, 0.97);
+}
+
+TEST_F(CatalogTest, Table3PeakEquivalentPrices) {
+  const PriceModel regular = FitPriceModel(catalog_.RegressionCatalog());
+  // Paper Table 3's derived OD-equivalents, within a small tolerance.
+  const struct {
+    const char* name;
+    double od_eq;
+  } rows[] = {{"t2.nano", 0.0425},
+              {"t2.micro", 0.0454},
+              {"t2.small", 0.0511},
+              {"t2.medium", 0.1022},
+              {"t2.large", 0.125}};
+  for (const auto& row : rows) {
+    const InstanceTypeSpec* t = catalog_.Find(row.name);
+    EXPECT_NEAR(PeakEquivalentOdPrice(*t, regular), row.od_eq, 0.002) << row.name;
+  }
+}
+
+TEST_F(CatalogTest, BurstablePeakRatiosDominateRegular) {
+  // The Table 1 observation enabling the backup design: at peak, burstables
+  // offer more CPU and network per GB than any regular candidate.
+  double best_regular_net = 0.0;
+  for (const auto* t : catalog_.OnDemandCandidates()) {
+    best_regular_net = std::max(best_regular_net, t->NetPerGb());
+  }
+  const InstanceTypeSpec* micro = catalog_.Find("t2.micro");
+  EXPECT_GT(micro->NetPerGb(), best_regular_net);
+  EXPECT_GT(micro->CpuPerGb(), 0.5);
+}
+
+TEST_F(CatalogTest, RegularRatioRangesMatchTable1) {
+  for (const auto* t : catalog_.OnDemandCandidates()) {
+    EXPECT_GE(t->CpuPerGb(), 0.12) << t->name;
+    EXPECT_LE(t->CpuPerGb(), 0.55) << t->name;
+    EXPECT_GE(t->NetPerGb(), 18.0) << t->name;
+    EXPECT_LE(t->NetPerGb(), 146.0) << t->name;
+  }
+}
+
+TEST_F(CatalogTest, FindUnknownReturnsNull) {
+  EXPECT_EQ(catalog_.Find("x1.mega"), nullptr);
+}
+
+TEST_F(CatalogTest, ResourceVectorOps) {
+  const ResourceVector a{2, 8, 450};
+  const ResourceVector b{1, 4, 225};
+  EXPECT_EQ(a + b, (ResourceVector{3, 12, 675}));
+  EXPECT_EQ(a - b, b);
+  EXPECT_EQ(b * 2.0, a);
+  EXPECT_TRUE(a.Covers(b));
+  EXPECT_FALSE(b.Covers(a));
+}
+
+TEST(InstanceClassNames, ToStringValues) {
+  EXPECT_EQ(ToString(InstanceClass::kRegular), "regular");
+  EXPECT_EQ(ToString(InstanceClass::kSpot), "spot");
+  EXPECT_EQ(ToString(InstanceClass::kBurstable), "burstable");
+}
+
+}  // namespace
+}  // namespace spotcache

@@ -1,0 +1,101 @@
+#include "src/routing/key_partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+#include "src/workload/zipf.h"
+
+namespace spotcache {
+namespace {
+
+TEST(KeyPartitioner, NothingHotBeforeFirstRefresh) {
+  KeyPartitioner p;
+  EXPECT_FALSE(p.IsHot(0));
+  EXPECT_EQ(p.hot_key_count(), 0u);
+}
+
+TEST(KeyPartitioner, ClassifiesZipfHeadAsHot) {
+  KeyPartitioner::Config cfg;
+  cfg.refresh_interval = 50'000;
+  KeyPartitioner p(cfg);
+  ZipfianGenerator gen(100'000, 1.2);
+  Rng rng(1);
+  for (int i = 0; i < 200'000; ++i) {
+    p.Observe(gen.Sample(rng));
+  }
+  // The hottest ranks must be hot; deep-tail ranks must not be.
+  for (KeyId k = 0; k < 5; ++k) {
+    EXPECT_TRUE(p.IsHot(k)) << k;
+  }
+  int tail_hot = 0;
+  for (KeyId k = 90'000; k < 91'000; ++k) {
+    tail_hot += p.IsHot(k) ? 1 : 0;
+  }
+  EXPECT_LT(tail_hot, 50);  // bloom false positives only
+}
+
+TEST(KeyPartitioner, HotSetCoversConfiguredAccessFraction) {
+  KeyPartitioner::Config cfg;
+  cfg.refresh_interval = 100'000;
+  cfg.hot_access_fraction = 0.9;
+  KeyPartitioner p(cfg);
+  ZipfianGenerator gen(50'000, 1.0);
+  Rng rng(2);
+  for (int i = 0; i < 200'000; ++i) {
+    p.Observe(gen.Sample(rng));
+  }
+  // Replay a fresh sample; the hot classification should cover roughly 90%
+  // of accesses (within slack for sketch error and decay).
+  int hot = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    hot += p.IsHot(gen.Sample(rng)) ? 1 : 0;
+  }
+  const double coverage = static_cast<double>(hot) / n;
+  // The Space-Saving table caps the enumerable hot set (4096 slots < the
+  // ~9k keys a true 90% cover needs at this skew), so coverage lands below
+  // the target but far above the cold tail.
+  EXPECT_GT(coverage, 0.65);
+  EXPECT_LT(coverage, 0.99);
+}
+
+TEST(KeyPartitioner, AutoRefreshOnInterval) {
+  KeyPartitioner::Config cfg;
+  cfg.refresh_interval = 1000;
+  KeyPartitioner p(cfg);
+  for (int i = 0; i < 3500; ++i) {
+    p.Observe(7);
+  }
+  EXPECT_EQ(p.refreshes(), 3u);
+  EXPECT_TRUE(p.IsHot(7));
+}
+
+TEST(KeyPartitioner, AdaptsWhenPopularityShifts) {
+  KeyPartitioner::Config cfg;
+  cfg.refresh_interval = 20'000;
+  cfg.heavy_hitter_slots = 512;
+  KeyPartitioner p(cfg);
+  // Phase 1: keys 0..9 are hot.
+  Rng rng(3);
+  for (int i = 0; i < 60'000; ++i) {
+    p.Observe(rng.NextBelow(10));
+  }
+  EXPECT_TRUE(p.IsHot(3));
+  // Phase 2: keys 1000..1009 take over; decay fades the old head.
+  for (int i = 0; i < 200'000; ++i) {
+    p.Observe(1000 + rng.NextBelow(10));
+  }
+  EXPECT_TRUE(p.IsHot(1003));
+}
+
+TEST(KeyPartitioner, FrequencyEstimates) {
+  KeyPartitioner p;
+  for (int i = 0; i < 500; ++i) {
+    p.Observe(11);
+  }
+  EXPECT_GE(p.EstimateFrequency(11), 500u);
+  EXPECT_EQ(p.observed(), 500u);
+}
+
+}  // namespace
+}  // namespace spotcache

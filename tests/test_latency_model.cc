@@ -1,0 +1,103 @@
+#include "src/sim/latency_model.h"
+
+#include <gtest/gtest.h>
+
+namespace spotcache {
+namespace {
+
+const ResourceVector kM4Large{2, 8, 450};
+
+TEST(LatencyModel, UnloadedLatencyIsFloor) {
+  LatencyModel m;
+  const NodeLatency nl = m.HitLatency(0.0, kM4Large);
+  EXPECT_FALSE(nl.saturated);
+  // base + one service time.
+  EXPECT_NEAR(nl.mean.seconds(), 150e-6 + 50e-6, 1e-9);
+}
+
+TEST(LatencyModel, LatencyMonotoneInLoad) {
+  LatencyModel m;
+  Duration prev;
+  for (double lambda = 0; lambda < 38'000; lambda += 2'000) {
+    const NodeLatency nl = m.HitLatency(lambda, kM4Large);
+    EXPECT_GE(nl.mean, prev) << lambda;
+    prev = nl.mean;
+  }
+}
+
+TEST(LatencyModel, P95AboveMean) {
+  LatencyModel m;
+  const NodeLatency nl = m.HitLatency(30'000, kM4Large);
+  EXPECT_GT(nl.p95, nl.mean);
+}
+
+TEST(LatencyModel, SaturatesAtCapacity) {
+  LatencyModel m;
+  // 2 vCPU * 20k = 40k ops/s CPU capacity.
+  const NodeLatency nl = m.HitLatency(45'000, kM4Large);
+  EXPECT_TRUE(nl.saturated);
+  EXPECT_EQ(nl.mean, m.params().saturated_latency);
+}
+
+TEST(LatencyModel, UtilizationPicksBindingResource) {
+  LatencyModel m;
+  // Tiny NIC: network binds despite ample CPU.
+  const ResourceVector tiny_nic{4, 8, 10};
+  const double rho_net = m.Utilization(1000, tiny_nic);
+  const double rho_cpu = m.Utilization(1000, kM4Large);
+  EXPECT_GT(rho_net, rho_cpu);
+}
+
+TEST(LatencyModel, MaxRateInvertsLatencyBound) {
+  LatencyModel m;
+  const Duration bound = Duration::Micros(800);
+  const double lam = m.MaxRate(kM4Large, bound);
+  ASSERT_GT(lam, 0.0);
+  // At the returned rate, the mean hit latency respects the bound.
+  EXPECT_LE(m.HitLatency(lam, kM4Large).mean, bound);
+  // And it is within the utilization ceiling.
+  EXPECT_LE(m.Utilization(lam, kM4Large), m.params().max_utilization + 1e-9);
+}
+
+TEST(LatencyModel, MaxRateZeroForImpossibleBound) {
+  LatencyModel m;
+  EXPECT_EQ(m.MaxRate(kM4Large, Duration::Micros(100)), 0.0);
+}
+
+TEST(LatencyModel, MaxRateScalesWithCapacity) {
+  LatencyModel m;
+  const Duration bound = Duration::Micros(800);
+  const double small = m.MaxRate({1, 4, 450}, bound);
+  const double large = m.MaxRate({4, 16, 900}, bound);
+  EXPECT_GT(large, small * 2.0);
+}
+
+TEST(LatencyModel, HitBoundAccountsForMisses) {
+  LatencyModel m;
+  const Duration target = Duration::Micros(800);
+  // All hits: full budget available.
+  EXPECT_EQ(m.HitBoundFor(target, 1.0), target);
+  // 5% misses at 5 ms each eat 250 us of the mean budget.
+  EXPECT_NEAR(m.HitBoundFor(target, 0.95).seconds(), 800e-6 - 0.05 * 5e-3,
+              1e-9);
+  // Heavy misses can exhaust it entirely (clamped at zero).
+  EXPECT_EQ(m.HitBoundFor(target, 0.5).micros(), 0);
+}
+
+TEST(LatencyModel, BlendedMeanAddsMissPenalty) {
+  LatencyModel m;
+  const Duration all_hit = m.BlendedMean(10'000, kM4Large, 1.0);
+  const Duration with_misses = m.BlendedMean(10'000, kM4Large, 0.9);
+  EXPECT_NEAR((with_misses - all_hit).seconds(), 0.1 * 5e-3, 2e-6);
+}
+
+TEST(LatencyModel, MeanClippedAtSaturationCeiling) {
+  LatencyModel m;
+  // rho extremely close to 1 but below: clipped rather than exploding.
+  const double cap = 2 * m.params().service_rate_per_vcpu;
+  const NodeLatency nl = m.HitLatency(cap * 0.99999, kM4Large);
+  EXPECT_LE(nl.mean, m.params().saturated_latency);
+}
+
+}  // namespace
+}  // namespace spotcache

@@ -1,0 +1,112 @@
+#include "src/util/linear_regression.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace spotcache {
+namespace {
+
+TEST(SolveLinearSystem, TwoByTwo) {
+  std::vector<std::vector<double>> a = {{2, 1}, {1, 3}};
+  std::vector<double> b = {5, 10};
+  std::vector<double> x;
+  ASSERT_TRUE(SolveLinearSystem(a, b, x));
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, SingularReturnsFalse) {
+  std::vector<std::vector<double>> a = {{1, 2}, {2, 4}};
+  std::vector<double> b = {3, 6};
+  std::vector<double> x;
+  EXPECT_FALSE(SolveLinearSystem(a, b, x));
+}
+
+TEST(SolveLinearSystem, RequiresPivoting) {
+  // Zero on the diagonal: naive elimination would divide by zero.
+  std::vector<std::vector<double>> a = {{0, 1}, {1, 0}};
+  std::vector<double> b = {2, 3};
+  std::vector<double> x;
+  ASSERT_TRUE(SolveLinearSystem(a, b, x));
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(FitLeastSquares, ExactLinearRecovery) {
+  // y = 2*a + 3*b, no noise: should recover exactly with R^2 = 1.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (double a = 1; a <= 4; ++a) {
+    for (double b = 1; b <= 4; ++b) {
+      rows.push_back({a, b});
+      y.push_back(2 * a + 3 * b);
+    }
+  }
+  const RegressionResult r = FitLeastSquares(rows, y);
+  ASSERT_TRUE(r.ok);
+  EXPECT_NEAR(r.coefficients[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.coefficients[1], 3.0, 1e-9);
+  EXPECT_NEAR(r.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLeastSquares, WithIntercept) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (double x = 0; x < 10; ++x) {
+    rows.push_back({x});
+    y.push_back(4.0 * x + 7.0);
+  }
+  const RegressionResult r = FitLeastSquares(rows, y, /*with_intercept=*/true);
+  ASSERT_TRUE(r.ok);
+  EXPECT_NEAR(r.coefficients[0], 4.0, 1e-9);
+  EXPECT_NEAR(r.coefficients[1], 7.0, 1e-9);
+  EXPECT_NEAR(r.Predict({2.0}), 15.0, 1e-9);
+}
+
+TEST(FitLeastSquares, NoisyFitHasHighRSquared) {
+  Rng rng(5);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.Uniform(1, 40);
+    const double b = rng.Uniform(1, 200);
+    rows.push_back({a, b});
+    y.push_back(0.04 * a + 0.006 * b + rng.Normal(0, 0.005));
+  }
+  const RegressionResult r = FitLeastSquares(rows, y);
+  ASSERT_TRUE(r.ok);
+  EXPECT_NEAR(r.coefficients[0], 0.04, 0.002);
+  EXPECT_NEAR(r.coefficients[1], 0.006, 0.0005);
+  EXPECT_GT(r.r_squared, 0.98);
+}
+
+TEST(FitLeastSquares, RejectsMismatchedInput) {
+  EXPECT_FALSE(FitLeastSquares({{1.0}}, {1.0, 2.0}).ok);
+  EXPECT_FALSE(FitLeastSquares({}, {}).ok);
+}
+
+TEST(FitLeastSquares, RejectsUnderdetermined) {
+  // 1 row, 2 features.
+  EXPECT_FALSE(FitLeastSquares({{1.0, 2.0}}, {3.0}).ok);
+}
+
+TEST(FitLeastSquares, CollinearFeaturesRejected) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (double x = 1; x <= 5; ++x) {
+    rows.push_back({x, 2 * x});
+    y.push_back(x);
+  }
+  EXPECT_FALSE(FitLeastSquares(rows, y).ok);
+}
+
+TEST(RegressionResult, PredictWithoutInterceptIgnoresExtra) {
+  RegressionResult r;
+  r.coefficients = {2.0, 3.0};
+  r.ok = true;
+  EXPECT_DOUBLE_EQ(r.Predict({1.0, 1.0}), 5.0);
+}
+
+}  // namespace
+}  // namespace spotcache

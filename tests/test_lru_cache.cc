@@ -1,0 +1,161 @@
+#include "src/cache/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace spotcache {
+namespace {
+
+using Cache = LruCache<uint64_t, std::string>;
+
+TEST(LruCache, PutGetRoundTrip) {
+  Cache c(1000);
+  EXPECT_TRUE(c.Put(1, "one", 10));
+  const auto v = c.Get(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "one");
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.bytes_used(), 10u);
+}
+
+TEST(LruCache, MissOnAbsent) {
+  Cache c(1000);
+  EXPECT_FALSE(c.Get(42).has_value());
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_EQ(c.hits(), 0u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  Cache c(30);
+  c.Put(1, "a", 10);
+  c.Put(2, "b", 10);
+  c.Put(3, "c", 10);
+  c.Put(4, "d", 10);  // evicts 1
+  EXPECT_FALSE(c.Contains(1));
+  EXPECT_TRUE(c.Contains(2));
+  EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(LruCache, GetPromotes) {
+  Cache c(30);
+  c.Put(1, "a", 10);
+  c.Put(2, "b", 10);
+  c.Put(3, "c", 10);
+  c.Get(1);           // 1 becomes MRU; 2 is now LRU
+  c.Put(4, "d", 10);  // evicts 2
+  EXPECT_TRUE(c.Contains(1));
+  EXPECT_FALSE(c.Contains(2));
+}
+
+TEST(LruCache, PeekDoesNotPromoteOrCount) {
+  Cache c(20);
+  c.Put(1, "a", 10);
+  c.Put(2, "b", 10);
+  EXPECT_NE(c.Peek(1), nullptr);
+  EXPECT_EQ(c.hits(), 0u);
+  c.Put(3, "c", 10);  // evicts 1 despite the Peek
+  EXPECT_FALSE(c.Contains(1));
+}
+
+TEST(LruCache, OverwriteUpdatesBytes) {
+  Cache c(100);
+  c.Put(1, "a", 10);
+  c.Put(1, "bigger", 40);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.bytes_used(), 40u);
+  EXPECT_EQ(*c.Get(1), "bigger");
+}
+
+TEST(LruCache, OversizedItemRejected) {
+  Cache c(100);
+  EXPECT_FALSE(c.Put(1, "x", 101));
+  EXPECT_EQ(c.size(), 0u);
+  // Exactly capacity fits.
+  EXPECT_TRUE(c.Put(2, "y", 100));
+}
+
+TEST(LruCache, MultiEvictionForLargeInsert) {
+  Cache c(100);
+  for (uint64_t k = 0; k < 10; ++k) {
+    c.Put(k, "v", 10);
+  }
+  c.Put(100, "big", 95);
+  EXPECT_TRUE(c.Contains(100));
+  EXPECT_LE(c.bytes_used(), 100u);
+  EXPECT_GE(c.evictions(), 9u);
+}
+
+TEST(LruCache, EraseFreesSpace) {
+  Cache c(20);
+  c.Put(1, "a", 10);
+  EXPECT_TRUE(c.Erase(1));
+  EXPECT_FALSE(c.Erase(1));
+  EXPECT_EQ(c.bytes_used(), 0u);
+  EXPECT_FALSE(c.Contains(1));
+}
+
+TEST(LruCache, ClearResetsContentsButNotStats) {
+  Cache c(100);
+  c.Put(1, "a", 10);
+  c.Get(1);
+  c.Clear();
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.bytes_used(), 0u);
+  EXPECT_EQ(c.hits(), 1u);
+}
+
+TEST(LruCache, ShrinkCapacityEvicts) {
+  Cache c(100);
+  for (uint64_t k = 0; k < 10; ++k) {
+    c.Put(k, "v", 10);
+  }
+  c.SetCapacity(35);
+  EXPECT_LE(c.bytes_used(), 35u);
+  EXPECT_EQ(c.size(), 3u);
+  // The survivors are the most recently used.
+  EXPECT_TRUE(c.Contains(9));
+  EXPECT_TRUE(c.Contains(8));
+  EXPECT_TRUE(c.Contains(7));
+}
+
+TEST(LruCache, EvictionCallbackSeesVictims) {
+  Cache c(20);
+  std::vector<uint64_t> evicted;
+  c.SetEvictionCallback([&](const Cache::Entry& e) { evicted.push_back(e.key); });
+  c.Put(1, "a", 10);
+  c.Put(2, "b", 10);
+  c.Put(3, "c", 10);
+  EXPECT_EQ(evicted, (std::vector<uint64_t>{1}));
+}
+
+TEST(LruCache, ForEachMruToLruOrder) {
+  Cache c(100);
+  c.Put(1, "a", 10);
+  c.Put(2, "b", 10);
+  c.Put(3, "c", 10);
+  c.Get(1);
+  std::vector<uint64_t> order;
+  c.ForEachMruToLru([&](const Cache::Entry& e) { order.push_back(e.key); });
+  EXPECT_EQ(order, (std::vector<uint64_t>{1, 3, 2}));
+}
+
+TEST(LruCache, HitMissCounters) {
+  Cache c(100);
+  c.Put(1, "a", 10);
+  c.Get(1);
+  c.Get(1);
+  c.Get(2);
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(LruCache, ZeroByteItemsAllowed) {
+  Cache c(10);
+  EXPECT_TRUE(c.Put(1, "meta", 0));
+  EXPECT_TRUE(c.Contains(1));
+  EXPECT_EQ(c.bytes_used(), 0u);
+}
+
+}  // namespace
+}  // namespace spotcache

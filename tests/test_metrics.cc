@@ -1,0 +1,105 @@
+#include "src/sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace spotcache {
+namespace {
+
+TEST(TimeSeries, BasicAccessors) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  ts.Add(SimTime::FromSeconds(1), 2.0);
+  ts.Add(SimTime::FromSeconds(2), 4.0);
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(ts.Max(), 4.0);
+  EXPECT_EQ(ts.Values(), (std::vector<double>{2.0, 4.0}));
+}
+
+SlotPerf MakeSlot(double day, double rate, double affected, double mean_us,
+                  double p95_us) {
+  SlotPerf s;
+  s.slot_start = SimTime() + Duration::FromSecondsF(day * 86400.0);
+  s.arrival_rate = rate;
+  s.affected_fraction = affected;
+  s.mean_latency = Duration::Micros(static_cast<int64_t>(mean_us));
+  s.p95_latency = Duration::Micros(static_cast<int64_t>(p95_us));
+  return s;
+}
+
+TEST(SloTracker, MeanLatencyIsRequestWeighted) {
+  SloTracker t;
+  t.Record(MakeSlot(0, 100.0, 0, 100, 200));
+  t.Record(MakeSlot(0, 300.0, 0, 500, 900));
+  // (100*100 + 300*500) / 400 = 400us.
+  EXPECT_NEAR(t.MeanLatency().seconds(), 400e-6, 1e-9);
+}
+
+TEST(SloTracker, MaxP95) {
+  SloTracker t;
+  t.Record(MakeSlot(0, 1, 0, 100, 200));
+  t.Record(MakeSlot(0, 1, 0, 100, 950));
+  EXPECT_EQ(t.MaxP95(), Duration::Micros(950));
+}
+
+TEST(SloTracker, DaysViolatedCountsPerDay) {
+  SloTracker t;
+  // Day 0: heavily affected; day 1: clean; day 2: just under threshold.
+  t.Record(MakeSlot(0.1, 100, 0.5, 100, 200));
+  t.Record(MakeSlot(0.5, 100, 0.0, 100, 200));
+  t.Record(MakeSlot(1.2, 100, 0.0, 100, 200));
+  t.Record(MakeSlot(2.3, 100, 0.009, 100, 200));
+  EXPECT_NEAR(t.DaysViolatedFraction(0.01), 1.0 / 3.0, 1e-12);
+}
+
+TEST(SloTracker, DayViolationIsRequestWeightedWithinDay) {
+  SloTracker t;
+  // Tiny affected slice on a huge slot + clean big slot: under threshold.
+  t.Record(MakeSlot(0.1, 1000, 0.02, 100, 200));
+  t.Record(MakeSlot(0.5, 99'000, 0.0, 100, 200));
+  EXPECT_EQ(t.DaysViolatedFraction(0.01), 0.0);
+  // Same fractions but equal weights: over threshold.
+  SloTracker t2;
+  t2.Record(MakeSlot(0.1, 1000, 0.02, 100, 200));
+  t2.Record(MakeSlot(0.5, 1000, 0.004, 100, 200));
+  EXPECT_EQ(t2.DaysViolatedFraction(0.01), 1.0);
+}
+
+TEST(SloTracker, AffectedRequestFraction) {
+  SloTracker t;
+  t.Record(MakeSlot(0, 100, 0.1, 100, 200));
+  t.Record(MakeSlot(0, 300, 0.0, 100, 200));
+  EXPECT_NEAR(t.AffectedRequestFraction(), 0.025, 1e-12);
+}
+
+TEST(SloTracker, WeightedP95PicksTail) {
+  SloTracker t;
+  for (int i = 0; i < 99; ++i) {
+    t.Record(MakeSlot(0, 100, 0, 100, 300));
+  }
+  t.Record(MakeSlot(0, 100, 0, 100, 5000));
+  const double p95 = t.WeightedP95().seconds();
+  EXPECT_NEAR(p95, 300e-6, 1e-9);  // 95th of mass is still in the 300s
+}
+
+TEST(SloTracker, TotalCostSums) {
+  SloTracker t;
+  SlotPerf a = MakeSlot(0, 1, 0, 1, 1);
+  a.cost_dollars = 1.5;
+  SlotPerf b = MakeSlot(0, 1, 0, 1, 1);
+  b.cost_dollars = 2.5;
+  t.Record(a);
+  t.Record(b);
+  EXPECT_DOUBLE_EQ(t.TotalCost(), 4.0);
+}
+
+TEST(SloTracker, EmptyTrackerSafeDefaults) {
+  SloTracker t;
+  EXPECT_EQ(t.MeanLatency().micros(), 0);
+  EXPECT_EQ(t.DaysViolatedFraction(), 0.0);
+  EXPECT_EQ(t.AffectedRequestFraction(), 0.0);
+  EXPECT_EQ(t.WeightedP95().micros(), 0);
+}
+
+}  // namespace
+}  // namespace spotcache

@@ -1,0 +1,154 @@
+#include "src/opt/multiclass.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cloud/spot_price_model.h"
+#include "src/opt/optimizer.h"
+
+namespace spotcache {
+namespace {
+
+class MultiClassTest : public ::testing::Test {
+ protected:
+  MultiClassTest()
+      : markets_(MakeEvaluationMarkets(catalog_, Duration::Days(10), 7)),
+        options_(BuildOptions(catalog_, markets_, {1.0, 5.0})),
+        popularity_(1'000'000, 1.0) {}
+
+  MultiClassInputs Inputs(const std::vector<double>& cuts, double lambda,
+                          double ws_gb) const {
+    MultiClassInputs in;
+    in.lambda_hat = lambda;
+    in.working_set_gb = ws_gb;
+    in.classes = MakePopularityClasses(popularity_, cuts, 1.0, 0.5, 0.02);
+    in.existing.assign(options_.size(), 0);
+    in.available.assign(options_.size(), true);
+    in.spot_predictions.resize(options_.size());
+    for (size_t o = 0; o < options_.size(); ++o) {
+      if (!options_[o].is_on_demand()) {
+        in.spot_predictions[o].usable = true;
+        in.spot_predictions[o].lifetime = Duration::Hours(24);
+        in.spot_predictions[o].avg_price = options_[o].bid * 0.2;
+      }
+    }
+    return in;
+  }
+
+  InstanceCatalog catalog_ = InstanceCatalog::Default();
+  std::vector<SpotMarket> markets_;
+  std::vector<ProcurementOption> options_;
+  ZipfPopularity popularity_;
+};
+
+TEST_F(MultiClassTest, ClassesPartitionWorkingSetAndAccesses) {
+  const auto classes =
+      MakePopularityClasses(popularity_, {0.6, 0.9}, 1.0, 0.5, 0.02);
+  ASSERT_EQ(classes.size(), 3u);
+  double ws = 0.0;
+  double access = 0.0;
+  for (const auto& band : classes) {
+    EXPECT_GT(band.ws_fraction, 0.0);
+    EXPECT_GE(band.access_fraction, 0.0);
+    ws += band.ws_fraction;
+    access += band.access_fraction;
+  }
+  EXPECT_NEAR(ws, 1.0, 1e-9);
+  EXPECT_NEAR(access, 1.0, 1e-6);
+  // Hotter bands are denser and carry higher penalties.
+  EXPECT_GT(classes[0].access_fraction / classes[0].ws_fraction,
+            classes[2].access_fraction / classes[2].ws_fraction);
+  EXPECT_GT(classes[0].loss_penalty, classes[2].loss_penalty);
+  EXPECT_NEAR(classes[0].loss_penalty, 0.5, 1e-9);
+}
+
+TEST_F(MultiClassTest, SingleCutMatchesTwoClassOptimizer) {
+  // K=2 with a 90% cut should land near the base optimizer's objective.
+  const MultiClassInputs in = Inputs({0.9}, 320e3, 60.0);
+  ASSERT_EQ(in.classes.size(), 2u);
+  MultiClassOptimizer::Config mc_cfg;
+  const MultiClassOptimizer mc(options_, LatencyModel(), mc_cfg);
+  const MultiClassPlan mc_plan = mc.Solve(in);
+  ASSERT_TRUE(mc_plan.feasible);
+
+  SlotInputs base_in;
+  base_in.lambda_hat = 320e3;
+  base_in.working_set_gb = 60.0;
+  base_in.hot_ws_fraction = in.classes[0].ws_fraction;
+  base_in.hot_access_fraction = in.classes[0].access_fraction;
+  base_in.alpha_access_fraction = 1.0;
+  base_in.existing.assign(options_.size(), 0);
+  base_in.available.assign(options_.size(), true);
+  base_in.spot_predictions = in.spot_predictions;
+  const ProcurementOptimizer base(options_, LatencyModel(), OptimizerConfig{});
+  const AllocationPlan base_plan = base.Solve(base_in);
+  ASSERT_TRUE(base_plan.feasible);
+  EXPECT_NEAR(mc_plan.lp_objective, base_plan.lp_objective,
+              0.08 * base_plan.lp_objective);
+}
+
+TEST_F(MultiClassTest, MoreClassesNeverCostMore) {
+  // Finer partitions only add placement freedom... with identical per-band
+  // penalties the LP optimum is monotone; with interpolated penalties the
+  // cheaper cold tail usually wins. Compare 2 vs 4 classes.
+  const MultiClassOptimizer mc(options_, LatencyModel(),
+                               MultiClassOptimizer::Config{});
+  const MultiClassPlan two = mc.Solve(Inputs({0.9}, 320e3, 60.0));
+  const MultiClassPlan four = mc.Solve(Inputs({0.5, 0.75, 0.9}, 320e3, 60.0));
+  ASSERT_TRUE(two.feasible);
+  ASSERT_TRUE(four.feasible);
+  EXPECT_LE(four.lp_objective, two.lp_objective * 1.02);
+}
+
+TEST_F(MultiClassTest, PlanCoversEveryClass) {
+  const MultiClassInputs in = Inputs({0.6, 0.9}, 320e3, 60.0);
+  const MultiClassOptimizer mc(options_, LatencyModel(),
+                               MultiClassOptimizer::Config{});
+  const MultiClassPlan plan = mc.Solve(in);
+  ASSERT_TRUE(plan.feasible);
+  std::vector<double> placed(in.classes.size(), 0.0);
+  for (const auto& item : plan.items) {
+    for (size_t c = 0; c < item.class_fractions.size(); ++c) {
+      placed[c] += item.class_fractions[c];
+    }
+  }
+  for (size_t c = 0; c < in.classes.size(); ++c) {
+    EXPECT_NEAR(placed[c], in.classes[c].ws_fraction, 1e-6) << "class " << c;
+  }
+  EXPECT_GT(plan.TotalInstances(), 0);
+}
+
+TEST_F(MultiClassTest, ZetaFloorHolds) {
+  MultiClassOptimizer::Config cfg;
+  cfg.zeta = 0.3;
+  const MultiClassOptimizer mc(options_, LatencyModel(), cfg);
+  const MultiClassPlan plan = mc.Solve(Inputs({0.6, 0.9}, 320e3, 60.0));
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_GE(plan.OnDemandDataFraction(options_), 0.3 - 1e-6);
+}
+
+TEST_F(MultiClassTest, CollapseSplitsHotAndCold) {
+  const MultiClassOptimizer mc(options_, LatencyModel(),
+                               MultiClassOptimizer::Config{});
+  const MultiClassInputs in = Inputs({0.6, 0.9}, 320e3, 60.0);
+  const MultiClassPlan plan = mc.Solve(in);
+  const AllocationPlan collapsed = plan.Collapse(/*hot_classes=*/2);
+  double x = 0.0;
+  double y = 0.0;
+  for (const auto& item : collapsed.items) {
+    x += item.x;
+    y += item.y;
+  }
+  EXPECT_NEAR(x, in.classes[0].ws_fraction + in.classes[1].ws_fraction, 1e-6);
+  EXPECT_NEAR(y, in.classes[2].ws_fraction, 1e-6);
+}
+
+TEST_F(MultiClassTest, EmptyClassesRejected) {
+  MultiClassInputs in = Inputs({0.9}, 320e3, 60.0);
+  in.classes.clear();
+  const MultiClassOptimizer mc(options_, LatencyModel(),
+                               MultiClassOptimizer::Config{});
+  EXPECT_FALSE(mc.Solve(in).feasible);
+}
+
+}  // namespace
+}  // namespace spotcache

@@ -1,0 +1,285 @@
+#include "src/opt/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cloud/spot_price_model.h"
+
+namespace spotcache {
+namespace {
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  OptimizerTest()
+      : markets_(MakeEvaluationMarkets(catalog_, Duration::Days(10), 7)),
+        options_(BuildOptions(catalog_, markets_, {1.0, 5.0})) {}
+
+  ProcurementOptimizer MakeOptimizer(OptimizerConfig cfg = {}) const {
+    return ProcurementOptimizer(options_, LatencyModel(), cfg);
+  }
+
+  /// Inputs where every spot option has a healthy prediction.
+  SlotInputs HealthyInputs(double lambda, double ws_gb, double hot_frac,
+                           double hot_access) const {
+    SlotInputs in;
+    in.lambda_hat = lambda;
+    in.working_set_gb = ws_gb;
+    in.hot_ws_fraction = hot_frac;
+    in.hot_access_fraction = hot_access;
+    in.alpha_access_fraction = 1.0;
+    in.existing.assign(options_.size(), 0);
+    in.available.assign(options_.size(), true);
+    in.spot_predictions.resize(options_.size());
+    for (size_t o = 0; o < options_.size(); ++o) {
+      if (!options_[o].is_on_demand()) {
+        in.spot_predictions[o].usable = true;
+        in.spot_predictions[o].lifetime = Duration::Hours(24);
+        in.spot_predictions[o].avg_price = options_[o].bid * 0.2;
+      }
+    }
+    return in;
+  }
+
+  /// RAM and throughput feasibility of a plan against inputs.
+  void CheckFeasible(const ProcurementOptimizer& opt, const AllocationPlan& plan,
+                     const SlotInputs& in) const {
+    ASSERT_TRUE(plan.feasible);
+    double hot_placed = 0.0;
+    double cold_placed = 0.0;
+    for (const auto& item : plan.items) {
+      hot_placed += item.x;
+      cold_placed += item.y;
+      // Per-option RAM capacity.
+      const double data_gb = (item.x + item.y) * in.working_set_gb;
+      EXPECT_LE(data_gb, item.count * opt.UsableRamGb(item.option) + 1e-6)
+          << options_[item.option].label;
+      // Per-option throughput.
+      double traffic = 0.0;
+      if (in.hot_ws_fraction > 0.0) {
+        traffic += item.x / in.hot_ws_fraction * in.hot_access_fraction;
+      }
+      const double cold_ws = opt.config().alpha - in.hot_ws_fraction;
+      if (cold_ws > 0.0) {
+        traffic += item.y / cold_ws *
+                   (in.alpha_access_fraction - in.hot_access_fraction);
+      }
+      EXPECT_LE(traffic * in.lambda_hat,
+                item.count * opt.MaxRatePerInstance(item.option,
+                                                    in.alpha_access_fraction) +
+                    1e-6)
+          << options_[item.option].label;
+    }
+    EXPECT_NEAR(hot_placed, in.hot_ws_fraction, 1e-6);
+    EXPECT_NEAR(cold_placed, opt.config().alpha - in.hot_ws_fraction, 1e-6);
+  }
+
+  InstanceCatalog catalog_ = InstanceCatalog::Default();
+  std::vector<SpotMarket> markets_;
+  std::vector<ProcurementOption> options_;
+};
+
+TEST_F(OptimizerTest, OptionSetShape) {
+  // 6 OD types + 4 markets x 2 bids.
+  EXPECT_EQ(options_.size(), 14u);
+  int od = 0;
+  for (const auto& o : options_) {
+    od += o.is_on_demand() ? 1 : 0;
+  }
+  EXPECT_EQ(od, 6);
+}
+
+TEST_F(OptimizerTest, PlanSatisfiesAllConstraints) {
+  const ProcurementOptimizer opt = MakeOptimizer();
+  const SlotInputs in = HealthyInputs(320e3, 60.0, 0.18, 0.9);
+  const AllocationPlan plan = opt.Solve(in);
+  CheckFeasible(opt, plan, in);
+}
+
+TEST_F(OptimizerTest, ZetaFloorRespected) {
+  OptimizerConfig cfg;
+  cfg.zeta = 0.25;
+  const ProcurementOptimizer opt = MakeOptimizer(cfg);
+  const SlotInputs in = HealthyInputs(320e3, 60.0, 0.18, 0.9);
+  const AllocationPlan plan = opt.Solve(in);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_GE(plan.OnDemandDataFraction(options_), 0.25 - 1e-6);
+}
+
+TEST_F(OptimizerTest, SpotPreferredWhenSafe) {
+  const ProcurementOptimizer opt = MakeOptimizer();
+  const SlotInputs in = HealthyInputs(320e3, 60.0, 0.18, 0.9);
+  const AllocationPlan plan = opt.Solve(in);
+  ASSERT_TRUE(plan.feasible);
+  // Most data should land on spot (it is ~5x cheaper and predicted safe).
+  EXPECT_LT(plan.OnDemandDataFraction(options_), 0.5);
+}
+
+TEST_F(OptimizerTest, OdOnlyWhenSpotUnavailable) {
+  const ProcurementOptimizer opt = MakeOptimizer();
+  SlotInputs in = HealthyInputs(320e3, 60.0, 0.18, 0.9);
+  for (size_t o = 0; o < options_.size(); ++o) {
+    if (!options_[o].is_on_demand()) {
+      in.available[o] = false;
+    }
+  }
+  const AllocationPlan plan = opt.Solve(in);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_NEAR(plan.OnDemandDataFraction(options_), 1.0, 1e-9);
+  CheckFeasible(opt, plan, in);
+}
+
+TEST_F(OptimizerTest, ShortLifetimeOptionExcluded) {
+  OptimizerConfig cfg;
+  cfg.min_spot_lifetime_hours = 2.0;
+  const ProcurementOptimizer opt = MakeOptimizer(cfg);
+  SlotInputs in = HealthyInputs(320e3, 60.0, 0.18, 0.9);
+  for (size_t o = 0; o < options_.size(); ++o) {
+    if (!options_[o].is_on_demand()) {
+      in.spot_predictions[o].lifetime = Duration::Minutes(30);
+    }
+  }
+  const AllocationPlan plan = opt.Solve(in);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_NEAR(plan.OnDemandDataFraction(options_), 1.0, 1e-9);
+}
+
+TEST_F(OptimizerTest, PenaltySteersAwayFromRiskyBid) {
+  const ProcurementOptimizer opt = MakeOptimizer();
+  SlotInputs in = HealthyInputs(320e3, 60.0, 0.18, 0.9);
+  // Make the low bids risky (short predicted life) but slightly cheaper.
+  for (size_t o = 0; o < options_.size(); ++o) {
+    if (options_[o].is_on_demand()) {
+      continue;
+    }
+    const bool low_bid = options_[o].bid < options_[o].market->od_price() * 2;
+    in.spot_predictions[o].lifetime =
+        low_bid ? Duration::Hours(2) : Duration::Hours(48);
+    in.spot_predictions[o].avg_price =
+        options_[o].market->od_price() * (low_bid ? 0.15 : 0.18);
+  }
+  const AllocationPlan plan = opt.Solve(in);
+  ASSERT_TRUE(plan.feasible);
+  double low_bid_data = 0.0;
+  double high_bid_data = 0.0;
+  for (const auto& item : plan.items) {
+    if (options_[item.option].is_on_demand()) {
+      continue;
+    }
+    const bool low_bid =
+        options_[item.option].bid < options_[item.option].market->od_price() * 2;
+    (low_bid ? low_bid_data : high_bid_data) += item.x + item.y;
+  }
+  EXPECT_GT(high_bid_data, low_bid_data);
+}
+
+TEST_F(OptimizerTest, SeparationPinsHotToOnDemand) {
+  OptimizerConfig cfg;
+  cfg.mixing = MixingPolicy::kSeparate;
+  const ProcurementOptimizer opt = MakeOptimizer(cfg);
+  const SlotInputs in = HealthyInputs(320e3, 60.0, 0.18, 0.9);
+  const AllocationPlan plan = opt.Solve(in);
+  ASSERT_TRUE(plan.feasible);
+  for (const auto& item : plan.items) {
+    if (options_[item.option].is_on_demand()) {
+      EXPECT_NEAR(item.y, 0.0, 1e-9) << "cold on OD under separation";
+    } else {
+      EXPECT_NEAR(item.x, 0.0, 1e-9) << "hot on spot under separation";
+    }
+  }
+}
+
+TEST_F(OptimizerTest, SeparationFallsBackToOdWhenNoSpot) {
+  OptimizerConfig cfg;
+  cfg.mixing = MixingPolicy::kSeparate;
+  const ProcurementOptimizer opt = MakeOptimizer(cfg);
+  SlotInputs in = HealthyInputs(100e3, 20.0, 0.2, 0.9);
+  for (size_t o = 0; o < options_.size(); ++o) {
+    if (!options_[o].is_on_demand()) {
+      in.available[o] = false;
+    }
+  }
+  const AllocationPlan plan = opt.Solve(in);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_NEAR(plan.OnDemandDataFraction(options_), 1.0, 1e-9);
+}
+
+TEST_F(OptimizerTest, MixingCheaperThanSeparation) {
+  OptimizerConfig mix_cfg;
+  OptimizerConfig sep_cfg;
+  sep_cfg.mixing = MixingPolicy::kSeparate;
+  const SlotInputs in = HealthyInputs(320e3, 60.0, 0.18, 0.9);
+  const AllocationPlan mix = MakeOptimizer(mix_cfg).Solve(in);
+  const AllocationPlan sep = MakeOptimizer(sep_cfg).Solve(in);
+  ASSERT_TRUE(mix.feasible);
+  ASSERT_TRUE(sep.feasible);
+  EXPECT_LT(mix.lp_objective, sep.lp_objective);
+}
+
+TEST_F(OptimizerTest, DeallocationDampedByEta) {
+  OptimizerConfig cfg;
+  cfg.eta = 1000.0;  // absurd: never deallocate
+  const ProcurementOptimizer opt = MakeOptimizer(cfg);
+  SlotInputs in = HealthyInputs(50e3, 10.0, 0.2, 0.9);
+  // Pretend we already hold 20 r3.large (index of od:r3.large).
+  size_t r3 = options_.size();
+  for (size_t o = 0; o < options_.size(); ++o) {
+    if (options_[o].label == "od:r3.large") {
+      r3 = o;
+    }
+  }
+  ASSERT_LT(r3, options_.size());
+  in.existing[r3] = 20;
+  const AllocationPlan plan = opt.Solve(in);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_GE(plan.CountFor(r3), 20);
+}
+
+TEST_F(OptimizerTest, ZeroDemandIsTriviallyFeasible) {
+  const ProcurementOptimizer opt = MakeOptimizer();
+  SlotInputs in = HealthyInputs(0.0, 0.0, 0.0, 0.0);
+  const AllocationPlan plan = opt.Solve(in);
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.TotalInstances(), 0);
+}
+
+TEST_F(OptimizerTest, MismatchedInputSizesRejected) {
+  const ProcurementOptimizer opt = MakeOptimizer();
+  SlotInputs in;
+  in.lambda_hat = 1000;
+  in.working_set_gb = 10;
+  const AllocationPlan plan = opt.Solve(in);
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST_F(OptimizerTest, PlanHelpers) {
+  AllocationPlan plan;
+  plan.feasible = true;
+  plan.items.push_back({0, 2, 0.1, 0.2});
+  plan.items.push_back({6, 3, 0.0, 0.7});
+  EXPECT_EQ(plan.TotalInstances(), 5);
+  EXPECT_EQ(plan.CountFor(0), 2);
+  EXPECT_EQ(plan.CountFor(1), 0);
+  EXPECT_NE(plan.ItemFor(6), nullptr);
+  EXPECT_EQ(plan.ItemFor(9), nullptr);
+  EXPECT_NEAR(plan.OnDemandDataFraction(options_), 0.3, 1e-12);
+}
+
+class OptimizerScaleProperty
+    : public OptimizerTest,
+      public ::testing::WithParamInterface<std::tuple<double, double>> {};
+
+TEST_P(OptimizerScaleProperty, FeasibleAcrossDemandGrid) {
+  const auto [rate, ws] = GetParam();
+  const ProcurementOptimizer opt =
+      ProcurementOptimizer(options_, LatencyModel(), OptimizerConfig{});
+  const SlotInputs in = HealthyInputs(rate, ws, 0.15, 0.9);
+  const AllocationPlan plan = opt.Solve(in);
+  CheckFeasible(opt, plan, in);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DemandGrid, OptimizerScaleProperty,
+    ::testing::Combine(::testing::Values(10e3, 100e3, 500e3, 1000e3),
+                       ::testing::Values(5.0, 50.0, 250.0)));
+
+}  // namespace
+}  // namespace spotcache

@@ -1,0 +1,123 @@
+// Randomized-operation invariants for the cloud provider: whatever sequence
+// of launches / terminations / clock advances happens, billing and lifecycle
+// rules must hold.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/cloud/cloud_provider.h"
+#include "src/cloud/spot_price_model.h"
+#include "src/util/rng.h"
+
+namespace spotcache {
+namespace {
+
+class ProviderFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProviderFuzz, InvariantsHoldUnderRandomOperations) {
+  const uint64_t seed = GetParam();
+  static const InstanceCatalog catalog = InstanceCatalog::Default();
+  CloudProvider provider(&catalog,
+                         MakeEvaluationMarkets(catalog, Duration::Days(20), seed),
+                         seed);
+  Rng rng(seed ^ 0xf22u);
+
+  std::vector<InstanceId> ids;
+  SimTime last_event_time;
+  int revocations = 0;
+
+  for (int step = 0; step < 400; ++step) {
+    const int action = static_cast<int>(rng.NextBelow(5));
+    switch (action) {
+      case 0: {  // launch on-demand
+        const auto od = catalog.OnDemandCandidates();
+        ids.push_back(provider.LaunchOnDemand(
+            *od[rng.NextBelow(od.size())], "fuzz"));
+        break;
+      }
+      case 1: {  // request spot at a random bid
+        const auto& market =
+            provider.markets()[rng.NextBelow(provider.markets().size())];
+        const double bid = market.od_price() * rng.Uniform(0.3, 6.0);
+        const InstanceId id = provider.RequestSpot(market, bid, "fuzz");
+        if (id != kInvalidInstanceId) {
+          ids.push_back(id);
+        } else {
+          // Rejection must mean the price really is above the bid.
+          EXPECT_GT(provider.SpotPrice(market), bid);
+        }
+        break;
+      }
+      case 2: {  // launch burstable
+        ids.push_back(provider.LaunchBurstable(*catalog.Find("t2.micro"), "b"));
+        break;
+      }
+      case 3: {  // terminate something (possibly twice)
+        if (!ids.empty()) {
+          provider.Terminate(ids[rng.NextBelow(ids.size())]);
+        }
+        break;
+      }
+      default: {  // advance the clock
+        const auto events = provider.AdvanceTo(
+            provider.now() + Duration::Minutes(rng.UniformInt(1, 300)));
+        for (const auto& ev : events) {
+          EXPECT_GE(ev.time, last_event_time);
+          last_event_time = ev.time;
+          EXPECT_NE(provider.Get(ev.instance_id), nullptr);
+          if (ev.kind == ProviderEventKind::kRevoked) {
+            ++revocations;
+            EXPECT_EQ(provider.Get(ev.instance_id)->state,
+                      InstanceState::kRevoked);
+          }
+        }
+        last_event_time = SimTime();  // order holds within one batch only
+        break;
+      }
+    }
+  }
+  provider.FinalizeBilling();
+
+  // --- Invariants.
+  EXPECT_TRUE(provider.AliveInstances().empty());
+  double categories = 0.0;
+  categories += provider.ledger().TotalFor(CostCategory::kOnDemand);
+  categories += provider.ledger().TotalFor(CostCategory::kSpot);
+  categories += provider.ledger().TotalFor(CostCategory::kBurstableBackup);
+  categories += provider.ledger().TotalFor(CostCategory::kOther);
+  EXPECT_NEAR(categories, provider.ledger().Total(), 1e-9);
+
+  for (const auto& entry : provider.ledger().entries()) {
+    EXPECT_GE(entry.dollars, 0.0);
+    const Instance* inst = provider.Get(entry.instance_id);
+    ASSERT_NE(inst, nullptr);
+    // No charge before the instance could serve.
+    EXPECT_GE(entry.time, inst->ready_time);
+  }
+
+  // Every ended instance is billed at most ceil(hours alive) hours.
+  for (InstanceId id : ids) {
+    const Instance* inst = provider.Get(id);
+    ASSERT_NE(inst, nullptr);
+    EXPECT_FALSE(inst->alive());
+    double billed = 0.0;
+    for (const auto& entry : provider.ledger().entries()) {
+      if (entry.instance_id == id) {
+        billed += entry.dollars;
+      }
+    }
+    if (inst->end_time <= inst->ready_time) {
+      EXPECT_EQ(billed, 0.0) << "never-ready instance billed";
+    } else if (inst->purchase == PurchaseKind::kOnDemand) {
+      const double hours =
+          std::ceil((inst->end_time - inst->ready_time).hours() + 1.0);
+      EXPECT_LE(billed, hours * inst->type->od_price_per_hour + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProviderFuzz, ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+}  // namespace
+}  // namespace spotcache

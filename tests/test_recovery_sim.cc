@@ -1,0 +1,123 @@
+#include "src/core/recovery_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace spotcache {
+namespace {
+
+const InstanceCatalog& Catalog() {
+  static const InstanceCatalog catalog = InstanceCatalog::Default();
+  return catalog;
+}
+
+RecoveryConfig BaseConfig(const char* backup) {
+  RecoveryConfig cfg;
+  cfg.backup_type = backup ? Catalog().Find(backup) : nullptr;
+  return cfg;
+}
+
+TEST(RecoverySim, BackupBeatsNoBackup) {
+  const RecoveryResult with = SimulateRecovery(BaseConfig("t2.medium"));
+  const RecoveryResult without = SimulateRecovery(BaseConfig(nullptr));
+  EXPECT_LT(with.warmup_time, without.warmup_time);
+  EXPECT_LT(with.p95_during_recovery, without.p95_during_recovery);
+  EXPECT_LT(with.max_mean_latency, without.max_mean_latency);
+}
+
+TEST(RecoverySim, BurstableMatchesCostlierRegular) {
+  // Figure 11(a): t2.medium ~= c3.large (both receiver-NIC-capped) at about
+  // half the price; m3.medium is worse on the recovery-period tail.
+  const RecoveryResult t2 = SimulateRecovery(BaseConfig("t2.medium"));
+  const RecoveryResult c3 = SimulateRecovery(BaseConfig("c3.large"));
+  const RecoveryResult m3 = SimulateRecovery(BaseConfig("m3.medium"));
+  EXPECT_NEAR(t2.warmup_time.seconds(), c3.warmup_time.seconds(),
+              0.3 * c3.warmup_time.seconds() + 5.0);
+  EXPECT_LT(t2.p95_during_recovery, m3.p95_during_recovery);
+  EXPECT_LT(t2.backup_cost_per_hour, 0.55 * c3.backup_cost_per_hour);
+}
+
+TEST(RecoverySim, SeparationLosesOnlyCold) {
+  const RecoveryResult sep = [&] {
+    RecoveryConfig cfg = BaseConfig(nullptr);
+    cfg.separation_mode = true;
+    return SimulateRecovery(cfg);
+  }();
+  const RecoveryResult full = SimulateRecovery(BaseConfig(nullptr));
+  // Sep's hot traffic never degrades: far better max latency.
+  EXPECT_LT(sep.max_mean_latency, full.max_mean_latency);
+}
+
+TEST(RecoverySim, LatencyDecaysOverTime) {
+  const RecoveryResult r = SimulateRecovery(BaseConfig("t2.medium"));
+  ASSERT_GT(r.series.size(), 100u);
+  const double early = r.series[5].mean.seconds();
+  const double late = r.series[r.series.size() - 10].mean.seconds();
+  EXPECT_LT(late, early);
+  // Warm coverage is monotone non-decreasing.
+  double prev = 0.0;
+  for (const auto& p : r.series) {
+    EXPECT_GE(p.warm_traffic_fraction, prev - 1e-9);
+    prev = p.warm_traffic_fraction;
+  }
+}
+
+TEST(RecoverySim, HigherSkewWarmsFaster) {
+  RecoveryConfig mild = BaseConfig("t2.medium");
+  mild.zipf_theta = 0.5;
+  RecoveryConfig heavy = BaseConfig("t2.medium");
+  heavy.zipf_theta = 2.0;
+  EXPECT_GT(SimulateRecovery(mild).warmup_time,
+            SimulateRecovery(heavy).warmup_time);
+}
+
+TEST(RecoverySim, ScenarioBDelaysRecovery) {
+  RecoveryConfig delayed = BaseConfig("t2.medium");
+  delayed.replacement_delay = Duration::Seconds(120);
+  const RecoveryResult b = SimulateRecovery(delayed);
+  const RecoveryResult a = SimulateRecovery(BaseConfig("t2.medium"));
+  EXPECT_GT(b.warmup_time, a.warmup_time);
+}
+
+TEST(RecoverySim, EmptyTokensThrottleBackupCopy) {
+  RecoveryConfig drained = BaseConfig("t2.small");
+  drained.initial_credit_fraction = 0.0;
+  drained.data_gb = 12.0;
+  drained.hot_gb = 1.8;
+  const RecoveryResult r = SimulateRecovery(drained);
+  EXPECT_TRUE(r.backup_tokens_exhausted);
+  RecoveryConfig full = drained;
+  full.initial_credit_fraction = 1.0;
+  EXPECT_LE(SimulateRecovery(full).warmup_time, r.warmup_time);
+}
+
+TEST(RecoverySim, BackupCostReported) {
+  const RecoveryResult r = SimulateRecovery(BaseConfig("t2.medium"));
+  EXPECT_DOUBLE_EQ(r.backup_cost_per_hour, 0.052);
+  EXPECT_EQ(SimulateRecovery(BaseConfig(nullptr)).backup_cost_per_hour, 0.0);
+}
+
+TEST(NetworkCreditEarnTime, ScalesWithDataAndBaseline) {
+  const InstanceTypeSpec* small = Catalog().Find("t2.small");
+  const InstanceTypeSpec* large = Catalog().Find("t2.large");
+  // More data -> more tokens to earn.
+  EXPECT_GT(NetworkCreditEarnTime(*small, 4.0), NetworkCreditEarnTime(*small, 2.0));
+  // Bigger types earn faster per GB (higher baseline).
+  EXPECT_LT(NetworkCreditEarnTime(*large, 8.0).seconds() / 8.0,
+            NetworkCreditEarnTime(*small, 2.0).seconds() / 2.0);
+}
+
+class RecoverySkewProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(RecoverySkewProperty, SettlesWithinHorizonAcrossSkews) {
+  RecoveryConfig cfg = BaseConfig("t2.medium");
+  cfg.zipf_theta = GetParam();
+  const RecoveryResult r = SimulateRecovery(cfg);
+  EXPECT_LT(r.warmup_time, cfg.horizon);
+  EXPECT_GT(r.series.back().warm_traffic_fraction, 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, RecoverySkewProperty,
+                         ::testing::Values(0.5, 1.0, 1.5, 2.0));
+
+}  // namespace
+}  // namespace spotcache

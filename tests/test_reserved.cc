@@ -1,0 +1,85 @@
+#include "src/opt/reserved.h"
+
+#include <gtest/gtest.h>
+
+namespace spotcache {
+namespace {
+
+TEST(Reserved, FlatDemandFullyReserved) {
+  // Constant demand of 5 instances: reserve all 5 and pocket the discount.
+  const std::vector<double> demand(1000, 5.0);
+  const ReservedAnalysis a = AnalyzeReservation(demand, 0.1, 0.32);
+  EXPECT_EQ(a.best_count, 5);
+  EXPECT_NEAR(a.savings_fraction, 0.32, 1e-9);
+  EXPECT_NEAR(a.reserved_cost, 1000 * 5 * 0.1 * 0.68, 1e-9);
+}
+
+TEST(Reserved, DiurnalDemandReservesTheBase) {
+  // 12 hours at 2 instances, 12 at 10: reserving covers the base for sure;
+  // the peak tail only if the discount beats the idle hours.
+  std::vector<double> demand;
+  for (int day = 0; day < 30; ++day) {
+    for (int h = 0; h < 12; ++h) {
+      demand.push_back(2.0);
+    }
+    for (int h = 0; h < 12; ++h) {
+      demand.push_back(10.0);
+    }
+  }
+  const ReservedAnalysis a = AnalyzeReservation(demand, 0.1, 0.32);
+  // A reserved instance used >= 68% of hours pays off; instances 3..10 are
+  // used 50% of hours < 68% -> reserve exactly the base 2.
+  EXPECT_EQ(a.best_count, 2);
+  EXPECT_GT(a.savings_fraction, 0.0);
+}
+
+TEST(Reserved, DeepDiscountReservesPeak) {
+  std::vector<double> demand;
+  for (int h = 0; h < 1000; ++h) {
+    demand.push_back(h % 2 == 0 ? 4.0 : 8.0);
+  }
+  // 60% discount: even half-idle reservations win.
+  const ReservedAnalysis a = AnalyzeReservation(demand, 0.1, 0.60);
+  EXPECT_EQ(a.best_count, 8);
+}
+
+TEST(Reserved, DeclineCreatesRegret) {
+  const std::vector<double> demand(1000, 10.0);
+  const ReservedAnalysis a = AnalyzeReservation(demand, 0.1, 0.32, 0.3);
+  // Demand drops to 3 but 10 reservations keep billing: costlier than
+  // just buying 3 on demand.
+  EXPECT_GT(a.regret_fraction, 0.5);
+  EXPECT_GT(a.declined_reserved_cost, a.declined_od_cost);
+}
+
+TEST(Reserved, NoDemandNoAnalysis) {
+  const ReservedAnalysis a = AnalyzeReservation({}, 0.1, 0.32);
+  EXPECT_EQ(a.best_count, 0);
+  EXPECT_EQ(a.reserved_cost, 0.0);
+}
+
+TEST(Reserved, SavingsNeverNegative) {
+  // The optimizer may always choose zero reservations.
+  std::vector<double> spiky(100, 0.0);
+  spiky[50] = 20.0;
+  const ReservedAnalysis a = AnalyzeReservation(spiky, 0.1, 0.32);
+  EXPECT_EQ(a.best_count, 0);
+  EXPECT_NEAR(a.savings_fraction, 0.0, 1e-12);
+}
+
+TEST(Reserved, InstanceDemandSeriesUsesBindingResource) {
+  // Build a trace directly: one slot RAM-bound, one rate-bound.
+  const WorkloadTrace trace({10'000.0, 100'000.0}, {100.0, 10.0},
+                            Duration::Hours(1));
+  const InstanceCatalog catalog = InstanceCatalog::Default();
+  const InstanceTypeSpec& r3 = *catalog.Find("r3.large");
+  const auto demand = InstanceDemandSeries(trace, r3, 37'000.0);
+  ASSERT_EQ(demand.size(), 2u);
+  // Slot 0: 100 GB / (15.25*0.85) ~ 7.7 by RAM vs 0.27 by rate.
+  EXPECT_NEAR(demand[0], 100.0 / (15.25 * 0.85), 1e-9);
+  // Slot 1: rate-bound: 100k / 37k ~ 2.7.
+  EXPECT_NEAR(demand[1], 100'000.0 / 37'000.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace spotcache

@@ -1,0 +1,145 @@
+#include "src/routing/router.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace spotcache {
+namespace {
+
+TEST(Router, EmptyRoutesNowhere) {
+  Router r;
+  EXPECT_FALSE(r.Route(1, true).has_value());
+  EXPECT_FALSE(r.Route(1, false).has_value());
+  EXPECT_EQ(r.node_count(), 0u);
+}
+
+TEST(Router, RoutesWithinPoolWeights) {
+  Router r;
+  r.UpsertNode(1, 1.0, 0.0);  // hot only
+  r.UpsertNode(2, 0.0, 1.0);  // cold only
+  for (KeyId k = 0; k < 100; ++k) {
+    EXPECT_EQ(*r.Route(k, true), 1u);
+    EXPECT_EQ(*r.Route(k, false), 2u);
+  }
+}
+
+TEST(Router, SameNodeCanServeBothPools) {
+  Router r;
+  r.UpsertNode(1, 0.5, 1.5);
+  EXPECT_EQ(*r.Route(42, true), 1u);
+  EXPECT_EQ(*r.Route(42, false), 1u);
+  EXPECT_DOUBLE_EQ(r.HotWeightOf(1), 0.5);
+  EXPECT_DOUBLE_EQ(r.ColdWeightOf(1), 1.5);
+}
+
+TEST(Router, TrafficSplitsByWeight) {
+  Router r;
+  r.UpsertNode(1, 1.0, 0.0);
+  r.UpsertNode(2, 3.0, 0.0);
+  Rng rng(1);
+  int to_two = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    to_two += *r.Route(rng(), true) == 2 ? 1 : 0;
+  }
+  // Ring ownership is lumpy at 64 vnodes/weight-unit: generous tolerance.
+  EXPECT_NEAR(static_cast<double>(to_two) / n, 0.75, 0.10);
+}
+
+TEST(Router, HotAndColdPlacementsIndependent) {
+  Router r;
+  r.UpsertNode(1, 1.0, 1.0);
+  r.UpsertNode(2, 1.0, 1.0);
+  // The pools use different salts: a key's hot node and cold node should
+  // disagree for about half of keys.
+  int differ = 0;
+  for (KeyId k = 0; k < 1000; ++k) {
+    differ += (*r.Route(k, true) != *r.Route(k, false)) ? 1 : 0;
+  }
+  EXPECT_GT(differ, 300);
+  EXPECT_LT(differ, 700);
+}
+
+TEST(Router, RemoveNodeRedistributes) {
+  Router r;
+  r.UpsertNode(1, 1.0, 1.0);
+  r.UpsertNode(2, 1.0, 1.0);
+  r.RemoveNode(1);
+  EXPECT_FALSE(r.HasNode(1));
+  for (KeyId k = 0; k < 100; ++k) {
+    EXPECT_EQ(*r.Route(k, true), 2u);
+  }
+}
+
+TEST(Router, ZeroBothWeightsRemoves) {
+  Router r;
+  r.UpsertNode(1, 1.0, 1.0);
+  r.UpsertNode(1, 0.0, 0.0);
+  EXPECT_FALSE(r.HasNode(1));
+  EXPECT_EQ(r.node_count(), 0u);
+}
+
+TEST(Router, BackupMapping) {
+  Router r;
+  r.UpsertNode(1, 1.0, 1.0);
+  r.SetBackup(1, 99);
+  EXPECT_EQ(*r.BackupFor(1), 99u);
+  EXPECT_EQ(r.PrimariesOf(99), (std::vector<uint64_t>{1}));
+  r.ClearBackup(1);
+  EXPECT_FALSE(r.BackupFor(1).has_value());
+}
+
+TEST(Router, BackupSharedAcrossPrimaries) {
+  Router r;
+  r.SetBackup(1, 99);
+  r.SetBackup(2, 99);
+  r.SetBackup(3, 50);
+  EXPECT_EQ(r.PrimariesOf(99), (std::vector<uint64_t>{1, 2}));
+}
+
+TEST(Router, RemoveNodeDropsItsBackupLink) {
+  Router r;
+  r.UpsertNode(1, 1.0, 1.0);
+  r.SetBackup(1, 99);
+  r.RemoveNode(1);
+  EXPECT_FALSE(r.BackupFor(1).has_value());
+}
+
+TEST(Router, TotalWeights) {
+  Router r;
+  r.UpsertNode(1, 0.5, 1.0);
+  r.UpsertNode(2, 0.25, 2.0);
+  EXPECT_DOUBLE_EQ(r.TotalHotWeight(), 0.75);
+  EXPECT_DOUBLE_EQ(r.TotalColdWeight(), 3.0);
+}
+
+TEST(Router, NodeIdsSorted) {
+  Router r;
+  r.UpsertNode(5, 1, 1);
+  r.UpsertNode(2, 1, 1);
+  r.UpsertNode(9, 1, 1);
+  EXPECT_EQ(r.NodeIds(), (std::vector<uint64_t>{2, 5, 9}));
+}
+
+TEST(Router, WeightChangeMovesMinimalKeys) {
+  Router r;
+  for (uint64_t n = 1; n <= 4; ++n) {
+    r.UpsertNode(n, 1.0, 1.0);
+  }
+  std::vector<uint64_t> before;
+  for (KeyId k = 0; k < 2000; ++k) {
+    before.push_back(*r.Route(k, false));
+  }
+  // Double node 1's cold weight: keys should only move *to* node 1.
+  r.UpsertNode(1, 1.0, 2.0);
+  for (KeyId k = 0; k < 2000; ++k) {
+    const uint64_t now = *r.Route(k, false);
+    if (now != before[k]) {
+      EXPECT_EQ(now, 1u) << "key " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spotcache

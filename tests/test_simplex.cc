@@ -1,0 +1,191 @@
+#include "src/opt/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace spotcache {
+namespace {
+
+TEST(Simplex, SimpleTwoVarMinimization) {
+  // min x + 2y s.t. x + y >= 4, y >= 1.  Optimum: x=3, y=1, obj=5.
+  LinearProgram lp(2);
+  lp.SetObjective(0, 1.0);
+  lp.SetObjective(1, 2.0);
+  lp.AddGreaterEqual({{0, 1.0}, {1, 1.0}}, 4.0);
+  lp.AddGreaterEqual({{1, 1.0}}, 1.0);
+  const auto sol = lp.Solve();
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_TRUE(sol.bounded);
+  EXPECT_NEAR(sol.objective, 5.0, 1e-8);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-8);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-8);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min 3x + y s.t. x + y == 10, x >= 2. Optimum x=2, y=8, obj=14.
+  LinearProgram lp(2);
+  lp.SetObjective(0, 3.0);
+  lp.SetObjective(1, 1.0);
+  lp.AddEquality({{0, 1.0}, {1, 1.0}}, 10.0);
+  lp.AddGreaterEqual({{0, 1.0}}, 2.0);
+  const auto sol = lp.Solve();
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.objective, 14.0, 1e-8);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-8);
+  EXPECT_NEAR(sol.x[1], 8.0, 1e-8);
+}
+
+TEST(Simplex, LessEqualConstraints) {
+  // max x + y <=> min -(x+y) s.t. x <= 3, y <= 4, x + 2y <= 9.
+  // Optimum x=3, y=3, obj=-6.
+  LinearProgram lp(2);
+  lp.SetObjective(0, -1.0);
+  lp.SetObjective(1, -1.0);
+  lp.AddLessEqual({{0, 1.0}}, 3.0);
+  lp.AddLessEqual({{1, 1.0}}, 4.0);
+  lp.AddLessEqual({{0, 1.0}, {1, 2.0}}, 9.0);
+  const auto sol = lp.Solve();
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.objective, -6.0, 1e-8);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-8);
+  EXPECT_NEAR(sol.x[1], 3.0, 1e-8);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  LinearProgram lp(1);
+  lp.SetObjective(0, 1.0);
+  lp.AddLessEqual({{0, 1.0}}, 1.0);
+  lp.AddGreaterEqual({{0, 1.0}}, 2.0);
+  const auto sol = lp.Solve();
+  EXPECT_FALSE(sol.feasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  // min -x with only x >= 0: unbounded below.
+  LinearProgram lp(1);
+  lp.SetObjective(0, -1.0);
+  lp.AddGreaterEqual({{0, 1.0}}, 0.0);
+  const auto sol = lp.Solve();
+  EXPECT_FALSE(sol.feasible && sol.bounded);
+}
+
+TEST(Simplex, NegativeRhsNormalized) {
+  // x - y >= -2 with min x + y, x,y >= 0 => optimum 0,0.
+  LinearProgram lp(2);
+  lp.SetObjective(0, 1.0);
+  lp.SetObjective(1, 1.0);
+  lp.AddGreaterEqual({{0, 1.0}, {1, -1.0}}, -2.0);
+  const auto sol = lp.Solve();
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.objective, 0.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateConstraintsTerminate) {
+  // Redundant equalities (classic degeneracy source).
+  LinearProgram lp(2);
+  lp.SetObjective(0, 1.0);
+  lp.SetObjective(1, 1.0);
+  lp.AddEquality({{0, 1.0}, {1, 1.0}}, 5.0);
+  lp.AddEquality({{0, 2.0}, {1, 2.0}}, 10.0);  // same constraint, doubled
+  const auto sol = lp.Solve();
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.objective, 5.0, 1e-8);
+}
+
+TEST(Simplex, ZeroObjectiveFindsFeasiblePoint) {
+  LinearProgram lp(2);
+  lp.AddEquality({{0, 1.0}, {1, 2.0}}, 8.0);
+  const auto sol = lp.Solve();
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.x[0] + 2 * sol.x[1], 8.0, 1e-9);
+}
+
+TEST(Simplex, TransportationProblem) {
+  // 2 suppliers (cap 30, 20), 2 consumers (need 25, 25), costs:
+  //   c11=2 c12=4 / c21=3 c22=1. Optimal: x11=25, x12=0, x21=0, x22=20,
+  //   x12=5 remaining demand... solve: consumer2 needs 25: 20 from s2 (cost1),
+  //   5 from s1 (cost 4); consumer1: 25 from s1 (cost 2). obj=25*2+5*4+20*1=90.
+  LinearProgram lp(4);  // x11 x12 x21 x22
+  lp.SetObjective(0, 2.0);
+  lp.SetObjective(1, 4.0);
+  lp.SetObjective(2, 3.0);
+  lp.SetObjective(3, 1.0);
+  lp.AddLessEqual({{0, 1.0}, {1, 1.0}}, 30.0);
+  lp.AddLessEqual({{2, 1.0}, {3, 1.0}}, 20.0);
+  lp.AddEquality({{0, 1.0}, {2, 1.0}}, 25.0);
+  lp.AddEquality({{1, 1.0}, {3, 1.0}}, 25.0);
+  const auto sol = lp.Solve();
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.objective, 90.0, 1e-7);
+}
+
+class RandomLpProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLpProperty, SolutionSatisfiesConstraintsAndBeatsRandomPoints) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  // Random covering problem: min c'x s.t. A x >= b, entries positive, which
+  // is always feasible and bounded.
+  const size_t n = 5;
+  const size_t m = 4;
+  std::vector<double> c(n);
+  for (auto& v : c) {
+    v = rng.Uniform(1.0, 10.0);
+  }
+  std::vector<std::vector<double>> a(m, std::vector<double>(n));
+  std::vector<double> b(m);
+  LinearProgram lp(n);
+  for (size_t j = 0; j < n; ++j) {
+    lp.SetObjective(j, c[j]);
+  }
+  for (size_t i = 0; i < m; ++i) {
+    std::vector<std::pair<size_t, double>> terms;
+    for (size_t j = 0; j < n; ++j) {
+      a[i][j] = rng.Uniform(0.1, 5.0);
+      terms.push_back({j, a[i][j]});
+    }
+    b[i] = rng.Uniform(1.0, 20.0);
+    lp.AddGreaterEqual(terms, b[i]);
+  }
+  const auto sol = lp.Solve();
+  ASSERT_TRUE(sol.feasible);
+  // Constraints hold.
+  for (size_t i = 0; i < m; ++i) {
+    double lhs = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      lhs += a[i][j] * sol.x[j];
+    }
+    EXPECT_GE(lhs, b[i] - 1e-6);
+  }
+  for (double xj : sol.x) {
+    EXPECT_GE(xj, -1e-9);
+  }
+  // No random feasible point beats the reported optimum.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> x(n);
+    for (auto& v : x) {
+      v = rng.Uniform(0.0, 30.0);
+    }
+    bool feasible = true;
+    for (size_t i = 0; i < m && feasible; ++i) {
+      double lhs = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        lhs += a[i][j] * x[j];
+      }
+      feasible = lhs >= b[i];
+    }
+    if (!feasible) {
+      continue;
+    }
+    double obj = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      obj += c[j] * x[j];
+    }
+    EXPECT_GE(obj, sol.objective - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLpProperty, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace spotcache

@@ -1,0 +1,118 @@
+#include "src/cloud/spot_market.h"
+
+#include <gtest/gtest.h>
+
+namespace spotcache {
+namespace {
+
+PriceTrace MakeSquareWave() {
+  // 0.1 for [0,10), 0.5 for [10,20), 0.1 for [20,30), end at 30 (minutes).
+  PriceTrace t;
+  t.Append(SimTime(), 0.1);
+  t.Append(SimTime() + Duration::Minutes(10), 0.5);
+  t.Append(SimTime() + Duration::Minutes(20), 0.1);
+  t.SetEnd(SimTime() + Duration::Minutes(30));
+  return t;
+}
+
+TEST(PriceTrace, PriceAtSegments) {
+  const PriceTrace t = MakeSquareWave();
+  EXPECT_DOUBLE_EQ(t.PriceAt(SimTime()), 0.1);
+  EXPECT_DOUBLE_EQ(t.PriceAt(SimTime() + Duration::Minutes(5)), 0.1);
+  EXPECT_DOUBLE_EQ(t.PriceAt(SimTime() + Duration::Minutes(10)), 0.5);
+  EXPECT_DOUBLE_EQ(t.PriceAt(SimTime() + Duration::Minutes(15)), 0.5);
+  EXPECT_DOUBLE_EQ(t.PriceAt(SimTime() + Duration::Minutes(25)), 0.1);
+  // Clamps beyond the trace.
+  EXPECT_DOUBLE_EQ(t.PriceAt(SimTime() + Duration::Hours(5)), 0.1);
+}
+
+TEST(PriceTrace, PriceBeforeStartClampsToFirst) {
+  PriceTrace t;
+  t.Append(SimTime() + Duration::Minutes(10), 0.7);
+  EXPECT_DOUBLE_EQ(t.PriceAt(SimTime()), 0.7);
+}
+
+TEST(PriceTrace, EmptyTraceIsZero) {
+  PriceTrace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_DOUBLE_EQ(t.PriceAt(SimTime()), 0.0);
+}
+
+TEST(PriceTrace, CoalescesEqualPrices) {
+  PriceTrace t;
+  t.Append(SimTime(), 0.1);
+  t.Append(SimTime() + Duration::Minutes(5), 0.1);
+  t.Append(SimTime() + Duration::Minutes(10), 0.2);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(PriceTrace, AveragePriceWeighted) {
+  const PriceTrace t = MakeSquareWave();
+  // [5, 15): 5 min at 0.1, 5 min at 0.5 => 0.3.
+  EXPECT_NEAR(t.AveragePrice(SimTime() + Duration::Minutes(5),
+                             SimTime() + Duration::Minutes(15)),
+              0.3, 1e-12);
+  // Whole trace [0, 30): 20 min at 0.1, 10 at 0.5 => 0.2333...
+  EXPECT_NEAR(t.AveragePrice(SimTime(), SimTime() + Duration::Minutes(30)),
+              (20 * 0.1 + 10 * 0.5) / 30.0, 1e-12);
+}
+
+TEST(PriceTrace, AveragePastEndUsesLastPrice) {
+  const PriceTrace t = MakeSquareWave();
+  EXPECT_NEAR(t.AveragePrice(SimTime() + Duration::Minutes(25),
+                             SimTime() + Duration::Minutes(45)),
+              0.1, 1e-12);
+}
+
+TEST(PriceTrace, NextTimeAbove) {
+  const PriceTrace t = MakeSquareWave();
+  EXPECT_EQ(t.NextTimeAbove(SimTime(), 0.3), SimTime() + Duration::Minutes(10));
+  // Already above at the query time.
+  EXPECT_EQ(t.NextTimeAbove(SimTime() + Duration::Minutes(12), 0.3),
+            SimTime() + Duration::Minutes(12));
+  // Never above: returns end.
+  EXPECT_EQ(t.NextTimeAbove(SimTime(), 0.9), t.end());
+  // After the spike: never again.
+  EXPECT_EQ(t.NextTimeAbove(SimTime() + Duration::Minutes(21), 0.3), t.end());
+}
+
+TEST(PriceTrace, NextTimeAtOrBelow) {
+  const PriceTrace t = MakeSquareWave();
+  EXPECT_EQ(t.NextTimeAtOrBelow(SimTime() + Duration::Minutes(12), 0.3),
+            SimTime() + Duration::Minutes(20));
+  EXPECT_EQ(t.NextTimeAtOrBelow(SimTime() + Duration::Minutes(2), 0.3),
+            SimTime() + Duration::Minutes(2));
+  EXPECT_EQ(t.NextTimeAtOrBelow(SimTime() + Duration::Minutes(12), 0.05),
+            t.end());
+}
+
+TEST(PriceTrace, BelowIntervalContainsQueryPoint) {
+  const PriceTrace t = MakeSquareWave();
+  const auto iv = t.BelowInterval(SimTime() + Duration::Minutes(5), 0.3);
+  EXPECT_EQ(iv.begin, SimTime());
+  EXPECT_EQ(iv.end, SimTime() + Duration::Minutes(10));
+  EXPECT_EQ(iv.length(), Duration::Minutes(10));
+}
+
+TEST(PriceTrace, BelowIntervalAfterSpikeRunsToEnd) {
+  const PriceTrace t = MakeSquareWave();
+  const auto iv = t.BelowInterval(SimTime() + Duration::Minutes(25), 0.3);
+  EXPECT_EQ(iv.begin, SimTime() + Duration::Minutes(20));
+  EXPECT_EQ(iv.end, t.end());
+}
+
+TEST(PriceTrace, BelowIntervalZeroWhenAbove) {
+  const PriceTrace t = MakeSquareWave();
+  const auto iv = t.BelowInterval(SimTime() + Duration::Minutes(15), 0.3);
+  EXPECT_EQ(iv.length(), Duration::Micros(0));
+}
+
+TEST(PriceTrace, BelowIntervalHighBidSpansWholeTrace) {
+  const PriceTrace t = MakeSquareWave();
+  const auto iv = t.BelowInterval(SimTime() + Duration::Minutes(15), 2.0);
+  EXPECT_EQ(iv.begin, SimTime());
+  EXPECT_EQ(iv.end, t.end());
+}
+
+}  // namespace
+}  // namespace spotcache

@@ -1,0 +1,159 @@
+#include "src/predict/spot_predictor.h"
+
+#include <gtest/gtest.h>
+
+namespace spotcache {
+namespace {
+
+// Periodic square wave: cheap (0.02) for `low_h` hours, expensive (0.5) for
+// `high_h` hours, repeated over `days`.
+PriceTrace PeriodicTrace(double low_h, double high_h, int days) {
+  PriceTrace t;
+  SimTime cursor;
+  const SimTime end = SimTime() + Duration::Days(days);
+  while (cursor < end) {
+    t.Append(cursor, 0.02);
+    cursor += Duration::FromSecondsF(low_h * 3600);
+    t.Append(cursor, 0.5);
+    cursor += Duration::FromSecondsF(high_h * 3600);
+  }
+  t.SetEnd(end);
+  return t;
+}
+
+TEST(ExtractLifetimes, PeriodicIntervals) {
+  const PriceTrace t = PeriodicTrace(6, 2, 4);  // 8h period, 6h below
+  const auto lifetimes =
+      ExtractLifetimes(t, SimTime(), SimTime() + Duration::Days(4), 0.1);
+  ASSERT_EQ(lifetimes.size(), 12u);  // 3 per day * 4 days
+  for (const auto& l : lifetimes) {
+    EXPECT_NEAR(l.length.hours(), 6.0, 1e-6);
+    EXPECT_NEAR(l.avg_price, 0.02, 1e-9);
+  }
+}
+
+TEST(ExtractLifetimes, WindowEntirelyBelowIsOneSample) {
+  const PriceTrace t = PeriodicTrace(6, 2, 4);
+  const auto lifetimes =
+      ExtractLifetimes(t, SimTime(), SimTime() + Duration::Days(4), 1.0);
+  ASSERT_EQ(lifetimes.size(), 1u);
+  EXPECT_NEAR(lifetimes[0].length.days(), 4.0, 1e-6);
+}
+
+TEST(ExtractLifetimes, NoBelowTimeYieldsNothing) {
+  const PriceTrace t = PeriodicTrace(6, 2, 4);
+  EXPECT_TRUE(
+      ExtractLifetimes(t, SimTime(), SimTime() + Duration::Days(4), 0.01)
+          .empty());
+}
+
+TEST(ExtractLifetimes, ClipsToWindow) {
+  const PriceTrace t = PeriodicTrace(6, 2, 4);
+  // Window covering half of the first below-interval.
+  const auto lifetimes =
+      ExtractLifetimes(t, SimTime(), SimTime() + Duration::Hours(3), 0.1);
+  ASSERT_EQ(lifetimes.size(), 1u);
+  EXPECT_NEAR(lifetimes[0].length.hours(), 3.0, 1e-6);
+}
+
+TEST(LifetimePredictor, PredictsConservativePercentile) {
+  const PriceTrace t = PeriodicTrace(6, 2, 10);
+  LifetimePredictor predictor;
+  const SpotPrediction p =
+      predictor.Predict(t, SimTime() + Duration::Days(9), 0.1);
+  ASSERT_TRUE(p.usable);
+  // All intervals are 6h: every percentile is 6h.
+  EXPECT_NEAR(p.lifetime.hours(), 6.0, 0.01);
+  EXPECT_NEAR(p.avg_price, 0.02, 1e-6);
+}
+
+TEST(LifetimePredictor, PercentilePicksShortInterval) {
+  // Mix: mostly 6h intervals but with rare 30-minute blips (6h low, 2h high,
+  // then one 0.5h low + 1.5h high pattern each day).
+  PriceTrace t;
+  SimTime cursor;
+  for (int day = 0; day < 10; ++day) {
+    t.Append(cursor, 0.02);
+    cursor += Duration::Hours(20);
+    t.Append(cursor, 0.5);
+    cursor += Duration::Hours(2);
+    t.Append(cursor, 0.02);
+    cursor += Duration::Minutes(30);
+    t.Append(cursor, 0.5);
+    cursor += Duration::Minutes(90);
+  }
+  t.SetEnd(cursor);
+  LifetimePredictor::Config cfg;
+  cfg.lifetime_percentile = 0.05;
+  LifetimePredictor predictor(cfg);
+  const SpotPrediction p = predictor.Predict(t, cursor, 0.1);
+  ASSERT_TRUE(p.usable);
+  // The 5th percentile reflects the short blip, not the 20h runs.
+  EXPECT_LT(p.lifetime.hours(), 2.0);
+}
+
+TEST(LifetimePredictor, UnusableWhenBidNeverSucceeds) {
+  const PriceTrace t = PeriodicTrace(6, 2, 10);
+  LifetimePredictor predictor;
+  const SpotPrediction p =
+      predictor.Predict(t, SimTime() + Duration::Days(9), 0.001);
+  EXPECT_FALSE(p.usable);
+}
+
+TEST(CdfPredictor, LifetimeIsWindowTimesProbability) {
+  const PriceTrace t = PeriodicTrace(6, 2, 10);  // 75% below 0.1
+  CdfPredictor predictor;
+  const SpotPrediction p =
+      predictor.Predict(t, SimTime() + Duration::Days(9), 0.1);
+  ASSERT_TRUE(p.usable);
+  EXPECT_NEAR(p.lifetime.days(), 7.0 * 0.75, 0.05);
+  EXPECT_NEAR(p.avg_price, 0.02, 1e-6);
+}
+
+TEST(CdfPredictor, UnusableWithNoBelowTime) {
+  const PriceTrace t = PeriodicTrace(6, 2, 10);
+  CdfPredictor predictor;
+  EXPECT_FALSE(
+      predictor.Predict(t, SimTime() + Duration::Days(9), 0.001).usable);
+}
+
+TEST(AssessPredictor, CdfOverestimatesOnPeriodicTrace) {
+  const PriceTrace t = PeriodicTrace(6, 2, 30);
+  const LifetimePredictor ours;
+  const CdfPredictor cdf;
+  const SimTime start = SimTime() + Duration::Days(7);
+  const PredictorAssessment a =
+      AssessPredictor(ours, t, 0.1, start, t.end(), Duration::Hours(1));
+  const PredictorAssessment b =
+      AssessPredictor(cdf, t, 0.1, start, t.end(), Duration::Hours(1));
+  ASSERT_GT(a.evaluations, 0);
+  ASSERT_GT(b.evaluations, 0);
+  // Ours predicts 6h for 6h intervals: no over-estimation. CDF predicts
+  // 5.25 days: always over.
+  EXPECT_LT(a.overestimation_rate, 0.05);
+  EXPECT_GT(b.overestimation_rate, 0.9);
+}
+
+TEST(AssessPredictor, PriceDeviationSmallOnStablePrices) {
+  const PriceTrace t = PeriodicTrace(6, 2, 30);
+  const LifetimePredictor ours;
+  const PredictorAssessment a =
+      AssessPredictor(ours, t, 0.1, SimTime() + Duration::Days(7), t.end(),
+                      Duration::Hours(1));
+  EXPECT_LT(a.price_rel_deviation, 0.01);
+}
+
+TEST(AssessPredictor, SkipsPointsAboveBid) {
+  const PriceTrace t = PeriodicTrace(6, 2, 10);
+  const LifetimePredictor ours;
+  const PredictorAssessment a =
+      AssessPredictor(ours, t, 0.1, SimTime() + Duration::Days(7), t.end(),
+                      Duration::Hours(1));
+  // 2 of every 8 hourly points are above the bid and skipped; censored tail
+  // samples are also dropped.
+  EXPECT_LT(a.evaluations, 3 * 24 + 1);
+  EXPECT_GT(a.evaluations, 2 * 24 - 8);
+}
+
+}  // namespace
+}  // namespace spotcache

@@ -1,0 +1,123 @@
+#include "src/cloud/spot_price_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spotcache {
+namespace {
+
+SpotTraceConfig CalmConfig() {
+  SpotTraceConfig cfg;
+  cfg.od_price = 0.1;
+  cfg.default_regime = {0, 0, 0.5, 0.9, 0.4, 20.0};
+  return cfg;
+}
+
+TEST(SpotPriceModel, DeterministicForSeed) {
+  const SpotTraceConfig cfg = CalmConfig();
+  const PriceTrace a = GenerateSpotTrace(cfg, Duration::Days(10), 7);
+  const PriceTrace b = GenerateSpotTrace(cfg, Duration::Days(10), 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.points()[i].price, b.points()[i].price);
+    EXPECT_EQ(a.points()[i].time, b.points()[i].time);
+  }
+}
+
+TEST(SpotPriceModel, DifferentSeedsDiffer) {
+  const SpotTraceConfig cfg = CalmConfig();
+  const PriceTrace a = GenerateSpotTrace(cfg, Duration::Days(10), 7);
+  const PriceTrace b = GenerateSpotTrace(cfg, Duration::Days(10), 8);
+  EXPECT_NE(a.PriceAt(SimTime() + Duration::Days(5)),
+            b.PriceAt(SimTime() + Duration::Days(5)));
+}
+
+TEST(SpotPriceModel, PricesWithinBounds) {
+  SpotTraceConfig cfg = CalmConfig();
+  cfg.default_regime.spikes_per_day = 5.0;
+  cfg.default_regime.spike_sigma = 1.5;
+  const PriceTrace t = GenerateSpotTrace(cfg, Duration::Days(30), 11);
+  for (SimTime s; s < t.end(); s += Duration::Minutes(15)) {
+    const double p = t.PriceAt(s);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, cfg.od_price * cfg.price_cap_mult + 1e-9);
+  }
+}
+
+TEST(SpotPriceModel, MeanNearBaseFraction) {
+  SpotTraceConfig cfg = CalmConfig();
+  cfg.default_regime.spikes_per_day = 0.0;  // no spikes: pure base process
+  const PriceTrace t = GenerateSpotTrace(cfg, Duration::Days(30), 13);
+  const double mean = t.AveragePrice(SimTime(), t.end());
+  EXPECT_NEAR(mean, cfg.od_price * cfg.base_fraction,
+              cfg.od_price * cfg.base_fraction * 0.3);
+  // Spot should be 70-90% cheaper than on-demand, as the paper reports.
+  EXPECT_LT(mean, 0.3 * cfg.od_price);
+}
+
+TEST(SpotPriceModel, SpikyRegimeRaisesAboveBidTime) {
+  SpotTraceConfig cfg = CalmConfig();
+  cfg.default_regime.spikes_per_day = 0.2;
+  cfg.regimes = {{10, 20, 8.0, 1.5, 0.5, 120.0}};
+  const PriceTrace t = GenerateSpotTrace(cfg, Duration::Days(30), 17);
+
+  auto above_fraction = [&](double from_day, double to_day) {
+    int above = 0;
+    int total = 0;
+    for (SimTime s = SimTime() + Duration::FromSecondsF(from_day * 86400);
+         s < SimTime() + Duration::FromSecondsF(to_day * 86400);
+         s += Duration::Minutes(15)) {
+      above += t.PriceAt(s) > cfg.od_price ? 1 : 0;
+      ++total;
+    }
+    return static_cast<double>(above) / total;
+  };
+  EXPECT_GT(above_fraction(10, 20), above_fraction(0, 10) + 0.05);
+}
+
+TEST(SpotPriceModel, QuantizedToFourDecimals) {
+  const PriceTrace t = GenerateSpotTrace(CalmConfig(), Duration::Days(2), 19);
+  for (const auto& p : t.points()) {
+    const double scaled = p.price * 10000.0;
+    EXPECT_NEAR(scaled, std::round(scaled), 1e-6);
+  }
+}
+
+TEST(EvaluationMarkets, FourMarketsWithExpectedNames) {
+  const InstanceCatalog catalog = InstanceCatalog::Default();
+  const auto markets = MakeEvaluationMarkets(catalog, Duration::Days(30), 7);
+  ASSERT_EQ(markets.size(), 4u);
+  EXPECT_EQ(markets[0].name, "m4.L-c");
+  EXPECT_EQ(markets[1].name, "m4.L-d");
+  EXPECT_EQ(markets[2].name, "m4.XL-c");
+  EXPECT_EQ(markets[3].name, "m4.XL-d");
+  for (const auto& m : markets) {
+    EXPECT_NE(m.type, nullptr);
+    EXPECT_FALSE(m.trace.empty());
+    EXPECT_GE(m.trace.end(), SimTime() + Duration::Days(30));
+  }
+}
+
+TEST(EvaluationMarkets, XlCHostileWindowIsSpikier) {
+  const InstanceCatalog catalog = InstanceCatalog::Default();
+  const auto markets = MakeEvaluationMarkets(catalog, Duration::Days(90), 7);
+  const SpotMarket& xlc = markets[2];
+  const double d = xlc.od_price();
+  auto above = [&](int from_day, int to_day) {
+    int count = 0;
+    int total = 0;
+    for (SimTime s = SimTime() + Duration::Days(from_day);
+         s < SimTime() + Duration::Days(to_day); s += Duration::Minutes(30)) {
+      count += xlc.trace.PriceAt(s) > d ? 1 : 0;
+      ++total;
+    }
+    return static_cast<double>(count) / total;
+  };
+  // The hostile regime (days 30-60) must show far more above-bid1 time than
+  // the calm stretches, or Figure 8's story cannot happen.
+  EXPECT_GT(above(30, 60), 3.0 * above(0, 30));
+}
+
+}  // namespace
+}  // namespace spotcache

@@ -1,0 +1,161 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace spotcache {
+namespace {
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MeanAndVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesCombined) {
+  Rng rng(1);
+  OnlineStats all;
+  OnlineStats a;
+  OnlineStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Normal(3.0, 2.0);
+    all.Add(x);
+    (i % 2 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.Add(5.0);
+  OnlineStats b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 5.0);
+}
+
+TEST(Percentile, EmptyAndSingle) {
+  EXPECT_EQ(Percentile({}, 0.5), 0.0);
+  EXPECT_EQ(Percentile({7.0}, 0.0), 7.0);
+  EXPECT_EQ(Percentile({7.0}, 1.0), 7.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.125), 1.5);
+}
+
+TEST(Percentile, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(Percentile({5.0, 1.0, 3.0, 2.0, 4.0}, 0.5), 3.0);
+}
+
+TEST(Percentile, ClampsQuantile) {
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 2.0), 2.0);
+}
+
+TEST(LogHistogram, EmptyQuantile) {
+  LogHistogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(LogHistogram, MeanExact) {
+  LogHistogram h;
+  h.Record(1.0);
+  h.Record(3.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(LogHistogram, QuantileWithinRelativeError) {
+  LogHistogram h(1e-6, 1.05);
+  Rng rng(2);
+  std::vector<double> exact;
+  for (int i = 0; i < 50'000; ++i) {
+    const double x = rng.Exponential(0.001);
+    exact.push_back(x);
+    h.Record(x);
+  }
+  for (double q : {0.5, 0.9, 0.99}) {
+    const double truth = Percentile(exact, q);
+    EXPECT_NEAR(h.Quantile(q), truth, truth * 0.06) << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, QuantileNeverExceedsMax) {
+  LogHistogram h;
+  h.Record(0.010);
+  h.Record(0.011);
+  EXPECT_LE(h.Quantile(1.0), 0.011);
+}
+
+TEST(LogHistogram, RecordNWeightsProperly) {
+  LogHistogram h;
+  h.RecordN(1.0, 99);
+  h.Record(100.0);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_LT(h.Quantile(0.5), 2.0);
+  EXPECT_LT(h.Quantile(0.98), 2.0);
+  EXPECT_GT(h.Quantile(1.0), 50.0);
+}
+
+TEST(LogHistogram, MergeEquivalentToUnion) {
+  LogHistogram a;
+  LogHistogram b;
+  LogHistogram all;
+  Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.Exponential(1.0);
+    (i % 2 ? a : b).Record(x);
+    all.Record(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.Quantile(0.9), all.Quantile(0.9));
+}
+
+TEST(LogHistogram, ResetClears) {
+  LogHistogram h;
+  h.Record(1.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(LogHistogram, NegativeValuesClampToZeroBucket) {
+  LogHistogram h;
+  h.Record(-1.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_LE(h.Quantile(0.5), 1e-6);
+}
+
+}  // namespace
+}  // namespace spotcache

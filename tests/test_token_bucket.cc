@@ -1,0 +1,105 @@
+#include "src/cloud/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+namespace spotcache {
+namespace {
+
+TEST(TokenBucket, StartsAtInitialClampedToCap) {
+  EXPECT_EQ(TokenBucket(10, 100, 40).balance(), 40.0);
+  EXPECT_EQ(TokenBucket(10, 100, 500).balance(), 100.0);
+}
+
+TEST(TokenBucket, AccruesLinearly) {
+  TokenBucket b(60.0, 1000.0, 0.0);
+  b.AdvanceTo(SimTime() + Duration::Minutes(30));
+  EXPECT_NEAR(b.balance(), 30.0, 1e-9);
+  b.AdvanceTo(SimTime() + Duration::Hours(2));
+  EXPECT_NEAR(b.balance(), 120.0, 1e-9);
+}
+
+TEST(TokenBucket, AccrualCapsAtLimit) {
+  TokenBucket b(60.0, 100.0, 0.0);
+  b.AdvanceTo(SimTime() + Duration::Hours(10));
+  EXPECT_EQ(b.balance(), 100.0);
+  EXPECT_TRUE(b.full());
+}
+
+TEST(TokenBucket, TimeNeverMovesBackwards) {
+  TokenBucket b(60.0, 1000.0, 0.0);
+  b.AdvanceTo(SimTime() + Duration::Hours(1));
+  b.AdvanceTo(SimTime() + Duration::Minutes(30));  // ignored
+  EXPECT_NEAR(b.balance(), 60.0, 1e-9);
+}
+
+TEST(TokenBucket, TryConsumeAllOrNothing) {
+  TokenBucket b(0.0, 100.0, 50.0);
+  EXPECT_FALSE(b.TryConsume(60.0));
+  EXPECT_EQ(b.balance(), 50.0);
+  EXPECT_TRUE(b.TryConsume(50.0));
+  EXPECT_EQ(b.balance(), 0.0);
+}
+
+TEST(TokenBucket, ConsumeUpToPartial) {
+  TokenBucket b(0.0, 100.0, 30.0);
+  EXPECT_EQ(b.ConsumeUpTo(50.0), 30.0);
+  EXPECT_EQ(b.balance(), 0.0);
+  EXPECT_EQ(b.ConsumeUpTo(10.0), 0.0);
+}
+
+TEST(TokenBucket, FlowIntervalNetPositiveAccrues) {
+  TokenBucket b(60.0, 1000.0, 0.0);
+  const double f = b.FlowInterval(SimTime(), SimTime() + Duration::Hours(1), 30.0);
+  EXPECT_EQ(f, 1.0);
+  EXPECT_NEAR(b.balance(), 30.0, 1e-9);
+}
+
+TEST(TokenBucket, FlowIntervalNetNegativeDrains) {
+  TokenBucket b(60.0, 1000.0, 100.0);
+  const double f = b.FlowInterval(SimTime(), SimTime() + Duration::Hours(1), 120.0);
+  EXPECT_EQ(f, 1.0);  // 100 - 60 = 40 left after one hour of net -60
+  EXPECT_NEAR(b.balance(), 40.0, 1e-9);
+}
+
+TEST(TokenBucket, FlowIntervalExhaustsMidway) {
+  TokenBucket b(60.0, 1000.0, 30.0);
+  // Net drain 60/h; 30 tokens last half the hour.
+  const double f = b.FlowInterval(SimTime(), SimTime() + Duration::Hours(1), 120.0);
+  EXPECT_NEAR(f, 0.5, 1e-9);
+  EXPECT_EQ(b.balance(), 0.0);
+}
+
+TEST(TokenBucket, FlowIntervalAccruesIdleGapFirst) {
+  TokenBucket b(60.0, 1000.0, 0.0);
+  // One idle hour earns 60 tokens, then a drain of 120/h for an hour: net -60,
+  // exactly exhausting at the end.
+  const double f = b.FlowInterval(SimTime() + Duration::Hours(1),
+                                  SimTime() + Duration::Hours(2), 120.0);
+  EXPECT_NEAR(f, 1.0, 1e-9);
+  EXPECT_NEAR(b.balance(), 0.0, 1e-9);
+}
+
+TEST(TokenBucket, FlowIntervalRespectsCapDuringAccrual) {
+  TokenBucket b(60.0, 50.0, 50.0);
+  const double f = b.FlowInterval(SimTime(), SimTime() + Duration::Hours(1), 0.0);
+  EXPECT_EQ(f, 1.0);
+  EXPECT_EQ(b.balance(), 50.0);
+}
+
+TEST(TokenBucket, TimeToAccrue) {
+  TokenBucket b(60.0, 1000.0, 10.0);
+  EXPECT_EQ(b.TimeToAccrue(10.0), Duration::Hours(0));
+  EXPECT_EQ(b.TimeToAccrue(70.0), Duration::Hours(1));
+  // Beyond the cap: effectively never.
+  EXPECT_GT(b.TimeToAccrue(2000.0), Duration::Days(1000));
+}
+
+TEST(TokenBucket, ZeroRateNeverAccrues) {
+  TokenBucket b(0.0, 100.0, 0.0);
+  b.AdvanceTo(SimTime() + Duration::Days(10));
+  EXPECT_EQ(b.balance(), 0.0);
+  EXPECT_GT(b.TimeToAccrue(1.0), Duration::Days(1000));
+}
+
+}  // namespace
+}  // namespace spotcache

@@ -1,0 +1,118 @@
+#include "src/workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/workload_spec.h"
+
+namespace spotcache {
+namespace {
+
+DiurnalTraceConfig BaseConfig() {
+  DiurnalTraceConfig cfg;
+  cfg.peak_rate_ops = 100'000;
+  cfg.peak_working_set_gb = 50.0;
+  cfg.days = 7;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(WorkloadTrace, SlotCountAndLength) {
+  const WorkloadTrace t = WorkloadTrace::GenerateDiurnal(BaseConfig());
+  EXPECT_EQ(t.slots(), 7u * 24u);
+  EXPECT_EQ(t.slot_length(), Duration::Hours(1));
+  EXPECT_EQ(t.total_length(), Duration::Days(7));
+}
+
+TEST(WorkloadTrace, BoundsRespected) {
+  const DiurnalTraceConfig cfg = BaseConfig();
+  const WorkloadTrace t = WorkloadTrace::GenerateDiurnal(cfg);
+  for (size_t s = 0; s < t.slots(); ++s) {
+    EXPECT_GT(t.RateAt(s), 0.0);
+    EXPECT_LE(t.RateAt(s), cfg.peak_rate_ops);
+    EXPECT_GT(t.WorkingSetGbAt(s), 0.0);
+    EXPECT_LE(t.WorkingSetGbAt(s), cfg.peak_working_set_gb);
+  }
+}
+
+TEST(WorkloadTrace, PeakNearConfigured) {
+  const WorkloadTrace t = WorkloadTrace::GenerateDiurnal(BaseConfig());
+  EXPECT_GT(t.PeakRate(), 0.85 * 100'000);
+  EXPECT_GT(t.PeakWorkingSetGb(), 0.85 * 50.0);
+}
+
+TEST(WorkloadTrace, DiurnalShapePeaksInAfternoon) {
+  DiurnalTraceConfig cfg = BaseConfig();
+  cfg.noise = 0.0;
+  cfg.days = 1;
+  const WorkloadTrace t = WorkloadTrace::GenerateDiurnal(cfg);
+  // Peak hour ~14:00; trough ~02:00.
+  EXPECT_GT(t.RateAt(14), t.RateAt(2) * 2.0);
+}
+
+TEST(WorkloadTrace, TroughRespectsMinFraction) {
+  DiurnalTraceConfig cfg = BaseConfig();
+  cfg.noise = 0.0;
+  cfg.min_rate_fraction = 0.3;
+  const WorkloadTrace t = WorkloadTrace::GenerateDiurnal(cfg);
+  for (size_t s = 0; s < 24; ++s) {
+    EXPECT_GE(t.RateAt(s), 0.3 * cfg.peak_rate_ops * 0.99);
+  }
+}
+
+TEST(WorkloadTrace, WeekendDamped) {
+  DiurnalTraceConfig cfg = BaseConfig();
+  cfg.noise = 0.0;
+  const WorkloadTrace t = WorkloadTrace::GenerateDiurnal(cfg);
+  // Hour 14 on day 1 (weekday) vs day 5 (weekend).
+  EXPECT_GT(t.RateAt(24 + 14), t.RateAt(5 * 24 + 14) * 1.1);
+}
+
+TEST(WorkloadTrace, DeterministicBySeed) {
+  const WorkloadTrace a = WorkloadTrace::GenerateDiurnal(BaseConfig());
+  const WorkloadTrace b = WorkloadTrace::GenerateDiurnal(BaseConfig());
+  for (size_t s = 0; s < a.slots(); ++s) {
+    EXPECT_EQ(a.RateAt(s), b.RateAt(s));
+  }
+  DiurnalTraceConfig other = BaseConfig();
+  other.seed = 43;
+  const WorkloadTrace c = WorkloadTrace::GenerateDiurnal(other);
+  EXPECT_NE(a.RateAt(10), c.RateAt(10));
+}
+
+TEST(WorkloadTrace, CustomSlotLength) {
+  DiurnalTraceConfig cfg = BaseConfig();
+  cfg.slot = Duration::Minutes(15);
+  cfg.days = 1;
+  const WorkloadTrace t = WorkloadTrace::GenerateDiurnal(cfg);
+  EXPECT_EQ(t.slots(), 96u);
+}
+
+TEST(WorkloadSpec, GridHas18Workloads) {
+  const auto grid = LongTermGrid(90);
+  EXPECT_EQ(grid.size(), 18u);
+  // All distinct names and seeds.
+  for (size_t i = 0; i < grid.size(); ++i) {
+    for (size_t j = i + 1; j < grid.size(); ++j) {
+      EXPECT_NE(grid[i].name, grid[j].name);
+      EXPECT_NE(grid[i].seed, grid[j].seed);
+    }
+  }
+}
+
+TEST(WorkloadSpec, NumKeysFromWorkingSet) {
+  WorkloadSpec w;
+  w.peak_working_set_gb = 1.0;
+  w.value_bytes = 4096;
+  EXPECT_EQ(w.NumKeys(), (1ull << 30) / 4096);
+}
+
+TEST(WorkloadSpec, NamedWorkloadsMatchPaper) {
+  EXPECT_EQ(SpotModelingWorkload(90).peak_rate_ops, 500e3);
+  EXPECT_EQ(SpotModelingWorkload(90).peak_working_set_gb, 100.0);
+  EXPECT_EQ(SpotModelingWorkload(90).zipf_theta, 2.0);
+  EXPECT_EQ(PrototypeWorkload(1).peak_rate_ops, 320e3);
+  EXPECT_EQ(RecoveryWorkload().peak_working_set_gb, 10.0);
+}
+
+}  // namespace
+}  // namespace spotcache

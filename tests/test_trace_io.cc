@@ -1,0 +1,115 @@
+#include "src/cloud/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/cloud/spot_price_model.h"
+#include "src/predict/spot_predictor.h"
+
+namespace spotcache {
+namespace {
+
+TEST(TraceIo, RoundTripPreservesTrace) {
+  SpotTraceConfig cfg;
+  cfg.od_price = 0.1;
+  const PriceTrace original = GenerateSpotTrace(cfg, Duration::Days(3), 7);
+
+  std::stringstream buffer;
+  WritePriceTraceCsv(original, buffer);
+  std::string error;
+  const auto loaded = ReadPriceTraceCsv(buffer, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+
+  ASSERT_EQ(loaded->size(), original.size());
+  EXPECT_EQ(loaded->end(), original.end());
+  for (SimTime t; t < original.end(); t += Duration::Minutes(37)) {
+    EXPECT_NEAR(loaded->PriceAt(t), original.PriceAt(t), 1e-6);
+  }
+}
+
+TEST(TraceIo, ParsesHandWrittenCsv) {
+  std::stringstream in(
+      "time_s,price\n"
+      "# a comment\n"
+      "0,0.02\n"
+      "\n"
+      "3600,0.05\n"
+      "7200,0.02\n"
+      "# end,10800\n");
+  const auto trace = ReadPriceTraceCsv(in);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->size(), 3u);
+  EXPECT_DOUBLE_EQ(trace->PriceAt(SimTime::FromSeconds(5000)), 0.05);
+  EXPECT_EQ(trace->end(), SimTime::FromSeconds(10800));
+}
+
+TEST(TraceIo, RejectsMalformedRow) {
+  std::stringstream in("time_s,price\n0,abc...\n");
+  std::string error;
+  std::stringstream bad("time_s,price\nnot-a-row\n");
+  EXPECT_FALSE(ReadPriceTraceCsv(bad, &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsTimeRegression) {
+  std::stringstream in("time_s,price\n100,0.1\n50,0.2\n");
+  std::string error;
+  EXPECT_FALSE(ReadPriceTraceCsv(in, &error).has_value());
+  EXPECT_NE(error.find("decrease"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsNegativePrice) {
+  std::stringstream in("time_s,price\n0,-0.5\n");
+  std::string error;
+  EXPECT_FALSE(ReadPriceTraceCsv(in, &error).has_value());
+  EXPECT_NE(error.find("negative"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsEmptyInput) {
+  std::stringstream in("time_s,price\n");
+  std::string error;
+  EXPECT_FALSE(ReadPriceTraceCsv(in, &error).has_value());
+  EXPECT_NE(error.find("no data"), std::string::npos);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  SpotTraceConfig cfg;
+  cfg.od_price = 0.2;
+  const PriceTrace original = GenerateSpotTrace(cfg, Duration::Days(1), 9);
+  const std::string path = ::testing::TempDir() + "/trace_io_test.csv";
+  ASSERT_TRUE(SavePriceTrace(original, path));
+  std::string error;
+  const auto loaded = LoadPriceTrace(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->size(), original.size());
+}
+
+TEST(TraceIo, MissingFileReportsError) {
+  std::string error;
+  EXPECT_FALSE(LoadPriceTrace("/nonexistent/nope.csv", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(TraceIo, LoadedTraceDrivesPredictors) {
+  // End-to-end: a hand-made trace flows into the lifetime predictor.
+  std::stringstream in(
+      "time_s,price\n"
+      "0,0.02\n"
+      "21600,0.5\n"     // 6h
+      "28800,0.02\n"    // 8h: 6h-below / 2h-above wave
+      "50400,0.5\n"
+      "57600,0.02\n"
+      "79200,0.5\n"
+      "86400,0.02\n"
+      "# end,172800\n");
+  const auto trace = ReadPriceTraceCsv(in);
+  ASSERT_TRUE(trace.has_value());
+  const auto lifetimes =
+      ExtractLifetimes(*trace, SimTime(), SimTime() + Duration::Days(1), 0.1);
+  ASSERT_EQ(lifetimes.size(), 3u);
+  EXPECT_NEAR(lifetimes[0].length.hours(), 6.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace spotcache

@@ -1,0 +1,96 @@
+#include "src/predict/workload_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace spotcache {
+namespace {
+
+TEST(Ar2Predictor, EmptyPredictsZero) {
+  Ar2Predictor p;
+  EXPECT_EQ(p.Predict(), 0.0);
+}
+
+TEST(Ar2Predictor, PersistenceBeforeEnoughHistory) {
+  Ar2Predictor p;
+  p.Observe(10.0);
+  EXPECT_DOUBLE_EQ(p.Predict(), 10.0);
+  p.Observe(12.0);
+  EXPECT_DOUBLE_EQ(p.Predict(), 12.0);
+}
+
+TEST(Ar2Predictor, LearnsPureAr2Process) {
+  Ar2Predictor::Config cfg;
+  cfg.window = 64;
+  Ar2Predictor p(cfg);
+  // x[t] = 0.7 x[t-1] + 0.25 x[t-2], started away from zero.
+  double x1 = 100.0;
+  double x2 = 90.0;
+  p.Observe(x2);
+  p.Observe(x1);
+  for (int i = 0; i < 60; ++i) {
+    const double x = 0.7 * x1 + 0.25 * x2;
+    p.Observe(x);
+    x2 = x1;
+    x1 = x;
+  }
+  EXPECT_NEAR(p.gamma1(), 0.7, 0.05);
+  EXPECT_NEAR(p.gamma2(), 0.25, 0.05);
+  EXPECT_NEAR(p.Predict(), 0.7 * x1 + 0.25 * x2, std::abs(x1) * 0.01 + 1e-9);
+}
+
+TEST(Ar2Predictor, TracksSinusoidReasonably) {
+  Ar2Predictor p;
+  double worst = 0.0;
+  for (int t = 0; t < 200; ++t) {
+    const double value = 100.0 + 50.0 * std::sin(t * 2 * M_PI / 24.0);
+    if (t > 48) {
+      worst = std::max(worst, std::fabs(p.Predict() - value));
+    }
+    p.Observe(value);
+  }
+  // A sinusoid is exactly AR(2)-representable; errors should be small.
+  EXPECT_LT(worst, 10.0);
+}
+
+TEST(Ar2Predictor, NonNegativePredictions) {
+  Ar2Predictor p;
+  p.Observe(1.0);
+  for (int i = 0; i < 30; ++i) {
+    p.Observe(0.0);
+  }
+  EXPECT_GE(p.Predict(), 0.0);
+}
+
+TEST(Ar2Predictor, HeadroomScalesPrediction) {
+  Ar2Predictor::Config cfg;
+  cfg.headroom = 1.2;
+  Ar2Predictor p(cfg);
+  p.Observe(100.0);
+  EXPECT_DOUBLE_EQ(p.Predict(), 120.0);
+}
+
+TEST(Ar2Predictor, WindowBoundsHistory) {
+  Ar2Predictor::Config cfg;
+  cfg.window = 10;
+  Ar2Predictor p(cfg);
+  for (int i = 0; i < 100; ++i) {
+    p.Observe(static_cast<double>(i));
+  }
+  EXPECT_EQ(p.observations(), 10u);
+}
+
+TEST(Ar2Predictor, NoisyConstantStaysNearConstant) {
+  Rng rng(1);
+  Ar2Predictor p;
+  for (int i = 0; i < 100; ++i) {
+    p.Observe(50.0 + rng.Normal(0.0, 1.0));
+  }
+  EXPECT_NEAR(p.Predict(), 50.0, 5.0);
+}
+
+}  // namespace
+}  // namespace spotcache

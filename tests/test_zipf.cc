@@ -1,0 +1,163 @@
+#include "src/workload/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spotcache {
+namespace {
+
+TEST(GeneralizedHarmonic, ExactSmallValues) {
+  EXPECT_DOUBLE_EQ(GeneralizedHarmonic(1, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(GeneralizedHarmonic(2, 1.0), 1.5);
+  EXPECT_NEAR(GeneralizedHarmonic(3, 2.0), 1.0 + 0.25 + 1.0 / 9.0, 1e-12);
+}
+
+TEST(GeneralizedHarmonic, LargeNMatchesLogApproximation) {
+  // H_n ~ ln n + gamma for theta = 1.
+  const double n = 1e8;
+  EXPECT_NEAR(GeneralizedHarmonic(n, 1.0), std::log(n) + 0.5772156649,
+              1e-3);
+}
+
+TEST(GeneralizedHarmonic, Theta2ConvergesToZeta2) {
+  EXPECT_NEAR(GeneralizedHarmonic(1e9, 2.0), M_PI * M_PI / 6.0, 1e-6);
+}
+
+TEST(ZipfPopularity, MassesSumToOne) {
+  ZipfPopularity pop(1000, 1.0);
+  double sum = 0.0;
+  for (uint64_t r = 0; r < 1000; ++r) {
+    sum += pop.MassAt(r);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfPopularity, MassMonotoneDecreasing) {
+  ZipfPopularity pop(1000, 1.5);
+  for (uint64_t r = 1; r < 1000; ++r) {
+    EXPECT_LT(pop.MassAt(r), pop.MassAt(r - 1));
+  }
+  EXPECT_EQ(pop.MassAt(1000), 0.0);  // out of range
+}
+
+TEST(ZipfPopularity, AccessFractionEndpoints) {
+  ZipfPopularity pop(1'000'000, 1.0);
+  EXPECT_EQ(pop.AccessFraction(0.0), 0.0);
+  EXPECT_NEAR(pop.AccessFraction(1.0), 1.0, 1e-9);
+}
+
+TEST(ZipfPopularity, AccessFractionMonotone) {
+  ZipfPopularity pop(1'000'000, 1.2);
+  double prev = 0.0;
+  for (double x = 0.0; x <= 1.0; x += 0.01) {
+    const double f = pop.AccessFraction(x);
+    EXPECT_GE(f, prev - 1e-12);
+    prev = f;
+  }
+}
+
+TEST(ZipfPopularity, GridMatchesDirectSummation) {
+  // PartialHarmonic (grid + integral correction) vs brute force.
+  const uint64_t n = 200'000;
+  ZipfPopularity pop(n, 1.0);
+  for (double frac : {0.001, 0.01, 0.1, 0.5, 0.9}) {
+    const uint64_t k = static_cast<uint64_t>(frac * n);
+    double exact = 0.0;
+    for (uint64_t i = 1; i <= k; ++i) {
+      exact += std::pow(static_cast<double>(i), -1.0);
+    }
+    const double total = GeneralizedHarmonic(static_cast<double>(n), 1.0);
+    EXPECT_NEAR(pop.AccessFraction(frac), exact / total, 2e-3) << frac;
+  }
+}
+
+TEST(ZipfPopularity, SkewConcentratesAccesses) {
+  ZipfPopularity mild(1'000'000, 0.5);
+  ZipfPopularity heavy(1'000'000, 2.0);
+  EXPECT_LT(mild.AccessFraction(0.01), heavy.AccessFraction(0.01));
+  EXPECT_GT(heavy.AccessFraction(0.0001), 0.9);
+}
+
+TEST(ZipfPopularity, CoverageInverseConsistent) {
+  ZipfPopularity pop(1'000'000, 1.0);
+  for (double cov : {0.5, 0.9, 0.99}) {
+    const double x = pop.KeyFractionForCoverage(cov);
+    EXPECT_NEAR(pop.AccessFraction(x), cov, 1e-6) << cov;
+  }
+}
+
+TEST(ZipfPopularity, HotFractionShrinksWithSkew) {
+  const double h05 = ZipfPopularity(1'000'000, 0.5).KeyFractionForCoverage(0.9);
+  const double h10 = ZipfPopularity(1'000'000, 1.0).KeyFractionForCoverage(0.9);
+  const double h20 = ZipfPopularity(1'000'000, 2.0).KeyFractionForCoverage(0.9);
+  EXPECT_GT(h05, h10);
+  EXPECT_GT(h10, h20);
+  EXPECT_LT(h20, 1e-4);  // Zipf 2: a handful of keys carries 90%
+}
+
+TEST(ZipfianGenerator, SamplesWithinRange) {
+  ZipfianGenerator gen(1000, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(gen.Sample(rng), 1000u);
+  }
+}
+
+TEST(ZipfianGenerator, EmpiricalMatchesAnalyticHead) {
+  const uint64_t n = 10'000;
+  ZipfianGenerator gen(n, 1.0);
+  ZipfPopularity pop(n, 1.0);
+  Rng rng(2);
+  std::vector<int> counts(n, 0);
+  const int samples = 500'000;
+  for (int i = 0; i < samples; ++i) {
+    ++counts[gen.Sample(rng)];
+  }
+  for (uint64_t r : {0ull, 1ull, 2ull, 10ull, 100ull}) {
+    const double expected = pop.MassAt(r) * samples;
+    // The YCSB closed-form sampler distorts small non-zero ranks by up to
+    // ~20%; the aggregate shape is what matters downstream.
+    EXPECT_NEAR(counts[r], expected, expected * 0.25 + 50) << "rank " << r;
+  }
+}
+
+TEST(ZipfianGenerator, ThetaNearOneHandled) {
+  ZipfianGenerator gen(1000, 1.0);
+  Rng rng(3);
+  // Just exercise: must not produce NaN/inf-driven out-of-range ranks.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(gen.Sample(rng), 1000u);
+  }
+}
+
+TEST(ZipfianGenerator, HigherThetaMoreConcentrated) {
+  Rng rng(4);
+  ZipfianGenerator mild(100'000, 0.5);
+  ZipfianGenerator heavy(100'000, 1.8);
+  int mild_head = 0;
+  int heavy_head = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    mild_head += mild.Sample(rng) < 10 ? 1 : 0;
+    heavy_head += heavy.Sample(rng) < 10 ? 1 : 0;
+  }
+  EXPECT_GT(heavy_head, mild_head * 3);
+}
+
+class ZipfCoverageProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfCoverageProperty, CoverageRoundTripsAcrossThetas) {
+  const double theta = GetParam();
+  ZipfPopularity pop(2'000'000, theta);
+  for (double cov = 0.1; cov < 1.0; cov += 0.2) {
+    const double x = pop.KeyFractionForCoverage(cov);
+    EXPECT_NEAR(pop.AccessFraction(x), cov, 1e-5)
+        << "theta=" << theta << " cov=" << cov;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfCoverageProperty,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.2, 1.5, 2.0));
+
+}  // namespace
+}  // namespace spotcache
