@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_hotcold.dir/bench_fig10_hotcold.cpp.o"
+  "CMakeFiles/bench_fig10_hotcold.dir/bench_fig10_hotcold.cpp.o.d"
+  "bench_fig10_hotcold"
+  "bench_fig10_hotcold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_hotcold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

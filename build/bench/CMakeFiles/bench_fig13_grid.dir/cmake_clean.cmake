@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_grid.dir/bench_fig13_grid.cpp.o"
+  "CMakeFiles/bench_fig13_grid.dir/bench_fig13_grid.cpp.o.d"
+  "bench_fig13_grid"
+  "bench_fig13_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_writes.dir/bench_future_writes.cpp.o"
+  "CMakeFiles/bench_future_writes.dir/bench_future_writes.cpp.o.d"
+  "bench_future_writes"
+  "bench_future_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

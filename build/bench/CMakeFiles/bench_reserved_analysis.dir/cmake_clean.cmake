@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reserved_analysis.dir/bench_reserved_analysis.cpp.o"
+  "CMakeFiles/bench_reserved_analysis.dir/bench_reserved_analysis.cpp.o.d"
+  "bench_reserved_analysis"
+  "bench_reserved_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reserved_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scenario_b.dir/bench_scenario_b.cpp.o"
+  "CMakeFiles/bench_scenario_b.dir/bench_scenario_b.cpp.o.d"
+  "bench_scenario_b"
+  "bench_scenario_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scenario_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

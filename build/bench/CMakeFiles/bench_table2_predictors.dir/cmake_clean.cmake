@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_predictors.dir/bench_table2_predictors.cpp.o"
+  "CMakeFiles/bench_table2_predictors.dir/bench_table2_predictors.cpp.o.d"
+  "bench_table2_predictors"
+  "bench_table2_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_burstable.dir/bench_table3_burstable.cpp.o"
+  "CMakeFiles/bench_table3_burstable.dir/bench_table3_burstable.cpp.o.d"
+  "bench_table3_burstable"
+  "bench_table3_burstable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_burstable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

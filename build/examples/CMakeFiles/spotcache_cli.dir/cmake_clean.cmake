@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotcache_cli.dir/spotcache_cli.cpp.o"
+  "CMakeFiles/spotcache_cli.dir/spotcache_cli.cpp.o.d"
+  "spotcache_cli"
+  "spotcache_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotcache_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

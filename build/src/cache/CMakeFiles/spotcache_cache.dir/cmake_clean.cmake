@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotcache_cache.dir/backend_store.cc.o"
+  "CMakeFiles/spotcache_cache.dir/backend_store.cc.o.d"
+  "CMakeFiles/spotcache_cache.dir/cache_node.cc.o"
+  "CMakeFiles/spotcache_cache.dir/cache_node.cc.o.d"
+  "libspotcache_cache.a"
+  "libspotcache_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotcache_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/billing.cc" "src/cloud/CMakeFiles/spotcache_cloud.dir/billing.cc.o" "gcc" "src/cloud/CMakeFiles/spotcache_cloud.dir/billing.cc.o.d"
+  "/root/repo/src/cloud/burstable.cc" "src/cloud/CMakeFiles/spotcache_cloud.dir/burstable.cc.o" "gcc" "src/cloud/CMakeFiles/spotcache_cloud.dir/burstable.cc.o.d"
+  "/root/repo/src/cloud/cloud_provider.cc" "src/cloud/CMakeFiles/spotcache_cloud.dir/cloud_provider.cc.o" "gcc" "src/cloud/CMakeFiles/spotcache_cloud.dir/cloud_provider.cc.o.d"
+  "/root/repo/src/cloud/instance_types.cc" "src/cloud/CMakeFiles/spotcache_cloud.dir/instance_types.cc.o" "gcc" "src/cloud/CMakeFiles/spotcache_cloud.dir/instance_types.cc.o.d"
+  "/root/repo/src/cloud/pricing.cc" "src/cloud/CMakeFiles/spotcache_cloud.dir/pricing.cc.o" "gcc" "src/cloud/CMakeFiles/spotcache_cloud.dir/pricing.cc.o.d"
+  "/root/repo/src/cloud/spot_market.cc" "src/cloud/CMakeFiles/spotcache_cloud.dir/spot_market.cc.o" "gcc" "src/cloud/CMakeFiles/spotcache_cloud.dir/spot_market.cc.o.d"
+  "/root/repo/src/cloud/spot_price_model.cc" "src/cloud/CMakeFiles/spotcache_cloud.dir/spot_price_model.cc.o" "gcc" "src/cloud/CMakeFiles/spotcache_cloud.dir/spot_price_model.cc.o.d"
+  "/root/repo/src/cloud/token_bucket.cc" "src/cloud/CMakeFiles/spotcache_cloud.dir/token_bucket.cc.o" "gcc" "src/cloud/CMakeFiles/spotcache_cloud.dir/token_bucket.cc.o.d"
+  "/root/repo/src/cloud/trace_io.cc" "src/cloud/CMakeFiles/spotcache_cloud.dir/trace_io.cc.o" "gcc" "src/cloud/CMakeFiles/spotcache_cloud.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spotcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

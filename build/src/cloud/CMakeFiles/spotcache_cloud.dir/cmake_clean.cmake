@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotcache_cloud.dir/billing.cc.o"
+  "CMakeFiles/spotcache_cloud.dir/billing.cc.o.d"
+  "CMakeFiles/spotcache_cloud.dir/burstable.cc.o"
+  "CMakeFiles/spotcache_cloud.dir/burstable.cc.o.d"
+  "CMakeFiles/spotcache_cloud.dir/cloud_provider.cc.o"
+  "CMakeFiles/spotcache_cloud.dir/cloud_provider.cc.o.d"
+  "CMakeFiles/spotcache_cloud.dir/instance_types.cc.o"
+  "CMakeFiles/spotcache_cloud.dir/instance_types.cc.o.d"
+  "CMakeFiles/spotcache_cloud.dir/pricing.cc.o"
+  "CMakeFiles/spotcache_cloud.dir/pricing.cc.o.d"
+  "CMakeFiles/spotcache_cloud.dir/spot_market.cc.o"
+  "CMakeFiles/spotcache_cloud.dir/spot_market.cc.o.d"
+  "CMakeFiles/spotcache_cloud.dir/spot_price_model.cc.o"
+  "CMakeFiles/spotcache_cloud.dir/spot_price_model.cc.o.d"
+  "CMakeFiles/spotcache_cloud.dir/token_bucket.cc.o"
+  "CMakeFiles/spotcache_cloud.dir/token_bucket.cc.o.d"
+  "CMakeFiles/spotcache_cloud.dir/trace_io.cc.o"
+  "CMakeFiles/spotcache_cloud.dir/trace_io.cc.o.d"
+  "libspotcache_cloud.a"
+  "libspotcache_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotcache_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/spotcache_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/spotcache_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/spotcache_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/spotcache_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/spotcache_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/spotcache_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/recovery_sim.cc" "src/core/CMakeFiles/spotcache_core.dir/recovery_sim.cc.o" "gcc" "src/core/CMakeFiles/spotcache_core.dir/recovery_sim.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/spotcache_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/spotcache_core.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spotcache_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/spotcache_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spotcache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/spotcache_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/spotcache_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/spotcache_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/spotcache_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/spotcache_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

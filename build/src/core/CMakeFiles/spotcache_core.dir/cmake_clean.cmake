@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotcache_core.dir/cluster.cc.o"
+  "CMakeFiles/spotcache_core.dir/cluster.cc.o.d"
+  "CMakeFiles/spotcache_core.dir/controller.cc.o"
+  "CMakeFiles/spotcache_core.dir/controller.cc.o.d"
+  "CMakeFiles/spotcache_core.dir/experiment.cc.o"
+  "CMakeFiles/spotcache_core.dir/experiment.cc.o.d"
+  "CMakeFiles/spotcache_core.dir/recovery_sim.cc.o"
+  "CMakeFiles/spotcache_core.dir/recovery_sim.cc.o.d"
+  "CMakeFiles/spotcache_core.dir/system.cc.o"
+  "CMakeFiles/spotcache_core.dir/system.cc.o.d"
+  "libspotcache_core.a"
+  "libspotcache_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotcache_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

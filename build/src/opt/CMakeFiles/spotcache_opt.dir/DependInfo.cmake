@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/multiclass.cc" "src/opt/CMakeFiles/spotcache_opt.dir/multiclass.cc.o" "gcc" "src/opt/CMakeFiles/spotcache_opt.dir/multiclass.cc.o.d"
+  "/root/repo/src/opt/optimizer.cc" "src/opt/CMakeFiles/spotcache_opt.dir/optimizer.cc.o" "gcc" "src/opt/CMakeFiles/spotcache_opt.dir/optimizer.cc.o.d"
+  "/root/repo/src/opt/procurement.cc" "src/opt/CMakeFiles/spotcache_opt.dir/procurement.cc.o" "gcc" "src/opt/CMakeFiles/spotcache_opt.dir/procurement.cc.o.d"
+  "/root/repo/src/opt/reserved.cc" "src/opt/CMakeFiles/spotcache_opt.dir/reserved.cc.o" "gcc" "src/opt/CMakeFiles/spotcache_opt.dir/reserved.cc.o.d"
+  "/root/repo/src/opt/simplex.cc" "src/opt/CMakeFiles/spotcache_opt.dir/simplex.cc.o" "gcc" "src/opt/CMakeFiles/spotcache_opt.dir/simplex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spotcache_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/spotcache_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spotcache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/spotcache_predict.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotcache_opt.dir/multiclass.cc.o"
+  "CMakeFiles/spotcache_opt.dir/multiclass.cc.o.d"
+  "CMakeFiles/spotcache_opt.dir/optimizer.cc.o"
+  "CMakeFiles/spotcache_opt.dir/optimizer.cc.o.d"
+  "CMakeFiles/spotcache_opt.dir/procurement.cc.o"
+  "CMakeFiles/spotcache_opt.dir/procurement.cc.o.d"
+  "CMakeFiles/spotcache_opt.dir/reserved.cc.o"
+  "CMakeFiles/spotcache_opt.dir/reserved.cc.o.d"
+  "CMakeFiles/spotcache_opt.dir/simplex.cc.o"
+  "CMakeFiles/spotcache_opt.dir/simplex.cc.o.d"
+  "libspotcache_opt.a"
+  "libspotcache_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotcache_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

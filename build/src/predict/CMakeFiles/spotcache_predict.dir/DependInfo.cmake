@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/spot_predictor.cc" "src/predict/CMakeFiles/spotcache_predict.dir/spot_predictor.cc.o" "gcc" "src/predict/CMakeFiles/spotcache_predict.dir/spot_predictor.cc.o.d"
+  "/root/repo/src/predict/workload_predictor.cc" "src/predict/CMakeFiles/spotcache_predict.dir/workload_predictor.cc.o" "gcc" "src/predict/CMakeFiles/spotcache_predict.dir/workload_predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spotcache_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/spotcache_cloud.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

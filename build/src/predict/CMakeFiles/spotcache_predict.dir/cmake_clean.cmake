@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotcache_predict.dir/spot_predictor.cc.o"
+  "CMakeFiles/spotcache_predict.dir/spot_predictor.cc.o.d"
+  "CMakeFiles/spotcache_predict.dir/workload_predictor.cc.o"
+  "CMakeFiles/spotcache_predict.dir/workload_predictor.cc.o.d"
+  "libspotcache_predict.a"
+  "libspotcache_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotcache_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/bloom_filter.cc" "src/routing/CMakeFiles/spotcache_routing.dir/bloom_filter.cc.o" "gcc" "src/routing/CMakeFiles/spotcache_routing.dir/bloom_filter.cc.o.d"
+  "/root/repo/src/routing/consistent_hash.cc" "src/routing/CMakeFiles/spotcache_routing.dir/consistent_hash.cc.o" "gcc" "src/routing/CMakeFiles/spotcache_routing.dir/consistent_hash.cc.o.d"
+  "/root/repo/src/routing/count_min_sketch.cc" "src/routing/CMakeFiles/spotcache_routing.dir/count_min_sketch.cc.o" "gcc" "src/routing/CMakeFiles/spotcache_routing.dir/count_min_sketch.cc.o.d"
+  "/root/repo/src/routing/heavy_hitters.cc" "src/routing/CMakeFiles/spotcache_routing.dir/heavy_hitters.cc.o" "gcc" "src/routing/CMakeFiles/spotcache_routing.dir/heavy_hitters.cc.o.d"
+  "/root/repo/src/routing/key_partitioner.cc" "src/routing/CMakeFiles/spotcache_routing.dir/key_partitioner.cc.o" "gcc" "src/routing/CMakeFiles/spotcache_routing.dir/key_partitioner.cc.o.d"
+  "/root/repo/src/routing/router.cc" "src/routing/CMakeFiles/spotcache_routing.dir/router.cc.o" "gcc" "src/routing/CMakeFiles/spotcache_routing.dir/router.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spotcache_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/spotcache_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/spotcache_cloud.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

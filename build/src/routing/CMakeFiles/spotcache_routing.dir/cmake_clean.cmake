@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotcache_routing.dir/bloom_filter.cc.o"
+  "CMakeFiles/spotcache_routing.dir/bloom_filter.cc.o.d"
+  "CMakeFiles/spotcache_routing.dir/consistent_hash.cc.o"
+  "CMakeFiles/spotcache_routing.dir/consistent_hash.cc.o.d"
+  "CMakeFiles/spotcache_routing.dir/count_min_sketch.cc.o"
+  "CMakeFiles/spotcache_routing.dir/count_min_sketch.cc.o.d"
+  "CMakeFiles/spotcache_routing.dir/heavy_hitters.cc.o"
+  "CMakeFiles/spotcache_routing.dir/heavy_hitters.cc.o.d"
+  "CMakeFiles/spotcache_routing.dir/key_partitioner.cc.o"
+  "CMakeFiles/spotcache_routing.dir/key_partitioner.cc.o.d"
+  "CMakeFiles/spotcache_routing.dir/router.cc.o"
+  "CMakeFiles/spotcache_routing.dir/router.cc.o.d"
+  "libspotcache_routing.a"
+  "libspotcache_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotcache_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

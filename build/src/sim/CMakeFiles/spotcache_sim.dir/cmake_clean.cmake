@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotcache_sim.dir/event_queue.cc.o"
+  "CMakeFiles/spotcache_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/spotcache_sim.dir/latency_model.cc.o"
+  "CMakeFiles/spotcache_sim.dir/latency_model.cc.o.d"
+  "CMakeFiles/spotcache_sim.dir/metrics.cc.o"
+  "CMakeFiles/spotcache_sim.dir/metrics.cc.o.d"
+  "libspotcache_sim.a"
+  "libspotcache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotcache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

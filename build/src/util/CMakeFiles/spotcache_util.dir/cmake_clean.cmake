@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotcache_util.dir/linear_regression.cc.o"
+  "CMakeFiles/spotcache_util.dir/linear_regression.cc.o.d"
+  "CMakeFiles/spotcache_util.dir/logging.cc.o"
+  "CMakeFiles/spotcache_util.dir/logging.cc.o.d"
+  "CMakeFiles/spotcache_util.dir/rng.cc.o"
+  "CMakeFiles/spotcache_util.dir/rng.cc.o.d"
+  "CMakeFiles/spotcache_util.dir/stats.cc.o"
+  "CMakeFiles/spotcache_util.dir/stats.cc.o.d"
+  "CMakeFiles/spotcache_util.dir/table.cc.o"
+  "CMakeFiles/spotcache_util.dir/table.cc.o.d"
+  "CMakeFiles/spotcache_util.dir/time.cc.o"
+  "CMakeFiles/spotcache_util.dir/time.cc.o.d"
+  "libspotcache_util.a"
+  "libspotcache_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotcache_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

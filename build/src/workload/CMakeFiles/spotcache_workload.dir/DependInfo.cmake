@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/request_gen.cc" "src/workload/CMakeFiles/spotcache_workload.dir/request_gen.cc.o" "gcc" "src/workload/CMakeFiles/spotcache_workload.dir/request_gen.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/spotcache_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/spotcache_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/workload_spec.cc" "src/workload/CMakeFiles/spotcache_workload.dir/workload_spec.cc.o" "gcc" "src/workload/CMakeFiles/spotcache_workload.dir/workload_spec.cc.o.d"
+  "/root/repo/src/workload/zipf.cc" "src/workload/CMakeFiles/spotcache_workload.dir/zipf.cc.o" "gcc" "src/workload/CMakeFiles/spotcache_workload.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spotcache_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/spotcache_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/spotcache_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/spotcache_cloud.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotcache_workload.dir/request_gen.cc.o"
+  "CMakeFiles/spotcache_workload.dir/request_gen.cc.o.d"
+  "CMakeFiles/spotcache_workload.dir/trace.cc.o"
+  "CMakeFiles/spotcache_workload.dir/trace.cc.o.d"
+  "CMakeFiles/spotcache_workload.dir/workload_spec.cc.o"
+  "CMakeFiles/spotcache_workload.dir/workload_spec.cc.o.d"
+  "CMakeFiles/spotcache_workload.dir/zipf.cc.o"
+  "CMakeFiles/spotcache_workload.dir/zipf.cc.o.d"
+  "libspotcache_workload.a"
+  "libspotcache_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotcache_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_burstable.dir/test_burstable.cc.o"
+  "CMakeFiles/test_burstable.dir/test_burstable.cc.o.d"
+  "test_burstable"
+  "test_burstable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_burstable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_node.dir/test_cache_node.cc.o"
+  "CMakeFiles/test_cache_node.dir/test_cache_node.cc.o.d"
+  "test_cache_node"
+  "test_cache_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

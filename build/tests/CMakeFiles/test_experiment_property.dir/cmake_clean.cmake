@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiment_property.dir/test_experiment_property.cc.o"
+  "CMakeFiles/test_experiment_property.dir/test_experiment_property.cc.o.d"
+  "test_experiment_property"
+  "test_experiment_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiment_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

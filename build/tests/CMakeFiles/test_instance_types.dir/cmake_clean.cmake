@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instance_types.dir/test_instance_types.cc.o"
+  "CMakeFiles/test_instance_types.dir/test_instance_types.cc.o.d"
+  "test_instance_types"
+  "test_instance_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instance_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_key_partitioner.dir/test_key_partitioner.cc.o"
+  "CMakeFiles/test_key_partitioner.dir/test_key_partitioner.cc.o.d"
+  "test_key_partitioner"
+  "test_key_partitioner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_key_partitioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linear_regression.dir/test_linear_regression.cc.o"
+  "CMakeFiles/test_linear_regression.dir/test_linear_regression.cc.o.d"
+  "test_linear_regression"
+  "test_linear_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linear_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

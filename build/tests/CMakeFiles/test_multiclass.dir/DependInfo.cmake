@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_multiclass.cc" "tests/CMakeFiles/test_multiclass.dir/test_multiclass.cc.o" "gcc" "tests/CMakeFiles/test_multiclass.dir/test_multiclass.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/spotcache_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/spotcache_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spotcache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/spotcache_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/spotcache_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/spotcache_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/spotcache_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/spotcache_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spotcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_provider_fuzz.dir/test_provider_fuzz.cc.o"
+  "CMakeFiles/test_provider_fuzz.dir/test_provider_fuzz.cc.o.d"
+  "test_provider_fuzz"
+  "test_provider_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_provider_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reserved.dir/test_reserved.cc.o"
+  "CMakeFiles/test_reserved.dir/test_reserved.cc.o.d"
+  "test_reserved"
+  "test_reserved.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reserved.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spot_predictor.dir/test_spot_predictor.cc.o"
+  "CMakeFiles/test_spot_predictor.dir/test_spot_predictor.cc.o.d"
+  "test_spot_predictor"
+  "test_spot_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spot_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

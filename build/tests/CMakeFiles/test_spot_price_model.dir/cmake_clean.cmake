@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spot_price_model.dir/test_spot_price_model.cc.o"
+  "CMakeFiles/test_spot_price_model.dir/test_spot_price_model.cc.o.d"
+  "test_spot_price_model"
+  "test_spot_price_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spot_price_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

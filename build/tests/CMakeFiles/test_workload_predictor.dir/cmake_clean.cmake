@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_predictor.dir/test_workload_predictor.cc.o"
+  "CMakeFiles/test_workload_predictor.dir/test_workload_predictor.cc.o.d"
+  "test_workload_predictor"
+  "test_workload_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
