@@ -1,0 +1,101 @@
+// Fault-storm robustness study: how the Prop approach degrades when the
+// happy-path assumptions behind the paper's availability numbers are broken
+// deterministically — correlated revocation storms, revocations with no
+// two-minute warning, and launch outages while replacements are needed.
+//
+// Each scenario is a pure function of (seed, spec), so every row here can be
+// replayed bit-identically; see EXPERIMENTS.md ("Fault scenarios").
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/core/experiment.h"
+#include "src/util/table.h"
+
+using namespace spotcache;
+
+namespace {
+
+// Fault windows sit inside the run, which starts 7 days into the traces.
+FaultScenarioSpec Windowed(std::string name) {
+  FaultScenarioSpec s;
+  s.name = std::move(name);
+  s.window_start = SimTime() + Duration::Days(7) + Duration::Hours(6);
+  s.window_end = SimTime() + Duration::Days(8) + Duration::Hours(6);
+  return s;
+}
+
+ExperimentResult Run(const FaultScenarioSpec& spec, Duration cooldown) {
+  ExperimentConfig cfg;
+  cfg.workload = PrototypeWorkload(/*days=*/3);
+  cfg.approach = Approach::kProp;
+  cfg.fault = spec;
+  cfg.fault_seed = 0x5eed;
+  cfg.revocation_cooldown = cooldown;
+  return RunExperiment(cfg);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Fault-storm robustness (Prop, 3-day prototype workload, seed 0x5eed)\n"
+      "All runs replayable from (scenario spec, fault_seed) alone.\n\n");
+
+  FaultScenarioSpec none;
+  none.name = "baseline";
+
+  FaultScenarioSpec storm = Windowed("storm");
+  storm.storm_count = 3;
+  storm.storm_market_fraction = 1.0;
+
+  FaultScenarioSpec blind = Windowed("storm+no-warning");
+  blind.storm_count = 3;
+  blind.storm_market_fraction = 1.0;
+  blind.missed_warning_fraction = 1.0;
+
+  FaultScenarioSpec chaos = Windowed("storm+no-warn+outage");
+  chaos.storm_count = 3;
+  chaos.storm_market_fraction = 1.0;
+  chaos.missed_warning_fraction = 1.0;
+  chaos.launch_outage_count = 2;
+  chaos.launch_outage_length = Duration::Hours(6);
+  chaos.backup_loss_count = 2;
+  chaos.token_exhaustion_count = 2;
+
+  TextTable table("graceful degradation under injected faults");
+  table.SetHeader({"scenario", "cooldown", "cost ($)", "affected (%)",
+                   "days>1% (%)", "revocations", "launch fails",
+                   "no-warn revs"});
+  struct Row {
+    const FaultScenarioSpec* spec;
+    Duration cooldown;
+  };
+  const Row rows[] = {
+      {&none, Duration::Hours(0)},   {&storm, Duration::Hours(0)},
+      {&storm, Duration::Hours(6)},  {&blind, Duration::Hours(0)},
+      {&blind, Duration::Hours(6)},  {&chaos, Duration::Hours(6)},
+  };
+  for (const Row& row : rows) {
+    const ExperimentResult r = Run(*row.spec, row.cooldown);
+    table.AddRow({row.spec->name,
+                  std::to_string(static_cast<int>(row.cooldown.hours())) + "h",
+                  TextTable::Num(r.total_cost, 2),
+                  TextTable::Num(r.tracker.AffectedRequestFraction() * 100, 3),
+                  TextTable::Num(r.tracker.DaysViolatedFraction(0.01) * 100, 1),
+                  std::to_string(r.revocations),
+                  std::to_string(r.faults.launch_failures),
+                  std::to_string(r.faults.warnings_suppressed)});
+  }
+  table.Print(std::cout);
+
+  const ExperimentResult worst = Run(chaos, Duration::Hours(6));
+  std::printf("\nworst-case fault counters: %s\n", ToString(worst.faults).c_str());
+  std::printf(
+      "\n(storms concentrate revocations into one window; unannounced\n"
+      " revocations skip the proactive hot-copy, and launch outages delay\n"
+      " replacements — availability dips but stays bounded, and the market\n"
+      " cooldown steers the next plans away from the stormed markets)\n");
+  return 0;
+}

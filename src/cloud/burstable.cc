@@ -80,6 +80,11 @@ Duration BurstableState::TimeToEarnCpuBurst(SimTime now, double demand_vcpus,
   return cpu_credits_.TimeToAccrue(needed);
 }
 
+void BurstableState::Drain(SimTime now) {
+  cpu_credits_.Drain(now);
+  net_tokens_.Drain(now);
+}
+
 double BurstableState::cpu_credits(SimTime now) {
   cpu_credits_.AdvanceTo(now);
   return cpu_credits_.balance();

@@ -47,6 +47,10 @@ class BurstableState {
   /// credits to burst through a recovery".
   Duration TimeToEarnCpuBurst(SimTime now, double demand_vcpus, Duration burst);
 
+  /// Empties both buckets at `now` (fault injection: token exhaustion).
+  /// Accrual resumes at the normal rate afterwards.
+  void Drain(SimTime now);
+
   double cpu_credits(SimTime now);
   double net_tokens(SimTime now);
 

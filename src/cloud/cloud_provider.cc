@@ -64,6 +64,10 @@ void CloudProvider::SetBootDelay(Duration mean, Duration stddev) {
 InstanceId CloudProvider::Launch(const InstanceTypeSpec& type, PurchaseKind purchase,
                                  const SpotMarket* market, double bid,
                                  std::string tag) {
+  if (fault_ != nullptr && fault_->ShouldFailLaunch(now_)) {
+    fault_->CountLaunchFailure();
+    return kInvalidInstanceId;
+  }
   auto inst = std::make_unique<Instance>();
   inst->id = next_id_++;
   inst->type = &type;
@@ -153,11 +157,86 @@ void CloudProvider::Bill(Instance& inst, SimTime end, bool provider_revoked) {
   inst.billed_until = end;
 }
 
+void CloudProvider::ApplyScheduledFaults(SimTime prev, SimTime t,
+                                         std::vector<ProviderEvent>* events) {
+  for (const FaultEvent& ev : fault_->DueIn(prev, t)) {
+    switch (ev.kind) {
+      case FaultKind::kRevocationStorm: {
+        // Correlated revocation: every alive spot instance in a hit market is
+        // reclaimed at the storm time (unless a natural revocation beats it).
+        // Ids are walked in sorted order so the victim set is deterministic.
+        for (InstanceId id : SortedAliveIds([](const Instance& i) {
+               return i.purchase == PurchaseKind::kSpot;
+             })) {
+          Instance& inst = *instances_.at(id);
+          size_t market_index = markets_.size();
+          for (size_t m = 0; m < markets_.size(); ++m) {
+            if (&markets_[m] == inst.market) {
+              market_index = m;
+              break;
+            }
+          }
+          if (market_index == markets_.size() ||
+              !fault_->StormHitsMarket(ev, market_index, markets_.size())) {
+            continue;
+          }
+          if (ev.time < inst.request_time) {
+            continue;
+          }
+          if (!inst.revocation_time || *inst.revocation_time > ev.time) {
+            inst.revocation_time = ev.time;
+            fault_->CountStormRevocation();
+          }
+        }
+        break;
+      }
+      case FaultKind::kBackupLoss: {
+        const std::vector<InstanceId> targets =
+            SortedAliveIds([](const Instance& i) {
+              return i.purchase == PurchaseKind::kBurstable;
+            });
+        if (targets.empty()) {
+          break;
+        }
+        Instance& victim =
+            *instances_.at(targets[fault_->PickTarget(ev, targets.size())]);
+        victim.state = InstanceState::kRevoked;
+        victim.end_time = ev.time;
+        Bill(victim, ev.time, /*provider_revoked=*/true);
+        events->push_back({ProviderEventKind::kRevoked, ev.time, victim.id});
+        fault_->CountBackupLoss();
+        break;
+      }
+      case FaultKind::kTokenExhaustion: {
+        const std::vector<InstanceId> targets =
+            SortedAliveIds([](const Instance& i) {
+              return i.purchase == PurchaseKind::kBurstable &&
+                     i.burst != std::nullopt;
+            });
+        if (targets.empty()) {
+          break;
+        }
+        Instance& victim =
+            *instances_.at(targets[fault_->PickTarget(ev, targets.size())]);
+        victim.burst->Drain(ev.time);
+        fault_->CountTokenExhaustion();
+        break;
+      }
+      case FaultKind::kLaunchOutage:
+        break;  // windows are consulted at launch time
+    }
+  }
+}
+
 std::vector<ProviderEvent> CloudProvider::AdvanceTo(SimTime t) {
   std::vector<ProviderEvent> events;
   if (t <= now_) {
     now_ = std::max(now_, t);
     return events;
+  }
+  const SimTime prev = now_;
+  if (fault_ != nullptr) {
+    ApplyScheduledFaults(prev, t, &events);
   }
   for (auto& [id, inst_ptr] : instances_) {
     Instance& inst = *inst_ptr;
@@ -175,13 +254,37 @@ std::vector<ProviderEvent> CloudProvider::AdvanceTo(SimTime t) {
     }
     if (inst.revocation_time) {
       const SimTime revoke_at = *inst.revocation_time;
-      const SimTime warn_at = revoke_at - kRevocationWarningLead;
+      SimTime warn_at = revoke_at - kRevocationWarningLead;
       if (!inst.warning_delivered && warn_at <= t) {
-        inst.warning_delivered = true;
-        events.push_back({ProviderEventKind::kRevocationWarning,
-                          std::max(warn_at, inst.request_time), id});
+        bool suppress = false;
+        if (fault_ != nullptr) {
+          const WarningFate fate = fault_->FateForWarning(id);
+          if (fate.suppress) {
+            suppress = true;
+          } else if (fate.delay > Duration::Micros(0)) {
+            warn_at = warn_at + fate.delay;
+            // A warning that would arrive with (or after) the revocation
+            // itself is worthless: treat it as missed.
+            if (warn_at >= revoke_at) {
+              suppress = true;
+            }
+          }
+        }
+        if (suppress) {
+          inst.warning_delivered = true;  // never delivered
+          fault_->CountWarningSuppressed();
+        } else if (warn_at <= t) {
+          inst.warning_delivered = true;
+          if (warn_at != revoke_at - kRevocationWarningLead) {
+            fault_->CountWarningDelayed();
+          }
+          // Storm revocations can be decided with under two minutes of
+          // notice; the warning then arrives late, never before `prev`.
+          events.push_back({ProviderEventKind::kRevocationWarning,
+                            std::max({warn_at, inst.request_time, prev}), id});
+        }
       }
-      if (revoke_at <= t) {
+      if (revoke_at <= t && inst.alive()) {
         inst.state = InstanceState::kRevoked;
         inst.end_time = revoke_at;
         Bill(inst, revoke_at, /*provider_revoked=*/true);

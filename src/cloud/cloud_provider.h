@@ -14,6 +14,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -25,6 +26,7 @@
 #include "src/cloud/instance.h"
 #include "src/cloud/instance_types.h"
 #include "src/cloud/spot_market.h"
+#include "src/fault/fault_injector.h"
 #include "src/util/rng.h"
 #include "src/util/time.h"
 
@@ -58,10 +60,12 @@ class CloudProvider {
   std::vector<ProviderEvent> AdvanceTo(SimTime t);
 
   /// Launches a regular on-demand instance; it becomes ready after the boot
-  /// delay. Never fails.
+  /// delay. Only fails (returning kInvalidInstanceId) when a fault plan
+  /// injects a transient launch outage.
   InstanceId LaunchOnDemand(const InstanceTypeSpec& type, std::string tag);
 
-  /// Launches a burstable instance (with fresh launch credits).
+  /// Launches a burstable instance (with fresh launch credits). Like
+  /// on-demand, fails only inside an injected launch outage.
   InstanceId LaunchBurstable(const InstanceTypeSpec& type, std::string tag);
 
   /// Places a one-time spot request at `bid`. Returns kInvalidInstanceId if
@@ -90,6 +94,12 @@ class CloudProvider {
   /// Overrides the boot-delay distribution (mean/stddev, clamped >= 10 s).
   void SetBootDelay(Duration mean, Duration stddev);
 
+  /// Attaches a fault injector (non-owning; may be null to detach). The
+  /// injector perturbs revocations, warnings, backups, and launches from the
+  /// next AdvanceTo / Launch on.
+  void AttachFaultInjector(FaultInjector* injector) { fault_ = injector; }
+  FaultInjector* fault_injector() const { return fault_; }
+
   /// Total instances ever launched (diagnostics).
   size_t launched_count() const { return next_id_ - 1; }
 
@@ -102,6 +112,22 @@ class CloudProvider {
   void AccrueInstance(Instance& inst, SimTime upto);
   void Bill(Instance& inst, SimTime end, bool provider_revoked);
   CostCategory CategoryFor(const Instance& inst) const;
+  /// Applies scheduled faults with fire times in (prev, t], appending any
+  /// provider events they synthesize (e.g. a killed backup's kRevoked).
+  void ApplyScheduledFaults(SimTime prev, SimTime t,
+                            std::vector<ProviderEvent>* events);
+  /// Alive instance ids satisfying `pred`, sorted (stable fault targeting).
+  template <typename Pred>
+  std::vector<InstanceId> SortedAliveIds(Pred pred) const {
+    std::vector<InstanceId> ids;
+    for (const auto& [id, inst] : instances_) {
+      if (inst->alive() && pred(*inst)) {
+        ids.push_back(id);
+      }
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
 
   const InstanceCatalog* catalog_;
   std::vector<SpotMarket> markets_;
@@ -112,6 +138,7 @@ class CloudProvider {
   // state is referenced by the recovery manager).
   std::unordered_map<InstanceId, std::unique_ptr<Instance>> instances_;
   BillingLedger ledger_;
+  FaultInjector* fault_ = nullptr;
   Duration boot_mean_ = Duration::Seconds(100);
   Duration boot_stddev_ = Duration::Seconds(15);
 };

@@ -33,6 +33,11 @@ double TokenBucket::ConsumeUpTo(double amount) {
   return taken;
 }
 
+void TokenBucket::Drain(SimTime now) {
+  AdvanceTo(now);
+  balance_ = 0.0;
+}
+
 double TokenBucket::FlowInterval(SimTime from, SimTime to, double drain_per_hour) {
   AdvanceTo(from);
   const double dt_h = (to - from).hours();

@@ -31,6 +31,10 @@ class TokenBucket {
   /// Takes up to `amount` tokens, returning how many were actually taken.
   double ConsumeUpTo(double amount);
 
+  /// Advances to `now` and empties the bucket (fault injection: forced token
+  /// exhaustion). Accrual resumes normally afterwards.
+  void Drain(SimTime now);
+
   double balance() const { return balance_; }
   double cap() const { return cap_; }
   double rate_per_hour() const { return rate_per_hour_; }

@@ -91,9 +91,17 @@ Cluster::ApplyResult Cluster::Apply(const AllocationPlan& plan,
         id = provider_->RequestSpot(*opt.market, opt.bid, "primary:" + opt.label);
       }
       if (id == kInvalidInstanceId) {
-        ++result.bid_rejected;
-        ++total_bid_rejections_;
-        break;  // market moved above the bid; shortfall stands this slot
+        // Distinguish a market move (bid rejection) from an injected launch
+        // outage: on-demand never bid-fails, and a spot request whose bid
+        // still clears the price can only have hit the outage.
+        if (opt.is_on_demand() || provider_->SpotPrice(*opt.market) <= opt.bid) {
+          ++result.launch_failed;
+          ++total_launch_failures_;
+        } else {
+          ++result.bid_rejected;
+          ++total_bid_rejections_;
+        }
+        break;  // shortfall stands this slot; next reconciliation retries
       }
       held.push_back(id);
       ++result.launched;
@@ -127,7 +135,13 @@ Cluster::ApplyResult Cluster::Apply(const AllocationPlan& plan,
     backups_.pop_back();
   }
   while (static_cast<int>(backups_.size()) < backup_target) {
-    backups_.push_back(provider_->LaunchBurstable(BackupType(), "backup"));
+    const InstanceId id = provider_->LaunchBurstable(BackupType(), "backup");
+    if (id == kInvalidInstanceId) {
+      ++result.launch_failed;
+      ++total_launch_failures_;
+      break;  // launch outage: the next reconciliation retries
+    }
+    backups_.push_back(id);
   }
   result.backup_count = static_cast<int>(backups_.size());
   return result;
@@ -152,6 +166,12 @@ void Cluster::HandleWarning(const Instance& inst) {
   // two-minute warning). Same hardware type, on-demand billing.
   const InstanceId repl =
       provider_->LaunchOnDemand(*inst.type, "replacement:" + inst.tag);
+  if (repl == kInvalidInstanceId) {
+    // Injected launch outage; the revocation handler retries at revocation
+    // time, and failing that the next reconciliation re-provisions.
+    ++total_launch_failures_;
+    return;
+  }
   replacement_for_[inst.id] = repl;
   replacements_.push_back(repl);
 }
@@ -164,7 +184,7 @@ double Cluster::BackupCopyMbps(SimTime from, Duration window, double demand_mbps
   const double per_backup = demand_mbps / static_cast<double>(backups_.size());
   for (InstanceId id : backups_) {
     Instance* b = provider_->GetMutable(id);
-    if (b == nullptr || b->burst == std::nullopt) {
+    if (b == nullptr || !b->alive() || b->burst == std::nullopt) {
       continue;
     }
     total += b->burst->RunNetwork(from, from + window, per_backup);
@@ -173,6 +193,22 @@ double Cluster::BackupCopyMbps(SimTime from, Duration window, double demand_mbps
 }
 
 void Cluster::HandleRevocation(const Instance& inst) {
+  // A burstable backup killed by fault injection: repair the fleet in place.
+  // Primary traffic is unaffected, but hot shards lose their warm-up source
+  // until the replacement backup boots.
+  const auto bit = std::find(backups_.begin(), backups_.end(), inst.id);
+  if (bit != backups_.end()) {
+    backups_.erase(bit);
+    ++backup_losses_;
+    const InstanceId repl = provider_->LaunchBurstable(BackupType(), "backup");
+    if (repl == kInvalidInstanceId) {
+      ++total_launch_failures_;  // outage: next reconciliation re-provisions
+    } else {
+      backups_.push_back(repl);
+    }
+    return;
+  }
+
   ++total_revocations_;
   ++step_revocations_;
 
@@ -189,6 +225,7 @@ void Cluster::HandleRevocation(const Instance& inst) {
   if (option == options_->size()) {
     return;  // not one of ours (already superseded)
   }
+  step_revoked_options_.push_back(option);
   const AllocationItem* item = plan_.ItemFor(option);
   if (item == nullptr || item->count <= 0) {
     return;
@@ -228,9 +265,26 @@ void Cluster::HandleRevocation(const Instance& inst) {
       holdings_[option].push_back(rit->second);  // joins the pool post-warm-up
     }
   } else {
-    // No warning was processed (e.g. revocation at boot); launch now.
+    // No warning was processed (missed warning, revocation at boot, or the
+    // warning-time launch fell into an outage); launch now.
     const InstanceId repl =
         provider_->LaunchOnDemand(*inst.type, "replacement:" + inst.tag);
+    if (repl == kInvalidInstanceId) {
+      // Still inside a launch outage: the shard stays degraded (bounded by
+      // the retry horizon) and the next reconciliation re-provisions it.
+      ++total_launch_failures_;
+      ++failed_replacements_;
+      const bool backup_av = config_.use_backup && !backups_.empty();
+      const SimTime until = now + config_.replacement_retry;
+      if (hot_traffic > 0.0) {
+        degradations_.push_back(
+            {until, hot_traffic, backup_av ? backup_latency : miss_latency});
+      }
+      if (cold_traffic > 0.0) {
+        degradations_.push_back({until, cold_traffic, miss_latency});
+      }
+      return;
+    }
     replacements_.push_back(repl);
     replacement_for_[inst.id] = repl;
     const Instance* r = provider_->Get(repl);
@@ -285,6 +339,7 @@ Cluster::StepPerf Cluster::Step(SimTime to, double lambda_actual) {
   const SimTime from = provider_->now();
   const Duration step_len = to - from;
   step_revocations_ = 0;
+  step_revoked_options_.clear();
 
   for (const ProviderEvent& ev : provider_->AdvanceTo(to)) {
     const Instance* inst = provider_->Get(ev.instance_id);
@@ -305,6 +360,7 @@ Cluster::StepPerf Cluster::Step(SimTime to, double lambda_actual) {
 
   StepPerf perf;
   perf.revocations = step_revocations_;
+  perf.revoked_options = step_revoked_options_;
   const SlotContext& c = context_;
   if (lambda_actual <= 0.0 || step_len <= Duration::Micros(0)) {
     perf.mean_latency = config_.latency_model.params().base_latency;

@@ -36,6 +36,9 @@ struct ClusterConfig {
   /// Fraction of line rate a warm-up copy stream achieves.
   double copy_efficiency = 0.7;
   double ram_usable_fraction = 0.85;
+  /// When a replacement launch fails (injected transient outage), the shard
+  /// stays degraded for this long before the next reconciliation retries.
+  Duration replacement_retry = Duration::Minutes(10);
 };
 
 /// Demand context attached to an applied plan.
@@ -64,6 +67,8 @@ class Cluster {
     int terminated = 0;
     int bid_rejected = 0;
     int backup_count = 0;
+    /// Launches rejected by an injected launch outage (not bid failures).
+    int launch_failed = 0;
   };
   ApplyResult Apply(const AllocationPlan& plan, const SlotContext& context);
 
@@ -77,6 +82,9 @@ class Cluster {
     double hit_fraction = 1.0;
     int revocations = 0;
     bool saturated = false;
+    /// Options that lost an instance to revocation this step (with
+    /// multiplicity) — feedback for the controller's market cooldown.
+    std::vector<size_t> revoked_options;
   };
   StepPerf Step(SimTime to, double lambda_actual);
 
@@ -88,6 +96,10 @@ class Cluster {
   int backup_count() const { return static_cast<int>(backups_.size()); }
   int total_revocations() const { return total_revocations_; }
   int total_bid_rejections() const { return total_bid_rejections_; }
+  /// Fault-path bookkeeping (all zero without an attached fault injector).
+  int total_launch_failures() const { return total_launch_failures_; }
+  int backup_losses() const { return backup_losses_; }
+  int failed_replacements() const { return failed_replacements_; }
 
   /// Terminates everything (end of experiment).
   void Shutdown();
@@ -127,6 +139,10 @@ class Cluster {
   int total_revocations_ = 0;
   int total_bid_rejections_ = 0;
   int step_revocations_ = 0;
+  int total_launch_failures_ = 0;
+  int backup_losses_ = 0;
+  int failed_replacements_ = 0;
+  std::vector<size_t> step_revoked_options_;
 };
 
 }  // namespace spotcache

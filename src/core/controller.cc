@@ -13,6 +13,19 @@ void GlobalController::ObserveSlot(double lambda, double working_set_gb) {
   ws_predictor_.Observe(working_set_gb);
 }
 
+void GlobalController::NoteRevocation(size_t option, SimTime now) {
+  if (revocation_cooldown_ <= Duration::Micros(0)) {
+    return;
+  }
+  SimTime& until = cooldown_until_[option];
+  until = std::max(until, now + revocation_cooldown_);
+}
+
+bool GlobalController::InCooldown(size_t option, SimTime now) const {
+  const auto it = cooldown_until_.find(option);
+  return it != cooldown_until_.end() && now < it->second;
+}
+
 SlotInputs GlobalController::BuildInputs(SimTime now, double lambda, double ws_gb,
                                          const ZipfPopularity& popularity,
                                          const std::vector<int>& existing) const {
@@ -49,6 +62,10 @@ SlotInputs GlobalController::BuildInputs(SimTime now, double lambda, double ws_g
     }
     if (spot_predictor_ == nullptr) {
       continue;  // spot disabled for this approach
+    }
+    // Recently-revoked markets sit out the cooldown (revocation storms).
+    if (InCooldown(o, now)) {
+      continue;
     }
     // A bid below the current price fails immediately: not available.
     if (opt.market->trace.PriceAt(now) > opt.bid) {

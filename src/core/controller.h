@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "src/opt/optimizer.h"
@@ -31,6 +32,17 @@ class GlobalController {
 
   /// Feeds the previous slot's observed workload into the predictors.
   void ObserveSlot(double lambda, double working_set_gb);
+
+  /// Reactive market cooldown: after an observed revocation on `option`,
+  /// the controller treats that option as unavailable until now + cooldown.
+  /// Correlated revocation storms thus push the plan onto on-demand (and
+  /// other markets) instead of immediately re-buying into the storm. A zero
+  /// cooldown (the default) disables the mechanism.
+  void SetRevocationCooldown(Duration cooldown) { revocation_cooldown_ = cooldown; }
+  Duration revocation_cooldown() const { return revocation_cooldown_; }
+  void NoteRevocation(size_t option, SimTime now);
+  /// Whether `option` is currently in cooldown.
+  bool InCooldown(size_t option, SimTime now) const;
 
   /// Predicted workload for the upcoming slot (persistence until enough
   /// history accumulates).
@@ -55,6 +67,8 @@ class GlobalController {
   std::unique_ptr<SpotFeaturePredictor> spot_predictor_;
   Ar2Predictor lambda_predictor_;
   Ar2Predictor ws_predictor_;
+  Duration revocation_cooldown_;  // zero = disabled
+  std::unordered_map<size_t, SimTime> cooldown_until_;
 };
 
 }  // namespace spotcache

@@ -107,6 +107,12 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   }
   CloudProvider provider(&catalog, std::move(markets), config.market_seed ^ 0x9e37);
 
+  // --- Fault layer: schedule is a pure function of (seed, scenario).
+  FaultInjector injector(FaultPlan::Build(config.fault_seed, config.fault));
+  if (!injector.plan().empty()) {
+    provider.AttachFaultInjector(&injector);
+  }
+
   // --- Controller: options reference the provider-owned markets.
   std::vector<ProcurementOption> options =
       BuildOptions(catalog, provider.markets(), config.bid_multipliers);
@@ -117,6 +123,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   GlobalController controller(
       ProcurementOptimizer(options, config.cluster.latency_model, opt_config),
       MakePredictor(config.approach));
+  controller.SetRevocationCooldown(config.revocation_cooldown);
 
   ClusterConfig cluster_config = config.cluster;
   cluster_config.use_backup = traits.passive_backup;
@@ -235,6 +242,11 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
       mean_s += perf.mean_latency.seconds();
       p95_max = std::max(p95_max, perf.p95_latency.seconds());
       revocations += perf.revocations;
+      // Feed observed revocations back so the controller can cool down the
+      // affected markets (matters under correlated revocation storms).
+      for (const size_t o : perf.revoked_options) {
+        controller.NoteRevocation(o, sub_end);
+      }
     }
     affected /= static_cast<double>(substeps);
     mean_s /= static_cast<double>(substeps);
@@ -278,6 +290,10 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   result.od_cost = provider.ledger().TotalFor(CostCategory::kOnDemand);
   result.spot_cost = provider.ledger().TotalFor(CostCategory::kSpot);
   result.backup_cost = provider.ledger().TotalFor(CostCategory::kBurstableBackup);
+  result.faults = injector.counters();
+  result.tracker.RecordFaults(result.faults);
+  result.launch_failures = cluster.total_launch_failures();
+  result.failed_replacements = cluster.failed_replacements();
   return result;
 }
 

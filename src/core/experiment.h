@@ -12,6 +12,7 @@
 #include "src/cloud/cloud_provider.h"
 #include "src/core/cluster.h"
 #include "src/core/controller.h"
+#include "src/fault/fault_plan.h"
 #include "src/sim/metrics.h"
 #include "src/workload/workload_spec.h"
 
@@ -54,6 +55,14 @@ struct ExperimentConfig {
   /// Reactive re-plan threshold: actual/predicted demand ratio above which
   /// the controller re-solves with observed values mid-slot.
   double reactive_threshold = 1.05;
+  /// Deterministic fault schedule injected into the provider; an empty spec
+  /// (the default) runs fault-free. Schedules are pure functions of
+  /// (fault_seed, fault), so a run replays bit-identically from the config.
+  FaultScenarioSpec fault;
+  uint64_t fault_seed = 0x5eed;
+  /// Market cooldown applied by the controller after each observed
+  /// revocation (zero disables; see GlobalController::SetRevocationCooldown).
+  Duration revocation_cooldown;
 };
 
 struct SlotRecord {
@@ -81,6 +90,10 @@ struct ExperimentResult {
   double backup_cost = 0.0;
   int revocations = 0;
   int bid_rejections = 0;
+  /// Per-fault injection counters (all zero for fault-free runs).
+  FaultCounters faults;
+  int64_t launch_failures = 0;     // cluster-observed failed launches
+  int64_t failed_replacements = 0; // revocations left uncovered by a launch
 
   /// Index of an option by label; npos when absent.
   size_t OptionIndex(std::string_view label) const;

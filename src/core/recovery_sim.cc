@@ -51,6 +51,9 @@ RecoveryResult SimulateRecovery(const RecoveryConfig& config) {
   double hot_warmed_gb = config.separation_mode ? config.hot_gb : 0.0;
   double cold_warmed_gb = 0.0;
   const bool backup_warms = has_backup && !config.separation_mode;
+  // Fault-injection state: the backup can die or lose its tokens mid-warmup.
+  bool backup_alive = true;
+  bool tokens_drained = false;
 
   const Duration miss_latency =
       config.latency.base_latency + config.latency.miss_penalty;
@@ -68,10 +71,23 @@ RecoveryResult SimulateRecovery(const RecoveryConfig& config) {
     const SimTime t_end = t + config.epoch;
     const bool repl_ready = t >= SimTime() + config.replacement_delay;
 
+    // --- Injected faults due this epoch.
+    if (config.backup_loss_at.has_value() && backup_alive &&
+        t >= SimTime() + *config.backup_loss_at) {
+      backup_alive = false;
+      result.backup_lost = has_backup;
+    }
+    if (config.token_drain_at.has_value() && !tokens_drained && backup_state &&
+        t >= SimTime() + *config.token_drain_at) {
+      backup_state->Drain(t);
+      tokens_drained = true;
+    }
+    const bool backup_ok = backup_warms && backup_alive;
+
     // --- Copy progress this epoch (two parallel streams).
     double backup_copy_mbps = 0.0;
     if (repl_ready) {
-      if (backup_warms && hot_warmed_gb < config.hot_gb) {
+      if (backup_ok && hot_warmed_gb < config.hot_gb) {
         double src_mbps;
         if (backup_state) {
           src_mbps = backup_state->RunNetwork(
@@ -93,7 +109,7 @@ RecoveryResult SimulateRecovery(const RecoveryConfig& config) {
       // that must also cover the hot prefix first).
       const double backend_gbps = MbpsToGbPerSecond(
           std::min(config.backend_copy_mbps, repl->capacity.net_mbps));
-      if (backup_warms || config.separation_mode) {
+      if (backup_ok || config.separation_mode) {
         cold_warmed_gb =
             std::min(cold_gb, cold_warmed_gb + backend_gbps * epoch_s);
       } else if (config.checkpoint_restore) {
@@ -146,7 +162,7 @@ RecoveryResult SimulateRecovery(const RecoveryConfig& config) {
     // exists); everything else uncovered goes to the back-end.
     double to_backup = 0.0;
     double to_backend = uncovered_cold;
-    if (backup_warms) {
+    if (backup_ok) {
       to_backup = uncovered_hot * (repl_ready ? 1.0 : 1.0);
     } else {
       to_backend += uncovered_hot;
@@ -218,7 +234,7 @@ RecoveryResult SimulateRecovery(const RecoveryConfig& config) {
     }
     if (to_backend > 0.0) {
       mixture.push_back({miss_latency.seconds(), to_backend});
-      if (!backup_warms && !config.separation_mode && uncovered_hot > 0.0) {
+      if (!backup_ok && !config.separation_mode && uncovered_hot > 0.0) {
         hot_mixture.push_back({miss_latency.seconds(), uncovered_hot});
       }
     }

@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "src/cloud/instance_types.h"
@@ -60,6 +61,14 @@ struct RecoveryConfig {
   /// Sequential restore bandwidth from bulk storage (Mbps).
   double checkpoint_restore_mbps = 250.0;
 
+  /// Fault injection: lose the backup node this long into the recovery
+  /// (mid-warm-up compound failure). From that point the remaining hot data
+  /// refills from the throttled back-end and uncovered hot traffic misses.
+  std::optional<Duration> backup_loss_at;
+  /// Fault injection: force-drain the backup's token buckets at this offset
+  /// (models the backup having burned its credits on unrelated work).
+  std::optional<Duration> token_drain_at;
+
   Duration epoch = Duration::Seconds(1);
   Duration horizon = Duration::Minutes(30);
   /// Target average latency; warm-up "finishes" when the running mean falls
@@ -89,6 +98,8 @@ struct RecoveryResult {
   double backup_cost_per_hour = 0.0;
   /// Whether the backup exhausted its network tokens during warm-up.
   bool backup_tokens_exhausted = false;
+  /// Whether the backup was lost mid-recovery (backup_loss_at fired).
+  bool backup_lost = false;
 };
 
 RecoveryResult SimulateRecovery(const RecoveryConfig& config);

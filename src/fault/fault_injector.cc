@@ -1,0 +1,99 @@
+#include "src/fault/fault_injector.h"
+
+#include <algorithm>
+
+#include "src/util/rng.h"
+
+namespace spotcache {
+
+namespace {
+
+/// Stateless hash of (seed, a, b) onto [0, 1).
+double HashUnit(uint64_t seed, uint64_t a, uint64_t b) {
+  uint64_t s = seed ^ (a * 0x9e37'79b9'7f4a'7c15ULL) ^
+               (b * 0xc2b2'ae3d'27d4'eb4fULL);
+  return static_cast<double>(SplitMix64(s) >> 11) * 0x1.0p-53;
+}
+
+uint64_t HashBits(uint64_t seed, uint64_t a, uint64_t b) {
+  uint64_t s = seed ^ (a * 0xd6e8'feb8'6659'fd93ULL) ^
+               (b * 0xa0761'd649'5b5eULL);
+  return SplitMix64(s);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  for (const FaultEvent& ev : plan_.events()) {
+    if (ev.kind == FaultKind::kLaunchOutage) {
+      outages_.push_back(ev);
+    }
+  }
+}
+
+std::vector<FaultEvent> FaultInjector::DueIn(SimTime prev, SimTime now) {
+  std::vector<FaultEvent> due;
+  const auto& events = plan_.events();
+  while (cursor_ < events.size() && events[cursor_].time <= now) {
+    if (events[cursor_].time > prev) {
+      due.push_back(events[cursor_]);
+    }
+    ++cursor_;
+  }
+  return due;
+}
+
+bool FaultInjector::StormHitsMarket(const FaultEvent& storm, size_t market_index,
+                                    size_t market_count) const {
+  if (market_count == 0) {
+    return false;
+  }
+  // Guarantee at least one market per storm: the salt picks an anchor.
+  if (market_index == storm.salt % market_count) {
+    return true;
+  }
+  return HashUnit(plan_.seed(), storm.salt, market_index) <
+         storm.market_fraction;
+}
+
+size_t FaultInjector::PickTarget(const FaultEvent& fault,
+                                 size_t candidate_count) const {
+  if (candidate_count == 0) {
+    return 0;
+  }
+  return static_cast<size_t>(HashBits(plan_.seed(), fault.salt, 0x7a47) %
+                             candidate_count);
+}
+
+bool FaultInjector::ShouldFailLaunch(SimTime now) const {
+  for (const FaultEvent& w : outages_) {
+    if (w.time > now) {
+      break;  // sorted: later windows cannot contain `now`
+    }
+    if (now < w.time + w.duration) {
+      return true;
+    }
+  }
+  return false;
+}
+
+WarningFate FaultInjector::FateForWarning(uint64_t instance_id) const {
+  const FaultScenarioSpec& s = plan_.scenario();
+  WarningFate fate;
+  if (s.missed_warning_fraction <= 0.0 && s.late_warning_fraction <= 0.0) {
+    return fate;
+  }
+  const double coin = HashUnit(plan_.seed(), instance_id, 0x3a1e);
+  if (coin < s.missed_warning_fraction) {
+    fate.suppress = true;
+  } else if (coin < s.missed_warning_fraction + s.late_warning_fraction) {
+    const double u = HashUnit(plan_.seed(), instance_id, 0xde1a);
+    fate.delay = s.max_warning_delay * u;
+    if (fate.delay <= Duration::Micros(0)) {
+      fate.delay = Duration::Micros(1);
+    }
+  }
+  return fate;
+}
+
+}  // namespace spotcache

@@ -1,0 +1,94 @@
+// Runtime side of fault injection: resolves a FaultPlan against live state.
+//
+// The injector is consulted by the CloudProvider (and, at key-level, by the
+// recovery simulation) at well-defined hook points:
+//   * DueIn(prev, now)        — scheduled faults whose time falls in (prev, now];
+//   * StormHitsMarket         — whether a given storm covers a market index;
+//   * PickTarget              — which of `n` candidates a targeted fault hits;
+//   * ShouldFailLaunch        — whether a launch at `now` falls in an outage;
+//   * FateForWarning          — per-instance warning suppression/delay.
+//
+// Target and warning decisions are pure hashes of (plan seed, identifier), so
+// they are independent of event-processing order: two runs of the same
+// (config, seed) make identical decisions even if the provider happens to
+// evaluate instances in a different order. The injector's only mutable state
+// is the schedule cursor and the per-fault counters.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fault/fault_plan.h"
+
+namespace spotcache {
+
+/// Per-fault-family counters, surfaced through sim/metrics at the end of an
+/// experiment so graceful degradation can be asserted quantitatively.
+struct FaultCounters {
+  int64_t storm_revocations = 0;   // instances revoked by storms
+  int64_t warnings_suppressed = 0; // revocations with no warning delivered
+  int64_t warnings_delayed = 0;    // warnings delivered with reduced lead
+  int64_t backup_losses = 0;       // burstable backups killed
+  int64_t token_exhaustions = 0;   // token buckets force-drained
+  int64_t launch_failures = 0;     // launches rejected inside outage windows
+
+  int64_t total() const {
+    return storm_revocations + warnings_suppressed + warnings_delayed +
+           backup_losses + token_exhaustions + launch_failures;
+  }
+  bool operator==(const FaultCounters&) const = default;
+};
+
+/// How a particular revocation warning is tampered with.
+struct WarningFate {
+  bool suppress = false;
+  Duration delay;  // zero = on time
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Scheduled faults with time in (prev, now], in schedule order. Each event
+  /// is returned exactly once across the lifetime of the injector (the
+  /// cursor only moves forward, mirroring the provider clock).
+  std::vector<FaultEvent> DueIn(SimTime prev, SimTime now);
+
+  /// Whether `storm` covers market `market_index` out of `market_count`.
+  /// At least one market is always hit.
+  bool StormHitsMarket(const FaultEvent& storm, size_t market_index,
+                       size_t market_count) const;
+
+  /// Index in [0, candidate_count) of the instance a targeted fault (backup
+  /// loss, token exhaustion) strikes. Candidates must be sorted by a stable
+  /// key (instance id) by the caller.
+  size_t PickTarget(const FaultEvent& fault, size_t candidate_count) const;
+
+  /// True if a launch issued at `now` falls inside a launch-outage window.
+  /// Does not count; call CountLaunchFailure when the launch is rejected.
+  bool ShouldFailLaunch(SimTime now) const;
+
+  /// The (pure, per-instance) warning tampering decision for `instance_id`.
+  WarningFate FateForWarning(uint64_t instance_id) const;
+
+  FaultCounters& counters() { return counters_; }
+  const FaultCounters& counters() const { return counters_; }
+
+  void CountStormRevocation() { ++counters_.storm_revocations; }
+  void CountWarningSuppressed() { ++counters_.warnings_suppressed; }
+  void CountWarningDelayed() { ++counters_.warnings_delayed; }
+  void CountBackupLoss() { ++counters_.backup_losses; }
+  void CountTokenExhaustion() { ++counters_.token_exhaustions; }
+  void CountLaunchFailure() { ++counters_.launch_failures; }
+
+ private:
+  FaultPlan plan_;
+  size_t cursor_ = 0;
+  std::vector<FaultEvent> outages_;  // kLaunchOutage windows, time-sorted
+  FaultCounters counters_;
+};
+
+}  // namespace spotcache

@@ -1,0 +1,87 @@
+#include "src/fault/fault_plan.h"
+
+#include <algorithm>
+
+#include "src/util/rng.h"
+
+namespace spotcache {
+
+std::string_view ToString(FaultKind k) {
+  switch (k) {
+    case FaultKind::kRevocationStorm:
+      return "revocation-storm";
+    case FaultKind::kBackupLoss:
+      return "backup-loss";
+    case FaultKind::kTokenExhaustion:
+      return "token-exhaustion";
+    case FaultKind::kLaunchOutage:
+      return "launch-outage";
+  }
+  return "?";
+}
+
+namespace {
+
+SimTime DrawTime(Rng& rng, const FaultScenarioSpec& s) {
+  const double span =
+      std::max(0.0, (s.window_end - s.window_start).seconds());
+  return s.window_start + Duration::FromSecondsF(rng.NextDouble() * span);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::Build(uint64_t seed, const FaultScenarioSpec& scenario) {
+  FaultPlan plan;
+  plan.scenario_ = scenario;
+  plan.seed_ = seed;
+
+  // A fixed draw order per kind keeps the schedule a pure function of
+  // (seed, scenario): adding storms never perturbs where backup losses land.
+  uint64_t sm = seed ^ 0xfa17'4a57'0b5e'11edULL;
+  Rng storm_rng(SplitMix64(sm));
+  Rng backup_rng(SplitMix64(sm));
+  Rng token_rng(SplitMix64(sm));
+  Rng outage_rng(SplitMix64(sm));
+
+  for (int i = 0; i < scenario.storm_count; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultKind::kRevocationStorm;
+    ev.time = DrawTime(storm_rng, scenario);
+    ev.market_fraction = scenario.storm_market_fraction;
+    ev.salt = storm_rng();
+    plan.events_.push_back(ev);
+  }
+  for (int i = 0; i < scenario.backup_loss_count; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultKind::kBackupLoss;
+    ev.time = DrawTime(backup_rng, scenario);
+    ev.salt = backup_rng();
+    plan.events_.push_back(ev);
+  }
+  for (int i = 0; i < scenario.token_exhaustion_count; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultKind::kTokenExhaustion;
+    ev.time = DrawTime(token_rng, scenario);
+    ev.salt = token_rng();
+    plan.events_.push_back(ev);
+  }
+  for (int i = 0; i < scenario.launch_outage_count; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultKind::kLaunchOutage;
+    ev.time = DrawTime(outage_rng, scenario);
+    ev.duration = scenario.launch_outage_length;
+    ev.salt = outage_rng();
+    plan.events_.push_back(ev);
+  }
+
+  std::stable_sort(plan.events_.begin(), plan.events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.time != b.time) {
+                       return a.time < b.time;
+                     }
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
+  return plan;
+}
+
+}  // namespace spotcache

@@ -1,0 +1,106 @@
+// Deterministic fault schedules for the revocation/recovery path.
+//
+// The paper's robustness claim (§3.3, Figure 11) rests on the happy path: the
+// two-minute warning arrives on time, exactly one instance fails, the backup
+// is healthy and its token buckets full. Real spot outages are dominated by
+// correlated revocations and failover-during-failover (Alourani &
+// Kshemkalyani; Qu et al.), so every robustness experiment needs a way to
+// inject those conditions *reproducibly*. A FaultPlan is a pure function of
+// (seed, scenario): building the same plan twice yields bit-identical
+// schedules, which makes every faulted run replayable from its config alone.
+//
+// Five fault families are modeled:
+//   * revocation storms    — correlated forced revocations across markets;
+//   * missed warnings      — a revocation arrives with no two-minute notice;
+//   * late warnings        — the notice arrives with reduced lead time;
+//   * backup-node loss     — a burstable backup dies (possibly mid-warmup);
+//   * token exhaustion     — a backup's CPU/network buckets drained to zero;
+//   * launch failures      — transient outage windows in which launch/spot
+//                            requests fail (replacement-during-failover).
+//
+// The plan only fixes *when* faults fire and seeds for *who* they hit; the
+// FaultInjector (fault_injector.h) resolves targets against live state.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace spotcache {
+
+enum class FaultKind {
+  kRevocationStorm,
+  kBackupLoss,
+  kTokenExhaustion,
+  kLaunchOutage,
+};
+
+std::string_view ToString(FaultKind k);
+
+/// One scheduled fault. `salt` seeds target selection (which markets a storm
+/// hits, which backup dies) so the choice is deterministic but varies across
+/// events of the same kind.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kRevocationStorm;
+  SimTime time;
+  /// kLaunchOutage: window length. Zero for point faults.
+  Duration duration;
+  /// kRevocationStorm: fraction of markets hit (at least one).
+  double market_fraction = 1.0;
+  uint64_t salt = 0;
+};
+
+/// What a fault scenario contains; all counts default to zero so the empty
+/// spec is the no-fault baseline. Scheduled faults land uniformly in
+/// [window_start, window_end).
+struct FaultScenarioSpec {
+  std::string name = "none";
+
+  int storm_count = 0;
+  double storm_market_fraction = 1.0;
+
+  /// Per-warning probabilities, decided by a seeded per-instance coin so the
+  /// outcome is independent of event-processing order.
+  double missed_warning_fraction = 0.0;
+  double late_warning_fraction = 0.0;
+  Duration max_warning_delay = Duration::Minutes(2);
+
+  int backup_loss_count = 0;
+  int token_exhaustion_count = 0;
+
+  int launch_outage_count = 0;
+  Duration launch_outage_length = Duration::Minutes(5);
+
+  SimTime window_start;
+  SimTime window_end = SimTime() + Duration::Days(1);
+
+  bool empty() const {
+    return storm_count == 0 && missed_warning_fraction <= 0.0 &&
+           late_warning_fraction <= 0.0 && backup_loss_count == 0 &&
+           token_exhaustion_count == 0 && launch_outage_count == 0;
+  }
+};
+
+/// An immutable, time-sorted fault schedule.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Pure: the same (seed, scenario) always yields the same plan.
+  static FaultPlan Build(uint64_t seed, const FaultScenarioSpec& scenario);
+
+  const FaultScenarioSpec& scenario() const { return scenario_; }
+  uint64_t seed() const { return seed_; }
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty() && scenario_.empty(); }
+
+ private:
+  FaultScenarioSpec scenario_;
+  uint64_t seed_ = 0;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace spotcache

@@ -119,4 +119,15 @@ double SloTracker::TotalCost() const {
   return c;
 }
 
+std::string ToString(const FaultCounters& c) {
+  std::string out;
+  out += "storm_revocations=" + std::to_string(c.storm_revocations);
+  out += " warnings_suppressed=" + std::to_string(c.warnings_suppressed);
+  out += " warnings_delayed=" + std::to_string(c.warnings_delayed);
+  out += " backup_losses=" + std::to_string(c.backup_losses);
+  out += " token_exhaustions=" + std::to_string(c.token_exhaustions);
+  out += " launch_failures=" + std::to_string(c.launch_failures);
+  return out;
+}
+
 }  // namespace spotcache

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/fault_injector.h"
 #include "src/util/stats.h"
 #include "src/util/time.h"
 
@@ -68,8 +69,16 @@ class SloTracker {
 
   double TotalCost() const;
 
+  /// Per-fault counters from the run's FaultInjector (zero without faults).
+  void RecordFaults(const FaultCounters& counters) { faults_ = counters; }
+  const FaultCounters& faults() const { return faults_; }
+
  private:
   std::vector<SlotPerf> slots_;
+  FaultCounters faults_;
 };
+
+/// One-line human-readable rendering of the per-fault counters.
+std::string ToString(const FaultCounters& c);
 
 }  // namespace spotcache

@@ -1,0 +1,100 @@
+// Bit-exact replay: the same (ExperimentConfig, seed) must produce identical
+// SlotRecord streams across runs — including runs with an active FaultPlan,
+// whose schedules and target picks are pure functions of (seed, scenario).
+// Exact double equality is intentional: any nondeterminism (iteration-order
+// dependence, uninitialized reads, hidden global state) shows up here first.
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+#include "src/fault/fault_plan.h"
+
+namespace spotcache {
+namespace {
+
+void ExpectIdenticalRuns(const ExperimentConfig& cfg) {
+  const ExperimentResult a = RunExperiment(cfg);
+  const ExperimentResult b = RunExperiment(cfg);
+
+  EXPECT_EQ(a.approach_name, b.approach_name);
+  EXPECT_EQ(a.option_labels, b.option_labels);
+  EXPECT_EQ(a.total_cost, b.total_cost);  // exact, not NEAR
+  EXPECT_EQ(a.od_cost, b.od_cost);
+  EXPECT_EQ(a.spot_cost, b.spot_cost);
+  EXPECT_EQ(a.backup_cost, b.backup_cost);
+  EXPECT_EQ(a.revocations, b.revocations);
+  EXPECT_EQ(a.bid_rejections, b.bid_rejections);
+  EXPECT_EQ(a.launch_failures, b.launch_failures);
+  EXPECT_EQ(a.failed_replacements, b.failed_replacements);
+  EXPECT_TRUE(a.faults == b.faults) << "fault counters diverged";
+
+  ASSERT_EQ(a.slots.size(), b.slots.size());
+  for (size_t s = 0; s < a.slots.size(); ++s) {
+    SCOPED_TRACE("slot " + std::to_string(s));
+    const SlotRecord& x = a.slots[s];
+    const SlotRecord& y = b.slots[s];
+    EXPECT_EQ(x.start, y.start);
+    EXPECT_EQ(x.lambda, y.lambda);
+    EXPECT_EQ(x.lambda_hat, y.lambda_hat);
+    EXPECT_EQ(x.working_set_gb, y.working_set_gb);
+    EXPECT_EQ(x.counts, y.counts);
+    EXPECT_EQ(x.backups, y.backups);
+    EXPECT_EQ(x.cost, y.cost);
+    EXPECT_EQ(x.affected_fraction, y.affected_fraction);
+    EXPECT_EQ(x.mean_latency.micros(), y.mean_latency.micros());
+    EXPECT_EQ(x.p95_latency.micros(), y.p95_latency.micros());
+    EXPECT_EQ(x.revocations, y.revocations);
+  }
+}
+
+TEST(Determinism, FaultFreeRunReplaysBitIdentically) {
+  ExperimentConfig cfg;
+  cfg.workload = PrototypeWorkload(/*days=*/2);
+  cfg.approach = Approach::kProp;
+  ExpectIdenticalRuns(cfg);
+}
+
+TEST(Determinism, FaultedRunReplaysBitIdentically) {
+  ExperimentConfig cfg;
+  cfg.workload = PrototypeWorkload(/*days=*/2);
+  cfg.approach = Approach::kProp;
+  cfg.fault.name = "determinism-storm";
+  cfg.fault.storm_count = 3;
+  cfg.fault.storm_market_fraction = 1.0;
+  cfg.fault.missed_warning_fraction = 0.5;
+  cfg.fault.late_warning_fraction = 0.25;
+  cfg.fault.backup_loss_count = 2;
+  cfg.fault.token_exhaustion_count = 2;
+  cfg.fault.launch_outage_count = 1;
+  cfg.fault.launch_outage_length = Duration::Hours(3);
+  cfg.fault.window_start = SimTime() + Duration::Days(7) + Duration::Hours(4);
+  cfg.fault.window_end = SimTime() + Duration::Days(8);
+  cfg.fault_seed = 0xfeedface;
+  cfg.revocation_cooldown = Duration::Hours(4);
+  ExpectIdenticalRuns(cfg);
+}
+
+TEST(Determinism, DifferentFaultSeedsDiverge) {
+  ExperimentConfig cfg;
+  cfg.workload = PrototypeWorkload(/*days=*/2);
+  cfg.approach = Approach::kProp;
+  cfg.fault.name = "seed-sensitivity";
+  cfg.fault.storm_count = 3;
+  cfg.fault.storm_market_fraction = 1.0;
+  cfg.fault.window_start = SimTime() + Duration::Days(7) + Duration::Hours(4);
+  cfg.fault.window_end = SimTime() + Duration::Days(8);
+
+  cfg.fault_seed = 1;
+  const FaultPlan p1 = FaultPlan::Build(cfg.fault_seed, cfg.fault);
+  cfg.fault_seed = 2;
+  const FaultPlan p2 = FaultPlan::Build(cfg.fault_seed, cfg.fault);
+  ASSERT_EQ(p1.events().size(), p2.events().size());
+  bool moved = false;
+  for (size_t i = 0; i < p1.events().size(); ++i) {
+    moved |= p1.events()[i].time != p2.events()[i].time;
+  }
+  EXPECT_TRUE(moved);
+}
+
+}  // namespace
+}  // namespace spotcache

@@ -86,5 +86,70 @@ TEST(EventQueue, RunAllStopsAtHorizon) {
   EXPECT_EQ(q.pending(), 1u);
 }
 
+TEST(EventQueue, RunUntilRunsEventExactlyOnHorizon) {
+  // An event at exactly t must run when RunUntil(t) is called (<=, not <).
+  EventQueue q;
+  int ran = 0;
+  q.Schedule(SimTime::FromSeconds(5), [&] { ++ran; });
+  q.RunUntil(SimTime::FromSeconds(5));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_EQ(q.now(), SimTime::FromSeconds(5));
+}
+
+TEST(EventQueue, TiesAtEqualTimestampsInterleaveWithNewSchedules) {
+  // Insertion order is the tie-break even when an event at time t schedules
+  // another event at the same time t: the new event runs after everything
+  // already queued at t.
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(SimTime::FromSeconds(1), [&] {
+    order.push_back(0);
+    q.Schedule(SimTime::FromSeconds(1), [&] { order.push_back(9); });
+  });
+  q.Schedule(SimTime::FromSeconds(1), [&] { order.push_back(1); });
+  q.Schedule(SimTime::FromSeconds(1), [&] { order.push_back(2); });
+  q.RunAll(SimTime::FromSeconds(2));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 9}));
+}
+
+TEST(EventQueue, PastScheduleFromCallbackClampsToNow) {
+  // Scheduling "one second ago" from inside a callback runs the event at the
+  // current clock, not before events already queued at an earlier time...
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(SimTime::FromSeconds(10), [&] {
+    order.push_back(0);
+    q.Schedule(SimTime::FromSeconds(3), [&] { order.push_back(1); });
+  });
+  q.Schedule(SimTime::FromSeconds(20), [&] { order.push_back(2); });
+  q.RunAll(SimTime::FromSeconds(30));
+  // The clamped event (nominally t=3) runs at t=10, before the t=20 event.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.executed(), 3u);
+}
+
+TEST(EventQueue, RunUntilNeverMovesClockBackward) {
+  EventQueue q;
+  q.RunUntil(SimTime::FromSeconds(10));
+  EXPECT_EQ(q.now(), SimTime::FromSeconds(10));
+  // A horizon in the past is a no-op for the clock.
+  q.RunUntil(SimTime::FromSeconds(4));
+  EXPECT_EQ(q.now(), SimTime::FromSeconds(10));
+}
+
+TEST(EventQueue, HorizonEventScheduledDuringRunStillExecutes) {
+  // An event that lands exactly on the horizon, scheduled mid-run by an
+  // earlier event, is not left pending.
+  EventQueue q;
+  int ran = 0;
+  q.Schedule(SimTime::FromSeconds(1), [&] {
+    q.Schedule(SimTime::FromSeconds(5), [&] { ++ran; });
+  });
+  q.RunUntil(SimTime::FromSeconds(5));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
 }  // namespace
 }  // namespace spotcache

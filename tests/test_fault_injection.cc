@@ -1,0 +1,409 @@
+// Fault-injection coverage for the revocation/recovery path.
+//
+// Exercises the five injectable fault families end to end: correlated
+// revocation storms, missed/late two-minute warnings, backup-node loss
+// mid-warmup, burstable token exhaustion, and transient launch failures.
+// Every scenario must degrade gracefully — bounded unavailability, costs
+// still reconciling with the billing ledger, and no crashes.
+
+#include "src/fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/cloud/cloud_provider.h"
+#include "src/core/experiment.h"
+#include "src/core/recovery_sim.h"
+#include "src/fault/fault_plan.h"
+
+namespace spotcache {
+namespace {
+
+// The experiment clock starts 7 days into the market traces, so fault
+// windows must be placed at least that far in.
+const SimTime kRunStart = SimTime() + Duration::Days(7);
+
+FaultScenarioSpec WindowedSpec(std::string name) {
+  FaultScenarioSpec s;
+  s.name = std::move(name);
+  s.window_start = kRunStart + Duration::Hours(6);
+  s.window_end = kRunStart + Duration::Hours(30);
+  return s;
+}
+
+ExperimentConfig FaultedConfig(const FaultScenarioSpec& spec,
+                               Approach approach = Approach::kProp) {
+  ExperimentConfig cfg;
+  cfg.workload = PrototypeWorkload(/*days=*/2);
+  cfg.approach = approach;
+  cfg.fault = spec;
+  cfg.fault_seed = 0x5eed;
+  return cfg;
+}
+
+// Graceful degradation, quantified: per-slot fractions stay physical, the
+// run-level affected fraction stays below `max_affected` (scenario-sized:
+// outages that blanket a large share of the run earn a looser bound), and
+// every dollar in the slot records reconciles with the provider's ledger.
+void ExpectGraceful(const ExperimentResult& r, double max_affected = 0.25) {
+  ASSERT_FALSE(r.slots.empty());
+  double slot_cost_sum = 0.0;
+  for (const auto& slot : r.slots) {
+    EXPECT_GE(slot.affected_fraction, 0.0);
+    EXPECT_LE(slot.affected_fraction, 1.0);
+    EXPECT_GE(slot.cost, 0.0);
+    EXPECT_GE(slot.mean_latency, Duration::Micros(0));
+    slot_cost_sum += slot.cost;
+  }
+  EXPECT_NEAR(slot_cost_sum, r.total_cost, 1e-6);
+  EXPECT_GT(r.total_cost, 0.0);
+  EXPECT_NEAR(r.od_cost + r.spot_cost + r.backup_cost, r.total_cost, 1e-6);
+  // Bounded unavailability: even under injected faults the cluster keeps
+  // serving the large majority of requests at full fidelity.
+  EXPECT_LT(r.tracker.AffectedRequestFraction(), max_affected);
+}
+
+// --- Plan construction -----------------------------------------------------
+
+TEST(FaultPlan, BuildIsPureFunctionOfSeedAndScenario) {
+  FaultScenarioSpec spec = WindowedSpec("pure");
+  spec.storm_count = 4;
+  spec.backup_loss_count = 2;
+  spec.token_exhaustion_count = 3;
+  spec.launch_outage_count = 2;
+
+  const FaultPlan a = FaultPlan::Build(123, spec);
+  const FaultPlan b = FaultPlan::Build(123, spec);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].time, b.events()[i].time);
+    EXPECT_EQ(a.events()[i].duration, b.events()[i].duration);
+    EXPECT_EQ(a.events()[i].salt, b.events()[i].salt);
+  }
+
+  const FaultPlan c = FaultPlan::Build(124, spec);
+  bool any_diff = false;
+  for (size_t i = 0; i < std::min(a.events().size(), c.events().size()); ++i) {
+    any_diff |= a.events()[i].time != c.events()[i].time;
+  }
+  EXPECT_TRUE(any_diff) << "different seeds should move fault times";
+}
+
+TEST(FaultPlan, EventsSortedAndInsideWindow) {
+  FaultScenarioSpec spec = WindowedSpec("window");
+  spec.storm_count = 5;
+  spec.backup_loss_count = 3;
+  spec.launch_outage_count = 2;
+  const FaultPlan plan = FaultPlan::Build(7, spec);
+  ASSERT_EQ(plan.events().size(), 10u);
+  for (size_t i = 0; i < plan.events().size(); ++i) {
+    EXPECT_GE(plan.events()[i].time, spec.window_start);
+    EXPECT_LT(plan.events()[i].time, spec.window_end);
+    if (i > 0) {
+      EXPECT_GE(plan.events()[i].time, plan.events()[i - 1].time);
+    }
+  }
+}
+
+TEST(FaultPlan, EmptySpecYieldsEmptyPlan) {
+  const FaultPlan plan = FaultPlan::Build(1, FaultScenarioSpec{});
+  EXPECT_TRUE(plan.empty());
+  EXPECT_TRUE(plan.events().empty());
+}
+
+// --- Injector mechanics ----------------------------------------------------
+
+TEST(FaultInjector, DueInReturnsEachEventExactlyOnce) {
+  FaultScenarioSpec spec = WindowedSpec("due");
+  spec.storm_count = 6;
+  FaultInjector injector(FaultPlan::Build(9, spec));
+  const size_t total = injector.plan().events().size();
+
+  size_t seen = 0;
+  SimTime prev = SimTime();
+  for (SimTime t = kRunStart; t <= kRunStart + Duration::Days(2);
+       t += Duration::Hours(1)) {
+    seen += injector.DueIn(prev, t).size();
+    prev = t;
+  }
+  EXPECT_EQ(seen, total);
+  // The cursor never rewinds: a second sweep yields nothing.
+  EXPECT_TRUE(injector.DueIn(SimTime(), kRunStart + Duration::Days(3)).empty());
+}
+
+TEST(FaultInjector, StormAlwaysHitsAtLeastOneMarket) {
+  FaultScenarioSpec spec = WindowedSpec("storm-min");
+  spec.storm_count = 8;
+  spec.storm_market_fraction = 0.0;  // degenerate: only the anchor market
+  FaultInjector injector(FaultPlan::Build(3, spec));
+  for (const FaultEvent& ev : injector.plan().events()) {
+    int hits = 0;
+    for (size_t m = 0; m < 4; ++m) {
+      hits += injector.StormHitsMarket(ev, m, 4) ? 1 : 0;
+    }
+    EXPECT_GE(hits, 1);
+  }
+}
+
+TEST(FaultInjector, FullFractionStormHitsAllMarkets) {
+  FaultScenarioSpec spec = WindowedSpec("storm-all");
+  spec.storm_count = 3;
+  spec.storm_market_fraction = 1.0;
+  FaultInjector injector(FaultPlan::Build(3, spec));
+  for (const FaultEvent& ev : injector.plan().events()) {
+    for (size_t m = 0; m < 4; ++m) {
+      EXPECT_TRUE(injector.StormHitsMarket(ev, m, 4));
+    }
+  }
+}
+
+TEST(FaultInjector, PickTargetStaysInRange) {
+  FaultScenarioSpec spec = WindowedSpec("target");
+  spec.backup_loss_count = 10;
+  FaultInjector injector(FaultPlan::Build(11, spec));
+  for (const FaultEvent& ev : injector.plan().events()) {
+    for (size_t n : {1u, 2u, 5u, 17u}) {
+      EXPECT_LT(injector.PickTarget(ev, n), n);
+    }
+  }
+}
+
+TEST(FaultInjector, WarningFateIsPerInstancePure) {
+  FaultScenarioSpec spec = WindowedSpec("fate");
+  spec.missed_warning_fraction = 0.5;
+  spec.late_warning_fraction = 0.3;
+  FaultInjector a(FaultPlan::Build(21, spec));
+  FaultInjector b(FaultPlan::Build(21, spec));
+  int suppressed = 0;
+  int delayed = 0;
+  for (uint64_t id = 1; id <= 200; ++id) {
+    const WarningFate fa = a.FateForWarning(id);
+    const WarningFate fb = b.FateForWarning(id);
+    EXPECT_EQ(fa.suppress, fb.suppress);
+    EXPECT_EQ(fa.delay, fb.delay);
+    suppressed += fa.suppress ? 1 : 0;
+    delayed += (!fa.suppress && fa.delay > Duration::Micros(0)) ? 1 : 0;
+    if (!fa.suppress) {
+      EXPECT_LE(fa.delay, spec.max_warning_delay);
+    }
+  }
+  // Loose bounds: coins should roughly respect the fractions.
+  EXPECT_GT(suppressed, 50);
+  EXPECT_LT(suppressed, 150);
+  EXPECT_GT(delayed, 20);
+}
+
+TEST(FaultInjector, AllOrNothingWarningFractions) {
+  FaultScenarioSpec all = WindowedSpec("all");
+  all.missed_warning_fraction = 1.0;
+  FaultInjector suppress_all(FaultPlan::Build(5, all));
+  FaultScenarioSpec none = WindowedSpec("none");
+  FaultInjector suppress_none(FaultPlan::Build(5, none));
+  for (uint64_t id = 1; id <= 50; ++id) {
+    EXPECT_TRUE(suppress_all.FateForWarning(id).suppress);
+    const WarningFate fate = suppress_none.FateForWarning(id);
+    EXPECT_FALSE(fate.suppress);
+    EXPECT_EQ(fate.delay, Duration::Micros(0));
+  }
+}
+
+// --- Provider-level launch outages ----------------------------------------
+
+TEST(FaultInjector, LaunchesFailOnlyInsideOutageWindows) {
+  static const InstanceCatalog catalog = InstanceCatalog::Default();
+  FaultScenarioSpec spec;
+  spec.name = "outage";
+  spec.launch_outage_count = 1;
+  spec.launch_outage_length = Duration::Minutes(10);
+  spec.window_start = SimTime() + Duration::Hours(1);
+  spec.window_end = SimTime() + Duration::Hours(2);
+  FaultInjector injector(FaultPlan::Build(31, spec));
+  ASSERT_EQ(injector.plan().events().size(), 1u);
+  const FaultEvent outage = injector.plan().events()[0];
+
+  CloudProvider provider(&catalog, {}, 99);
+  provider.AttachFaultInjector(&injector);
+  const InstanceTypeSpec* type = catalog.Find("m4.large");
+  ASSERT_NE(type, nullptr);
+
+  // Before the window: launches succeed.
+  provider.AdvanceTo(outage.time - Duration::Minutes(1));
+  EXPECT_NE(provider.LaunchOnDemand(*type, "pre"), kInvalidInstanceId);
+
+  // Inside the window: launches fail and are counted.
+  provider.AdvanceTo(outage.time + Duration::Minutes(5));
+  EXPECT_EQ(provider.LaunchOnDemand(*type, "mid"), kInvalidInstanceId);
+  EXPECT_EQ(provider.LaunchBurstable(*catalog.Find("t2.medium"), "mid"),
+            kInvalidInstanceId);
+  EXPECT_EQ(injector.counters().launch_failures, 2);
+
+  // After the window: back to normal.
+  provider.AdvanceTo(outage.time + outage.duration + Duration::Minutes(1));
+  EXPECT_NE(provider.LaunchOnDemand(*type, "post"), kInvalidInstanceId);
+  provider.FinalizeBilling();
+}
+
+// --- Scenario 1: correlated revocation storm -------------------------------
+
+TEST(FaultScenario, RevocationStormDegradesGracefully) {
+  FaultScenarioSpec spec = WindowedSpec("revocation-storm");
+  spec.storm_count = 3;
+  spec.storm_market_fraction = 1.0;
+  const ExperimentResult r = RunExperiment(FaultedConfig(spec));
+
+  EXPECT_GT(r.faults.storm_revocations, 0);
+  EXPECT_GT(r.revocations, 0);
+  ExpectGraceful(r);
+}
+
+TEST(FaultScenario, StormWithCooldownShiftsAwayFromStormedMarkets) {
+  FaultScenarioSpec spec = WindowedSpec("storm-cooldown");
+  spec.storm_count = 3;
+  spec.storm_market_fraction = 1.0;
+  ExperimentConfig cfg = FaultedConfig(spec);
+  cfg.revocation_cooldown = Duration::Hours(6);
+  const ExperimentResult r = RunExperiment(cfg);
+  EXPECT_GT(r.faults.storm_revocations, 0);
+  ExpectGraceful(r);
+}
+
+// --- Scenario 2: missed / late two-minute warnings -------------------------
+
+TEST(FaultScenario, MissedWarningsDegradeGracefully) {
+  FaultScenarioSpec spec = WindowedSpec("missed-warning");
+  spec.storm_count = 2;
+  spec.storm_market_fraction = 1.0;
+  spec.missed_warning_fraction = 1.0;  // every revocation arrives unannounced
+  const ExperimentResult r = RunExperiment(FaultedConfig(spec));
+
+  EXPECT_GT(r.faults.warnings_suppressed, 0);
+  ExpectGraceful(r);
+}
+
+TEST(FaultScenario, LateWarningsDegradeGracefully) {
+  FaultScenarioSpec spec = WindowedSpec("late-warning");
+  spec.storm_count = 2;
+  spec.storm_market_fraction = 1.0;
+  spec.late_warning_fraction = 1.0;
+  spec.max_warning_delay = Duration::Minutes(2);
+  const ExperimentResult r = RunExperiment(FaultedConfig(spec));
+  // Warnings still flow (possibly with reduced lead) or are folded into the
+  // revocation when the delay pushes them past it.
+  EXPECT_GT(r.faults.warnings_delayed + r.faults.warnings_suppressed, 0);
+  ExpectGraceful(r);
+}
+
+// --- Scenario 3: backup-node loss ------------------------------------------
+
+TEST(FaultScenario, BackupLossIsRepairedAndAccounted) {
+  FaultScenarioSpec spec = WindowedSpec("backup-loss");
+  spec.backup_loss_count = 3;
+  const ExperimentResult r = RunExperiment(FaultedConfig(spec, Approach::kProp));
+
+  EXPECT_GT(r.faults.backup_losses, 0);
+  ExpectGraceful(r);
+  // The cluster self-repairs: losses don't permanently strip the backup
+  // fleet, so later slots still report backups.
+  EXPECT_GT(r.slots.back().backups + r.slots[r.slots.size() - 2].backups, 0);
+}
+
+TEST(FaultScenario, BackupLossMidWarmupBoundsRecovery) {
+  static const InstanceCatalog catalog = InstanceCatalog::Default();
+  RecoveryConfig cfg;
+  cfg.backup_type = catalog.Find("t2.medium");
+  ASSERT_NE(cfg.backup_type, nullptr);
+
+  const RecoveryResult baseline = SimulateRecovery(cfg);
+  EXPECT_FALSE(baseline.backup_lost);
+
+  cfg.backup_loss_at = Duration::Seconds(20);  // dies mid-warmup
+  const RecoveryResult faulted = SimulateRecovery(cfg);
+
+  EXPECT_TRUE(faulted.backup_lost);
+  // Losing the warm-up source can only slow recovery...
+  EXPECT_GE(faulted.warmup_time, baseline.warmup_time);
+  // ...but recovery still completes within the horizon (graceful, not stuck).
+  EXPECT_LT(faulted.warmup_time, cfg.horizon);
+  ASSERT_FALSE(faulted.series.empty());
+  for (const auto& p : faulted.series) {
+    EXPECT_GE(p.warm_traffic_fraction, 0.0);
+    EXPECT_LE(p.warm_traffic_fraction, 1.0 + 1e-9);
+    EXPECT_LT(p.mean, Duration::Millis(50));
+  }
+}
+
+// --- Scenario 4: token exhaustion ------------------------------------------
+
+TEST(FaultScenario, TokenExhaustionDegradesGracefully) {
+  FaultScenarioSpec spec = WindowedSpec("token-exhaustion");
+  spec.token_exhaustion_count = 3;
+  const ExperimentResult r = RunExperiment(FaultedConfig(spec, Approach::kProp));
+  EXPECT_GT(r.faults.token_exhaustions, 0);
+  ExpectGraceful(r);
+}
+
+TEST(FaultScenario, TokenDrainDuringRecoverySlowsButCompletes) {
+  static const InstanceCatalog catalog = InstanceCatalog::Default();
+  RecoveryConfig cfg;
+  cfg.backup_type = catalog.Find("t2.medium");
+  ASSERT_NE(cfg.backup_type, nullptr);
+
+  const RecoveryResult baseline = SimulateRecovery(cfg);
+  cfg.token_drain_at = Duration::Seconds(5);
+  const RecoveryResult drained = SimulateRecovery(cfg);
+
+  EXPECT_TRUE(drained.backup_tokens_exhausted);
+  EXPECT_GE(drained.warmup_time, baseline.warmup_time);
+  EXPECT_LT(drained.warmup_time, cfg.horizon);
+}
+
+// --- Scenario 5: transient launch failures ---------------------------------
+
+TEST(FaultScenario, LaunchOutagesDuringStormDegradeGracefully) {
+  FaultScenarioSpec spec = WindowedSpec("launch-outage");
+  spec.storm_count = 2;
+  spec.storm_market_fraction = 1.0;
+  spec.launch_outage_count = 2;
+  spec.launch_outage_length = Duration::Hours(12);  // blankets the storms
+  const ExperimentResult r = RunExperiment(FaultedConfig(spec));
+
+  EXPECT_GT(r.faults.launch_failures, 0);
+  EXPECT_EQ(r.launch_failures, r.faults.launch_failures);
+  // The outages blanket half the run, so allow proportionally more impact —
+  // but the cluster must still serve most traffic (backups + retries).
+  ExpectGraceful(r, /*max_affected=*/0.5);
+}
+
+// --- Cross-cutting ----------------------------------------------------------
+
+TEST(FaultScenario, FaultFreeRunReportsZeroCounters) {
+  ExperimentConfig cfg;
+  cfg.workload = PrototypeWorkload(/*days=*/1);
+  cfg.approach = Approach::kProp;
+  const ExperimentResult r = RunExperiment(cfg);
+  EXPECT_EQ(r.faults.total(), 0);
+  EXPECT_EQ(r.tracker.faults().total(), 0);
+}
+
+TEST(FaultScenario, CombinedScenarioSurvivesEverythingAtOnce) {
+  FaultScenarioSpec spec = WindowedSpec("kitchen-sink");
+  spec.storm_count = 3;
+  spec.storm_market_fraction = 1.0;
+  spec.missed_warning_fraction = 0.5;
+  spec.late_warning_fraction = 0.5;
+  spec.backup_loss_count = 2;
+  spec.token_exhaustion_count = 2;
+  spec.launch_outage_count = 2;
+  spec.launch_outage_length = Duration::Hours(6);
+  const ExperimentResult r = RunExperiment(FaultedConfig(spec, Approach::kProp));
+
+  EXPECT_GT(r.faults.total(), 0);
+  ExpectGraceful(r);
+  EXPECT_EQ(ToString(r.faults).find("storm_revocations="), 0u);
+}
+
+}  // namespace
+}  // namespace spotcache

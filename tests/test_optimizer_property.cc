@@ -1,0 +1,283 @@
+// Property test for the procurement optimizer: on randomized small
+// instances, the LP's plan must (a) satisfy every constraint — placement,
+// per-option RAM capacity, per-option throughput, and the zeta on-demand
+// availability floor — and (b) never be costlier than brute-force
+// enumeration over a coarse grid of hot/cold placements with per-option
+// instance counts chosen optimally. Since the LP optimizes over a superset
+// of the grid (continuous placements), its relaxed objective must lower-
+// bound every grid point; a violation means the LP construction or the
+// simplex solver is wrong.
+
+#include "src/opt/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/cloud/spot_price_model.h"
+#include "src/util/rng.h"
+
+namespace spotcache {
+namespace {
+
+/// A composition of `total` grid units into `bins` parts, enumerated
+/// recursively into `out`.
+void Compositions(int total, int bins, std::vector<int>& prefix,
+                  std::vector<std::vector<int>>& out) {
+  if (bins == 1) {
+    prefix.push_back(total);
+    out.push_back(prefix);
+    prefix.pop_back();
+    return;
+  }
+  for (int take = 0; take <= total; ++take) {
+    prefix.push_back(take);
+    Compositions(total - take, bins - 1, prefix, out);
+    prefix.pop_back();
+  }
+}
+
+class OptimizerPropertyTest : public ::testing::Test {
+ protected:
+  OptimizerPropertyTest()
+      : markets_(MakeEvaluationMarkets(catalog_, Duration::Days(10), 7)),
+        options_(BuildOptions(catalog_, markets_, {1.0, 5.0})) {}
+
+  /// Randomized slot inputs over a small subset of available options:
+  /// `n_od` on-demand + `n_spot` spot options with random healthy
+  /// predictions and random demand.
+  SlotInputs RandomInputs(Rng& rng, int n_od, int n_spot) {
+    SlotInputs in;
+    in.lambda_hat = rng.Uniform(5e3, 4e5);
+    in.working_set_gb = rng.Uniform(2.0, 150.0);
+    in.hot_ws_fraction = rng.Uniform(0.05, 0.4);
+    in.hot_access_fraction = rng.Uniform(0.5, 0.95);
+    in.alpha_access_fraction = 1.0;
+    in.existing.assign(options_.size(), 0);
+    in.available.assign(options_.size(), false);
+    in.spot_predictions.resize(options_.size());
+
+    std::vector<size_t> od_idx;
+    std::vector<size_t> spot_idx;
+    for (size_t o = 0; o < options_.size(); ++o) {
+      (options_[o].is_on_demand() ? od_idx : spot_idx).push_back(o);
+    }
+    // Random subset, at least one OD so the zeta floor stays satisfiable.
+    for (int i = 0; i < n_od; ++i) {
+      in.available[od_idx[rng.NextBelow(od_idx.size())]] = true;
+    }
+    for (int i = 0; i < n_spot; ++i) {
+      in.available[spot_idx[rng.NextBelow(spot_idx.size())]] = true;
+    }
+    for (size_t o = 0; o < options_.size(); ++o) {
+      if (!in.available[o] || options_[o].is_on_demand()) {
+        continue;
+      }
+      in.spot_predictions[o].usable = true;
+      in.spot_predictions[o].lifetime =
+          Duration::FromSecondsF(rng.Uniform(2.0, 72.0) * 3600.0);
+      in.spot_predictions[o].avg_price =
+          options_[o].type->od_price_per_hour * rng.Uniform(0.05, 0.5);
+      // Sometimes we already hold a few instances of the option.
+      if (rng.Bernoulli(0.3)) {
+        in.existing[o] = static_cast<int>(rng.UniformInt(1, 3));
+      }
+    }
+    return in;
+  }
+
+  /// Replicates the LP's per-option coefficients for available options.
+  struct Coeff {
+    size_t opt;
+    double price_slot;   // $/instance for the slot
+    double ram_gb;
+    double max_rate;
+    double hot_penalty;  // $/GB for the slot
+    double cold_penalty;
+    int existing;
+    bool on_demand;
+  };
+  std::vector<Coeff> Coefficients(const ProcurementOptimizer& opt,
+                                  const SlotInputs& in) const {
+    std::vector<Coeff> cs;
+    const double slot_hours = opt.config().slot.hours();
+    for (size_t o = 0; o < options_.size(); ++o) {
+      if (!in.available[o]) {
+        continue;
+      }
+      Coeff c;
+      c.opt = o;
+      c.on_demand = options_[o].is_on_demand();
+      c.ram_gb = opt.UsableRamGb(o);
+      c.max_rate = opt.MaxRatePerInstance(o, in.alpha_access_fraction);
+      c.existing = in.existing[o];
+      if (c.on_demand) {
+        c.price_slot = options_[o].type->od_price_per_hour * slot_hours;
+        c.hot_penalty = 0.0;
+        c.cold_penalty = 0.0;
+      } else {
+        const SpotPrediction& pred = in.spot_predictions[o];
+        if (!pred.usable ||
+            pred.lifetime.hours() < opt.config().min_spot_lifetime_hours) {
+          continue;
+        }
+        const double life_h = std::max(pred.lifetime.hours(), 1e-3);
+        c.price_slot = pred.avg_price * slot_hours;
+        c.hot_penalty = opt.config().beta1 * slot_hours / life_h;
+        c.cold_penalty = opt.config().beta2 * slot_hours / life_h;
+      }
+      cs.push_back(c);
+    }
+    return cs;
+  }
+
+  /// Brute force: enumerate hot and cold placements on a granularity-G grid
+  /// over the usable options, pick per-option instance counts optimally
+  /// (continuous, like the LP's n), and return the cheapest feasible cost.
+  double BruteForceGrid(const ProcurementOptimizer& opt, const SlotInputs& in,
+                        int granularity) const {
+    const std::vector<Coeff> cs = Coefficients(opt, in);
+    if (cs.empty()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    const double m = in.working_set_gb;
+    const double hot_gb = in.hot_ws_fraction * m;
+    const double cold_gb =
+        std::max(0.0, opt.config().alpha - in.hot_ws_fraction) * m;
+    const double hot_traffic = in.lambda_hat * in.hot_access_fraction;
+    const double cold_traffic =
+        in.lambda_hat *
+        std::max(0.0, in.alpha_access_fraction - in.hot_access_fraction);
+    const double rate_hot = hot_gb > 0.0 ? hot_traffic / hot_gb : 0.0;
+    const double rate_cold = cold_gb > 0.0 ? cold_traffic / cold_gb : 0.0;
+    const double eta = opt.config().eta;
+    const double zeta_gb = opt.config().zeta * (hot_gb + cold_gb);
+
+    std::vector<std::vector<int>> splits;
+    std::vector<int> prefix;
+    Compositions(granularity, static_cast<int>(cs.size()), prefix, splits);
+
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& hot_split : splits) {
+      for (const auto& cold_split : splits) {
+        double od_gb = 0.0;
+        double cost = 0.0;
+        for (size_t i = 0; i < cs.size(); ++i) {
+          const double gh = hot_gb * hot_split[i] / granularity;
+          const double gc = cold_gb * cold_split[i] / granularity;
+          const Coeff& c = cs[i];
+          if (c.on_demand) {
+            od_gb += gh + gc;
+          }
+          // Optimal instance count: enough RAM and enough throughput.
+          const double need = std::max((gh + gc) / c.ram_gb,
+                                       (rate_hot * gh + rate_cold * gc) /
+                                           c.max_rate);
+          // Deallocation shortfall priced at min(keep, eta) per instance.
+          const double extra = std::max(0.0, c.existing - need);
+          cost += c.hot_penalty * gh + c.cold_penalty * gc +
+                  c.price_slot * need + std::min(c.price_slot, eta) * extra;
+        }
+        if (od_gb < zeta_gb - 1e-9) {
+          continue;  // violates the availability floor
+        }
+        best = std::min(best, cost);
+      }
+    }
+    return best;
+  }
+
+  /// Feasibility of the solved plan against the raw constraints.
+  void CheckConstraints(const ProcurementOptimizer& opt,
+                        const AllocationPlan& plan, const SlotInputs& in) const {
+    ASSERT_TRUE(plan.feasible);
+    double hot_placed = 0.0;
+    double cold_placed = 0.0;
+    double od_placed = 0.0;
+    for (const auto& item : plan.items) {
+      EXPECT_TRUE(in.available[item.option]) << "plan uses unavailable option";
+      EXPECT_GE(item.count, 0);
+      EXPECT_GE(item.x, -1e-9);
+      EXPECT_GE(item.y, -1e-9);
+      hot_placed += item.x;
+      cold_placed += item.y;
+      if (options_[item.option].is_on_demand()) {
+        od_placed += item.x + item.y;
+      }
+      const double data_gb = (item.x + item.y) * in.working_set_gb;
+      EXPECT_LE(data_gb, item.count * opt.UsableRamGb(item.option) + 1e-6)
+          << options_[item.option].label;
+      double traffic = 0.0;
+      if (in.hot_ws_fraction > 0.0) {
+        traffic += item.x / in.hot_ws_fraction * in.hot_access_fraction;
+      }
+      const double cold_ws = opt.config().alpha - in.hot_ws_fraction;
+      if (cold_ws > 0.0) {
+        traffic += item.y / cold_ws *
+                   (in.alpha_access_fraction - in.hot_access_fraction);
+      }
+      EXPECT_LE(traffic * in.lambda_hat,
+                item.count * opt.MaxRatePerInstance(
+                                 item.option, in.alpha_access_fraction) +
+                    1e-6)
+          << options_[item.option].label;
+    }
+    EXPECT_NEAR(hot_placed, in.hot_ws_fraction, 1e-6);
+    EXPECT_NEAR(cold_placed, opt.config().alpha - in.hot_ws_fraction, 1e-6);
+    EXPECT_GE(od_placed, opt.config().zeta * opt.config().alpha - 1e-6);
+  }
+
+  InstanceCatalog catalog_ = InstanceCatalog::Default();
+  std::vector<SpotMarket> markets_;
+  std::vector<ProcurementOption> options_;
+};
+
+TEST_F(OptimizerPropertyTest, RandomInstancesSatisfyAllConstraints) {
+  const ProcurementOptimizer opt(options_, LatencyModel(), OptimizerConfig{});
+  Rng rng(0xab41);
+  for (int trial = 0; trial < 60; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const SlotInputs in =
+        RandomInputs(rng, /*n_od=*/1 + (trial % 2), /*n_spot=*/trial % 3);
+    const AllocationPlan plan = opt.Solve(in);
+    CheckConstraints(opt, plan, in);
+    EXPECT_GE(plan.lp_objective, 0.0);
+  }
+}
+
+TEST_F(OptimizerPropertyTest, NeverCostlierThanBruteForceGrid) {
+  const ProcurementOptimizer opt(options_, LatencyModel(), OptimizerConfig{});
+  Rng rng(1337);
+  constexpr int kGranularity = 4;
+  for (int trial = 0; trial < 25; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const SlotInputs in =
+        RandomInputs(rng, /*n_od=*/1 + (trial % 2), /*n_spot=*/trial % 3);
+    const AllocationPlan plan = opt.Solve(in);
+    ASSERT_TRUE(plan.feasible);
+    const double brute = BruteForceGrid(opt, in, kGranularity);
+    ASSERT_TRUE(std::isfinite(brute));
+    EXPECT_LE(plan.lp_objective, brute + 1e-6 + brute * 1e-9)
+        << "LP found a costlier plan than coarse enumeration";
+  }
+}
+
+TEST_F(OptimizerPropertyTest, TightZetaStillFeasibleAndFloorRespected) {
+  OptimizerConfig cfg;
+  cfg.zeta = 0.5;
+  const ProcurementOptimizer opt(options_, LatencyModel(), cfg);
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const SlotInputs in = RandomInputs(rng, /*n_od=*/2, /*n_spot=*/2);
+    const AllocationPlan plan = opt.Solve(in);
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_GE(plan.OnDemandDataFraction(options_), cfg.zeta * cfg.alpha - 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace spotcache
