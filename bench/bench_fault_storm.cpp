@@ -91,7 +91,10 @@ int main() {
   table.Print(std::cout);
 
   const ExperimentResult worst = Run(chaos, Duration::Hours(6));
-  std::printf("\nworst-case fault counters: %s\n", ToString(worst.faults).c_str());
+  MetricsRegistry fault_registry;
+  PublishFaults(worst.faults, &fault_registry);
+  std::printf("\nworst-case fault counters: %s\n",
+              RenderFaultCounters(fault_registry).c_str());
   std::printf(
       "\n(storms concentrate revocations into one window; unannounced\n"
       " revocations skip the proactive hot-copy, and launch outages delay\n"

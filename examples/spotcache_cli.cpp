@@ -1,20 +1,28 @@
 // spotcache_cli: run any approach on any workload from the command line.
 //
-//   spotcache_cli run <approach> [days] [rate_kops] [ws_gb] [zipf] [market]
+//   spotcache_cli [--trace=F] [--csv=F] [--metrics=F] run <approach>
+//                 [days] [rate_kops] [ws_gb] [zipf] [market]
 //   spotcache_cli compare [days] [rate_kops] [ws_gb] [zipf]
 //   spotcache_cli markets
 //   spotcache_cli recover [backup_type] [delay_s]
 //
 //   $ ./spotcache_cli run prop 30 320 60 1.0
+//   $ ./spotcache_cli --trace=trace.jsonl run prop 10
 //   $ ./spotcache_cli compare 10 500 100 2.0
 //
 // Approaches: odpeak, odonly, sep, cdf, prop-nobackup, prop.
+//
+// Observability flags (apply to `run`; any one enables instrumentation):
+//   --trace=FILE    write the structured JSONL event stream
+//   --csv=FILE      write the sim-time metric series as CSV
+//   --metrics=FILE  write a Prometheus-style text snapshot
 
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/cloud/spot_price_model.h"
 #include "src/core/experiment.h"
@@ -35,13 +43,15 @@ std::optional<Approach> ParseApproach(const std::string& name) {
   return std::nullopt;
 }
 
-WorkloadSpec ParseWorkload(int argc, char** argv, int base) {
+WorkloadSpec ParseWorkload(const std::vector<std::string>& args, size_t base) {
   WorkloadSpec w;
   w.name = "cli";
-  w.days = argc > base ? std::atoi(argv[base]) : 10;
-  w.peak_rate_ops = (argc > base + 1 ? std::atof(argv[base + 1]) : 320.0) * 1e3;
-  w.peak_working_set_gb = argc > base + 2 ? std::atof(argv[base + 2]) : 60.0;
-  w.zipf_theta = argc > base + 3 ? std::atof(argv[base + 3]) : 1.0;
+  w.days = args.size() > base ? std::atoi(args[base].c_str()) : 10;
+  w.peak_rate_ops =
+      (args.size() > base + 1 ? std::atof(args[base + 1].c_str()) : 320.0) * 1e3;
+  w.peak_working_set_gb =
+      args.size() > base + 2 ? std::atof(args[base + 2].c_str()) : 60.0;
+  w.zipf_theta = args.size() > base + 3 ? std::atof(args[base + 3].c_str()) : 1.0;
   return w;
 }
 
@@ -66,46 +76,83 @@ void PrintSummary(const ExperimentResult& r) {
 int Usage() {
   std::printf(
       "usage:\n"
-      "  spotcache_cli run <odpeak|odonly|sep|cdf|prop-nobackup|prop>"
+      "  spotcache_cli [--trace=F] [--csv=F] [--metrics=F]"
+      " run <odpeak|odonly|sep|cdf|prop-nobackup|prop>"
       " [days] [rate_kops] [ws_gb] [zipf] [market]\n"
       "  spotcache_cli compare [days] [rate_kops] [ws_gb] [zipf]\n"
       "  spotcache_cli markets\n"
-      "  spotcache_cli recover [backup_type|none] [delay_s]\n");
+      "  spotcache_cli recover [backup_type|none] [delay_s]\n"
+      "flags:\n"
+      "  --trace=FILE    JSONL event stream (replans, revocations, warm-ups)\n"
+      "  --csv=FILE      sim-time metric series as CSV\n"
+      "  --metrics=FILE  Prometheus-style text snapshot\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  ObsConfig obs;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      obs.enabled = true;
+      obs.jsonl_path = arg.substr(8);
+    } else if (arg.rfind("--csv=", 0) == 0) {
+      obs.enabled = true;
+      obs.csv_path = arg.substr(6);
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      obs.enabled = true;
+      obs.prometheus_path = arg.substr(10);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::printf("unknown flag '%s'\n\n", arg.c_str());
+      return Usage();
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.empty()) {
     return Usage();
   }
-  const std::string command = argv[1];
+  const std::string command = args[0];
 
   if (command == "run") {
-    if (argc < 3) {
+    if (args.size() < 2) {
       return Usage();
     }
-    const auto approach = ParseApproach(argv[2]);
+    const auto approach = ParseApproach(args[1]);
     if (!approach) {
       return Usage();
     }
     ExperimentConfig cfg;
-    cfg.workload = ParseWorkload(argc, argv, 3);
+    cfg.workload = ParseWorkload(args, 2);
     cfg.approach = *approach;
-    if (argc > 7) {
-      cfg.market_filter = {argv[7]};
+    cfg.obs = obs;
+    if (args.size() > 6) {
+      cfg.market_filter = {args[6]};
     }
     std::printf("running %s: %d days, %.0f kops peak, %.0f GB, Zipf %.1f\n\n",
-                argv[2], cfg.workload.days, cfg.workload.peak_rate_ops / 1e3,
+                args[1].c_str(), cfg.workload.days,
+                cfg.workload.peak_rate_ops / 1e3,
                 cfg.workload.peak_working_set_gb, cfg.workload.zipf_theta);
     PrintSummary(RunExperiment(cfg));
+    if (!obs.jsonl_path.empty()) {
+      std::printf("trace written to %s\n", obs.jsonl_path.c_str());
+    }
+    if (!obs.csv_path.empty()) {
+      std::printf("metric series written to %s\n", obs.csv_path.c_str());
+    }
+    if (!obs.prometheus_path.empty()) {
+      std::printf("metrics snapshot written to %s\n",
+                  obs.prometheus_path.c_str());
+    }
     return 0;
   }
 
   if (command == "compare") {
     ExperimentConfig cfg;
-    cfg.workload = ParseWorkload(argc, argv, 2);
+    cfg.workload = ParseWorkload(args, 1);
     std::printf("comparing all approaches: %d days, %.0f kops, %.0f GB, "
                 "Zipf %.1f\n\n",
                 cfg.workload.days, cfg.workload.peak_rate_ops / 1e3,
@@ -148,7 +195,7 @@ int main(int argc, char** argv) {
   if (command == "recover") {
     const InstanceCatalog catalog = InstanceCatalog::Default();
     RecoveryConfig cfg;
-    const std::string backup = argc > 2 ? argv[2] : "t2.medium";
+    const std::string backup = args.size() > 1 ? args[1] : "t2.medium";
     if (backup != "none") {
       cfg.backup_type = catalog.Find(backup);
       if (cfg.backup_type == nullptr) {
@@ -156,13 +203,12 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
-    cfg.replacement_delay =
-        Duration::Seconds(argc > 3 ? std::atoi(argv[3]) : 0);
+    const int delay_s = args.size() > 2 ? std::atoi(args[2].c_str()) : 0;
+    cfg.replacement_delay = Duration::Seconds(delay_s);
     const RecoveryResult r = SimulateRecovery(cfg);
     std::printf("backup=%s delay=%ds: warm-up %s, hot p95 %.0f us, "
                 "max mean %.0f us%s\n",
-                backup.c_str(), argc > 3 ? std::atoi(argv[3]) : 0,
-                ToString(r.warmup_time).c_str(),
+                backup.c_str(), delay_s, ToString(r.warmup_time).c_str(),
                 r.p95_during_recovery.seconds() * 1e6,
                 r.max_mean_latency.seconds() * 1e6,
                 r.backup_tokens_exhausted ? " (tokens exhausted)" : "");

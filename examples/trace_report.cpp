@@ -1,0 +1,302 @@
+// trace_report: turn a spotcache JSONL event stream into a human-readable
+// revocation / recovery report.
+//
+//   $ ./spotcache_cli --trace=trace.jsonl run prop 10
+//   $ ./trace_report trace.jsonl
+//
+// Sections:
+//   * replan summary   — slots planned, fallbacks, objective range;
+//   * Fig 4 breakdown  — warm-ups by case (1a: warned & replacement ready,
+//                        1b: warned & replacement booting, 2: unannounced);
+//   * timeline         — warnings, revocations, warm-up windows, failures,
+//                        in event order with sim-day timestamps.
+//
+// The parser handles exactly the flat one-object-per-line JSON the tracer
+// emits (string / number / bool / null values, no nesting).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace {
+
+// One parsed JSONL line: flat key -> raw value (strings unescaped).
+using FlatObject = std::map<std::string, std::string>;
+
+void SkipSpace(const std::string& s, size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) {
+    ++i;
+  }
+}
+
+std::optional<std::string> ParseJsonString(const std::string& s, size_t& i) {
+  if (i >= s.size() || s[i] != '"') {
+    return std::nullopt;
+  }
+  ++i;
+  std::string out;
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      switch (s[i]) {
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'u':
+          // \u00XX: the tracer only emits control characters this way.
+          if (i + 4 < s.size()) {
+            out += static_cast<char>(
+                std::strtol(s.substr(i + 1, 4).c_str(), nullptr, 16));
+            i += 4;
+          }
+          break;
+        default:
+          out += s[i];
+      }
+    } else {
+      out += s[i];
+    }
+    ++i;
+  }
+  if (i >= s.size()) {
+    return std::nullopt;  // unterminated
+  }
+  ++i;  // closing quote
+  return out;
+}
+
+std::optional<FlatObject> ParseLine(const std::string& line) {
+  FlatObject obj;
+  size_t i = 0;
+  SkipSpace(line, i);
+  if (i >= line.size() || line[i] != '{') {
+    return std::nullopt;
+  }
+  ++i;
+  SkipSpace(line, i);
+  if (i < line.size() && line[i] == '}') {
+    return obj;  // empty object
+  }
+  while (i < line.size()) {
+    SkipSpace(line, i);
+    const auto key = ParseJsonString(line, i);
+    if (!key) {
+      return std::nullopt;
+    }
+    SkipSpace(line, i);
+    if (i >= line.size() || line[i] != ':') {
+      return std::nullopt;
+    }
+    ++i;
+    SkipSpace(line, i);
+    if (i < line.size() && line[i] == '"') {
+      const auto value = ParseJsonString(line, i);
+      if (!value) {
+        return std::nullopt;
+      }
+      obj[*key] = *value;
+    } else {
+      // Number / true / false / null: runs to the next ',' or '}'.
+      size_t start = i;
+      while (i < line.size() && line[i] != ',' && line[i] != '}') {
+        ++i;
+      }
+      size_t end = i;
+      while (end > start && (line[end - 1] == ' ' || line[end - 1] == '\t')) {
+        --end;
+      }
+      obj[*key] = line.substr(start, end - start);
+    }
+    SkipSpace(line, i);
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < line.size() && line[i] == '}') {
+      return obj;
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::string Get(const FlatObject& o, const std::string& key,
+                const std::string& fallback = "?") {
+  const auto it = o.find(key);
+  return it == o.end() ? fallback : it->second;
+}
+
+double GetNum(const FlatObject& o, const std::string& key) {
+  const auto it = o.find(key);
+  return it == o.end() ? 0.0 : std::atof(it->second.c_str());
+}
+
+// d03 07:12:05.250 — sim time as day/hh:mm:ss.ms.
+std::string FormatTime(int64_t t_us) {
+  const int64_t ms = t_us / 1000 % 1000;
+  int64_t s = t_us / 1'000'000;
+  const int64_t days = s / 86'400;
+  s %= 86'400;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "d%02lld %02lld:%02lld:%02lld.%03lld",
+                static_cast<long long>(days), static_cast<long long>(s / 3600),
+                static_cast<long long>(s / 60 % 60),
+                static_cast<long long>(s % 60), static_cast<long long>(ms));
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::printf("usage: trace_report <trace.jsonl>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::printf("cannot open '%s'\n", argv[1]);
+    return 2;
+  }
+
+  std::vector<FlatObject> events;
+  std::string line;
+  size_t bad_lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    auto obj = ParseLine(line);
+    if (!obj) {
+      ++bad_lines;
+      continue;
+    }
+    events.push_back(std::move(*obj));
+  }
+  if (bad_lines > 0) {
+    std::printf("warning: %zu unparseable lines skipped\n", bad_lines);
+  }
+
+  // --- Replan summary.
+  int replans = 0;
+  int fallbacks = 0;
+  int infeasible = 0;
+  double obj_min = 0.0;
+  double obj_max = 0.0;
+  for (const auto& e : events) {
+    if (Get(e, "type") != "replan") {
+      continue;
+    }
+    const double objective = GetNum(e, "objective");
+    if (replans == 0) {
+      obj_min = obj_max = objective;
+    } else {
+      obj_min = std::min(obj_min, objective);
+      obj_max = std::max(obj_max, objective);
+    }
+    ++replans;
+    if (Get(e, "fallback") == "true") {
+      ++fallbacks;
+    }
+    if (Get(e, "feasible") != "true") {
+      ++infeasible;
+    }
+  }
+  std::printf("replans: %d (%d fell back to on-demand-only, %d infeasible)\n",
+              replans, fallbacks, infeasible);
+  if (replans > 0) {
+    std::printf("LP objective range: $%.2f .. $%.2f per slot\n", obj_min,
+                obj_max);
+  }
+
+  // --- Fig 4 case breakdown of warm-ups.
+  std::map<std::string, int> cases;
+  for (const auto& e : events) {
+    if (Get(e, "type") == "warmup_start") {
+      ++cases[Get(e, "case")];
+    }
+  }
+  int total_warmups = 0;
+  for (const auto& [label, n] : cases) {
+    total_warmups += n;
+  }
+  std::printf("\nwarm-ups by case (Fig 4): %d total\n", total_warmups);
+  for (const char* label : {"1a", "1b", "2"}) {
+    const auto it = cases.find(label);
+    const int n = it == cases.end() ? 0 : it->second;
+    std::printf("  case %-2s %4d  (%5.1f%%)  %s\n", label, n,
+                total_warmups > 0 ? 100.0 * n / total_warmups : 0.0,
+                std::string(label) == "1a"
+                    ? "warned, replacement ready at revocation"
+                    : (std::string(label) == "1b"
+                           ? "warned, replacement still booting"
+                           : "unannounced revocation"));
+  }
+
+  // --- Revocation / recovery timeline.
+  const char* kTimelineTypes[] = {"revocation_warning", "revocation",
+                                  "warmup_start",       "warmup_end",
+                                  "replacement_failed", "backup_loss",
+                                  "token_exhaustion",   "market_cooldown"};
+  std::vector<const FlatObject*> timeline;
+  for (const auto& e : events) {
+    const std::string type = Get(e, "type");
+    for (const char* t : kTimelineTypes) {
+      if (type == t) {
+        timeline.push_back(&e);
+        break;
+      }
+    }
+  }
+  std::stable_sort(timeline.begin(), timeline.end(),
+                   [](const FlatObject* a, const FlatObject* b) {
+                     return GetNum(*a, "t_us") < GetNum(*b, "t_us");
+                   });
+  std::printf("\ntimeline (%zu events):\n", timeline.size());
+  for (const FlatObject* e : timeline) {
+    const std::string type = Get(*e, "type");
+    const int64_t t_us = static_cast<int64_t>(GetNum(*e, "t_us"));
+    std::string detail;
+    if (type == "revocation_warning") {
+      detail = "warning: instance " + Get(*e, "instance") + " in " +
+               Get(*e, "market") +
+               (Get(*e, "late") == "true" ? " (late)" : "");
+    } else if (type == "revocation") {
+      detail = "REVOKED: instance " + Get(*e, "instance") + " in " +
+               Get(*e, "market");
+    } else if (type == "warmup_start") {
+      char gb[64];
+      std::snprintf(gb, sizeof(gb), "%.1f hot / %.1f cold GB",
+                    GetNum(*e, "hot_gb"), GetNum(*e, "cold_gb"));
+      detail = "warm-up (case " + Get(*e, "case") + "): instance " +
+               Get(*e, "instance") + ", " + gb + ", replacement ready " +
+               FormatTime(static_cast<int64_t>(GetNum(*e, "ready_us")));
+    } else if (type == "warmup_end") {
+      detail = "warm-up done (case " + Get(*e, "case") + "): instance " +
+               Get(*e, "instance");
+    } else if (type == "replacement_failed") {
+      detail = "replacement launch FAILED for instance " + Get(*e, "instance");
+    } else if (type == "backup_loss") {
+      detail = "backup lost: instance " + Get(*e, "instance");
+    } else if (type == "token_exhaustion") {
+      detail = "token bucket dry: instance " + Get(*e, "instance") + " (" +
+               Get(*e, "source") + ")";
+    } else if (type == "market_cooldown") {
+      detail = "cooldown: option " + Get(*e, "option") + " until " +
+               FormatTime(static_cast<int64_t>(GetNum(*e, "until_us")));
+    }
+    std::printf("  %s  %s\n", FormatTime(t_us).c_str(), detail.c_str());
+  }
+  return 0;
+}

@@ -10,9 +10,45 @@ CacheNode::CacheNode(InstanceId instance_id, double ram_gb, std::string name)
       store_(static_cast<size_t>(ram_gb * kUsableRamFraction * 1024.0 * 1024.0 *
                                  1024.0)) {}
 
+void CacheNode::AttachObs(Obs* obs) {
+  if (obs == nullptr) {
+    gets_ = hits_ = misses_ = sets_ = evictions_ = nullptr;
+    return;
+  }
+  gets_ = obs->registry.GetCounter("cache/gets");
+  hits_ = obs->registry.GetCounter("cache/hits");
+  misses_ = obs->registry.GetCounter("cache/misses");
+  sets_ = obs->registry.GetCounter("cache/sets");
+  evictions_ = obs->registry.GetCounter("cache/evictions");
+  // Only activity after the attach is published.
+  published_hits_ = store_.hits();
+  published_misses_ = store_.misses();
+  published_evictions_ = store_.evictions();
+  published_sets_ = set_count_;
+}
+
+void CacheNode::FlushObs() {
+  if (gets_ == nullptr) {
+    return;
+  }
+  const uint64_t hits = store_.hits() - published_hits_;
+  const uint64_t misses = store_.misses() - published_misses_;
+  gets_->Increment(static_cast<int64_t>(hits + misses));
+  hits_->Increment(static_cast<int64_t>(hits));
+  misses_->Increment(static_cast<int64_t>(misses));
+  sets_->Increment(static_cast<int64_t>(set_count_ - published_sets_));
+  evictions_->Increment(
+      static_cast<int64_t>(store_.evictions() - published_evictions_));
+  published_hits_ = store_.hits();
+  published_misses_ = store_.misses();
+  published_evictions_ = store_.evictions();
+  published_sets_ = set_count_;
+}
+
 bool CacheNode::Get(KeyId key) { return store_.Get(key).has_value(); }
 
 void CacheNode::Set(KeyId key, uint32_t bytes, uint64_t version) {
+  ++set_count_;
   store_.Put(key, CacheValue{version}, bytes);
 }
 

@@ -8,6 +8,7 @@
 #include "src/cache/cache_protocol.h"
 #include "src/cache/lru_cache.h"
 #include "src/cloud/instance.h"
+#include "src/obs/obs.h"
 
 namespace spotcache {
 
@@ -48,10 +49,30 @@ class CacheNode {
     store_.ForEachMruToLru([&fn](const auto& e) { fn(e.key, e.bytes); });
   }
 
+  /// Attaches observability (null detaches): fleet-wide cache/* counters
+  /// (gets, hits, misses, sets, evictions), shared by every node. The data
+  /// path itself is not instrumented — the LRU already counts hits / misses /
+  /// evictions — so per-request overhead is zero; owners publish the deltas
+  /// accumulated since the last flush by calling FlushObs() at sync points
+  /// (and before dropping a node).
+  void AttachObs(Obs* obs);
+  void FlushObs();
+
  private:
   InstanceId instance_id_;
   std::string name_;
   LruCache<KeyId, CacheValue> store_;
+  uint64_t set_count_ = 0;
+  Counter* gets_ = nullptr;
+  Counter* hits_ = nullptr;
+  Counter* misses_ = nullptr;
+  Counter* sets_ = nullptr;
+  Counter* evictions_ = nullptr;
+  // Values already published, so FlushObs only pushes the delta.
+  uint64_t published_hits_ = 0;
+  uint64_t published_misses_ = 0;
+  uint64_t published_evictions_ = 0;
+  uint64_t published_sets_ = 0;
 };
 
 }  // namespace spotcache

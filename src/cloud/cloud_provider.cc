@@ -61,11 +61,28 @@ void CloudProvider::SetBootDelay(Duration mean, Duration stddev) {
   boot_stddev_ = stddev;
 }
 
+void CloudProvider::AttachObs(Obs* obs) {
+  obs_ = obs;
+  market_price_gauges_.clear();
+  if (obs_ == nullptr) {
+    return;
+  }
+  market_price_gauges_.reserve(markets_.size());
+  for (const auto& m : markets_) {
+    market_price_gauges_.push_back(
+        obs_->registry.GetGauge("spot/price", {{"market", m.name}}));
+  }
+}
+
 InstanceId CloudProvider::Launch(const InstanceTypeSpec& type, PurchaseKind purchase,
                                  const SpotMarket* market, double bid,
                                  std::string tag) {
   if (fault_ != nullptr && fault_->ShouldFailLaunch(now_)) {
     fault_->CountLaunchFailure();
+    if (obs_ != nullptr) {
+      obs_->registry.GetCounter("provider/launch_failures")->Increment();
+      obs_->tracer.LaunchFailed(now_, ToString(purchase), tag);
+    }
     return kInvalidInstanceId;
   }
   auto inst = std::make_unique<Instance>();
@@ -88,6 +105,13 @@ InstanceId CloudProvider::Launch(const InstanceTypeSpec& type, PurchaseKind purc
     }
   }
   const InstanceId id = inst->id;
+  if (obs_ != nullptr) {
+    obs_->registry
+        .GetCounter("provider/launches",
+                    {{"kind", std::string(ToString(purchase))}})
+        ->Increment();
+    obs_->tracer.Launched(now_, id, ToString(purchase), type.name, inst->tag);
+  }
   instances_.emplace(id, std::move(inst));
   return id;
 }
@@ -104,8 +128,18 @@ InstanceId CloudProvider::LaunchBurstable(const InstanceTypeSpec& type,
 
 InstanceId CloudProvider::RequestSpot(const SpotMarket& market, double bid,
                                       std::string tag) {
-  if (market.trace.PriceAt(now_) > bid) {
+  const double price = market.trace.PriceAt(now_);
+  if (price > bid) {
+    if (obs_ != nullptr) {
+      obs_->registry
+          .GetCounter("spot/bid_rejections", {{"market", market.name}})
+          ->Increment();
+      obs_->tracer.BidRejected(now_, market.name, bid, price);
+    }
     return kInvalidInstanceId;  // immediate bid failure
+  }
+  if (obs_ != nullptr) {
+    obs_->tracer.BidPlaced(now_, market.name, bid, price);
   }
   return Launch(*market.type, PurchaseKind::kSpot, &market, bid, std::move(tag));
 }
@@ -205,6 +239,10 @@ void CloudProvider::ApplyScheduledFaults(SimTime prev, SimTime t,
         Bill(victim, ev.time, /*provider_revoked=*/true);
         events->push_back({ProviderEventKind::kRevoked, ev.time, victim.id});
         fault_->CountBackupLoss();
+        if (obs_ != nullptr) {
+          obs_->registry.GetCounter("provider/backup_losses")->Increment();
+          obs_->tracer.BackupLoss(ev.time, victim.id);
+        }
         break;
       }
       case FaultKind::kTokenExhaustion: {
@@ -220,6 +258,10 @@ void CloudProvider::ApplyScheduledFaults(SimTime prev, SimTime t,
             *instances_.at(targets[fault_->PickTarget(ev, targets.size())]);
         victim.burst->Drain(ev.time);
         fault_->CountTokenExhaustion();
+        if (obs_ != nullptr) {
+          obs_->registry.GetCounter("provider/token_exhaustions")->Increment();
+          obs_->tracer.TokenExhaustion(ev.time, victim.id, "fault_drain");
+        }
         break;
       }
       case FaultKind::kLaunchOutage:
@@ -275,13 +317,22 @@ std::vector<ProviderEvent> CloudProvider::AdvanceTo(SimTime t) {
           fault_->CountWarningSuppressed();
         } else if (warn_at <= t) {
           inst.warning_delivered = true;
-          if (warn_at != revoke_at - kRevocationWarningLead) {
+          const bool late = warn_at != revoke_at - kRevocationWarningLead;
+          if (late) {
             fault_->CountWarningDelayed();
           }
           // Storm revocations can be decided with under two minutes of
           // notice; the warning then arrives late, never before `prev`.
-          events.push_back({ProviderEventKind::kRevocationWarning,
-                            std::max({warn_at, inst.request_time, prev}), id});
+          const SimTime deliver_at =
+              std::max({warn_at, inst.request_time, prev});
+          events.push_back(
+              {ProviderEventKind::kRevocationWarning, deliver_at, id});
+          if (obs_ != nullptr) {
+            obs_->registry.GetCounter("spot/warnings")->Increment();
+            obs_->tracer.RevocationWarning(
+                deliver_at, id, inst.market != nullptr ? inst.market->name : "",
+                late);
+          }
         }
       }
       if (revoke_at <= t && inst.alive()) {
@@ -289,10 +340,21 @@ std::vector<ProviderEvent> CloudProvider::AdvanceTo(SimTime t) {
         inst.end_time = revoke_at;
         Bill(inst, revoke_at, /*provider_revoked=*/true);
         events.push_back({ProviderEventKind::kRevoked, revoke_at, id});
+        if (obs_ != nullptr) {
+          const std::string market_name =
+              inst.market != nullptr ? inst.market->name : "";
+          obs_->registry
+              .GetCounter("spot/revocations", {{"market", market_name}})
+              ->Increment();
+          obs_->tracer.Revocation(revoke_at, id, market_name);
+        }
       }
     }
   }
   now_ = t;
+  for (size_t m = 0; m < market_price_gauges_.size(); ++m) {
+    market_price_gauges_[m]->Set(markets_[m].trace.PriceAt(t));
+  }
   // Accrue complete instance-hours so the ledger tracks costs continuously.
   for (auto& [id, inst] : instances_) {
     if (inst->alive()) {

@@ -27,6 +27,7 @@
 #include "src/cloud/instance_types.h"
 #include "src/cloud/spot_market.h"
 #include "src/fault/fault_injector.h"
+#include "src/obs/obs.h"
 #include "src/util/rng.h"
 #include "src/util/time.h"
 
@@ -100,6 +101,11 @@ class CloudProvider {
   void AttachFaultInjector(FaultInjector* injector) { fault_ = injector; }
   FaultInjector* fault_injector() const { return fault_; }
 
+  /// Attaches observability (non-owning; null disables). Traces launches,
+  /// bids, warnings, revocations, and fault events; keeps per-market
+  /// spot-price gauges and launch / revocation counters current.
+  void AttachObs(Obs* obs);
+
   /// Total instances ever launched (diagnostics).
   size_t launched_count() const { return next_id_ - 1; }
 
@@ -139,6 +145,8 @@ class CloudProvider {
   std::unordered_map<InstanceId, std::unique_ptr<Instance>> instances_;
   BillingLedger ledger_;
   FaultInjector* fault_ = nullptr;
+  Obs* obs_ = nullptr;
+  std::vector<Gauge*> market_price_gauges_;  // parallel to markets_
   Duration boot_mean_ = Duration::Seconds(100);
   Duration boot_stddev_ = Duration::Seconds(15);
 };

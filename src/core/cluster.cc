@@ -33,6 +33,20 @@ Cluster::Cluster(CloudProvider* provider,
   holdings_.resize(options_->size());
 }
 
+void Cluster::AttachObs(Obs* obs) {
+  obs_ = obs;
+  if (obs == nullptr) {
+    launched_ = terminated_ = bid_rejected_ = launch_failed_ = nullptr;
+    backups_gauge_ = nullptr;
+    return;
+  }
+  launched_ = obs->registry.GetCounter("cluster/launched");
+  terminated_ = obs->registry.GetCounter("cluster/terminated");
+  bid_rejected_ = obs->registry.GetCounter("cluster/bid_rejections");
+  launch_failed_ = obs->registry.GetCounter("cluster/launch_failures");
+  backups_gauge_ = obs->registry.GetGauge("cluster/backups");
+}
+
 const InstanceTypeSpec& Cluster::BackupType() const {
   if (config_.backup_type != nullptr) {
     return *config_.backup_type;
@@ -144,6 +158,13 @@ Cluster::ApplyResult Cluster::Apply(const AllocationPlan& plan,
     backups_.push_back(id);
   }
   result.backup_count = static_cast<int>(backups_.size());
+  if (obs_ != nullptr) {
+    launched_->Increment(result.launched);
+    terminated_->Increment(result.terminated);
+    bid_rejected_->Increment(result.bid_rejected);
+    launch_failed_->Increment(result.launch_failed);
+    backups_gauge_->Set(static_cast<double>(result.backup_count));
+  }
   return result;
 }
 
@@ -187,7 +208,14 @@ double Cluster::BackupCopyMbps(SimTime from, Duration window, double demand_mbps
     if (b == nullptr || !b->alive() || b->burst == std::nullopt) {
       continue;
     }
-    total += b->burst->RunNetwork(from, from + window, per_backup);
+    const double got = b->burst->RunNetwork(from, from + window, per_backup);
+    if (obs_ != nullptr && got + 1e-9 < per_backup) {
+      // The backup's token bucket ran dry mid-copy: it delivered less than
+      // the warm-up stream demanded.
+      obs_->registry.GetCounter("cluster/token_exhaustions")->Increment();
+      obs_->tracer.TokenExhaustion(from, id, "warmup_copy");
+    }
+    total += got;
   }
   return total;
 }
@@ -256,7 +284,11 @@ void Cluster::HandleRevocation(const Instance& inst) {
       config_.latency_model.params().base_latency + config_.backup_hop_latency;
 
   // Replacement readiness (scenario A: ready before revocation; B: after).
+  // The paper's Fig 4 breakdown: "1a" = warned and the replacement is ready
+  // at revocation; "1b" = warned but the replacement is still booting;
+  // "2" = the revocation arrived with no (usable) warning.
   SimTime ready = now;
+  const char* warmup_case = "2";
   auto rit = replacement_for_.find(inst.id);
   if (rit != replacement_for_.end()) {
     const Instance* repl = provider_->Get(rit->second);
@@ -264,6 +296,7 @@ void Cluster::HandleRevocation(const Instance& inst) {
       ready = std::max(now, repl->ready_time);
       holdings_[option].push_back(rit->second);  // joins the pool post-warm-up
     }
+    warmup_case = ready > now ? "1b" : "1a";
   } else {
     // No warning was processed (missed warning, revocation at boot, or the
     // warning-time launch fell into an outage); launch now.
@@ -274,6 +307,10 @@ void Cluster::HandleRevocation(const Instance& inst) {
       // the retry horizon) and the next reconciliation re-provisions it.
       ++total_launch_failures_;
       ++failed_replacements_;
+      if (obs_ != nullptr) {
+        obs_->registry.GetCounter("cluster/replacement_failures")->Increment();
+        obs_->tracer.ReplacementFailed(now, inst.id);
+      }
       const bool backup_av = config_.use_backup && !backups_.empty();
       const SimTime until = now + config_.replacement_retry;
       if (hot_traffic > 0.0) {
@@ -307,6 +344,8 @@ void Cluster::HandleRevocation(const Instance& inst) {
 
   // Warm-up windows from `ready`.
   const double repl_net = inst.type->capacity.net_mbps * config_.copy_efficiency;
+  Duration w_hot;
+  Duration w_cold;
   if (backup_available && hot_gb > 0.0) {
     // Hot content warms from the backup at min(backup burst, replacement NIC).
     const Duration est_window =
@@ -315,23 +354,31 @@ void Cluster::HandleRevocation(const Instance& inst) {
         BackupCopyMbps(ready, est_window, repl_net / config_.copy_efficiency) *
         config_.copy_efficiency;
     const double rate = std::min(repl_net, backup_mbps > 0.0 ? backup_mbps : repl_net);
-    const Duration w_hot = Duration::FromSecondsF(CopySecondsFor(hot_gb, rate));
+    w_hot = Duration::FromSecondsF(CopySecondsFor(hot_gb, rate));
     if (hot_traffic > 0.0) {
       degradations_.push_back(
           {ready + w_hot, hot_traffic * kWarmupAverageFactor, backup_latency});
     }
   } else if (hot_gb > 0.0 && hot_traffic > 0.0) {
-    const Duration w_hot = Duration::FromSecondsF(
+    w_hot = Duration::FromSecondsF(
         CopySecondsFor(hot_gb, config_.backend_copy_mbps));
     degradations_.push_back(
         {ready + w_hot, hot_traffic * kWarmupAverageFactor, miss_latency});
   }
   if (cold_gb > 0.0 && cold_traffic > 0.0) {
     // Cold data is never backed up; it always refills from the back-end.
-    const Duration w_cold = Duration::FromSecondsF(
+    w_cold = Duration::FromSecondsF(
         CopySecondsFor(cold_gb, config_.backend_copy_mbps));
     degradations_.push_back(
         {ready + w_cold, cold_traffic * kWarmupAverageFactor, miss_latency});
+  }
+  if (obs_ != nullptr) {
+    obs_->registry.GetCounter("cluster/warmups", {{"case", warmup_case}})
+        ->Increment();
+    obs_->tracer.WarmupStart(now, inst.id, warmup_case, hot_gb, cold_gb, ready);
+    // Future-dated: the predicted end of the slower of the two copy streams.
+    obs_->tracer.WarmupEnd(ready + std::max(w_hot, w_cold), inst.id,
+                           warmup_case);
   }
 }
 

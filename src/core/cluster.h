@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/cloud/cloud_provider.h"
+#include "src/obs/obs.h"
 #include "src/opt/procurement.h"
 #include "src/sim/latency_model.h"
 #include "src/workload/zipf.h"
@@ -104,6 +105,11 @@ class Cluster {
   /// Terminates everything (end of experiment).
   void Shutdown();
 
+  /// Attaches observability (null detaches): Apply updates launch/terminate
+  /// counters and the backup-fleet gauge; HandleRevocation traces warm-up
+  /// windows with the paper's Fig 4 case labels (1a / 1b / 2).
+  void AttachObs(Obs* obs);
+
   /// Instance ids held per option (parallel to the option vector).
   const std::vector<std::vector<InstanceId>>& holdings() const {
     return holdings_;
@@ -143,6 +149,13 @@ class Cluster {
   int backup_losses_ = 0;
   int failed_replacements_ = 0;
   std::vector<size_t> step_revoked_options_;
+
+  Obs* obs_ = nullptr;
+  Counter* launched_ = nullptr;
+  Counter* terminated_ = nullptr;
+  Counter* bid_rejected_ = nullptr;
+  Counter* launch_failed_ = nullptr;
+  Gauge* backups_gauge_ = nullptr;
 };
 
 }  // namespace spotcache

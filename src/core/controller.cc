@@ -13,12 +13,34 @@ void GlobalController::ObserveSlot(double lambda, double working_set_gb) {
   ws_predictor_.Observe(working_set_gb);
 }
 
+void GlobalController::AttachObs(Obs* obs) {
+  obs_ = obs;
+  optimizer_.AttachObs(obs);
+  if (obs == nullptr) {
+    plan_hist_ = nullptr;
+    plans_ = nullptr;
+    cooldowns_ = nullptr;
+    return;
+  }
+  plan_hist_ = obs->registry.GetHistogram("controller/plan_ms");
+  plans_ = obs->registry.GetCounter("controller/plans");
+  cooldowns_ = obs->registry.GetCounter("controller/cooldowns");
+}
+
 void GlobalController::NoteRevocation(size_t option, SimTime now) {
   if (revocation_cooldown_ <= Duration::Micros(0)) {
     return;
   }
   SimTime& until = cooldown_until_[option];
   until = std::max(until, now + revocation_cooldown_);
+  if (obs_ != nullptr) {
+    cooldowns_->Increment();
+    obs_->tracer.MarketCooldown(
+        now, option < optimizer_.options().size()
+                 ? std::string_view(optimizer_.options()[option].label)
+                 : std::string_view("?"),
+        until);
+  }
 }
 
 bool GlobalController::InCooldown(size_t option, SimTime now) const {
@@ -80,6 +102,10 @@ SlotInputs GlobalController::BuildInputs(SimTime now, double lambda, double ws_g
 AllocationPlan GlobalController::Plan(SimTime now, double lambda, double ws_gb,
                                       const ZipfPopularity& popularity,
                                       const std::vector<int>& existing) const {
+  SPOTCACHE_TIMED(plan_hist_);
+  if (plans_ != nullptr) {
+    plans_->Increment();
+  }
   return optimizer_.Solve(BuildInputs(now, lambda, ws_gb, popularity, existing));
 }
 

@@ -62,6 +62,11 @@ class GlobalController {
                          const ZipfPopularity& popularity,
                          const std::vector<int>& existing) const;
 
+  /// Attaches observability (null detaches): Plan records wall-clock
+  /// `controller/plan_ms` and a plan counter, NoteRevocation traces market
+  /// cooldowns; the optimizer's solve timer is attached alongside.
+  void AttachObs(Obs* obs);
+
  private:
   ProcurementOptimizer optimizer_;
   std::unique_ptr<SpotFeaturePredictor> spot_predictor_;
@@ -69,6 +74,10 @@ class GlobalController {
   Ar2Predictor ws_predictor_;
   Duration revocation_cooldown_;  // zero = disabled
   std::unordered_map<size_t, SimTime> cooldown_until_;
+  Obs* obs_ = nullptr;
+  Histogram* plan_hist_ = nullptr;
+  Counter* plans_ = nullptr;
+  Counter* cooldowns_ = nullptr;
 };
 
 }  // namespace spotcache

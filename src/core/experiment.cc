@@ -107,6 +107,14 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   }
   CloudProvider provider(&catalog, std::move(markets), config.market_seed ^ 0x9e37);
 
+  // --- Observability: one bundle per run, threaded through every component.
+  std::unique_ptr<Obs> obs;
+  if (config.obs.enabled) {
+    obs = std::make_unique<Obs>();
+    obs->tracer.set_enabled(config.obs.trace);
+    provider.AttachObs(obs.get());
+  }
+
   // --- Fault layer: schedule is a pure function of (seed, scenario).
   FaultInjector injector(FaultPlan::Build(config.fault_seed, config.fault));
   if (!injector.plan().empty()) {
@@ -124,10 +132,12 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
       ProcurementOptimizer(options, config.cluster.latency_model, opt_config),
       MakePredictor(config.approach));
   controller.SetRevocationCooldown(config.revocation_cooldown);
+  controller.AttachObs(obs.get());
 
   ClusterConfig cluster_config = config.cluster;
   cluster_config.use_backup = traits.passive_backup;
   Cluster cluster(&provider, &controller.options(), cluster_config);
+  cluster.AttachObs(obs.get());
 
   // --- Workload.
   const WorkloadTrace trace = WorkloadTrace::GenerateDiurnal(
@@ -187,6 +197,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
 
     AllocationPlan plan;
     SlotContext context;
+    bool fallback = false;
     if (traits.static_peak) {
       plan = static_plan;
       context = static_context;
@@ -214,6 +225,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
           }
         }
         plan = controller.optimizer().Solve(inputs);
+        fallback = true;
       }
       const SlotInputs ctx_inputs = controller.BuildInputs(
           slot_start, lambda_hat, ws_hat, popularity, cluster.ExistingCounts());
@@ -224,6 +236,23 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
                  ctx_inputs.alpha_access_fraction,
                  opt_config.alpha,
                  config.workload.read_fraction};
+    }
+
+    if (obs != nullptr) {
+      // The decision record: what the controller chose for this slot (after
+      // any on-demand-only fallback), with the LP objective and the chosen
+      // per-option placement fractions.
+      int planned_instances = 0;
+      for (const auto& item : plan.items) {
+        planned_instances += item.count;
+      }
+      obs->tracer.Replan(slot_start, context.lambda, context.working_set_gb,
+                         plan.feasible, plan.lp_objective, planned_instances,
+                         fallback);
+      for (const auto& item : plan.items) {
+        obs->tracer.ReplanItem(slot_start, options[item.option].label,
+                               item.count, item.x, item.y);
+      }
     }
 
     const Cluster::ApplyResult applied = cluster.Apply(plan, context);
@@ -276,6 +305,29 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     slot_perf.cost_dollars = rec.cost;
     result.tracker.Record(slot_perf);
 
+    if (obs != nullptr) {
+      MetricsRegistry& reg = obs->registry;
+      reg.AddSample("slot/cost", slot_start, rec.cost);
+      reg.AddSample("slot/lambda", slot_start, lambda_act);
+      reg.AddSample("slot/affected_fraction", slot_start, affected);
+      reg.AddSample("slot/mean_latency_us", slot_start,
+                    rec.mean_latency.seconds() * 1e6);
+      reg.AddSample("slot/p95_latency_us", slot_start,
+                    rec.p95_latency.seconds() * 1e6);
+      int total_instances = 0;
+      for (const int c : rec.counts) {
+        total_instances += c;
+      }
+      reg.AddSample("slot/instances", slot_start,
+                    static_cast<double>(total_instances));
+      reg.AddSample("slot/backups", slot_start,
+                    static_cast<double>(rec.backups));
+      for (const auto& m : provider.markets()) {
+        reg.AddSample("spot/price", slot_start, m.trace.PriceAt(slot_start),
+                      {{"market", m.name}});
+      }
+    }
+
     controller.ObserveSlot(lambda_act, ws_act);
   }
 
@@ -294,6 +346,23 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   result.tracker.RecordFaults(result.faults);
   result.launch_failures = cluster.total_launch_failures();
   result.failed_replacements = cluster.failed_replacements();
+
+  if (obs != nullptr) {
+    // Publish the run summary (slo/* gauges + fault/* counters), then export.
+    result.tracker.PublishTo(&obs->registry);
+    result.trace_jsonl = ToJsonl(obs->tracer);
+    result.metrics_csv = ToCsvTimeSeries(obs->registry);
+    result.metrics_prometheus = ToPrometheusText(obs->registry);
+    if (!config.obs.jsonl_path.empty()) {
+      WriteStringToFile(config.obs.jsonl_path, result.trace_jsonl);
+    }
+    if (!config.obs.csv_path.empty()) {
+      WriteStringToFile(config.obs.csv_path, result.metrics_csv);
+    }
+    if (!config.obs.prometheus_path.empty()) {
+      WriteStringToFile(config.obs.prometheus_path, result.metrics_prometheus);
+    }
+  }
   return result;
 }
 

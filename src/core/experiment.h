@@ -13,6 +13,7 @@
 #include "src/core/cluster.h"
 #include "src/core/controller.h"
 #include "src/fault/fault_plan.h"
+#include "src/obs/obs.h"
 #include "src/sim/metrics.h"
 #include "src/workload/workload_spec.h"
 
@@ -63,6 +64,14 @@ struct ExperimentConfig {
   /// Market cooldown applied by the controller after each observed
   /// revocation (zero disables; see GlobalController::SetRevocationCooldown).
   Duration revocation_cooldown;
+  /// Observability: when enabled, the run carries a metrics registry and an
+  /// event tracer through every component, and the result holds the exported
+  /// JSONL / CSV / Prometheus artifacts (also written to the configured
+  /// paths). The JSONL and CSV exports contain only sim-time data, so two
+  /// runs of the same (config, seed) produce byte-identical streams; the
+  /// Prometheus snapshot additionally includes wall-clock timer histograms
+  /// and is expected to vary run-to-run.
+  ObsConfig obs;
 };
 
 struct SlotRecord {
@@ -94,6 +103,11 @@ struct ExperimentResult {
   FaultCounters faults;
   int64_t launch_failures = 0;     // cluster-observed failed launches
   int64_t failed_replacements = 0; // revocations left uncovered by a launch
+
+  /// Exported observability artifacts (empty when obs is disabled).
+  std::string trace_jsonl;
+  std::string metrics_csv;
+  std::string metrics_prometheus;
 
   /// Index of an option by label; npos when absent.
   size_t OptionIndex(std::string_view label) const;

@@ -43,6 +43,20 @@ RecoveryResult SimulateRecovery(const RecoveryConfig& config) {
   }
   const bool has_backup = config.backup_type != nullptr;
 
+  Obs* obs = config.obs;
+  if (obs != nullptr) {
+    obs->registry.GetCounter("recovery/runs")->Increment();
+    obs->tracer.Custom(
+        SimTime(), "recovery_start",
+        {{"data_gb", EventTracer::JsonNumber(config.data_gb)},
+         {"hot_gb", EventTracer::JsonNumber(config.hot_gb)},
+         {"backup",
+          EventTracer::JsonString(has_backup ? config.backup_type->name : "")},
+         {"replacement_delay_s",
+          EventTracer::JsonNumber(config.replacement_delay.seconds())}});
+  }
+  bool exhaustion_traced = false;
+
   // Warm-up frontiers, in popularity (MRU) order within each class. The hot
   // prefix streams from the backup; the cold suffix refills from the
   // (throttled) back-end in parallel. Without a backup everything refills
@@ -76,11 +90,20 @@ RecoveryResult SimulateRecovery(const RecoveryConfig& config) {
         t >= SimTime() + *config.backup_loss_at) {
       backup_alive = false;
       result.backup_lost = has_backup;
+      if (obs != nullptr && has_backup) {
+        obs->registry.GetCounter("recovery/backup_losses")->Increment();
+        obs->tracer.BackupLoss(t, 0);
+      }
     }
     if (config.token_drain_at.has_value() && !tokens_drained && backup_state &&
         t >= SimTime() + *config.token_drain_at) {
       backup_state->Drain(t);
       tokens_drained = true;
+      if (obs != nullptr && !exhaustion_traced) {
+        exhaustion_traced = true;
+        obs->registry.GetCounter("recovery/token_exhaustions")->Increment();
+        obs->tracer.TokenExhaustion(t, 0, "recovery");
+      }
     }
     const bool backup_ok = backup_warms && backup_alive;
 
@@ -275,8 +298,23 @@ RecoveryResult SimulateRecovery(const RecoveryConfig& config) {
       if (point.mean.seconds() <= 1.05 * config.target_mean.seconds()) {
         settled = true;
         result.warmup_time = (t + config.epoch) - SimTime();
+        if (obs != nullptr) {
+          obs->tracer.Custom(
+              t + config.epoch, "recovery_settled",
+              {{"warmup_s",
+                EventTracer::JsonNumber(result.warmup_time.seconds())}});
+        }
       }
     }
+    if (obs != nullptr && result.backup_tokens_exhausted && !exhaustion_traced) {
+      exhaustion_traced = true;
+      obs->registry.GetCounter("recovery/token_exhaustions")->Increment();
+      obs->tracer.TokenExhaustion(t, 0, "recovery");
+    }
+  }
+  if (obs != nullptr) {
+    obs->registry.GetHistogram("recovery/warmup_s")
+        ->Record(result.warmup_time.seconds());
   }
 
   if (!recovery_mixture.empty()) {

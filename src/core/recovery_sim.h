@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/cloud/instance_types.h"
+#include "src/obs/obs.h"
 #include "src/sim/latency_model.h"
 #include "src/util/time.h"
 
@@ -68,6 +69,11 @@ struct RecoveryConfig {
   /// Fault injection: force-drain the backup's token buckets at this offset
   /// (models the backup having burned its credits on unrelated work).
   std::optional<Duration> token_drain_at;
+
+  /// Observability (non-owning, may be null): traces recovery start/settle,
+  /// mid-recovery backup loss and token exhaustion, and records the settle
+  /// time on the `recovery/warmup_s` histogram.
+  Obs* obs = nullptr;
 
   Duration epoch = Duration::Seconds(1);
   Duration horizon = Duration::Minutes(30);

@@ -31,6 +31,12 @@ SpotCacheSystem::SpotCacheSystem(const Config& config)
   cluster_config.use_backup = traits.passive_backup;
   cluster_ = std::make_unique<Cluster>(&provider_, &controller_->options(),
                                        cluster_config);
+  if (config.obs != nullptr) {
+    provider_.AttachObs(config.obs);
+    controller_->AttachObs(config.obs);
+    cluster_->AttachObs(config.obs);
+    router_.AttachObs(config.obs);
+  }
 }
 
 void SpotCacheSystem::AdvanceSlot(double observed_lambda,
@@ -76,10 +82,11 @@ void SpotCacheSystem::SyncDataPlane() {
   const auto& holdings = cluster_->holdings();
   const AllocationPlan& plan = cluster_->plan();
 
-  // Drop nodes for instances that died.
+  // Drop nodes for instances that died (publishing their final counts).
   for (auto it = nodes_.begin(); it != nodes_.end();) {
     const Instance* inst = provider_.Get(it->first);
     if (inst == nullptr || !inst->alive()) {
+      it->second->FlushObs();
       router_.RemoveNode(it->first);
       it = nodes_.erase(it);
     } else {
@@ -101,13 +108,20 @@ void SpotCacheSystem::SyncDataPlane() {
         continue;
       }
       if (nodes_.find(id) == nodes_.end()) {
-        nodes_.emplace(id, std::make_unique<CacheNode>(
-                               id, inst->type->capacity.ram_gb *
-                                       config_.cluster.ram_usable_fraction,
-                               options[o].label));
+        auto node = std::make_unique<CacheNode>(
+            id,
+            inst->type->capacity.ram_gb * config_.cluster.ram_usable_fraction,
+            options[o].label);
+        node->AttachObs(config_.obs);
+        nodes_.emplace(id, std::move(node));
       }
       router_.UpsertNode(id, hot_w, cold_w);
     }
+  }
+
+  // Publish the slot's cache activity onto the shared fleet counters.
+  for (auto& [id, node] : nodes_) {
+    node->FlushObs();
   }
 
   // Map each spot-held node to a backup (round-robin over the backup fleet).

@@ -43,6 +43,9 @@ class SpotCacheSystem {
     uint64_t seed = 42;
     /// Length of the market traces to pre-generate.
     Duration market_horizon = Duration::Days(30);
+    /// Observability bundle (non-owning, may be null): attached to the
+    /// provider, controller, cluster, router, and every cache node.
+    Obs* obs = nullptr;
   };
 
   explicit SpotCacheSystem(const Config& config);

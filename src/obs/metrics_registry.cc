@@ -1,0 +1,59 @@
+#include "src/obs/metrics_registry.h"
+
+#include <algorithm>
+
+namespace spotcache {
+
+std::string MetricsRegistry::FullName(std::string_view name,
+                                      MetricLabels labels) {
+  std::string full(name);
+  if (labels.empty()) {
+    return full;
+  }
+  std::sort(labels.begin(), labels.end());
+  full += '{';
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) {
+      full += ',';
+    }
+    full += labels[i].first;
+    full += '=';
+    full += labels[i].second;
+  }
+  full += '}';
+  return full;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     MetricLabels labels) {
+  return &counters_[FullName(name, std::move(labels))];
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, MetricLabels labels) {
+  return &gauges_[FullName(name, std::move(labels))];
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         MetricLabels labels) {
+  return &histograms_[FullName(name, std::move(labels))];
+}
+
+void MetricsRegistry::AddSample(std::string_view name, SimTime t, double value,
+                                MetricLabels labels) {
+  series_[FullName(name, std::move(labels))].points.push_back(
+      {t.micros(), value});
+}
+
+int64_t MetricsRegistry::CounterValue(std::string_view name,
+                                      MetricLabels labels) const {
+  const auto it = counters_.find(FullName(name, std::move(labels)));
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+double MetricsRegistry::GaugeValue(std::string_view name,
+                                   MetricLabels labels) const {
+  const auto it = gauges_.find(FullName(name, std::move(labels)));
+  return it == gauges_.end() ? 0.0 : it->second.value();
+}
+
+}  // namespace spotcache

@@ -1,0 +1,37 @@
+// The observability bundle handed to control-loop components.
+//
+// One Obs instance per run holds the metrics registry and the event tracer;
+// components take a nullable `Obs*` (AttachObs) and resolve their counters /
+// histograms once at attach time. A null Obs means instrumentation is fully
+// disabled — hot paths pay a single pointer null check.
+
+#pragma once
+
+#include <string>
+
+#include "src/obs/exporters.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/scoped_timer.h"
+#include "src/obs/trace.h"
+
+namespace spotcache {
+
+/// Exporter selection, embeddable in experiment / CLI configs. Paths are
+/// written at the end of a run; empty paths skip the file write (the
+/// serialized artifacts are still returned in ExperimentResult).
+struct ObsConfig {
+  /// Master switch: when false no Obs is created at all.
+  bool enabled = false;
+  /// Record trace events (the registry is always on when enabled).
+  bool trace = true;
+  std::string jsonl_path;       // JSONL event stream
+  std::string csv_path;         // CSV sim-time series
+  std::string prometheus_path;  // Prometheus-style text snapshot
+};
+
+struct Obs {
+  MetricsRegistry registry;
+  EventTracer tracer;
+};
+
+}  // namespace spotcache

@@ -1,0 +1,50 @@
+// RAII scoped timers for profiling hot paths into registry histograms.
+//
+// Wall-clock timings go to the *registry* only, never to the event tracer:
+// the JSONL trace must stay bit-identical under deterministic replay, while
+// the registry snapshot is a profiling artifact of this particular run.
+//
+// Usage:
+//   Histogram* solve_ms_;  // resolved once at attach time; null = disabled
+//   ...
+//   SPOTCACHE_TIMED(solve_ms_);  // times the rest of the enclosing scope
+
+#pragma once
+
+#include <chrono>
+
+#include "src/obs/metrics_registry.h"
+
+namespace spotcache {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist) : hist_(hist) {
+    if (hist_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedTimer() {
+    if (hist_ != nullptr) {
+      const auto end = std::chrono::steady_clock::now();
+      hist_->Record(
+          std::chrono::duration<double, std::milli>(end - start_).count());
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#define SPOTCACHE_TIMED_CONCAT2(a, b) a##b
+#define SPOTCACHE_TIMED_CONCAT(a, b) SPOTCACHE_TIMED_CONCAT2(a, b)
+/// Times the rest of the enclosing scope into `hist` (a Histogram*, may be
+/// null, in which case the timer is a no-op and reads no clock).
+#define SPOTCACHE_TIMED(hist) \
+  ::spotcache::ScopedTimer SPOTCACHE_TIMED_CONCAT(spotcache_timed_, \
+                                                  __LINE__)(hist)
+
+}  // namespace spotcache

@@ -1,0 +1,202 @@
+#include "src/obs/trace.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace spotcache {
+
+std::string_view TraceEvent::Field(std::string_view key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) {
+      return v;
+    }
+  }
+  return {};
+}
+
+std::string EventTracer::JsonString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string EventTracer::JsonNumber(double v) {
+  if (!std::isfinite(v)) {
+    return "null";  // JSON has no inf/nan
+  }
+  // Shortest round-trip representation: deterministic and human-readable.
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+std::string EventTracer::JsonNumber(int64_t v) { return std::to_string(v); }
+
+void EventTracer::Push(SimTime t, std::string_view type,
+                       std::vector<std::pair<std::string, std::string>> fields) {
+  TraceEvent ev;
+  ev.time = t;
+  ev.type = std::string(type);
+  ev.fields = std::move(fields);
+  events_.push_back(std::move(ev));
+}
+
+void EventTracer::BidPlaced(SimTime t, std::string_view market, double bid,
+                            double price) {
+  if (!enabled_) return;
+  Push(t, "bid_placed",
+       {{"market", JsonString(market)},
+        {"bid", JsonNumber(bid)},
+        {"price", JsonNumber(price)}});
+}
+
+void EventTracer::BidRejected(SimTime t, std::string_view market, double bid,
+                              double price) {
+  if (!enabled_) return;
+  Push(t, "bid_rejected",
+       {{"market", JsonString(market)},
+        {"bid", JsonNumber(bid)},
+        {"price", JsonNumber(price)}});
+}
+
+void EventTracer::Launched(SimTime t, uint64_t instance, std::string_view kind,
+                           std::string_view type, std::string_view tag) {
+  if (!enabled_) return;
+  Push(t, "launch",
+       {{"instance", JsonNumber(static_cast<int64_t>(instance))},
+        {"kind", JsonString(kind)},
+        {"instance_type", JsonString(type)},
+        {"tag", JsonString(tag)}});
+}
+
+void EventTracer::LaunchFailed(SimTime t, std::string_view kind,
+                               std::string_view tag) {
+  if (!enabled_) return;
+  Push(t, "launch_failed",
+       {{"kind", JsonString(kind)}, {"tag", JsonString(tag)}});
+}
+
+void EventTracer::RevocationWarning(SimTime t, uint64_t instance,
+                                    std::string_view market, bool late) {
+  if (!enabled_) return;
+  Push(t, "revocation_warning",
+       {{"instance", JsonNumber(static_cast<int64_t>(instance))},
+        {"market", JsonString(market)},
+        {"late", late ? "true" : "false"}});
+}
+
+void EventTracer::Revocation(SimTime t, uint64_t instance,
+                             std::string_view market) {
+  if (!enabled_) return;
+  Push(t, "revocation",
+       {{"instance", JsonNumber(static_cast<int64_t>(instance))},
+        {"market", JsonString(market)}});
+}
+
+void EventTracer::BackupLoss(SimTime t, uint64_t instance) {
+  if (!enabled_) return;
+  Push(t, "backup_loss",
+       {{"instance", JsonNumber(static_cast<int64_t>(instance))}});
+}
+
+void EventTracer::TokenExhaustion(SimTime t, uint64_t instance,
+                                  std::string_view source) {
+  if (!enabled_) return;
+  Push(t, "token_exhaustion",
+       {{"instance", JsonNumber(static_cast<int64_t>(instance))},
+        {"source", JsonString(source)}});
+}
+
+void EventTracer::Replan(SimTime t, double lambda_hat, double ws_gb,
+                         bool feasible, double objective, int total_instances,
+                         bool fallback) {
+  if (!enabled_) return;
+  Push(t, "replan",
+       {{"lambda_hat", JsonNumber(lambda_hat)},
+        {"ws_gb", JsonNumber(ws_gb)},
+        {"feasible", feasible ? "true" : "false"},
+        {"objective", JsonNumber(objective)},
+        {"instances", JsonNumber(static_cast<int64_t>(total_instances))},
+        {"fallback", fallback ? "true" : "false"}});
+}
+
+void EventTracer::ReplanItem(SimTime t, std::string_view option, int count,
+                             double x, double y) {
+  if (!enabled_) return;
+  Push(t, "replan_item",
+       {{"option", JsonString(option)},
+        {"count", JsonNumber(static_cast<int64_t>(count))},
+        {"x", JsonNumber(x)},
+        {"y", JsonNumber(y)}});
+}
+
+void EventTracer::WarmupStart(SimTime t, uint64_t instance,
+                              std::string_view case_label, double hot_gb,
+                              double cold_gb, SimTime ready) {
+  if (!enabled_) return;
+  Push(t, "warmup_start",
+       {{"instance", JsonNumber(static_cast<int64_t>(instance))},
+        {"case", JsonString(case_label)},
+        {"hot_gb", JsonNumber(hot_gb)},
+        {"cold_gb", JsonNumber(cold_gb)},
+        {"ready_us", JsonNumber(ready.micros())}});
+}
+
+void EventTracer::WarmupEnd(SimTime t, uint64_t instance,
+                            std::string_view case_label) {
+  if (!enabled_) return;
+  Push(t, "warmup_end",
+       {{"instance", JsonNumber(static_cast<int64_t>(instance))},
+        {"case", JsonString(case_label)}});
+}
+
+void EventTracer::ReplacementFailed(SimTime t, uint64_t instance) {
+  if (!enabled_) return;
+  Push(t, "replacement_failed",
+       {{"instance", JsonNumber(static_cast<int64_t>(instance))}});
+}
+
+void EventTracer::MarketCooldown(SimTime t, std::string_view option,
+                                 SimTime until) {
+  if (!enabled_) return;
+  Push(t, "market_cooldown",
+       {{"option", JsonString(option)}, {"until_us", JsonNumber(until.micros())}});
+}
+
+void EventTracer::Custom(SimTime t, std::string_view type,
+                         std::vector<std::pair<std::string, std::string>> fields) {
+  if (!enabled_) return;
+  Push(t, type, std::move(fields));
+}
+
+}  // namespace spotcache

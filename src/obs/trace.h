@@ -1,0 +1,106 @@
+// Structured event tracer: typed simulation events keyed by SimTime.
+//
+// Every event is recorded with its sim-clock timestamp and a flat set of
+// (key, JSON-encoded value) fields, so the JSONL export of two runs with the
+// same (config, seed) is byte-identical — no wall-clock, no pointers, no
+// iteration-order dependence. Events are appended in program order; warm-up
+// completion events are future-dated (their `t_us` is the predicted end), so
+// a stream is not necessarily sorted by time.
+//
+// The typed recorders below cover the control-loop vocabulary: bids,
+// launches, revocation warnings/revocations, replan decisions (chosen x/y
+// fractions and LP objective), warm-up windows with the paper's Fig 4 case
+// labels (1a / 1b / 2), token-bucket exhaustion, and market cooldowns.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace spotcache {
+
+struct TraceEvent {
+  SimTime time;
+  std::string type;
+  /// (key, raw JSON value fragment) pairs, in emission order.
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  /// Convenience for tests/tools: the raw fragment for `key`, or "" if absent.
+  std::string_view Field(std::string_view key) const;
+};
+
+class EventTracer {
+ public:
+  void set_enabled(bool e) { enabled_ = e; }
+  bool enabled() const { return enabled_; }
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+  // --- Typed recorders (all no-ops when disabled). ---
+
+  /// A spot request whose bid cleared the current price.
+  void BidPlaced(SimTime t, std::string_view market, double bid, double price);
+  /// A spot request rejected outright (bid below the market price).
+  void BidRejected(SimTime t, std::string_view market, double bid,
+                   double price);
+  void Launched(SimTime t, uint64_t instance, std::string_view kind,
+                std::string_view type, std::string_view tag);
+  /// A launch rejected by an injected transient outage.
+  void LaunchFailed(SimTime t, std::string_view kind, std::string_view tag);
+  void RevocationWarning(SimTime t, uint64_t instance, std::string_view market,
+                         bool late);
+  void Revocation(SimTime t, uint64_t instance, std::string_view market);
+  /// A burstable backup killed by fault injection.
+  void BackupLoss(SimTime t, uint64_t instance);
+  /// A token bucket running dry; `source` says where ("fault_drain",
+  /// "warmup_copy", "recovery").
+  void TokenExhaustion(SimTime t, uint64_t instance, std::string_view source);
+
+  /// One replan decision: demand inputs, feasibility, the relaxed LP
+  /// objective, and whether the on-demand-only fallback had to be used.
+  /// Chosen per-option fractions follow as ReplanItem events at the same t.
+  void Replan(SimTime t, double lambda_hat, double ws_gb, bool feasible,
+              double objective, int total_instances, bool fallback);
+  /// One chosen (option, count, x, y) of the replan at time t.
+  void ReplanItem(SimTime t, std::string_view option, int count, double x,
+                  double y);
+
+  /// Warm-up window opened for a revoked instance. `case_label` is the
+  /// paper's Fig 4 breakdown: "1a" (warned, replacement ready at revocation),
+  /// "1b" (warned, replacement still booting), "2" (no warning).
+  void WarmupStart(SimTime t, uint64_t instance, std::string_view case_label,
+                   double hot_gb, double cold_gb, SimTime ready);
+  /// Predicted end of that warm-up (future-dated at emission).
+  void WarmupEnd(SimTime t, uint64_t instance, std::string_view case_label);
+  /// Replacement launch failed inside an outage: shard stays degraded.
+  void ReplacementFailed(SimTime t, uint64_t instance);
+
+  /// Controller put a market option in post-revocation cooldown.
+  void MarketCooldown(SimTime t, std::string_view option, SimTime until);
+
+  /// Escape hatch for events outside the fixed vocabulary. `fields` values
+  /// must already be JSON fragments (use JsonString / JsonNumber).
+  void Custom(SimTime t, std::string_view type,
+              std::vector<std::pair<std::string, std::string>> fields);
+
+  // --- JSON fragment helpers (shared with the exporters). ---
+  static std::string JsonString(std::string_view s);
+  static std::string JsonNumber(double v);
+  static std::string JsonNumber(int64_t v);
+
+ private:
+  void Push(SimTime t, std::string_view type,
+            std::vector<std::pair<std::string, std::string>> fields);
+
+  bool enabled_ = true;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace spotcache

@@ -25,7 +25,23 @@ double ProcurementOptimizer::UsableRamGb(size_t option) const {
   return options_[option].type->capacity.ram_gb * config_.ram_usable_fraction;
 }
 
+void ProcurementOptimizer::AttachObs(Obs* obs) {
+  if (obs == nullptr) {
+    solve_hist_ = nullptr;
+    solves_ = nullptr;
+    infeasible_ = nullptr;
+    return;
+  }
+  solve_hist_ = obs->registry.GetHistogram("optimizer/solve_ms");
+  solves_ = obs->registry.GetCounter("optimizer/solves");
+  infeasible_ = obs->registry.GetCounter("optimizer/infeasible_solves");
+}
+
 AllocationPlan ProcurementOptimizer::Solve(const SlotInputs& inputs) const {
+  SPOTCACHE_TIMED(solve_hist_);
+  if (solves_ != nullptr) {
+    solves_->Increment();
+  }
   AllocationPlan plan;
   const size_t n_opts = options_.size();
   if (inputs.spot_predictions.size() != n_opts ||
@@ -94,6 +110,9 @@ AllocationPlan ProcurementOptimizer::Solve(const SlotInputs& inputs) const {
     usable.push_back(u);
   }
   if (usable.empty()) {
+    if (infeasible_ != nullptr) {
+      infeasible_->Increment();
+    }
     return plan;
   }
 
@@ -151,6 +170,9 @@ AllocationPlan ProcurementOptimizer::Solve(const SlotInputs& inputs) const {
 
   const LinearProgram::Solution sol = lp.Solve();
   if (!sol.feasible) {
+    if (infeasible_ != nullptr) {
+      infeasible_->Increment();
+    }
     return plan;
   }
 

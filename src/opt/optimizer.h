@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "src/obs/obs.h"
 #include "src/opt/procurement.h"
 #include "src/predict/spot_predictor.h"
 #include "src/sim/latency_model.h"
@@ -88,10 +89,17 @@ class ProcurementOptimizer {
   /// Usable cache GB per instance of an option.
   double UsableRamGb(size_t option) const;
 
+  /// Attaches observability: Solve records wall-clock `optimizer/solve_ms`
+  /// and counts solves / infeasible solves. Null detaches.
+  void AttachObs(Obs* obs);
+
  private:
   std::vector<ProcurementOption> options_;
   LatencyModel latency_model_;
   OptimizerConfig config_;
+  Histogram* solve_hist_ = nullptr;
+  Counter* solves_ = nullptr;
+  Counter* infeasible_ = nullptr;
 };
 
 }  // namespace spotcache

@@ -33,10 +33,28 @@ std::vector<uint64_t> Router::NodeIds() const {
   return ids;
 }
 
+void Router::AttachObs(Obs* obs) {
+  if (obs == nullptr) {
+    hot_routes_ = cold_routes_ = route_misses_ = nullptr;
+    return;
+  }
+  hot_routes_ = obs->registry.GetCounter("router/routes", {{"pool", "hot"}});
+  cold_routes_ = obs->registry.GetCounter("router/routes", {{"pool", "cold"}});
+  route_misses_ = obs->registry.GetCounter("router/route_misses");
+}
+
 std::optional<uint64_t> Router::Route(KeyId key, bool is_hot) const {
   const uint64_t salt = is_hot ? kHotSalt : kColdSalt;
   const uint64_t h = HashCombine(HashU64(key), salt);
-  return is_hot ? hot_ring_.NodeFor(h) : cold_ring_.NodeFor(h);
+  const std::optional<uint64_t> node =
+      is_hot ? hot_ring_.NodeFor(h) : cold_ring_.NodeFor(h);
+  if (Counter* c = is_hot ? hot_routes_ : cold_routes_; c != nullptr) {
+    c->Increment();
+    if (!node.has_value()) {
+      route_misses_->Increment();
+    }
+  }
+  return node;
 }
 
 void Router::SetBackup(uint64_t primary, uint64_t backup) {

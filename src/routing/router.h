@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/cache/cache_protocol.h"
+#include "src/obs/obs.h"
 #include "src/routing/consistent_hash.h"
 #include "src/routing/hash.h"
 
@@ -35,6 +36,10 @@ class Router {
 
   /// Routes a key in its popularity pool; nullopt if the pool is empty.
   std::optional<uint64_t> Route(KeyId key, bool is_hot) const;
+
+  /// Attaches observability (null detaches). Counters are resolved once
+  /// here so the per-request Route() cost is a null check + increment.
+  void AttachObs(Obs* obs);
 
   /// Registers `backup` as the passive backup of `primary`.
   void SetBackup(uint64_t primary, uint64_t backup);
@@ -65,6 +70,9 @@ class Router {
   ConsistentHashRing cold_ring_;
   std::unordered_map<uint64_t, Weights> weights_;
   std::unordered_map<uint64_t, uint64_t> backup_of_;  // primary -> backup
+  Counter* hot_routes_ = nullptr;
+  Counter* cold_routes_ = nullptr;
+  Counter* route_misses_ = nullptr;
 };
 
 }  // namespace spotcache

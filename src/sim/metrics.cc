@@ -119,14 +119,54 @@ double SloTracker::TotalCost() const {
   return c;
 }
 
-std::string ToString(const FaultCounters& c) {
+void SloTracker::PublishTo(MetricsRegistry* registry) const {
+  if (registry == nullptr) {
+    return;
+  }
+  registry->GetGauge("slo/mean_latency_us")->Set(MeanLatency().seconds() * 1e6);
+  registry->GetGauge("slo/weighted_p95_us")->Set(WeightedP95().seconds() * 1e6);
+  registry->GetGauge("slo/worst_p95_us")->Set(MaxP95().seconds() * 1e6);
+  registry->GetGauge("slo/days_violated_fraction")->Set(DaysViolatedFraction());
+  registry->GetGauge("slo/affected_request_fraction")
+      ->Set(AffectedRequestFraction());
+  registry->GetGauge("slo/total_cost_dollars")->Set(TotalCost());
+  PublishFaults(faults_, registry);
+}
+
+namespace {
+// Registry names, in the order the one-line rendering reports them.
+constexpr std::pair<const char*, const char*> kFaultMetrics[] = {
+    {"fault/storm_revocations", "storm_revocations"},
+    {"fault/warnings_suppressed", "warnings_suppressed"},
+    {"fault/warnings_delayed", "warnings_delayed"},
+    {"fault/backup_losses", "backup_losses"},
+    {"fault/token_exhaustions", "token_exhaustions"},
+    {"fault/launch_failures", "launch_failures"},
+};
+}  // namespace
+
+void PublishFaults(const FaultCounters& c, MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    return;
+  }
+  registry->GetCounter("fault/storm_revocations")->Set(c.storm_revocations);
+  registry->GetCounter("fault/warnings_suppressed")->Set(c.warnings_suppressed);
+  registry->GetCounter("fault/warnings_delayed")->Set(c.warnings_delayed);
+  registry->GetCounter("fault/backup_losses")->Set(c.backup_losses);
+  registry->GetCounter("fault/token_exhaustions")->Set(c.token_exhaustions);
+  registry->GetCounter("fault/launch_failures")->Set(c.launch_failures);
+}
+
+std::string RenderFaultCounters(const MetricsRegistry& registry) {
   std::string out;
-  out += "storm_revocations=" + std::to_string(c.storm_revocations);
-  out += " warnings_suppressed=" + std::to_string(c.warnings_suppressed);
-  out += " warnings_delayed=" + std::to_string(c.warnings_delayed);
-  out += " backup_losses=" + std::to_string(c.backup_losses);
-  out += " token_exhaustions=" + std::to_string(c.token_exhaustions);
-  out += " launch_failures=" + std::to_string(c.launch_failures);
+  for (const auto& [metric, label] : kFaultMetrics) {
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += label;
+    out += '=';
+    out += std::to_string(registry.CounterValue(metric));
+  }
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/fault/fault_injector.h"
+#include "src/obs/metrics_registry.h"
 #include "src/util/stats.h"
 #include "src/util/time.h"
 
@@ -73,12 +74,23 @@ class SloTracker {
   void RecordFaults(const FaultCounters& counters) { faults_ = counters; }
   const FaultCounters& faults() const { return faults_; }
 
+  /// Publishes the run summary onto `registry`: slo/* gauges (request-weighted
+  /// mean and p95, violation-day fraction, affected fraction, total cost) and
+  /// the fault/* counters — one pipeline for SLOs, faults, and costs.
+  void PublishTo(MetricsRegistry* registry) const;
+
  private:
   std::vector<SlotPerf> slots_;
   FaultCounters faults_;
 };
 
-/// One-line human-readable rendering of the per-fault counters.
-std::string ToString(const FaultCounters& c);
+/// Registers the per-fault counters on `registry` as fault/<name> counters.
+/// This is the single source for fault reporting: bench_fault_storm and
+/// ExperimentResult both render from the registry.
+void PublishFaults(const FaultCounters& c, MetricsRegistry* registry);
+
+/// One-line human-readable rendering of the registry's fault/* counters
+/// ("storm_revocations=N warnings_suppressed=N ...").
+std::string RenderFaultCounters(const MetricsRegistry& registry);
 
 }  // namespace spotcache

@@ -44,9 +44,23 @@ class LineLogger {
   std::ostringstream stream_;
 };
 
+// Lets a LineLogger chain terminate a void ternary branch; `&` binds looser
+// than `<<`, so the whole streamed expression is swallowed in one go.
+struct Voidify {
+  void operator&(const LineLogger&) {}
+};
+
 }  // namespace log_internal
 
-#define SPOTCACHE_LOG(level) \
-  ::spotcache::log_internal::LineLogger(::spotcache::LogLevel::level)
+// Short-circuits on the level check *before* constructing the LineLogger, so
+// filtered-out statements never build the ostringstream or format operands —
+// a disabled log on a hot path costs one atomic load and a branch.
+#define SPOTCACHE_LOG(level)                                      \
+  (static_cast<int>(::spotcache::LogLevel::level) <               \
+   static_cast<int>(::spotcache::GetLogLevel()))                  \
+      ? (void)0                                                   \
+      : ::spotcache::log_internal::Voidify() &                    \
+            ::spotcache::log_internal::LineLogger(                \
+                ::spotcache::LogLevel::level)
 
 }  // namespace spotcache

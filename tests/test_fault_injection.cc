@@ -402,7 +402,13 @@ TEST(FaultScenario, CombinedScenarioSurvivesEverythingAtOnce) {
 
   EXPECT_GT(r.faults.total(), 0);
   ExpectGraceful(r);
-  EXPECT_EQ(ToString(r.faults).find("storm_revocations="), 0u);
+  // Fault reporting goes through the metrics registry (single source for
+  // benches and ExperimentResult alike).
+  MetricsRegistry registry;
+  PublishFaults(r.faults, &registry);
+  EXPECT_EQ(RenderFaultCounters(registry).find("storm_revocations="), 0u);
+  EXPECT_EQ(registry.CounterValue("fault/storm_revocations"),
+            r.faults.storm_revocations);
 }
 
 }  // namespace

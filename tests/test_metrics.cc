@@ -101,5 +101,113 @@ TEST(SloTracker, EmptyTrackerSafeDefaults) {
   EXPECT_EQ(t.WeightedP95().micros(), 0);
 }
 
+TEST(MetricsRegistry, FullNameCanonicalizesLabelOrder) {
+  EXPECT_EQ(MetricsRegistry::FullName("spot/price", {}), "spot/price");
+  EXPECT_EQ(MetricsRegistry::FullName("spot/price", {{"market", "a"}}),
+            "spot/price{market=a}");
+  // Labels given in any order produce the same canonical name.
+  EXPECT_EQ(
+      MetricsRegistry::FullName("r", {{"b", "2"}, {"a", "1"}}),
+      MetricsRegistry::FullName("r", {{"a", "1"}, {"b", "2"}}));
+}
+
+TEST(MetricsRegistry, GetReturnsStablePointers) {
+  MetricsRegistry r;
+  Counter* c = r.GetCounter("x/count");
+  c->Increment();
+  // Inserting many more metrics must not invalidate the first pointer.
+  for (int i = 0; i < 100; ++i) {
+    r.GetCounter("x/other", {{"i", std::to_string(i)}})->Increment();
+  }
+  EXPECT_EQ(c, r.GetCounter("x/count"));
+  c->Increment(4);
+  EXPECT_EQ(r.CounterValue("x/count"), 5);
+}
+
+TEST(MetricsRegistry, LabeledMetricsAreDistinct) {
+  MetricsRegistry r;
+  r.GetCounter("spot/revocations", {{"market", "a"}})->Increment(2);
+  r.GetCounter("spot/revocations", {{"market", "b"}})->Increment(3);
+  EXPECT_EQ(r.CounterValue("spot/revocations", {{"market", "a"}}), 2);
+  EXPECT_EQ(r.CounterValue("spot/revocations", {{"market", "b"}}), 3);
+  EXPECT_EQ(r.CounterValue("spot/revocations"), 0);  // unlabeled: never set
+}
+
+TEST(MetricsRegistry, GaugeAndHistogram) {
+  MetricsRegistry r;
+  Gauge* g = r.GetGauge("cluster/backups");
+  g->Set(3.0);
+  g->Add(-1.0);
+  EXPECT_DOUBLE_EQ(r.GaugeValue("cluster/backups"), 2.0);
+  EXPECT_DOUBLE_EQ(r.GaugeValue("cluster/never_registered"), 0.0);
+
+  Histogram* h = r.GetHistogram("optimizer/solve_ms");
+  h->Record(1.0);
+  h->Record(2.0);
+  h->Record(4.0);
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_NEAR(h->mean(), 7.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(h->max_recorded(), 4.0);
+  // Log-bucketed quantiles are approximate (~5 % relative error).
+  EXPECT_NEAR(h->Quantile(0.5), 2.0, 0.2);
+}
+
+TEST(MetricsRegistry, SeriesAppendInOrder) {
+  MetricsRegistry r;
+  r.AddSample("slot/cost", SimTime::FromSeconds(1), 1.5);
+  r.AddSample("slot/cost", SimTime::FromSeconds(2), 2.5);
+  const auto& series = r.series();
+  ASSERT_EQ(series.count("slot/cost"), 1u);
+  const auto& points = series.at("slot/cost").points;
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].t_us, 1'000'000);
+  EXPECT_DOUBLE_EQ(points[1].value, 2.5);
+}
+
+TEST(FaultPublishing, RegistryRoundTrip) {
+  FaultCounters c;
+  c.storm_revocations = 3;
+  c.warnings_suppressed = 1;
+  c.token_exhaustions = 7;
+  MetricsRegistry r;
+  PublishFaults(c, &r);
+  EXPECT_EQ(r.CounterValue("fault/storm_revocations"), 3);
+  EXPECT_EQ(r.CounterValue("fault/warnings_suppressed"), 1);
+  EXPECT_EQ(r.CounterValue("fault/backup_losses"), 0);
+  EXPECT_EQ(r.CounterValue("fault/token_exhaustions"), 7);
+  EXPECT_EQ(RenderFaultCounters(r),
+            "storm_revocations=3 warnings_suppressed=1 warnings_delayed=0 "
+            "backup_losses=0 token_exhaustions=7 launch_failures=0");
+}
+
+TEST(FaultPublishing, PublishIsIdempotentViaSet) {
+  FaultCounters c;
+  c.backup_losses = 2;
+  MetricsRegistry r;
+  PublishFaults(c, &r);
+  PublishFaults(c, &r);  // Set semantics: re-publishing must not double.
+  EXPECT_EQ(r.CounterValue("fault/backup_losses"), 2);
+}
+
+TEST(SloTracker, PublishToRegistry) {
+  SloTracker t;
+  SlotPerf s = MakeSlot(0, 100.0, 0.5, 250, 400);
+  s.cost_dollars = 3.0;
+  t.Record(s);
+  FaultCounters c;
+  c.launch_failures = 4;
+  t.RecordFaults(c);
+
+  MetricsRegistry r;
+  t.PublishTo(&r);
+  EXPECT_NEAR(r.GaugeValue("slo/mean_latency_us"), 250.0, 1e-6);
+  EXPECT_NEAR(r.GaugeValue("slo/worst_p95_us"), 400.0, 1e-6);
+  EXPECT_DOUBLE_EQ(r.GaugeValue("slo/days_violated_fraction"), 1.0);
+  EXPECT_DOUBLE_EQ(r.GaugeValue("slo/affected_request_fraction"), 0.5);
+  EXPECT_DOUBLE_EQ(r.GaugeValue("slo/total_cost_dollars"), 3.0);
+  EXPECT_EQ(r.CounterValue("fault/launch_failures"), 4);
+  t.PublishTo(nullptr);  // null registry is a no-op, not a crash
+}
+
 }  // namespace
 }  // namespace spotcache
