@@ -6,8 +6,10 @@
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "src/cloud/spot_price_model.h"
+#include "src/exec/thread_pool.h"
 #include "src/opt/multiclass.h"
 #include "src/util/table.h"
 
@@ -33,10 +35,14 @@ int main() {
       {"6 classes (@40/60/75/85/93%)", {0.4, 0.6, 0.75, 0.85, 0.93}},
   };
 
-  for (double zipf : {0.8, 1.0, 1.4}) {
-    const ZipfPopularity popularity(15'000'000, zipf);
-    TextTable table("Zipf " + TextTable::Num(zipf, 1));
-    table.SetHeader({"classes", "LP $/slot", "vs 2-class", "od data", "insts"});
+  // Each Zipf setting is independent (its own popularity model, predictor,
+  // and LP solves); fan the three out over the exec thread pool and print
+  // the finished tables in order.
+  const std::vector<double> zipfs = {0.8, 1.0, 1.4};
+  std::vector<std::vector<std::vector<std::string>>> rows(zipfs.size());
+  ThreadPool pool(DefaultThreadCount());
+  ParallelFor(pool, zipfs.size(), [&](size_t z) {
+    const ZipfPopularity popularity(15'000'000, zipfs[z]);
     double base_obj = 0.0;
     for (const auto& variant : variants) {
       MultiClassInputs in;
@@ -59,16 +65,23 @@ int main() {
                                    MultiClassOptimizer::Config{});
       const MultiClassPlan plan = mc.Solve(in);
       if (!plan.feasible) {
-        table.AddRow({variant.label, "infeasible", "-", "-", "-"});
+        rows[z].push_back({variant.label, "infeasible", "-", "-", "-"});
         continue;
       }
       if (base_obj == 0.0) {
         base_obj = plan.lp_objective;
       }
-      table.AddRow({variant.label, TextTable::Num(plan.lp_objective, 4),
-                    TextTable::Pct(plan.lp_objective / base_obj - 1.0),
-                    TextTable::Pct(plan.OnDemandDataFraction(options)),
-                    std::to_string(plan.TotalInstances())});
+      rows[z].push_back({variant.label, TextTable::Num(plan.lp_objective, 4),
+                         TextTable::Pct(plan.lp_objective / base_obj - 1.0),
+                         TextTable::Pct(plan.OnDemandDataFraction(options)),
+                         std::to_string(plan.TotalInstances())});
+    }
+  });
+  for (size_t z = 0; z < zipfs.size(); ++z) {
+    TextTable table("Zipf " + TextTable::Num(zipfs[z], 1));
+    table.SetHeader({"classes", "LP $/slot", "vs 2-class", "od data", "insts"});
+    for (const auto& row : rows[z]) {
+      table.AddRow(row);
     }
     table.Print(std::cout);
     std::printf("\n");

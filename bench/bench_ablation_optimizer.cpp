@@ -8,22 +8,16 @@
 
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "src/core/experiment.h"
+#include "src/exec/experiment_grid.h"
 #include "src/util/table.h"
 
 using namespace spotcache;
 
 namespace {
-
-ExperimentResult RunWith(const OptimizerConfig& opt, Approach approach,
-                         int days) {
-  ExperimentConfig cfg;
-  cfg.workload = PrototypeWorkload(days);
-  cfg.approach = approach;
-  cfg.optimizer = opt;
-  return RunExperiment(cfg);
-}
 
 void AddRow(TextTable& table, const std::string& label,
             const ExperimentResult& r, double baseline_cost) {
@@ -40,38 +34,70 @@ int main(int argc, char** argv) {
   std::printf("Ablation: optimizer knobs (%d-day runs, 320 kops / 60 GB)\n\n",
               days);
 
-  OptimizerConfig base;
-  const double od_only =
-      RunWith(base, Approach::kOdOnly, days).total_cost;
+  // Every sweep point is an independent run: build the whole cell list first
+  // (with its display label), fan it out over the experiment grid, then
+  // assemble the tables from the result vector in cell order.
+  const OptimizerConfig base;
+  std::vector<std::string> labels;
+  std::vector<ExperimentConfig> cells;
+  const auto add = [&](const std::string& label, const OptimizerConfig& opt,
+                       Approach approach) {
+    ExperimentConfig cfg;
+    cfg.workload = PrototypeWorkload(days);
+    cfg.approach = approach;
+    cfg.optimizer = opt;
+    labels.push_back(label);
+    cells.push_back(cfg);
+    return cells.size() - 1;
+  };
+
+  add("ODOnly baseline", base, Approach::kOdOnly);
+  add("mixing, zeta=0.10 (default)", base, Approach::kPropNoBackup);
+  {
+    OptimizerConfig z = base;
+    z.zeta = 0.0;
+    add("mixing, zeta=0 (no OD floor)", z, Approach::kPropNoBackup);
+    z.zeta = 0.30;
+    add("mixing, zeta=0.30", z, Approach::kPropNoBackup);
+  }
+  add("separation (OD+Spot_Sep)", base, Approach::kOdSpotSep);
+  const size_t beta_begin = cells.size();
+  for (double scale : {0.0, 0.25, 1.0, 4.0}) {
+    OptimizerConfig p = base;
+    p.beta1 = base.beta1 * scale;
+    p.beta2 = base.beta2 * scale;
+    char label[64];
+    std::snprintf(label, sizeof(label), "beta x%.2g%s", scale,
+                  scale == 1.0 ? " (default)" : "");
+    add(label, p, Approach::kPropNoBackup);
+  }
+  const size_t eta_begin = cells.size();
+  for (double eta : {0.0, 0.01, 0.05, 0.2}) {
+    OptimizerConfig p = base;
+    p.eta = eta;
+    char label[64];
+    std::snprintf(label, sizeof(label), "eta=%.2f%s", eta,
+                  eta == 0.01 ? " (default)" : "");
+    add(label, p, Approach::kPropNoBackup);
+  }
+
+  const std::vector<ExperimentResult> results = RunExperimentGrid(cells);
+  const double od_only = results[0].total_cost;
 
   {
     TextTable t("(a) placement policy and availability floor");
     t.SetHeader({"setting", "cost ($)", "norm", "revocations", "viol. days"});
-    AddRow(t, "mixing, zeta=0.10 (default)",
-           RunWith(base, Approach::kPropNoBackup, days), od_only);
-    OptimizerConfig z = base;
-    z.zeta = 0.0;
-    AddRow(t, "mixing, zeta=0 (no OD floor)",
-           RunWith(z, Approach::kPropNoBackup, days), od_only);
-    z.zeta = 0.30;
-    AddRow(t, "mixing, zeta=0.30", RunWith(z, Approach::kPropNoBackup, days),
-           od_only);
-    AddRow(t, "separation (OD+Spot_Sep)",
-           RunWith(base, Approach::kOdSpotSep, days), od_only);
+    for (size_t i = 1; i < beta_begin; ++i) {
+      AddRow(t, labels[i], results[i], od_only);
+    }
     t.Print(std::cout);
     std::printf("\n");
   }
   {
     TextTable t("(b) bid-failure penalties beta1/beta2");
     t.SetHeader({"setting", "cost ($)", "norm", "revocations", "viol. days"});
-    for (double scale : {0.0, 0.25, 1.0, 4.0}) {
-      OptimizerConfig p = base;
-      p.beta1 = base.beta1 * scale;
-      p.beta2 = base.beta2 * scale;
-      char label[64];
-      std::snprintf(label, sizeof(label), "beta x%.2g%s", scale,
-                    scale == 1.0 ? " (default)" : "");
-      AddRow(t, label, RunWith(p, Approach::kPropNoBackup, days), od_only);
+    for (size_t i = beta_begin; i < eta_begin; ++i) {
+      AddRow(t, labels[i], results[i], od_only);
     }
     t.Print(std::cout);
     std::printf("\n");
@@ -79,13 +105,8 @@ int main(int argc, char** argv) {
   {
     TextTable t("(c) deallocation damping eta");
     t.SetHeader({"setting", "cost ($)", "norm", "revocations", "viol. days"});
-    for (double eta : {0.0, 0.01, 0.05, 0.2}) {
-      OptimizerConfig p = base;
-      p.eta = eta;
-      char label[64];
-      std::snprintf(label, sizeof(label), "eta=%.2f%s", eta,
-                    eta == 0.01 ? " (default)" : "");
-      AddRow(t, label, RunWith(p, Approach::kPropNoBackup, days), od_only);
+    for (size_t i = eta_begin; i < cells.size(); ++i) {
+      AddRow(t, labels[i], results[i], od_only);
     }
     t.Print(std::cout);
   }

@@ -5,72 +5,113 @@
 // length, reporting the over-estimation rate f and the usable-prediction
 // fraction. Shows the conservativeness/utilization trade-off behind the
 // paper's choices.
+//
+// Every (setting, market) assessment is independent, so they fan out over
+// the exec thread pool; each task owns its predictor (the incremental
+// predictor keeps per-instance state), and partial sums land in a
+// per-pair vector that is reduced in deterministic order afterwards.
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "src/cloud/spot_price_model.h"
+#include "src/exec/thread_pool.h"
 #include "src/predict/spot_predictor.h"
 #include "src/util/table.h"
 
 using namespace spotcache;
 
+namespace {
+
+struct Partial {
+  double f = 0.0;
+  double xi = 0.0;
+  double life_sum = 0.0;
+  int life_n = 0;
+};
+
+}  // namespace
+
 int main() {
   const InstanceCatalog catalog = InstanceCatalog::Default();
   const auto markets = MakeEvaluationMarkets(catalog, Duration::Days(90), 7);
+  ThreadPool pool(DefaultThreadCount());
 
   std::printf("Ablation: lifetime predictor percentile and window\n\n");
 
-  TextTable pct("(a) L(b) percentile, 7-day window, bid = d, all markets");
-  pct.SetHeader({"percentile", "mean f(b)", "mean xi(b)", "mean L-hat (h)"});
-  for (double percentile : {0.01, 0.05, 0.10, 0.25, 0.50}) {
-    double f_sum = 0.0, xi_sum = 0.0, life_sum = 0.0;
-    int n = 0, life_n = 0;
-    for (const auto& m : markets) {
-      LifetimePredictor::Config cfg;
-      cfg.lifetime_percentile = percentile;
-      const LifetimePredictor predictor(cfg);
-      const PredictorAssessment a =
-          AssessPredictor(predictor, m.trace, m.od_price(),
-                          SimTime() + Duration::Days(7), m.trace.end(),
-                          Duration::Hours(1));
-      f_sum += a.overestimation_rate;
-      xi_sum += a.price_rel_deviation;
-      ++n;
-      for (int day = 7; day < 90; day += 3) {
-        const SpotPrediction p = predictor.Predict(
-            m.trace, SimTime() + Duration::Days(day), m.od_price());
-        if (p.usable) {
-          life_sum += p.lifetime.hours();
-          ++life_n;
-        }
+  const std::vector<double> percentiles = {0.01, 0.05, 0.10, 0.25, 0.50};
+  std::vector<Partial> pct_parts(percentiles.size() * markets.size());
+  ParallelFor(pool, pct_parts.size(), [&](size_t idx) {
+    const double percentile = percentiles[idx / markets.size()];
+    const auto& m = markets[idx % markets.size()];
+    LifetimePredictor::Config cfg;
+    cfg.lifetime_percentile = percentile;
+    const LifetimePredictor predictor(cfg);
+    Partial& part = pct_parts[idx];
+    const PredictorAssessment a =
+        AssessPredictor(predictor, m.trace, m.od_price(),
+                        SimTime() + Duration::Days(7), m.trace.end(),
+                        Duration::Hours(1));
+    part.f = a.overestimation_rate;
+    part.xi = a.price_rel_deviation;
+    for (int day = 7; day < 90; day += 3) {
+      const SpotPrediction p = predictor.Predict(
+          m.trace, SimTime() + Duration::Days(day), m.od_price());
+      if (p.usable) {
+        part.life_sum += p.lifetime.hours();
+        ++part.life_n;
       }
     }
-    pct.AddRow({TextTable::Num(percentile, 2), TextTable::Num(f_sum / n, 3),
-                TextTable::Num(xi_sum / n, 3),
+  });
+
+  TextTable pct("(a) L(b) percentile, 7-day window, bid = d, all markets");
+  pct.SetHeader({"percentile", "mean f(b)", "mean xi(b)", "mean L-hat (h)"});
+  for (size_t p = 0; p < percentiles.size(); ++p) {
+    double f_sum = 0.0, xi_sum = 0.0, life_sum = 0.0;
+    int n = 0, life_n = 0;
+    for (size_t m = 0; m < markets.size(); ++m) {
+      const Partial& part = pct_parts[p * markets.size() + m];
+      f_sum += part.f;
+      xi_sum += part.xi;
+      life_sum += part.life_sum;
+      life_n += part.life_n;
+      ++n;
+    }
+    pct.AddRow({TextTable::Num(percentiles[p], 2),
+                TextTable::Num(f_sum / n, 3), TextTable::Num(xi_sum / n, 3),
                 TextTable::Num(life_n ? life_sum / life_n : 0.0, 1)});
   }
   pct.Print(std::cout);
 
   std::printf("\n");
+  const std::vector<int> windows = {3, 7, 14, 28};
+  std::vector<Partial> win_parts(windows.size() * markets.size());
+  ParallelFor(pool, win_parts.size(), [&](size_t idx) {
+    const int days = windows[idx / markets.size()];
+    const auto& m = markets[idx % markets.size()];
+    LifetimePredictor::Config cfg;
+    cfg.history_window = Duration::Days(days);
+    const LifetimePredictor predictor(cfg);
+    const PredictorAssessment a =
+        AssessPredictor(predictor, m.trace, m.od_price(),
+                        SimTime() + Duration::Days(days), m.trace.end(),
+                        Duration::Hours(1));
+    win_parts[idx].f = a.overestimation_rate;
+    win_parts[idx].xi = a.price_rel_deviation;
+  });
+
   TextTable win("(b) history window, 5th percentile, bid = d, all markets");
   win.SetHeader({"window (days)", "mean f(b)", "mean xi(b)"});
-  for (int days : {3, 7, 14, 28}) {
+  for (size_t w = 0; w < windows.size(); ++w) {
     double f_sum = 0.0, xi_sum = 0.0;
     int n = 0;
-    for (const auto& m : markets) {
-      LifetimePredictor::Config cfg;
-      cfg.history_window = Duration::Days(days);
-      const LifetimePredictor predictor(cfg);
-      const PredictorAssessment a =
-          AssessPredictor(predictor, m.trace, m.od_price(),
-                          SimTime() + Duration::Days(days), m.trace.end(),
-                          Duration::Hours(1));
-      f_sum += a.overestimation_rate;
-      xi_sum += a.price_rel_deviation;
+    for (size_t m = 0; m < markets.size(); ++m) {
+      f_sum += win_parts[w * markets.size() + m].f;
+      xi_sum += win_parts[w * markets.size() + m].xi;
       ++n;
     }
-    win.AddRow({std::to_string(days), TextTable::Num(f_sum / n, 3),
+    win.AddRow({std::to_string(windows[w]), TextTable::Num(f_sum / n, 3),
                 TextTable::Num(xi_sum / n, 3)});
   }
   win.Print(std::cout);

@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "src/core/experiment.h"
+#include "src/exec/experiment_grid.h"
 #include "src/sim/latency_model.h"
 #include "src/util/table.h"
 
@@ -62,12 +63,14 @@ int main(int argc, char** argv) {
   cfg.workload = PrototypeWorkload(days, /*zipf_theta=*/1.0);
   cfg.market_filter = {"m4.L-d"};
 
-  cfg.approach = Approach::kPropNoBackup;
-  const ExperimentResult mix = RunExperiment(cfg);
+  // The two runs are independent; fan them out over the experiment grid.
+  std::vector<ExperimentConfig> cells(2, cfg);
+  cells[0].approach = Approach::kPropNoBackup;
+  cells[1].approach = Approach::kOdSpotSep;
+  const std::vector<ExperimentResult> results = RunExperimentGrid(cells);
+  const ExperimentResult& mix = results[0];
+  const ExperimentResult& sep = results[1];
   Report(mix, 24, cfg);
-
-  cfg.approach = Approach::kOdSpotSep;
-  const ExperimentResult sep = RunExperiment(cfg);
   Report(sep, 24, cfg);
 
   std::printf("cost comparison over the full run: mixing $%.0f vs separation "

@@ -45,6 +45,10 @@ void CacheNode::FlushObs() {
   published_sets_ = set_count_;
 }
 
+void CacheNode::ReserveItems(size_t expected_items) {
+  store_.Reserve(expected_items);
+}
+
 bool CacheNode::Get(KeyId key) { return store_.Get(key).has_value(); }
 
 void CacheNode::Set(KeyId key, uint32_t bytes, uint64_t version) {

@@ -28,6 +28,11 @@ class CacheNode {
   InstanceId instance_id() const { return instance_id_; }
   const std::string& name() const { return name_; }
 
+  /// Pre-sizes the store's arena and index for the expected resident item
+  /// count (typically capacity / mean item size, capped by the workload's key
+  /// population) so steady-state traffic never rehashes mid-run.
+  void ReserveItems(size_t expected_items);
+
   /// GET: returns true on hit (promotes the key).
   bool Get(KeyId key);
   /// SET: stores/overwrites the key.

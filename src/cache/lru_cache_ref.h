@@ -1,0 +1,139 @@
+// Reference LRU implementation: the original std::list + std::unordered_map
+// cache, kept verbatim as the behavioral model for the flat-arena LruCache.
+//
+// This is intentionally the slow, obviously-correct version. It exists for
+// two consumers only: the property test (test_lru_equivalence) drives it and
+// the production LruCache through identical op streams and asserts identical
+// hit/miss/eviction sequences, and bench_perf_baseline times it to anchor the
+// "before" column of BENCH_perf.json. Do not use it in the simulator proper.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace spotcache {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class ReferenceLruCache {
+ public:
+  struct Entry {
+    K key;
+    V value;
+    size_t bytes = 0;
+  };
+
+  using EvictionCallback = std::function<void(const Entry&)>;
+
+  explicit ReferenceLruCache(size_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Inserts or overwrites; evicts LRU entries until the item fits. Returns
+  /// false (and stores nothing) if `bytes` alone exceeds the capacity.
+  bool Put(const K& key, V value, size_t bytes) {
+    if (bytes > capacity_bytes_) {
+      return false;
+    }
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      bytes_used_ -= it->second->bytes;
+      order_.erase(it->second);
+      index_.erase(it);
+    }
+    EvictUntilFits(bytes);
+    order_.push_front(Entry{key, std::move(value), bytes});
+    index_.emplace(key, order_.begin());
+    bytes_used_ += bytes;
+    return true;
+  }
+
+  /// Looks the key up and promotes it to most-recently-used.
+  std::optional<V> Get(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->value;
+  }
+
+  /// Lookup without promotion or stats.
+  const V* Peek(const K& key) const {
+    auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &it->second->value;
+  }
+
+  bool Contains(const K& key) const { return index_.count(key) > 0; }
+
+  bool Erase(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return false;
+    }
+    bytes_used_ -= it->second->bytes;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  void Clear() {
+    order_.clear();
+    index_.clear();
+    bytes_used_ = 0;
+  }
+
+  /// Shrinks the capacity (evicting as needed) or grows it.
+  void SetCapacity(size_t capacity_bytes) {
+    capacity_bytes_ = capacity_bytes;
+    EvictUntilFits(0);
+  }
+
+  void SetEvictionCallback(EvictionCallback cb) { on_evict_ = std::move(cb); }
+
+  size_t size() const { return index_.size(); }
+  size_t bytes_used() const { return bytes_used_; }
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+  /// Visits entries from most- to least-recently used.
+  template <typename Fn>
+  void ForEachMruToLru(Fn&& fn) const {
+    for (const auto& e : order_) {
+      fn(e);
+    }
+  }
+
+ private:
+  void EvictUntilFits(size_t incoming_bytes) {
+    while (!order_.empty() && bytes_used_ + incoming_bytes > capacity_bytes_) {
+      const Entry& victim = order_.back();
+      if (on_evict_) {
+        on_evict_(victim);
+      }
+      bytes_used_ -= victim.bytes;
+      index_.erase(victim.key);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  size_t capacity_bytes_;
+  size_t bytes_used_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  std::list<Entry> order_;
+  std::unordered_map<K, typename std::list<Entry>::iterator, Hash> index_;
+  EvictionCallback on_evict_;
+};
+
+}  // namespace spotcache

@@ -94,7 +94,13 @@ void SpotCacheSystem::SyncDataPlane() {
     }
   }
 
-  // Upsert a node and weights for every held instance.
+  // Upsert a node and weights for every held instance. Pre-size the router's
+  // maps for the whole fleet up front so the upsert loop never rehashes.
+  size_t fleet = 0;
+  for (const auto& held : holdings) {
+    fleet += held.size();
+  }
+  router_.Reserve(fleet);
   for (size_t o = 0; o < holdings.size(); ++o) {
     const AllocationItem* item = plan.ItemFor(o);
     const double n = item != nullptr && item->count > 0
@@ -112,6 +118,16 @@ void SpotCacheSystem::SyncDataPlane() {
             id,
             inst->type->capacity.ram_gb * config_.cluster.ram_usable_fraction,
             options[o].label);
+        // Expected residency: the node fills to capacity under steady GET
+        // traffic, but never holds more than the workload's key population.
+        // The eager reservation is capped so an outsized instance type cannot
+        // commit hundreds of MB per node before any traffic arrives.
+        constexpr size_t kMaxEagerReserveItems = size_t{1} << 22;
+        const size_t fit_items =
+            node->capacity_bytes() / std::max<uint32_t>(1, config_.value_bytes);
+        node->ReserveItems(std::min(
+            {fit_items, static_cast<size_t>(config_.num_keys),
+             kMaxEagerReserveItems}));
         node->AttachObs(config_.obs);
         nodes_.emplace(id, std::move(node));
       }

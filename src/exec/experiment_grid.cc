@@ -1,0 +1,118 @@
+#include "src/exec/experiment_grid.h"
+
+#include <cstring>
+
+#include "src/exec/thread_pool.h"
+
+namespace spotcache {
+
+std::vector<ExperimentResult> RunExperimentGrid(
+    const std::vector<ExperimentConfig>& cells, const GridOptions& options) {
+  std::vector<ExperimentResult> results(cells.size());
+  if (cells.empty()) {
+    return results;
+  }
+  const int threads = options.threads > 0 ? options.threads : DefaultThreadCount();
+  if (threads <= 1 || cells.size() == 1) {
+    // Serial reference path: identical code, no pool.
+    for (size_t i = 0; i < cells.size(); ++i) {
+      results[i] = RunExperiment(cells[i]);
+    }
+    return results;
+  }
+  ThreadPool pool(threads);
+  ParallelFor(pool, cells.size(),
+              [&](size_t i) { results[i] = RunExperiment(cells[i]); });
+  return results;
+}
+
+GridSummary SummarizeGrid(const std::vector<ExperimentResult>& results) {
+  GridSummary s;
+  s.cells = results.size();
+  for (const ExperimentResult& r : results) {
+    OnlineStats cell_cost;
+    cell_cost.Add(r.total_cost);
+    s.cost.Merge(cell_cost);
+    OnlineStats cell_affected;
+    cell_affected.Add(r.tracker.AffectedRequestFraction());
+    s.affected_fraction.Merge(cell_affected);
+    s.revocations += r.revocations;
+    s.bid_rejections += r.bid_rejections;
+  }
+  return s;
+}
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void HashBytes(uint64_t& h, const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+void HashU64(uint64_t& h, uint64_t v) { HashBytes(h, &v, sizeof(v)); }
+
+void HashDouble(uint64_t& h, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  HashBytes(h, &bits, sizeof(bits));
+}
+
+void HashString(uint64_t& h, const std::string& s) {
+  HashU64(h, s.size());
+  HashBytes(h, s.data(), s.size());
+}
+
+}  // namespace
+
+uint64_t DigestExperimentResult(const ExperimentResult& r) {
+  uint64_t h = kFnvOffset;
+  HashString(h, r.approach_name);
+  HashU64(h, r.option_labels.size());
+  for (const std::string& label : r.option_labels) {
+    HashString(h, label);
+  }
+  HashDouble(h, r.total_cost);
+  HashDouble(h, r.od_cost);
+  HashDouble(h, r.spot_cost);
+  HashDouble(h, r.backup_cost);
+  HashU64(h, static_cast<uint64_t>(r.revocations));
+  HashU64(h, static_cast<uint64_t>(r.bid_rejections));
+  HashU64(h, static_cast<uint64_t>(r.launch_failures));
+  HashU64(h, static_cast<uint64_t>(r.failed_replacements));
+  HashU64(h, r.slots.size());
+  for (const SlotRecord& s : r.slots) {
+    HashU64(h, static_cast<uint64_t>(s.start.micros()));
+    HashDouble(h, s.lambda);
+    HashDouble(h, s.lambda_hat);
+    HashDouble(h, s.working_set_gb);
+    HashU64(h, s.counts.size());
+    for (const int c : s.counts) {
+      HashU64(h, static_cast<uint64_t>(c));
+    }
+    HashU64(h, static_cast<uint64_t>(s.backups));
+    HashDouble(h, s.cost);
+    HashDouble(h, s.affected_fraction);
+    HashU64(h, static_cast<uint64_t>(s.mean_latency.micros()));
+    HashU64(h, static_cast<uint64_t>(s.p95_latency.micros()));
+    HashU64(h, static_cast<uint64_t>(s.revocations));
+  }
+  HashString(h, r.trace_jsonl);
+  HashString(h, r.metrics_csv);
+  return h;
+}
+
+uint64_t DigestExperimentResults(const std::vector<ExperimentResult>& results) {
+  uint64_t h = kFnvOffset;
+  for (const ExperimentResult& r : results) {
+    HashU64(h, DigestExperimentResult(r));
+  }
+  return h;
+}
+
+}  // namespace spotcache

@@ -1,0 +1,54 @@
+// Parallel experiment driver: fans independent ExperimentConfig cells out
+// across a thread pool while preserving the serial harness's results exactly.
+//
+// Every cell is a pure function of its config (RunExperiment is deterministic
+// and shares no mutable state across runs), so parallel execution only
+// reorders *wall-clock* completion; results land in a vector indexed by cell
+// and are therefore merged in deterministic cell order no matter which worker
+// finished first. RunExperimentGrid(cells, 1) and RunExperimentGrid(cells, K)
+// produce byte-identical result streams — test_exec asserts this, and
+// DigestExperimentResult gives the cheap fingerprint both the test and the
+// perf baseline harness compare.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/util/stats.h"
+
+namespace spotcache {
+
+struct GridOptions {
+  /// Worker threads; <= 0 selects DefaultThreadCount() (SPOTCACHE_THREADS
+  /// when set, else the hardware concurrency).
+  int threads = 0;
+};
+
+/// Runs every cell and returns results in cell order (results[i] corresponds
+/// to cells[i], regardless of completion order).
+std::vector<ExperimentResult> RunExperimentGrid(
+    const std::vector<ExperimentConfig>& cells, const GridOptions& options = {});
+
+/// Order-independent summary of a finished grid, merged in deterministic cell
+/// order via the parallel-friendly OnlineStats::Merge.
+struct GridSummary {
+  OnlineStats cost;
+  OnlineStats affected_fraction;
+  int64_t revocations = 0;
+  int64_t bid_rejections = 0;
+  size_t cells = 0;
+};
+GridSummary SummarizeGrid(const std::vector<ExperimentResult>& results);
+
+/// FNV-1a fingerprint over every numeric field of the result (costs, slot
+/// records, counters), hashing doubles by bit pattern so "byte-identical"
+/// means exactly that. Trace/metrics export strings are included when
+/// present.
+uint64_t DigestExperimentResult(const ExperimentResult& result);
+
+/// Combined digest over a whole grid, in cell order.
+uint64_t DigestExperimentResults(const std::vector<ExperimentResult>& results);
+
+}  // namespace spotcache

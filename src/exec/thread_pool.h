@@ -1,0 +1,81 @@
+// A fixed-size worker pool for embarrassingly parallel simulation work.
+//
+// The experiment grids (Figure 13, the ablations, the fault-storm study)
+// replay hundreds of independent (workload, approach, seed) cells; each cell
+// is a pure function of its config, so the only parallelism primitive needed
+// is "run N closures on K threads and wait". The pool is deliberately small:
+// a mutex-guarded deque, no work stealing, no futures — cells are seconds
+// long, so queue overhead is irrelevant, and determinism comes from writing
+// results into pre-sized slots rather than from any ordering guarantee here.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spotcache {
+
+/// Worker-thread count to use when the caller does not specify one:
+/// `SPOTCACHE_THREADS` when set to a positive integer, otherwise
+/// `std::thread::hardware_concurrency()` (at least 1).
+int DefaultThreadCount();
+
+class ThreadPool {
+ public:
+  /// `threads` <= 0 selects DefaultThreadCount().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Tasks must not throw (the simulator is exception-free);
+  /// a throwing task terminates, which is the behavior we want in benches.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void WaitIdle();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t in_flight_ = 0;  // queued + executing
+  bool stopping_ = false;
+};
+
+/// Runs `fn(i)` for i in [0, n) across `pool`, blocking until all complete.
+/// Iterations are claimed dynamically (an atomic cursor), so uneven cell
+/// costs — a 90-day Prop run next to a 1-day ODOnly run — still balance.
+template <typename Fn>
+void ParallelFor(ThreadPool& pool, size_t n, Fn&& fn) {
+  if (n == 0) {
+    return;
+  }
+  // One task per worker, each draining a shared index; avoids n allocations.
+  auto cursor = std::make_shared<std::atomic<size_t>>(0);
+  const int workers = pool.thread_count();
+  for (int w = 0; w < workers && static_cast<size_t>(w) < n; ++w) {
+    pool.Submit([cursor, n, &fn] {
+      for (size_t i = cursor->fetch_add(1); i < n; i = cursor->fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  pool.WaitIdle();
+}
+
+}  // namespace spotcache

@@ -168,7 +168,8 @@ AllocationPlan ProcurementOptimizer::Solve(const SlotInputs& inputs) const {
     lp.AddGreaterEqual(od_data, config_.zeta * (hot_gb + cold_gb));
   }
 
-  const LinearProgram::Solution sol = lp.Solve();
+  const LinearProgram::Solution sol =
+      config_.warm_start ? lp.Solve(&warm_basis_) : lp.Solve();
   if (!sol.feasible) {
     if (infeasible_ != nullptr) {
       infeasible_->Increment();

@@ -21,6 +21,7 @@
 
 #include "src/obs/obs.h"
 #include "src/opt/procurement.h"
+#include "src/opt/simplex.h"
 #include "src/predict/spot_predictor.h"
 #include "src/sim/latency_model.h"
 #include "src/util/time.h"
@@ -53,6 +54,16 @@ struct OptimizerConfig {
   MixingPolicy mixing = MixingPolicy::kMix;
   /// Fraction of instance RAM usable for cache data (memcached overhead).
   double ram_usable_fraction = 0.85;
+  /// Carry the simplex basis from one slot's LP to the next: adjacent slots
+  /// differ only in coefficients, so the previous optimum usually remains
+  /// feasible and phase 1 is skipped (cold fallback otherwise; ~3x faster
+  /// solves, see BENCH_perf.json). Off by default: at degenerate optima the
+  /// warm path can land on a different equally-optimal vertex, which makes a
+  /// slot's plan depend on solver history instead of being a pure function of
+  /// its inputs — the objective is identical but figure-level outputs would
+  /// no longer be bit-reproducible across replans. Enable when raw replan
+  /// throughput matters more than trace-for-trace stability.
+  bool warm_start = false;
 };
 
 /// Per-slot inputs (predictions + current state), parallel to the option set.
@@ -97,6 +108,10 @@ class ProcurementOptimizer {
   std::vector<ProcurementOption> options_;
   LatencyModel latency_model_;
   OptimizerConfig config_;
+  /// Basis of the previous slot's LP, threaded into the next solve when
+  /// warm_start is on. Solve stays logically const; an optimizer instance is
+  /// owned by one control loop and must not be shared across threads.
+  mutable SimplexBasis warm_basis_;
   Histogram* solve_hist_ = nullptr;
   Counter* solves_ = nullptr;
   Counter* infeasible_ = nullptr;

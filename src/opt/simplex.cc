@@ -147,7 +147,9 @@ struct Tableau {
 
 }  // namespace
 
-LinearProgram::Solution LinearProgram::Solve() const {
+LinearProgram::Solution LinearProgram::Solve() const { return Solve(nullptr); }
+
+LinearProgram::Solution LinearProgram::Solve(SimplexBasis* basis) const {
   Solution sol;
   const size_t m = rows_.size();
 
@@ -155,6 +157,8 @@ LinearProgram::Solution LinearProgram::Solve() const {
   std::vector<Row> rows = rows_;
   size_t n_slack = 0;
   size_t n_art = 0;
+  std::vector<int8_t> kinds;
+  kinds.reserve(m);
   for (auto& r : rows) {
     if (r.rhs < 0.0) {
       for (double& v : r.coeffs) {
@@ -169,85 +173,142 @@ LinearProgram::Solution LinearProgram::Solve() const {
     if (r.kind >= 0) {
       ++n_art;  // >= needs artificial (after surplus); == needs artificial
     }
+    kinds.push_back(static_cast<int8_t>(r.kind));
   }
+
+  const size_t ncols = n_ + n_slack + n_art;
+  std::vector<bool> is_artificial(ncols, false);
+  const auto build = [&](Tableau& t) {
+    t.m = m;
+    t.ncols = ncols;
+    t.a.assign(m, std::vector<double>(ncols, 0.0));
+    t.rhs.assign(m, 0.0);
+    t.basis.assign(m, 0);
+    size_t slack_col = n_;
+    size_t art_col = n_ + n_slack;
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < n_; ++j) {
+        t.a[i][j] = rows[i].coeffs[j];
+      }
+      t.rhs[i] = rows[i].rhs;
+      if (rows[i].kind == -1) {  // <= : slack enters the basis directly
+        t.a[i][slack_col] = 1.0;
+        t.basis[i] = slack_col++;
+      } else if (rows[i].kind == 1) {  // >= : surplus + artificial
+        t.a[i][slack_col] = -1.0;
+        ++slack_col;
+        t.a[i][art_col] = 1.0;
+        is_artificial[art_col] = true;
+        t.basis[i] = art_col++;
+      } else {  // == : artificial
+        t.a[i][art_col] = 1.0;
+        is_artificial[art_col] = true;
+        t.basis[i] = art_col++;
+      }
+    }
+  };
 
   Tableau t;
-  t.m = m;
-  t.ncols = n_ + n_slack + n_art;
-  t.a.assign(m, std::vector<double>(t.ncols, 0.0));
-  t.rhs.assign(m, 0.0);
-  t.basis.assign(m, 0);
 
-  size_t slack_col = n_;
-  size_t art_col = n_ + n_slack;
-  std::vector<bool> is_artificial(t.ncols, false);
-  for (size_t i = 0; i < m; ++i) {
-    for (size_t j = 0; j < n_; ++j) {
-      t.a[i][j] = rows[i].coeffs[j];
+  // Warm start: if the hinted basis matches this program's structure, pivot
+  // its columns back into the cold tableau. When the resulting vertex is
+  // still primal-feasible for the new rhs, phase 1 is skipped outright; any
+  // mismatch, singularity, or infeasibility falls back to the cold path.
+  bool warm = false;
+  if (basis != nullptr && !basis->empty() && basis->num_vars == n_ &&
+      basis->num_rows == m && basis->basic.size() == m &&
+      basis->row_kinds == kinds) {
+    bool importable = true;
+    for (const size_t c : basis->basic) {
+      if (c >= n_ + n_slack) {
+        importable = false;  // an artificial stayed basic last time
+        break;
+      }
     }
-    t.rhs[i] = rows[i].rhs;
-    if (rows[i].kind == -1) {  // <= : slack enters the basis directly
-      t.a[i][slack_col] = 1.0;
-      t.basis[i] = slack_col++;
-    } else if (rows[i].kind == 1) {  // >= : surplus + artificial
-      t.a[i][slack_col] = -1.0;
-      ++slack_col;
-      t.a[i][art_col] = 1.0;
-      is_artificial[art_col] = true;
-      t.basis[i] = art_col++;
-    } else {  // == : artificial
-      t.a[i][art_col] = 1.0;
-      is_artificial[art_col] = true;
-      t.basis[i] = art_col++;
+    if (importable) {
+      build(t);
+      // Pivots with a zero cost vector leave pricing for SetCost below.
+      t.cost.assign(ncols, 0.0);
+      t.objective = 0.0;
+      warm = true;
+      std::vector<bool> claimed(m, false);
+      for (const size_t c : basis->basic) {
+        // Partial pivoting: claim the free row with the largest magnitude.
+        size_t pick = m;
+        double best = 1e-7;
+        for (size_t i = 0; i < m; ++i) {
+          if (!claimed[i] && std::fabs(t.a[i][c]) > best) {
+            best = std::fabs(t.a[i][c]);
+            pick = i;
+          }
+        }
+        if (pick == m) {
+          warm = false;  // hinted basis is singular for the new coefficients
+          break;
+        }
+        t.Pivot(pick, c);
+        claimed[pick] = true;
+      }
+      for (size_t i = 0; warm && i < m; ++i) {
+        if (t.rhs[i] < -1e-7) {
+          warm = false;  // vertex left the feasible region: re-run phase 1
+        } else if (t.rhs[i] < 0.0) {
+          t.rhs[i] = 0.0;
+        }
+      }
     }
   }
 
-  std::vector<bool> allow_all(t.ncols, true);
+  if (!warm) {
+    build(t);
 
-  // Phase 1: minimize the sum of artificials.
-  if (n_art > 0) {
-    std::vector<double> phase1(t.ncols, 0.0);
-    for (size_t j = 0; j < t.ncols; ++j) {
-      if (is_artificial[j]) {
-        phase1[j] = 1.0;
-      }
-    }
-    t.SetCost(phase1);
-    if (!t.Optimize(allow_all)) {
-      return sol;  // phase 1 cannot be unbounded; defensive
-    }
-    // The tableau accumulates the *negated* objective (SetCost/Pivot subtract
-    // c_B * rhs), so the phase-1 optimum is -t.objective.
-    if (-t.objective > 1e-6) {
-      return sol;  // infeasible
-    }
-    // Drive any remaining basic artificials out (degenerate rows).
-    for (size_t i = 0; i < m; ++i) {
-      if (!is_artificial[t.basis[i]]) {
-        continue;
-      }
-      size_t pivot_col = t.ncols;
-      for (size_t j = 0; j < n_ + n_slack; ++j) {
-        if (std::fabs(t.a[i][j]) > kEps) {
-          pivot_col = j;
-          break;
+    // Phase 1: minimize the sum of artificials.
+    if (n_art > 0) {
+      std::vector<double> phase1(ncols, 0.0);
+      for (size_t j = 0; j < ncols; ++j) {
+        if (is_artificial[j]) {
+          phase1[j] = 1.0;
         }
       }
-      if (pivot_col < t.ncols) {
-        t.Pivot(i, pivot_col);
+      std::vector<bool> allow_all(ncols, true);
+      t.SetCost(phase1);
+      if (!t.Optimize(allow_all)) {
+        return sol;  // phase 1 cannot be unbounded; defensive
       }
-      // Else the row is all-zero (redundant constraint): the artificial stays
-      // basic at value 0, which is harmless as long as it cannot re-enter.
+      // The tableau accumulates the *negated* objective (SetCost/Pivot
+      // subtract c_B * rhs), so the phase-1 optimum is -t.objective.
+      if (-t.objective > 1e-6) {
+        return sol;  // infeasible
+      }
+      // Drive any remaining basic artificials out (degenerate rows).
+      for (size_t i = 0; i < m; ++i) {
+        if (!is_artificial[t.basis[i]]) {
+          continue;
+        }
+        size_t pivot_col = ncols;
+        for (size_t j = 0; j < n_ + n_slack; ++j) {
+          if (std::fabs(t.a[i][j]) > kEps) {
+            pivot_col = j;
+            break;
+          }
+        }
+        if (pivot_col < ncols) {
+          t.Pivot(i, pivot_col);
+        }
+        // Else the row is all-zero (redundant constraint): the artificial
+        // stays basic at value 0, which is harmless as long as it cannot
+        // re-enter.
+      }
     }
   }
 
   // Phase 2: real objective; artificial columns barred from entering.
-  std::vector<double> phase2(t.ncols, 0.0);
+  std::vector<double> phase2(ncols, 0.0);
   for (size_t j = 0; j < n_; ++j) {
     phase2[j] = objective_[j];
   }
-  std::vector<bool> allowed(t.ncols, true);
-  for (size_t j = 0; j < t.ncols; ++j) {
+  std::vector<bool> allowed(ncols, true);
+  for (size_t j = 0; j < ncols; ++j) {
     if (is_artificial[j]) {
       allowed[j] = false;
     }
@@ -271,6 +332,13 @@ LinearProgram::Solution LinearProgram::Solve() const {
   sol.objective = 0.0;
   for (size_t j = 0; j < n_; ++j) {
     sol.objective += objective_[j] * sol.x[j];
+  }
+
+  if (basis != nullptr) {
+    basis->basic = t.basis;
+    basis->num_vars = n_;
+    basis->num_rows = m;
+    basis->row_kinds = std::move(kinds);
   }
   return sol;
 }

@@ -8,9 +8,24 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace spotcache {
+
+/// An exported simplex basis, used to warm-start the next solve of a
+/// structurally identical program (same variable count, same row count and
+/// row kinds in the same order). The per-slot procurement LPs differ only in
+/// their coefficients between adjacent slots, so the previous optimum is
+/// usually still (near-)optimal and phase 1 can be skipped entirely.
+struct SimplexBasis {
+  std::vector<size_t> basic;  // basic column per row, from the last solve
+  size_t num_vars = 0;        // structural variable count it was built for
+  size_t num_rows = 0;
+  std::vector<int8_t> row_kinds;  // normalized row kinds (0: ==, 1: >=, -1: <=)
+
+  bool empty() const { return basic.empty(); }
+};
 
 /// minimize c'x  subject to  A_eq x = b_eq,  A_ge x >= b_ge,  x >= 0.
 class LinearProgram {
@@ -42,6 +57,13 @@ class LinearProgram {
 
   /// Solves; x is empty when infeasible.
   Solution Solve() const;
+
+  /// Solves, warm-starting from `*basis` when it matches this program's
+  /// structure and is still primal-feasible (skipping phase 1); otherwise
+  /// falls back to the cold two-phase solve. On a feasible solve the final
+  /// basis is written back to `*basis` for the next call. `basis == nullptr`
+  /// is the cold solve.
+  Solution Solve(SimplexBasis* basis) const;
 
  private:
   struct Row {

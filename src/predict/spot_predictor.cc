@@ -2,10 +2,40 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "src/util/stats.h"
 
 namespace spotcache {
+
+namespace {
+
+// Shared tail of both LifetimePredictor paths: the percentile and the window
+// mean are computed from the sample list with identical floating-point order,
+// so two paths that produce the same samples produce the same prediction.
+SpotPrediction PredictFromSamples(const std::vector<LifetimeSample>& samples,
+                                  double lifetime_percentile) {
+  SpotPrediction pred;
+  if (samples.empty()) {
+    return pred;  // bid never succeeded in the window: unusable
+  }
+  std::vector<double> lengths;
+  double price_sum = 0.0;
+  lengths.reserve(samples.size());
+  for (const auto& s : samples) {
+    lengths.push_back(s.length.seconds());
+    price_sum += s.avg_price;
+  }
+  pred.lifetime =
+      Duration::FromSecondsF(Percentile(std::move(lengths), lifetime_percentile));
+  pred.avg_price = price_sum / static_cast<double>(samples.size());
+  pred.usable = true;
+  return pred;
+}
+
+}  // namespace
 
 std::vector<LifetimeSample> ExtractLifetimes(const PriceTrace& trace, SimTime from,
                                              SimTime to, double bid) {
@@ -34,26 +64,118 @@ std::vector<LifetimeSample> ExtractLifetimes(const PriceTrace& trace, SimTime fr
   return out;
 }
 
+size_t LifetimePredictor::TraceBidKeyHash::operator()(
+    const TraceBidKey& k) const {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &k.bid, sizeof(bits));
+  const uint64_t ptr = reinterpret_cast<uintptr_t>(k.trace);
+  return static_cast<size_t>((ptr ^ bits) * 0x9e3779b97f4a7c15ULL);
+}
+
 SpotPrediction LifetimePredictor::Predict(const PriceTrace& trace, SimTime now,
                                           double bid) const {
-  SpotPrediction pred;
   const SimTime from = std::max(trace.start(), now - config_.history_window);
-  const auto samples = ExtractLifetimes(trace, from, now, bid);
-  if (samples.empty()) {
-    return pred;  // bid never succeeded in the window: unusable
+  if (!config_.incremental) {
+    return PredictFromSamples(ExtractLifetimes(trace, from, now, bid),
+                              config_.lifetime_percentile);
   }
-  std::vector<double> lengths;
-  double price_sum = 0.0;
-  lengths.reserve(samples.size());
-  for (const auto& s : samples) {
-    lengths.push_back(s.length.seconds());
-    price_sum += s.avg_price;
+  const SpotPrediction pred = PredictIncremental(trace, now, from, bid);
+  if (config_.cross_check) {
+    const SpotPrediction ref = PredictFromSamples(
+        ExtractLifetimes(trace, from, now, bid), config_.lifetime_percentile);
+    if (pred.usable != ref.usable || pred.lifetime != ref.lifetime ||
+        pred.avg_price != ref.avg_price) {
+      std::fprintf(stderr,
+                   "LifetimePredictor cross-check failed at t=%lld bid=%.17g: "
+                   "incremental {usable=%d life=%lld avg=%.17g} vs rescan "
+                   "{usable=%d life=%lld avg=%.17g}\n",
+                   static_cast<long long>(now.micros()), bid, pred.usable,
+                   static_cast<long long>(pred.lifetime.micros()),
+                   pred.avg_price, ref.usable,
+                   static_cast<long long>(ref.lifetime.micros()),
+                   ref.avg_price);
+      std::abort();
+    }
   }
-  pred.lifetime = Duration::FromSecondsF(
-      Percentile(std::move(lengths), config_.lifetime_percentile));
-  pred.avg_price = price_sum / static_cast<double>(samples.size());
-  pred.usable = true;
   return pred;
+}
+
+SpotPrediction LifetimePredictor::PredictIncremental(const PriceTrace& trace,
+                                                     SimTime now, SimTime from,
+                                                     double bid) const {
+  IntervalState& st = states_[TraceBidKey{&trace, bid}];
+
+  // The state only covers [low_water, processed); a query outside that
+  // (time moved backward, or the window widened) rebuilds from scratch.
+  if (!st.initialized || from < st.low_water || now < st.processed) {
+    st.completed.clear();
+    st.open = false;
+    st.processed = from;
+    st.low_water = from;
+    st.initialized = true;
+  }
+
+  // Retire intervals that slid out of the window. An interval ending exactly
+  // at `from` contributes a zero-length clip, which the rescan also drops.
+  while (!st.completed.empty() && st.completed.front().end <= from) {
+    st.completed.pop_front();
+  }
+  st.low_water = from;
+
+  // Classify the price samples in [processed, now). This mirrors
+  // ExtractLifetimes exactly, including the zero-length artifact skip.
+  while (st.processed < now) {
+    if (!st.open) {
+      const SimTime begin = trace.NextTimeAtOrBelow(st.processed, bid);
+      if (begin >= now) {
+        st.processed = now;
+        break;
+      }
+      st.open = true;
+      st.open_begin = begin;
+      st.processed = begin;
+    }
+    const SimTime end = trace.NextTimeAbove(st.open_begin, bid);
+    if (end <= st.open_begin) {
+      st.open = false;
+      st.processed = st.open_begin + Duration::Micros(1);
+      continue;
+    }
+    if (end > now) {
+      st.processed = now;  // still below the bid at `now`: leave it open
+      break;
+    }
+    st.completed.push_back(
+        {st.open_begin, end, trace.AveragePrice(st.open_begin, end)});
+    st.open = false;
+    st.processed = end;
+  }
+
+  // Assemble the window's samples in chronological order. Completed
+  // intervals fully inside [from, now] reuse the cached average; only the
+  // (at most one) interval clipped by the window edge recomputes it, with
+  // the same AveragePrice arguments the rescan would use.
+  std::vector<LifetimeSample> samples;
+  samples.reserve(st.completed.size() + 1);
+  for (const auto& rec : st.completed) {
+    const SimTime b = std::max(rec.begin, from);
+    const SimTime e = std::min(rec.end, now);
+    if (e <= b) {
+      continue;
+    }
+    if (b == rec.begin && e == rec.end) {
+      samples.push_back({e - b, rec.avg_price});
+    } else {
+      samples.push_back({e - b, trace.AveragePrice(b, e)});
+    }
+  }
+  if (st.open && st.open_begin < now) {
+    const SimTime b = std::max(st.open_begin, from);
+    if (now > b) {
+      samples.push_back({now - b, trace.AveragePrice(b, now)});
+    }
+  }
+  return PredictFromSamples(samples, config_.lifetime_percentile);
 }
 
 SpotPrediction CdfPredictor::Predict(const PriceTrace& trace, SimTime now,

@@ -19,7 +19,11 @@
 
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/cloud/spot_market.h"
@@ -56,6 +60,19 @@ struct LifetimeSample {
 std::vector<LifetimeSample> ExtractLifetimes(const PriceTrace& trace, SimTime from,
                                              SimTime to, double bid);
 
+/// The paper's lifetime-distribution predictor.
+///
+/// The control loop calls Predict for every (market, bid) option at every
+/// slot boundary, with `now` advancing by one slot each time. A full window
+/// rescan is O(window) per call; in incremental mode (the default) the
+/// predictor keeps per-(trace, bid) interval state and only classifies the
+/// price samples that arrived since the previous call — O(new data) amortized.
+/// The incremental path replays the exact rescan arithmetic (same clipping,
+/// same chronological sample order, same AveragePrice calls for clipped
+/// intervals), so predictions are bit-identical in either mode.
+///
+/// Incremental mode mutates internal state from const Predict; an instance
+/// must not be shared across threads (each experiment cell builds its own).
 class LifetimePredictor : public SpotFeaturePredictor {
  public:
   struct Config {
@@ -63,6 +80,12 @@ class LifetimePredictor : public SpotFeaturePredictor {
     /// Percentile of the L(b) distribution used as the prediction (paper: a
     /// small percentile such as the 5th).
     double lifetime_percentile = 0.05;
+    /// Maintain sliding-window interval state per (trace, bid) instead of
+    /// rescanning the whole window on every call.
+    bool incremental = true;
+    /// Diagnostic: re-derive every incremental prediction with the full
+    /// rescan and abort on any bitwise mismatch. Slow; for tests.
+    bool cross_check = false;
   };
 
   LifetimePredictor() : LifetimePredictor(Config{}) {}
@@ -75,7 +98,39 @@ class LifetimePredictor : public SpotFeaturePredictor {
   const Config& config() const { return config_; }
 
  private:
+  // Sliding-window scan state for one (trace, bid). `completed` holds the
+  // below-bid intervals finished so far (unclipped true boundaries, plus the
+  // cached full-interval average price); `open_begin` is the start of an
+  // interval that was still below the bid at `processed`. Everything in
+  // [low_water, processed) has been classified.
+  struct IntervalState {
+    struct Rec {
+      SimTime begin;
+      SimTime end;
+      double avg_price;
+    };
+    std::deque<Rec> completed;
+    bool open = false;
+    SimTime open_begin;
+    SimTime processed;
+    SimTime low_water;
+    bool initialized = false;
+  };
+  struct TraceBidKey {
+    const PriceTrace* trace;
+    double bid;
+    bool operator==(const TraceBidKey&) const = default;
+  };
+  struct TraceBidKeyHash {
+    size_t operator()(const TraceBidKey& k) const;
+  };
+
+  SpotPrediction PredictIncremental(const PriceTrace& trace, SimTime now,
+                                    SimTime from, double bid) const;
+
   Config config_;
+  mutable std::unordered_map<TraceBidKey, IntervalState, TraceBidKeyHash>
+      states_;
 };
 
 class CdfPredictor : public SpotFeaturePredictor {

@@ -4,6 +4,11 @@
 
 namespace spotcache {
 
+void Router::Reserve(size_t expected_nodes) {
+  weights_.reserve(expected_nodes);
+  backup_of_.reserve(expected_nodes);
+}
+
 void Router::UpsertNode(uint64_t node_id, double hot_weight, double cold_weight) {
   hot_ring_.SetNode(node_id, hot_weight);
   cold_ring_.SetNode(node_id, cold_weight);

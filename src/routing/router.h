@@ -23,6 +23,10 @@ namespace spotcache {
 
 class Router {
  public:
+  /// Pre-sizes the weight and backup maps for an expected fleet size so
+  /// slot-boundary reconciliation never rehashes while upserting.
+  void Reserve(size_t expected_nodes);
+
   /// Adds a node or updates its pool weights. A zero weight removes the node
   /// from that pool only.
   void UpsertNode(uint64_t node_id, double hot_weight, double cold_weight);

@@ -1,0 +1,129 @@
+// Tests for the parallel experiment engine: the thread pool itself, and the
+// core guarantee that RunExperimentGrid at any thread count produces results
+// byte-identical to the serial loop, merged in deterministic cell order.
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/exec/experiment_grid.h"
+#include "src/exec/thread_pool.h"
+
+namespace spotcache {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEachIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  ParallelFor(pool, touched.size(), [&](size_t i) {
+    touched[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < touched.size(); ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsEnv) {
+  ::setenv("SPOTCACHE_THREADS", "3", 1);
+  EXPECT_EQ(DefaultThreadCount(), 3);
+  ::setenv("SPOTCACHE_THREADS", "0", 1);
+  EXPECT_GE(DefaultThreadCount(), 1);  // nonsense values fall back
+  ::unsetenv("SPOTCACHE_THREADS");
+  EXPECT_GE(DefaultThreadCount(), 1);
+}
+
+std::vector<ExperimentConfig> SmallGrid() {
+  std::vector<ExperimentConfig> cells;
+  for (Approach a : {Approach::kOdOnly, Approach::kOdSpotSep,
+                     Approach::kPropNoBackup, Approach::kProp}) {
+    ExperimentConfig cfg;
+    cfg.workload = PrototypeWorkload(/*days=*/1);
+    cfg.approach = a;
+    cells.push_back(cfg);
+  }
+  return cells;
+}
+
+TEST(ExperimentGrid, ParallelMatchesSerialBitExactly) {
+  const std::vector<ExperimentConfig> cells = SmallGrid();
+  const auto serial = RunExperimentGrid(cells, {.threads = 1});
+  const auto parallel = RunExperimentGrid(cells, {.threads = 4});
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(serial[i].approach_name);
+    // Exact double equality on purpose: the parallel engine must not change
+    // a single bit of any cell's result.
+    EXPECT_EQ(serial[i].approach_name, parallel[i].approach_name);
+    EXPECT_EQ(serial[i].option_labels, parallel[i].option_labels);
+    EXPECT_EQ(serial[i].total_cost, parallel[i].total_cost);
+    EXPECT_EQ(serial[i].od_cost, parallel[i].od_cost);
+    EXPECT_EQ(serial[i].spot_cost, parallel[i].spot_cost);
+    EXPECT_EQ(serial[i].backup_cost, parallel[i].backup_cost);
+    EXPECT_EQ(serial[i].revocations, parallel[i].revocations);
+    EXPECT_EQ(serial[i].bid_rejections, parallel[i].bid_rejections);
+    ASSERT_EQ(serial[i].slots.size(), parallel[i].slots.size());
+    for (size_t s = 0; s < serial[i].slots.size(); ++s) {
+      EXPECT_EQ(serial[i].slots[s].start, parallel[i].slots[s].start);
+      EXPECT_EQ(serial[i].slots[s].lambda, parallel[i].slots[s].lambda);
+      EXPECT_EQ(serial[i].slots[s].cost, parallel[i].slots[s].cost);
+      EXPECT_EQ(serial[i].slots[s].counts, parallel[i].slots[s].counts);
+    }
+    EXPECT_EQ(DigestExperimentResult(serial[i]),
+              DigestExperimentResult(parallel[i]));
+  }
+  EXPECT_EQ(DigestExperimentResults(serial), DigestExperimentResults(parallel));
+}
+
+TEST(ExperimentGrid, ObsArtifactsSurviveParallelRuns) {
+  // Cells with observability enabled carry their exports through the pool.
+  std::vector<ExperimentConfig> cells = SmallGrid();
+  cells.resize(2);
+  for (auto& cfg : cells) {
+    cfg.obs.enabled = true;
+  }
+  const auto serial = RunExperimentGrid(cells, {.threads = 1});
+  const auto parallel = RunExperimentGrid(cells, {.threads = 2});
+  for (size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_FALSE(parallel[i].trace_jsonl.empty());
+    EXPECT_EQ(serial[i].trace_jsonl, parallel[i].trace_jsonl);
+    EXPECT_EQ(serial[i].metrics_csv, parallel[i].metrics_csv);
+  }
+}
+
+TEST(ExperimentGrid, SummaryMergesInCellOrder) {
+  const std::vector<ExperimentConfig> cells = SmallGrid();
+  const auto results = RunExperimentGrid(cells, {.threads = 4});
+  const GridSummary summary = SummarizeGrid(results);
+  EXPECT_EQ(summary.cells, cells.size());
+  double total = 0.0;
+  for (const auto& r : results) {
+    total += r.total_cost;
+  }
+  EXPECT_NEAR(summary.cost.mean() * static_cast<double>(summary.cells), total,
+              1e-9 * (1.0 + std::abs(total)));
+}
+
+TEST(ExperimentGrid, EmptyAndSingleCellGrids) {
+  EXPECT_TRUE(RunExperimentGrid({}, {.threads = 4}).empty());
+  std::vector<ExperimentConfig> one = SmallGrid();
+  one.resize(1);
+  const auto results = RunExperimentGrid(one, {.threads = 4});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].total_cost, 0.0);
+}
+
+}  // namespace
+}  // namespace spotcache

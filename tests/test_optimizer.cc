@@ -1,5 +1,8 @@
 #include "src/opt/optimizer.h"
 
+#include <cmath>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "src/cloud/spot_price_model.h"
@@ -280,6 +283,40 @@ INSTANTIATE_TEST_SUITE_P(
     DemandGrid, OptimizerScaleProperty,
     ::testing::Combine(::testing::Values(10e3, 100e3, 500e3, 1000e3),
                        ::testing::Values(5.0, 50.0, 250.0)));
+
+TEST_F(OptimizerTest, WarmStartReplanSequenceMatchesColdObjectives) {
+  // A drifting replan sequence solved twice: once cold, once with the basis
+  // threaded across slots. The LP optimum is unique, so every slot's
+  // objective and feasibility must agree exactly (the chosen vertex may
+  // differ at degenerate optima, which is why warm_start defaults off).
+  OptimizerConfig warm_cfg;
+  warm_cfg.warm_start = true;
+  const ProcurementOptimizer cold = MakeOptimizer();
+  const ProcurementOptimizer warm = MakeOptimizer(warm_cfg);
+  for (int slot = 0; slot < 24; ++slot) {
+    const double lambda = 250e3 + 40e3 * ((slot * 5) % 7);
+    const double ws = 40.0 + 3.0 * ((slot * 3) % 5);
+    SlotInputs in = HealthyInputs(lambda, ws, 0.18, 0.9);
+    // Availability flips keep the active option set (and thus the LP
+    // structure seen through the availability mask) changing slot to slot.
+    if (slot % 5 == 4) {
+      for (size_t o = 0; o < options_.size(); ++o) {
+        if (!options_[o].is_on_demand() && o % 2 == 0) {
+          in.available[o] = false;
+        }
+      }
+    }
+    const AllocationPlan a = cold.Solve(in);
+    const AllocationPlan b = warm.Solve(in);
+    SCOPED_TRACE("slot " + std::to_string(slot));
+    ASSERT_EQ(a.feasible, b.feasible);
+    if (a.feasible) {
+      EXPECT_NEAR(b.lp_objective, a.lp_objective,
+                  1e-7 * (1.0 + std::abs(a.lp_objective)));
+      CheckFeasible(warm, b, in);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace spotcache

@@ -1,5 +1,11 @@
 #include "src/opt/simplex.h"
 
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "src/util/rng.h"
@@ -186,6 +192,93 @@ TEST_P(RandomLpProperty, SolutionSatisfiesConstraintsAndBeatsRandomPoints) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomLpProperty, ::testing::Range(1, 13));
+
+// A covering LP whose coefficients drift with `slot`, shaped like the per-slot
+// procurement sequence that warm starts target.
+LinearProgram DriftingLp(uint64_t seed, int slot, size_t n, size_t m) {
+  Rng rng(seed);
+  const double drift = 1.0 + 0.05 * ((slot * 13) % 7 - 3) / 3.0;
+  LinearProgram lp(n);
+  for (size_t j = 0; j < n; ++j) {
+    lp.SetObjective(j, rng.Uniform(1.0, 10.0) * drift);
+  }
+  for (size_t i = 0; i < m; ++i) {
+    std::vector<std::pair<size_t, double>> terms;
+    for (size_t j = 0; j < n; ++j) {
+      terms.push_back({j, rng.Uniform(0.1, 5.0)});
+    }
+    lp.AddGreaterEqual(terms, rng.Uniform(1.0, 20.0) * drift);
+  }
+  // One equality keeps an artificial in play on the cold path.
+  lp.AddEquality({{0, 1.0}, {n - 1, 1.0}}, 12.0 * drift);
+  return lp;
+}
+
+TEST(SimplexWarmStart, MatchesColdObjectiveAcrossDriftingSequence) {
+  for (uint64_t seed : {3u, 17u, 99u}) {
+    SimplexBasis basis;
+    for (int slot = 0; slot < 40; ++slot) {
+      const auto cold = DriftingLp(seed, slot, 6, 5).Solve();
+      const auto warm = DriftingLp(seed, slot, 6, 5).Solve(&basis);
+      SCOPED_TRACE("seed " + std::to_string(seed) + " slot " +
+                   std::to_string(slot));
+      ASSERT_EQ(cold.feasible, warm.feasible);
+      if (cold.feasible) {
+        // The optimum objective is unique even when the vertex is not.
+        EXPECT_NEAR(warm.objective, cold.objective,
+                    1e-7 * (1.0 + std::abs(cold.objective)));
+        EXPECT_FALSE(basis.empty());
+      }
+    }
+  }
+}
+
+TEST(SimplexWarmStart, StructureChangeFallsBackToCold) {
+  SimplexBasis basis;
+  const auto first = DriftingLp(5, 0, 6, 5).Solve(&basis);
+  ASSERT_TRUE(first.feasible);
+  // Different variable count: the stale basis must be rejected, not crash.
+  const auto cold = DriftingLp(5, 1, 8, 5).Solve();
+  const auto warm = DriftingLp(5, 1, 8, 5).Solve(&basis);
+  ASSERT_TRUE(warm.feasible);
+  EXPECT_NEAR(warm.objective, cold.objective,
+              1e-7 * (1.0 + std::abs(cold.objective)));
+  EXPECT_EQ(basis.num_vars, 8u);
+}
+
+TEST(SimplexWarmStart, InfeasibleTurnDetectedWithStaleBasis) {
+  SimplexBasis basis;
+  LinearProgram ok(1);
+  ok.SetObjective(0, 1.0);
+  ok.AddLessEqual({{0, 1.0}}, 1.0);
+  ok.AddGreaterEqual({{0, 1.0}}, 0.5);
+  ASSERT_TRUE(ok.Solve(&basis).feasible);
+  // Same shape, now contradictory: warm start must still report infeasible.
+  LinearProgram bad(1);
+  bad.SetObjective(0, 1.0);
+  bad.AddLessEqual({{0, 1.0}}, 1.0);
+  bad.AddGreaterEqual({{0, 1.0}}, 2.0);
+  EXPECT_FALSE(bad.Solve(&basis).feasible);
+}
+
+TEST(SimplexWarmStart, RepeatedIdenticalSolvesStayOptimal) {
+  SimplexBasis basis;
+  double first_obj = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    LinearProgram lp(2);
+    lp.SetObjective(0, 1.0);
+    lp.SetObjective(1, 2.0);
+    lp.AddGreaterEqual({{0, 1.0}, {1, 1.0}}, 4.0);
+    lp.AddGreaterEqual({{1, 1.0}}, 1.0);
+    const auto sol = lp.Solve(&basis);
+    ASSERT_TRUE(sol.feasible);
+    if (i == 0) {
+      first_obj = sol.objective;
+    }
+    EXPECT_EQ(sol.objective, first_obj);  // idempotent under re-solve
+    EXPECT_NEAR(sol.objective, 5.0, 1e-8);
+  }
+}
 
 }  // namespace
 }  // namespace spotcache

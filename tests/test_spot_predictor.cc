@@ -1,5 +1,8 @@
 #include "src/predict/spot_predictor.h"
 
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace spotcache {
@@ -153,6 +156,99 @@ TEST(AssessPredictor, SkipsPointsAboveBid) {
   // samples are also dropped.
   EXPECT_LT(a.evaluations, 3 * 24 + 1);
   EXPECT_GT(a.evaluations, 2 * 24 - 8);
+}
+
+// Deterministic jagged trace: price steps at irregular offsets, crossing the
+// bid often, including runs longer than the history window.
+PriceTrace JaggedTrace(int days, uint64_t seed) {
+  PriceTrace t;
+  SimTime cursor;
+  const SimTime end = SimTime() + Duration::Days(days);
+  uint64_t state = seed * 0x9e3779b97f4a7c15ULL + 1;
+  while (cursor < end) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double price = 0.01 + 0.12 * static_cast<double>((state >> 33) % 1000) / 1000.0;
+    t.Append(cursor, price);
+    const int64_t step_min = 7 + static_cast<int64_t>((state >> 17) % 613);
+    cursor += Duration::Minutes(step_min);
+  }
+  t.SetEnd(end);
+  return t;
+}
+
+// The incremental predictor must be *bit-identical* to the full-window
+// rescan at every query time, on every shape of trace: periodic, jagged,
+// windows sliding past interval boundaries, and bids that never succeed.
+TEST(LifetimePredictor, IncrementalMatchesRescanBitwise) {
+  const std::vector<PriceTrace> traces = {
+      PeriodicTrace(6, 2, 21), JaggedTrace(21, 1), JaggedTrace(21, 42)};
+  for (size_t ti = 0; ti < traces.size(); ++ti) {
+    const PriceTrace& t = traces[ti];
+    for (double bid : {0.001, 0.05, 0.08, 1.0}) {
+      LifetimePredictor::Config inc_cfg;
+      inc_cfg.incremental = true;
+      LifetimePredictor::Config scan_cfg;
+      scan_cfg.incremental = false;
+      const LifetimePredictor incremental(inc_cfg);
+      const LifetimePredictor rescan(scan_cfg);
+      // The control-loop pattern: monotone hourly advance (offset so query
+      // times do not align with interval edges), one persistent predictor.
+      int usable = 0;
+      for (SimTime now = SimTime() + Duration::Days(1);
+           now < t.end(); now += Duration::Minutes(61)) {
+        const SpotPrediction a = incremental.Predict(t, now, bid);
+        const SpotPrediction b = rescan.Predict(t, now, bid);
+        SCOPED_TRACE("trace " + std::to_string(ti) + " bid " +
+                     std::to_string(bid) + " t=" +
+                     std::to_string(now.micros()));
+        ASSERT_EQ(a.usable, b.usable);
+        ASSERT_EQ(a.lifetime.micros(), b.lifetime.micros());
+        // Bitwise double equality, not EXPECT_NEAR.
+        ASSERT_EQ(a.avg_price, b.avg_price);
+        usable += a.usable ? 1 : 0;
+      }
+      if (bid >= 0.05) {
+        EXPECT_GT(usable, 0) << "sweep never produced a usable prediction";
+      }
+    }
+  }
+}
+
+TEST(LifetimePredictor, IncrementalSurvivesBackwardTime) {
+  // Time moving backward (e.g. AssessPredictor re-walking a trace) must
+  // rebuild the interval state, not corrupt it.
+  const PriceTrace t = JaggedTrace(14, 7);
+  LifetimePredictor::Config scan_cfg;
+  scan_cfg.incremental = false;
+  const LifetimePredictor incremental;  // default: incremental on
+  const LifetimePredictor rescan(scan_cfg);
+  const std::vector<int> hours = {240, 250, 260, 245, 300, 180, 181, 320};
+  for (int h : hours) {
+    const SimTime now = SimTime() + Duration::Hours(h);
+    const SpotPrediction a = incremental.Predict(t, now, 0.07);
+    const SpotPrediction b = rescan.Predict(t, now, 0.07);
+    SCOPED_TRACE("hour " + std::to_string(h));
+    ASSERT_EQ(a.usable, b.usable);
+    ASSERT_EQ(a.lifetime.micros(), b.lifetime.micros());
+    ASSERT_EQ(a.avg_price, b.avg_price);
+  }
+}
+
+TEST(LifetimePredictor, CrossCheckModeAcceptsControlLoopSweep) {
+  // cross_check re-derives every incremental answer with the rescan and
+  // aborts on mismatch; a full sweep passing is the self-test of the
+  // equivalence machinery itself.
+  LifetimePredictor::Config cfg;
+  cfg.incremental = true;
+  cfg.cross_check = true;
+  const LifetimePredictor predictor(cfg);
+  const PriceTrace t = JaggedTrace(10, 3);
+  double sink = 0.0;
+  for (SimTime now = SimTime() + Duration::Days(1); now < t.end();
+       now += Duration::Minutes(37)) {
+    sink += predictor.Predict(t, now, 0.06).avg_price;
+  }
+  EXPECT_GE(sink, 0.0);
 }
 
 }  // namespace
