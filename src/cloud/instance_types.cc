@@ -24,6 +24,45 @@ std::string_view ToString(InstanceClass c) {
   return "?";
 }
 
+std::string Validate(const InstanceTypeSpec& spec) {
+  const std::string prefix =
+      "instance type \"" + (spec.name.empty() ? std::string("<unnamed>") : spec.name) +
+      "\": ";
+  if (spec.name.empty()) {
+    return prefix + "name must be non-empty";
+  }
+  if (!std::isfinite(spec.capacity.vcpus) || spec.capacity.vcpus <= 0.0) {
+    return prefix + "capacity.vcpus must be positive and finite";
+  }
+  if (!std::isfinite(spec.capacity.ram_gb) || spec.capacity.ram_gb <= 0.0) {
+    return prefix + "capacity.ram_gb must be positive and finite";
+  }
+  if (!std::isfinite(spec.capacity.net_mbps) || spec.capacity.net_mbps <= 0.0) {
+    return prefix + "capacity.net_mbps must be positive and finite";
+  }
+  if (!std::isfinite(spec.od_price_per_hour) || spec.od_price_per_hour < 0.0) {
+    return prefix + "od_price_per_hour must be non-negative and finite";
+  }
+  if (spec.is_burstable()) {
+    if (!std::isfinite(spec.baseline_vcpus) || spec.baseline_vcpus <= 0.0 ||
+        spec.baseline_vcpus > spec.capacity.vcpus) {
+      return prefix + "baseline_vcpus must be in (0, capacity.vcpus]";
+    }
+    if (!std::isfinite(spec.cpu_credits_per_hour) ||
+        spec.cpu_credits_per_hour < 0.0) {
+      return prefix + "cpu_credits_per_hour must be non-negative and finite";
+    }
+    if (!std::isfinite(spec.cpu_credit_cap) || spec.cpu_credit_cap < 0.0) {
+      return prefix + "cpu_credit_cap must be non-negative and finite";
+    }
+    if (!std::isfinite(spec.baseline_net_mbps) || spec.baseline_net_mbps < 0.0 ||
+        spec.baseline_net_mbps > spec.capacity.net_mbps) {
+      return prefix + "baseline_net_mbps must be in [0, capacity.net_mbps]";
+    }
+  }
+  return "";
+}
+
 namespace {
 
 // Coefficients of the paper's fitted pricing model (Table 1).

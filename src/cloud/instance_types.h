@@ -63,6 +63,11 @@ struct InstanceTypeSpec {
   double NetPerGb() const { return capacity.net_mbps / capacity.ram_gb; }
 };
 
+/// Returns "" when the spec is well-formed, else an actionable message
+/// (zero/negative capacity dimensions, non-finite or negative price,
+/// malformed burstable parameters).
+std::string Validate(const InstanceTypeSpec& spec);
+
 /// The full catalog plus the named subsets used in the evaluation.
 class InstanceCatalog {
  public:

@@ -1,5 +1,6 @@
 #include "src/cloud/trace_io.h"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -54,8 +55,16 @@ std::optional<PriceTrace> ReadPriceTraceCsv(std::istream& is, std::string* error
     if (std::sscanf(line.c_str(), "%lf,%lf", &time_s, &price) != 2) {
       return fail("line " + std::to_string(line_no) + ": expected time,price");
     }
+    if (!std::isfinite(time_s)) {
+      return fail("line " + std::to_string(line_no) +
+                  ": time must be finite (got nan/inf)");
+    }
     if (time_s < prev_time) {
       return fail("line " + std::to_string(line_no) + ": times must not decrease");
+    }
+    if (!std::isfinite(price)) {
+      return fail("line " + std::to_string(line_no) +
+                  ": price must be finite (got nan/inf)");
     }
     if (price < 0.0) {
       return fail("line " + std::to_string(line_no) + ": negative price");

@@ -33,6 +33,14 @@ Cluster::Cluster(CloudProvider* provider,
   holdings_.resize(options_->size());
 }
 
+void Cluster::AttachResilience(ResilienceLayer* layer) {
+  resilience_ = layer;
+  if (layer != nullptr) {
+    replacement_policy_ =
+        RetryPolicy(config_.replacement_retry, layer->config().seed);
+  }
+}
+
 void Cluster::AttachObs(Obs* obs) {
   obs_ = obs;
   if (obs == nullptr) {
@@ -80,6 +88,7 @@ Cluster::ApplyResult Cluster::Apply(const AllocationPlan& plan,
   }
   replacements_.clear();
   replacement_for_.clear();
+  pending_.clear();  // reconciliation re-provisions any remaining shortfall
 
   // Reconcile each option's holdings with its target count.
   for (size_t o = 0; o < options_->size(); ++o) {
@@ -277,11 +286,6 @@ void Cluster::HandleRevocation(const Instance& inst) {
   }
 
   const SimTime now = provider_->now();
-  const Duration miss_latency =
-      config_.latency_model.params().base_latency +
-      config_.latency_model.params().miss_penalty;
-  const Duration backup_latency =
-      config_.latency_model.params().base_latency + config_.backup_hop_latency;
 
   // Replacement readiness (scenario A: ready before revocation; B: after).
   // The paper's Fig 4 breakdown: "1a" = warned and the replacement is ready
@@ -304,22 +308,27 @@ void Cluster::HandleRevocation(const Instance& inst) {
         provider_->LaunchOnDemand(*inst.type, "replacement:" + inst.tag);
     if (repl == kInvalidInstanceId) {
       // Still inside a launch outage: the shard stays degraded (bounded by
-      // the retry horizon) and the next reconciliation re-provisions it.
+      // the retry horizon). Legacy behavior waits for the next slot-boundary
+      // reconciliation; with the resilience layer attached the launch is
+      // retried in-step under the replacement_retry policy.
       ++total_launch_failures_;
       ++failed_replacements_;
       if (obs_ != nullptr) {
         obs_->registry.GetCounter("cluster/replacement_failures")->Increment();
         obs_->tracer.ReplacementFailed(now, inst.id);
       }
-      const bool backup_av = config_.use_backup && !backups_.empty();
-      const SimTime until = now + config_.replacement_retry;
-      if (hot_traffic > 0.0) {
-        degradations_.push_back(
-            {until, hot_traffic, backup_av ? backup_latency : miss_latency});
+      SimTime until = now + config_.replacement_retry.initial_delay;
+      if (resilience_ != nullptr) {
+        const Duration delay = replacement_policy_.Delay(inst.id, 1);
+        until = now + delay;  // == initial_delay: attempt 1 is un-jittered
+        pending_.push_back({option, inst.type, inst.tag, inst.id, 1, until,
+                            hot_gb, cold_gb, hot_traffic, cold_traffic});
+        resilience_->RecordOutcome(
+            ResilienceLayer::kOptionHealthIdBase | option, now,
+            HealthOutcome::kError);
+        resilience_->CountRetry(now, inst.id, 1, delay);
       }
-      if (cold_traffic > 0.0) {
-        degradations_.push_back({until, cold_traffic, miss_latency});
-      }
+      PushFailureDegradations(until, hot_traffic, cold_traffic);
       return;
     }
     replacements_.push_back(repl);
@@ -327,23 +336,61 @@ void Cluster::HandleRevocation(const Instance& inst) {
     const Instance* r = provider_->Get(repl);
     ready = r->ready_time;
     holdings_[option].push_back(repl);
+    if (resilience_ != nullptr) {
+      resilience_->RecordOutcome(ResilienceLayer::kOptionHealthIdBase | option,
+                                 now, HealthOutcome::kOk);
+    }
   }
+
+  ScheduleWarmup(*inst.type, inst.id, warmup_case, hot_gb, cold_gb,
+                 hot_traffic, cold_traffic, now, ready);
+}
+
+void Cluster::PushFailureDegradations(SimTime until, double hot_traffic,
+                                      double cold_traffic) {
+  const Duration miss_latency = config_.latency_model.params().base_latency +
+                                config_.latency_model.params().miss_penalty;
+  const Duration backup_latency =
+      config_.latency_model.params().base_latency + config_.backup_hop_latency;
+  const bool backup_av = config_.use_backup && !backups_.empty();
+  if (hot_traffic > 0.0) {
+    degradations_.push_back({until, hot_traffic,
+                             backup_av ? backup_latency : miss_latency,
+                             /*backend=*/!backup_av, /*cold=*/false});
+  }
+  if (cold_traffic > 0.0) {
+    degradations_.push_back(
+        {until, cold_traffic, miss_latency, /*backend=*/true, /*cold=*/true});
+  }
+}
+
+void Cluster::ScheduleWarmup(const InstanceTypeSpec& type, uint64_t inst_id,
+                             const char* warmup_case, double hot_gb,
+                             double cold_gb, double hot_traffic,
+                             double cold_traffic, SimTime now, SimTime ready) {
+  const Duration miss_latency = config_.latency_model.params().base_latency +
+                                config_.latency_model.params().miss_penalty;
+  const Duration backup_latency =
+      config_.latency_model.params().base_latency + config_.backup_hop_latency;
 
   // Interim gap (case 2 / 1(b)): revoked but replacement not yet ready.
   const bool backup_available = config_.use_backup && !backups_.empty();
   if (ready > now) {
     if (backup_available && hot_traffic > 0.0) {
-      degradations_.push_back({ready, hot_traffic, backup_latency});
+      degradations_.push_back(
+          {ready, hot_traffic, backup_latency, /*backend=*/false, /*cold=*/false});
     } else if (hot_traffic > 0.0) {
-      degradations_.push_back({ready, hot_traffic, miss_latency});
+      degradations_.push_back(
+          {ready, hot_traffic, miss_latency, /*backend=*/true, /*cold=*/false});
     }
     if (cold_traffic > 0.0) {
-      degradations_.push_back({ready, cold_traffic, miss_latency});
+      degradations_.push_back(
+          {ready, cold_traffic, miss_latency, /*backend=*/true, /*cold=*/true});
     }
   }
 
   // Warm-up windows from `ready`.
-  const double repl_net = inst.type->capacity.net_mbps * config_.copy_efficiency;
+  const double repl_net = type.capacity.net_mbps * config_.copy_efficiency;
   Duration w_hot;
   Duration w_cold;
   if (backup_available && hot_gb > 0.0) {
@@ -356,30 +403,88 @@ void Cluster::HandleRevocation(const Instance& inst) {
     const double rate = std::min(repl_net, backup_mbps > 0.0 ? backup_mbps : repl_net);
     w_hot = Duration::FromSecondsF(CopySecondsFor(hot_gb, rate));
     if (hot_traffic > 0.0) {
-      degradations_.push_back(
-          {ready + w_hot, hot_traffic * kWarmupAverageFactor, backup_latency});
+      degradations_.push_back({ready + w_hot,
+                               hot_traffic * kWarmupAverageFactor,
+                               backup_latency, /*backend=*/false,
+                               /*cold=*/false});
     }
   } else if (hot_gb > 0.0 && hot_traffic > 0.0) {
     w_hot = Duration::FromSecondsF(
         CopySecondsFor(hot_gb, config_.backend_copy_mbps));
-    degradations_.push_back(
-        {ready + w_hot, hot_traffic * kWarmupAverageFactor, miss_latency});
+    degradations_.push_back({ready + w_hot,
+                             hot_traffic * kWarmupAverageFactor, miss_latency,
+                             /*backend=*/true, /*cold=*/false});
   }
   if (cold_gb > 0.0 && cold_traffic > 0.0) {
     // Cold data is never backed up; it always refills from the back-end.
     w_cold = Duration::FromSecondsF(
         CopySecondsFor(cold_gb, config_.backend_copy_mbps));
-    degradations_.push_back(
-        {ready + w_cold, cold_traffic * kWarmupAverageFactor, miss_latency});
+    degradations_.push_back({ready + w_cold,
+                             cold_traffic * kWarmupAverageFactor, miss_latency,
+                             /*backend=*/true, /*cold=*/true});
   }
   if (obs_ != nullptr) {
     obs_->registry.GetCounter("cluster/warmups", {{"case", warmup_case}})
         ->Increment();
-    obs_->tracer.WarmupStart(now, inst.id, warmup_case, hot_gb, cold_gb, ready);
+    obs_->tracer.WarmupStart(now, inst_id, warmup_case, hot_gb, cold_gb, ready);
     // Future-dated: the predicted end of the slower of the two copy streams.
-    obs_->tracer.WarmupEnd(ready + std::max(w_hot, w_cold), inst.id,
+    obs_->tracer.WarmupEnd(ready + std::max(w_hot, w_cold), inst_id,
                            warmup_case);
   }
+}
+
+void Cluster::RetryPendingReplacements(SimTime now) {
+  if (resilience_ == nullptr || pending_.empty()) {
+    return;
+  }
+  std::vector<PendingReplacement> still;
+  still.reserve(pending_.size());
+  for (PendingReplacement& p : pending_) {
+    if (p.next_attempt > now) {
+      still.push_back(std::move(p));
+      continue;
+    }
+    const uint64_t health_id = ResilienceLayer::kOptionHealthIdBase | p.option;
+    if (!resilience_->AllowRequest(health_id, now)) {
+      // The option's breaker is open (repeated launch failures): defer the
+      // attempt to the breaker's deterministic probe time instead of burning
+      // the retry budget into a known outage.
+      p.next_attempt = resilience_->BreakerFor(health_id).probe_at();
+      still.push_back(std::move(p));
+      continue;
+    }
+    if (replacement_policy_.Exhausted(p.attempts)) {
+      // Retry budget spent: leave the shortfall to slot-boundary
+      // reconciliation (Apply), which re-provisions from the plan.
+      continue;
+    }
+    ++p.attempts;
+    const InstanceId repl =
+        provider_->LaunchOnDemand(*p.type, "replacement:" + p.tag);
+    if (repl == kInvalidInstanceId) {
+      ++total_launch_failures_;
+      ++failed_replacements_;
+      resilience_->RecordOutcome(health_id, now, HealthOutcome::kError);
+      if (obs_ != nullptr) {
+        obs_->registry.GetCounter("cluster/replacement_failures")->Increment();
+        obs_->tracer.ReplacementFailed(now, p.op_id);
+      }
+      const Duration delay = replacement_policy_.Delay(p.op_id, p.attempts);
+      p.next_attempt = now + delay;
+      resilience_->CountRetry(now, p.op_id, p.attempts, delay);
+      PushFailureDegradations(p.next_attempt, p.hot_traffic, p.cold_traffic);
+      still.push_back(std::move(p));
+      continue;
+    }
+    resilience_->RecordOutcome(health_id, now, HealthOutcome::kOk);
+    replacements_.push_back(repl);
+    holdings_[p.option].push_back(repl);
+    const Instance* r = provider_->Get(repl);
+    const SimTime ready = std::max(now, r->ready_time);
+    ScheduleWarmup(*p.type, p.op_id, "retry", p.hot_gb, p.cold_gb,
+                   p.hot_traffic, p.cold_traffic, now, ready);
+  }
+  pending_ = std::move(still);
 }
 
 Cluster::StepPerf Cluster::Step(SimTime to, double lambda_actual) {
@@ -405,6 +510,8 @@ Cluster::StepPerf Cluster::Step(SimTime to, double lambda_actual) {
     }
   }
 
+  RetryPendingReplacements(to);
+
   StepPerf perf;
   perf.revocations = step_revocations_;
   perf.revoked_options = step_revoked_options_;
@@ -415,11 +522,22 @@ Cluster::StepPerf Cluster::Step(SimTime to, double lambda_actual) {
     return perf;
   }
 
+  // A latency-mixture component. `backend` marks traffic that lands on the
+  // back-end store (counts against its capacity); shed_class orders admission
+  // shedding: 0 = never shed (cache-served, write-through), 1 = cold
+  // backend-bound (shed first), 2 = hot backend-bound (shed last).
+  struct MixEntry {
+    double lat = 0.0;  // seconds
+    double w = 0.0;    // fraction of arrivals
+    bool backend = false;
+    int shed_class = 0;
+  };
+
   // Active degradation mass over this step (time-overlap weighted). Windows
   // are created at event times within the step; treat each as covering from
   // its creation to `until`, clipped to the step.
   double degraded = 0.0;
-  std::vector<std::pair<double, double>> mixture;  // (latency s, weight)
+  std::vector<MixEntry> mixture;
   for (const auto& d : degradations_) {
     if (d.until <= from) {
       continue;
@@ -431,7 +549,8 @@ Cluster::StepPerf Cluster::Step(SimTime to, double lambda_actual) {
       continue;
     }
     degraded += w;
-    mixture.push_back({d.served_latency.seconds(), w});
+    mixture.push_back({d.served_latency.seconds(), w, d.backend,
+                       d.backend ? (d.cold ? 1 : 2) : 0});
   }
   degradations_.erase(
       std::remove_if(degradations_.begin(), degradations_.end(),
@@ -462,8 +581,9 @@ Cluster::StepPerf Cluster::Step(SimTime to, double lambda_actual) {
     const Duration miss_latency = config_.latency_model.params().base_latency +
                                   config_.latency_model.params().miss_penalty;
     if (running == 0) {
-      // Nothing to serve from: the whole share goes to the back-end.
-      mixture.push_back({miss_latency.seconds(), w});
+      // Nothing to serve from: the whole share goes to the back-end. The mix
+      // of hot and cold keys makes it late-shed (hot) under admission.
+      mixture.push_back({miss_latency.seconds(), w, true, 2});
       perf.affected_fraction += w;
       continue;
     }
@@ -471,39 +591,68 @@ Cluster::StepPerf Cluster::Step(SimTime to, double lambda_actual) {
     const NodeLatency nl = config_.latency_model.HitLatency(
         per_node, (*options_)[item.option].type->capacity);
     perf.saturated = perf.saturated || nl.saturated;
-    mixture.push_back({nl.mean.seconds(), w * 0.95});
-    mixture.push_back({nl.p95.seconds(), w * 0.05});
+    mixture.push_back({nl.mean.seconds(), w * 0.95, false, 0});
+    mixture.push_back({nl.p95.seconds(), w * 0.05, false, 0});
   }
 
-  // Misses past alpha go to the back-end.
+  // Misses past alpha go to the back-end (the coldest tail of the keyspace).
   const double miss_w = std::max(0.0, 1.0 - c.alpha_access_fraction);
   if (miss_w > 0.0) {
     const Duration miss_latency = config_.latency_model.params().base_latency +
                                   config_.latency_model.params().miss_penalty;
-    mixture.push_back({miss_latency.seconds(), miss_w});
+    mixture.push_back({miss_latency.seconds(), miss_w, true, 1});
   }
   // Writes pay the synchronous write-through to the back-end. The read-side
   // mixture weights were built as fractions of the read stream; rescale and
-  // append the write mass.
+  // append the write mass. Writes are never shed (dropping one loses data).
   const double write_w = std::max(0.0, 1.0 - c.read_fraction);
   if (write_w > 0.0) {
-    for (auto& [lat, w] : mixture) {
-      w *= c.read_fraction;
+    for (auto& e : mixture) {
+      e.w *= c.read_fraction;
     }
     const Duration write_latency = config_.latency_model.params().base_latency +
                                    config_.latency_model.params().miss_penalty;
-    mixture.push_back({write_latency.seconds(), write_w});
+    mixture.push_back({write_latency.seconds(), write_w, true, 0});
     perf.affected_fraction *= c.read_fraction;
   }
   perf.hit_fraction = std::max(
       0.0, c.read_fraction * (1.0 - miss_w) - perf.affected_fraction);
 
+  // Admission control: when backend-bound load exceeds the backend's
+  // capacity, shed the overflow cold-first (bounded by the shed budget).
+  // Shed requests are dropped, so they leave the latency mixture entirely.
+  if (resilience_ != nullptr) {
+    double backend_w = 0.0;
+    double cold_w = 0.0;
+    double hot_w = 0.0;
+    for (const auto& e : mixture) {
+      if (e.backend) backend_w += e.w;
+      if (e.shed_class == 1) cold_w += e.w;
+      if (e.shed_class == 2) hot_w += e.w;
+    }
+    const ShedSplit split = resilience_->admission().PlanShed(
+        lambda_actual * backend_w, lambda_actual, lambda_actual * hot_w,
+        lambda_actual * cold_w);
+    if (split.overall > 0.0) {
+      double shed = 0.0;
+      for (auto& e : mixture) {
+        const double rate = e.shed_class == 1   ? split.cold
+                            : e.shed_class == 2 ? split.hot
+                                                : 0.0;
+        shed += e.w * rate;
+        e.w *= 1.0 - rate;
+      }
+      perf.shed_fraction = shed;
+      resilience_->RecordShed(to, "cluster", shed);
+    }
+  }
+
   // Collapse the mixture into mean and p95.
   double total_w = 0.0;
   double mean = 0.0;
-  for (const auto& [lat, w] : mixture) {
-    total_w += w;
-    mean += lat * w;
+  for (const auto& e : mixture) {
+    total_w += e.w;
+    mean += e.lat * e.w;
   }
   if (total_w <= 0.0) {
     perf.mean_latency = config_.latency_model.params().base_latency;
@@ -511,15 +660,16 @@ Cluster::StepPerf Cluster::Step(SimTime to, double lambda_actual) {
     return perf;
   }
   mean /= total_w;
-  std::sort(mixture.begin(), mixture.end());
+  std::sort(mixture.begin(), mixture.end(),
+            [](const MixEntry& a, const MixEntry& b) { return a.lat < b.lat; });
   double acc = 0.0;
-  double p95 = mixture.back().first;
-  for (const auto& [lat, w] : mixture) {
-    acc += w;
+  double p95 = mixture.back().lat;
+  for (const auto& e : mixture) {
+    acc += e.w;
     // Strictly exceed the 0.95 mass so a component ending exactly at the
     // boundary doesn't masquerade as the tail.
     if (acc > 0.95 * total_w * (1.0 + 1e-12)) {
-      p95 = lat;
+      p95 = e.lat;
       break;
     }
   }

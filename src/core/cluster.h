@@ -12,12 +12,14 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/cloud/cloud_provider.h"
 #include "src/obs/obs.h"
 #include "src/opt/procurement.h"
+#include "src/resilience/resilience.h"
 #include "src/sim/latency_model.h"
 #include "src/workload/zipf.h"
 
@@ -37,9 +39,13 @@ struct ClusterConfig {
   /// Fraction of line rate a warm-up copy stream achieves.
   double copy_efficiency = 0.7;
   double ram_usable_fraction = 0.85;
-  /// When a replacement launch fails (injected transient outage), the shard
-  /// stays degraded for this long before the next reconciliation retries.
-  Duration replacement_retry = Duration::Minutes(10);
+  /// Governs retries of failed replacement launches (injected transient
+  /// outages). Without an attached ResilienceLayer only `initial_delay`
+  /// matters — the shard stays degraded that long and the next
+  /// reconciliation re-provisions, exactly the old fixed-timer behavior.
+  /// With the layer attached, in-step retries follow the full policy
+  /// (capped exponential backoff + decorrelated jitter, bounded attempts).
+  RetryPolicyConfig replacement_retry;
 };
 
 /// Demand context attached to an applied plan.
@@ -81,6 +87,9 @@ class Cluster {
     Duration mean_latency;
     Duration p95_latency;
     double hit_fraction = 1.0;
+    /// Fraction of arrivals shed by admission control (0 without an attached
+    /// ResilienceLayer): backend-bound overload refused cold-first.
+    double shed_fraction = 0.0;
     int revocations = 0;
     bool saturated = false;
     /// Options that lost an instance to revocation this step (with
@@ -110,6 +119,16 @@ class Cluster {
   /// windows with the paper's Fig 4 case labels (1a / 1b / 2).
   void AttachObs(Obs* obs);
 
+  /// Attaches the resilience layer (null detaches). When attached, failed
+  /// replacement launches are retried *within* Step under the
+  /// `replacement_retry` policy (gated by a per-option circuit breaker), and
+  /// backend-bound overload is shed cold-first through admission control.
+  /// When detached, behavior is bit-identical to the pre-resilience model.
+  void AttachResilience(ResilienceLayer* layer);
+
+  /// Replacement retries still pending (tests/diagnostics).
+  size_t pending_replacements() const { return pending_.size(); }
+
   /// Instance ids held per option (parallel to the option vector).
   const std::vector<std::vector<InstanceId>>& holdings() const {
     return holdings_;
@@ -121,12 +140,44 @@ class Cluster {
     SimTime until;
     double traffic_fraction = 0.0;  // of all arrivals
     Duration served_latency;        // latency those requests experience
+    /// Where the degraded traffic lands (drives admission shedding): backend
+    /// entries are sheddable, backup-served ones are not.
+    bool backend = false;
+    /// Cold-pool traffic (shed before hot when the backend overloads).
+    bool cold = false;
+  };
+
+  /// One failed replacement launch awaiting an in-step retry (only populated
+  /// with an attached ResilienceLayer).
+  struct PendingReplacement {
+    size_t option = 0;
+    const InstanceTypeSpec* type = nullptr;
+    std::string tag;
+    uint64_t op_id = 0;  // revoked instance id: keys the retry schedule
+    int attempts = 0;
+    SimTime next_attempt;
+    double hot_gb = 0.0;
+    double cold_gb = 0.0;
+    double hot_traffic = 0.0;
+    double cold_traffic = 0.0;
   };
 
   const InstanceTypeSpec& BackupType() const;
   double TrafficWeight(const AllocationItem& item) const;
   void HandleWarning(const Instance& inst);
   void HandleRevocation(const Instance& inst);
+  /// Pushes the interim-gap and warm-up degradation windows for a replacement
+  /// of `type` becoming ready at `ready`, and emits the warm-up trace.
+  void ScheduleWarmup(const InstanceTypeSpec& type, uint64_t inst_id,
+                      const char* warmup_case, double hot_gb, double cold_gb,
+                      double hot_traffic, double cold_traffic, SimTime now,
+                      SimTime ready);
+  /// Marks a shard degraded until the next retry horizon after a failed
+  /// replacement launch.
+  void PushFailureDegradations(SimTime until, double hot_traffic,
+                               double cold_traffic);
+  /// Retries pending replacement launches due by `now` (resilience only).
+  void RetryPendingReplacements(SimTime now);
   /// Copy rate (Mbps) available for warming from the backup fleet at `now`
   /// over an estimated window; consumes backup network tokens.
   double BackupCopyMbps(SimTime from, Duration window, double demand_mbps);
@@ -142,6 +193,7 @@ class Cluster {
   std::vector<InstanceId> replacements_;
   std::unordered_map<InstanceId, InstanceId> replacement_for_;  // spot -> repl
   std::vector<Degradation> degradations_;
+  std::vector<PendingReplacement> pending_;
   int total_revocations_ = 0;
   int total_bid_rejections_ = 0;
   int step_revocations_ = 0;
@@ -149,6 +201,9 @@ class Cluster {
   int backup_losses_ = 0;
   int failed_replacements_ = 0;
   std::vector<size_t> step_revoked_options_;
+
+  ResilienceLayer* resilience_ = nullptr;
+  RetryPolicy replacement_policy_;
 
   Obs* obs_ = nullptr;
   Counter* launched_ = nullptr;

@@ -27,12 +27,30 @@ void GlobalController::AttachObs(Obs* obs) {
   cooldowns_ = obs->registry.GetCounter("controller/cooldowns");
 }
 
+void GlobalController::EnableCooldownBackoff(const RetryPolicyConfig& config,
+                                             uint64_t seed) {
+  cooldown_policy_.emplace(config, seed);
+}
+
+int GlobalController::CooldownStreak(size_t option) const {
+  const auto it = cooldown_streak_.find(option);
+  return it == cooldown_streak_.end() ? 0 : it->second;
+}
+
 void GlobalController::NoteRevocation(size_t option, SimTime now) {
-  if (revocation_cooldown_ <= Duration::Micros(0)) {
+  Duration cooldown = revocation_cooldown_;
+  if (cooldown_policy_.has_value()) {
+    // A revocation while the option is still cooling means the storm is
+    // ongoing: escalate. One that lands after recovery starts a new streak.
+    int& streak = cooldown_streak_[option];
+    streak = InCooldown(option, now) ? streak + 1 : 1;
+    cooldown = cooldown_policy_->Delay(option, streak);
+  }
+  if (cooldown <= Duration::Micros(0)) {
     return;
   }
   SimTime& until = cooldown_until_[option];
-  until = std::max(until, now + revocation_cooldown_);
+  until = std::max(until, now + cooldown);
   if (obs_ != nullptr) {
     cooldowns_->Increment();
     obs_->tracer.MarketCooldown(

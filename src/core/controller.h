@@ -9,12 +9,14 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "src/opt/optimizer.h"
 #include "src/predict/spot_predictor.h"
 #include "src/predict/workload_predictor.h"
+#include "src/resilience/retry_policy.h"
 #include "src/workload/zipf.h"
 
 namespace spotcache {
@@ -43,6 +45,14 @@ class GlobalController {
   void NoteRevocation(size_t option, SimTime now);
   /// Whether `option` is currently in cooldown.
   bool InCooldown(size_t option, SimTime now) const;
+
+  /// Escalating cooldowns (resilience layer): successive revocations of the
+  /// same option *while it is still cooling* lengthen the cooldown under the
+  /// retry policy (initial_delay should be the base revocation cooldown);
+  /// a revocation after the option recovered resets the escalation.
+  void EnableCooldownBackoff(const RetryPolicyConfig& config, uint64_t seed);
+  /// Current escalation streak for an option (tests/diagnostics).
+  int CooldownStreak(size_t option) const;
 
   /// Predicted workload for the upcoming slot (persistence until enough
   /// history accumulates).
@@ -74,6 +84,8 @@ class GlobalController {
   Ar2Predictor ws_predictor_;
   Duration revocation_cooldown_;  // zero = disabled
   std::unordered_map<size_t, SimTime> cooldown_until_;
+  std::optional<RetryPolicy> cooldown_policy_;  // escalating cooldowns
+  std::unordered_map<size_t, int> cooldown_streak_;
   Obs* obs_ = nullptr;
   Histogram* plan_hist_ = nullptr;
   Counter* plans_ = nullptr;

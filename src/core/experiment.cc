@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "src/cloud/spot_price_model.h"
 #include "src/util/logging.h"
@@ -74,6 +75,44 @@ std::unique_ptr<SpotFeaturePredictor> MakePredictor(Approach a) {
   return std::make_unique<CdfPredictor>();
 }
 
+std::string ValidateExperimentConfig(const ExperimentConfig& config) {
+  if (std::string err = config.workload.Validate(); !err.empty()) {
+    return err;
+  }
+  for (const double m : config.bid_multipliers) {
+    if (!std::isfinite(m) || m <= 0.0) {
+      return "bid_multipliers must all be positive and finite";
+    }
+  }
+  if (config.substep <= Duration::Micros(0)) {
+    return "substep must be positive";
+  }
+  if (!std::isfinite(config.reactive_threshold) ||
+      config.reactive_threshold < 1.0) {
+    return "reactive_threshold must be finite and >= 1 (it is a ratio of "
+           "actual to predicted demand)";
+  }
+  if (config.revocation_cooldown < Duration::Micros(0)) {
+    return "revocation_cooldown must be non-negative";
+  }
+  if (config.cluster.backup_type != nullptr) {
+    if (std::string err = Validate(*config.cluster.backup_type); !err.empty()) {
+      return err;
+    }
+  }
+  if (std::string err = Validate(config.cluster.replacement_retry);
+      !err.empty()) {
+    return "cluster.replacement_retry: " + err;
+  }
+  if (config.resilience.enabled) {
+    if (std::string err = ValidateResilienceConfig(config.resilience);
+        !err.empty()) {
+      return "resilience: " + err;
+    }
+  }
+  return "";
+}
+
 size_t ExperimentResult::OptionIndex(std::string_view label) const {
   for (size_t i = 0; i < option_labels.size(); ++i) {
     if (option_labels[i] == label) {
@@ -84,6 +123,9 @@ size_t ExperimentResult::OptionIndex(std::string_view label) const {
 }
 
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  if (std::string err = ValidateExperimentConfig(config); !err.empty()) {
+    throw std::invalid_argument("invalid experiment config: " + err);
+  }
   const ApproachTraits traits = TraitsOf(config.approach);
 
   // --- Substrate: catalog, markets (traces sized to the run), provider.
@@ -138,6 +180,23 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   cluster_config.use_backup = traits.passive_backup;
   Cluster cluster(&provider, &controller.options(), cluster_config);
   cluster.AttachObs(obs.get());
+
+  // --- Resilience layer (off by default; all consumers keep legacy behavior
+  // bit-for-bit when it is absent).
+  std::unique_ptr<ResilienceLayer> resilience;
+  if (config.resilience.enabled) {
+    resilience = std::make_unique<ResilienceLayer>(config.resilience);
+    resilience->AttachObs(obs.get());
+    cluster.AttachResilience(resilience.get());
+    if (config.revocation_cooldown > Duration::Micros(0)) {
+      // Escalating market cooldowns: the base cooldown is the policy's
+      // initial delay, repeated storms on one option back off from there.
+      RetryPolicyConfig cooldown = config.resilience.retry;
+      cooldown.initial_delay = config.revocation_cooldown;
+      cooldown.max_delay = std::max(cooldown.max_delay, cooldown.initial_delay);
+      controller.EnableCooldownBackoff(cooldown, config.resilience.seed);
+    }
+  }
 
   // --- Workload.
   const WorkloadTrace trace = WorkloadTrace::GenerateDiurnal(
@@ -260,6 +319,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
 
     // Advance through the slot in sub-steps, aggregating performance.
     double affected = 0.0;
+    double shed = 0.0;
     double mean_s = 0.0;
     double p95_max = 0.0;
     int revocations = 0;
@@ -268,6 +328,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
           slot_start + config.substep * static_cast<int64_t>(sub);
       const Cluster::StepPerf perf = cluster.Step(sub_end, lambda_act);
       affected += perf.affected_fraction;
+      shed += perf.shed_fraction;
       mean_s += perf.mean_latency.seconds();
       p95_max = std::max(p95_max, perf.p95_latency.seconds());
       revocations += perf.revocations;
@@ -278,6 +339,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
       }
     }
     affected /= static_cast<double>(substeps);
+    shed /= static_cast<double>(substeps);
     mean_s /= static_cast<double>(substeps);
     result.revocations += revocations;
 
@@ -289,6 +351,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     rec.counts = cluster.ExistingCounts();
     rec.backups = cluster.backup_count();
     rec.affected_fraction = affected;
+    rec.shed_fraction = shed;
     rec.mean_latency = Duration::FromSecondsF(mean_s);
     rec.p95_latency = Duration::FromSecondsF(p95_max);
     rec.revocations = revocations;
@@ -300,6 +363,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     slot_perf.slot_start = slot_start;
     slot_perf.arrival_rate = lambda_act;
     slot_perf.affected_fraction = affected;
+    slot_perf.shed_fraction = shed;
     slot_perf.mean_latency = rec.mean_latency;
     slot_perf.p95_latency = rec.p95_latency;
     slot_perf.cost_dollars = rec.cost;
@@ -310,6 +374,11 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
       reg.AddSample("slot/cost", slot_start, rec.cost);
       reg.AddSample("slot/lambda", slot_start, lambda_act);
       reg.AddSample("slot/affected_fraction", slot_start, affected);
+      if (resilience != nullptr) {
+        // Only sampled with the layer on, so legacy CSV exports stay
+        // byte-identical when it is disabled.
+        reg.AddSample("slot/shed_fraction", slot_start, shed);
+      }
       reg.AddSample("slot/mean_latency_us", slot_start,
                     rec.mean_latency.seconds() * 1e6);
       reg.AddSample("slot/p95_latency_us", slot_start,

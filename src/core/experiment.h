@@ -14,6 +14,7 @@
 #include "src/core/controller.h"
 #include "src/fault/fault_plan.h"
 #include "src/obs/obs.h"
+#include "src/resilience/resilience.h"
 #include "src/sim/metrics.h"
 #include "src/workload/workload_spec.h"
 
@@ -72,7 +73,18 @@ struct ExperimentConfig {
   /// Prometheus snapshot additionally includes wall-clock timer histograms
   /// and is expected to vary run-to-run.
   ObsConfig obs;
+  /// Request-path resilience: health tracking, circuit breakers, in-step
+  /// replacement retries, escalating market cooldowns, and admission-control
+  /// shedding. Disabled by default; with it off every output is bit-identical
+  /// to the pre-resilience harness.
+  ResilienceConfig resilience;
 };
+
+/// Returns "" when the config is well-formed, else an actionable message.
+/// RunExperiment calls this and throws std::invalid_argument on failure, so
+/// malformed configs (NaN rates, zero-capacity types, inverted retry bounds)
+/// fail loudly at load instead of corrupting a multi-day simulation.
+std::string ValidateExperimentConfig(const ExperimentConfig& config);
 
 struct SlotRecord {
   SimTime start;
@@ -83,6 +95,7 @@ struct SlotRecord {
   int backups = 0;
   double cost = 0.0;  // ledger delta across the slot
   double affected_fraction = 0.0;
+  double shed_fraction = 0.0;  // admission-control drops (resilience layer)
   Duration mean_latency;
   Duration p95_latency;
   int revocations = 0;

@@ -191,6 +191,26 @@ RecoveryResult SimulateRecovery(const RecoveryConfig& config) {
       to_backend += uncovered_hot;
     }
 
+    // Admission control over the backend-bound interim stream: when the
+    // uncovered load exceeds the backend's capacity, shed cold-first within
+    // the shed budget. Shed requests are dropped (they leave the latency
+    // mixture) and reported per epoch as shed_fraction.
+    double shed_fraction = 0.0;
+    if (config.admission.has_value() && to_backend > 0.0) {
+      const AdmissionController admit(*config.admission);
+      const double cold_bound = uncovered_cold;
+      const double hot_bound = to_backend - uncovered_cold;
+      const ShedSplit split = admit.PlanShed(
+          config.arrival_rate * to_backend, config.arrival_rate,
+          config.arrival_rate * hot_bound, config.arrival_rate * cold_bound);
+      const double shed_cold = cold_bound * split.cold;
+      const double shed_hot = hot_bound * split.hot;
+      to_backend -= shed_cold + shed_hot;
+      uncovered_hot -= shed_hot;
+      shed_fraction = shed_cold + shed_hot;
+      result.max_shed_fraction = std::max(result.max_shed_fraction, shed_fraction);
+    }
+
     // --- Latency mixture (all affected traffic) and the hot-only mixture.
     std::vector<std::pair<double, double>> mixture;
     std::vector<std::pair<double, double>> hot_mixture;
@@ -288,6 +308,7 @@ RecoveryResult SimulateRecovery(const RecoveryConfig& config) {
     point.mean = Duration::FromSecondsF(mean);
     point.p95 = Duration::FromSecondsF(p95);
     point.warm_traffic_fraction = covered;
+    point.shed_fraction = shed_fraction;
     result.series.push_back(point);
     result.max_mean_latency = std::max(result.max_mean_latency, point.mean);
 

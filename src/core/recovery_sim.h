@@ -15,6 +15,7 @@
 
 #include "src/cloud/instance_types.h"
 #include "src/obs/obs.h"
+#include "src/resilience/admission_controller.h"
 #include "src/sim/latency_model.h"
 #include "src/util/time.h"
 
@@ -75,6 +76,13 @@ struct RecoveryConfig {
   /// time on the `recovery/warmup_s` histogram.
   Obs* obs = nullptr;
 
+  /// Resilience admission control over the interim, backend-bound traffic:
+  /// when the uncovered load exceeds the backend's capacity, requests are
+  /// shed cold-first (bounded by the shed budget) instead of queueing the
+  /// back-end into collapse. nullopt (the default) disables shedding and
+  /// keeps the legacy recovery curves bit-identical.
+  std::optional<AdmissionConfig> admission;
+
   Duration epoch = Duration::Seconds(1);
   Duration horizon = Duration::Minutes(30);
   /// Target average latency; warm-up "finishes" when the running mean falls
@@ -91,6 +99,9 @@ struct RecoveryPoint {
   Duration mean;
   Duration p95;
   double warm_traffic_fraction = 0.0;  // accesses covered by the replacement
+  /// Fraction of the affected traffic shed by admission control this epoch
+  /// (0 unless RecoveryConfig::admission is set).
+  double shed_fraction = 0.0;
 };
 
 struct RecoveryResult {
@@ -106,6 +117,8 @@ struct RecoveryResult {
   bool backup_tokens_exhausted = false;
   /// Whether the backup was lost mid-recovery (backup_loss_at fired).
   bool backup_lost = false;
+  /// Peak per-epoch shed fraction (0 without admission control).
+  double max_shed_fraction = 0.0;
 };
 
 RecoveryResult SimulateRecovery(const RecoveryConfig& config);

@@ -1,6 +1,7 @@
 #include "src/core/system.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "src/cloud/spot_price_model.h"
 
@@ -36,6 +37,15 @@ SpotCacheSystem::SpotCacheSystem(const Config& config)
     controller_->AttachObs(config.obs);
     cluster_->AttachObs(config.obs);
     router_.AttachObs(config.obs);
+  }
+  if (config.resilience.enabled) {
+    const std::string err = ValidateResilienceConfig(config.resilience);
+    if (!err.empty()) {
+      throw std::invalid_argument("invalid resilience config: " + err);
+    }
+    resilience_ = std::make_unique<ResilienceLayer>(config.resilience);
+    resilience_->AttachObs(config.obs);
+    cluster_->AttachResilience(resilience_.get());
   }
 }
 
@@ -88,6 +98,9 @@ void SpotCacheSystem::SyncDataPlane() {
     if (inst == nullptr || !inst->alive()) {
       it->second->FlushObs();
       router_.RemoveNode(it->first);
+      if (resilience_ != nullptr) {
+        resilience_->Forget(it->first);
+      }
       it = nodes_.erase(it);
     } else {
       ++it;
@@ -171,6 +184,9 @@ CacheResponse SpotCacheSystem::Get(KeyId key) {
   ++gets_;
   partitioner_.Observe(key);
   const bool hot = partitioner_.IsHot(key);
+  if (resilience_ != nullptr) {
+    return GetWithLadder(key, hot);
+  }
   CacheResponse resp;
   const auto target = router_.Route(key, hot);
   const LatencyModel& model = config_.cluster.latency_model;
@@ -204,6 +220,106 @@ CacheResponse SpotCacheSystem::Get(KeyId key) {
   return resp;
 }
 
+bool SpotCacheSystem::AdmitBackend(bool hot) {
+  // Overload ratio: the observed read-through rate (request rate scaled by
+  // the running miss fraction) against the configured backend capacity. The
+  // +1 smoothing keeps the estimate defined before any request completes.
+  const AdmissionConfig& cfg = resilience_->config().admission;
+  if (cfg.backend_capacity_ops <= 0.0) {
+    return true;
+  }
+  const double miss_fraction = static_cast<double>(misses_ + 1) /
+                               static_cast<double>(gets_ + 1);
+  const double ratio = last_lambda_ * miss_fraction / cfg.backend_capacity_ops;
+  return resilience_->admission().Admit(hot, ratio);
+}
+
+CacheResponse SpotCacheSystem::GetWithLadder(KeyId key, bool hot) {
+  const SimTime now = provider_.now();
+  const LatencyModel& model = config_.cluster.latency_model;
+  CacheResponse resp;
+  const auto target = router_.Route(key, hot);
+
+  // Rung 1: primary cache node, gated by its circuit breaker. An open
+  // breaker's first allowed request is its half-open probe.
+  if (target && resilience_->AllowRequest(*target, now)) {
+    CacheNode* node = NodeFor(*target);
+    if (node != nullptr && node->Get(key)) {
+      ++hits_;
+      const double share =
+          router_.HotWeightOf(*target) + router_.ColdWeightOf(*target);
+      const Instance* inst = provider_.Get(*target);
+      const NodeLatency lat =
+          model.HitLatency(last_lambda_ * share, inst->type->capacity);
+      resp.hit = true;
+      resp.served_by = ServedBy::kCacheNode;
+      resp.latency = lat.mean;
+      resilience_->RecordOutcome(
+          *target, now,
+          lat.saturated ? HealthOutcome::kTimeout : HealthOutcome::kOk);
+      resilience_->CountLadderHop(LadderRung::kPrimary);
+      return resp;
+    }
+    if (node != nullptr) {
+      // A clean miss is a healthy answer from the primary; the read-through
+      // (and fill) still has to win a backend admission slot.
+      resilience_->RecordOutcome(*target, now, HealthOutcome::kOk);
+      if (AdmitBackend(hot)) {
+        ++misses_;
+        resp.hit = false;
+        resp.served_by = ServedBy::kBackend;
+        resp.latency = backend_.Read(last_lambda_) + model.params().base_latency;
+        node->Set(key, config_.value_bytes);
+        resilience_->CountLadderHop(LadderRung::kBackend);
+        return resp;
+      }
+      ++dropped_;
+      resp.hit = false;
+      resp.served_by = ServedBy::kDropped;
+      resp.latency = Duration();
+      resilience_->CountLadderHop(LadderRung::kShed);
+      return resp;
+    }
+    // Routed to an instance the data plane has no node for: hard failure.
+    resilience_->RecordOutcome(*target, now, HealthOutcome::kError);
+  }
+
+  // Rung 2: passive backup. Hot keys on spot primaries are mirrored to a
+  // backup node; serve from it when the primary rung is unavailable.
+  if (target && hot) {
+    const auto backup = router_.BackupFor(*target);
+    if (backup && resilience_->AllowRequest(*backup, now)) {
+      ++hits_;
+      resp.hit = true;
+      resp.served_by = ServedBy::kBackup;
+      resp.latency =
+          model.params().base_latency + config_.cluster.backup_hop_latency;
+      resilience_->RecordOutcome(*backup, now, HealthOutcome::kOk);
+      resilience_->RecordOutcome(*target, now, HealthOutcome::kServedByBackup);
+      resilience_->CountLadderHop(LadderRung::kBackup);
+      return resp;
+    }
+  }
+
+  // Rung 3: straight to the back-end, admission-gated (cold sheds first).
+  if (AdmitBackend(hot)) {
+    ++misses_;
+    resp.hit = false;
+    resp.served_by = ServedBy::kBackend;
+    resp.latency = backend_.Read(last_lambda_) + model.params().base_latency;
+    resilience_->CountLadderHop(LadderRung::kBackend);
+    return resp;
+  }
+
+  // Rung 4: shed. The request is dropped before reaching the back-end.
+  ++dropped_;
+  resp.hit = false;
+  resp.served_by = ServedBy::kDropped;
+  resp.latency = Duration();
+  resilience_->CountLadderHop(LadderRung::kShed);
+  return resp;
+}
+
 CacheResponse SpotCacheSystem::Put(KeyId key, uint32_t value_bytes) {
   ++sets_;
   partitioner_.Observe(key);
@@ -211,7 +327,15 @@ CacheResponse SpotCacheSystem::Put(KeyId key, uint32_t value_bytes) {
   CacheResponse resp;
   resp.served_by = ServedBy::kCacheNode;
   const auto target = router_.Route(key, hot);
-  if (target) {
+  // With resilience on, a breaker-open primary is skipped: the write still
+  // reaches the back-end (write-through), it just doesn't populate the node.
+  const bool primary_ok =
+      target && (resilience_ == nullptr ||
+                 resilience_->AllowRequest(*target, provider_.now()));
+  if (!primary_ok && resilience_ != nullptr) {
+    resp.served_by = ServedBy::kBackend;
+  }
+  if (primary_ok) {
     CacheNode* node = NodeFor(*target);
     if (node != nullptr) {
       node->Set(key, value_bytes);
@@ -233,6 +357,7 @@ SpotCacheSystem::Stats SpotCacheSystem::GetStats() const {
   s.sets = sets_;
   s.hits = hits_;
   s.misses = misses_;
+  s.dropped = dropped_;
   s.hit_rate = gets_ > 0 ? static_cast<double>(hits_) / gets_ : 0.0;
   s.nodes = static_cast<int>(nodes_.size());
   s.backups = cluster_->backup_count();

@@ -23,6 +23,7 @@
 #include "src/core/cluster.h"
 #include "src/core/controller.h"
 #include "src/core/experiment.h"
+#include "src/resilience/resilience.h"
 #include "src/routing/key_partitioner.h"
 #include "src/routing/router.h"
 #include "src/workload/zipf.h"
@@ -46,6 +47,12 @@ class SpotCacheSystem {
     /// Observability bundle (non-owning, may be null): attached to the
     /// provider, controller, cluster, router, and every cache node.
     Obs* obs = nullptr;
+    /// Request-path resilience. When enabled, Get() walks the degradation
+    /// ladder primary -> passive backup -> backend -> shed, with each rung
+    /// guarded (circuit breakers for nodes, admission control for the
+    /// backend). Disabled by default: the legacy data path is kept verbatim
+    /// so existing runs stay bit-identical.
+    ResilienceConfig resilience;
   };
 
   explicit SpotCacheSystem(const Config& config);
@@ -65,6 +72,7 @@ class SpotCacheSystem {
     uint64_t sets = 0;
     uint64_t hits = 0;
     uint64_t misses = 0;
+    uint64_t dropped = 0;  // shed by admission control (resilience layer)
     double hit_rate = 0.0;
     int nodes = 0;
     int backups = 0;
@@ -72,6 +80,10 @@ class SpotCacheSystem {
     double total_cost = 0.0;
   };
   Stats GetStats() const;
+
+  /// The resilience layer, or nullptr when disabled.
+  ResilienceLayer* resilience() { return resilience_.get(); }
+  const ResilienceLayer* resilience() const { return resilience_.get(); }
 
   SimTime now() const { return provider_.now(); }
   const std::vector<ProcurementOption>& options() const {
@@ -88,6 +100,10 @@ class SpotCacheSystem {
   CacheNode* NodeFor(InstanceId id);
   /// True if the instance backing `id` was bought on the spot market.
   bool IsSpotInstance(InstanceId id) const;
+  /// Resilience GET path: walks the degradation ladder.
+  CacheResponse GetWithLadder(KeyId key, bool hot);
+  /// Asks the admission controller for a backend slot (cold sheds first).
+  bool AdmitBackend(bool hot);
 
   Config config_;
   const InstanceCatalog catalog_;
@@ -98,12 +114,14 @@ class SpotCacheSystem {
   KeyPartitioner partitioner_;
   BackendStore backend_;
   ZipfPopularity popularity_;
+  std::unique_ptr<ResilienceLayer> resilience_;
   std::unordered_map<InstanceId, std::unique_ptr<CacheNode>> nodes_;
   double last_lambda_ = 0.0;
   uint64_t gets_ = 0;
   uint64_t sets_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t dropped_ = 0;
 };
 
 }  // namespace spotcache

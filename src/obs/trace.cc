@@ -193,6 +193,31 @@ void EventTracer::MarketCooldown(SimTime t, std::string_view option,
        {{"option", JsonString(option)}, {"until_us", JsonNumber(until.micros())}});
 }
 
+void EventTracer::BreakerTransition(SimTime t, uint64_t node,
+                                    std::string_view from,
+                                    std::string_view to) {
+  if (!enabled_) return;
+  Push(t, "breaker_transition",
+       {{"node", JsonNumber(static_cast<int64_t>(node))},
+        {"from", JsonString(from)},
+        {"to", JsonString(to)}});
+}
+
+void EventTracer::RetryAttempt(SimTime t, uint64_t op, int attempt,
+                               Duration delay) {
+  if (!enabled_) return;
+  Push(t, "retry_attempt",
+       {{"op", JsonNumber(static_cast<int64_t>(op))},
+        {"attempt", JsonNumber(static_cast<int64_t>(attempt))},
+        {"delay_us", JsonNumber(delay.micros())}});
+}
+
+void EventTracer::Shed(SimTime t, std::string_view scope, double fraction) {
+  if (!enabled_) return;
+  Push(t, "shed",
+       {{"scope", JsonString(scope)}, {"fraction", JsonNumber(fraction)}});
+}
+
 void EventTracer::Custom(SimTime t, std::string_view type,
                          std::vector<std::pair<std::string, std::string>> fields) {
   if (!enabled_) return;

@@ -85,6 +85,18 @@ class EventTracer {
   /// Controller put a market option in post-revocation cooldown.
   void MarketCooldown(SimTime t, std::string_view option, SimTime until);
 
+  // --- Resilience-layer vocabulary. ---
+
+  /// A circuit breaker changed state (closed / open / half_open).
+  void BreakerTransition(SimTime t, uint64_t node, std::string_view from,
+                         std::string_view to);
+  /// One scheduled retry of operation `op` (its `attempt`-th, 1-based),
+  /// delayed by `delay` under the retry policy.
+  void RetryAttempt(SimTime t, uint64_t op, int attempt, Duration delay);
+  /// Admission control shed traffic; `scope` says where ("request", "cluster",
+  /// "recovery") and `fraction` is the shed fraction or realized drop rate.
+  void Shed(SimTime t, std::string_view scope, double fraction);
+
   /// Escape hatch for events outside the fixed vocabulary. `fields` values
   /// must already be JSON fragments (use JsonString / JsonNumber).
   void Custom(SimTime t, std::string_view type,

@@ -1,0 +1,102 @@
+#include "src/resilience/admission_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spotcache {
+
+std::string Validate(const AdmissionConfig& config) {
+  if (!std::isfinite(config.shed_budget) || config.shed_budget < 0.0 ||
+      config.shed_budget > 1.0) {
+    return "admission shed_budget must be in [0, 1]";
+  }
+  if (!std::isfinite(config.backend_capacity_ops) ||
+      config.backend_capacity_ops <= 0.0) {
+    return "admission backend_capacity_ops must be positive and finite";
+  }
+  return "";
+}
+
+ShedSplit AdmissionController::Split(double needed, double hot_share,
+                                     double cold_share) const {
+  ShedSplit split;
+  needed = std::clamp(needed, 0.0, 1.0);
+  if (needed <= 0.0) {
+    return split;
+  }
+  // Cold pool absorbs the shed first; only once it is fully refused does the
+  // hot pool start shedding.
+  if (cold_share > 0.0) {
+    split.cold = std::min(1.0, needed / cold_share);
+  }
+  const double remaining = needed - cold_share * split.cold;
+  if (remaining > 0.0 && hot_share > 0.0) {
+    split.hot = std::clamp(remaining / hot_share, 0.0, 1.0);
+  }
+  split.overall = cold_share * split.cold + hot_share * split.hot;
+  return split;
+}
+
+ShedSplit AdmissionController::PlanShed(double backend_ops, double total_ops,
+                                        double hot_ops,
+                                        double cold_ops) const {
+  if (backend_ops <= config_.backend_capacity_ops || backend_ops <= 0.0) {
+    return ShedSplit{};
+  }
+  const double sheddable = hot_ops + cold_ops;
+  if (sheddable <= 0.0) {
+    return ShedSplit{};
+  }
+  double needed_ops = backend_ops - config_.backend_capacity_ops;
+  if (total_ops > 0.0) {
+    // Budget guard: shed ops <= shed_budget * total offered ops.
+    needed_ops = std::min(needed_ops, config_.shed_budget * total_ops);
+  }
+  // Only the sheddable classes can absorb the overflow; clamp at all of it.
+  const double needed = std::min(1.0, needed_ops / sheddable);
+  return Split(needed, hot_ops / sheddable, cold_ops / sheddable);
+}
+
+bool AdmissionController::Admit(bool is_hot, double overload_ratio) {
+  double needed = 0.0;
+  if (std::isfinite(overload_ratio) && overload_ratio > 1.0) {
+    needed = 1.0 - 1.0 / overload_ratio;
+  }
+  // Cold-first at the request level: treating the pools as roughly equal
+  // halves of the backend-bound stream, the cold pool's shed rate saturates
+  // before the hot pool sheds at all.
+  const double rate = is_hot ? std::max(0.0, 2.0 * needed - 1.0)
+                             : std::min(1.0, 2.0 * needed);
+
+  // Budget guard: never let realized drops exceed shed_budget of offered.
+  const bool over_budget =
+      static_cast<double>(shed_ + 1) >
+      config_.shed_budget * static_cast<double>(offered() + 1);
+
+  double& debt = is_hot ? hot_debt_ : cold_debt_;
+  debt += rate;
+  if (debt >= 1.0 && !over_budget) {
+    debt -= 1.0;
+    ++shed_;
+    return false;
+  }
+  // Clamp so a long overload followed by recovery doesn't owe phantom sheds.
+  debt = std::min(debt, 1.0);
+  ++admitted_;
+  return true;
+}
+
+double AdmissionController::DropRate() const {
+  const int64_t total = offered();
+  return total > 0 ? static_cast<double>(shed_) / static_cast<double>(total)
+                   : 0.0;
+}
+
+void AdmissionController::ResetCounters() {
+  admitted_ = 0;
+  shed_ = 0;
+  cold_debt_ = 0.0;
+  hot_debt_ = 0.0;
+}
+
+}  // namespace spotcache

@@ -1,0 +1,89 @@
+// Admission control for the bottom of the degradation ladder.
+//
+// When enough of the cluster is degraded that backend-bound traffic exceeds
+// the backend's capacity, some requests must be shed (ServedBy::kDropped)
+// rather than queued into collapse. Shedding is *cold-first*: the cold pool's
+// traffic is sacrificed before any hot-pool request is refused, matching the
+// paper's premise that the hot working set carries most of the hit value.
+//
+// Two interfaces share the same split math:
+//   * PlanShed — analytic, for the Cluster step model: given offered
+//     backend-bound load and the hot/cold weights, return the fraction of
+//     each pool to shed (cold saturates first).
+//   * Admit — per-request, for SpotCacheSystem: deterministic error-diffusion
+//     dithering (no RNG draws) turns the target shed rate into an admit/drop
+//     decision stream whose realized rate converges to the target, with a
+//     global budget guard so total drops never exceed shed_budget of offered
+//     traffic.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spotcache {
+
+struct AdmissionConfig {
+  /// Hard ceiling on the fraction of offered requests that may be dropped.
+  double shed_budget = 0.05;
+  /// Backend sustainable throughput (ops/s); admission sheds when
+  /// backend-bound load exceeds this.
+  double backend_capacity_ops = 50'000.0;
+};
+
+/// Returns "" when valid, else an actionable message.
+std::string Validate(const AdmissionConfig& config);
+
+/// Fraction of each pool's backend-bound traffic to shed.
+struct ShedSplit {
+  double cold = 0.0;  // fraction of cold-pool traffic shed
+  double hot = 0.0;   // fraction of hot-pool traffic shed
+  /// Overall shed fraction of the sheddable (hot + cold) load.
+  double overall = 0.0;
+};
+
+class AdmissionController {
+ public:
+  AdmissionController() = default;
+  explicit AdmissionController(const AdmissionConfig& config)
+      : config_(config) {}
+
+  const AdmissionConfig& config() const { return config_; }
+
+  /// Analytic cold-first split. `backend_ops` is the total backend-bound
+  /// load (ops/s) out of `total_ops` offered to the whole system; `hot_ops`
+  /// and `cold_ops` are the *sheddable* portions of that load (writes etc.
+  /// are backend-bound but never shed). The returned per-class rates absorb
+  /// the overflow beyond backend capacity, cold first, capped so shed ops
+  /// never exceed shed_budget * total_ops.
+  ShedSplit PlanShed(double backend_ops, double total_ops, double hot_ops,
+                     double cold_ops) const;
+
+  /// Per-request decision: admit (true) or shed (false). `overload_ratio` is
+  /// offered backend-bound ops / backend capacity; <= 1 always admits.
+  /// Deterministic: a dither accumulator per pool, no RNG.
+  bool Admit(bool is_hot, double overload_ratio);
+
+  int64_t admitted() const { return admitted_; }
+  int64_t shed() const { return shed_; }
+  int64_t offered() const { return admitted_ + shed_; }
+  /// Realized drop rate so far (0 when nothing offered).
+  double DropRate() const;
+
+  void ResetCounters();
+
+ private:
+  /// Cold-first split of a total shed `needed` in [0, 1]: cold saturates at
+  /// rate min(1, needed / cold_share) before hot sheds at all.
+  ShedSplit Split(double needed, double hot_share, double cold_share) const;
+
+  AdmissionConfig config_;
+  // Error-diffusion accumulators: each admit/shed decision folds the target
+  // rate in; a pool sheds when its accumulated debt crosses 1.
+  double cold_debt_ = 0.0;
+  double hot_debt_ = 0.0;
+  int64_t admitted_ = 0;
+  int64_t shed_ = 0;
+};
+
+}  // namespace spotcache

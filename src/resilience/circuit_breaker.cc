@@ -1,0 +1,103 @@
+#include "src/resilience/circuit_breaker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/resilience/retry_policy.h"
+
+namespace spotcache {
+
+std::string_view ToString(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "?";
+}
+
+std::string Validate(const CircuitBreakerConfig& config) {
+  if (config.failure_threshold < 1) {
+    return "breaker failure_threshold must be >= 1";
+  }
+  if (config.open_base <= Duration::Micros(0)) {
+    return "breaker open_base must be positive";
+  }
+  if (!std::isfinite(config.open_backoff) || config.open_backoff < 1.0) {
+    return "breaker open_backoff must be finite and >= 1";
+  }
+  if (config.open_max < config.open_base) {
+    return "breaker open_max must be >= open_base";
+  }
+  if (config.half_open_successes < 1) {
+    return "breaker half_open_successes must be >= 1";
+  }
+  if (!std::isfinite(config.probe_jitter) || config.probe_jitter < 0.0 ||
+      config.probe_jitter >= 1.0) {
+    return "breaker probe_jitter must be in [0, 1)";
+  }
+  return "";
+}
+
+BreakerState CircuitBreaker::state(SimTime now) const {
+  if (!open_) {
+    return BreakerState::kClosed;
+  }
+  return now >= probe_at_ ? BreakerState::kHalfOpen : BreakerState::kOpen;
+}
+
+void CircuitBreaker::Trip(SimTime now) {
+  open_ = true;
+  probe_successes_ = 0;
+  consecutive_failures_ = 0;
+  ++trips_;
+  ++trip_streak_;
+  const double escalated =
+      config_.open_base.seconds() *
+      std::pow(config_.open_backoff, static_cast<double>(trip_streak_ - 1));
+  const double window_s = std::min(escalated, config_.open_max.seconds());
+  const double u = RetryPolicy::HashUnit(seed_, node_id_,
+                                         static_cast<uint64_t>(trips_));
+  const double jittered = window_s * (1.0 + config_.probe_jitter * (2.0 * u - 1.0));
+  probe_at_ = now + Duration::FromSecondsF(jittered);
+}
+
+void CircuitBreaker::RecordSuccess(SimTime now) {
+  switch (state(now)) {
+    case BreakerState::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case BreakerState::kHalfOpen:
+      if (++probe_successes_ >= config_.half_open_successes) {
+        open_ = false;
+        trip_streak_ = 0;  // a full recovery forgives the escalation
+        consecutive_failures_ = 0;
+        probe_successes_ = 0;
+      }
+      break;
+    case BreakerState::kOpen:
+      // A success while open (e.g. an in-flight request that resolved late)
+      // does not close the breaker; the probe schedule stands.
+      break;
+  }
+}
+
+void CircuitBreaker::RecordFailure(SimTime now) {
+  switch (state(now)) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= config_.failure_threshold) {
+        Trip(now);
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      Trip(now);  // failed probe: re-open with an escalated window
+      break;
+    case BreakerState::kOpen:
+      break;  // already refusing traffic
+  }
+}
+
+}  // namespace spotcache

@@ -1,0 +1,76 @@
+#include "src/resilience/health_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spotcache {
+
+std::string_view ToString(HealthOutcome o) {
+  switch (o) {
+    case HealthOutcome::kOk:
+      return "ok";
+    case HealthOutcome::kServedByBackup:
+      return "served_by_backup";
+    case HealthOutcome::kTimeout:
+      return "timeout";
+    case HealthOutcome::kError:
+      return "error";
+    case HealthOutcome::kRevoked:
+      return "revoked";
+  }
+  return "?";
+}
+
+double FailureWeight(HealthOutcome o) {
+  switch (o) {
+    case HealthOutcome::kOk:
+      return 0.0;
+    case HealthOutcome::kServedByBackup:
+      return 0.5;  // degraded but answered: half a failure
+    case HealthOutcome::kTimeout:
+    case HealthOutcome::kError:
+    case HealthOutcome::kRevoked:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+std::string Validate(const HealthConfig& config) {
+  if (!std::isfinite(config.ewma_alpha) || config.ewma_alpha <= 0.0 ||
+      config.ewma_alpha > 1.0) {
+    return "health ewma_alpha must be in (0, 1]";
+  }
+  if (!std::isfinite(config.unhealthy_threshold) ||
+      config.unhealthy_threshold <= 0.0 || config.unhealthy_threshold > 1.0) {
+    return "health unhealthy_threshold must be in (0, 1]";
+  }
+  return "";
+}
+
+void HealthTracker::Record(uint64_t node_id, HealthOutcome outcome) {
+  NodeHealth& h = nodes_[node_id];
+  h.failure_rate += config_.ewma_alpha * (FailureWeight(outcome) - h.failure_rate);
+  ++h.samples;
+}
+
+double HealthTracker::FailureRate(uint64_t node_id) const {
+  const auto it = nodes_.find(node_id);
+  return it == nodes_.end() ? 0.0 : it->second.failure_rate;
+}
+
+int64_t HealthTracker::SampleCount(uint64_t node_id) const {
+  const auto it = nodes_.find(node_id);
+  return it == nodes_.end() ? 0 : it->second.samples;
+}
+
+std::vector<uint64_t> HealthTracker::NodeIds() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, h] : nodes_) {
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace spotcache

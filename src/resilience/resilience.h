@@ -1,0 +1,121 @@
+// The request-path resilience layer: health tracking, per-node circuit
+// breakers, retry/backoff policy, and admission control, bundled behind one
+// config and one obs hookup.
+//
+// Degradation ladder (consulted by SpotCacheSystem::Get and mirrored
+// analytically by Cluster::Step):
+//
+//   primary cache node  ->  passive backup  ->  backend store  ->  shed
+//
+// Each rung is guarded: the primary by its circuit breaker, the backup by its
+// own breaker, the backend by the AdmissionController (which sheds cold-pool
+// traffic first and never exceeds the shed budget). Every outcome feeds the
+// HealthTracker and the breaker of the node that answered (or failed to).
+//
+// Everything here is a pure function of (seed, recorded state): breaker probe
+// times and retry delays are stateless hashes, admission uses error-diffusion
+// dithering, and all iteration is over sorted ids — so a run's resilience
+// decisions replay bit-identically under the same seed (test_determinism).
+//
+// The layer is OFF by default (`ResilienceConfig::enabled = false`); with it
+// off, no component changes behavior and all prior figures stay bit-exact.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/obs/obs.h"
+#include "src/resilience/admission_controller.h"
+#include "src/resilience/circuit_breaker.h"
+#include "src/resilience/health_tracker.h"
+#include "src/resilience/retry_policy.h"
+#include "src/util/time.h"
+
+namespace spotcache {
+
+struct ResilienceConfig {
+  /// Master switch. When false the layer is never constructed and every
+  /// consumer keeps its legacy behavior bit-for-bit.
+  bool enabled = false;
+  /// Seed for all resilience randomness (breaker probe jitter, retry jitter).
+  uint64_t seed = 0x7e51ULL;
+  HealthConfig health;
+  CircuitBreakerConfig breaker;
+  RetryPolicyConfig retry;
+  AdmissionConfig admission;
+};
+
+/// Returns "" when valid, else an actionable message naming the field.
+std::string ValidateResilienceConfig(const ResilienceConfig& config);
+
+/// Rung of the degradation ladder that ultimately answered a request.
+enum class LadderRung : uint8_t { kPrimary, kBackup, kBackend, kShed };
+
+std::string_view ToString(LadderRung r);
+
+class ResilienceLayer {
+ public:
+  /// Health / breaker ids for market options (Cluster's replacement retries)
+  /// live in a reserved id range so they never collide with instance ids.
+  static constexpr uint64_t kOptionHealthIdBase = 0xF000'0000'0000'0000ULL;
+
+  explicit ResilienceLayer(const ResilienceConfig& config);
+
+  /// Resolves counters once; pass nullptr to detach.
+  void AttachObs(Obs* obs);
+
+  const ResilienceConfig& config() const { return config_; }
+  HealthTracker& health() { return health_; }
+  const HealthTracker& health() const { return health_; }
+  AdmissionController& admission() { return admission_; }
+  const AdmissionController& admission() const { return admission_; }
+  const RetryPolicy& retry() const { return retry_; }
+
+  /// The node's breaker, created closed on first use.
+  CircuitBreaker& BreakerFor(uint64_t node_id);
+  /// Whether the node may be sent a request at `now` (true for unknown
+  /// nodes). An open breaker's first allowed request is its probe.
+  bool AllowRequest(uint64_t node_id, SimTime now);
+
+  /// Feeds one outcome into health + the node's breaker, and publishes any
+  /// breaker transition it caused (trace event + trip/close counters).
+  void RecordOutcome(uint64_t node_id, SimTime now, HealthOutcome outcome);
+
+  /// Drops all state for a departed node.
+  void Forget(uint64_t node_id);
+
+  /// Publishes which ladder rung served a request ("resilience/served/..."
+  /// counters; kShed also bumps "resilience/sheds").
+  void CountLadderHop(LadderRung rung);
+  /// Publishes one scheduled retry (counter + trace event).
+  void CountRetry(SimTime now, uint64_t op_id, int attempt, Duration delay);
+  /// Publishes an analytic shed decision (counter + trace event).
+  void RecordShed(SimTime now, std::string_view scope, double fraction);
+
+  int64_t breaker_trips() const { return breaker_trips_; }
+
+ private:
+  ResilienceConfig config_;
+  HealthTracker health_;
+  AdmissionController admission_;
+  RetryPolicy retry_;
+  // std::map for sorted, deterministic iteration in exports/tests.
+  std::map<uint64_t, CircuitBreaker> breakers_;
+
+  Obs* obs_ = nullptr;
+  Counter* trips_counter_ = nullptr;
+  Counter* closes_counter_ = nullptr;
+  Counter* retries_counter_ = nullptr;
+  Counter* sheds_counter_ = nullptr;
+  Counter* served_primary_ = nullptr;
+  Counter* served_backup_ = nullptr;
+  Counter* served_backend_ = nullptr;
+  Counter* served_shed_ = nullptr;
+
+  int64_t breaker_trips_ = 0;
+};
+
+}  // namespace spotcache

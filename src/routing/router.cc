@@ -40,21 +40,33 @@ std::vector<uint64_t> Router::NodeIds() const {
 
 void Router::AttachObs(Obs* obs) {
   if (obs == nullptr) {
-    hot_routes_ = cold_routes_ = route_misses_ = nullptr;
+    hot_routes_ = cold_routes_ = route_misses_ = pool_fallthroughs_ = nullptr;
     return;
   }
   hot_routes_ = obs->registry.GetCounter("router/routes", {{"pool", "hot"}});
   cold_routes_ = obs->registry.GetCounter("router/routes", {{"pool", "cold"}});
   route_misses_ = obs->registry.GetCounter("router/route_misses");
+  pool_fallthroughs_ = obs->registry.GetCounter("router/pool_fallthroughs");
 }
 
 std::optional<uint64_t> Router::Route(KeyId key, bool is_hot) const {
   const uint64_t salt = is_hot ? kHotSalt : kColdSalt;
   const uint64_t h = HashCombine(HashU64(key), salt);
-  const std::optional<uint64_t> node =
+  std::optional<uint64_t> node =
       is_hot ? hot_ring_.NodeFor(h) : cold_ring_.NodeFor(h);
+  bool fell_through = false;
+  if (!node.has_value()) {
+    // The requested pool has no members (e.g. every cold-weighted node was
+    // revoked at once). Fall through to the other pool's ring rather than
+    // failing the route: any live node beats an instant backend miss.
+    node = is_hot ? cold_ring_.NodeFor(h) : hot_ring_.NodeFor(h);
+    fell_through = node.has_value();
+  }
   if (Counter* c = is_hot ? hot_routes_ : cold_routes_; c != nullptr) {
     c->Increment();
+    if (fell_through) {
+      pool_fallthroughs_->Increment();
+    }
     if (!node.has_value()) {
       route_misses_->Increment();
     }

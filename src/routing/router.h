@@ -38,7 +38,9 @@ class Router {
   std::vector<uint64_t> NodeIds() const;
   size_t node_count() const { return weights_.size(); }
 
-  /// Routes a key in its popularity pool; nullopt if the pool is empty.
+  /// Routes a key in its popularity pool. When that pool is empty the route
+  /// falls through to the other pool's ring (same key hash), so a request
+  /// only misses when *no* node is routable at all.
   std::optional<uint64_t> Route(KeyId key, bool is_hot) const;
 
   /// Attaches observability (null detaches). Counters are resolved once
@@ -77,6 +79,7 @@ class Router {
   Counter* hot_routes_ = nullptr;
   Counter* cold_routes_ = nullptr;
   Counter* route_misses_ = nullptr;
+  Counter* pool_fallthroughs_ = nullptr;
 };
 
 }  // namespace spotcache

@@ -111,6 +111,16 @@ double SloTracker::AffectedRequestFraction() const {
   return total > 0.0 ? affected / total : 0.0;
 }
 
+double SloTracker::ShedRequestFraction() const {
+  double shed = 0.0;
+  double total = 0.0;
+  for (const auto& s : slots_) {
+    shed += s.shed_fraction * s.arrival_rate;
+    total += s.arrival_rate;
+  }
+  return total > 0.0 ? shed / total : 0.0;
+}
+
 double SloTracker::TotalCost() const {
   double c = 0.0;
   for (const auto& s : slots_) {
@@ -129,6 +139,11 @@ void SloTracker::PublishTo(MetricsRegistry* registry) const {
   registry->GetGauge("slo/days_violated_fraction")->Set(DaysViolatedFraction());
   registry->GetGauge("slo/affected_request_fraction")
       ->Set(AffectedRequestFraction());
+  // Only registered once shedding actually happened, so runs with the
+  // resilience layer disabled export byte-identical snapshots.
+  if (const double shed = ShedRequestFraction(); shed > 0.0) {
+    registry->GetGauge("slo/shed_request_fraction")->Set(shed);
+  }
   registry->GetGauge("slo/total_cost_dollars")->Set(TotalCost());
   PublishFaults(faults_, registry);
 }

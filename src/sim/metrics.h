@@ -43,6 +43,8 @@ struct SlotPerf {
   Duration mean_latency;
   Duration p95_latency;
   double hit_fraction = 1.0;
+  /// Fraction of arrivals shed by admission control (resilience layer).
+  double shed_fraction = 0.0;
   double cost_dollars = 0.0;
 };
 
@@ -67,6 +69,10 @@ class SloTracker {
 
   /// Fraction of all requests affected by failures.
   double AffectedRequestFraction() const;
+
+  /// Fraction of all requests shed by admission control (0 when the
+  /// resilience layer is disabled).
+  double ShedRequestFraction() const;
 
   double TotalCost() const;
 

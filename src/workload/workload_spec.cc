@@ -1,8 +1,39 @@
 #include "src/workload/workload_spec.h"
 
+#include <cmath>
 #include <cstdio>
 
 namespace spotcache {
+
+std::string WorkloadSpec::Validate() const {
+  const std::string prefix =
+      "workload \"" + (name.empty() ? std::string("<unnamed>") : name) + "\": ";
+  if (!std::isfinite(peak_rate_ops) || peak_rate_ops <= 0.0) {
+    return prefix + "peak_rate_ops must be positive and finite";
+  }
+  if (!std::isfinite(peak_working_set_gb) || peak_working_set_gb <= 0.0) {
+    return prefix + "peak_working_set_gb must be positive and finite";
+  }
+  if (!std::isfinite(zipf_theta) || zipf_theta <= 0.0) {
+    return prefix + "zipf_theta must be positive and finite";
+  }
+  if (!std::isfinite(read_fraction) || read_fraction < 0.0 ||
+      read_fraction > 1.0) {
+    return prefix + "read_fraction must be in [0, 1]";
+  }
+  if (days < 1) {
+    return prefix + "days must be >= 1";
+  }
+  if (value_bytes == 0) {
+    return prefix + "value_bytes must be non-zero";
+  }
+  if (NumKeys() == 0) {
+    return prefix +
+           "working set is smaller than one item (increase "
+           "peak_working_set_gb or shrink value_bytes)";
+  }
+  return "";
+}
 
 std::vector<WorkloadSpec> LongTermGrid(int days, uint64_t seed) {
   std::vector<WorkloadSpec> out;

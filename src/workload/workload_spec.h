@@ -35,6 +35,12 @@ struct WorkloadSpec {
     return static_cast<uint64_t>(peak_working_set_gb * 1024.0 * 1024.0 * 1024.0 /
                                  value_bytes);
   }
+
+  /// Returns "" when the spec is well-formed, else an actionable message
+  /// naming the offending field (finite positive rates and working set,
+  /// positive Zipf theta, read_fraction in [0, 1], at least one day, and a
+  /// non-zero item size).
+  std::string Validate() const;
 };
 
 /// The §5.5 grid: rate {100k, 500k, 1000k} x working set {10, 100, 500 GB}

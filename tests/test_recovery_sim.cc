@@ -96,6 +96,31 @@ TEST(RecoverySim, BackupCostReported) {
   EXPECT_EQ(SimulateRecovery(BaseConfig(nullptr)).backup_cost_per_hour, 0.0);
 }
 
+TEST(RecoverySim, AdmissionShedsWithinBudgetAndHelpsTheTail) {
+  // No backup, so the whole uncovered stream is backend-bound, and a backend
+  // sized well under the arrival rate: admission control must shed.
+  RecoveryConfig cfg = BaseConfig(nullptr);
+  AdmissionConfig admission;
+  admission.backend_capacity_ops = 0.1 * cfg.arrival_rate;
+  cfg.admission = admission;
+  const RecoveryResult shed = SimulateRecovery(cfg);
+  EXPECT_GT(shed.max_shed_fraction, 0.0);
+  for (const auto& p : shed.series) {
+    EXPECT_LE(p.shed_fraction, admission.shed_budget + 1e-9);
+  }
+
+  // Default nullopt admission is the legacy path: nothing is ever shed.
+  const RecoveryResult legacy = SimulateRecovery(BaseConfig(nullptr));
+  EXPECT_EQ(legacy.max_shed_fraction, 0.0);
+  for (const auto& p : legacy.series) {
+    EXPECT_DOUBLE_EQ(p.shed_fraction, 0.0);
+  }
+
+  // Shed requests leave the latency mixture, so the interim tail is no worse
+  // than letting everything queue on the back-end.
+  EXPECT_LE(shed.p95_during_recovery, legacy.p95_during_recovery);
+}
+
 TEST(NetworkCreditEarnTime, ScalesWithDataAndBaseline) {
   const InstanceTypeSpec* small = Catalog().Find("t2.small");
   const InstanceTypeSpec* large = Catalog().Find("t2.large");

@@ -1,0 +1,524 @@
+// Unit tests of the resilience layer: retry policy, circuit breaker state
+// machine, health EWMA, admission control (cold-first shedding), config
+// validation, and the system-level degradation ladder.
+
+#include "src/resilience/resilience.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/core/experiment.h"
+#include "src/core/system.h"
+#include "src/workload/request_gen.h"
+
+namespace spotcache {
+namespace {
+
+// --------------------------------------------------------------------------
+// RetryPolicy
+
+TEST(RetryPolicy, FirstAttemptIsExactlyInitialDelay) {
+  RetryPolicyConfig cfg;
+  cfg.initial_delay = Duration::Minutes(10);
+  const RetryPolicy policy(cfg, 0x1234);
+  EXPECT_EQ(policy.Delay(1, 1), Duration::Minutes(10));
+  EXPECT_EQ(policy.Delay(999, 1), Duration::Minutes(10));
+}
+
+TEST(RetryPolicy, DelaysAreBoundedAndPure) {
+  RetryPolicyConfig cfg;
+  cfg.initial_delay = Duration::Seconds(10);
+  cfg.max_delay = Duration::Minutes(5);
+  const RetryPolicy a(cfg, 42);
+  const RetryPolicy b(cfg, 42);
+  for (uint64_t op = 0; op < 16; ++op) {
+    for (int attempt = 1; attempt <= cfg.max_attempts; ++attempt) {
+      const Duration d = a.Delay(op, attempt);
+      EXPECT_GE(d, cfg.initial_delay) << "op " << op << " attempt " << attempt;
+      EXPECT_LE(d, cfg.max_delay) << "op " << op << " attempt " << attempt;
+      // Pure: replaying with an identical policy yields the same schedule.
+      EXPECT_EQ(d, b.Delay(op, attempt));
+    }
+  }
+}
+
+TEST(RetryPolicy, JitterDecorrelatesOperations) {
+  RetryPolicyConfig cfg;
+  cfg.initial_delay = Duration::Seconds(10);
+  cfg.jitter = 0.5;
+  const RetryPolicy policy(cfg, 7);
+  std::set<int64_t> third_delays;
+  for (uint64_t op = 0; op < 32; ++op) {
+    third_delays.insert(policy.Delay(op, 3).micros());
+  }
+  // Different ops must not retry in lockstep.
+  EXPECT_GT(third_delays.size(), 8u);
+}
+
+TEST(RetryPolicy, BudgetExhaustion) {
+  RetryPolicyConfig cfg;
+  cfg.max_attempts = 3;
+  const RetryPolicy policy(cfg, 1);
+  EXPECT_FALSE(policy.Exhausted(0));
+  EXPECT_FALSE(policy.Exhausted(2));
+  EXPECT_TRUE(policy.Exhausted(3));
+  EXPECT_TRUE(policy.Exhausted(4));
+}
+
+TEST(RetryPolicy, DeadlineBudget) {
+  RetryPolicyConfig cfg;
+  cfg.deadline = Duration::Minutes(30);
+  const RetryPolicy policy(cfg, 1);
+  EXPECT_TRUE(policy.WithinDeadline(Duration::Minutes(29)));
+  EXPECT_FALSE(policy.WithinDeadline(Duration::Minutes(30)));
+  RetryPolicyConfig open_ended;
+  open_ended.deadline = Duration();
+  EXPECT_TRUE(RetryPolicy(open_ended, 1).WithinDeadline(Duration::Days(365)));
+}
+
+TEST(RetryPolicy, ValidateRejectsMalformedConfigs) {
+  RetryPolicyConfig bad;
+  bad.initial_delay = Duration::Seconds(-1);
+  EXPECT_FALSE(Validate(bad).empty());
+  bad = RetryPolicyConfig{};
+  bad.backoff_factor = 0.5;
+  EXPECT_FALSE(Validate(bad).empty());
+  bad = RetryPolicyConfig{};
+  bad.max_delay = Duration::Seconds(1);
+  bad.initial_delay = Duration::Seconds(10);
+  EXPECT_FALSE(Validate(bad).empty());
+  bad = RetryPolicyConfig{};
+  bad.max_attempts = 0;
+  EXPECT_FALSE(Validate(bad).empty());
+  bad = RetryPolicyConfig{};
+  bad.jitter = 1.5;
+  EXPECT_FALSE(Validate(bad).empty());
+  EXPECT_TRUE(Validate(RetryPolicyConfig{}).empty());
+}
+
+// --------------------------------------------------------------------------
+// CircuitBreaker
+
+CircuitBreakerConfig FastBreaker() {
+  CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 3;
+  cfg.open_base = Duration::Seconds(30);
+  cfg.open_backoff = 2.0;
+  cfg.open_max = Duration::Minutes(10);
+  cfg.half_open_successes = 2;
+  cfg.probe_jitter = 0.25;
+  return cfg;
+}
+
+TEST(CircuitBreaker, ClosedUntilThreshold) {
+  CircuitBreaker b(FastBreaker(), 1, 10);
+  SimTime t;
+  b.RecordFailure(t);
+  b.RecordFailure(t);
+  EXPECT_EQ(b.state(t), BreakerState::kClosed);
+  EXPECT_TRUE(b.Allow(t));
+  // A success resets the consecutive count.
+  b.RecordSuccess(t);
+  b.RecordFailure(t);
+  b.RecordFailure(t);
+  EXPECT_EQ(b.state(t), BreakerState::kClosed);
+  b.RecordFailure(t);
+  EXPECT_EQ(b.state(t), BreakerState::kOpen);
+  EXPECT_FALSE(b.Allow(t));
+  EXPECT_EQ(b.trips(), 1);
+}
+
+TEST(CircuitBreaker, HalfOpenAtProbeTimeThenCloses) {
+  CircuitBreaker b(FastBreaker(), 1, 10);
+  SimTime t;
+  for (int i = 0; i < 3; ++i) {
+    b.RecordFailure(t);
+  }
+  ASSERT_EQ(b.state(t), BreakerState::kOpen);
+  const SimTime probe = b.probe_at();
+  EXPECT_GT(probe, t);
+  // Jitter keeps the window within [0.75, 1.25] of open_base.
+  const double window_s = (probe - t).seconds();
+  EXPECT_GE(window_s, 30.0 * 0.75 - 1e-9);
+  EXPECT_LE(window_s, 30.0 * 1.25 + 1e-9);
+  EXPECT_EQ(b.state(probe), BreakerState::kHalfOpen);
+  EXPECT_TRUE(b.Allow(probe));
+  b.RecordSuccess(probe);
+  EXPECT_EQ(b.state(probe), BreakerState::kHalfOpen);  // needs 2 successes
+  b.RecordSuccess(probe);
+  EXPECT_EQ(b.state(probe), BreakerState::kClosed);
+  EXPECT_EQ(b.trip_streak(), 0);
+}
+
+TEST(CircuitBreaker, HalfOpenFailureEscalatesWindow) {
+  CircuitBreaker b(FastBreaker(), 1, 10);
+  SimTime t;
+  for (int i = 0; i < 3; ++i) {
+    b.RecordFailure(t);
+  }
+  const SimTime first_probe = b.probe_at();
+  const double first_window = (first_probe - t).seconds();
+  b.RecordFailure(first_probe);  // failed probe: re-trip, escalated
+  EXPECT_EQ(b.state(first_probe), BreakerState::kOpen);
+  EXPECT_EQ(b.trips(), 2);
+  EXPECT_EQ(b.trip_streak(), 2);
+  const double second_window = (b.probe_at() - first_probe).seconds();
+  // Escalation doubles the base; jitter bands must not overlap backwards.
+  EXPECT_GT(second_window, first_window);
+}
+
+TEST(CircuitBreaker, ProbeTimesDeterministicPerSeedAndNode) {
+  SimTime t;
+  CircuitBreaker a(FastBreaker(), 99, 10);
+  CircuitBreaker b(FastBreaker(), 99, 10);
+  CircuitBreaker other_node(FastBreaker(), 99, 11);
+  for (int i = 0; i < 3; ++i) {
+    a.RecordFailure(t);
+    b.RecordFailure(t);
+    other_node.RecordFailure(t);
+  }
+  EXPECT_EQ(a.probe_at(), b.probe_at());
+  // Different nodes de-synchronize their probes.
+  EXPECT_NE(a.probe_at(), other_node.probe_at());
+}
+
+// --------------------------------------------------------------------------
+// HealthTracker
+
+TEST(HealthTracker, EwmaTracksOutcomes) {
+  HealthConfig cfg;
+  cfg.ewma_alpha = 0.2;
+  cfg.unhealthy_threshold = 0.5;
+  HealthTracker h(cfg);
+  EXPECT_DOUBLE_EQ(h.FailureRate(5), 0.0);
+  EXPECT_TRUE(h.Healthy(5));
+  for (int i = 0; i < 10; ++i) {
+    h.Record(5, HealthOutcome::kError);
+  }
+  EXPECT_GT(h.FailureRate(5), 0.5);
+  EXPECT_FALSE(h.Healthy(5));
+  for (int i = 0; i < 20; ++i) {
+    h.Record(5, HealthOutcome::kOk);
+  }
+  EXPECT_LT(h.FailureRate(5), 0.1);
+  EXPECT_TRUE(h.Healthy(5));
+}
+
+TEST(HealthTracker, BackupServedIsPartialFailure) {
+  EXPECT_DOUBLE_EQ(FailureWeight(HealthOutcome::kOk), 0.0);
+  EXPECT_DOUBLE_EQ(FailureWeight(HealthOutcome::kServedByBackup), 0.5);
+  EXPECT_DOUBLE_EQ(FailureWeight(HealthOutcome::kTimeout), 1.0);
+  EXPECT_DOUBLE_EQ(FailureWeight(HealthOutcome::kError), 1.0);
+  EXPECT_DOUBLE_EQ(FailureWeight(HealthOutcome::kRevoked), 1.0);
+  HealthTracker h;
+  for (int i = 0; i < 100; ++i) {
+    h.Record(1, HealthOutcome::kServedByBackup);
+  }
+  EXPECT_NEAR(h.FailureRate(1), 0.5, 0.01);
+}
+
+TEST(HealthTracker, ForgetDropsState) {
+  HealthTracker h;
+  h.Record(1, HealthOutcome::kError);
+  EXPECT_EQ(h.SampleCount(1), 1);
+  h.Forget(1);
+  EXPECT_EQ(h.SampleCount(1), 0);
+  EXPECT_DOUBLE_EQ(h.FailureRate(1), 0.0);
+}
+
+// --------------------------------------------------------------------------
+// AdmissionController
+
+TEST(Admission, NoShedUnderCapacity) {
+  AdmissionConfig cfg;
+  cfg.backend_capacity_ops = 50'000;
+  const AdmissionController a(cfg);
+  const ShedSplit s = a.PlanShed(40'000, 100'000, 20'000, 20'000);
+  EXPECT_DOUBLE_EQ(s.cold, 0.0);
+  EXPECT_DOUBLE_EQ(s.hot, 0.0);
+  EXPECT_DOUBLE_EQ(s.overall, 0.0);
+}
+
+TEST(Admission, ColdShedsBeforeHot) {
+  AdmissionConfig cfg;
+  cfg.backend_capacity_ops = 50'000;
+  cfg.shed_budget = 1.0;  // no budget bound, isolate the ordering
+  const AdmissionController a(cfg);
+  // 10k over capacity, cold pool alone can absorb it: hot untouched.
+  ShedSplit s = a.PlanShed(60'000, 200'000, 30'000, 20'000);
+  EXPECT_GT(s.cold, 0.0);
+  EXPECT_DOUBLE_EQ(s.hot, 0.0);
+  EXPECT_NEAR(s.cold * 20'000, 10'000, 1.0);
+  // 45k over capacity: cold (20k) saturates, hot absorbs the rest.
+  s = a.PlanShed(95'000, 200'000, 30'000, 20'000);
+  EXPECT_DOUBLE_EQ(s.cold, 1.0);
+  EXPECT_GT(s.hot, 0.0);
+  EXPECT_NEAR(s.cold * 20'000 + s.hot * 30'000, 45'000, 1.0);
+}
+
+TEST(Admission, PlanShedRespectsBudget) {
+  AdmissionConfig cfg;
+  cfg.backend_capacity_ops = 10'000;
+  cfg.shed_budget = 0.05;
+  const AdmissionController a(cfg);
+  // Massive overload, but shed ops stay within budget * total.
+  const ShedSplit s = a.PlanShed(90'000, 100'000, 45'000, 45'000);
+  const double shed_ops = s.cold * 45'000 + s.hot * 45'000;
+  EXPECT_LE(shed_ops, 0.05 * 100'000 + 1.0);
+  EXPECT_GT(shed_ops, 0.0);
+}
+
+TEST(Admission, AdmitAlwaysUnderCapacity) {
+  AdmissionController a(AdmissionConfig{});
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(a.Admit(i % 2 == 0, 0.9));
+  }
+  EXPECT_EQ(a.shed(), 0);
+}
+
+TEST(Admission, AdmitShedsColdFirstAtModerateOverload) {
+  AdmissionConfig cfg;
+  cfg.shed_budget = 1.0;
+  AdmissionController a(cfg);
+  // 25% overload -> needed = 0.2; cold rate 0.4, hot rate 0.
+  int cold_shed = 0;
+  int hot_shed = 0;
+  for (int i = 0; i < 2000; ++i) {
+    cold_shed += a.Admit(/*is_hot=*/false, 1.25) ? 0 : 1;
+    hot_shed += a.Admit(/*is_hot=*/true, 1.25) ? 0 : 1;
+  }
+  EXPECT_EQ(hot_shed, 0);
+  EXPECT_NEAR(cold_shed / 2000.0, 0.4, 0.05);
+}
+
+TEST(Admission, AdmitNeverExceedsBudget) {
+  AdmissionConfig cfg;
+  cfg.shed_budget = 0.05;
+  AdmissionController a(cfg);
+  for (int i = 0; i < 20'000; ++i) {
+    a.Admit(i % 4 == 0, /*overload_ratio=*/50.0);  // catastrophic overload
+  }
+  EXPECT_GT(a.shed(), 0);
+  EXPECT_LE(a.DropRate(), 0.05 + 1e-3);
+}
+
+TEST(Admission, AdmitStreamIsDeterministic) {
+  AdmissionConfig cfg;
+  cfg.shed_budget = 0.5;
+  AdmissionController a(cfg);
+  AdmissionController b(cfg);
+  for (int i = 0; i < 500; ++i) {
+    const bool hot = (i % 3) == 0;
+    EXPECT_EQ(a.Admit(hot, 1.7), b.Admit(hot, 1.7)) << "request " << i;
+  }
+}
+
+// --------------------------------------------------------------------------
+// ResilienceLayer plumbing
+
+ResilienceConfig EnabledConfig() {
+  ResilienceConfig cfg;
+  cfg.enabled = true;
+  return cfg;
+}
+
+TEST(ResilienceLayer, BreakerLifecycleAndCounters) {
+  ResilienceLayer layer(EnabledConfig());
+  SimTime t;
+  EXPECT_TRUE(layer.AllowRequest(7, t));  // unknown nodes pass
+  for (int i = 0; i < 3; ++i) {
+    layer.RecordOutcome(7, t, HealthOutcome::kError);
+  }
+  EXPECT_FALSE(layer.AllowRequest(7, t));
+  EXPECT_EQ(layer.breaker_trips(), 1);
+  const SimTime probe = layer.BreakerFor(7).probe_at();
+  EXPECT_TRUE(layer.AllowRequest(7, probe));
+  layer.RecordOutcome(7, probe, HealthOutcome::kOk);
+  layer.RecordOutcome(7, probe, HealthOutcome::kOk);
+  EXPECT_TRUE(layer.AllowRequest(7, probe));
+  EXPECT_EQ(layer.BreakerFor(7).state(probe), BreakerState::kClosed);
+}
+
+TEST(ResilienceLayer, BackupServedNeitherTripsNorHeals) {
+  ResilienceLayer layer(EnabledConfig());
+  SimTime t;
+  for (int i = 0; i < 50; ++i) {
+    layer.RecordOutcome(3, t, HealthOutcome::kServedByBackup);
+  }
+  // Health degrades toward the 0.5 partial-failure weight, but the breaker
+  // never trips on partial outcomes.
+  EXPECT_GT(layer.health().FailureRate(3), 0.45);
+  EXPECT_TRUE(layer.AllowRequest(3, t));
+  EXPECT_EQ(layer.breaker_trips(), 0);
+}
+
+TEST(ResilienceLayer, ForgetDropsNodeState) {
+  ResilienceLayer layer(EnabledConfig());
+  SimTime t;
+  for (int i = 0; i < 3; ++i) {
+    layer.RecordOutcome(9, t, HealthOutcome::kError);
+  }
+  EXPECT_FALSE(layer.AllowRequest(9, t));
+  layer.Forget(9);
+  EXPECT_TRUE(layer.AllowRequest(9, t));
+  EXPECT_EQ(layer.health().SampleCount(9), 0);
+}
+
+// --------------------------------------------------------------------------
+// Config validation
+
+TEST(Validation, ResilienceConfigFieldsChecked) {
+  EXPECT_TRUE(ValidateResilienceConfig(ResilienceConfig{}).empty());
+  ResilienceConfig bad;
+  bad.health.ewma_alpha = 2.0;
+  EXPECT_FALSE(ValidateResilienceConfig(bad).empty());
+  bad = ResilienceConfig{};
+  bad.breaker.failure_threshold = 0;
+  EXPECT_FALSE(ValidateResilienceConfig(bad).empty());
+  bad = ResilienceConfig{};
+  bad.admission.shed_budget = -0.1;
+  EXPECT_FALSE(ValidateResilienceConfig(bad).empty());
+}
+
+TEST(Validation, WorkloadSpecRejectsNonFinite) {
+  WorkloadSpec ok = PrototypeWorkload(1);
+  EXPECT_TRUE(ok.Validate().empty());
+  WorkloadSpec bad = ok;
+  bad.peak_rate_ops = std::nan("");
+  EXPECT_NE(bad.Validate().find("peak_rate_ops"), std::string::npos);
+  bad = ok;
+  bad.peak_working_set_gb = 0.0;
+  EXPECT_FALSE(bad.Validate().empty());
+  bad = ok;
+  bad.read_fraction = 1.5;
+  EXPECT_FALSE(bad.Validate().empty());
+  bad = ok;
+  bad.days = 0;
+  EXPECT_FALSE(bad.Validate().empty());
+  bad = ok;
+  bad.value_bytes = 0;
+  EXPECT_FALSE(bad.Validate().empty());
+}
+
+TEST(Validation, InstanceTypeRejectsZeroCapacity) {
+  InstanceTypeSpec spec;
+  spec.name = "bogus";
+  spec.capacity = {0.0, 8.0, 450.0};
+  EXPECT_NE(Validate(spec).find("vcpus"), std::string::npos);
+  spec.capacity = {2.0, 8.0, 450.0};
+  spec.od_price_per_hour = std::nan("");
+  EXPECT_NE(Validate(spec).find("price"), std::string::npos);
+  spec.od_price_per_hour = 0.1;
+  EXPECT_TRUE(Validate(spec).empty());
+}
+
+TEST(Validation, ExperimentConfigGuardsTheRun) {
+  ExperimentConfig cfg;
+  cfg.workload = PrototypeWorkload(1);
+  EXPECT_TRUE(ValidateExperimentConfig(cfg).empty());
+
+  ExperimentConfig bad = cfg;
+  bad.workload.peak_rate_ops = -1.0;
+  EXPECT_FALSE(ValidateExperimentConfig(bad).empty());
+  EXPECT_THROW(RunExperiment(bad), std::invalid_argument);
+
+  bad = cfg;
+  bad.bid_multipliers = {1.0, std::nan("")};
+  EXPECT_NE(ValidateExperimentConfig(bad).find("bid_multipliers"),
+            std::string::npos);
+
+  bad = cfg;
+  bad.substep = Duration();
+  EXPECT_FALSE(ValidateExperimentConfig(bad).empty());
+
+  bad = cfg;
+  bad.reactive_threshold = 0.5;
+  EXPECT_FALSE(ValidateExperimentConfig(bad).empty());
+
+  bad = cfg;
+  bad.cluster.replacement_retry.max_attempts = -1;
+  EXPECT_NE(ValidateExperimentConfig(bad).find("replacement_retry"),
+            std::string::npos);
+
+  bad = cfg;
+  bad.resilience.enabled = true;
+  bad.resilience.retry.jitter = 2.0;
+  EXPECT_NE(ValidateExperimentConfig(bad).find("resilience"),
+            std::string::npos);
+  // Disabled resilience is not validated (it is never constructed).
+  bad.resilience.enabled = false;
+  EXPECT_TRUE(ValidateExperimentConfig(bad).empty());
+}
+
+// --------------------------------------------------------------------------
+// System-level degradation ladder
+
+SpotCacheSystem::Config LadderConfig() {
+  SpotCacheSystem::Config cfg;
+  cfg.approach = Approach::kProp;
+  cfg.num_keys = 200'000;
+  cfg.zipf_theta = 1.0;
+  cfg.seed = 7;
+  cfg.resilience.enabled = true;
+  return cfg;
+}
+
+TEST(Ladder, BreakerOpenDivertsTrafficOffPrimary) {
+  SpotCacheSystem system(LadderConfig());
+  system.AdvanceSlot(20'000, 0.8);
+  ASSERT_NE(system.resilience(), nullptr);
+  // Warm a key so the primary would serve it, then kill every node's breaker.
+  system.Get(42);
+  ASSERT_TRUE(system.Get(42).hit);
+  for (uint64_t node : system.router().NodeIds()) {
+    for (int i = 0; i < 3; ++i) {
+      system.resilience()->RecordOutcome(node, system.now(),
+                                         HealthOutcome::kError);
+    }
+  }
+  const CacheResponse r = system.Get(42);
+  // The primary rung is gated off: the request lands on a lower rung.
+  EXPECT_NE(r.served_by, ServedBy::kCacheNode);
+}
+
+TEST(Ladder, ShedRateBoundedByBudget) {
+  SpotCacheSystem::Config cfg = LadderConfig();
+  cfg.resilience.admission.backend_capacity_ops = 100.0;  // force overload
+  cfg.resilience.admission.shed_budget = 0.05;
+  SpotCacheSystem system(cfg);
+  system.AdvanceSlot(20'000, 0.8);
+  RequestGenConfig gen_cfg;
+  gen_cfg.num_keys = 200'000;
+  const RequestGenerator gen(gen_cfg);
+  Rng rng(1);
+  for (int i = 0; i < 20'000; ++i) {
+    system.Get(gen.Next(rng).key);
+  }
+  const auto stats = system.GetStats();
+  // Cold-pool misses were shed, but never beyond the budget.
+  EXPECT_GT(stats.dropped, 0u);
+  EXPECT_LE(static_cast<double>(stats.dropped),
+            0.05 * static_cast<double>(stats.gets) + 1.0);
+}
+
+TEST(Ladder, DisabledResilienceKeepsLegacyPath) {
+  SpotCacheSystem::Config cfg = LadderConfig();
+  cfg.resilience.enabled = false;
+  SpotCacheSystem system(cfg);
+  EXPECT_EQ(system.resilience(), nullptr);
+  system.AdvanceSlot(20'000, 0.8);
+  const CacheResponse r = system.Get(42);
+  EXPECT_EQ(r.served_by, ServedBy::kBackend);  // cold miss, never dropped
+  EXPECT_EQ(system.GetStats().dropped, 0u);
+}
+
+TEST(Ladder, InvalidResilienceConfigThrows) {
+  SpotCacheSystem::Config cfg = LadderConfig();
+  cfg.resilience.breaker.open_backoff = 0.0;
+  EXPECT_THROW(SpotCacheSystem system(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spotcache

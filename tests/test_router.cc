@@ -24,6 +24,26 @@ TEST(Router, RoutesWithinPoolWeights) {
   }
 }
 
+TEST(Router, EmptyPoolFallsThroughToOtherRing) {
+  // Regression: a request whose own pool has no nodes must fall through to
+  // the other pool's ring rather than reporting "no node" while capacity is
+  // still routable (the degradation ladder depends on this).
+  Router r;
+  r.UpsertNode(1, 1.0, 0.0);  // hot-only fleet
+  for (KeyId k = 0; k < 100; ++k) {
+    const auto cold = r.Route(k, false);
+    ASSERT_TRUE(cold.has_value()) << "cold key " << k << " dropped";
+    EXPECT_EQ(*cold, 1u);
+  }
+  Router c;
+  c.UpsertNode(2, 0.0, 1.0);  // cold-only fleet
+  for (KeyId k = 0; k < 100; ++k) {
+    const auto hot = c.Route(k, true);
+    ASSERT_TRUE(hot.has_value()) << "hot key " << k << " dropped";
+    EXPECT_EQ(*hot, 2u);
+  }
+}
+
 TEST(Router, SameNodeCanServeBothPools) {
   Router r;
   r.UpsertNode(1, 0.5, 1.5);

@@ -66,6 +66,28 @@ TEST(TraceIo, RejectsNegativePrice) {
   EXPECT_NE(error.find("negative"), std::string::npos);
 }
 
+TEST(TraceIo, RejectsNonFinitePrice) {
+  std::stringstream nan_price("time_s,price\n0,nan\n");
+  std::string error;
+  EXPECT_FALSE(ReadPriceTraceCsv(nan_price, &error).has_value());
+  EXPECT_NE(error.find("price must be finite"), std::string::npos);
+
+  std::stringstream inf_price("time_s,price\n0,inf\n");
+  EXPECT_FALSE(ReadPriceTraceCsv(inf_price, &error).has_value());
+  EXPECT_NE(error.find("price must be finite"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsNonFiniteTime) {
+  std::stringstream nan_time("time_s,price\nnan,0.1\n");
+  std::string error;
+  EXPECT_FALSE(ReadPriceTraceCsv(nan_time, &error).has_value());
+  EXPECT_NE(error.find("time must be finite"), std::string::npos);
+
+  std::stringstream inf_time("time_s,price\ninf,0.1\n");
+  EXPECT_FALSE(ReadPriceTraceCsv(inf_time, &error).has_value());
+  EXPECT_NE(error.find("time must be finite"), std::string::npos);
+}
+
 TEST(TraceIo, RejectsEmptyInput) {
   std::stringstream in("time_s,price\n");
   std::string error;
