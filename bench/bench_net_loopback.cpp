@@ -1,0 +1,170 @@
+// Loopback serving benchmark (ISSUE 5 acceptance: >= 100k ops/s on a single
+// connection).
+//
+//   bench_net_loopback [seconds_per_phase] [--json]
+//
+// Starts an in-process NetServer on an ephemeral loopback port and drives it
+// from one NetClient connection in two modes:
+//
+//   * sync:      one get per round trip (latency-bound; syscall dominated)
+//   * pipelined: batches of `kDepth` gets per round trip (the memcached
+//                deployment norm; what the acceptance number is about)
+//
+// plus a pipelined set phase. Prints human-readable results, or with --json
+// the machine-readable line that BENCH_perf.json's "net" section records.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/client.h"
+#include "src/net/server.h"
+
+using namespace spotcache;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr int kDepth = 64;      // pipelined gets per round trip
+constexpr int kKeys = 1024;     // working set (all hits)
+constexpr int kValueBytes = 100;
+
+double Secs(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Round-trips pipelined batches of `depth` gets for ~`budget_s` seconds;
+/// returns ops/s.
+double PipelinedGets(net::NetClient& client, double budget_s, int depth) {
+  // Pre-build batch request bytes; responses are drained reply-by-reply.
+  uint64_t ops = 0;
+  uint64_t key = 0;
+  const auto t0 = Clock::now();
+  while (Secs(t0, Clock::now()) < budget_s) {
+    std::string batch;
+    batch.reserve(static_cast<size_t>(depth) * 16);
+    for (int i = 0; i < depth; ++i) {
+      batch += "get k" + std::to_string(key % kKeys) + "\r\n";
+      ++key;
+    }
+    if (!client.SendRaw(batch)) {
+      return 0.0;
+    }
+    for (int i = 0; i < depth; ++i) {
+      // VALUE line, payload line, END.
+      if (!client.ReadLine().has_value() ||
+          !client.ReadBytes(kValueBytes + 2).has_value() ||
+          !client.ReadLine().has_value()) {
+        return 0.0;
+      }
+    }
+    ops += static_cast<uint64_t>(depth);
+  }
+  return ops / Secs(t0, Clock::now());
+}
+
+double SyncGets(net::NetClient& client, double budget_s) {
+  uint64_t ops = 0;
+  uint64_t key = 0;
+  const auto t0 = Clock::now();
+  while (Secs(t0, Clock::now()) < budget_s) {
+    const auto r = client.Get("k" + std::to_string(key % kKeys));
+    if (!r.found) {
+      return 0.0;
+    }
+    ++key;
+    ++ops;
+  }
+  return ops / Secs(t0, Clock::now());
+}
+
+double PipelinedSets(net::NetClient& client, double budget_s, int depth) {
+  const std::string value(kValueBytes, 'v');
+  uint64_t ops = 0;
+  uint64_t key = 0;
+  const auto t0 = Clock::now();
+  while (Secs(t0, Clock::now()) < budget_s) {
+    std::string batch;
+    for (int i = 0; i < depth; ++i) {
+      batch += "set k" + std::to_string(key % kKeys) + " 0 0 " +
+               std::to_string(kValueBytes) + "\r\n" + value + "\r\n";
+      ++key;
+    }
+    if (!client.SendRaw(batch)) {
+      return 0.0;
+    }
+    for (int i = 0; i < depth; ++i) {
+      if (!client.ReadLine().has_value()) {
+        return 0.0;
+      }
+    }
+    ops += static_cast<uint64_t>(depth);
+  }
+  return ops / Secs(t0, Clock::now());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double budget_s = 2.0;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      budget_s = std::atof(argv[i]);
+    }
+  }
+
+  net::NetServerConfig config;  // ephemeral port
+  net::NetServer server(config);
+  if (!server.Start()) {
+    std::fprintf(stderr, "failed to start loopback server\n");
+    return 1;
+  }
+  std::thread loop([&server] { server.Run(); });
+
+  net::NetClient client;
+  if (!client.Connect("127.0.0.1", server.port())) {
+    std::fprintf(stderr, "failed to connect\n");
+    server.Stop();
+    loop.join();
+    return 1;
+  }
+
+  // Preload the working set so every get hits.
+  const std::string value(kValueBytes, 'v');
+  for (int k = 0; k < kKeys; ++k) {
+    if (!client.Set("k" + std::to_string(k), value)) {
+      std::fprintf(stderr, "preload failed\n");
+      return 1;
+    }
+  }
+
+  const double pipelined = PipelinedGets(client, budget_s, kDepth);
+  const double sync = SyncGets(client, budget_s);
+  const double sets = PipelinedSets(client, budget_s, kDepth);
+
+  client.Close();
+  server.Stop();
+  loop.join();
+
+  if (json) {
+    std::printf(
+        "{\"pipelined_get_ops_s\": %.0f, \"sync_get_ops_s\": %.0f, "
+        "\"pipelined_set_ops_s\": %.0f, \"depth\": %d, \"value_bytes\": %d}\n",
+        pipelined, sync, sets, kDepth, kValueBytes);
+  } else {
+    std::printf("single connection, %d-byte values, depth-%d pipeline:\n",
+                kValueBytes, kDepth);
+    std::printf("  pipelined get: %10.0f ops/s\n", pipelined);
+    std::printf("  sync get:      %10.0f ops/s\n", sync);
+    std::printf("  pipelined set: %10.0f ops/s\n", sets);
+    std::printf("  target:            100000 ops/s pipelined  -> %s\n",
+                pipelined >= 100'000.0 ? "PASS" : "FAIL");
+  }
+  return pipelined >= 100'000.0 ? 0 : 1;
+}

@@ -148,8 +148,8 @@ int main(int argc, char** argv) {
     const auto t0 = std::chrono::steady_clock::now();
     uint64_t sink = 0;
     for (size_t i = 0; i < route_ops; ++i) {
-      const auto node = router.Route(rng.NextBelow(1'000'000), (i & 3) != 0);
-      sink += node.value_or(0);
+      const RouteResult node = router.Route(rng.NextBelow(1'000'000), (i & 3) != 0);
+      sink += node.ok() ? node.node() : 0;
     }
     route_ops_s = static_cast<double>(route_ops) / SecondsSince(t0);
     if (sink == 0) {

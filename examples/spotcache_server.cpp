@@ -1,0 +1,143 @@
+// spotcache_server: a real memcached-text-protocol server over src/net.
+//
+//   spotcache_server [--port=11211] [--host=127.0.0.1] [--capacity-mb=64]
+//                    [--system] [--resilience] [--trace=F] [--metrics=F]
+//
+//   $ ./spotcache_server --port=11211 &
+//   $ printf 'set k 0 0 5\r\nhello\r\nget k\r\nquit\r\n' | nc 127.0.0.1 11211
+//   $ memtier_benchmark -p 11211 -P memcache_text
+//
+// Flags:
+//   --port=N         listen port (0 picks an ephemeral port, printed on start)
+//   --host=H         bind address
+//   --capacity-mb=N  item-store LRU capacity
+//   --system         route requests through the SpotCacheSystem data plane
+//                    (router + cache-node placement model)
+//   --resilience     with --system: enable the degradation ladder, so breaker
+//                    or admission sheds surface as SERVER_ERROR to clients
+//   --trace=FILE     on shutdown, write the JSONL event stream
+//                    (conn_open/conn_close/protocol_error)
+//   --metrics=FILE   on shutdown, write a Prometheus-style net/* snapshot
+//
+// SIGINT/SIGTERM stop the loop cleanly: the server drains, the obs artifacts
+// are written, and a final stats line is printed.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "src/core/system.h"
+#include "src/net/server.h"
+#include "src/obs/exporters.h"
+#include "src/obs/obs.h"
+
+using namespace spotcache;
+
+namespace {
+
+net::NetServer* g_server = nullptr;
+
+void HandleSignal(int /*sig*/) {
+  if (g_server != nullptr) {
+    g_server->Stop();  // eventfd write: async-signal-safe
+  }
+}
+
+int Usage() {
+  std::printf(
+      "usage: spotcache_server [--port=11211] [--host=127.0.0.1]\n"
+      "                        [--capacity-mb=64] [--system] [--resilience]\n"
+      "                        [--trace=FILE] [--metrics=FILE]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::NetServerConfig config;
+  config.port = 11211;
+  bool use_system = false;
+  bool use_resilience = false;
+  std::string trace_path;
+  std::string metrics_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--port=", 0) == 0) {
+      config.port = static_cast<uint16_t>(std::atoi(arg.c_str() + 7));
+    } else if (arg.rfind("--host=", 0) == 0) {
+      config.bind_host = arg.substr(7);
+    } else if (arg.rfind("--capacity-mb=", 0) == 0) {
+      config.core.capacity_bytes =
+          static_cast<size_t>(std::atoll(arg.c_str() + 14)) * 1024 * 1024;
+    } else if (arg == "--system") {
+      use_system = true;
+    } else if (arg == "--resilience") {
+      use_system = true;
+      use_resilience = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(10);
+    } else {
+      std::printf("unknown flag '%s'\n\n", arg.c_str());
+      return Usage();
+    }
+  }
+
+  Obs obs;
+  std::unique_ptr<SpotCacheSystem> system;
+  if (use_system) {
+    SpotCacheSystem::Config sys;
+    sys.obs = &obs;
+    sys.resilience.enabled = use_resilience;
+    system = std::make_unique<SpotCacheSystem>(sys);
+    // One control slot provisions the data plane so Route() has nodes.
+    system->AdvanceSlot(/*observed_lambda=*/100e3,
+                        /*observed_working_set_gb=*/10.0);
+  }
+
+  net::NetServer server(config, system.get(), &obs);
+  if (!server.Start()) {
+    std::fprintf(stderr, "spotcache_server: failed to bind %s:%u\n",
+                 config.bind_host.c_str(), config.port);
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::printf("spotcache_server listening on %s:%u (capacity %zu MB%s%s)\n",
+              config.bind_host.c_str(), server.port(),
+              config.core.capacity_bytes / (1024 * 1024),
+              use_system ? ", system" : "",
+              use_resilience ? "+resilience" : "");
+  std::fflush(stdout);
+
+  const bool ok = server.Run();
+  g_server = nullptr;
+
+  if (!trace_path.empty() &&
+      WriteStringToFile(trace_path, ToJsonl(obs.tracer))) {
+    std::printf("trace written to %s\n", trace_path.c_str());
+  }
+  if (!metrics_path.empty() &&
+      WriteStringToFile(metrics_path, ToPrometheusText(obs.registry))) {
+    std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
+  }
+
+  const net::ServerCore& core = server.core();
+  std::printf(
+      "served: %llu gets (%llu hits, %llu misses), %llu sets, "
+      "%llu sheds, %llu protocol errors\n",
+      static_cast<unsigned long long>(core.cmd_get()),
+      static_cast<unsigned long long>(core.get_hits()),
+      static_cast<unsigned long long>(core.get_misses()),
+      static_cast<unsigned long long>(core.cmd_set()),
+      static_cast<unsigned long long>(core.sheds()),
+      static_cast<unsigned long long>(core.protocol_errors()));
+  return ok ? 0 : 1;
+}

@@ -188,23 +188,24 @@ CacheResponse SpotCacheSystem::Get(KeyId key) {
     return GetWithLadder(key, hot);
   }
   CacheResponse resp;
-  const auto target = router_.Route(key, hot);
+  const RouteResult target = router_.Route(key, hot);
   const LatencyModel& model = config_.cluster.latency_model;
-  if (!target) {
-    // No node can serve this pool: straight to the back-end.
+  if (!target.ok()) {
+    // RouteError::kNoRoutableNode: straight to the back-end.
     ++misses_;
     resp.hit = false;
     resp.served_by = ServedBy::kBackend;
     resp.latency = backend_.Read(last_lambda_) + model.params().base_latency;
     return resp;
   }
-  CacheNode* node = NodeFor(*target);
+  CacheNode* node = NodeFor(target.node());
   if (node != nullptr && node->Get(key)) {
     ++hits_;
     resp.hit = true;
     resp.served_by = ServedBy::kCacheNode;
-    const double share = router_.HotWeightOf(*target) + router_.ColdWeightOf(*target);
-    const Instance* inst = provider_.Get(*target);
+    const double share =
+        router_.HotWeightOf(target.node()) + router_.ColdWeightOf(target.node());
+    const Instance* inst = provider_.Get(target.node());
     resp.latency =
         model.HitLatency(last_lambda_ * share, inst->type->capacity).mean;
     return resp;
@@ -238,24 +239,24 @@ CacheResponse SpotCacheSystem::GetWithLadder(KeyId key, bool hot) {
   const SimTime now = provider_.now();
   const LatencyModel& model = config_.cluster.latency_model;
   CacheResponse resp;
-  const auto target = router_.Route(key, hot);
+  const RouteResult target = router_.Route(key, hot);
 
   // Rung 1: primary cache node, gated by its circuit breaker. An open
   // breaker's first allowed request is its half-open probe.
-  if (target && resilience_->AllowRequest(*target, now)) {
-    CacheNode* node = NodeFor(*target);
+  if (target.ok() && resilience_->AllowRequest(target.node(), now)) {
+    CacheNode* node = NodeFor(target.node());
     if (node != nullptr && node->Get(key)) {
       ++hits_;
-      const double share =
-          router_.HotWeightOf(*target) + router_.ColdWeightOf(*target);
-      const Instance* inst = provider_.Get(*target);
+      const double share = router_.HotWeightOf(target.node()) +
+                           router_.ColdWeightOf(target.node());
+      const Instance* inst = provider_.Get(target.node());
       const NodeLatency lat =
           model.HitLatency(last_lambda_ * share, inst->type->capacity);
       resp.hit = true;
       resp.served_by = ServedBy::kCacheNode;
       resp.latency = lat.mean;
       resilience_->RecordOutcome(
-          *target, now,
+          target.node(), now,
           lat.saturated ? HealthOutcome::kTimeout : HealthOutcome::kOk);
       resilience_->CountLadderHop(LadderRung::kPrimary);
       return resp;
@@ -263,7 +264,7 @@ CacheResponse SpotCacheSystem::GetWithLadder(KeyId key, bool hot) {
     if (node != nullptr) {
       // A clean miss is a healthy answer from the primary; the read-through
       // (and fill) still has to win a backend admission slot.
-      resilience_->RecordOutcome(*target, now, HealthOutcome::kOk);
+      resilience_->RecordOutcome(target.node(), now, HealthOutcome::kOk);
       if (AdmitBackend(hot)) {
         ++misses_;
         resp.hit = false;
@@ -281,13 +282,13 @@ CacheResponse SpotCacheSystem::GetWithLadder(KeyId key, bool hot) {
       return resp;
     }
     // Routed to an instance the data plane has no node for: hard failure.
-    resilience_->RecordOutcome(*target, now, HealthOutcome::kError);
+    resilience_->RecordOutcome(target.node(), now, HealthOutcome::kError);
   }
 
   // Rung 2: passive backup. Hot keys on spot primaries are mirrored to a
   // backup node; serve from it when the primary rung is unavailable.
-  if (target && hot) {
-    const auto backup = router_.BackupFor(*target);
+  if (target.ok() && hot) {
+    const auto backup = router_.BackupFor(target.node());
     if (backup && resilience_->AllowRequest(*backup, now)) {
       ++hits_;
       resp.hit = true;
@@ -295,7 +296,7 @@ CacheResponse SpotCacheSystem::GetWithLadder(KeyId key, bool hot) {
       resp.latency =
           model.params().base_latency + config_.cluster.backup_hop_latency;
       resilience_->RecordOutcome(*backup, now, HealthOutcome::kOk);
-      resilience_->RecordOutcome(*target, now, HealthOutcome::kServedByBackup);
+      resilience_->RecordOutcome(target.node(), now, HealthOutcome::kServedByBackup);
       resilience_->CountLadderHop(LadderRung::kBackup);
       return resp;
     }
@@ -326,17 +327,17 @@ CacheResponse SpotCacheSystem::Put(KeyId key, uint32_t value_bytes) {
   const bool hot = partitioner_.IsHot(key);
   CacheResponse resp;
   resp.served_by = ServedBy::kCacheNode;
-  const auto target = router_.Route(key, hot);
+  const RouteResult target = router_.Route(key, hot);
   // With resilience on, a breaker-open primary is skipped: the write still
   // reaches the back-end (write-through), it just doesn't populate the node.
   const bool primary_ok =
-      target && (resilience_ == nullptr ||
-                 resilience_->AllowRequest(*target, provider_.now()));
+      target.ok() && (resilience_ == nullptr ||
+                      resilience_->AllowRequest(target.node(), provider_.now()));
   if (!primary_ok && resilience_ != nullptr) {
     resp.served_by = ServedBy::kBackend;
   }
   if (primary_ok) {
-    CacheNode* node = NodeFor(*target);
+    CacheNode* node = NodeFor(target.node());
     if (node != nullptr) {
       node->Set(key, value_bytes);
     }

@@ -1,0 +1,300 @@
+#include "src/net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <charconv>
+#include <vector>
+
+namespace spotcache::net {
+
+namespace {
+
+/// Splits `line` on single spaces (no empty tokens).
+std::vector<std::string_view> Tokens(std::string_view line) {
+  std::vector<std::string_view> out;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') {
+      ++i;
+    }
+    const size_t start = i;
+    while (i < line.size() && line[i] != ' ') {
+      ++i;
+    }
+    if (i > start) {
+      out.push_back(line.substr(start, i - start));
+    }
+  }
+  return out;
+}
+
+template <typename Int>
+bool ToInt(std::string_view tok, Int* out) {
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), *out);
+  return ec == std::errc() && ptr == tok.data() + tok.size();
+}
+
+}  // namespace
+
+NetClient::~NetClient() { Close(); }
+
+bool NetClient::Connect(const std::string& host, uint16_t port,
+                        int timeout_ms) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return false;
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Close();
+    return false;
+  }
+  return true;
+}
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rbuf_.clear();
+  rpos_ = 0;
+}
+
+bool NetClient::SendRaw(std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool NetClient::FillMore() {
+  char chunk[16 * 1024];
+  const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+  if (n <= 0) {
+    return false;
+  }
+  // Compact the consumed prefix before growing.
+  if (rpos_ > 0) {
+    rbuf_.erase(0, rpos_);
+    rpos_ = 0;
+  }
+  rbuf_.append(chunk, static_cast<size_t>(n));
+  return true;
+}
+
+std::optional<std::string> NetClient::ReadLine() {
+  for (;;) {
+    const size_t nl = rbuf_.find('\n', rpos_);
+    if (nl != std::string::npos) {
+      std::string line = rbuf_.substr(rpos_, nl - rpos_);
+      rpos_ = nl + 1;
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      return line;
+    }
+    if (!FillMore()) {
+      return std::nullopt;
+    }
+  }
+}
+
+std::optional<std::string> NetClient::ReadBytes(size_t n) {
+  while (rbuf_.size() - rpos_ < n) {
+    if (!FillMore()) {
+      return std::nullopt;
+    }
+  }
+  std::string out = rbuf_.substr(rpos_, n);
+  rpos_ += n;
+  return out;
+}
+
+std::optional<std::string> NetClient::RoundTripRaw(
+    std::string_view bytes, std::string_view server_version) {
+  std::string framed(bytes);
+  framed += "version\r\n";
+  if (!SendRaw(framed)) {
+    return std::nullopt;
+  }
+  const std::string sentinel =
+      "VERSION " + std::string(server_version) + "\r\n";
+  // Accumulate raw bytes until the stream ends with the sentinel reply;
+  // everything before it is the response to `bytes`, captured verbatim.
+  std::string captured;
+  for (;;) {
+    captured.append(rbuf_, rpos_, rbuf_.size() - rpos_);
+    rpos_ = rbuf_.size();
+    if (captured.size() >= sentinel.size() &&
+        captured.compare(captured.size() - sentinel.size(), sentinel.size(),
+                         sentinel) == 0) {
+      captured.resize(captured.size() - sentinel.size());
+      return captured;
+    }
+    if (!FillMore()) {
+      return std::nullopt;
+    }
+  }
+}
+
+std::optional<std::string> NetClient::SimpleCommand(std::string cmd) {
+  cmd += "\r\n";
+  if (!SendRaw(cmd)) {
+    return std::nullopt;
+  }
+  return ReadLine();
+}
+
+bool NetClient::Set(std::string_view key, std::string_view value,
+                    uint32_t flags, int64_t exptime) {
+  std::string cmd = "set " + std::string(key) + " " + std::to_string(flags) +
+                    " " + std::to_string(exptime) + " " +
+                    std::to_string(value.size()) + "\r\n";
+  cmd += value;
+  cmd += "\r\n";
+  if (!SendRaw(cmd)) {
+    return false;
+  }
+  return ReadLine() == "STORED";
+}
+
+bool NetClient::Add(std::string_view key, std::string_view value,
+                    uint32_t flags, int64_t exptime) {
+  std::string cmd = "add " + std::string(key) + " " + std::to_string(flags) +
+                    " " + std::to_string(exptime) + " " +
+                    std::to_string(value.size()) + "\r\n";
+  cmd += value;
+  cmd += "\r\n";
+  if (!SendRaw(cmd)) {
+    return false;
+  }
+  return ReadLine() == "STORED";
+}
+
+bool NetClient::Replace(std::string_view key, std::string_view value,
+                        uint32_t flags, int64_t exptime) {
+  std::string cmd = "replace " + std::string(key) + " " +
+                    std::to_string(flags) + " " + std::to_string(exptime) +
+                    " " + std::to_string(value.size()) + "\r\n";
+  cmd += value;
+  cmd += "\r\n";
+  if (!SendRaw(cmd)) {
+    return false;
+  }
+  return ReadLine() == "STORED";
+}
+
+NetClient::GetResult NetClient::Retrieve(std::string_view verb,
+                                         std::string_view key) {
+  GetResult result;
+  std::string cmd = std::string(verb) + " " + std::string(key) + "\r\n";
+  if (!SendRaw(cmd)) {
+    return result;
+  }
+  for (;;) {
+    auto line = ReadLine();
+    if (!line.has_value() || *line == "END") {
+      return result;
+    }
+    const auto toks = Tokens(*line);
+    if (toks.size() < 4 || toks[0] != "VALUE") {
+      return result;  // protocol error; caller sees found = false
+    }
+    uint64_t bytes = 0;
+    if (!ToInt(toks[2], &result.flags) || !ToInt(toks[3], &bytes)) {
+      return result;
+    }
+    if (toks.size() >= 5) {
+      ToInt(toks[4], &result.cas);
+    }
+    auto data = ReadBytes(bytes + 2);  // payload + CRLF
+    if (!data.has_value()) {
+      return result;
+    }
+    data->resize(bytes);
+    result.value = std::move(*data);
+    result.found = true;
+  }
+}
+
+NetClient::GetResult NetClient::Get(std::string_view key) {
+  return Retrieve("get", key);
+}
+
+NetClient::GetResult NetClient::Gets(std::string_view key) {
+  return Retrieve("gets", key);
+}
+
+bool NetClient::Delete(std::string_view key) {
+  return SimpleCommand("delete " + std::string(key)) == "DELETED";
+}
+
+bool NetClient::Touch(std::string_view key, int64_t exptime) {
+  return SimpleCommand("touch " + std::string(key) + " " +
+                       std::to_string(exptime)) == "TOUCHED";
+}
+
+bool NetClient::FlushAll(int64_t delay_s) {
+  return SimpleCommand(delay_s > 0 ? "flush_all " + std::to_string(delay_s)
+                                   : "flush_all") == "OK";
+}
+
+std::optional<std::string> NetClient::Version() {
+  auto line = SimpleCommand("version");
+  if (!line.has_value() || line->rfind("VERSION ", 0) != 0) {
+    return std::nullopt;
+  }
+  return line->substr(8);
+}
+
+std::optional<std::map<std::string, std::string>> NetClient::Stats() {
+  if (!SendRaw("stats\r\n")) {
+    return std::nullopt;
+  }
+  std::map<std::string, std::string> stats;
+  for (;;) {
+    auto line = ReadLine();
+    if (!line.has_value()) {
+      return std::nullopt;
+    }
+    if (*line == "END") {
+      return stats;
+    }
+    const auto toks = Tokens(*line);
+    if (toks.size() >= 3 && toks[0] == "STAT") {
+      stats.emplace(std::string(toks[1]), std::string(toks[2]));
+    }
+  }
+}
+
+}  // namespace spotcache::net

@@ -1,0 +1,81 @@
+// NetClient: a small blocking memcached text-protocol client, used by the
+// conformance suite, the loopback bench, and anyone who wants to poke a
+// spotcache_server by hand. Not a connection pool — one socket, synchronous
+// round trips, explicit timeouts.
+//
+// For conformance testing there is also a raw path: SendRaw() +
+// RoundTripRaw(), which appends a `version` sentinel so arbitrary (even
+// malformed or noreply) request bytes can be fenced and their exact response
+// bytes captured.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace spotcache::net {
+
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  bool Connect(const std::string& host, uint16_t port,
+               int timeout_ms = 5000);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // --- Typed helpers (true / value on protocol success). ---------------
+  bool Set(std::string_view key, std::string_view value, uint32_t flags = 0,
+           int64_t exptime = 0);
+  bool Add(std::string_view key, std::string_view value, uint32_t flags = 0,
+           int64_t exptime = 0);
+  bool Replace(std::string_view key, std::string_view value,
+               uint32_t flags = 0, int64_t exptime = 0);
+
+  struct GetResult {
+    bool found = false;
+    std::string value;
+    uint32_t flags = 0;
+    uint64_t cas = 0;  // only populated by Gets
+  };
+  GetResult Get(std::string_view key);
+  GetResult Gets(std::string_view key);
+
+  bool Delete(std::string_view key);
+  bool Touch(std::string_view key, int64_t exptime);
+  bool FlushAll(int64_t delay_s = 0);
+  std::optional<std::string> Version();
+  std::optional<std::map<std::string, std::string>> Stats();
+
+  // --- Raw access (conformance / fuzz harnesses). ----------------------
+  bool SendRaw(std::string_view bytes);
+  /// Sends `bytes`, then a `version` sentinel, and returns the exact bytes
+  /// the server wrote back before the sentinel's reply ("VERSION
+  /// <server_version>\r\n"). Captures responses byte-for-byte even for
+  /// noreply commands (which produce nothing). Payloads that themselves end
+  /// with the sentinel string would fool the framing; don't do that.
+  std::optional<std::string> RoundTripRaw(
+      std::string_view bytes, std::string_view server_version = "spotcache-1.6.0");
+  /// Reads one CRLF-terminated line (without the terminator).
+  std::optional<std::string> ReadLine();
+  /// Reads exactly n bytes.
+  std::optional<std::string> ReadBytes(size_t n);
+
+ private:
+  std::optional<std::string> SimpleCommand(std::string cmd);
+  GetResult Retrieve(std::string_view verb, std::string_view key);
+
+  int fd_ = -1;
+  std::string rbuf_;  // bytes received but not yet consumed
+  size_t rpos_ = 0;
+  bool FillMore();
+};
+
+}  // namespace spotcache::net

@@ -1,0 +1,150 @@
+#include "src/net/item_store.h"
+
+namespace spotcache::net {
+
+namespace {
+
+/// Accounting cost of one item: key + payload + fixed bookkeeping overhead
+/// (list node, index slot, item header), mirroring memcached's per-item
+/// overhead in spirit.
+size_t CostOf(std::string_view key, size_t data_size) {
+  return key.size() + data_size + 64;
+}
+
+}  // namespace
+
+int64_t ResolveExptime(int64_t exptime, int64_t now) {
+  if (exptime == 0) {
+    return 0;
+  }
+  if (exptime < 0) {
+    return -1;
+  }
+  return exptime <= kRelativeExpiryCutoff ? now + exptime : exptime;
+}
+
+ItemStore::ItemStore(size_t capacity_bytes) : capacity_bytes_(capacity_bytes) {}
+
+bool ItemStore::IsLive(const Item& item, int64_t now) const {
+  if (item.expires_at < 0) {
+    return false;
+  }
+  if (item.expires_at > 0 && item.expires_at <= now) {
+    return false;
+  }
+  if (flush_at_ >= 0 && now >= flush_at_ && item.stored_at < flush_at_) {
+    return false;
+  }
+  return true;
+}
+
+void ItemStore::Erase(LruList::iterator it) {
+  bytes_used_ -= CostOf(it->key, it->item.data->size());
+  index_.erase(std::string_view(it->key));
+  lru_.erase(it);
+}
+
+void ItemStore::MakeRoom(size_t need, int64_t now) {
+  while (bytes_used_ + need > capacity_bytes_ && !lru_.empty()) {
+    auto victim = std::prev(lru_.end());
+    if (IsLive(victim->item, now)) {
+      ++evictions_;
+    } else {
+      ++expired_reaped_;
+    }
+    Erase(victim);
+  }
+}
+
+ItemStore::StoreResult ItemStore::Upsert(std::string_view key, uint32_t flags,
+                                         int64_t exptime, std::string_view data,
+                                         int64_t now) {
+  const size_t need = CostOf(key, data.size());
+  if (need > capacity_bytes_) {
+    return StoreResult::kNotStored;
+  }
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    Erase(it->second);
+  }
+  MakeRoom(need, now);
+  lru_.push_front(Entry{std::string(key), Item{}});
+  Entry& e = lru_.front();
+  e.item.data = std::make_shared<const std::string>(data);
+  e.item.flags = flags;
+  e.item.expires_at = ResolveExptime(exptime, now);
+  e.item.stored_at = now;
+  e.item.cas = next_cas_++;
+  bytes_used_ += need;
+  index_.emplace(std::string_view(e.key), lru_.begin());
+  return StoreResult::kStored;
+}
+
+ItemStore::StoreResult ItemStore::Set(std::string_view key, uint32_t flags,
+                                      int64_t exptime, std::string_view data,
+                                      int64_t now) {
+  return Upsert(key, flags, exptime, data, now);
+}
+
+ItemStore::StoreResult ItemStore::Add(std::string_view key, uint32_t flags,
+                                      int64_t exptime, std::string_view data,
+                                      int64_t now) {
+  auto it = index_.find(key);
+  if (it != index_.end() && IsLive(it->second->item, now)) {
+    return StoreResult::kNotStored;
+  }
+  return Upsert(key, flags, exptime, data, now);
+}
+
+ItemStore::StoreResult ItemStore::Replace(std::string_view key, uint32_t flags,
+                                          int64_t exptime,
+                                          std::string_view data, int64_t now) {
+  auto it = index_.find(key);
+  if (it == index_.end() || !IsLive(it->second->item, now)) {
+    return StoreResult::kNotStored;
+  }
+  return Upsert(key, flags, exptime, data, now);
+}
+
+const Item* ItemStore::Get(std::string_view key, int64_t now) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return nullptr;
+  }
+  if (!IsLive(it->second->item, now)) {
+    ++expired_reaped_;
+    Erase(it->second);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+  it->second = lru_.begin();
+  return &it->second->item;
+}
+
+bool ItemStore::Delete(std::string_view key, int64_t now) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return false;
+  }
+  const bool live = IsLive(it->second->item, now);
+  Erase(it->second);
+  return live;
+}
+
+bool ItemStore::Touch(std::string_view key, int64_t exptime, int64_t now) {
+  auto it = index_.find(key);
+  if (it == index_.end() || !IsLive(it->second->item, now)) {
+    return false;
+  }
+  it->second->item.expires_at = ResolveExptime(exptime, now);
+  return true;
+}
+
+void ItemStore::FlushAll(int64_t now, int64_t delay_s) {
+  flush_at_ = now + delay_s;
+  // Items stored at exactly the flush point stay visible (stored_at <
+  // flush_at_ is the invisibility test), matching memcached's "new sets
+  // after flush_all take effect" rule.
+}
+
+}  // namespace spotcache::net

@@ -1,0 +1,96 @@
+// The server's authoritative byte store: string key -> (flags, expiry, cas,
+// payload), LRU-bounded by byte capacity, with memcached's expiry rules.
+//
+// Payloads are held behind shared_ptr<const string> so the response
+// assembler can reference them zero-copy across a batched writev even if a
+// later request in the same batch evicts the item.
+//
+// Expiry follows memcached 1.6: exptime 0 never expires, negative is
+// immediately expired, values up to 30 days are relative seconds, larger
+// values are absolute unix seconds. flush_all(delay) marks everything stored
+// before the flush point invisible once the point passes. All time comes in
+// through `now` parameters, so the store is a pure function of its inputs
+// and deterministic under test clocks.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+namespace spotcache::net {
+
+/// Seconds threshold below which exptime is relative (memcached's constant).
+inline constexpr int64_t kRelativeExpiryCutoff = 60 * 60 * 24 * 30;
+
+/// Resolves a wire exptime into an absolute unix-seconds deadline.
+/// Returns 0 for "never", -1 for "already expired".
+int64_t ResolveExptime(int64_t exptime, int64_t now);
+
+struct Item {
+  std::shared_ptr<const std::string> data;
+  uint32_t flags = 0;
+  int64_t expires_at = 0;  // 0 = never, -1 = dead, else unix seconds
+  int64_t stored_at = 0;   // for flush_all visibility
+  uint64_t cas = 0;
+};
+
+class ItemStore {
+ public:
+  enum class StoreResult : uint8_t { kStored, kNotStored };
+
+  explicit ItemStore(size_t capacity_bytes);
+
+  StoreResult Set(std::string_view key, uint32_t flags, int64_t exptime,
+                  std::string_view data, int64_t now);
+  /// add: only if absent; replace: only if present.
+  StoreResult Add(std::string_view key, uint32_t flags, int64_t exptime,
+                  std::string_view data, int64_t now);
+  StoreResult Replace(std::string_view key, uint32_t flags, int64_t exptime,
+                      std::string_view data, int64_t now);
+
+  /// Live item or nullptr; promotes the item to MRU on hit.
+  const Item* Get(std::string_view key, int64_t now);
+  bool Delete(std::string_view key, int64_t now);
+  bool Touch(std::string_view key, int64_t exptime, int64_t now);
+  /// Marks all currently stored items dead once `now + delay_s` passes.
+  void FlushAll(int64_t now, int64_t delay_s);
+
+  size_t item_count() const { return index_.size(); }
+  size_t bytes_used() const { return bytes_used_; }
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t expired_reaped() const { return expired_reaped_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    Item item;
+  };
+  using LruList = std::list<Entry>;
+
+  bool IsLive(const Item& item, int64_t now) const;
+  /// Removes the entry (index + list + byte accounting).
+  void Erase(LruList::iterator it);
+  /// Evicts LRU items until `need` more bytes fit.
+  void MakeRoom(size_t need, int64_t now);
+  StoreResult Upsert(std::string_view key, uint32_t flags, int64_t exptime,
+                     std::string_view data, int64_t now);
+
+  size_t capacity_bytes_;
+  size_t bytes_used_ = 0;
+  uint64_t next_cas_ = 1;
+  int64_t flush_at_ = -1;  // <0: no flush pending/applied
+  uint64_t evictions_ = 0;
+  uint64_t expired_reaped_ = 0;
+
+  LruList lru_;  // front = MRU
+  // Keys view into the list entries' stable storage.
+  std::unordered_map<std::string_view, LruList::iterator> index_;
+};
+
+}  // namespace spotcache::net

@@ -1,0 +1,400 @@
+#include "src/net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <ctime>
+
+#include "src/util/logging.h"
+
+namespace spotcache::net {
+
+namespace {
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+NetServer::NetServer(const NetServerConfig& config, SpotCacheSystem* system,
+                     Obs* obs)
+    : config_(config),
+      core_(config.core, system, obs),
+      obs_(obs),
+      clock_([] { return static_cast<int64_t>(::time(nullptr)); }) {
+  if (obs_ != nullptr) {
+    conns_opened_ = obs_->registry.GetCounter("net/conns_opened");
+    conns_closed_ = obs_->registry.GetCounter("net/conns_closed");
+    conns_rejected_ = obs_->registry.GetCounter("net/conns_rejected");
+    bytes_in_ = obs_->registry.GetCounter("net/bytes_in");
+    bytes_out_ = obs_->registry.GetCounter("net/bytes_out");
+    slow_closes_ = obs_->registry.GetCounter("net/slow_consumer_closes");
+  }
+}
+
+NetServer::~NetServer() {
+  for (auto& [fd, conn] : conns_) {
+    ::close(fd);
+    (void)conn;
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+  }
+}
+
+void NetServer::SetClock(std::function<int64_t()> now_unix) {
+  clock_ = std::move(now_unix);
+}
+
+int64_t NetServer::NowUnix() const { return clock_(); }
+
+int64_t NetServer::LoopMicros() const {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration_cast<std::chrono::microseconds>(now).count() -
+         t0_us_;
+}
+
+void NetServer::Trace(
+    const char* type,
+    std::vector<std::pair<std::string, std::string>> fields) {
+  if (obs_ == nullptr || !obs_->tracer.enabled()) {
+    return;
+  }
+  obs_->tracer.Custom(SimTime::FromMicros(LoopMicros()), type,
+                      std::move(fields));
+}
+
+bool NetServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_host.c_str(), &addr.sin_addr) != 1) {
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, config_.listen_backlog) != 0 ||
+      !SetNonBlocking(listen_fd_)) {
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    return false;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return false;
+  }
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return false;
+  }
+  return true;
+}
+
+bool NetServer::Run() {
+  running_ = true;
+  t0_us_ = 0;
+  t0_us_ = LoopMicros();
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (running_) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      SPOTCACHE_LOG(kError) << "epoll_wait failed: " << strerror(errno);
+      return false;
+    }
+    for (int i = 0; i < n && running_; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        AcceptReady();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        uint64_t tick = 0;
+        (void)!::read(wake_fd_, &tick, sizeof(tick));
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) {
+        continue;  // closed earlier in this batch
+      }
+      Connection* conn = it->second.get();
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConn(conn, "hangup");
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) {
+        ConnReadable(conn);
+        // The connection may be gone now; re-check before write handling.
+        if (conns_.find(fd) == conns_.end()) {
+          continue;
+        }
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        ConnWritable(conn);
+      }
+    }
+  }
+  return true;
+}
+
+void NetServer::Stop() {
+  running_ = false;
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    (void)!::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void NetServer::AcceptReady() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      return;  // EAGAIN or transient accept error: wait for the next event
+    }
+    if (conns_.size() >= config_.max_connections) {
+      if (conns_rejected_ != nullptr) {
+        conns_rejected_->Increment();
+      }
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    if (conns_opened_ != nullptr) {
+      conns_opened_->Increment();
+    }
+    Trace("conn_open", {{"conn", EventTracer::JsonNumber(
+                                     static_cast<int64_t>(conn->id))}});
+    conns_.emplace(fd, std::move(conn));
+  }
+}
+
+void NetServer::ConnReadable(Connection* conn) {
+  for (;;) {
+    char* dst = conn->parser.WritePtr(config_.recv_chunk);
+    const ssize_t n = ::recv(conn->fd, dst, config_.recv_chunk, 0);
+    if (n > 0) {
+      conn->parser.Commit(static_cast<size_t>(n));
+      if (bytes_in_ != nullptr) {
+        bytes_in_->Increment(n);
+      }
+      if (static_cast<size_t>(n) < config_.recv_chunk) {
+        break;  // drained the socket
+      }
+      continue;
+    }
+    if (n == 0) {
+      CloseConn(conn, "eof");
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    CloseConn(conn, "read_error");
+    return;
+  }
+  Drain(conn);
+}
+
+void NetServer::Drain(Connection* conn) {
+  const int64_t now = NowUnix();
+  for (;;) {
+    const ParseStatus st = conn->parser.Next();
+    if (st == ParseStatus::kNeedMore) {
+      break;
+    }
+    if (st == ParseStatus::kError) {
+      core_.HandleParseError(conn->parser.error(), &conn->assembler);
+      Trace("protocol_error",
+            {{"conn",
+              EventTracer::JsonNumber(static_cast<int64_t>(conn->id))},
+             {"kind",
+              EventTracer::JsonString(ToString(conn->parser.error()))}});
+      continue;
+    }
+    if (!core_.Handle(conn->parser.request(), now, &conn->assembler)) {
+      conn->close_after_flush = true;
+      break;
+    }
+  }
+  Flush(conn);
+}
+
+void NetServer::Flush(Connection* conn) {
+  // Drain any previously buffered bytes first to preserve ordering.
+  while (conn->pending_sent < conn->pending_out.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->pending_out.data() + conn->pending_sent,
+               conn->pending_out.size() - conn->pending_sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->pending_sent += static_cast<size_t>(n);
+      if (bytes_out_ != nullptr) {
+        bytes_out_->Increment(n);
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    CloseConn(conn, "write_error");
+    return;
+  }
+  if (conn->pending_sent == conn->pending_out.size()) {
+    conn->pending_out.clear();
+    conn->pending_sent = 0;
+  }
+
+  const auto& iov = conn->assembler.iovecs();
+  size_t iov_index = 0;
+  size_t iov_offset = 0;
+  if (conn->pending_out.empty()) {
+    while (iov_index < iov.size()) {
+      // writev caps at IOV_MAX vectors per call; loop in windows.
+      iovec local[64];
+      int cnt = 0;
+      for (size_t i = iov_index; i < iov.size() && cnt < 64; ++i, ++cnt) {
+        local[cnt] = iov[i];
+        if (cnt == 0 && iov_offset > 0) {
+          local[0].iov_base = static_cast<char*>(local[0].iov_base) + iov_offset;
+          local[0].iov_len -= iov_offset;
+        }
+      }
+      const ssize_t n = ::writev(conn->fd, local, cnt);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          break;
+        }
+        CloseConn(conn, "write_error");
+        return;
+      }
+      if (bytes_out_ != nullptr) {
+        bytes_out_->Increment(n);
+      }
+      size_t left = static_cast<size_t>(n);
+      while (left > 0 && iov_index < iov.size()) {
+        const size_t avail = iov[iov_index].iov_len - iov_offset;
+        if (left >= avail) {
+          left -= avail;
+          ++iov_index;
+          iov_offset = 0;
+        } else {
+          iov_offset += left;
+          left = 0;
+        }
+      }
+    }
+  }
+  // Anything unsent gets copied out of the assembler (whose pins die on
+  // Clear) into the pending buffer.
+  for (size_t i = iov_index; i < iov.size(); ++i) {
+    const char* base = static_cast<const char*>(iov[i].iov_base);
+    size_t len = iov[i].iov_len;
+    if (i == iov_index && iov_offset > 0) {
+      base += iov_offset;
+      len -= iov_offset;
+    }
+    conn->pending_out.append(base, len);
+  }
+  conn->assembler.Clear();
+
+  if (conn->pending_out.size() - conn->pending_sent >
+      config_.max_output_buffer) {
+    if (slow_closes_ != nullptr) {
+      slow_closes_->Increment();
+    }
+    CloseConn(conn, "slow_consumer");
+    return;
+  }
+  if (conn->pending_out.empty() && conn->close_after_flush) {
+    CloseConn(conn, "quit");
+    return;
+  }
+  const bool want_write = !conn->pending_out.empty();
+  if (want_write != conn->want_write) {
+    conn->want_write = want_write;
+    UpdateEpoll(conn);
+  }
+}
+
+void NetServer::ConnWritable(Connection* conn) { Flush(conn); }
+
+void NetServer::UpdateEpoll(Connection* conn) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (conn->want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void NetServer::CloseConn(Connection* conn, const char* reason) {
+  Trace("conn_close",
+        {{"conn", EventTracer::JsonNumber(static_cast<int64_t>(conn->id))},
+         {"reason", EventTracer::JsonString(reason)}});
+  if (conns_closed_ != nullptr) {
+    conns_closed_->Increment();
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conns_.erase(conn->fd);
+}
+
+}  // namespace spotcache::net

@@ -1,0 +1,122 @@
+// NetServer: the non-blocking TCP serving surface.
+//
+// Single-threaded epoll loop (level-triggered), one state machine per
+// connection: bytes are recv()'d straight into the connection's
+// RequestParser (zero-copy WritePtr/Commit), every complete request is
+// executed by the shared ServerCore, and the batch's responses go out in one
+// writev over the assembler's iovecs. Short writes spill the remainder into
+// a per-connection pending buffer drained on EPOLLOUT; a pending buffer that
+// exceeds `max_output_buffer` marks a slow consumer and the connection is
+// dropped (counted + traced) rather than ballooning memory.
+//
+// Observability uses the PR-2 vocabulary: `net/*` counters
+// (conns_opened/conns_closed/bytes_in/bytes_out/slow_consumer_closes plus
+// ServerCore's request counters) and JSONL `conn_open` / `conn_close` /
+// `protocol_error` events stamped with microseconds since server start.
+//
+// Run() owns the calling thread until Stop() (thread-safe, eventfd wakeup)
+// or a fatal listener error. Expiry time is injectable (`SetClock`) so tests
+// drive memcached expiry semantics deterministically over real sockets.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/net/protocol.h"
+#include "src/net/response.h"
+#include "src/net/server_core.h"
+#include "src/obs/obs.h"
+
+namespace spotcache::net {
+
+struct NetServerConfig {
+  std::string bind_host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; see NetServer::port() after Start()
+  int listen_backlog = 512;
+  size_t max_connections = 1024;
+  /// recv() chunk per readiness callback.
+  size_t recv_chunk = 64 * 1024;
+  /// Slow-consumer cap on buffered unsent bytes before the connection drops.
+  size_t max_output_buffer = 8 * 1024 * 1024;
+  ServerCoreConfig core;
+};
+
+class NetServer {
+ public:
+  NetServer(const NetServerConfig& config, SpotCacheSystem* system = nullptr,
+            Obs* obs = nullptr);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds and listens. Returns false (with errno intact) on failure.
+  bool Start();
+  /// The bound port (after Start(); useful with port = 0).
+  uint16_t port() const { return port_; }
+
+  /// Serves until Stop(). Returns false if the loop died on a fatal error.
+  bool Run();
+  /// Thread-safe shutdown request.
+  void Stop();
+
+  /// Unix-seconds clock used for expiry (defaults to the wall clock).
+  void SetClock(std::function<int64_t()> now_unix);
+
+  ServerCore& core() { return core_; }
+  size_t connection_count() const { return conns_.size(); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;
+    RequestParser parser;
+    ResponseAssembler assembler;
+    std::string pending_out;  // unsent bytes after a short write
+    size_t pending_sent = 0;  // consumed prefix of pending_out
+    bool want_write = false;
+    bool close_after_flush = false;
+  };
+
+  void AcceptReady();
+  void ConnReadable(Connection* conn);
+  void ConnWritable(Connection* conn);
+  /// Runs parse/execute over buffered bytes, then flushes.
+  void Drain(Connection* conn);
+  /// writev the assembler + pending buffer; buffers any remainder.
+  void Flush(Connection* conn);
+  void CloseConn(Connection* conn, const char* reason);
+  void UpdateEpoll(Connection* conn);
+  int64_t NowUnix() const;
+  /// Microseconds since Run() began (event timestamps).
+  int64_t LoopMicros() const;
+  void Trace(const char* type,
+             std::vector<std::pair<std::string, std::string>> fields);
+
+  NetServerConfig config_;
+  ServerCore core_;
+  Obs* obs_;
+  std::function<int64_t()> clock_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  uint16_t port_ = 0;
+  bool running_ = false;
+  uint64_t next_conn_id_ = 1;
+  int64_t t0_us_ = 0;
+  std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+
+  Counter* conns_opened_ = nullptr;
+  Counter* conns_closed_ = nullptr;
+  Counter* conns_rejected_ = nullptr;
+  Counter* bytes_in_ = nullptr;
+  Counter* bytes_out_ = nullptr;
+  Counter* slow_closes_ = nullptr;
+};
+
+}  // namespace spotcache::net

@@ -1,0 +1,200 @@
+#include "src/net/server_core.h"
+
+#include <inttypes.h>
+
+#include "src/core/system.h"
+
+namespace spotcache::net {
+
+ServerCore::ServerCore(const ServerCoreConfig& config, SpotCacheSystem* system,
+                       Obs* obs)
+    : config_(config), store_(config.capacity_bytes), system_(system) {
+  if (obs != nullptr) {
+    obs_requests_ = obs->registry.GetCounter("net/requests");
+    obs_get_hits_ = obs->registry.GetCounter("net/get_hits");
+    obs_get_misses_ = obs->registry.GetCounter("net/get_misses");
+    obs_sets_ = obs->registry.GetCounter("net/sets");
+    obs_sheds_ = obs->registry.GetCounter("net/sheds");
+    obs_protocol_errors_ = obs->registry.GetCounter("net/protocol_errors");
+  }
+}
+
+bool ServerCore::GateGet(std::string_view key) {
+  if (system_ == nullptr) {
+    return true;
+  }
+  const CacheResponse r = system_->Get(HashString(key));
+  return r.served_by != ServedBy::kDropped;
+}
+
+void ServerCore::GatePut(std::string_view key, size_t bytes) {
+  if (system_ == nullptr) {
+    return;
+  }
+  system_->Put(HashString(key), static_cast<uint32_t>(bytes));
+}
+
+void ServerCore::HandleRetrieve(const TextRequest& req, int64_t now,
+                                ResponseAssembler* out) {
+  const bool with_cas = req.verb == Verb::kGets;
+  for (std::string_view key : req.keys) {
+    ++cmd_get_;
+    if (!GateGet(key)) {
+      // The ladder shed this key: fail the whole retrieval loudly rather
+      // than silently reporting a miss — clients must see backpressure.
+      ++sheds_;
+      if (obs_sheds_ != nullptr) {
+        obs_sheds_->Increment();
+      }
+      out->Append("SERVER_ERROR temporarily overloaded\r\n");
+      return;
+    }
+    const Item* item = store_.Get(key, now);
+    if (item == nullptr) {
+      ++get_misses_;
+      if (obs_get_misses_ != nullptr) {
+        obs_get_misses_->Increment();
+      }
+      continue;
+    }
+    ++get_hits_;
+    if (obs_get_hits_ != nullptr) {
+      obs_get_hits_->Increment();
+    }
+    if (with_cas) {
+      out->Appendf("VALUE %.*s %u %zu %" PRIu64 "\r\n",
+                   static_cast<int>(key.size()), key.data(), item->flags,
+                   item->data->size(), item->cas);
+    } else {
+      out->Appendf("VALUE %.*s %u %zu\r\n", static_cast<int>(key.size()),
+                   key.data(), item->flags, item->data->size());
+    }
+    out->AppendPinned(*item->data, item->data);
+    out->Append("\r\n");
+  }
+  out->Append("END\r\n");
+}
+
+void ServerCore::HandleStorage(const TextRequest& req, int64_t now,
+                               ResponseAssembler* out) {
+  ++cmd_set_;
+  if (obs_sets_ != nullptr) {
+    obs_sets_->Increment();
+  }
+  const std::string_view key = req.keys[0];
+  ItemStore::StoreResult result = ItemStore::StoreResult::kNotStored;
+  switch (req.verb) {
+    case Verb::kSet:
+      result = store_.Set(key, req.flags, req.exptime, req.data, now);
+      break;
+    case Verb::kAdd:
+      result = store_.Add(key, req.flags, req.exptime, req.data, now);
+      break;
+    case Verb::kReplace:
+      result = store_.Replace(key, req.flags, req.exptime, req.data, now);
+      break;
+    default:
+      break;
+  }
+  if (result == ItemStore::StoreResult::kStored) {
+    GatePut(key, req.data.size());
+  }
+  if (!req.noreply) {
+    out->Append(result == ItemStore::StoreResult::kStored ? "STORED\r\n"
+                                                          : "NOT_STORED\r\n");
+  }
+}
+
+void ServerCore::HandleStats(int64_t now, ResponseAssembler* out) {
+  const auto stat_u = [out](const char* name, uint64_t v) {
+    out->Appendf("STAT %s %" PRIu64 "\r\n", name, v);
+  };
+  out->Appendf("STAT version %s\r\n", config_.version.c_str());
+  stat_u("uptime",
+         start_time_ >= 0 ? static_cast<uint64_t>(now - start_time_) : 0);
+  stat_u("curr_items", store_.item_count());
+  stat_u("bytes", store_.bytes_used());
+  stat_u("limit_maxbytes", store_.capacity_bytes());
+  stat_u("cmd_get", cmd_get_);
+  stat_u("cmd_set", cmd_set_);
+  stat_u("cmd_touch", cmd_touch_);
+  stat_u("cmd_delete", cmd_delete_);
+  stat_u("cmd_flush", cmd_flush_);
+  stat_u("get_hits", get_hits_);
+  stat_u("get_misses", get_misses_);
+  stat_u("evictions", store_.evictions());
+  stat_u("expired_unfetched", store_.expired_reaped());
+  stat_u("sheds", sheds_);
+  stat_u("protocol_errors", protocol_errors_);
+  out->Append("END\r\n");
+}
+
+bool ServerCore::Handle(const TextRequest& req, int64_t now,
+                        ResponseAssembler* out) {
+  if (start_time_ < 0) {
+    start_time_ = now;
+  }
+  if (obs_requests_ != nullptr) {
+    obs_requests_->Increment();
+  }
+  switch (req.verb) {
+    case Verb::kGet:
+    case Verb::kGets:
+      HandleRetrieve(req, now, out);
+      return true;
+
+    case Verb::kSet:
+    case Verb::kAdd:
+    case Verb::kReplace:
+      HandleStorage(req, now, out);
+      return true;
+
+    case Verb::kDelete: {
+      ++cmd_delete_;
+      const bool deleted = store_.Delete(req.keys[0], now);
+      if (!req.noreply) {
+        out->Append(deleted ? "DELETED\r\n" : "NOT_FOUND\r\n");
+      }
+      return true;
+    }
+
+    case Verb::kTouch: {
+      ++cmd_touch_;
+      const bool touched = store_.Touch(req.keys[0], req.exptime, now);
+      if (!req.noreply) {
+        out->Append(touched ? "TOUCHED\r\n" : "NOT_FOUND\r\n");
+      }
+      return true;
+    }
+
+    case Verb::kStats:
+      HandleStats(now, out);
+      return true;
+
+    case Verb::kVersion:
+      out->Appendf("VERSION %s\r\n", config_.version.c_str());
+      return true;
+
+    case Verb::kFlushAll:
+      ++cmd_flush_;
+      store_.FlushAll(now, req.delay_s);
+      if (!req.noreply) {
+        out->Append("OK\r\n");
+      }
+      return true;
+
+    case Verb::kQuit:
+      return false;
+  }
+  return true;
+}
+
+void ServerCore::HandleParseError(ParseErrorKind kind, ResponseAssembler* out) {
+  ++protocol_errors_;
+  if (obs_protocol_errors_ != nullptr) {
+    obs_protocol_errors_->Increment();
+  }
+  out->Append(ErrorReply(kind));
+}
+
+}  // namespace spotcache::net

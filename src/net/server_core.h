@@ -1,0 +1,98 @@
+// Transport-independent memcached command execution.
+//
+// ServerCore turns parsed TextRequests into wire responses against an
+// ItemStore, optionally routed through the simulation stack: when a
+// SpotCacheSystem is attached, every get/set also flows through
+// Router::Route and SpotCacheSystem::Get/Put (string keys hashed to KeyIds),
+// so the degradation ladder, circuit breakers, and admission control gate
+// real connections. The ItemStore stays authoritative for payload bytes —
+// the system models placement, health, and shedding; a ladder decision of
+// "shed" turns the reply into SERVER_ERROR instead of serving.
+//
+// Handle() is a pure function of (request, now, store/system state): no wall
+// clock, no I/O, no iteration-order dependence — which is what lets the
+// conformance suite run the same tables both in-process and over a socket,
+// and the fuzzer compare byte-identical outputs across stream chunkings.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/net/item_store.h"
+#include "src/net/protocol.h"
+#include "src/net/response.h"
+#include "src/obs/obs.h"
+#include "src/routing/hash.h"
+
+namespace spotcache {
+class SpotCacheSystem;
+}  // namespace spotcache
+
+namespace spotcache::net {
+
+struct ServerCoreConfig {
+  size_t capacity_bytes = 64 * 1024 * 1024;
+  std::string version = "spotcache-1.6.0";
+};
+
+class ServerCore {
+ public:
+  explicit ServerCore(const ServerCoreConfig& config,
+                      SpotCacheSystem* system = nullptr, Obs* obs = nullptr);
+
+  /// Executes one request at unix-seconds `now`, appending any reply to
+  /// `out` (noreply suppresses success/failure status lines, per protocol).
+  /// Returns false when the connection should close (quit).
+  bool Handle(const TextRequest& req, int64_t now, ResponseAssembler* out);
+
+  /// Appends the reply for a parse error (always sent: memcached reports
+  /// protocol errors even on noreply commands).
+  void HandleParseError(ParseErrorKind kind, ResponseAssembler* out);
+
+  ItemStore& store() { return store_; }
+  const ItemStore& store() const { return store_; }
+
+  uint64_t cmd_get() const { return cmd_get_; }
+  uint64_t cmd_set() const { return cmd_set_; }
+  uint64_t get_hits() const { return get_hits_; }
+  uint64_t get_misses() const { return get_misses_; }
+  uint64_t sheds() const { return sheds_; }
+  uint64_t protocol_errors() const { return protocol_errors_; }
+
+ private:
+  void HandleRetrieve(const TextRequest& req, int64_t now,
+                      ResponseAssembler* out);
+  void HandleStorage(const TextRequest& req, int64_t now,
+                     ResponseAssembler* out);
+  void HandleStats(int64_t now, ResponseAssembler* out);
+  /// Consults the attached system's ladder for one keyed operation.
+  /// Returns false when the request should be shed.
+  bool GateGet(std::string_view key);
+  void GatePut(std::string_view key, size_t bytes);
+
+  ServerCoreConfig config_;
+  ItemStore store_;
+  SpotCacheSystem* system_;
+  int64_t start_time_ = -1;  // first-request time, for the uptime stat
+
+  uint64_t cmd_get_ = 0;
+  uint64_t cmd_set_ = 0;
+  uint64_t cmd_touch_ = 0;
+  uint64_t cmd_delete_ = 0;
+  uint64_t cmd_flush_ = 0;
+  uint64_t get_hits_ = 0;
+  uint64_t get_misses_ = 0;
+  uint64_t sheds_ = 0;
+  uint64_t protocol_errors_ = 0;
+
+  // Fleet counters (resolved once; null when obs is detached).
+  Counter* obs_requests_ = nullptr;
+  Counter* obs_get_hits_ = nullptr;
+  Counter* obs_get_misses_ = nullptr;
+  Counter* obs_sets_ = nullptr;
+  Counter* obs_sheds_ = nullptr;
+  Counter* obs_protocol_errors_ = nullptr;
+};
+
+}  // namespace spotcache::net

@@ -49,7 +49,15 @@ void Router::AttachObs(Obs* obs) {
   pool_fallthroughs_ = obs->registry.GetCounter("router/pool_fallthroughs");
 }
 
-std::optional<uint64_t> Router::Route(KeyId key, bool is_hot) const {
+std::string_view ToString(RouteError e) {
+  switch (e) {
+    case RouteError::kNoRoutableNode:
+      return "no_routable_node";
+  }
+  return "?";
+}
+
+RouteResult Router::Route(KeyId key, bool is_hot) const {
   const uint64_t salt = is_hot ? kHotSalt : kColdSalt;
   const uint64_t h = HashCombine(HashU64(key), salt);
   std::optional<uint64_t> node =
@@ -71,7 +79,10 @@ std::optional<uint64_t> Router::Route(KeyId key, bool is_hot) const {
       route_misses_->Increment();
     }
   }
-  return node;
+  if (!node.has_value()) {
+    return RouteResult::Err(RouteError::kNoRoutableNode);
+  }
+  return RouteResult::Ok(*node, fell_through);
 }
 
 void Router::SetBackup(uint64_t primary, uint64_t backup) {

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -20,6 +21,51 @@
 #include "src/routing/hash.h"
 
 namespace spotcache {
+
+/// Why a route could not be produced.
+enum class RouteError : uint8_t {
+  /// Both pools' rings are empty: no node is routable at all (the requested
+  /// pool being empty alone falls through to the other ring instead).
+  kNoRoutableNode,
+};
+
+std::string_view ToString(RouteError e);
+
+/// Outcome of Router::Route: either a node (possibly reached by falling
+/// through to the other pool's ring) or a typed error. Replaces the old
+/// std::optional sentinel so callers can distinguish — and log — *why*
+/// routing failed instead of treating every nullopt alike.
+class RouteResult {
+ public:
+  static constexpr RouteResult Ok(uint64_t node, bool fell_through) {
+    RouteResult r;
+    r.ok_ = true;
+    r.node_ = node;
+    r.fell_through_ = fell_through;
+    return r;
+  }
+  static constexpr RouteResult Err(RouteError error) {
+    RouteResult r;
+    r.error_ = error;
+    return r;
+  }
+
+  constexpr bool ok() const { return ok_; }
+  constexpr explicit operator bool() const { return ok_; }
+  /// The routed node; only meaningful when ok().
+  constexpr uint64_t node() const { return node_; }
+  /// Whether the requested pool was empty and the other ring answered.
+  constexpr bool fell_through() const { return fell_through_; }
+  /// The failure; only meaningful when !ok().
+  constexpr RouteError error() const { return error_; }
+
+ private:
+  constexpr RouteResult() = default;
+  bool ok_ = false;
+  bool fell_through_ = false;
+  uint64_t node_ = 0;
+  RouteError error_ = RouteError::kNoRoutableNode;
+};
 
 class Router {
  public:
@@ -39,9 +85,10 @@ class Router {
   size_t node_count() const { return weights_.size(); }
 
   /// Routes a key in its popularity pool. When that pool is empty the route
-  /// falls through to the other pool's ring (same key hash), so a request
-  /// only misses when *no* node is routable at all.
-  std::optional<uint64_t> Route(KeyId key, bool is_hot) const;
+  /// falls through to the other pool's ring (same key hash), so routing only
+  /// fails — with RouteError::kNoRoutableNode — when *no* node is routable
+  /// at all.
+  RouteResult Route(KeyId key, bool is_hot) const;
 
   /// Attaches observability (null detaches). Counters are resolved once
   /// here so the per-request Route() cost is a null check + increment.

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Line-coverage gate for the serving and resilience layers.
+
+Walks a --coverage (gcov) build tree for .gcda files, extracts per-line
+execution counts with `gcov --json-format --stdout`, merges them per source
+file (a header or source compiled into several test binaries is covered if
+ANY of them executed the line), and computes line coverage for each directory
+named in tests/golden/coverage_baseline.json. Exits non-zero when any tracked
+directory falls below its committed floor.
+
+Usage: check_coverage.py <coverage_build_dir> [baseline.json]
+
+Needs only binutils' gcov (no gcovr/lcov): the JSON intermediate format has
+been stable since GCC 9.
+"""
+
+import gzip
+import json
+import os
+import subprocess
+import sys
+from collections import defaultdict
+
+
+def gcov_json(gcda_path):
+    """Yields parsed gcov JSON documents for one .gcda file."""
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--stdout", gcda_path],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        cwd=os.path.dirname(gcda_path))
+    if proc.returncode != 0 or not proc.stdout:
+        return
+    # --stdout emits one JSON document per line (may be gzip'd on old gcov).
+    payload = proc.stdout
+    if payload[:2] == b"\x1f\x8b":
+        payload = gzip.decompress(payload)
+    for line in payload.splitlines():
+        line = line.strip()
+        if line:
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                continue
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    build_dir = os.path.abspath(sys.argv[1])
+    baseline_path = sys.argv[2] if len(sys.argv) > 2 else os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "coverage_baseline.json")
+    with open(baseline_path) as f:
+        floors = json.load(f)["floors"]
+
+    # file -> line -> max execution count across all translation units.
+    hits = defaultdict(lambda: defaultdict(int))
+    gcda_count = 0
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if not name.endswith(".gcda"):
+                continue
+            gcda_count += 1
+            for doc in gcov_json(os.path.join(root, name)):
+                for fentry in doc.get("files", []):
+                    path = fentry.get("file", "")
+                    # Normalize to a repo-relative path.
+                    norm = os.path.normpath(path)
+                    if norm.startswith(os.sep):
+                        for prefix in floors:
+                            at = norm.find(os.sep + prefix + os.sep)
+                            if at >= 0:
+                                norm = norm[at + 1:]
+                                break
+                    lines = hits[norm]
+                    for lentry in fentry.get("lines", []):
+                        no = lentry["line_number"]
+                        lines[no] = max(lines[no], lentry["count"])
+    if gcda_count == 0:
+        print(f"no .gcda files under {build_dir}; build with "
+              "-DSPOTCACHE_COVERAGE=ON and run the tests first")
+        return 2
+
+    failures = 0
+    for prefix in sorted(floors):
+        floor = floors[prefix]
+        total = covered = 0
+        for path, lines in hits.items():
+            if not path.startswith(prefix + os.sep):
+                continue
+            total += len(lines)
+            covered += sum(1 for c in lines.values() if c > 0)
+        pct = 100.0 * covered / total if total else 0.0
+        status = "ok  " if pct >= floor else "FAIL"
+        print(f"{status} {prefix}: {pct:.1f}% line coverage "
+              f"({covered}/{total} lines, floor {floor:.0f}%)")
+        if pct < floor:
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

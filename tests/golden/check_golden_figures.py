@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Golden-figure regression check.
+
+Re-runs the figure benchmarks named in fig_digests.json with their pinned
+short arguments, hashes the stdout, and compares against the committed
+digests. On mismatch, prints a unified diff against the committed golden
+output so the drift is reviewable, and exits non-zero.
+
+Usage: check_golden_figures.py <bench_bin_dir> [golden_dir]
+
+The figure pipelines are deterministic and thread-count independent, so the
+digests are stable across SPOTCACHE_THREADS settings; a digest change means
+the figures themselves changed and either a bug crept in or the goldens need
+a deliberate refresh (re-run the benchmarks and update tests/golden/).
+"""
+
+import difflib
+import hashlib
+import json
+import os
+import subprocess
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    bench_dir = sys.argv[1]
+    golden_dir = sys.argv[2] if len(sys.argv) > 2 else os.path.dirname(
+        os.path.abspath(__file__))
+
+    with open(os.path.join(golden_dir, "fig_digests.json")) as f:
+        manifest = json.load(f)
+
+    failures = 0
+    for name in sorted(manifest):
+        spec = manifest[name]
+        exe = os.path.join(bench_dir, spec["binary"])
+        if not os.path.exists(exe):
+            print(f"FAIL {name}: missing binary {exe}")
+            failures += 1
+            continue
+        proc = subprocess.run([exe] + spec["args"], stdout=subprocess.PIPE,
+                              stderr=subprocess.DEVNULL, timeout=600)
+        if proc.returncode != 0:
+            print(f"FAIL {name}: {spec['binary']} exited {proc.returncode}")
+            failures += 1
+            continue
+        digest = hashlib.sha256(proc.stdout).hexdigest()
+        if digest == spec["sha256"]:
+            print(f"ok   {name}: {digest[:16]}")
+            continue
+        failures += 1
+        print(f"FAIL {name}: digest {digest} != golden {spec['sha256']}")
+        golden_path = os.path.join(golden_dir, spec["golden"])
+        if os.path.exists(golden_path):
+            with open(golden_path, encoding="utf-8") as f:
+                want = f.read().splitlines(keepends=True)
+            got = proc.stdout.decode("utf-8", "replace").splitlines(
+                keepends=True)
+            sys.stdout.writelines(
+                difflib.unified_diff(want, got, fromfile=spec["golden"],
+                                     tofile=f"{spec['binary']} (current)",
+                                     n=2))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,518 @@
+// Conformance suite for the memcached 1.6 text protocol (ISSUE 5).
+//
+// One shared table of wire cases — request bytes in, exact response bytes
+// out — executed three ways:
+//
+//   * directly against RequestParser + ServerCore (no sockets), and
+//   * over a real loopback socket through NetServer/NetClient, and
+//   * optionally against an external server named by the environment
+//     variable SPOTCACHE_CONFORMANCE_ADDR ("host:port", e.g. the CI smoke
+//     step's spotcache_server). External runs use the wall clock, so the
+//     clock-driven expiry cases at the table's tail are skipped there.
+//
+// The table is sequential: case N's expectations assume cases 0..N-1 ran
+// against the same fresh server (cas values, resync behavior). Clock-driven
+// cases are kept strictly after every wall-clock-safe case.
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/system.h"
+#include "src/net/client.h"
+#include "src/net/protocol.h"
+#include "src/net/response.h"
+#include "src/net/server.h"
+#include "src/net/server_core.h"
+#include "src/obs/obs.h"
+
+namespace spotcache::net {
+namespace {
+
+constexpr int64_t kT0 = 2'000'000'000;  // test-clock epoch (unix seconds)
+constexpr const char* kVersion = "spotcache-1.6.0";
+
+struct WireCase {
+  std::string name;
+  std::string in;    // raw request bytes
+  std::string want;  // exact expected response bytes
+  int64_t advance = 0;      // seconds to advance the test clock first
+  bool needs_clock = false; // skip when serving off the wall clock
+};
+
+std::vector<WireCase> ConformanceCases() {
+  std::vector<WireCase> cases;
+  const auto add = [&](std::string name, std::string in, std::string want) {
+    cases.push_back({std::move(name), std::move(in), std::move(want)});
+  };
+  const auto add_clock = [&](std::string name, int64_t advance, std::string in,
+                             std::string want) {
+    cases.push_back(
+        {std::move(name), std::move(in), std::move(want), advance, true});
+  };
+
+  // --- Storage & retrieval (cas values count up from 1). -----------------
+  add("set_basic", "set a 7 0 5\r\nhello\r\n", "STORED\r\n");
+  add("get_hit", "get a\r\n", "VALUE a 7 5\r\nhello\r\nEND\r\n");
+  add("get_miss", "get nosuch\r\n", "END\r\n");
+  add("set_second", "set b 0 0 2\r\nhi\r\n", "STORED\r\n");
+  add("get_multi", "get a b nosuch\r\n",
+      "VALUE a 7 5\r\nhello\r\nVALUE b 0 2\r\nhi\r\nEND\r\n");
+  add("gets_cas", "gets a\r\n", "VALUE a 7 5 1\r\nhello\r\nEND\r\n");
+  add("gets_multi", "gets a b\r\n",
+      "VALUE a 7 5 1\r\nhello\r\nVALUE b 0 2 2\r\nhi\r\nEND\r\n");
+  add("add_existing", "add a 0 0 1\r\nx\r\n", "NOT_STORED\r\n");
+  add("add_new", "add c 1 0 3\r\nnew\r\n", "STORED\r\n");
+  add("replace_missing", "replace nosuch 0 0 1\r\nx\r\n", "NOT_STORED\r\n");
+  add("replace_existing", "replace b 9 0 3\r\nbye\r\n", "STORED\r\n");
+  add("get_replaced", "get b\r\n", "VALUE b 9 3\r\nbye\r\nEND\r\n");
+  add("delete_existing", "delete c\r\n", "DELETED\r\n");
+  add("delete_missing", "delete c\r\n", "NOT_FOUND\r\n");
+  add("touch_missing", "touch nosuch 100\r\n", "NOT_FOUND\r\n");
+  add("touch_existing", "touch a 0\r\n", "TOUCHED\r\n");
+
+  // --- noreply suppresses success replies, never error replies. ----------
+  add("set_noreply", "set d 0 0 4 noreply\r\nq123\r\n", "");
+  add("get_after_noreply", "get d\r\n", "VALUE d 0 4\r\nq123\r\nEND\r\n");
+  add("delete_noreply", "delete d noreply\r\n", "");
+  add("get_after_noreply_delete", "get d\r\n", "END\r\n");
+
+  // --- Pipelining: one buffer, replies in order. -------------------------
+  add("pipelined",
+      "set p 0 0 1\r\nx\r\nget p\r\ndelete p\r\n",
+      "STORED\r\nVALUE p 0 1\r\nx\r\nEND\r\nDELETED\r\n");
+
+  add("version", std::string("version\r\n"),
+      std::string("VERSION ") + kVersion + "\r\n");
+
+  // --- Protocol errors. --------------------------------------------------
+  add("unknown_command", "bogus\r\n", "ERROR\r\n");
+  add("empty_line", "\r\n", "ERROR\r\n");
+  add("get_no_keys", "get\r\n", "ERROR\r\n");
+  add("storage_missing_args", "set k 0 0\r\n",
+      "CLIENT_ERROR bad command line format\r\n");
+  // A rejected storage header makes the payload line parse as a command.
+  add("storage_flags_overflow", "set k 4294967296 0 1\r\nx\r\n",
+      "CLIENT_ERROR bad command line format\r\nERROR\r\n");
+  add("storage_negative_bytes", "set k 0 0 -1\r\nx\r\n",
+      "CLIENT_ERROR bad command line format\r\nERROR\r\n");
+  add("bad_data_chunk", "set q 0 0 4\r\nhello\r\n",
+      "CLIENT_ERROR bad data chunk\r\nERROR\r\n");
+
+  // --- Key limits (250 bytes; no control characters). --------------------
+  const std::string key250(kMaxKeyBytes, 'k');
+  const std::string key251(kMaxKeyBytes + 1, 'k');
+  add("key_max_len_stores", "set " + key250 + " 0 0 1\r\nv\r\n", "STORED\r\n");
+  add("key_max_len_reads", "get " + key250 + "\r\n",
+      "VALUE " + key250 + " 0 1\r\nv\r\nEND\r\n");
+  add("key_too_long_get", "get " + key251 + "\r\n",
+      "CLIENT_ERROR bad command line format\r\n");
+  add("key_too_long_set", "set " + key251 + " 0 0 1\r\nx\r\n",
+      "CLIENT_ERROR bad command line format\r\nERROR\r\n");
+  add("key_control_char", std::string("get k\x07y\r\n"),
+      "CLIENT_ERROR bad command line format\r\n");
+
+  // --- Value limits (1 MB). ----------------------------------------------
+  const std::string mb(kMaxValueBytes, 'x');
+  add("value_1mb_stores",
+      "set big 0 0 " + std::to_string(mb.size()) + "\r\n" + mb + "\r\n",
+      "STORED\r\n");
+  add("value_1mb_reads", "get big\r\n",
+      "VALUE big 0 " + std::to_string(mb.size()) + "\r\n" + mb + "\r\nEND\r\n");
+  add("value_too_large",
+      "set big2 0 0 " + std::to_string(kMaxValueBytes + 1) + "\r\n" + mb +
+          "y\r\n",
+      "SERVER_ERROR object too large for cache\r\n");
+
+  // --- Overlong command line (resyncs at the newline). -------------------
+  add("line_too_long",
+      "get " + std::string(kMaxCommandLineBytes + 16, 'a') + "\r\n",
+      "CLIENT_ERROR bad command line format\r\n");
+
+  // --- flush_all: argument errors are wall-clock-safe; visibility below. -
+  add("flush_negative_delay", "flush_all -1\r\n",
+      "CLIENT_ERROR bad command line format\r\n");
+  // Always-dead expiry is clock-independent: stored but never retrievable.
+  add("expired_on_arrival_stores", "set e 0 -1 3\r\nxyz\r\n", "STORED\r\n");
+  add("expired_on_arrival_misses", "get e\r\n", "END\r\n");
+
+  // === Clock-driven cases only from here on (external runs stop above). ===
+
+  // flush_all marks everything stored strictly before the flush point dead.
+  add_clock("flush_all_now", 1, "flush_all\r\n", "OK\r\n");
+  add_clock("get_after_flush", 0, "get a\r\n", "END\r\n");
+
+  // Relative expiry.
+  add_clock("relative_expiry_stores", 0, "set r1 0 2 3\r\nttl\r\n",
+            "STORED\r\n");
+  add_clock("relative_expiry_live", 0, "get r1\r\n",
+            "VALUE r1 0 3\r\nttl\r\nEND\r\n");
+  add_clock("relative_expiry_lapses", 3, "get r1\r\n", "END\r\n");
+
+  // Absolute expiry (exptime beyond the 30-day cutoff is unix seconds).
+  // The test clock at this point sits at kT0 + 4.
+  add_clock("absolute_expiry_stores", 0,
+            "set r2 0 " + std::to_string(kT0 + 6) + " 2\r\nab\r\n",
+            "STORED\r\n");
+  add_clock("absolute_expiry_live", 0, "get r2\r\n",
+            "VALUE r2 0 2\r\nab\r\nEND\r\n");
+  add_clock("absolute_expiry_lapses", 3, "get r2\r\n", "END\r\n");
+
+  // touch rewrites the deadline.
+  add_clock("touch_target_stores", 0, "set r3 0 2 1\r\nx\r\n", "STORED\r\n");
+  add_clock("touch_extends", 0, "touch r3 100\r\n", "TOUCHED\r\n");
+  add_clock("touched_item_survives", 3, "get r3\r\n",
+            "VALUE r3 0 1\r\nx\r\nEND\r\n");
+
+  // flush_all with a delay: pending until the point passes; stores after
+  // the point stay visible.
+  add_clock("flush_delay_target_stores", 0, "set r4 0 0 1\r\nx\r\n",
+            "STORED\r\n");
+  add_clock("flush_delay_set", 0, "flush_all 5\r\n", "OK\r\n");
+  add_clock("flush_delay_not_yet", 0, "get r4\r\n",
+            "VALUE r4 0 1\r\nx\r\nEND\r\n");
+  add_clock("flush_delay_passes", 6, "get r4\r\n", "END\r\n");
+  add_clock("store_after_flush_point", 0, "set r5 0 0 1\r\ny\r\n",
+            "STORED\r\n");
+  add_clock("store_after_flush_visible", 0, "get r5\r\n",
+            "VALUE r5 0 1\r\ny\r\nEND\r\n");
+
+  return cases;
+}
+
+// Number of error replies a case list produces (every ERROR / CLIENT_ERROR /
+// SERVER_ERROR line in the expected bytes is one HandleParseError call here —
+// no case in this table sheds).
+size_t ExpectedProtocolErrors(const std::vector<WireCase>& cases) {
+  size_t n = 0;
+  for (const WireCase& c : cases) {
+    for (size_t at = 0; (at = c.want.find("ERROR", at)) != std::string::npos;
+         at += 5) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+// Runs one case's bytes through a parser + core, capturing the response.
+std::string RunDirect(RequestParser* parser, ServerCore* core,
+                      std::string_view in, int64_t now) {
+  ResponseAssembler out;
+  parser->Feed(in);
+  for (;;) {
+    const ParseStatus st = parser->Next();
+    if (st == ParseStatus::kNeedMore) {
+      break;
+    }
+    if (st == ParseStatus::kError) {
+      core->HandleParseError(parser->error(), &out);
+      continue;
+    }
+    core->Handle(parser->request(), now, &out);
+  }
+  return out.Flatten();
+}
+
+TEST(ProtocolConformance, DirectAgainstParserAndCore) {
+  ServerCore core(ServerCoreConfig{});
+  RequestParser parser;
+  int64_t now = kT0;
+  for (const WireCase& c : ConformanceCases()) {
+    now += c.advance;
+    EXPECT_EQ(RunDirect(&parser, &core, c.in, now), c.want) << "case " << c.name;
+    EXPECT_EQ(parser.buffered(), 0u) << "case " << c.name
+                                     << " left bytes in the parser";
+  }
+}
+
+// The same table, byte-for-byte, over a real loopback socket.
+TEST(ProtocolConformance, OverLoopbackSocket) {
+  std::atomic<int64_t> now{kT0};
+  NetServerConfig config;
+  Obs obs;
+  NetServer server(config, nullptr, &obs);
+  server.SetClock([&now] { return now.load(); });
+  ASSERT_TRUE(server.Start());
+  std::thread loop([&server] { server.Run(); });
+
+  {
+    NetClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+    for (const WireCase& c : ConformanceCases()) {
+      now += c.advance;
+      const auto got = client.RoundTripRaw(c.in, kVersion);
+      ASSERT_TRUE(got.has_value()) << "case " << c.name << " lost the connection";
+      EXPECT_EQ(*got, c.want) << "case " << c.name;
+    }
+    client.Close();
+  }
+  server.Stop();
+  loop.join();
+  const size_t want_errors = ExpectedProtocolErrors(ConformanceCases());
+  EXPECT_EQ(server.core().protocol_errors(), want_errors);
+  EXPECT_EQ(obs.registry.CounterValue("net/protocol_errors"),
+            static_cast<int64_t>(want_errors));
+  EXPECT_GT(obs.registry.CounterValue("net/requests"), 0);
+}
+
+// Wall-clock-safe prefix of the table against an external server
+// (SPOTCACHE_CONFORMANCE_ADDR="host:port"); the CI smoke step uses this to
+// exercise the real spotcache_server binary. The server must be fresh.
+TEST(ProtocolConformance, ExternalServer) {
+  const char* addr = std::getenv("SPOTCACHE_CONFORMANCE_ADDR");
+  if (addr == nullptr || *addr == '\0') {
+    GTEST_SKIP() << "SPOTCACHE_CONFORMANCE_ADDR not set";
+  }
+  const std::string spec(addr);
+  const size_t colon = spec.rfind(':');
+  ASSERT_NE(colon, std::string::npos) << "expected host:port, got " << spec;
+  const std::string host = spec.substr(0, colon);
+  const int port = std::atoi(spec.c_str() + colon + 1);
+  ASSERT_GT(port, 0);
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect(host, static_cast<uint16_t>(port)));
+  for (const WireCase& c : ConformanceCases()) {
+    if (c.needs_clock) {
+      break;  // everything from here on drives the test clock
+    }
+    const auto got = client.RoundTripRaw(c.in, kVersion);
+    ASSERT_TRUE(got.has_value()) << "case " << c.name << " lost the connection";
+    EXPECT_EQ(*got, c.want) << "case " << c.name;
+  }
+}
+
+TEST(ProtocolConformance, QuitClosesConnection) {
+  NetServerConfig config;
+  NetServer server(config);
+  ASSERT_TRUE(server.Start());
+  std::thread loop([&server] { server.Run(); });
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  ASSERT_TRUE(client.Set("k", "v"));
+  ASSERT_TRUE(client.SendRaw("quit\r\n"));
+  // The server closes; the next read hits EOF.
+  EXPECT_FALSE(client.ReadLine().has_value());
+  client.Close();
+  server.Stop();
+  loop.join();
+}
+
+// stats: shape rather than bytes (counter values depend on history).
+TEST(ProtocolConformance, StatsShape) {
+  ServerCore core(ServerCoreConfig{});
+  RequestParser parser;
+  const std::string got =
+      RunDirect(&parser, &core, "set s 0 0 1\r\nx\r\nget s\r\nstats\r\n", kT0);
+  EXPECT_NE(got.find("STAT version spotcache-1.6.0\r\n"), std::string::npos);
+  EXPECT_NE(got.find("STAT curr_items 1\r\n"), std::string::npos);
+  EXPECT_NE(got.find("STAT cmd_get 1\r\n"), std::string::npos);
+  EXPECT_NE(got.find("STAT cmd_set 1\r\n"), std::string::npos);
+  EXPECT_NE(got.find("STAT get_hits 1\r\n"), std::string::npos);
+  EXPECT_TRUE(got.size() >= 5 &&
+              got.compare(got.size() - 5, 5, "END\r\n") == 0);
+  // Sub-commands are accepted (and ignored) like "stats slabs".
+  EXPECT_NE(RunDirect(&parser, &core, "stats slabs\r\n", kT0).find("END\r\n"),
+            std::string::npos);
+}
+
+// With a SpotCacheSystem attached, requests flow through Router::Route and
+// the ladder; conformance must hold unchanged while net/* counters move.
+TEST(ProtocolConformance, SystemGatedServingStillConforms) {
+  Obs obs;
+  SpotCacheSystem::Config sys_cfg;
+  sys_cfg.obs = &obs;
+  sys_cfg.resilience.enabled = true;
+  SpotCacheSystem system(sys_cfg);
+  system.AdvanceSlot(100e3, 10.0);  // provision the data plane
+
+  ServerCore core(ServerCoreConfig{}, &system, &obs);
+  RequestParser parser;
+  EXPECT_EQ(RunDirect(&parser, &core, "set g 3 0 5\r\ngated\r\n", kT0),
+            "STORED\r\n");
+  EXPECT_EQ(RunDirect(&parser, &core, "get g\r\n", kT0),
+            "VALUE g 3 5\r\ngated\r\nEND\r\n");
+  EXPECT_EQ(RunDirect(&parser, &core, "get missing\r\n", kT0), "END\r\n");
+  EXPECT_EQ(obs.registry.CounterValue("net/sets"), 1);
+  EXPECT_EQ(obs.registry.CounterValue("net/get_hits"), 1);
+  // The system saw the traffic too: its stats move with ours.
+  EXPECT_EQ(system.GetStats().sets, 1u);
+  EXPECT_EQ(system.GetStats().gets, 2u);
+}
+
+// The typed NetClient surface (every convenience wrapper) against a live
+// server, plus the connect failure path.
+TEST(ProtocolConformance, TypedClientSurface) {
+  std::atomic<int64_t> now{kT0};
+  NetServerConfig config;
+  NetServer server(config);
+  server.SetClock([&now] { return now.load(); });
+  ASSERT_TRUE(server.Start());
+  std::thread loop([&server] { server.Run(); });
+
+  {
+    NetClient bad;
+    EXPECT_FALSE(bad.Connect("not-an-address", server.port()));
+
+    NetClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+    EXPECT_TRUE(client.Set("tk", "v1", 7, 0));
+    EXPECT_FALSE(client.Add("tk", "x"));          // exists
+    EXPECT_TRUE(client.Replace("tk", "v2", 9, 0));
+    EXPECT_FALSE(client.Replace("ghost", "x"));   // missing
+    EXPECT_TRUE(client.Add("tk2", "w"));
+
+    const auto hit = client.Get("tk");
+    ASSERT_TRUE(hit.found);
+    EXPECT_EQ(hit.value, "v2");
+    EXPECT_EQ(hit.flags, 9u);
+    const auto with_cas = client.Gets("tk");
+    ASSERT_TRUE(with_cas.found);
+    EXPECT_GT(with_cas.cas, 0u);
+    EXPECT_FALSE(client.Get("ghost").found);
+
+    EXPECT_TRUE(client.Touch("tk", 10'000));
+    EXPECT_FALSE(client.Touch("ghost", 10));
+    EXPECT_TRUE(client.Delete("tk2"));
+    EXPECT_FALSE(client.Delete("tk2"));
+
+    const auto version = client.Version();
+    ASSERT_TRUE(version.has_value());
+    EXPECT_EQ(*version, kVersion);
+    const auto stats = client.Stats();
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->count("curr_items"), 1u);
+    EXPECT_EQ(stats->at("version"), kVersion);
+
+    now += 10;  // a same-second flush keeps same-second stores visible
+    EXPECT_TRUE(client.FlushAll());
+    EXPECT_FALSE(client.Get("tk").found);
+    EXPECT_TRUE(client.FlushAll(5));
+    client.Close();
+  }
+  server.Stop();
+  loop.join();
+}
+
+// Replies far larger than the kernel socket buffer must spill into the
+// per-connection pending buffer and drain via EPOLLOUT, intact and in order.
+TEST(ProtocolConformance, BackpressureDrainsPendingBuffer) {
+  Obs obs;
+  NetServerConfig config;
+  config.max_output_buffer = 256 * 1024 * 1024;  // never a slow consumer here
+  NetServer server(config, nullptr, &obs);
+  ASSERT_TRUE(server.Start());
+  std::thread loop([&server] { server.Run(); });
+
+  constexpr size_t kValueBytes = 64 * 1024;
+  constexpr int kGets = 400;  // ~25 MB of replies, far beyond socket buffers
+  {
+    NetClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+    const std::string value(kValueBytes, 'b');
+    ASSERT_TRUE(client.Set("big", value));
+    std::string batch;
+    for (int i = 0; i < kGets; ++i) {
+      batch += "get big\r\n";
+    }
+    // The whole batch goes out before anything is read back, so the server
+    // hits EAGAIN mid-writev and must buffer the remainder.
+    ASSERT_TRUE(client.SendRaw(batch));
+    for (int i = 0; i < kGets; ++i) {
+      const auto header = client.ReadLine();
+      ASSERT_TRUE(header.has_value()) << "reply " << i;
+      EXPECT_EQ(*header, "VALUE big 0 " + std::to_string(kValueBytes));
+      const auto data = client.ReadBytes(kValueBytes + 2);
+      ASSERT_TRUE(data.has_value()) << "reply " << i;
+      EXPECT_EQ(data->compare(0, kValueBytes, value), 0) << "reply " << i;
+      const auto end = client.ReadLine();
+      ASSERT_TRUE(end.has_value()) << "reply " << i;
+      EXPECT_EQ(*end, "END");
+    }
+    client.Close();
+  }
+  server.Stop();
+  loop.join();
+  EXPECT_EQ(obs.registry.CounterValue("net/slow_consumer_closes"), 0);
+  EXPECT_GE(obs.registry.CounterValue("net/bytes_out"),
+            static_cast<int64_t>(kGets * kValueBytes));
+}
+
+// A consumer that never reads while its pending bytes pile past
+// max_output_buffer is dropped (counted), not buffered without bound.
+TEST(ProtocolConformance, SlowConsumerIsDropped) {
+  Obs obs;
+  NetServerConfig config;
+  config.max_output_buffer = 64 * 1024;
+  NetServer server(config, nullptr, &obs);
+  ASSERT_TRUE(server.Start());
+  std::thread loop([&server] { server.Run(); });
+
+  constexpr int kGets = 400;
+  int replies = 0;
+  {
+    NetClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+    ASSERT_TRUE(client.Set("big", std::string(64 * 1024, 's')));
+    std::string batch;
+    for (int i = 0; i < kGets; ++i) {
+      batch += "get big\r\n";
+    }
+    ASSERT_TRUE(client.SendRaw(batch));
+    // Drain whatever made it into the kernel buffers before the cut.
+    for (auto line = client.ReadLine(); line.has_value();
+         line = client.ReadLine()) {
+      replies += (*line == "END");
+    }
+    client.Close();
+  }
+  server.Stop();
+  loop.join();
+  EXPECT_LT(replies, kGets);
+  EXPECT_EQ(obs.registry.CounterValue("net/slow_consumer_closes"), 1);
+}
+
+// Connection cap and listener failure modes: the (cap+1)th socket is hung
+// up on without disturbing the established one; Start() reports bind/addr
+// errors instead of serving nothing.
+TEST(ProtocolConformance, ConnectionCapAndStartFailures) {
+  Obs obs;
+  NetServerConfig config;
+  config.max_connections = 1;
+  NetServer server(config, nullptr, &obs);
+  ASSERT_TRUE(server.Start());
+
+  NetServerConfig clash;
+  clash.port = server.port();
+  NetServer dup(clash);
+  EXPECT_FALSE(dup.Start());  // EADDRINUSE
+
+  NetServerConfig badhost;
+  badhost.bind_host = "not-an-address";
+  NetServer bad(badhost);
+  EXPECT_FALSE(bad.Start());
+
+  std::thread loop([&server] { server.Run(); });
+  NetClient first;
+  ASSERT_TRUE(first.Connect("127.0.0.1", server.port()));
+  ASSERT_TRUE(first.Version().has_value());  // forces the accept
+
+  NetClient second;
+  ASSERT_TRUE(second.Connect("127.0.0.1", server.port()));  // TCP accepts...
+  EXPECT_FALSE(second.Version().has_value());  // ...but the server hangs up
+
+  EXPECT_TRUE(first.Set("still", "alive"));  // the live conn is unaffected
+  server.Stop();
+  loop.join();
+  EXPECT_EQ(obs.registry.CounterValue("net/conns_rejected"), 1);
+  EXPECT_EQ(obs.registry.CounterValue("net/conns_opened"), 1);
+  // `first` stays connected past Stop(): the destructor sweep reaps it.
+}
+
+}  // namespace
+}  // namespace spotcache::net

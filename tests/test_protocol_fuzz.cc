@@ -1,0 +1,296 @@
+// Deterministic protocol fuzzer (ISSUE 5).
+//
+// Seed-driven streams — valid pipelined commands, truncated commands,
+// overlong tokens, binary garbage, misdeclared payload sizes — are fed to
+// RequestParser + ServerCore under many different chunkings of the same
+// bytes. The pinned properties:
+//
+//   * no crash, no hang, no sanitizer report (ASan/UBSan jobs run this);
+//   * chunking invariance: any split of the same byte stream produces the
+//     byte-identical (event sequence, response bytes) pair;
+//   * the parser never buffers more than the unconsumed input.
+//
+// Everything is seeded from spotcache::Rng, so a failure reproduces exactly.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/net/protocol.h"
+#include "src/net/response.h"
+#include "src/net/server_core.h"
+#include "src/util/rng.h"
+
+namespace spotcache::net {
+namespace {
+
+constexpr int64_t kNow = 2'000'000'000;
+
+/// The observable outcome of parsing+serving a byte stream: a serialized
+/// event per request/error, plus the exact response bytes.
+struct Outcome {
+  std::vector<std::string> events;
+  std::string response;
+
+  bool operator==(const Outcome& other) const = default;
+};
+
+std::string DescribeRequest(const TextRequest& req) {
+  std::string s(ToString(req.verb));
+  for (const auto& key : req.keys) {
+    s += ' ';
+    s.append(key);
+  }
+  s += " f=" + std::to_string(req.flags);
+  s += " e=" + std::to_string(req.exptime);
+  s += " d=" + std::to_string(req.delay_s);
+  s += " n=" + std::to_string(req.noreply ? 1 : 0);
+  s += " |" + std::to_string(req.data.size()) + "|";
+  s.append(req.data);
+  return s;
+}
+
+/// Feeds `stream` in the pieces given by `cuts` (sorted split offsets),
+/// draining the parser after each piece.
+Outcome RunChunked(std::string_view stream, const std::vector<size_t>& cuts) {
+  ServerCore core{ServerCoreConfig{}};
+  RequestParser parser;
+  ResponseAssembler out;
+  Outcome outcome;
+
+  size_t start = 0;
+  std::vector<size_t> bounds = cuts;
+  bounds.push_back(stream.size());
+  for (size_t bound : bounds) {
+    parser.Feed(stream.substr(start, bound - start));
+    start = bound;
+    for (;;) {
+      const ParseStatus st = parser.Next();
+      if (st == ParseStatus::kNeedMore) {
+        break;
+      }
+      if (st == ParseStatus::kError) {
+        outcome.events.push_back(std::string("err:") +
+                                 std::string(ToString(parser.error())));
+        core.HandleParseError(parser.error(), &out);
+        continue;
+      }
+      outcome.events.push_back(DescribeRequest(parser.request()));
+      core.Handle(parser.request(), kNow, &out);
+    }
+    EXPECT_LE(parser.buffered(), stream.size());
+  }
+  outcome.response = out.Flatten();
+  return outcome;
+}
+
+std::vector<size_t> RandomCuts(Rng& rng, size_t len) {
+  std::vector<size_t> cuts;
+  if (len == 0) {
+    return cuts;
+  }
+  size_t at = 0;
+  while (at < len) {
+    // Mostly tiny fragments; occasionally large ones.
+    const size_t step = rng.NextBelow(8) == 0 ? 1 + rng.NextBelow(len) + 1
+                                              : 1 + rng.NextBelow(7);
+    at += step;
+    if (at < len) {
+      cuts.push_back(at);
+    }
+  }
+  return cuts;
+}
+
+std::string RandomKey(Rng& rng) {
+  // 1 in 16 keys is oversized to poke the 250-byte limit.
+  const size_t len = rng.NextBelow(16) == 0
+                         ? kMaxKeyBytes + 1 + rng.NextBelow(16)
+                         : 1 + rng.NextBelow(24);
+  std::string key;
+  key.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    key.push_back(static_cast<char>('a' + rng.NextBelow(26)));
+  }
+  return key;
+}
+
+std::string RandomValue(Rng& rng, size_t max_len) {
+  const size_t len = rng.NextBelow(max_len + 1);
+  std::string v;
+  v.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    // Binary-safe payloads, including CR/LF/NUL bytes.
+    v.push_back(static_cast<char>(rng.NextBelow(256)));
+  }
+  return v;
+}
+
+/// One pseudo-random stream mixing well-formed and hostile input.
+std::string RandomStream(Rng& rng) {
+  std::string s;
+  const int commands = 1 + static_cast<int>(rng.NextBelow(10));
+  for (int i = 0; i < commands; ++i) {
+    switch (rng.NextBelow(12)) {
+      case 0: {  // well-formed set (sometimes noreply)
+        const std::string v = RandomValue(rng, 64);
+        s += "set " + RandomKey(rng) + " " + std::to_string(rng.NextBelow(10)) +
+             " 0 " + std::to_string(v.size()) +
+             (rng.NextBelow(3) == 0 ? " noreply" : "") + "\r\n" + v + "\r\n";
+        break;
+      }
+      case 1:  // well-formed get, possibly multi-key
+        s += "get " + RandomKey(rng) + " " + RandomKey(rng) + "\r\n";
+        break;
+      case 2:
+        s += "gets " + RandomKey(rng) + "\r\n";
+        break;
+      case 3:
+        s += "delete " + RandomKey(rng) + "\r\n";
+        break;
+      case 4:
+        s += "touch " + RandomKey(rng) + " " +
+             std::to_string(rng.NextBelow(1000)) + "\r\n";
+        break;
+      case 5:
+        s += rng.NextBelow(2) == 0 ? "version\r\n" : "stats\r\n";
+        break;
+      case 6: {  // misdeclared payload size (bad data chunk)
+        const std::string v = RandomValue(rng, 32);
+        s += "set " + RandomKey(rng) + " 0 0 " +
+             std::to_string(v.size() + 1 + rng.NextBelow(8)) + "\r\n" + v +
+             "\r\n";
+        break;
+      }
+      case 7: {  // binary garbage, newline-terminated
+        const std::string g = RandomValue(rng, 40);
+        s += g + "\n";
+        break;
+      }
+      case 8: {  // overlong token / absurd numbers
+        s += "set " + std::string(rng.NextBelow(600), 'z') +
+             " 99999999999999999999 -5 3\r\nabc\r\n";
+        break;
+      }
+      case 9:
+        s += "flush_all " + std::to_string(rng.NextBelow(100)) + "\r\n";
+        break;
+      case 10: {  // bare CR / LF noise
+        s += rng.NextBelow(2) == 0 ? "\r\n" : "\n";
+        break;
+      }
+      default: {  // well-formed add/replace
+        const std::string v = RandomValue(rng, 32);
+        s += (rng.NextBelow(2) == 0 ? "add " : "replace ") + RandomKey(rng) +
+             " 0 0 " + std::to_string(v.size()) + "\r\n" + v + "\r\n";
+        break;
+      }
+    }
+  }
+  // 1 in 4 streams is truncated mid-flight.
+  if (rng.NextBelow(4) == 0 && !s.empty()) {
+    s.resize(s.size() - rng.NextBelow(s.size()));
+  }
+  return s;
+}
+
+TEST(ProtocolFuzz, ChunkingInvarianceOverRandomStreams) {
+  for (uint64_t seed = 1; seed <= 150; ++seed) {
+    Rng rng(seed);
+    const std::string stream = RandomStream(rng);
+    const Outcome whole = RunChunked(stream, {});
+    for (int split = 0; split < 4; ++split) {
+      const std::vector<size_t> cuts = RandomCuts(rng, stream.size());
+      const Outcome chunked = RunChunked(stream, cuts);
+      ASSERT_EQ(chunked.events, whole.events)
+          << "seed " << seed << " split " << split;
+      ASSERT_EQ(chunked.response, whole.response)
+          << "seed " << seed << " split " << split;
+    }
+  }
+}
+
+// Every single-split position of a representative pipelined stream — the
+// strongest form of the invariance for one stream, at byte granularity.
+TEST(ProtocolFuzz, EverySplitPositionOfPipelinedStream) {
+  const std::string stream =
+      "set alpha 7 0 5\r\nhello\r\n"
+      "get alpha beta\r\n"
+      "gets alpha\r\n"
+      "bogus junk\r\n"
+      "set beta 0 0 3 noreply\r\nxyz\r\n"
+      "set bad 0 0 9\r\nshort\r\n"
+      "delete alpha\r\n"
+      "touch beta 100\r\n"
+      "flush_all 1\r\n"
+      "version\r\n";
+  const Outcome whole = RunChunked(stream, {});
+  EXPECT_FALSE(whole.events.empty());
+  for (size_t at = 1; at < stream.size(); ++at) {
+    const Outcome split = RunChunked(stream, {at});
+    ASSERT_EQ(split.events, whole.events) << "split at byte " << at;
+    ASSERT_EQ(split.response, whole.response) << "split at byte " << at;
+  }
+}
+
+// Oversized values stream through the swallow state without ever being
+// buffered; any chunking reports the same single error.
+TEST(ProtocolFuzz, OversizedValueSwallowedUnderAnyChunking) {
+  const size_t declared = kMaxValueBytes + 10;
+  std::string stream = "set huge 0 0 " + std::to_string(declared) + "\r\n";
+  stream += std::string(declared, 'x');
+  stream += "\r\nget after\r\n";
+
+  const Outcome whole = RunChunked(stream, {});
+  ASSERT_EQ(whole.events.size(), 2u);
+  EXPECT_EQ(whole.events[0], "err:object_too_large");
+  EXPECT_EQ(whole.response,
+            "SERVER_ERROR object too large for cache\r\nEND\r\n");
+
+  Rng rng(99);
+  for (int i = 0; i < 5; ++i) {
+    const Outcome chunked = RunChunked(stream, RandomCuts(rng, stream.size()));
+    ASSERT_EQ(chunked.events, whole.events) << "round " << i;
+    ASSERT_EQ(chunked.response, whole.response) << "round " << i;
+  }
+}
+
+// Pure binary garbage must never crash or hang; with no newline it stays
+// buffered (kNeedMore), with newlines it resolves to errors.
+TEST(ProtocolFuzz, BinaryGarbageNeverCrashes) {
+  for (uint64_t seed = 500; seed < 540; ++seed) {
+    Rng rng(seed);
+    std::string garbage = RandomValue(rng, 4096);
+    const Outcome whole = RunChunked(garbage, {});
+    const Outcome chunked = RunChunked(garbage, RandomCuts(rng, garbage.size()));
+    ASSERT_EQ(chunked.events, whole.events) << "seed " << seed;
+    ASSERT_EQ(chunked.response, whole.response) << "seed " << seed;
+  }
+}
+
+// An unterminated overlong line is discarded as it streams; the error
+// arrives exactly once when the newline finally shows up.
+TEST(ProtocolFuzz, OverlongLineResyncsAtNewline) {
+  std::string stream = "get " + std::string(kMaxCommandLineBytes * 2, 'a');
+  stream += "\r\nversion\r\n";
+  const Outcome whole = RunChunked(stream, {});
+  ASSERT_EQ(whole.events.size(), 2u);
+  EXPECT_EQ(whole.events[0], "err:line_too_long");
+  EXPECT_EQ(whole.events[1], "version f=0 e=0 d=0 n=0 |0|");
+  EXPECT_EQ(whole.response,
+            "CLIENT_ERROR bad command line format\r\nVERSION "
+            "spotcache-1.6.0\r\n");
+  // Byte-at-a-time: the swallow path must behave identically.
+  std::vector<size_t> every_byte;
+  for (size_t at = 1; at < stream.size(); ++at) {
+    every_byte.push_back(at);
+  }
+  const Outcome trickled = RunChunked(stream, every_byte);
+  EXPECT_EQ(trickled.events, whole.events);
+  EXPECT_EQ(trickled.response, whole.response);
+}
+
+}  // namespace
+}  // namespace spotcache::net

@@ -520,5 +520,92 @@ TEST(Ladder, InvalidResilienceConfigThrows) {
   EXPECT_THROW(SpotCacheSystem system(cfg), std::invalid_argument);
 }
 
+// --------------------------------------------------------------------------
+// Introspection and validation surface (names, bad configs, counters)
+
+TEST(HealthTracker, OutcomeNamesAndWeights) {
+  EXPECT_EQ(ToString(HealthOutcome::kOk), "ok");
+  EXPECT_EQ(ToString(HealthOutcome::kServedByBackup), "served_by_backup");
+  EXPECT_EQ(ToString(HealthOutcome::kTimeout), "timeout");
+  EXPECT_EQ(ToString(HealthOutcome::kError), "error");
+  EXPECT_EQ(ToString(HealthOutcome::kRevoked), "revoked");
+  EXPECT_EQ(FailureWeight(HealthOutcome::kOk), 0.0);
+  EXPECT_EQ(FailureWeight(HealthOutcome::kServedByBackup), 0.5);
+  EXPECT_EQ(FailureWeight(HealthOutcome::kRevoked), 1.0);
+}
+
+TEST(HealthTracker, NodeIdsSortedAndUnknownNodesInnocent) {
+  HealthTracker tracker;
+  tracker.Record(7, HealthOutcome::kError);
+  tracker.Record(3, HealthOutcome::kOk);
+  tracker.Record(7, HealthOutcome::kOk);
+  EXPECT_EQ(tracker.NodeIds(), (std::vector<uint64_t>{3, 7}));
+  EXPECT_EQ(tracker.FailureRate(99), 0.0);
+  EXPECT_EQ(tracker.SampleCount(99), 0);
+  EXPECT_EQ(tracker.SampleCount(7), 2);
+}
+
+TEST(HealthTracker, ValidateRejectsOutOfRangeConfig) {
+  HealthConfig bad;
+  bad.ewma_alpha = 0.0;
+  EXPECT_NE(Validate(bad), "");
+  bad = HealthConfig{};
+  bad.unhealthy_threshold = 1.5;
+  EXPECT_NE(Validate(bad), "");
+  EXPECT_EQ(Validate(HealthConfig{}), "");
+}
+
+TEST(CircuitBreaker, StateAndRungNames) {
+  EXPECT_EQ(ToString(BreakerState::kClosed), "closed");
+  EXPECT_EQ(ToString(BreakerState::kOpen), "open");
+  EXPECT_EQ(ToString(BreakerState::kHalfOpen), "half_open");
+  EXPECT_EQ(ToString(LadderRung::kPrimary), "primary");
+  EXPECT_EQ(ToString(LadderRung::kBackup), "backup");
+  EXPECT_EQ(ToString(LadderRung::kBackend), "backend");
+  EXPECT_EQ(ToString(LadderRung::kShed), "shed");
+}
+
+TEST(CircuitBreaker, ValidateRejectsEachBadField) {
+  const auto rejects = [](auto mutate) {
+    CircuitBreakerConfig cfg;
+    mutate(cfg);
+    return !Validate(cfg).empty();
+  };
+  EXPECT_TRUE(rejects([](CircuitBreakerConfig& c) { c.failure_threshold = 0; }));
+  EXPECT_TRUE(
+      rejects([](CircuitBreakerConfig& c) { c.open_base = Duration::Micros(0); }));
+  EXPECT_TRUE(rejects([](CircuitBreakerConfig& c) { c.open_backoff = 0.5; }));
+  EXPECT_TRUE(
+      rejects([](CircuitBreakerConfig& c) { c.open_max = Duration::Micros(1); }));
+  EXPECT_TRUE(
+      rejects([](CircuitBreakerConfig& c) { c.half_open_successes = 0; }));
+  EXPECT_TRUE(rejects([](CircuitBreakerConfig& c) { c.probe_jitter = 1.0; }));
+  EXPECT_EQ(Validate(CircuitBreakerConfig{}), "");
+}
+
+TEST(Admission, ValidateRejectsBadBudgetAndCapacity) {
+  AdmissionConfig bad;
+  bad.shed_budget = 2.0;
+  EXPECT_NE(Validate(bad), "");
+  bad = AdmissionConfig{};
+  bad.backend_capacity_ops = 0.0;
+  EXPECT_NE(Validate(bad), "");
+  EXPECT_EQ(Validate(AdmissionConfig{}), "");
+}
+
+TEST(Admission, ResetCountersClearsRealizedState) {
+  AdmissionController adm{AdmissionConfig{}};
+  for (int i = 0; i < 200; ++i) {
+    adm.Admit(/*is_hot=*/false, /*overload_ratio=*/10.0);
+  }
+  EXPECT_EQ(adm.offered(), 200);
+  EXPECT_GT(adm.shed(), 0);
+  EXPECT_GT(adm.DropRate(), 0.0);
+  adm.ResetCounters();
+  EXPECT_EQ(adm.offered(), 0);
+  EXPECT_EQ(adm.shed(), 0);
+  EXPECT_EQ(adm.DropRate(), 0.0);
+}
+
 }  // namespace
 }  // namespace spotcache

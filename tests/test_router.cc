@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/obs/obs.h"
 #include "src/util/rng.h"
 
 namespace spotcache {
@@ -9,9 +10,35 @@ namespace {
 
 TEST(Router, EmptyRoutesNowhere) {
   Router r;
-  EXPECT_FALSE(r.Route(1, true).has_value());
-  EXPECT_FALSE(r.Route(1, false).has_value());
+  EXPECT_FALSE(r.Route(1, true).ok());
+  EXPECT_FALSE(r.Route(1, false).ok());
   EXPECT_EQ(r.node_count(), 0u);
+}
+
+TEST(Router, BothPoolsEmptyReturnsTypedError) {
+  // Regression: the both-pools-empty case used to surface as a bare nullopt
+  // indistinguishable from any other failure. It must now carry the typed
+  // RouteError, must not claim a fall-through, and must bump route_misses.
+  Obs obs;
+  Router r;
+  r.AttachObs(&obs);
+  const RouteResult hot = r.Route(7, true);
+  const RouteResult cold = r.Route(7, false);
+  ASSERT_FALSE(hot.ok());
+  ASSERT_FALSE(cold.ok());
+  EXPECT_FALSE(static_cast<bool>(hot));
+  EXPECT_EQ(hot.error(), RouteError::kNoRoutableNode);
+  EXPECT_EQ(cold.error(), RouteError::kNoRoutableNode);
+  EXPECT_FALSE(hot.fell_through());
+  EXPECT_FALSE(cold.fell_through());
+  EXPECT_EQ(ToString(hot.error()), "no_routable_node");
+  EXPECT_EQ(obs.registry.CounterValue("router/route_misses"), 2);
+  EXPECT_EQ(obs.registry.CounterValue("router/pool_fallthroughs"), 0);
+
+  // A node joining either pool ends the outage for both pools.
+  r.UpsertNode(1, 1.0, 0.0);
+  EXPECT_TRUE(r.Route(7, true).ok());
+  EXPECT_TRUE(r.Route(7, false).ok());
 }
 
 TEST(Router, RoutesWithinPoolWeights) {
@@ -19,8 +46,8 @@ TEST(Router, RoutesWithinPoolWeights) {
   r.UpsertNode(1, 1.0, 0.0);  // hot only
   r.UpsertNode(2, 0.0, 1.0);  // cold only
   for (KeyId k = 0; k < 100; ++k) {
-    EXPECT_EQ(*r.Route(k, true), 1u);
-    EXPECT_EQ(*r.Route(k, false), 2u);
+    EXPECT_EQ(r.Route(k, true).node(), 1u);
+    EXPECT_EQ(r.Route(k, false).node(), 2u);
   }
 }
 
@@ -31,24 +58,34 @@ TEST(Router, EmptyPoolFallsThroughToOtherRing) {
   Router r;
   r.UpsertNode(1, 1.0, 0.0);  // hot-only fleet
   for (KeyId k = 0; k < 100; ++k) {
-    const auto cold = r.Route(k, false);
-    ASSERT_TRUE(cold.has_value()) << "cold key " << k << " dropped";
-    EXPECT_EQ(*cold, 1u);
+    const RouteResult cold = r.Route(k, false);
+    ASSERT_TRUE(cold.ok()) << "cold key " << k << " dropped";
+    EXPECT_EQ(cold.node(), 1u);
+    EXPECT_TRUE(cold.fell_through());
   }
   Router c;
   c.UpsertNode(2, 0.0, 1.0);  // cold-only fleet
   for (KeyId k = 0; k < 100; ++k) {
-    const auto hot = c.Route(k, true);
-    ASSERT_TRUE(hot.has_value()) << "hot key " << k << " dropped";
-    EXPECT_EQ(*hot, 2u);
+    const RouteResult hot = c.Route(k, true);
+    ASSERT_TRUE(hot.ok()) << "hot key " << k << " dropped";
+    EXPECT_EQ(hot.node(), 2u);
+    EXPECT_TRUE(hot.fell_through());
   }
+}
+
+TEST(Router, InPoolRouteDoesNotReportFallThrough) {
+  Router r;
+  r.UpsertNode(1, 1.0, 1.0);
+  EXPECT_TRUE(r.Route(3, true).ok());
+  EXPECT_FALSE(r.Route(3, true).fell_through());
+  EXPECT_FALSE(r.Route(3, false).fell_through());
 }
 
 TEST(Router, SameNodeCanServeBothPools) {
   Router r;
   r.UpsertNode(1, 0.5, 1.5);
-  EXPECT_EQ(*r.Route(42, true), 1u);
-  EXPECT_EQ(*r.Route(42, false), 1u);
+  EXPECT_EQ(r.Route(42, true).node(), 1u);
+  EXPECT_EQ(r.Route(42, false).node(), 1u);
   EXPECT_DOUBLE_EQ(r.HotWeightOf(1), 0.5);
   EXPECT_DOUBLE_EQ(r.ColdWeightOf(1), 1.5);
 }
@@ -61,7 +98,7 @@ TEST(Router, TrafficSplitsByWeight) {
   int to_two = 0;
   const int n = 20'000;
   for (int i = 0; i < n; ++i) {
-    to_two += *r.Route(rng(), true) == 2 ? 1 : 0;
+    to_two += r.Route(rng(), true).node() == 2 ? 1 : 0;
   }
   // Ring ownership is lumpy at 64 vnodes/weight-unit: generous tolerance.
   EXPECT_NEAR(static_cast<double>(to_two) / n, 0.75, 0.10);
@@ -75,7 +112,7 @@ TEST(Router, HotAndColdPlacementsIndependent) {
   // disagree for about half of keys.
   int differ = 0;
   for (KeyId k = 0; k < 1000; ++k) {
-    differ += (*r.Route(k, true) != *r.Route(k, false)) ? 1 : 0;
+    differ += (r.Route(k, true).node() != r.Route(k, false).node()) ? 1 : 0;
   }
   EXPECT_GT(differ, 300);
   EXPECT_LT(differ, 700);
@@ -88,7 +125,7 @@ TEST(Router, RemoveNodeRedistributes) {
   r.RemoveNode(1);
   EXPECT_FALSE(r.HasNode(1));
   for (KeyId k = 0; k < 100; ++k) {
-    EXPECT_EQ(*r.Route(k, true), 2u);
+    EXPECT_EQ(r.Route(k, true).node(), 2u);
   }
 }
 
@@ -149,12 +186,12 @@ TEST(Router, WeightChangeMovesMinimalKeys) {
   }
   std::vector<uint64_t> before;
   for (KeyId k = 0; k < 2000; ++k) {
-    before.push_back(*r.Route(k, false));
+    before.push_back(r.Route(k, false).node());
   }
   // Double node 1's cold weight: keys should only move *to* node 1.
   r.UpsertNode(1, 1.0, 2.0);
   for (KeyId k = 0; k < 2000; ++k) {
-    const uint64_t now = *r.Route(k, false);
+    const uint64_t now = r.Route(k, false).node();
     if (now != before[k]) {
       EXPECT_EQ(now, 1u) << "key " << k;
     }
