@@ -7,6 +7,10 @@
 //   $ printf 'set k 0 0 5\r\nhello\r\nget k\r\nquit\r\n' | nc 127.0.0.1 11211
 //   $ memtier_benchmark -p 11211 -P memcache_text
 //
+// Readiness: the first stdout line is `listening <port>` (flushed once the
+// socket is bound), so harnesses can use --port=0 and scrape the bound port
+// instead of racing listen(2) with retry loops.
+//
 // Flags:
 //   --port=N         listen port (0 picks an ephemeral port, printed on start)
 //   --host=H         bind address
@@ -110,6 +114,11 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, HandleSignal);
   std::signal(SIGPIPE, SIG_IGN);
 
+  // Readiness signal for harnesses: the first stdout line is exactly
+  // "listening <port>", flushed after listen(2) succeeded — so a script can
+  // start the server with --port=0, read the bound port from this line, and
+  // never race the bind. The human-readable banner follows.
+  std::printf("listening %u\n", server.port());
   std::printf("spotcache_server listening on %s:%u (capacity %zu MB%s%s)\n",
               config.bind_host.c_str(), server.port(),
               config.core.capacity_bytes / (1024 * 1024),

@@ -1,0 +1,88 @@
+// The open-loop traffic engine.
+//
+// RunOpenLoop drives a deterministic op stream (op_stream.h) over many
+// concurrent non-blocking connections against a memcached-protocol server.
+// Each operation is released at its *scheduled* send time and its latency is
+// measured from that scheduled time — so when the server falls behind, the
+// backlog (socket buffers, kernel queues, the server's own pending buffers)
+// is measured, not hidden by client self-throttling. That is the defining
+// difference from the closed-loop bench_net_loopback numbers: this harness
+// answers "what does p99 look like at an offered rate of X", which is the
+// SLO question the paper's cost-efficacy claims hinge on.
+//
+// Per-connection ReplyReaders classify pipelined responses (hit/miss/error)
+// in request order; latencies land in per-connection, per-segment
+// LogHistograms and are merged deterministically (connection order) at the
+// end of the run. Error replies (e.g. the resilience ladder's SERVER_ERROR
+// sheds) complete their request but are excluded from the latency
+// distribution and counted separately.
+//
+// The op stream itself is a pure function of (config, seed); only the
+// measured latencies depend on wall-clock behavior.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/loadgen/latency_recorder.h"
+#include "src/loadgen/op_stream.h"
+#include "src/util/stats.h"
+
+namespace spotcache::loadgen {
+
+struct EngineConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connections = 8;
+  OpStreamConfig stream;
+  /// Store every key once (pipelined, closed-loop, unmeasured) before the
+  /// open-loop run so gets hit unless the server sheds or evicts.
+  bool prefill = true;
+  /// How long after the last scheduled op to wait for in-flight replies.
+  double drain_timeout_s = 2.0;
+  int connect_timeout_ms = 5000;
+  std::string key_prefix = "lg:";
+};
+
+/// Stats for one traffic segment: the baseline stream or one scripted phase.
+struct SegmentStats {
+  std::string label;
+  double duration_s = 0.0;
+  uint64_t scheduled = 0;
+  uint64_t completed = 0;
+  uint64_t errors = 0;
+  uint64_t get_misses = 0;
+  double offered_rps = 0.0;   // scheduled / duration
+  double achieved_rps = 0.0;  // completed / duration
+  LatencySummary latency;
+};
+
+struct LoadGenResult {
+  bool ok = false;
+  std::string error;  // set when ok == false
+
+  double run_duration_s = 0.0;  // schedule duration (offered window)
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;
+  uint64_t scheduled = 0;
+  uint64_t completed = 0;
+  uint64_t errors = 0;
+  uint64_t get_misses = 0;
+  uint64_t abandoned = 0;      // in flight at drain deadline / on dead conns
+  uint64_t failed_conns = 0;
+
+  LatencySummary latency;      // merged across connections and segments
+  LogHistogram merged_hist = LogHistogram(1e-6, 1.05);
+
+  /// [0] = baseline, [1 + i] = phases[i].
+  std::vector<SegmentStats> segments;
+
+  /// Completions bucketed by wall-clock second of the run (JSONL traces).
+  std::vector<uint64_t> per_second_completed;
+};
+
+LoadGenResult RunOpenLoop(const EngineConfig& config);
+
+}  // namespace spotcache::loadgen

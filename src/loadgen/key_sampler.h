@@ -1,0 +1,91 @@
+// Key popularity sampling for the open-loop load generator.
+//
+// FastZipf is Jim Gray et al.'s closed-form Zipf sampler: one uniform draw,
+// two comparisons, one pow() — O(1) per sample with no rejection loop, valid
+// for theta in [0, 1). KeySampler wraps it together with the repo's
+// ZipfianGenerator (which handles theta >= 1) behind one interface and adds
+// the two transformations the traffic engine needs:
+//
+//   * scramble: decorrelates popularity rank from key-space locality by
+//     hashing the rank into [0, n) (SplitMix64 scatter, YCSB-style; the map
+//     is not bijective — rare collisions merge key masses, which is fine for
+//     load generation and keeps the scatter O(1) and stateless);
+//   * hot-key shift: rotates ranks by an offset before scrambling, so a
+//     scripted phase can move the hot set to a disjoint region of the key
+//     space mid-run (popularity-churn scenarios).
+//
+// Pre-generated key files (a raw little-endian uint32 rank stream) let a run
+// replay the exact key sequence of a previous run — or share one sequence
+// across processes — independent of sampler implementation details.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/workload/zipf.h"
+
+namespace spotcache::loadgen {
+
+/// Closed-form O(1) Zipf sampler (Gray et al.); requires 0 <= theta < 1.
+class FastZipf {
+ public:
+  FastZipf(uint64_t num_keys, double theta);
+
+  /// Samples a 0-based popularity rank; rank 0 is most popular.
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t num_keys() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  double threshold_;
+};
+
+class KeySampler {
+ public:
+  struct Config {
+    uint64_t num_keys = 10'000;
+    double theta = 0.99;
+    bool scramble = false;
+  };
+
+  explicit KeySampler(const Config& config);
+
+  /// Samples a popularity rank (pre-shift, pre-scramble).
+  uint64_t SampleRank(Rng& rng) const;
+
+  /// Maps a rank to the key id actually requested: rotate by `hot_shift`
+  /// (mod n), then scramble if configured.
+  uint64_t KeyFor(uint64_t rank, uint64_t hot_shift) const;
+
+  uint64_t num_keys() const { return config_.num_keys; }
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::optional<FastZipf> fast_;            // theta < 1
+  std::optional<ZipfianGenerator> general_;  // theta >= 1
+};
+
+/// Writes `ranks` as a raw little-endian uint32 stream. Returns false on I/O
+/// failure.
+bool WriteKeyFile(const std::string& path, const std::vector<uint32_t>& ranks);
+
+/// Loads a key file written by WriteKeyFile; nullopt on I/O failure or a
+/// size that is not a multiple of 4.
+std::optional<std::vector<uint32_t>> LoadKeyFile(const std::string& path);
+
+/// Draws `count` ranks from `sampler` (deterministic in `rng`).
+std::vector<uint32_t> GenerateRanks(const KeySampler& sampler, size_t count,
+                                    Rng& rng);
+
+}  // namespace spotcache::loadgen

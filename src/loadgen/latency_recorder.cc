@@ -1,0 +1,44 @@
+#include "src/loadgen/latency_recorder.h"
+
+#include <cstdio>
+
+namespace spotcache::loadgen {
+
+LogHistogram MakeLatencyHistogram() { return LogHistogram(1e-6, 1.05); }
+
+LatencySummary Summarize(const LogHistogram& hist) {
+  LatencySummary s;
+  s.count = hist.count();
+  if (s.count == 0) {
+    return s;
+  }
+  const auto qs = hist.Quantiles({0.5, 0.9, 0.99, 0.999});
+  s.mean_us = hist.mean() * 1e6;
+  s.p50_us = qs[0] * 1e6;
+  s.p90_us = qs[1] * 1e6;
+  s.p99_us = qs[2] * 1e6;
+  s.p999_us = qs[3] * 1e6;
+  s.max_us = hist.max_recorded() * 1e6;
+  return s;
+}
+
+LogHistogram MergeHistograms(const std::vector<LogHistogram>& parts) {
+  LogHistogram merged = MakeLatencyHistogram();
+  for (const LogHistogram& h : parts) {
+    merged.Merge(h);
+  }
+  return merged;
+}
+
+std::string ToJson(const LatencySummary& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\": %llu, \"mean_us\": %.1f, \"p50_us\": %.1f, "
+                "\"p90_us\": %.1f, \"p99_us\": %.1f, \"p999_us\": %.1f, "
+                "\"max_us\": %.1f}",
+                static_cast<unsigned long long>(s.count), s.mean_us, s.p50_us,
+                s.p90_us, s.p99_us, s.p999_us, s.max_us);
+  return buf;
+}
+
+}  // namespace spotcache::loadgen

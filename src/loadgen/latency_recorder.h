@@ -1,0 +1,46 @@
+// Per-connection latency recording and deterministic aggregation.
+//
+// Each connection records request latencies (seconds) into its own
+// LogHistogram — no sharing, no locks — and the engine merges them in
+// connection order at the end of the run. LogHistogram::Merge is exact on
+// bucket counts, so the merged quantiles are bit-identical to recording the
+// interleaved stream into one histogram (pinned by test_histogram_merge).
+//
+// All recorders use the same geometry: 1 us floor, 5% growth — ~2.5%
+// worst-case quantile error (LogHistogram::QuantileErrorFactor), HDR-style
+// fidelity at microsecond scale without HDR's allocation profile.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/stats.h"
+
+namespace spotcache::loadgen {
+
+/// The shared bucket geometry for every latency histogram in the loadgen.
+LogHistogram MakeLatencyHistogram();
+
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Quantile summary of a histogram recorded in seconds, reported in
+/// microseconds.
+LatencySummary Summarize(const LogHistogram& hist);
+
+/// Merges per-connection histograms in index order (deterministic).
+LogHistogram MergeHistograms(const std::vector<LogHistogram>& parts);
+
+/// `{"count": N, "mean_us": ..., "p50_us": ..., ..., "max_us": ...}`.
+std::string ToJson(const LatencySummary& s);
+
+}  // namespace spotcache::loadgen

@@ -1,0 +1,92 @@
+#include "src/loadgen/op_stream.h"
+
+#include <cmath>
+
+namespace spotcache::loadgen {
+
+OpGenerator::OpGenerator(const OpStreamConfig& config)
+    : config_(config),
+      schedule_(config.schedule),
+      sampler_(config.keys),
+      arrival_rng_(0),
+      key_rng_(0),
+      mix_rng_(0) {
+  Rng root(config_.seed);
+  arrival_rng_ = root.Fork(1);
+  key_rng_ = root.Fork(2);
+  mix_rng_ = root.Fork(3);
+}
+
+std::optional<Op> OpGenerator::Next() {
+  const auto t = schedule_.NextArrival(t_s_, arrival_rng_);
+  if (!t.has_value()) {
+    return std::nullopt;
+  }
+  t_s_ = *t;
+
+  Op op;
+  op.send_us = static_cast<int64_t>(std::llround(t_s_ * 1e6));
+  op.phase = static_cast<int8_t>(schedule_.PhaseIndexAt(t_s_));
+
+  uint64_t rank;
+  if (!config_.key_ranks.empty()) {
+    rank = config_.key_ranks[key_cursor_];
+    key_cursor_ = (key_cursor_ + 1) % config_.key_ranks.size();
+  } else {
+    rank = sampler_.SampleRank(key_rng_);
+  }
+  op.key = sampler_.KeyFor(rank, schedule_.HotShiftAt(t_s_));
+
+  op.kind = mix_rng_.Bernoulli(config_.mix.get_ratio) ? OpKind::kGet
+                                                      : OpKind::kSet;
+  if (op.kind == OpKind::kSet) {
+    const uint32_t lo = config_.mix.value_bytes;
+    const uint32_t hi = config_.mix.value_bytes_max;
+    op.value_len = hi > lo ? static_cast<uint32_t>(mix_rng_.UniformInt(lo, hi))
+                           : lo;
+  }
+  return op;
+}
+
+std::vector<Op> GenerateOps(const OpStreamConfig& config, size_t max_ops) {
+  OpGenerator gen(config);
+  std::vector<Op> ops;
+  while (ops.size() < max_ops) {
+    auto op = gen.Next();
+    if (!op.has_value()) {
+      break;
+    }
+    ops.push_back(*op);
+  }
+  return ops;
+}
+
+std::string SerializeOps(const std::vector<Op>& ops) {
+  std::string out;
+  out.reserve(ops.size() * 22);
+  auto put = [&out](uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  };
+  for (const Op& op : ops) {
+    put(static_cast<uint64_t>(op.send_us), 8);
+    put(static_cast<uint64_t>(op.kind), 1);
+    put(static_cast<uint64_t>(static_cast<uint8_t>(op.phase)), 1);
+    put(op.key, 8);
+    put(op.value_len, 4);
+  }
+  return out;
+}
+
+uint64_t OpStreamDigest(const std::vector<Op>& ops) {
+  const std::string bytes = SerializeOps(ops);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace spotcache::loadgen

@@ -1,0 +1,83 @@
+// Deterministic request streams: (config, seed) -> the exact sequence of
+// timestamped operations the engine will put on the wire.
+//
+// Arrival times, key choices, op kinds, and value sizes come from three
+// independently forked RNG streams, so replaying a run reproduces the stream
+// byte-for-byte (SerializeOps/OpStreamDigest pin this in test_loadgen, in
+// the spirit of test_determinism). Network timing never feeds back into
+// generation — the stream is what an open-loop client *offers*, not what the
+// server manages to absorb.
+//
+// When a pre-generated key file is supplied (key_sampler.h), ranks are
+// consumed cyclically from the file instead of being sampled, which makes
+// the key sequence shareable across runs and processes.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/loadgen/key_sampler.h"
+#include "src/loadgen/schedule.h"
+#include "src/util/rng.h"
+
+namespace spotcache::loadgen {
+
+enum class OpKind : uint8_t { kGet = 0, kSet = 1 };
+
+struct Op {
+  int64_t send_us = 0;     // scheduled send time, microseconds from run start
+  OpKind kind = OpKind::kGet;
+  int8_t phase = -1;       // active phase index, -1 = baseline
+  uint64_t key = 0;        // final key id (hot shift + scramble applied)
+  uint32_t value_len = 0;  // sets only
+};
+
+struct MixConfig {
+  double get_ratio = 0.9;         // remainder are sets
+  uint32_t value_bytes = 100;     // fixed size, or uniform lower bound...
+  uint32_t value_bytes_max = 0;   // ...when > value_bytes
+};
+
+struct OpStreamConfig {
+  ScheduleConfig schedule;
+  KeySampler::Config keys;
+  MixConfig mix;
+  uint64_t seed = 1;
+  /// Optional pre-generated rank sequence (consumed cyclically).
+  std::vector<uint32_t> key_ranks;
+};
+
+class OpGenerator {
+ public:
+  explicit OpGenerator(const OpStreamConfig& config);
+
+  /// Next operation in send order, or nullopt when the run is over.
+  std::optional<Op> Next();
+
+  const ArrivalSchedule& schedule() const { return schedule_; }
+  const KeySampler& sampler() const { return sampler_; }
+
+ private:
+  OpStreamConfig config_;
+  ArrivalSchedule schedule_;
+  KeySampler sampler_;
+  Rng arrival_rng_;
+  Rng key_rng_;
+  Rng mix_rng_;
+  double t_s_ = 0.0;
+  size_t key_cursor_ = 0;  // into config_.key_ranks when file-backed
+};
+
+/// Materializes up to `max_ops` operations (the whole run if it is shorter).
+std::vector<Op> GenerateOps(const OpStreamConfig& config, size_t max_ops);
+
+/// Compact deterministic byte encoding of a stream (replay comparisons).
+std::string SerializeOps(const std::vector<Op>& ops);
+
+/// FNV-1a digest of SerializeOps — a cheap replay fingerprint.
+uint64_t OpStreamDigest(const std::vector<Op>& ops);
+
+}  // namespace spotcache::loadgen

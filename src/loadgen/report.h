@@ -1,0 +1,26 @@
+// Machine-readable rendering of load-generator runs.
+//
+// RenderRunJson produces the per-run JSON object embedded in
+// BENCH_latency.json and emitted by `spotcache_loadgen --json`; the CI gate
+// (tests/golden/check_latency.py) consumes exactly this shape. RenderTraceJsonl
+// produces the PR-2-style JSONL event stream uploaded as a CI artifact on
+// failure: run_config, per-second interval counts, per-segment summaries.
+
+#pragma once
+
+#include <string>
+
+#include "src/loadgen/engine.h"
+
+namespace spotcache::loadgen {
+
+/// One run as a JSON object:
+///   {"meta": {...}, "totals": {...}, "latency_us": {...}, "segments": [...]}
+std::string RenderRunJson(const EngineConfig& config,
+                          const LoadGenResult& result);
+
+/// JSONL: run_config, interval (one per wall second), segment, run_summary.
+std::string RenderTraceJsonl(const EngineConfig& config,
+                             const LoadGenResult& result);
+
+}  // namespace spotcache::loadgen

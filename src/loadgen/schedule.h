@@ -1,0 +1,79 @@
+// Open-loop arrival schedules.
+//
+// The engine sends request i at schedule-determined time t_i regardless of
+// how fast the server answers — unlike the closed-loop loopback bench, a
+// slow server here builds a queue and the queueing delay lands in the
+// measured latency (which is exactly the point: tail latency under offered
+// load, not under self-throttled load).
+//
+// Arrivals are a non-homogeneous Poisson process realized by Lewis-Shedler
+// thinning at the schedule's peak rate, so the arrival stream is a pure
+// deterministic function of (config, rng state). The instantaneous rate is
+//
+//   rate(t) = base * diurnal(t) * prod { phase.rate_multiplier : t in phase }
+//
+// where diurnal(t) = 1 + amplitude * sin(2 pi t / period) compresses a "day"
+// into a bench-sized period, and scripted phases overlay flash crowds
+// (rate_multiplier > 1) and hot-key shifts (hot_shift rotates popularity
+// ranks while the phase is active).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace spotcache::loadgen {
+
+struct Phase {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double rate_multiplier = 1.0;  // > 1 = flash crowd
+  uint64_t hot_shift = 0;        // popularity-rank rotation while active
+};
+
+struct ScheduleConfig {
+  enum class Kind { kPoisson, kDiurnal };
+
+  Kind kind = Kind::kPoisson;
+  double base_rate_rps = 1000.0;
+  double duration_s = 10.0;
+  double diurnal_period_s = 60.0;   // compressed day length
+  double diurnal_amplitude = 0.5;   // in [0, 1)
+  std::vector<Phase> phases;
+};
+
+class ArrivalSchedule {
+ public:
+  explicit ArrivalSchedule(const ScheduleConfig& config);
+
+  /// Instantaneous offered rate at time t (requests/s).
+  double RateAt(double t_s) const;
+
+  /// Upper bound on RateAt over the run (thinning envelope).
+  double PeakRate() const { return peak_; }
+
+  /// Next arrival strictly after `t_s`, or nullopt when the run is over.
+  /// Successive calls with the returned time walk the whole arrival stream.
+  std::optional<double> NextArrival(double t_s, Rng& rng) const;
+
+  /// Index of the innermost phase active at t, or -1 for baseline traffic.
+  int PhaseIndexAt(double t_s) const;
+
+  /// Popularity-rank rotation active at t (innermost active phase wins).
+  uint64_t HotShiftAt(double t_s) const;
+
+  /// Expected number of arrivals over the whole run (numeric integral of
+  /// RateAt) — the "offered ops" denominator for achieved-vs-offered.
+  double ExpectedArrivals() const;
+
+  const ScheduleConfig& config() const { return config_; }
+
+ private:
+  ScheduleConfig config_;
+  double peak_ = 0.0;
+};
+
+}  // namespace spotcache::loadgen

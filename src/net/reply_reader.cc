@@ -1,0 +1,109 @@
+#include "src/net/reply_reader.h"
+
+#include <charconv>
+
+namespace spotcache::net {
+
+namespace {
+
+bool IsErrorLine(std::string_view line) {
+  return line == "ERROR" || line.rfind("CLIENT_ERROR", 0) == 0 ||
+         line.rfind("SERVER_ERROR", 0) == 0;
+}
+
+/// Parses the <bytes> field of "VALUE <key> <flags> <bytes> [<cas>]".
+bool ValueBytes(std::string_view line, uint64_t* out) {
+  // Fields are single-space separated; bytes is the 4th token.
+  size_t pos = 0;
+  for (int field = 0; field < 3; ++field) {
+    pos = line.find(' ', pos);
+    if (pos == std::string_view::npos) {
+      return false;
+    }
+    ++pos;
+  }
+  size_t end = line.find(' ', pos);
+  if (end == std::string_view::npos) {
+    end = line.size();
+  }
+  const auto [ptr, ec] =
+      std::from_chars(line.data() + pos, line.data() + end, *out);
+  return ec == std::errc() && ptr == line.data() + end;
+}
+
+}  // namespace
+
+bool ReplyReader::ConsumeLine(std::string_view line, const Sink& sink) {
+  if (pending_.empty()) {
+    return false;  // response bytes with nothing outstanding
+  }
+  if (!line.empty() && line.back() == '\r') {
+    line.remove_suffix(1);
+  }
+  const Expect expect = pending_.front();
+  if (IsErrorLine(line)) {
+    pending_.pop_front();
+    saw_value_ = false;
+    sink(Status::kError);
+    return true;
+  }
+  if (expect == Expect::kRetrieval) {
+    if (line.rfind("VALUE ", 0) == 0) {
+      uint64_t bytes = 0;
+      if (!ValueBytes(line, &bytes)) {
+        return false;
+      }
+      skip_bytes_ = bytes + 2;  // payload + CRLF
+      saw_value_ = true;
+      return true;
+    }
+    if (line == "END") {
+      pending_.pop_front();
+      sink(saw_value_ ? Status::kHit : Status::kMiss);
+      saw_value_ = false;
+      return true;
+    }
+    return false;
+  }
+  // kLine: one status line completes the request.
+  pending_.pop_front();
+  if (line == "NOT_STORED" || line == "NOT_FOUND" || line == "EXISTS") {
+    sink(Status::kMiss);
+  } else if (line.empty()) {
+    return false;
+  } else {
+    sink(Status::kHit);  // STORED / DELETED / TOUCHED / OK / ...
+  }
+  return true;
+}
+
+bool ReplyReader::Feed(std::string_view bytes, const Sink& sink) {
+  while (!bytes.empty()) {
+    if (skip_bytes_ > 0) {
+      const size_t n = std::min(skip_bytes_, bytes.size());
+      skip_bytes_ -= n;
+      bytes.remove_prefix(n);
+      continue;
+    }
+    const size_t nl = bytes.find('\n');
+    if (nl == std::string_view::npos) {
+      partial_.append(bytes);
+      return true;
+    }
+    bool ok;
+    if (partial_.empty()) {
+      ok = ConsumeLine(bytes.substr(0, nl), sink);
+    } else {
+      partial_.append(bytes.substr(0, nl));
+      ok = ConsumeLine(partial_, sink);
+      partial_.clear();
+    }
+    if (!ok) {
+      return false;
+    }
+    bytes.remove_prefix(nl + 1);
+  }
+  return true;
+}
+
+}  // namespace spotcache::net

@@ -1,0 +1,63 @@
+// ReplyReader: incremental classifier for memcached text responses on a
+// pipelined connection.
+//
+// The open-loop load generator keeps many requests in flight per connection
+// and only needs each reply's *disposition* (hit / miss / error), not its
+// payload. ReplyReader consumes raw received bytes incrementally (any chunking)
+// and emits one completion per reply, in request order. The caller tells the
+// reader what kind of reply to expect for every request it sends (Push), and
+// matches completions against its own FIFO of send timestamps.
+//
+// Retrieval replies span VALUE blocks until END; value payloads are skipped
+// by byte count without copying. ERROR / CLIENT_ERROR / SERVER_ERROR lines
+// terminate the current expectation with kError — this is how the PR-4
+// degradation ladder's sheds (SERVER_ERROR temporarily overloaded) show up
+// in loadgen results.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace spotcache::net {
+
+class ReplyReader {
+ public:
+  /// What the next un-answered request expects back.
+  enum class Expect : uint8_t {
+    kRetrieval,  // get/gets: VALUE blocks then END
+    kLine,       // set/delete/touch/...: exactly one status line
+  };
+
+  enum class Status : uint8_t {
+    kHit,    // retrieval with >= 1 VALUE, or a positive status line
+    kMiss,   // retrieval END with no VALUE, or NOT_STORED/NOT_FOUND/EXISTS
+    kError,  // ERROR / CLIENT_ERROR / SERVER_ERROR
+  };
+
+  using Sink = std::function<void(Status)>;
+
+  /// Registers the reply expectation for a request just sent (FIFO order).
+  void Push(Expect e) { pending_.push_back(e); }
+  size_t pending() const { return pending_.size(); }
+
+  /// Consumes `bytes`, invoking `sink` once per completed reply in order.
+  /// Returns false on protocol corruption: an unparseable reply line or
+  /// response bytes arriving with no pending expectation. After a false
+  /// return the stream is unrecoverable and the connection should be closed.
+  bool Feed(std::string_view bytes, const Sink& sink);
+
+ private:
+  bool ConsumeLine(std::string_view line, const Sink& sink);
+
+  std::deque<Expect> pending_;
+  std::string partial_;     // buffered incomplete line
+  size_t skip_bytes_ = 0;   // remaining VALUE payload (+ CRLF) to discard
+  bool saw_value_ = false;  // current retrieval produced at least one VALUE
+};
+
+}  // namespace spotcache::net

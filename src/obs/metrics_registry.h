@@ -58,6 +58,18 @@ class Histogram {
   double mean() const { return hist_.mean(); }
   double max_recorded() const { return hist_.max_recorded(); }
   double Quantile(double q) const { return hist_.Quantile(q); }
+  /// Batched quantiles (ascending `qs`); one cumulative pass.
+  std::vector<double> Quantiles(const std::vector<double>& qs) const {
+    return hist_.Quantiles(qs);
+  }
+
+  /// Folds another histogram's samples into this one (exact on bucket
+  /// counts; see LogHistogram::Merge). All registry histograms share the
+  /// same bucket geometry, so any two are mergeable.
+  void MergeFrom(const Histogram& other) { hist_.Merge(other.hist_); }
+  /// The underlying log-bucketed histogram (per-connection recorders merge
+  /// through this when aggregating outside a registry).
+  const LogHistogram& log_histogram() const { return hist_; }
 
  private:
   LogHistogram hist_{1e-6, 1.05};

@@ -100,6 +100,16 @@ void LogHistogram::RecordN(double value, uint64_t n) {
   max_ = std::max(max_, value);
 }
 
+double LogHistogram::growth() const { return std::exp(log_growth_); }
+
+double LogHistogram::QuantileErrorFactor() const {
+  return std::exp(0.5 * log_growth_);
+}
+
+bool LogHistogram::CompatibleWith(const LogHistogram& other) const {
+  return min_value_ == other.min_value_ && log_growth_ == other.log_growth_;
+}
+
 double LogHistogram::Quantile(double q) const {
   if (count_ == 0) {
     return 0.0;
@@ -115,6 +125,29 @@ double LogHistogram::Quantile(double q) const {
     }
   }
   return max_;
+}
+
+std::vector<double> LogHistogram::Quantiles(const std::vector<double>& qs) const {
+  std::vector<double> out;
+  out.reserve(qs.size());
+  if (count_ == 0) {
+    out.assign(qs.size(), 0.0);
+    return out;
+  }
+  uint64_t seen = 0;
+  size_t b = 0;
+  for (double q : qs) {
+    q = std::clamp(q, 0.0, 1.0);
+    const uint64_t target =
+        static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+    while (seen < target && b < buckets_.size()) {
+      seen += buckets_[b];
+      ++b;
+    }
+    out.push_back(seen >= target && b > 0 ? std::min(BucketMid(b - 1), max_)
+                                          : max_);
+  }
+  return out;
 }
 
 void LogHistogram::Merge(const LogHistogram& other) {

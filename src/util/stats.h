@@ -44,7 +44,19 @@ double PercentileSorted(const std::vector<double>& sorted, double q);
 
 /// Log-bucketed histogram for nonnegative values (latencies in seconds, byte
 /// counts, ...). Buckets grow geometrically, giving a bounded relative error
-/// (~5 % with the default growth) on percentile queries at O(1) record cost.
+/// on percentile queries at O(1) record cost.
+///
+/// Error bound: for samples >= min_value, Quantile() returns the geometric
+/// midpoint of the bucket holding the exact nearest-rank quantile, so the
+/// estimate is within a multiplicative factor of sqrt(growth) of the exact
+/// value (QuantileErrorFactor(); ~2.5 % with the default growth of 1.05).
+/// Values below min_value share bucket 0 and carry no relative-error
+/// guarantee.
+///
+/// Merging: bucket counts, count, and max merge exactly — quantiles over a
+/// merged histogram are bit-identical to quantiles over one histogram fed
+/// the interleaved stream. The running sum (mean()) is a float accumulation
+/// and may differ in the last ulps depending on merge order.
 class LogHistogram {
  public:
   /// `min_value` is the resolution floor; anything smaller lands in bucket 0.
@@ -58,9 +70,23 @@ class LogHistogram {
   double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
   double max_recorded() const { return max_; }
 
+  double min_value() const { return min_value_; }
+  /// Per-bucket geometric growth factor.
+  double growth() const;
+  /// Worst-case multiplicative error of Quantile() for samples >= min_value.
+  double QuantileErrorFactor() const;
+  /// Raw bucket counts (bucket 0 = values <= min_value).
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
   /// Percentile estimate; q in [0, 1]. Returns 0 on an empty histogram.
   double Quantile(double q) const;
+  /// Batched quantiles in one cumulative pass; `qs` must be ascending.
+  std::vector<double> Quantiles(const std::vector<double>& qs) const;
 
+  /// True when `other` has identical bucket geometry (merge precondition).
+  bool CompatibleWith(const LogHistogram& other) const;
+  /// Merges `other` into this histogram. Both must share bucket geometry
+  /// (CompatibleWith); merging incompatible histograms is undefined.
   void Merge(const LogHistogram& other);
   void Reset();
 

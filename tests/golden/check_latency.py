@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Gate loadgen run reports against tests/golden/latency_baseline.json.
+
+Usage:
+    check_latency.py <golden.json> <name>=<run.json> [<name>=<run.json> ...]
+
+Each run file is a spotcache_loadgen --json report ({"meta": ..., "totals":
+..., "latency_us": ..., "segments": [...]}). For every named run the golden
+file must hold a section of the same name with:
+
+    p99_us_max             ceiling on the run's overall p99
+    achieved_min_fraction  floor on achieved_rps / offered_rps
+    error_fraction_max     ceiling on errors / completed
+
+Harness integrity (abandoned == 0, failed_conns == 0) is always enforced.
+Exits non-zero on the first set of violations, printing every check either
+way so the CI log doubles as the run record.
+"""
+
+import json
+import sys
+
+
+def check_run(name, run, gates):
+    totals = run["totals"]
+    latency = run["latency_us"]
+    failures = []
+
+    def check(label, ok, detail):
+        print(f"  [{'ok' if ok else 'FAIL'}] {label}: {detail}")
+        if not ok:
+            failures.append(label)
+
+    completed = totals["completed"]
+    offered = totals["offered_rps"]
+    achieved = totals["achieved_rps"]
+    p99 = latency["p99_us"]
+
+    check("completed", completed > 0, f"{completed} ops")
+    check(
+        "p99",
+        p99 <= gates["p99_us_max"],
+        f"{p99:.0f} us (max {gates['p99_us_max']:.0f})",
+    )
+    frac = achieved / offered if offered > 0 else 0.0
+    check(
+        "achieved/offered",
+        frac >= gates["achieved_min_fraction"],
+        f"{frac:.3f} ({achieved:.0f}/{offered:.0f} rps, "
+        f"min {gates['achieved_min_fraction']})",
+    )
+    err_frac = totals["errors"] / completed if completed else 1.0
+    check(
+        "error fraction",
+        err_frac <= gates["error_fraction_max"],
+        f"{err_frac:.5f} (max {gates['error_fraction_max']})",
+    )
+    check("abandoned", totals["abandoned"] == 0, f"{totals['abandoned']}")
+    check("failed conns", totals["failed_conns"] == 0,
+          f"{totals['failed_conns']}")
+    return failures
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    with open(argv[1]) as f:
+        golden = json.load(f)
+
+    all_failures = []
+    for arg in argv[2:]:
+        name, _, path = arg.partition("=")
+        if not path:
+            print(f"malformed argument (want name=file): {arg}")
+            return 2
+        if name not in golden:
+            print(f"no golden section '{name}' in {argv[1]}")
+            return 2
+        with open(path) as f:
+            run = json.load(f)
+        print(f"{name} ({path}):")
+        failures = check_run(name, run, golden[name])
+        all_failures += [f"{name}/{f}" for f in failures]
+
+    if all_failures:
+        print(f"\nFAILED: {', '.join(all_failures)}")
+        return 1
+    print("\nall latency gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

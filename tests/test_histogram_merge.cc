@@ -1,0 +1,206 @@
+// Histogram correctness for the tail-latency harness (ISSUE 6):
+//
+//   * merging N per-connection LogHistograms is bit-identical — on bucket
+//     counts, total count, max, and therefore every quantile — to recording
+//     the interleaved stream into a single histogram;
+//   * Quantile() stays within the documented relative-error bound
+//     (QuantileErrorFactor() = sqrt(growth)) of the exact nearest-rank
+//     quantile on adversarial value distributions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/loadgen/latency_recorder.h"
+#include "src/obs/metrics_registry.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace spotcache {
+namespace {
+
+/// Exact nearest-rank quantile using the same rank convention as
+/// LogHistogram::Quantile: the (floor(q*(n-1)) + 1)-th smallest sample.
+double ExactQuantile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(samples.size() - 1)) + 1;
+  return samples[target - 1];
+}
+
+std::vector<double> kProbes = {0.0,  0.1,  0.25, 0.5,   0.75,
+                               0.9,  0.99, 0.999, 1.0};
+
+TEST(HistogramMerge, MergeIsBitIdenticalToInterleavedStream) {
+  constexpr int kConns = 8;
+  constexpr int kPerConn = 5000;
+  Rng rng(71);
+
+  // Per-connection streams with wildly different shapes.
+  std::vector<std::vector<double>> streams(kConns);
+  for (int c = 0; c < kConns; ++c) {
+    for (int i = 0; i < kPerConn; ++i) {
+      double v;
+      switch (c % 4) {
+        case 0: v = rng.Exponential(1e-3); break;
+        case 1: v = rng.Pareto(1e-5, 1.1); break;
+        case 2: v = rng.Uniform(0.0, 10.0); break;
+        default: v = 5e-4; break;  // point mass
+      }
+      streams[c].push_back(v);
+    }
+  }
+
+  std::vector<LogHistogram> parts(kConns, loadgen::MakeLatencyHistogram());
+  LogHistogram interleaved = loadgen::MakeLatencyHistogram();
+  for (int i = 0; i < kPerConn; ++i) {
+    for (int c = 0; c < kConns; ++c) {  // round-robin interleave
+      parts[c].Record(streams[c][i]);
+      interleaved.Record(streams[c][i]);
+    }
+  }
+
+  const LogHistogram merged = loadgen::MergeHistograms(parts);
+  EXPECT_EQ(merged.count(), interleaved.count());
+  EXPECT_EQ(merged.max_recorded(), interleaved.max_recorded());
+  ASSERT_EQ(merged.buckets().size(), interleaved.buckets().size());
+  for (size_t b = 0; b < merged.buckets().size(); ++b) {
+    ASSERT_EQ(merged.buckets()[b], interleaved.buckets()[b]) << "bucket " << b;
+  }
+  // Quantiles are a pure function of (buckets, count, max): exactly equal.
+  for (double q : kProbes) {
+    EXPECT_EQ(merged.Quantile(q), interleaved.Quantile(q)) << q;
+  }
+  // The running sum is float accumulation; merge order may shift last ulps.
+  EXPECT_NEAR(merged.mean(), interleaved.mean(),
+              1e-9 * std::abs(interleaved.mean()));
+}
+
+TEST(HistogramMerge, MergeOrderDoesNotChangeQuantiles) {
+  Rng rng(13);
+  std::vector<LogHistogram> parts(5, loadgen::MakeLatencyHistogram());
+  for (auto& h : parts) {
+    for (int i = 0; i < 1000; ++i) {
+      h.Record(rng.Exponential(2e-3));
+    }
+  }
+  const LogHistogram forward = loadgen::MergeHistograms(parts);
+  std::reverse(parts.begin(), parts.end());
+  const LogHistogram backward = loadgen::MergeHistograms(parts);
+  for (double q : kProbes) {
+    EXPECT_EQ(forward.Quantile(q), backward.Quantile(q)) << q;
+  }
+}
+
+TEST(HistogramMerge, MergingEmptiesIsIdentity) {
+  LogHistogram a = loadgen::MakeLatencyHistogram();
+  a.Record(0.5);
+  LogHistogram empty = loadgen::MakeLatencyHistogram();
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.Quantile(0.5), a.Quantile(0.5));
+}
+
+TEST(HistogramMerge, CompatibilityIsGeometryBased) {
+  LogHistogram a(1e-6, 1.05);
+  LogHistogram b(1e-6, 1.05);
+  LogHistogram coarse(1e-6, 2.0);
+  LogHistogram shifted(1e-3, 1.05);
+  EXPECT_TRUE(a.CompatibleWith(b));
+  EXPECT_FALSE(a.CompatibleWith(coarse));
+  EXPECT_FALSE(a.CompatibleWith(shifted));
+}
+
+class QuantileErrorBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantileErrorBound, AdversarialDistributionsStayWithinBound) {
+  Rng rng(100 + GetParam());
+  std::vector<double> samples;
+  switch (GetParam()) {
+    case 0:  // values exactly at bucket boundaries min * g^k
+      for (int k = 0; k < 300; ++k) {
+        for (int rep = 0; rep <= k % 5; ++rep) {
+          samples.push_back(1e-6 * std::pow(1.05, k));
+        }
+      }
+      break;
+    case 1:  // point mass plus far-tail outliers
+      samples.assign(10'000, 3.7e-4);
+      samples.push_back(12.0);
+      samples.push_back(90.0);
+      break;
+    case 2:  // heavy tail spanning ~7 decades
+      for (int i = 0; i < 50'000; ++i) {
+        samples.push_back(rng.Pareto(2e-6, 0.8));
+      }
+      break;
+    case 3:  // dense exponential bulk
+      for (int i = 0; i < 50'000; ++i) {
+        samples.push_back(rng.Exponential(5e-3));
+      }
+      break;
+    default:  // geometric ramp crossing many buckets per step
+      for (int i = 0; i < 2'000; ++i) {
+        samples.push_back(1e-6 * std::pow(1.37, i % 40) *
+                          (1.0 + rng.NextDouble()));
+      }
+      break;
+  }
+
+  LogHistogram hist = loadgen::MakeLatencyHistogram();
+  for (double v : samples) {
+    hist.Record(v);
+  }
+  const double factor = hist.QuantileErrorFactor() * 1.001;  // fp slack
+  for (double q : kProbes) {
+    const double exact = ExactQuantile(samples, q);
+    if (exact <= hist.min_value()) {
+      continue;  // bucket 0 carries no relative-error guarantee
+    }
+    const double est = hist.Quantile(q);
+    EXPECT_LE(est, exact * factor) << "q=" << q;
+    EXPECT_GE(est, exact / factor) << "q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, QuantileErrorBound,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(HistogramMerge, BatchedQuantilesMatchIndividualCalls) {
+  Rng rng(9);
+  LogHistogram hist = loadgen::MakeLatencyHistogram();
+  for (int i = 0; i < 20'000; ++i) {
+    hist.Record(rng.Pareto(1e-6, 1.3));
+  }
+  const auto batch = hist.Quantiles(kProbes);
+  ASSERT_EQ(batch.size(), kProbes.size());
+  for (size_t i = 0; i < kProbes.size(); ++i) {
+    EXPECT_EQ(batch[i], hist.Quantile(kProbes[i])) << kProbes[i];
+  }
+  // Empty histogram: all zeros.
+  const LogHistogram empty = loadgen::MakeLatencyHistogram();
+  for (double v : empty.Quantiles(kProbes)) {
+    EXPECT_EQ(v, 0.0);
+  }
+}
+
+TEST(HistogramMerge, ObsHistogramMergeFrom) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 100; ++i) {
+    a.Record(1e-3);
+    b.Record(1e-2);
+  }
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.log_histogram().count(), 200u);
+  const auto qs = a.Quantiles({0.25, 0.75});
+  EXPECT_LT(qs[0], qs[1]);
+}
+
+}  // namespace
+}  // namespace spotcache

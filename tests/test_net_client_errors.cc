@@ -1,0 +1,326 @@
+// NetClient error-path coverage (ISSUE 6 satellite): SERVER_ERROR replies,
+// mid-response disconnects, and partial writes under EAGAIN — the failure
+// modes a load generator meets the moment the server sheds or dies — plus
+// unit coverage for ReplyReader's pipelined reply classification.
+//
+// The scripted peer is a raw-socket thread with a per-test handler, so each
+// test controls exactly which bytes the client sees and when the connection
+// drops.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/client.h"
+#include "src/net/reply_reader.h"
+
+namespace spotcache::net {
+namespace {
+
+/// One-shot scripted TCP peer: listens on an ephemeral loopback port, accepts
+/// a single connection, runs `handler` on it, then closes.
+class ScriptedServer {
+ public:
+  using Handler = std::function<void(int fd)>;
+
+  explicit ScriptedServer(Handler handler) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listen_fd_, 0);
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                            &len),
+              0);
+    port_ = ntohs(addr.sin_port);
+    EXPECT_EQ(::listen(listen_fd_, 1), 0);
+    thread_ = std::thread([this, handler = std::move(handler)] {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        handler(fd);
+        ::close(fd);
+      }
+    });
+  }
+
+  ~ScriptedServer() {
+    thread_.join();
+    ::close(listen_fd_);
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+/// Reads until `needle` appears in the accumulated bytes (or the peer closes).
+std::string ReadUntil(int fd, std::string_view needle) {
+  std::string got;
+  char buf[4096];
+  while (got.find(needle) == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      break;
+    }
+    got.append(buf, static_cast<size_t>(n));
+  }
+  return got;
+}
+
+void WriteAll(int fd, std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      return;
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SERVER_ERROR replies.
+
+TEST(NetClientErrors, GetSeesServerErrorAsMissAndConnectionSurvives) {
+  ScriptedServer server([](int fd) {
+    ReadUntil(fd, "\r\n");
+    WriteAll(fd, "SERVER_ERROR temporarily overloaded\r\n");
+    // Connection stays up: serve the follow-up get normally.
+    ReadUntil(fd, "\r\n");
+    WriteAll(fd, "VALUE k 0 2\r\nok\r\nEND\r\n");
+  });
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 2000));
+  EXPECT_FALSE(client.Get("k").found);
+  const auto again = client.Get("k");
+  EXPECT_TRUE(again.found);
+  EXPECT_EQ(again.value, "ok");
+}
+
+TEST(NetClientErrors, SetSeesServerErrorAsFailure) {
+  ScriptedServer server([](int fd) {
+    ReadUntil(fd, "v\r\n");  // command line + payload
+    WriteAll(fd, "SERVER_ERROR out of memory storing object\r\n");
+  });
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 2000));
+  EXPECT_FALSE(client.Set("k", "v"));
+}
+
+// ---------------------------------------------------------------------------
+// Mid-response disconnects.
+
+TEST(NetClientErrors, DisconnectInsideValuePayload) {
+  ScriptedServer server([](int fd) {
+    ReadUntil(fd, "\r\n");
+    // Promise 100 bytes, deliver 3, die.
+    WriteAll(fd, "VALUE k 0 100\r\nabc");
+  });
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 2000));
+  EXPECT_FALSE(client.Get("k").found);
+  // The client must not hand back a truncated value or hang; later round
+  // trips on the dead socket fail cleanly too.
+  EXPECT_FALSE(client.Get("k").found);
+}
+
+TEST(NetClientErrors, DisconnectBeforeAnyReply) {
+  ScriptedServer server([](int fd) { ReadUntil(fd, "\r\n"); });
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 2000));
+  EXPECT_FALSE(client.Get("k").found);
+}
+
+TEST(NetClientErrors, StatsTruncatedMidStream) {
+  ScriptedServer server([](int fd) {
+    ReadUntil(fd, "\r\n");
+    WriteAll(fd, "STAT curr_items 1\r\nSTAT total_i");  // no END, then close
+  });
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 2000));
+  EXPECT_FALSE(client.Stats().has_value());
+}
+
+TEST(NetClientErrors, VersionGarbageReply) {
+  ScriptedServer server([](int fd) {
+    ReadUntil(fd, "\r\n");
+    WriteAll(fd, "BANANA\r\n");
+  });
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 2000));
+  EXPECT_FALSE(client.Version().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Partial writes / EAGAIN on send.
+
+TEST(NetClientErrors, LargeSetSurvivesPartialWrites) {
+  // 8 MiB of payload cannot fit in the socket buffers, so the client's send
+  // loop must handle short writes. The peer drains slowly (after a delay and
+  // in small chunks) to force the client through multiple partial sends.
+  constexpr size_t kValueBytes = 8 * 1024 * 1024;
+  std::atomic<size_t> received{0};
+  ScriptedServer server([&received](int fd) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    char buf[16 * 1024];
+    std::string tail;
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        return;
+      }
+      received += static_cast<size_t>(n);
+      tail.append(buf, static_cast<size_t>(n));
+      if (tail.size() > 8) {
+        tail.erase(0, tail.size() - 8);
+      }
+      if (tail.size() >= 2 && tail.substr(tail.size() - 2) == "\r\n" &&
+          received >= kValueBytes) {
+        break;
+      }
+    }
+    WriteAll(fd, "STORED\r\n");
+  });
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 2000));
+  const std::string value(kValueBytes, 'x');
+  EXPECT_TRUE(client.Set("big", value));
+  // Command line + payload + trailing CRLF all arrived.
+  EXPECT_GE(received.load(), kValueBytes + 2);
+}
+
+TEST(NetClientErrors, SendToStalledPeerFailsInsteadOfSpinning) {
+  // The peer never reads: the client fills the socket buffers, hits EAGAIN /
+  // a send timeout, and must report failure rather than spin or block
+  // forever.
+  std::atomic<bool> done{false};
+  ScriptedServer server([&done](int fd) {
+    (void)fd;
+    while (!done.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+  NetClient client;
+  // Connect's timeout doubles as SO_SNDTIMEO, bounding each blocked send().
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 300));
+  const auto start = std::chrono::steady_clock::now();
+  std::string value(64 * 1024 * 1024, 'x');  // far beyond any socket buffer
+  const bool sent = client.SendRaw("set big 0 0 " +
+                                   std::to_string(value.size()) + "\r\n" +
+                                   value + "\r\n");
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  done.store(true);
+  EXPECT_FALSE(sent);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            30);
+}
+
+// ---------------------------------------------------------------------------
+// ReplyReader: pipelined reply classification (the loadgen's receive path).
+
+using Status = ReplyReader::Status;
+using Expect = ReplyReader::Expect;
+
+std::vector<Status> FeedAll(ReplyReader& reader, std::string_view bytes,
+                            size_t chunk, bool* ok = nullptr) {
+  std::vector<Status> out;
+  bool good = true;
+  for (size_t i = 0; i < bytes.size() && good; i += chunk) {
+    good = reader.Feed(bytes.substr(i, chunk),
+                       [&out](Status s) { out.push_back(s); });
+  }
+  if (ok != nullptr) {
+    *ok = good;
+  }
+  return out;
+}
+
+TEST(ReplyReader, ClassifiesPipelinedRepliesAcrossChunkSizes) {
+  const std::string stream =
+      "VALUE a 0 3\r\nxyz\r\nEND\r\n"   // hit
+      "END\r\n"                          // miss
+      "STORED\r\n"                       // hit (set)
+      "NOT_STORED\r\n"                   // miss (add on existing)
+      "SERVER_ERROR temporarily overloaded\r\n"  // error
+      "NOT_FOUND\r\n";                   // miss (delete)
+  const std::vector<Status> expected = {Status::kHit,  Status::kMiss,
+                                        Status::kHit,  Status::kMiss,
+                                        Status::kError, Status::kMiss};
+  for (size_t chunk : {size_t{1}, size_t{3}, size_t{7}, stream.size()}) {
+    ReplyReader reader;
+    reader.Push(Expect::kRetrieval);
+    reader.Push(Expect::kRetrieval);
+    for (int i = 0; i < 4; ++i) {
+      reader.Push(Expect::kLine);
+    }
+    bool ok = false;
+    EXPECT_EQ(FeedAll(reader, stream, chunk, &ok), expected)
+        << "chunk=" << chunk;
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(reader.pending(), 0u);
+  }
+}
+
+TEST(ReplyReader, ValuePayloadContainingProtocolTextIsSkipped) {
+  // The payload spells "END\r\n" — byte-count skipping must not mistake it
+  // for the terminator.
+  const std::string stream = "VALUE a 0 7\r\nEND\r\nxy\r\nEND\r\n";
+  ReplyReader reader;
+  reader.Push(Expect::kRetrieval);
+  bool ok = false;
+  const auto got = FeedAll(reader, stream, 2, &ok);
+  EXPECT_TRUE(ok);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], Status::kHit);
+}
+
+TEST(ReplyReader, ErrorTerminatesRetrievalExpectation) {
+  ReplyReader reader;
+  reader.Push(Expect::kRetrieval);
+  bool ok = false;
+  const auto got =
+      FeedAll(reader, "SERVER_ERROR shedding load\r\n", 5, &ok);
+  EXPECT_TRUE(ok);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], Status::kError);
+}
+
+TEST(ReplyReader, BytesWithoutExpectationAreCorruption) {
+  ReplyReader reader;
+  bool ok = true;
+  FeedAll(reader, "STORED\r\n", 8, &ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(ReplyReader, UnparseableValueHeaderIsCorruption) {
+  ReplyReader reader;
+  reader.Push(Expect::kRetrieval);
+  bool ok = true;
+  FeedAll(reader, "VALUE k 0 notanumber\r\n", 32, &ok);
+  EXPECT_FALSE(ok);
+}
+
+}  // namespace
+}  // namespace spotcache::net
