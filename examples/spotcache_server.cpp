@@ -2,6 +2,9 @@
 //
 //   spotcache_server [--port=11211] [--host=127.0.0.1] [--capacity-mb=64]
 //                    [--system] [--resilience] [--trace=F] [--metrics=F]
+//                    [--metrics-port=N] [--spans=F] [--span-sample=N]
+//                    [--latency-sample=N] [--slow-us=N] [--stall-us=N]
+//                    [--span-ring=N]
 //
 //   $ ./spotcache_server --port=11211 &
 //   $ printf 'set k 0 0 5\r\nhello\r\nget k\r\nquit\r\n' | nc 127.0.0.1 11211
@@ -9,22 +12,36 @@
 //
 // Readiness: the first stdout line is `listening <port>` (flushed once the
 // socket is bound), so harnesses can use --port=0 and scrape the bound port
-// instead of racing listen(2) with retry loops.
+// instead of racing listen(2) with retry loops. With --metrics-port the
+// second line is `metrics listening <port>`.
 //
 // Flags:
-//   --port=N         listen port (0 picks an ephemeral port, printed on start)
-//   --host=H         bind address
-//   --capacity-mb=N  item-store LRU capacity
-//   --system         route requests through the SpotCacheSystem data plane
-//                    (router + cache-node placement model)
-//   --resilience     with --system: enable the degradation ladder, so breaker
-//                    or admission sheds surface as SERVER_ERROR to clients
-//   --trace=FILE     on shutdown, write the JSONL event stream
-//                    (conn_open/conn_close/protocol_error)
-//   --metrics=FILE   on shutdown, write a Prometheus-style net/* snapshot
+//   --port=N           listen port (0 picks an ephemeral port, printed)
+//   --host=H           bind address
+//   --capacity-mb=N    item-store LRU capacity
+//   --system           route requests through the SpotCacheSystem data plane
+//                      (router + cache-node placement model)
+//   --resilience       with --system: enable the degradation ladder, so
+//                      breaker or admission sheds surface as SERVER_ERROR
+//   --trace=FILE       on shutdown, write the JSONL event stream (conn and
+//                      request_span events; enables live tracing)
+//   --metrics=FILE     on shutdown, write a Prometheus-style net/* snapshot
+//   --metrics-port=N   serve live Prometheus text over HTTP on port N
+//                      (0 = ephemeral; off by default)
+//   --spans=FILE       flight-recorder dump target (JSONL, appended on
+//                      SIGUSR1/SIGHUP or slow-request auto-capture; the full
+//                      ring is also dumped once at shutdown)
+//   --span-sample=N    span-sample every ~Nth request (default 256, 0 = off)
+//   --latency-sample=N latency-sample every ~Nth request (default 16)
+//   --slow-us=N        auto-capture threshold in microseconds (default 50000)
+//   --stall-us=N       event-loop stall threshold in microseconds
+//   --span-ring=N      flight-recorder capacity in spans (default 4096)
 //
-// SIGINT/SIGTERM stop the loop cleanly: the server drains, the obs artifacts
-// are written, and a final stats line is printed.
+// Signals: SIGINT/SIGTERM stop the loop cleanly (obs artifacts written, a
+// final stats line printed). SIGUSR1/SIGHUP dump the flight-recorder ring to
+// --spans and a live metrics snapshot to --metrics without stopping — both
+// handlers are async-signal-safe (atomic flag + eventfd; the dump itself
+// runs on the loop thread).
 
 #include <csignal>
 #include <cstdio>
@@ -49,11 +66,20 @@ void HandleSignal(int /*sig*/) {
   }
 }
 
+void HandleDumpSignal(int /*sig*/) {
+  if (g_server != nullptr) {
+    g_server->RequestTelemetryDump();  // atomic flag + eventfd write
+  }
+}
+
 int Usage() {
   std::printf(
       "usage: spotcache_server [--port=11211] [--host=127.0.0.1]\n"
       "                        [--capacity-mb=64] [--system] [--resilience]\n"
-      "                        [--trace=FILE] [--metrics=FILE]\n");
+      "                        [--trace=FILE] [--metrics=FILE]\n"
+      "                        [--metrics-port=N] [--spans=FILE]\n"
+      "                        [--span-sample=N] [--latency-sample=N]\n"
+      "                        [--slow-us=N] [--stall-us=N] [--span-ring=N]\n");
   return 2;
 }
 
@@ -85,13 +111,36 @@ int main(int argc, char** argv) {
       trace_path = arg.substr(8);
     } else if (arg.rfind("--metrics=", 0) == 0) {
       metrics_path = arg.substr(10);
+    } else if (arg.rfind("--metrics-port=", 0) == 0) {
+      config.metrics_port = std::atoi(arg.c_str() + 15);
+    } else if (arg.rfind("--spans=", 0) == 0) {
+      config.span_dump_path = arg.substr(8);
+    } else if (arg.rfind("--span-sample=", 0) == 0) {
+      config.telemetry.span_sample_every =
+          static_cast<uint32_t>(std::atoll(arg.c_str() + 14));
+    } else if (arg.rfind("--latency-sample=", 0) == 0) {
+      config.telemetry.latency_sample_every =
+          static_cast<uint32_t>(std::atoll(arg.c_str() + 17));
+    } else if (arg.rfind("--slow-us=", 0) == 0) {
+      config.telemetry.slow_request_us = std::atoll(arg.c_str() + 10);
+    } else if (arg.rfind("--stall-us=", 0) == 0) {
+      config.stall_threshold_us = std::atoll(arg.c_str() + 11);
+    } else if (arg.rfind("--span-ring=", 0) == 0) {
+      config.telemetry.flight_ring_capacity =
+          static_cast<uint32_t>(std::atoll(arg.c_str() + 12));
     } else {
       std::printf("unknown flag '%s'\n\n", arg.c_str());
       return Usage();
     }
   }
+  // Signal-driven dumps write the live metrics snapshot to the same file the
+  // shutdown snapshot uses.
+  config.metrics_dump_path = metrics_path;
 
   Obs obs;
+  // Live tracing costs memory per event; only keep the tracer on when the
+  // stream will actually be written somewhere.
+  obs.tracer.set_enabled(!trace_path.empty());
   std::unique_ptr<SpotCacheSystem> system;
   if (use_system) {
     SpotCacheSystem::Config sys;
@@ -112,13 +161,19 @@ int main(int argc, char** argv) {
   g_server = &server;
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGUSR1, HandleDumpSignal);
+  std::signal(SIGHUP, HandleDumpSignal);
   std::signal(SIGPIPE, SIG_IGN);
 
   // Readiness signal for harnesses: the first stdout line is exactly
   // "listening <port>", flushed after listen(2) succeeded — so a script can
   // start the server with --port=0, read the bound port from this line, and
-  // never race the bind. The human-readable banner follows.
+  // never race the bind. `metrics listening <port>` follows when the scrape
+  // endpoint is on, then the human-readable banner.
   std::printf("listening %u\n", server.port());
+  if (config.metrics_port >= 0) {
+    std::printf("metrics listening %u\n", server.metrics_port());
+  }
   std::printf("spotcache_server listening on %s:%u (capacity %zu MB%s%s)\n",
               config.bind_host.c_str(), server.port(),
               config.core.capacity_bytes / (1024 * 1024),
@@ -136,6 +191,13 @@ int main(int argc, char** argv) {
   if (!metrics_path.empty() &&
       WriteStringToFile(metrics_path, ToPrometheusText(obs.registry))) {
     std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
+  }
+  if (!config.span_dump_path.empty() && server.telemetry() != nullptr &&
+      WriteStringToFile(config.span_dump_path,
+                        server.telemetry()->RenderFlightRecorderJsonl())) {
+    std::printf("flight recorder (%zu spans) written to %s\n",
+                server.telemetry()->ring_size(),
+                config.span_dump_path.c_str());
   }
 
   const net::ServerCore& core = server.core();

@@ -305,7 +305,10 @@ ParseStatus RequestParser::ParseCommandLine(std::string_view line) {
 
   if (verb_tok == "stats") {
     request_.verb = Verb::kStats;
-    return ParseStatus::kRequest;  // sub-commands are accepted and ignored
+    // First sub-command token, if any ("spotcache" selects the telemetry
+    // extension; unknown sub-commands are accepted and ignored).
+    request_.stats_arg = NextToken(line, &cursor);
+    return ParseStatus::kRequest;
   }
 
   if (verb_tok == "version") {

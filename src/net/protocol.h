@@ -67,6 +67,9 @@ struct TextRequest {
   int64_t exptime = 0;
   /// flush_all optional delay in seconds.
   int64_t delay_s = 0;
+  /// stats sub-command ("" for plain `stats`; "spotcache" selects the
+  /// server-telemetry extension; anything else is accepted and ignored).
+  std::string_view stats_arg;
   /// Storage payload (exactly `bytes` from the wire, terminator stripped).
   std::string_view data;
   bool noreply = false;

@@ -14,7 +14,9 @@
 
 #include <chrono>
 #include <ctime>
+#include <fstream>
 
+#include "src/obs/exporters.h"
 #include "src/util/logging.h"
 
 namespace spotcache::net {
@@ -26,6 +28,10 @@ bool SetNonBlocking(int fd) {
   return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
+/// Concurrent scrape connections tolerated beyond max_connections: scrapes
+/// must succeed while the cache listener is saturated, but stay bounded.
+constexpr size_t kMaxMetricsConns = 32;
+
 }  // namespace
 
 NetServer::NetServer(const NetServerConfig& config, SpotCacheSystem* system,
@@ -34,6 +40,11 @@ NetServer::NetServer(const NetServerConfig& config, SpotCacheSystem* system,
       core_(config.core, system, obs),
       obs_(obs),
       clock_([] { return static_cast<int64_t>(::time(nullptr)); }) {
+  const RequestTelemetryConfig& tc = config_.telemetry;
+  if (tc.span_sample_every != 0 || tc.latency_sample_every != 0) {
+    telemetry_ = std::make_unique<RequestTelemetry>(tc, obs);
+    core_.set_telemetry(telemetry_.get());
+  }
   if (obs_ != nullptr) {
     conns_opened_ = obs_->registry.GetCounter("net/conns_opened");
     conns_closed_ = obs_->registry.GetCounter("net/conns_closed");
@@ -41,6 +52,14 @@ NetServer::NetServer(const NetServerConfig& config, SpotCacheSystem* system,
     bytes_in_ = obs_->registry.GetCounter("net/bytes_in");
     bytes_out_ = obs_->registry.GetCounter("net/bytes_out");
     slow_closes_ = obs_->registry.GetCounter("net/slow_consumer_closes");
+    loop_iterations_ = obs_->registry.GetCounter("net/loop/iterations");
+    loop_stalls_ = obs_->registry.GetCounter("net/loop/stalls");
+    metrics_scrapes_ = obs_->registry.GetCounter("net/metrics_scrapes");
+    loop_wait_hist_ = obs_->registry.GetHistogram("net/loop/wait_s");
+    loop_work_hist_ = obs_->registry.GetHistogram("net/loop/work_s");
+    pending_hw_gauge_ =
+        obs_->registry.GetGauge("net/pending_out_high_water_bytes");
+    conns_hw_gauge_ = obs_->registry.GetGauge("net/conns_high_water");
   }
 }
 
@@ -51,6 +70,9 @@ NetServer::~NetServer() {
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
+  }
+  if (metrics_listen_fd_ >= 0) {
+    ::close(metrics_listen_fd_);
   }
   if (epoll_fd_ >= 0) {
     ::close(epoll_fd_);
@@ -82,32 +104,45 @@ void NetServer::Trace(
                       std::move(fields));
 }
 
-bool NetServer::Start() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) {
-    return false;
+int NetServer::OpenListener(uint16_t port, uint16_t* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return -1;
   }
   const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(config_.port);
-  if (::inet_pton(AF_INET, config_.bind_host.c_str(), &addr.sin_addr) != 1) {
-    return false;
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-          0 ||
-      ::listen(listen_fd_, config_.listen_backlog) != 0 ||
-      !SetNonBlocking(listen_fd_)) {
-    return false;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, config_.bind_host.c_str(), &addr.sin_addr) != 1 ||
+      ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, config_.listen_backlog) != 0 || !SetNonBlocking(fd)) {
+    ::close(fd);
+    return -1;
   }
   socklen_t len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
-      0) {
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  *bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+bool NetServer::Start() {
+  listen_fd_ = OpenListener(config_.port, &port_);
+  if (listen_fd_ < 0) {
     return false;
   }
-  port_ = ntohs(addr.sin_port);
+  if (config_.metrics_port >= 0) {
+    metrics_listen_fd_ =
+        OpenListener(static_cast<uint16_t>(config_.metrics_port),
+                     &metrics_port_);
+    if (metrics_listen_fd_ < 0) {
+      return false;
+    }
+  }
 
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
@@ -124,6 +159,12 @@ bool NetServer::Start() {
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
     return false;
   }
+  if (metrics_listen_fd_ >= 0) {
+    ev.data.fd = metrics_listen_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, metrics_listen_fd_, &ev) != 0) {
+      return false;
+    }
+  }
   return true;
 }
 
@@ -131,10 +172,18 @@ bool NetServer::Run() {
   running_ = true;
   t0_us_ = 0;
   t0_us_ = LoopMicros();
+  if (telemetry_ != nullptr) {
+    // Span timestamps become "microseconds since Run() began" — the same
+    // timeline Trace() stamps loop events with.
+    telemetry_->SetOrigin(t0_us_);
+  }
+  const bool instrument = loop_iterations_ != nullptr;
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   while (running_) {
+    const int64_t t_wait0 = instrument ? RequestTelemetry::NowMicros() : 0;
     const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    const int64_t t_work0 = instrument ? RequestTelemetry::NowMicros() : 0;
     if (n < 0) {
       if (errno == EINTR) {
         continue;
@@ -145,7 +194,11 @@ bool NetServer::Run() {
     for (int i = 0; i < n && running_; ++i) {
       const int fd = events[i].data.fd;
       if (fd == listen_fd_) {
-        AcceptReady();
+        AcceptReady(listen_fd_, /*metrics=*/false);
+        continue;
+      }
+      if (fd == metrics_listen_fd_) {
+        AcceptReady(metrics_listen_fd_, /*metrics=*/true);
         continue;
       }
       if (fd == wake_fd_) {
@@ -173,6 +226,20 @@ bool NetServer::Run() {
         ConnWritable(conn);
       }
     }
+    MaybeDumpTelemetry();
+    if (instrument) {
+      const int64_t t_end = RequestTelemetry::NowMicros();
+      loop_wait_hist_->Record(static_cast<double>(t_work0 - t_wait0) * 1e-6);
+      loop_work_hist_->Record(static_cast<double>(t_end - t_work0) * 1e-6);
+      loop_iterations_->Increment();
+      if (config_.stall_threshold_us > 0 &&
+          t_end - t_work0 > config_.stall_threshold_us) {
+        loop_stalls_->Increment();
+        Trace("loop_stall",
+              {{"work_us", EventTracer::JsonNumber(t_end - t_work0)},
+               {"events", EventTracer::JsonNumber(static_cast<int64_t>(n))}});
+      }
+    }
   }
   return true;
 }
@@ -185,15 +252,71 @@ void NetServer::Stop() {
   }
 }
 
-void NetServer::AcceptReady() {
+void NetServer::RequestTelemetryDump() {
+  // Async-signal-safe: one relaxed atomic store + one write(2).
+  dump_requested_.store(true, std::memory_order_relaxed);
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    (void)!::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void NetServer::MaybeDumpTelemetry() {
+  const bool requested = dump_requested_.load(std::memory_order_relaxed);
+  const bool slow = telemetry_ != nullptr && telemetry_->dump_pending();
+  if (!requested && !slow) {
+    return;
+  }
+  const int64_t now = LoopMicros();
+  if (!requested && now - last_auto_dump_us_ < 1'000'000) {
+    return;  // debounced; dump_pending stays set and retries next iteration
+  }
+  dump_requested_.store(false, std::memory_order_relaxed);
+  last_auto_dump_us_ = now;
+  if (telemetry_ != nullptr) {
+    telemetry_->clear_dump_pending();
+  }
+  DumpTelemetry(requested ? "signal" : "slow_request");
+}
+
+void NetServer::DumpTelemetry(const char* reason) {
+  size_t spans = 0;
+  if (telemetry_ != nullptr && !config_.span_dump_path.empty()) {
+    spans = telemetry_->ring_size();
+    std::ofstream out(config_.span_dump_path, std::ios::app);
+    if (out) {
+      out << telemetry_->RenderFlightRecorderJsonl();
+    } else {
+      SPOTCACHE_LOG(kWarn) << "flight-recorder dump failed: "
+                           << config_.span_dump_path;
+    }
+  }
+  if (obs_ != nullptr && !config_.metrics_dump_path.empty()) {
+    WriteStringToFile(config_.metrics_dump_path,
+                      ToPrometheusText(obs_->registry));
+  }
+  SPOTCACHE_LOG(kInfo) << "telemetry dump (" << reason << "): " << spans
+                       << " spans";
+  Trace("telemetry_dump",
+        {{"reason", EventTracer::JsonString(reason)},
+         {"spans", EventTracer::JsonNumber(static_cast<int64_t>(spans))}});
+}
+
+void NetServer::AcceptReady(int listen_fd, bool metrics) {
   for (;;) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
-                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    const int fd =
+        ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       return;  // EAGAIN or transient accept error: wait for the next event
     }
-    if (conns_.size() >= config_.max_connections) {
-      if (conns_rejected_ != nullptr) {
+    // Scrape connections have their own small cap so metrics stay reachable
+    // even when the cache listener is at max_connections, and vice versa.
+    const bool over_limit = metrics
+                                ? metrics_conns_ >= kMaxMetricsConns
+                                : conns_.size() - metrics_conns_ >=
+                                      config_.max_connections;
+    if (over_limit) {
+      if (!metrics && conns_rejected_ != nullptr) {
         conns_rejected_->Increment();
       }
       ::close(fd);
@@ -204,6 +327,7 @@ void NetServer::AcceptReady() {
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     conn->id = next_conn_id_++;
+    conn->is_metrics = metrics;
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
@@ -211,16 +335,30 @@ void NetServer::AcceptReady() {
       ::close(fd);
       continue;
     }
-    if (conns_opened_ != nullptr) {
-      conns_opened_->Increment();
+    if (metrics) {
+      ++metrics_conns_;
+    } else {
+      if (conns_opened_ != nullptr) {
+        conns_opened_->Increment();
+      }
+      Trace("conn_open", {{"conn", EventTracer::JsonNumber(
+                                       static_cast<int64_t>(conn->id))}});
     }
-    Trace("conn_open", {{"conn", EventTracer::JsonNumber(
-                                     static_cast<int64_t>(conn->id))}});
     conns_.emplace(fd, std::move(conn));
+    if (conns_.size() > conns_high_water_) {
+      conns_high_water_ = conns_.size();
+      if (conns_hw_gauge_ != nullptr) {
+        conns_hw_gauge_->Set(static_cast<double>(conns_high_water_));
+      }
+    }
   }
 }
 
 void NetServer::ConnReadable(Connection* conn) {
+  if (conn->is_metrics) {
+    MetricsReadable(conn);
+    return;
+  }
   for (;;) {
     char* dst = conn->parser.WritePtr(config_.recv_chunk);
     const ssize_t n = ::recv(conn->fd, dst, config_.recv_chunk, 0);
@@ -250,15 +388,82 @@ void NetServer::ConnReadable(Connection* conn) {
   Drain(conn);
 }
 
+void NetServer::MetricsReadable(Connection* conn) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->http_in.append(buf, static_cast<size_t>(n));
+      if (conn->http_in.size() > 16 * 1024) {
+        CloseConn(conn, "metrics_overflow");
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      CloseConn(conn, "eof");
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    CloseConn(conn, "read_error");
+    return;
+  }
+  // Any complete HTTP request header gets the metrics snapshot; the path is
+  // ignored (the endpoint serves exactly one document).
+  if (conn->http_responded ||
+      conn->http_in.find("\r\n\r\n") == std::string::npos) {
+    return;
+  }
+  conn->http_responded = true;
+  if (metrics_scrapes_ != nullptr) {
+    metrics_scrapes_->Increment();
+  }
+  const std::string body =
+      obs_ != nullptr ? ToPrometheusText(obs_->registry) : std::string();
+  char header[160];
+  const int header_len = snprintf(
+      header, sizeof(header),
+      "HTTP/1.0 200 OK\r\n"
+      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      body.size());
+  conn->pending_out.append(header, static_cast<size_t>(header_len));
+  conn->pending_out.append(body);
+  conn->close_after_flush = true;
+  Flush(conn);
+}
+
 void NetServer::Drain(Connection* conn) {
   const int64_t now = NowUnix();
+  RequestTelemetry* t = telemetry_.get();
+  if (t != nullptr) {
+    t->BeginBatch(conn->id);
+  }
   for (;;) {
+    if (t != nullptr) {
+      t->BeginRequest();
+    }
     const ParseStatus st = conn->parser.Next();
     if (st == ParseStatus::kNeedMore) {
+      if (t != nullptr) {
+        t->OnAbandoned();
+      }
       break;
     }
     if (st == ParseStatus::kError) {
+      if (t != nullptr) {
+        t->OnParsed(TelemetryOp::kOther, 0);
+      }
       core_.HandleParseError(conn->parser.error(), &conn->assembler);
+      if (t != nullptr) {
+        t->OnExecuted(RequestOutcome::kError, 0);
+      }
       Trace("protocol_error",
             {{"conn",
               EventTracer::JsonNumber(static_cast<int64_t>(conn->id))},
@@ -271,7 +476,18 @@ void NetServer::Drain(Connection* conn) {
       break;
     }
   }
-  Flush(conn);
+  // Time the flush only when spans are waiting for their write stamp —
+  // unsampled batches skip both clock reads.
+  if (t != nullptr && t->batch_has_spans()) {
+    const int64_t w0 = RequestTelemetry::NowMicros();
+    Flush(conn);
+    t->EndBatch(RequestTelemetry::NowMicros() - w0);
+  } else {
+    Flush(conn);
+    if (t != nullptr) {
+      t->EndBatch(0);
+    }
+  }
 }
 
 void NetServer::Flush(Connection* conn) {
@@ -357,8 +573,14 @@ void NetServer::Flush(Connection* conn) {
   }
   conn->assembler.Clear();
 
-  if (conn->pending_out.size() - conn->pending_sent >
-      config_.max_output_buffer) {
+  const size_t backlog = conn->pending_out.size() - conn->pending_sent;
+  if (backlog > pending_out_high_water_) {
+    pending_out_high_water_ = backlog;
+    if (pending_hw_gauge_ != nullptr) {
+      pending_hw_gauge_->Set(static_cast<double>(backlog));
+    }
+  }
+  if (backlog > config_.max_output_buffer) {
     if (slow_closes_ != nullptr) {
       slow_closes_->Increment();
     }
@@ -386,11 +608,15 @@ void NetServer::UpdateEpoll(Connection* conn) {
 }
 
 void NetServer::CloseConn(Connection* conn, const char* reason) {
-  Trace("conn_close",
-        {{"conn", EventTracer::JsonNumber(static_cast<int64_t>(conn->id))},
-         {"reason", EventTracer::JsonString(reason)}});
-  if (conns_closed_ != nullptr) {
-    conns_closed_->Increment();
+  if (conn->is_metrics) {
+    --metrics_conns_;
+  } else {
+    Trace("conn_close",
+          {{"conn", EventTracer::JsonNumber(static_cast<int64_t>(conn->id))},
+           {"reason", EventTracer::JsonString(reason)}});
+    if (conns_closed_ != nullptr) {
+      conns_closed_->Increment();
+    }
   }
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
   ::close(conn->fd);

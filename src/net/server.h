@@ -14,12 +14,36 @@
 // ServerCore's request counters) and JSONL `conn_open` / `conn_close` /
 // `protocol_error` events stamped with microseconds since server start.
 //
+// Serving-path telemetry (this PR): the server owns a RequestTelemetry that
+// samples request spans (parse -> route -> store -> write phases) and feeds
+// always-on per-(op, outcome) latency histograms — see request_telemetry.h
+// for the sampling/overhead story. The event loop itself is instrumented:
+// every iteration records epoll-wait vs. work time into `net/loop/wait_s` /
+// `net/loop/work_s`, and an iteration whose work phase exceeds
+// `stall_threshold_us` bumps `net/loop/stalls` and emits a `loop_stall`
+// trace event. High-water gauges track the worst pending-output backlog and
+// peak concurrent connections.
+//
+// Live scrape surface: with `metrics_port >= 0` the server opens a second
+// listener in the same epoll loop that answers any HTTP request with the
+// Prometheus text rendering of the registry. Because the loop is
+// single-threaded, a scrape renders between request batches — always a
+// consistent snapshot, no locks on the hot path.
+//
+// Flight-recorder dumps: RequestTelemetryDump() is async-signal-safe
+// (atomic flag + eventfd wakeup) — signal handlers call it to get the span
+// ring appended to `span_dump_path` and a metrics snapshot written to
+// `metrics_dump_path` from loop context. A request slower than the
+// telemetry's `slow_request_us` triggers the same dump automatically
+// (debounced to at most one per second).
+//
 // Run() owns the calling thread until Stop() (thread-safe, eventfd wakeup)
 // or a fatal listener error. Expiry time is injectable (`SetClock`) so tests
 // drive memcached expiry semantics deterministically over real sockets.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -30,6 +54,7 @@
 #include "src/net/response.h"
 #include "src/net/server_core.h"
 #include "src/obs/obs.h"
+#include "src/obs/request_telemetry.h"
 
 namespace spotcache::net {
 
@@ -43,6 +68,22 @@ struct NetServerConfig {
   /// Slow-consumer cap on buffered unsent bytes before the connection drops.
   size_t max_output_buffer = 8 * 1024 * 1024;
   ServerCoreConfig core;
+
+  /// Request-span / latency sampling. Setting both sample periods to 0
+  /// disables the telemetry entirely (no per-request sampler step) — the
+  /// configuration bench_net_loopback uses as its uninstrumented baseline.
+  RequestTelemetryConfig telemetry;
+  /// A loop iteration whose work phase (everything between two epoll_waits)
+  /// exceeds this is counted as a stall. <= 0 disables stall detection.
+  int64_t stall_threshold_us = 10'000;
+  /// Prometheus scrape listener: -1 = off, 0 = ephemeral port (see
+  /// metrics_port() after Start()), else the fixed port to bind.
+  int metrics_port = -1;
+  /// Flight-recorder dump target (JSONL, appended per dump). Empty skips
+  /// the span dump (the in-memory ring still fills).
+  std::string span_dump_path;
+  /// Metrics snapshot dump target (Prometheus text, overwritten per dump).
+  std::string metrics_dump_path;
 };
 
 class NetServer {
@@ -54,20 +95,30 @@ class NetServer {
   NetServer(const NetServer&) = delete;
   NetServer& operator=(const NetServer&) = delete;
 
-  /// Binds and listens. Returns false (with errno intact) on failure.
+  /// Binds and listens (cache port + optional metrics port). Returns false
+  /// (with errno intact) on failure.
   bool Start();
   /// The bound port (after Start(); useful with port = 0).
   uint16_t port() const { return port_; }
+  /// The bound metrics port (0 when the scrape listener is off).
+  uint16_t metrics_port() const { return metrics_port_; }
 
   /// Serves until Stop(). Returns false if the loop died on a fatal error.
   bool Run();
   /// Thread-safe shutdown request.
   void Stop();
 
+  /// Requests a flight-recorder + metrics dump from loop context.
+  /// Async-signal-safe (atomic store + eventfd write): signal handlers for
+  /// SIGUSR1/SIGHUP call this directly.
+  void RequestTelemetryDump();
+
   /// Unix-seconds clock used for expiry (defaults to the wall clock).
   void SetClock(std::function<int64_t()> now_unix);
 
   ServerCore& core() { return core_; }
+  /// The serving-path telemetry, or nullptr when disabled by config.
+  RequestTelemetry* telemetry() { return telemetry_.get(); }
   size_t connection_count() const { return conns_.size(); }
 
  private:
@@ -80,10 +131,16 @@ class NetServer {
     size_t pending_sent = 0;  // consumed prefix of pending_out
     bool want_write = false;
     bool close_after_flush = false;
+    /// Metrics-scrape connection: bytes go through a tiny HTTP/1.0
+    /// responder instead of the memcached parser.
+    bool is_metrics = false;
+    std::string http_in;  // request bytes until the blank line (metrics only)
+    bool http_responded = false;
   };
 
-  void AcceptReady();
+  void AcceptReady(int listen_fd, bool metrics);
   void ConnReadable(Connection* conn);
+  void MetricsReadable(Connection* conn);
   void ConnWritable(Connection* conn);
   /// Runs parse/execute over buffered bytes, then flushes.
   void Drain(Connection* conn);
@@ -91,6 +148,13 @@ class NetServer {
   void Flush(Connection* conn);
   void CloseConn(Connection* conn, const char* reason);
   void UpdateEpoll(Connection* conn);
+  /// Opens one non-blocking listener on bind_host:port; returns the fd (or
+  /// -1) and writes the bound port through `bound_port`.
+  int OpenListener(uint16_t port, uint16_t* bound_port);
+  /// Loop-context dump service: honors RequestTelemetryDump() immediately,
+  /// slow-request auto-dumps behind a 1 s debounce.
+  void MaybeDumpTelemetry();
+  void DumpTelemetry(const char* reason);
   int64_t NowUnix() const;
   /// Microseconds since Run() began (event timestamps).
   int64_t LoopMicros() const;
@@ -100,16 +164,28 @@ class NetServer {
   NetServerConfig config_;
   ServerCore core_;
   Obs* obs_;
+  std::unique_ptr<RequestTelemetry> telemetry_;
   std::function<int64_t()> clock_;
 
   int listen_fd_ = -1;
+  int metrics_listen_fd_ = -1;
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
   uint16_t port_ = 0;
+  uint16_t metrics_port_ = 0;
   bool running_ = false;
   uint64_t next_conn_id_ = 1;
   int64_t t0_us_ = 0;
   std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+  size_t metrics_conns_ = 0;
+
+  std::atomic<bool> dump_requested_{false};
+  int64_t last_auto_dump_us_ = -1'000'000;
+
+  // High-water marks mirrored into gauges (kept locally so the hot path
+  // compares against a plain size_t, not a double).
+  size_t pending_out_high_water_ = 0;
+  size_t conns_high_water_ = 0;
 
   Counter* conns_opened_ = nullptr;
   Counter* conns_closed_ = nullptr;
@@ -117,6 +193,13 @@ class NetServer {
   Counter* bytes_in_ = nullptr;
   Counter* bytes_out_ = nullptr;
   Counter* slow_closes_ = nullptr;
+  Counter* loop_iterations_ = nullptr;
+  Counter* loop_stalls_ = nullptr;
+  Counter* metrics_scrapes_ = nullptr;
+  Histogram* loop_wait_hist_ = nullptr;
+  Histogram* loop_work_hist_ = nullptr;
+  Gauge* pending_hw_gauge_ = nullptr;
+  Gauge* conns_hw_gauge_ = nullptr;
 };
 
 }  // namespace spotcache::net

@@ -6,9 +6,34 @@
 
 namespace spotcache::net {
 
+namespace {
+
+TelemetryOp OpFor(Verb verb) {
+  switch (verb) {
+    case Verb::kGet:
+    case Verb::kGets:
+      return TelemetryOp::kGet;
+    case Verb::kSet:
+    case Verb::kAdd:
+    case Verb::kReplace:
+      return TelemetryOp::kSet;
+    case Verb::kDelete:
+      return TelemetryOp::kDelete;
+    case Verb::kTouch:
+      return TelemetryOp::kTouch;
+    default:
+      return TelemetryOp::kOther;
+  }
+}
+
+}  // namespace
+
 ServerCore::ServerCore(const ServerCoreConfig& config, SpotCacheSystem* system,
                        Obs* obs)
-    : config_(config), store_(config.capacity_bytes), system_(system) {
+    : config_(config),
+      store_(config.capacity_bytes),
+      system_(system),
+      obs_(obs) {
   if (obs != nullptr) {
     obs_requests_ = obs->registry.GetCounter("net/requests");
     obs_get_hits_ = obs->registry.GetCounter("net/get_hits");
@@ -19,12 +44,12 @@ ServerCore::ServerCore(const ServerCoreConfig& config, SpotCacheSystem* system,
   }
 }
 
-bool ServerCore::GateGet(std::string_view key) {
+ServedBy ServerCore::GateGet(std::string_view key) {
   if (system_ == nullptr) {
-    return true;
+    return ServedBy::kCacheNode;
   }
   const CacheResponse r = system_->Get(HashString(key));
-  return r.served_by != ServedBy::kDropped;
+  return r.served_by;
 }
 
 void ServerCore::GatePut(std::string_view key, size_t bytes) {
@@ -34,12 +59,24 @@ void ServerCore::GatePut(std::string_view key, size_t bytes) {
   system_->Put(HashString(key), static_cast<uint32_t>(bytes));
 }
 
-void ServerCore::HandleRetrieve(const TextRequest& req, int64_t now,
-                                ResponseAssembler* out) {
+ServerCore::Outcome ServerCore::HandleRetrieve(const TextRequest& req,
+                                               int64_t now,
+                                               ResponseAssembler* out) {
   const bool with_cas = req.verb == Verb::kGets;
+  const bool time_route =
+      system_ != nullptr && telemetry_ != nullptr && telemetry_->span_active();
+  Outcome result{RequestOutcome::kHit, 0};
   for (std::string_view key : req.keys) {
     ++cmd_get_;
-    if (!GateGet(key)) {
+    ServedBy served;
+    if (time_route) {
+      const int64_t t0 = RequestTelemetry::NowMicros();
+      served = GateGet(key);
+      telemetry_->AddRouteTime(RequestTelemetry::NowMicros() - t0);
+    } else {
+      served = GateGet(key);
+    }
+    if (served == ServedBy::kDropped) {
       // The ladder shed this key: fail the whole retrieval loudly rather
       // than silently reporting a miss — clients must see backpressure.
       ++sheds_;
@@ -47,7 +84,11 @@ void ServerCore::HandleRetrieve(const TextRequest& req, int64_t now,
         obs_sheds_->Increment();
       }
       out->Append("SERVER_ERROR temporarily overloaded\r\n");
-      return;
+      result.outcome = RequestOutcome::kShed;
+      return result;
+    }
+    if (served == ServedBy::kBackup) {
+      result.outcome = RequestOutcome::kBackup;
     }
     const Item* item = store_.Get(key, now);
     if (item == nullptr) {
@@ -55,12 +96,16 @@ void ServerCore::HandleRetrieve(const TextRequest& req, int64_t now,
       if (obs_get_misses_ != nullptr) {
         obs_get_misses_->Increment();
       }
+      if (result.outcome == RequestOutcome::kHit) {
+        result.outcome = RequestOutcome::kMiss;
+      }
       continue;
     }
     ++get_hits_;
     if (obs_get_hits_ != nullptr) {
       obs_get_hits_->Increment();
     }
+    result.value_bytes += static_cast<uint32_t>(item->data->size());
     if (with_cas) {
       out->Appendf("VALUE %.*s %u %zu %" PRIu64 "\r\n",
                    static_cast<int>(key.size()), key.data(), item->flags,
@@ -73,10 +118,12 @@ void ServerCore::HandleRetrieve(const TextRequest& req, int64_t now,
     out->Append("\r\n");
   }
   out->Append("END\r\n");
+  return result;
 }
 
-void ServerCore::HandleStorage(const TextRequest& req, int64_t now,
-                               ResponseAssembler* out) {
+ServerCore::Outcome ServerCore::HandleStorage(const TextRequest& req,
+                                              int64_t now,
+                                              ResponseAssembler* out) {
   ++cmd_set_;
   if (obs_sets_ != nullptr) {
     obs_sets_->Increment();
@@ -96,16 +143,131 @@ void ServerCore::HandleStorage(const TextRequest& req, int64_t now,
     default:
       break;
   }
-  if (result == ItemStore::StoreResult::kStored) {
-    GatePut(key, req.data.size());
+  const bool stored = result == ItemStore::StoreResult::kStored;
+  if (stored) {
+    if (telemetry_ != nullptr && telemetry_->span_active() &&
+        system_ != nullptr) {
+      const int64_t t0 = RequestTelemetry::NowMicros();
+      GatePut(key, req.data.size());
+      telemetry_->AddRouteTime(RequestTelemetry::NowMicros() - t0);
+    } else {
+      GatePut(key, req.data.size());
+    }
   }
   if (!req.noreply) {
-    out->Append(result == ItemStore::StoreResult::kStored ? "STORED\r\n"
-                                                          : "NOT_STORED\r\n");
+    out->Append(stored ? "STORED\r\n" : "NOT_STORED\r\n");
+  }
+  return Outcome{stored ? RequestOutcome::kStored : RequestOutcome::kNotStored,
+                 static_cast<uint32_t>(req.data.size())};
+}
+
+void ServerCore::AppendResilienceStats(ResponseAssembler* out) {
+  const ResilienceLayer* layer =
+      system_ != nullptr ? system_->resilience() : nullptr;
+  if (layer != nullptr) {
+    const auto counts = layer->CountBreakerStates(system_->now());
+    out->Appendf("STAT spotcache_breakers_closed %d\r\n", counts.closed);
+    out->Appendf("STAT spotcache_breakers_open %d\r\n", counts.open);
+    out->Appendf("STAT spotcache_breakers_half_open %d\r\n", counts.half_open);
+    out->Appendf("STAT spotcache_breaker_trips %" PRId64 "\r\n",
+                 layer->breaker_trips());
+  }
+  if (obs_ != nullptr) {
+    const auto rung = [this](const char* r) {
+      return this->obs_->registry.CounterValue("resilience/served",
+                                               {{"rung", r}});
+    };
+    out->Appendf("STAT spotcache_served_primary %" PRId64 "\r\n",
+                 rung("primary"));
+    out->Appendf("STAT spotcache_served_backup %" PRId64 "\r\n",
+                 rung("backup"));
+    out->Appendf("STAT spotcache_served_backend %" PRId64 "\r\n",
+                 rung("backend"));
+    out->Appendf("STAT spotcache_served_shed %" PRId64 "\r\n", rung("shed"));
+  }
+  const uint64_t keyed = cmd_get_ + cmd_set_;
+  out->Appendf("STAT spotcache_shed_fraction %.6f\r\n",
+               keyed == 0 ? 0.0
+                          : static_cast<double>(sheds_) /
+                                static_cast<double>(keyed));
+}
+
+void ServerCore::AppendSpotcacheStats(ResponseAssembler* out) {
+  out->Appendf("STAT spotcache_version %s\r\n", config_.version.c_str());
+  AppendResilienceStats(out);
+  if (telemetry_ != nullptr) {
+    const RequestTelemetryConfig& tc = telemetry_->config();
+    out->Appendf("STAT spotcache_span_sample_every %u\r\n",
+                 tc.span_sample_every);
+    out->Appendf("STAT spotcache_latency_sample_every %u\r\n",
+                 tc.latency_sample_every);
+    out->Appendf("STAT spotcache_requests_seen %" PRIu64 "\r\n",
+                 telemetry_->requests_seen());
+    out->Appendf("STAT spotcache_spans_recorded %" PRIu64 "\r\n",
+                 telemetry_->spans_recorded());
+    out->Appendf("STAT spotcache_latencies_recorded %" PRIu64 "\r\n",
+                 telemetry_->latencies_recorded());
+    out->Appendf("STAT spotcache_slow_requests %" PRIu64 "\r\n",
+                 telemetry_->slow_requests());
+    out->Appendf("STAT spotcache_flight_ring_size %zu\r\n",
+                 telemetry_->ring_size());
+  }
+  if (obs_ == nullptr) {
+    return;
+  }
+  const MetricsRegistry& reg = obs_->registry;
+  out->Appendf("STAT spotcache_loop_iterations %" PRId64 "\r\n",
+               reg.CounterValue("net/loop/iterations"));
+  out->Appendf("STAT spotcache_loop_stalls %" PRId64 "\r\n",
+               reg.CounterValue("net/loop/stalls"));
+  out->Appendf("STAT spotcache_pending_out_high_water_bytes %.0f\r\n",
+               reg.GaugeValue("net/pending_out_high_water_bytes"));
+  out->Appendf("STAT spotcache_conns_high_water %.0f\r\n",
+               reg.GaugeValue("net/conns_high_water"));
+  // Event-loop and per-(op, outcome) latency quantiles, microseconds. The
+  // histogram names are canonical full names, so the (op, outcome) pair is
+  // recoverable from the label block: net/request_latency_s{op=x,outcome=y}.
+  for (const auto& [full, hist] : reg.histograms()) {
+    std::string flat;
+    if (full == "net/loop/wait_s") {
+      flat = "loop_wait";
+    } else if (full == "net/loop/work_s") {
+      flat = "loop_work";
+    } else if (full.rfind("net/request_latency_s{", 0) == 0) {
+      flat = "latency";
+      // Label block -> "_<value>" per label, emission order (op, outcome).
+      const size_t open = full.find('{');
+      size_t pos = open + 1;
+      while (pos < full.size() && full[pos] != '}') {
+        const size_t eq = full.find('=', pos);
+        size_t end = full.find(',', pos);
+        if (end == std::string::npos || end > full.find('}', pos)) {
+          end = full.find('}', pos);
+        }
+        if (eq == std::string::npos || eq > end) {
+          break;
+        }
+        flat += '_';
+        flat += full.substr(eq + 1, end - eq - 1);
+        pos = end + (full[end] == ',' ? 1 : 0);
+        if (full[end] == '}') {
+          break;
+        }
+      }
+    } else {
+      continue;
+    }
+    const std::vector<double> qs = hist.Quantiles({0.5, 0.99});
+    out->Appendf("STAT spotcache_%s_count %" PRIu64 "\r\n", flat.c_str(),
+                 hist.count());
+    out->Appendf("STAT spotcache_%s_p50_us %.0f\r\n", flat.c_str(),
+                 qs[0] * 1e6);
+    out->Appendf("STAT spotcache_%s_p99_us %.0f\r\n", flat.c_str(),
+                 qs[1] * 1e6);
   }
 }
 
-void ServerCore::HandleStats(int64_t now, ResponseAssembler* out) {
+void ServerCore::AppendDefaultStats(int64_t now, ResponseAssembler* out) {
   const auto stat_u = [out](const char* name, uint64_t v) {
     out->Appendf("STAT %s %" PRIu64 "\r\n", name, v);
   };
@@ -126,6 +288,18 @@ void ServerCore::HandleStats(int64_t now, ResponseAssembler* out) {
   stat_u("expired_unfetched", store_.expired_reaped());
   stat_u("sheds", sheds_);
   stat_u("protocol_errors", protocol_errors_);
+  if (system_ != nullptr) {
+    AppendResilienceStats(out);
+  }
+}
+
+void ServerCore::HandleStats(const TextRequest& req, int64_t now,
+                             ResponseAssembler* out) {
+  if (req.stats_arg == "spotcache") {
+    AppendSpotcacheStats(out);
+  } else {
+    AppendDefaultStats(now, out);
+  }
   out->Append("END\r\n");
 }
 
@@ -137,17 +311,23 @@ bool ServerCore::Handle(const TextRequest& req, int64_t now,
   if (obs_requests_ != nullptr) {
     obs_requests_->Increment();
   }
+  if (telemetry_ != nullptr) {
+    telemetry_->OnParsed(OpFor(req.verb),
+                         static_cast<uint32_t>(req.keys.size()));
+  }
+  Outcome outcome;
+  bool keep_open = true;
   switch (req.verb) {
     case Verb::kGet:
     case Verb::kGets:
-      HandleRetrieve(req, now, out);
-      return true;
+      outcome = HandleRetrieve(req, now, out);
+      break;
 
     case Verb::kSet:
     case Verb::kAdd:
     case Verb::kReplace:
-      HandleStorage(req, now, out);
-      return true;
+      outcome = HandleStorage(req, now, out);
+      break;
 
     case Verb::kDelete: {
       ++cmd_delete_;
@@ -155,7 +335,9 @@ bool ServerCore::Handle(const TextRequest& req, int64_t now,
       if (!req.noreply) {
         out->Append(deleted ? "DELETED\r\n" : "NOT_FOUND\r\n");
       }
-      return true;
+      outcome.outcome =
+          deleted ? RequestOutcome::kHit : RequestOutcome::kMiss;
+      break;
     }
 
     case Verb::kTouch: {
@@ -164,16 +346,18 @@ bool ServerCore::Handle(const TextRequest& req, int64_t now,
       if (!req.noreply) {
         out->Append(touched ? "TOUCHED\r\n" : "NOT_FOUND\r\n");
       }
-      return true;
+      outcome.outcome =
+          touched ? RequestOutcome::kHit : RequestOutcome::kMiss;
+      break;
     }
 
     case Verb::kStats:
-      HandleStats(now, out);
-      return true;
+      HandleStats(req, now, out);
+      break;
 
     case Verb::kVersion:
       out->Appendf("VERSION %s\r\n", config_.version.c_str());
-      return true;
+      break;
 
     case Verb::kFlushAll:
       ++cmd_flush_;
@@ -181,12 +365,16 @@ bool ServerCore::Handle(const TextRequest& req, int64_t now,
       if (!req.noreply) {
         out->Append("OK\r\n");
       }
-      return true;
+      break;
 
     case Verb::kQuit:
-      return false;
+      keep_open = false;
+      break;
   }
-  return true;
+  if (telemetry_ != nullptr) {
+    telemetry_->OnExecuted(outcome.outcome, outcome.value_bytes);
+  }
+  return keep_open;
 }
 
 void ServerCore::HandleParseError(ParseErrorKind kind, ResponseAssembler* out) {

@@ -13,16 +13,30 @@
 // clock, no I/O, no iteration-order dependence — which is what lets the
 // conformance suite run the same tables both in-process and over a socket,
 // and the fuzzer compare byte-identical outputs across stream chunkings.
+//
+// Telemetry (optional, attached by the server): each handled request reports
+// its (op, outcome) classification, and span-sampled requests get their
+// ladder/router time stamped separately from store time, so the flight
+// recorder can attribute tail latency to route vs. store phases. The
+// wall-clock reads live behind `telemetry->span_active()` (1/256 by
+// default), preserving Handle()'s determinism for every unsampled request.
+//
+// Stats surfaces: plain `stats` emits the memcached-compatible block plus
+// `STAT spotcache_*` resilience lines (breaker states, shed fraction);
+// `stats spotcache` emits the full server-telemetry extension (event-loop
+// health, sampled span counts, per-(op, outcome) latency quantiles).
 
 #pragma once
 
 #include <cstdint>
 #include <string>
 
+#include "src/cache/cache_protocol.h"
 #include "src/net/item_store.h"
 #include "src/net/protocol.h"
 #include "src/net/response.h"
 #include "src/obs/obs.h"
+#include "src/obs/request_telemetry.h"
 #include "src/routing/hash.h"
 
 namespace spotcache {
@@ -40,6 +54,11 @@ class ServerCore {
  public:
   explicit ServerCore(const ServerCoreConfig& config,
                       SpotCacheSystem* system = nullptr, Obs* obs = nullptr);
+
+  /// Attaches the serving-path telemetry (non-owning; may be null). The
+  /// server wires its RequestTelemetry in here so Handle() can classify
+  /// outcomes and stamp route/store phases on sampled requests.
+  void set_telemetry(RequestTelemetry* telemetry) { telemetry_ = telemetry; }
 
   /// Executes one request at unix-seconds `now`, appending any reply to
   /// `out` (noreply suppresses success/failure status lines, per protocol).
@@ -61,19 +80,35 @@ class ServerCore {
   uint64_t protocol_errors() const { return protocol_errors_; }
 
  private:
-  void HandleRetrieve(const TextRequest& req, int64_t now,
-                      ResponseAssembler* out);
-  void HandleStorage(const TextRequest& req, int64_t now,
-                     ResponseAssembler* out);
-  void HandleStats(int64_t now, ResponseAssembler* out);
-  /// Consults the attached system's ladder for one keyed operation.
-  /// Returns false when the request should be shed.
-  bool GateGet(std::string_view key);
+  /// (outcome, bytes) classification of one handled request, reported to
+  /// the telemetry layer by Handle().
+  struct Outcome {
+    RequestOutcome outcome = RequestOutcome::kOther;
+    uint32_t value_bytes = 0;
+  };
+
+  Outcome HandleRetrieve(const TextRequest& req, int64_t now,
+                         ResponseAssembler* out);
+  Outcome HandleStorage(const TextRequest& req, int64_t now,
+                        ResponseAssembler* out);
+  void HandleStats(const TextRequest& req, int64_t now,
+                   ResponseAssembler* out);
+  /// The memcached-compatible stats block (+ spotcache_* resilience lines).
+  void AppendDefaultStats(int64_t now, ResponseAssembler* out);
+  /// `STAT spotcache_*` resilience lines (breaker states, shed fraction).
+  void AppendResilienceStats(ResponseAssembler* out);
+  /// The `stats spotcache` extension: telemetry + event-loop health.
+  void AppendSpotcacheStats(ResponseAssembler* out);
+  /// Consults the attached system's ladder for one keyed operation; reports
+  /// who (model-)served it. kDropped means the request should be shed.
+  ServedBy GateGet(std::string_view key);
   void GatePut(std::string_view key, size_t bytes);
 
   ServerCoreConfig config_;
   ItemStore store_;
   SpotCacheSystem* system_;
+  Obs* obs_;
+  RequestTelemetry* telemetry_ = nullptr;
   int64_t start_time_ = -1;  // first-request time, for the uptime stat
 
   uint64_t cmd_get_ = 0;

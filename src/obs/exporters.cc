@@ -1,7 +1,9 @@
 #include "src/obs/exporters.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
+#include <utility>
 
 #include "src/util/logging.h"
 
@@ -56,6 +58,11 @@ std::string PrometheusLabels(const MetricLabels& labels) {
     out += labels[i].first;
     out += "=\"";
     for (const char c : labels[i].second) {
+      // Text-format escaping: backslash, double quote, and newline.
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
       if (c == '"' || c == '\\') {
         out += '\\';
       }
@@ -70,10 +77,15 @@ std::string PrometheusLabels(const MetricLabels& labels) {
 std::string Num(double v) { return EventTracer::JsonNumber(v); }
 
 void AppendLine(std::string* out, const std::string& full,
-                std::string_view suffix, const std::string& value) {
+                std::string_view suffix, const std::string& value,
+                const std::pair<std::string, std::string>* extra_label =
+                    nullptr) {
   std::string base;
   MetricLabels labels;
   SplitFullName(full, &base, &labels);
+  if (extra_label != nullptr) {
+    labels.push_back(*extra_label);
+  }
   *out += SanitizeMetricName(base);
   *out += suffix;
   *out += PrometheusLabels(labels);
@@ -123,9 +135,32 @@ std::string ToPrometheusText(const MetricsRegistry& registry) {
     AppendLine(&out, full, "", std::to_string(counter.value()));
   }
   for (const auto& [full, gauge] : registry.gauges()) {
+    // A NaN/Inf gauge would poison rate() and max() queries downstream;
+    // reject the sample at the exposition boundary instead of shipping it.
+    if (!std::isfinite(gauge.value())) {
+      continue;
+    }
     AppendLine(&out, full, "", Num(gauge.value()));
   }
   for (const auto& [full, hist] : registry.histograms()) {
+    // Prometheus-convention cumulative buckets over the LogHistogram
+    // geometry. Empty buckets are skipped (cumulative counts make them
+    // redundant); the +Inf bucket always closes the series at _count.
+    const std::vector<uint64_t>& buckets = hist.log_histogram().buckets();
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < buckets.size(); ++b) {
+      if (buckets[b] == 0) {
+        continue;
+      }
+      cumulative += buckets[b];
+      const std::pair<std::string, std::string> le{
+          "le", Num(hist.log_histogram().BucketUpperBound(b))};
+      AppendLine(&out, full, "_bucket", std::to_string(cumulative), &le);
+    }
+    const std::pair<std::string, std::string> le_inf{"le", "+Inf"};
+    AppendLine(&out, full, "_bucket",
+               std::to_string(static_cast<int64_t>(hist.count())), &le_inf);
+    AppendLine(&out, full, "_sum", Num(hist.sum()));
     AppendLine(&out, full, "_count",
                std::to_string(static_cast<int64_t>(hist.count())));
     AppendLine(&out, full, "_mean", Num(hist.mean()));

@@ -23,8 +23,11 @@ std::string ToJsonl(const EventTracer& tracer);
 std::string ToCsvTimeSeries(const MetricsRegistry& registry);
 
 /// Prometheus text exposition. Metric names are sanitized ('/', '.', '-' →
-/// '_'); labels render as {k="v"}. Histograms expose _count, _mean, _p50,
-/// _p95, _p99, and _max series.
+/// '_'); labels render as {k="v"} with backslash/quote/newline escaping.
+/// Non-finite gauge values are rejected (the line is skipped). Histograms
+/// expose cumulative _bucket{le=...} series over the LogHistogram geometry
+/// (empty buckets elided, closed by le="+Inf"), plus _sum, _count, _mean,
+/// _p50, _p95, _p99, and _max.
 std::string ToPrometheusText(const MetricsRegistry& registry);
 
 /// Overwrites `path` with `content`; returns false (and logs) on failure.

@@ -56,6 +56,7 @@ class Histogram {
   void Record(double v) { hist_.Record(v); }
   uint64_t count() const { return hist_.count(); }
   double mean() const { return hist_.mean(); }
+  double sum() const { return hist_.sum(); }
   double max_recorded() const { return hist_.max_recorded(); }
   double Quantile(double q) const { return hist_.Quantile(q); }
   /// Batched quantiles (ascending `qs`); one cumulative pass.

@@ -57,6 +57,25 @@ void ResilienceLayer::AttachObs(Obs* obs) {
   served_shed_ = reg.GetCounter("resilience/served", {{"rung", "shed"}});
 }
 
+ResilienceLayer::BreakerStateCounts ResilienceLayer::CountBreakerStates(
+    SimTime now) const {
+  BreakerStateCounts counts;
+  for (const auto& [id, breaker] : breakers_) {
+    switch (breaker.state(now)) {
+      case BreakerState::kClosed:
+        ++counts.closed;
+        break;
+      case BreakerState::kOpen:
+        ++counts.open;
+        break;
+      case BreakerState::kHalfOpen:
+        ++counts.half_open;
+        break;
+    }
+  }
+  return counts;
+}
+
 CircuitBreaker& ResilienceLayer::BreakerFor(uint64_t node_id) {
   auto it = breakers_.find(node_id);
   if (it == breakers_.end()) {

@@ -74,6 +74,14 @@ class ResilienceLayer {
   const AdmissionController& admission() const { return admission_; }
   const RetryPolicy& retry() const { return retry_; }
 
+  /// Breaker population by state as of `now` (for stats surfaces).
+  struct BreakerStateCounts {
+    int closed = 0;
+    int open = 0;
+    int half_open = 0;
+  };
+  BreakerStateCounts CountBreakerStates(SimTime now) const;
+
   /// The node's breaker, created closed on first use.
   CircuitBreaker& BreakerFor(uint64_t node_id);
   /// Whether the node may be sent a request at `now` (true for unknown

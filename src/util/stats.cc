@@ -100,6 +100,13 @@ void LogHistogram::RecordN(double value, uint64_t n) {
   max_ = std::max(max_, value);
 }
 
+double LogHistogram::BucketUpperBound(size_t b) const {
+  if (b == 0) {
+    return min_value_;
+  }
+  return min_value_ * std::exp(static_cast<double>(b) * log_growth_);
+}
+
 double LogHistogram::growth() const { return std::exp(log_growth_); }
 
 double LogHistogram::QuantileErrorFactor() const {

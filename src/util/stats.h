@@ -68,6 +68,7 @@ class LogHistogram {
 
   uint64_t count() const { return count_; }
   double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double sum() const { return sum_; }
   double max_recorded() const { return max_; }
 
   double min_value() const { return min_value_; }
@@ -77,6 +78,9 @@ class LogHistogram {
   double QuantileErrorFactor() const;
   /// Raw bucket counts (bucket 0 = values <= min_value).
   const std::vector<uint64_t>& buckets() const { return buckets_; }
+  /// Inclusive upper bound of bucket `b` (bucket 0's is min_value; bucket b's
+  /// is min_value * growth^b) — the `le` edge for cumulative exports.
+  double BucketUpperBound(size_t b) const;
 
   /// Percentile estimate; q in [0, 1]. Returns 0 on an empty histogram.
   double Quantile(double q) const;

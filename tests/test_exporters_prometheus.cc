@@ -1,0 +1,161 @@
+// Prometheus text-exposition edge cases (ISSUE 7 satellite): label
+// escaping, non-finite gauge rejection, and histogram bucket cumulativity —
+// the properties a scraper relies on that a happy-path snapshot test never
+// exercises.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/exporters.h"
+#include "src/obs/metrics_registry.h"
+
+namespace spotcache {
+namespace {
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    out.push_back(line);
+  }
+  return out;
+}
+
+std::vector<std::string> LinesWithPrefix(const std::string& text,
+                                         const std::string& prefix) {
+  std::vector<std::string> out;
+  for (const std::string& line : Lines(text)) {
+    if (line.rfind(prefix, 0) == 0) {
+      out.push_back(line);
+    }
+  }
+  return out;
+}
+
+TEST(PrometheusExposition, EscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("esc/c", {{"k", "a\"b\\c\nd"}})->Increment();
+  const std::string text = ToPrometheusText(registry);
+  // Backslash, quote, and newline must all be escaped per the text format.
+  EXPECT_NE(text.find("esc_c{k=\"a\\\"b\\\\c\\nd\"} 1"), std::string::npos)
+      << text;
+  // The physical line must not be split by the label's newline.
+  for (const std::string& line : Lines(text)) {
+    if (line.rfind("esc_c", 0) == 0) {
+      EXPECT_NE(line.find("\\n"), std::string::npos);
+    }
+  }
+}
+
+TEST(PrometheusExposition, SanitizesMetricNames) {
+  MetricsRegistry registry;
+  registry.GetCounter("net/loop.wait-total")->Increment();
+  const std::string text = ToPrometheusText(registry);
+  EXPECT_NE(text.find("net_loop_wait_total 1"), std::string::npos) << text;
+}
+
+TEST(PrometheusExposition, RejectsNonFiniteGauges) {
+  MetricsRegistry registry;
+  registry.GetGauge("g/nan")->Set(std::nan(""));
+  registry.GetGauge("g/inf")->Set(std::numeric_limits<double>::infinity());
+  registry.GetGauge("g/neg_inf")
+      ->Set(-std::numeric_limits<double>::infinity());
+  registry.GetGauge("g/ok")->Set(3.5);
+  const std::string text = ToPrometheusText(registry);
+  EXPECT_EQ(text.find("g_nan"), std::string::npos) << text;
+  EXPECT_EQ(text.find("g_inf"), std::string::npos) << text;
+  EXPECT_EQ(text.find("g_neg_inf"), std::string::npos) << text;
+  EXPECT_NE(text.find("g_ok 3.5"), std::string::npos) << text;
+}
+
+TEST(PrometheusExposition, HistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat/s");
+  // Spread across several buckets, with gaps (empty buckets must be elided
+  // without breaking cumulativity).
+  for (int i = 0; i < 100; ++i) {
+    h->Record(1e-5);
+  }
+  for (int i = 0; i < 10; ++i) {
+    h->Record(1e-3);
+  }
+  h->Record(0.5);
+
+  const std::string text = ToPrometheusText(registry);
+  const auto bucket_lines = LinesWithPrefix(text, "lat_s_bucket");
+  ASSERT_GE(bucket_lines.size(), 3u) << text;
+
+  // Counts must be non-decreasing, and every `le` edge non-decreasing too.
+  uint64_t prev_count = 0;
+  double prev_le = -1.0;
+  bool saw_inf = false;
+  for (const std::string& line : bucket_lines) {
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos);
+    const uint64_t count = std::strtoull(line.c_str() + space + 1, nullptr, 10);
+    EXPECT_GE(count, prev_count) << line;
+    prev_count = count;
+
+    const size_t le_pos = line.find("le=\"");
+    ASSERT_NE(le_pos, std::string::npos);
+    const std::string le_val =
+        line.substr(le_pos + 4, line.find('"', le_pos + 4) - le_pos - 4);
+    if (le_val == "+Inf") {
+      saw_inf = true;
+      EXPECT_EQ(&line, &bucket_lines.back()) << "+Inf must close the series";
+    } else {
+      const double le = std::atof(le_val.c_str());
+      EXPECT_GT(le, prev_le) << line;
+      prev_le = le;
+    }
+  }
+  EXPECT_TRUE(saw_inf);
+  // The +Inf bucket equals _count.
+  EXPECT_EQ(prev_count, h->count());
+  const auto count_lines = LinesWithPrefix(text, "lat_s_count");
+  ASSERT_EQ(count_lines.size(), 1u);
+  EXPECT_NE(count_lines[0].find(" 111"), std::string::npos);
+
+  // _sum matches the recorded total.
+  const auto sum_lines = LinesWithPrefix(text, "lat_s_sum");
+  ASSERT_EQ(sum_lines.size(), 1u);
+  const double sum = std::atof(
+      sum_lines[0].c_str() + sum_lines[0].rfind(' ') + 1);
+  EXPECT_NEAR(sum, h->sum(), 1e-9);
+}
+
+TEST(PrometheusExposition, HistogramLabelsMergeWithBucketLabel) {
+  MetricsRegistry registry;
+  registry.GetHistogram("req/lat", {{"op", "get"}, {"outcome", "hit"}})
+      ->Record(1e-4);
+  const std::string text = ToPrometheusText(registry);
+  // The le label must coexist with the metric's own labels on bucket lines.
+  bool found = false;
+  for (const std::string& line : LinesWithPrefix(text, "req_lat_bucket")) {
+    if (line.find("op=\"get\"") != std::string::npos &&
+        line.find("outcome=\"hit\"") != std::string::npos &&
+        line.find("le=\"") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << text;
+}
+
+TEST(PrometheusExposition, EmptyHistogramStillCloses) {
+  MetricsRegistry registry;
+  registry.GetHistogram("empty/h");
+  const std::string text = ToPrometheusText(registry);
+  EXPECT_NE(text.find("empty_h_bucket{le=\"+Inf\"} 0"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("empty_h_count 0"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace spotcache
