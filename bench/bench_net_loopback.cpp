@@ -2,7 +2,9 @@
 // connection).
 //
 //   bench_net_loopback [seconds_per_phase] [--json] [--instrumented]
+//   bench_net_loopback --threads=N [seconds_per_phase] [--json]
 //   bench_net_loopback --compare [seconds_per_phase] [--json]
+//   bench_net_loopback --mt-sweep [seconds_per_phase] [--json]
 //
 // Starts an in-process NetServer on an ephemeral loopback port and drives it
 // from one NetClient connection in two modes:
@@ -33,7 +35,18 @@
 //      design actually controls.
 //
 // Exit 1 when the gated overhead exceeds 2%.
+//
+// Multi-core scaling (ISSUE 8): `--threads=N` serves through a ShardedServer
+// with N reactors and drives it from N concurrent pipelined connections,
+// printing the summed throughput. `--mt-sweep` measures 1/2/4 shards and
+// emits the `net_mt` section of BENCH_perf.json, gating scaling efficiency
+// (ops_N / (N * ops_1)) at >= 0.7 per core — but only where the machine has
+// cores for N server shards plus N client drivers (2N <= hardware
+// concurrency); on smaller runners the gate is skipped and the core count
+// recorded, so the 1-core CI box stays green while real multi-core hardware
+// is held to the bar.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -43,6 +56,7 @@
 
 #include "src/net/client.h"
 #include "src/net/server.h"
+#include "src/net/sharded_server.h"
 #include "src/obs/obs.h"
 #include "src/obs/request_telemetry.h"
 
@@ -200,6 +214,115 @@ double TelemetryCostPerRequestNs() {
   return best_ns;
 }
 
+/// One sharded-server lifetime: N reactors, N concurrent pipelined-get
+/// connections, summed ops/s (0 on failure). threads == 1 is the plain
+/// single-reactor passthrough, so it anchors the scaling baseline.
+double ShardedPipelinedGetRun(uint32_t threads, double budget_s) {
+  net::ShardedServerConfig config;
+  config.base = MakeConfig(/*instrumented=*/false);
+  config.threads = threads;
+  net::ShardedServer server(config);
+  if (!server.Start()) {
+    return 0.0;
+  }
+  std::thread loop([&server] { server.Run(); });
+
+  double total = 0.0;
+  bool ok = true;
+  {
+    net::NetClient prefill;
+    ok = prefill.Connect("127.0.0.1", server.port());
+    const std::string value(kValueBytes, 'v');
+    for (int k = 0; k < kKeys && ok; ++k) {
+      ok = prefill.Set("k" + std::to_string(k), value);
+    }
+    prefill.Close();
+  }
+  if (ok) {
+    std::vector<double> per_conn(threads, 0.0);
+    std::vector<std::thread> drivers;
+    for (uint32_t i = 0; i < threads; ++i) {
+      drivers.emplace_back([&server, &per_conn, i, budget_s] {
+        net::NetClient client;
+        if (client.Connect("127.0.0.1", server.port())) {
+          per_conn[i] = PipelinedGets(client, budget_s, kDepth);
+          client.Close();
+        }
+      });
+    }
+    for (std::thread& t : drivers) {
+      t.join();
+    }
+    for (const double ops : per_conn) {
+      if (ops <= 0.0) {
+        ok = false;
+      }
+      total += ops;
+    }
+  }
+  server.Stop();
+  loop.join();
+  return ok ? total : 0.0;
+}
+
+/// The 1/2/4-shard sweep behind BENCH_perf.json's `net_mt` section.
+int RunMtSweep(double budget_s, bool json) {
+  const unsigned hc = std::max(1u, std::thread::hardware_concurrency());
+  const std::vector<uint32_t> counts = {1, 2, 4};
+  std::vector<double> ops(counts.size(), 0.0);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    ops[i] = ShardedPipelinedGetRun(counts[i], budget_s);
+    if (ops[i] <= 0.0) {
+      std::fprintf(stderr, "mt sweep failed at %u shards\n", counts[i]);
+      return 1;
+    }
+  }
+  // Efficiency per added core, and the largest shard count the machine can
+  // actually host (N reactors + N drivers) — that's the gated point.
+  std::vector<double> eff(counts.size(), 0.0);
+  uint32_t gated_threads = 0;
+  double gated_eff = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    eff[i] = ops[i] / (static_cast<double>(counts[i]) * ops[0]);
+    if (counts[i] > 1 && 2 * counts[i] <= hc) {
+      gated_threads = counts[i];
+      gated_eff = eff[i];
+    }
+  }
+  constexpr double kMinEfficiency = 0.7;
+  const bool gated = gated_threads > 0;
+  const bool pass = !gated || gated_eff >= kMinEfficiency;
+  if (json) {
+    std::printf(
+        "{\"threads_1_ops_s\": %.0f, \"threads_2_ops_s\": %.0f, "
+        "\"threads_4_ops_s\": %.0f, \"efficiency_2\": %.3f, "
+        "\"efficiency_4\": %.3f, \"scaling_efficiency\": %.3f, "
+        "\"min_efficiency\": %.2f, \"hardware_concurrency\": %u, "
+        "\"gated_threads\": %u, \"gate_skipped\": %s, \"pass\": %s}\n",
+        ops[0], ops[1], ops[2], eff[1], eff[2], gated ? gated_eff : eff[1],
+        kMinEfficiency, hc, gated_threads, gated ? "false" : "true",
+        pass ? "true" : "false");
+  } else {
+    std::printf("multi-core sweep, depth-%d pipelined gets, %u cores:\n",
+                kDepth, hc);
+    for (size_t i = 0; i < counts.size(); ++i) {
+      std::printf("  %u shard%s: %10.0f ops/s  (efficiency %.2f)\n",
+                  counts[i], counts[i] == 1 ? " " : "s", ops[i], eff[i]);
+    }
+    if (gated) {
+      std::printf("  gate: efficiency %.2f at %u shards (>= %.2f)  -> %s\n",
+                  gated_eff, gated_threads, kMinEfficiency,
+                  pass ? "PASS" : "FAIL");
+    } else {
+      std::printf(
+          "  gate: skipped (%u cores cannot host shards + drivers; "
+          "need >= 4)\n",
+          hc);
+    }
+  }
+  return pass ? 0 : 1;
+}
+
 int RunCompare(double budget_s, bool json) {
   constexpr int kRounds = 3;
   double best_plain = 0.0;
@@ -251,6 +374,8 @@ int main(int argc, char** argv) {
   bool json = false;
   bool instrumented = false;
   bool compare = false;
+  bool mt_sweep = false;
+  uint32_t threads = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
@@ -258,12 +383,37 @@ int main(int argc, char** argv) {
       instrumented = true;
     } else if (std::strcmp(argv[i], "--compare") == 0) {
       compare = true;
+    } else if (std::strcmp(argv[i], "--mt-sweep") == 0) {
+      mt_sweep = true;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<uint32_t>(std::max(1, std::atoi(argv[i] + 10)));
     } else {
       budget_s = std::atof(argv[i]);
     }
   }
   if (compare) {
     return RunCompare(budget_s, json);
+  }
+  if (mt_sweep) {
+    return RunMtSweep(budget_s, json);
+  }
+  if (threads > 1) {
+    const double ops = ShardedPipelinedGetRun(threads, budget_s);
+    if (ops <= 0.0) {
+      std::fprintf(stderr, "sharded run failed\n");
+      return 1;
+    }
+    if (json) {
+      std::printf(
+          "{\"threads\": %u, \"pipelined_get_ops_s\": %.0f, \"depth\": %d, "
+          "\"value_bytes\": %d, \"connections\": %u}\n",
+          threads, ops, kDepth, kValueBytes, threads);
+    } else {
+      std::printf("%u shards, %u connections, depth-%d pipeline:\n", threads,
+                  threads, kDepth);
+      std::printf("  pipelined get: %10.0f ops/s (summed)\n", ops);
+    }
+    return 0;
   }
 
   Obs obs;

@@ -1,6 +1,7 @@
 // spotcache_loadgen: open-loop traffic engine + tail-latency harness.
 //
 //   spotcache_loadgen --port=N [--host=127.0.0.1] [--connections=8]
+//                     [--server-shards=N] [--no-probe-shards]
 //                     [--rate=5000] [--duration=10]
 //                     [--schedule=poisson|diurnal]
 //                     [--diurnal-period=60] [--diurnal-amplitude=0.5]
@@ -19,6 +20,14 @@
 // Latency percentiles are therefore comparable across PRs at a fixed offered
 // rate (see EXPERIMENTS.md "Load & tail latency" for the open- vs
 // closed-loop caveat).
+//
+// Against a sharded server (`spotcache_server --threads=N`), pass
+// --server-shards=N: --connections is rounded up to a multiple of N so the
+// kernel's SO_REUSEPORT hash has a fair chance of spreading the fleet across
+// reactors. Each connection is probed with one `stats spotcache` round-trip
+// before the measured window, and the JSON report gains a
+// "shard_distribution" block (connections per shard + per-connection shard).
+// --no-probe-shards skips the probe.
 //
 //   --phase=8:2:4        from t=8 s, for 2 s, offer 4x the base rate
 //   --phase=5:3:1:5000   from t=5 s, for 3 s, shift popularity ranks by 5000
@@ -51,6 +60,7 @@ namespace {
 int Usage() {
   std::printf(
       "usage: spotcache_loadgen --port=N [--host=H] [--connections=N]\n"
+      "         [--server-shards=N] [--no-probe-shards]\n"
       "         [--rate=RPS] [--duration=S] [--schedule=poisson|diurnal]\n"
       "         [--diurnal-period=S] [--diurnal-amplitude=F]\n"
       "         [--phase=START:DUR:MULT[:SHIFT]]... [--keys=N] [--theta=F]\n"
@@ -91,6 +101,7 @@ int main(int argc, char** argv) {
   std::string write_keyfile;
   size_t keyfile_count = 1'000'000;
   bool dry_run = false;
+  int server_shards = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -101,6 +112,10 @@ int main(int argc, char** argv) {
       config.port = static_cast<uint16_t>(std::atoi(arg.c_str() + 7));
     } else if (arg.rfind("--connections=", 0) == 0) {
       config.connections = std::atoi(arg.c_str() + 14);
+    } else if (arg.rfind("--server-shards=", 0) == 0) {
+      server_shards = std::atoi(arg.c_str() + 16);
+    } else if (arg == "--no-probe-shards") {
+      config.probe_shards = false;
     } else if (arg.rfind("--rate=", 0) == 0) {
       config.stream.schedule.base_rate_rps = std::atof(arg.c_str() + 7);
     } else if (arg.rfind("--duration=", 0) == 0) {
@@ -156,6 +171,18 @@ int main(int argc, char** argv) {
     } else {
       std::printf("unknown flag '%s'\n\n", arg.c_str());
       return Usage();
+    }
+  }
+
+  if (server_shards > 1) {
+    // Keep the fleet a multiple of the server's shard count so an even
+    // SO_REUSEPORT spread gives every reactor the same offered load.
+    const int rem = config.connections % server_shards;
+    if (rem != 0) {
+      const int rounded = config.connections + (server_shards - rem);
+      std::printf("rounding --connections %d -> %d (multiple of %d shards)\n",
+                  config.connections, rounded, server_shards);
+      config.connections = rounded;
     }
   }
 
@@ -216,6 +243,18 @@ int main(int argc, char** argv) {
   if (!result.ok) {
     std::fprintf(stderr, "loadgen failed: %s\n", result.error.c_str());
     return 1;
+  }
+  if (!result.shard_conn_counts.empty()) {
+    std::string dist;
+    for (size_t i = 0; i < result.shard_conn_counts.size(); ++i) {
+      if (i > 0) {
+        dist += ' ';
+      }
+      dist += std::to_string(i) + ':' +
+              std::to_string(result.shard_conn_counts[i]);
+    }
+    std::printf("server shards: %u; connections per shard: %s\n",
+                result.server_shards, dist.c_str());
   }
   std::printf(
       "offered %.0f rps, achieved %.0f rps (%.1f%%); p50 %.0f us, p99 %.0f "

@@ -1,6 +1,7 @@
 // spotcache_server: a real memcached-text-protocol server over src/net.
 //
 //   spotcache_server [--port=11211] [--host=127.0.0.1] [--capacity-mb=64]
+//                    [--threads=N] [--pin] [--force-dispatch]
 //                    [--system] [--resilience] [--trace=F] [--metrics=F]
 //                    [--metrics-port=N] [--spans=F] [--span-sample=N]
 //                    [--latency-sample=N] [--slow-us=N] [--stall-us=N]
@@ -18,7 +19,13 @@
 // Flags:
 //   --port=N           listen port (0 picks an ephemeral port, printed)
 //   --host=H           bind address
-//   --capacity-mb=N    item-store LRU capacity
+//   --capacity-mb=N    item-store LRU capacity (total; split across shards)
+//   --threads=N        reactor shards (default 1 = the classic
+//                      single-threaded server, byte-identical wire behavior;
+//                      N > 1 shards the key space across N epoll loops)
+//   --pin              pin shard i to cpu (i % cores)
+//   --force-dispatch   use the accept-and-handoff fallback instead of
+//                      SO_REUSEPORT (testing / kernels without REUSEPORT)
 //   --system           route requests through the SpotCacheSystem data plane
 //                      (router + cache-node placement model)
 //   --resilience       with --system: enable the degradation ladder, so
@@ -51,6 +58,7 @@
 
 #include "src/core/system.h"
 #include "src/net/server.h"
+#include "src/net/sharded_server.h"
 #include "src/obs/exporters.h"
 #include "src/obs/obs.h"
 
@@ -59,10 +67,14 @@ using namespace spotcache;
 namespace {
 
 net::NetServer* g_server = nullptr;
+net::ShardedServer* g_sharded = nullptr;
 
 void HandleSignal(int /*sig*/) {
   if (g_server != nullptr) {
     g_server->Stop();  // eventfd write: async-signal-safe
+  }
+  if (g_sharded != nullptr) {
+    g_sharded->Stop();
   }
 }
 
@@ -70,12 +82,16 @@ void HandleDumpSignal(int /*sig*/) {
   if (g_server != nullptr) {
     g_server->RequestTelemetryDump();  // atomic flag + eventfd write
   }
+  if (g_sharded != nullptr) {
+    g_sharded->RequestTelemetryDump();
+  }
 }
 
 int Usage() {
   std::printf(
       "usage: spotcache_server [--port=11211] [--host=127.0.0.1]\n"
-      "                        [--capacity-mb=64] [--system] [--resilience]\n"
+      "                        [--capacity-mb=64] [--threads=N] [--pin]\n"
+      "                        [--force-dispatch] [--system] [--resilience]\n"
       "                        [--trace=FILE] [--metrics=FILE]\n"
       "                        [--metrics-port=N] [--spans=FILE]\n"
       "                        [--span-sample=N] [--latency-sample=N]\n"
@@ -90,6 +106,9 @@ int main(int argc, char** argv) {
   config.port = 11211;
   bool use_system = false;
   bool use_resilience = false;
+  uint32_t threads = 1;
+  bool pin_threads = false;
+  bool force_dispatch = false;
   std::string trace_path;
   std::string metrics_path;
 
@@ -102,6 +121,15 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--capacity-mb=", 0) == 0) {
       config.core.capacity_bytes =
           static_cast<size_t>(std::atoll(arg.c_str() + 14)) * 1024 * 1024;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<uint32_t>(std::atoi(arg.c_str() + 10));
+      if (threads == 0) {
+        threads = 1;
+      }
+    } else if (arg == "--pin") {
+      pin_threads = true;
+    } else if (arg == "--force-dispatch") {
+      force_dispatch = true;
     } else if (arg == "--system") {
       use_system = true;
     } else if (arg == "--resilience") {
@@ -150,6 +178,88 @@ int main(int argc, char** argv) {
     // One control slot provisions the data plane so Route() has nodes.
     system->AdvanceSlot(/*observed_lambda=*/100e3,
                         /*observed_working_set_gb=*/10.0);
+  }
+
+  if (threads > 1) {
+    // Multi-core serving: N reactor shards behind one port. The flags and
+    // readiness lines are identical to the single-threaded server; only the
+    // execution engine changes.
+    net::ShardedServerConfig scfg;
+    scfg.base = config;
+    scfg.threads = threads;
+    scfg.pin_threads = pin_threads;
+    scfg.force_dispatch = force_dispatch;
+    net::ShardedServer server(scfg, system.get(), &obs);
+    if (!server.Start()) {
+      std::fprintf(stderr, "spotcache_server: failed to bind %s:%u\n",
+                   config.bind_host.c_str(), config.port);
+      return 1;
+    }
+    g_sharded = &server;
+    std::signal(SIGINT, HandleSignal);
+    std::signal(SIGTERM, HandleSignal);
+    std::signal(SIGUSR1, HandleDumpSignal);
+    std::signal(SIGHUP, HandleDumpSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::printf("listening %u\n", server.port());
+    if (config.metrics_port >= 0) {
+      std::printf("metrics listening %u\n", server.metrics_port());
+    }
+    std::printf(
+        "spotcache_server listening on %s:%u (capacity %zu MB, %u shards "
+        "via %s%s%s)\n",
+        config.bind_host.c_str(), server.port(),
+        config.core.capacity_bytes / (1024 * 1024), server.shard_count(),
+        server.using_reuseport() ? "SO_REUSEPORT" : "dispatch",
+        use_system ? ", system" : "", use_resilience ? "+resilience" : "");
+    std::fflush(stdout);
+
+    const bool ok = server.Run();
+    g_sharded = nullptr;
+
+    if (!trace_path.empty()) {
+      // Conn/request events land in the per-shard tracers (each ring is
+      // private to its reactor thread); the system tracer holds only
+      // control-plane events. Concatenate them all into one JSONL stream.
+      std::string trace = ToJsonl(obs.tracer);
+      for (uint32_t i = 0; i < server.shard_count(); ++i) {
+        trace += ToJsonl(server.shard_obs(i).tracer);
+      }
+      if (WriteStringToFile(trace_path, trace)) {
+        std::printf("trace written to %s\n", trace_path.c_str());
+      }
+    }
+    if (!metrics_path.empty() &&
+        WriteStringToFile(metrics_path, server.hub().RenderPrometheus())) {
+      std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
+    }
+    if (!config.span_dump_path.empty()) {
+      std::string spans;
+      size_t span_count = 0;
+      for (uint32_t i = 0; i < server.shard_count(); ++i) {
+        if (RequestTelemetry* t = server.shard(i).telemetry()) {
+          spans += t->RenderFlightRecorderJsonl();
+          span_count += t->ring_size();
+        }
+      }
+      if (WriteStringToFile(config.span_dump_path, spans)) {
+        std::printf("flight recorder (%zu spans) written to %s\n", span_count,
+                    config.span_dump_path.c_str());
+      }
+    }
+
+    const net::CoreSnapshot total = server.TotalSnapshot();
+    std::printf(
+        "served: %llu gets (%llu hits, %llu misses), %llu sets, "
+        "%llu sheds, %llu protocol errors\n",
+        static_cast<unsigned long long>(total.cmd_get),
+        static_cast<unsigned long long>(total.get_hits),
+        static_cast<unsigned long long>(total.get_misses),
+        static_cast<unsigned long long>(total.cmd_set),
+        static_cast<unsigned long long>(total.sheds),
+        static_cast<unsigned long long>(total.protocol_errors));
+    return ok ? 0 : 1;
   }
 
   net::NetServer server(config, system.get(), &obs);

@@ -12,7 +12,9 @@
 #include <algorithm>
 #include <charconv>
 #include <chrono>
+#include <cstdlib>
 #include <deque>
+#include <string_view>
 
 #include "src/net/client.h"
 #include "src/net/reply_reader.h"
@@ -145,6 +147,71 @@ std::vector<double> SegmentDurations(const ScheduleConfig& sc) {
   return durations;
 }
 
+/// One `stats spotcache` round-trip on an already-connected nonblocking fd:
+/// returns the shard id the server reports for this connection (0 when the
+/// server emits no shard line, -1 on timeout/error) and updates
+/// `server_shards` when the reply carries a shard count.
+int ProbeShard(int fd, int timeout_ms, uint32_t* server_shards) {
+  const std::string_view req = "stats spotcache\r\n";
+  size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t n =
+        ::send(fd, req.data() + sent, req.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd p{fd, POLLOUT, 0};
+      if (::poll(&p, 1, timeout_ms) != 1) {
+        return -1;
+      }
+      continue;
+    }
+    return -1;
+  }
+  std::string in;
+  char buf[8192];
+  while (in.find("END\r\n") == std::string::npos) {
+    pollfd p{fd, POLLIN, 0};
+    if (::poll(&p, 1, timeout_ms) != 1) {
+      return -1;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                    errno == EWOULDBLOCK)) {
+        continue;
+      }
+      return -1;
+    }
+    in.append(buf, static_cast<size_t>(n));
+    if (in.size() > 256 * 1024) {
+      return -1;
+    }
+  }
+  const auto stat_value = [&in](std::string_view name) -> long {
+    std::string needle = "STAT ";
+    needle += name;
+    needle += ' ';
+    const size_t pos = in.find(needle);
+    if (pos == std::string::npos) {
+      return -1;
+    }
+    return std::atol(in.c_str() + pos + needle.size());
+  };
+  const long count = stat_value("spotcache_shard_count");
+  if (count > 0) {
+    *server_shards = std::max<uint32_t>(*server_shards,
+                                        static_cast<uint32_t>(count));
+  }
+  const long shard = stat_value("spotcache_shard");
+  return shard >= 0 ? static_cast<int>(shard) : 0;
+}
+
 /// Closed-loop pipelined prefill (unmeasured) so the open-loop gets hit.
 bool Prefill(const EngineConfig& config, const std::string& value_buf) {
   net::NetClient client;
@@ -210,6 +277,26 @@ LoadGenResult RunOpenLoop(const EngineConfig& config) {
       return result;
     }
     c.hists.assign(num_segments, MakeLatencyHistogram());
+  }
+
+  // --- Probe shard placement (unmeasured). ------------------------------
+  // One `stats spotcache` round-trip per connection tells us which reactor
+  // shard the kernel's SO_REUSEPORT hash (or the dispatcher) assigned it to,
+  // so the report can show whether offered load actually spread across
+  // shards. Runs before t0 so it never pollutes the latency window.
+  if (config.probe_shards) {
+    result.conn_shards.reserve(conns.size());
+    for (Conn& c : conns) {
+      result.conn_shards.push_back(
+          ProbeShard(c.fd, config.connect_timeout_ms, &result.server_shards));
+    }
+    result.shard_conn_counts.assign(result.server_shards, 0);
+    for (const int shard : result.conn_shards) {
+      if (shard >= 0 &&
+          static_cast<size_t>(shard) < result.shard_conn_counts.size()) {
+        ++result.shard_conn_counts[static_cast<size_t>(shard)];
+      }
+    }
   }
 
   OpGenerator gen(config.stream);

@@ -44,6 +44,12 @@ struct EngineConfig {
   double drain_timeout_s = 2.0;
   int connect_timeout_ms = 5000;
   std::string key_prefix = "lg:";
+  /// Probe each connection with one `stats spotcache` round-trip (before the
+  /// measured window) to learn which reactor shard its 4-tuple landed on.
+  /// Against a sharded server, `connections` should be a multiple of the
+  /// server's shard count so offered load spreads evenly (the CLI's
+  /// --server-shards flag rounds it up).
+  bool probe_shards = true;
 };
 
 /// Stats for one traffic segment: the baseline stream or one scripted phase.
@@ -81,6 +87,15 @@ struct LoadGenResult {
 
   /// Completions bucketed by wall-clock second of the run (JSONL traces).
   std::vector<uint64_t> per_second_completed;
+
+  /// Shard the server reported for each connection (`stats spotcache` probe;
+  /// 0 against a single-threaded server, -1 when the probe failed). Empty
+  /// when probing is disabled.
+  std::vector<int> conn_shards;
+  /// Connections per shard (index = shard id), derived from conn_shards.
+  std::vector<uint64_t> shard_conn_counts;
+  /// Shard count the server reported (1 for the single-threaded server).
+  uint32_t server_shards = 1;
 };
 
 LoadGenResult RunOpenLoop(const EngineConfig& config);

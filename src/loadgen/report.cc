@@ -75,12 +75,39 @@ std::string SegmentJson(const SegmentStats& s) {
          ToJson(s.latency) + "}";
 }
 
+/// Per-connection shard placement reported by the `stats spotcache` probe.
+/// Shows whether offered load actually spread across a sharded server's
+/// reactors (SO_REUSEPORT hashes 4-tuples, so small fleets can skew).
+std::string ShardDistributionJson(const LoadGenResult& r) {
+  std::string out =
+      Fmt("{\"server_shards\": %u, \"connections_per_shard\": [",
+          r.server_shards);
+  for (size_t i = 0; i < r.shard_conn_counts.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += Fmt("%llu", static_cast<unsigned long long>(r.shard_conn_counts[i]));
+  }
+  out += "], \"conn_shards\": [";
+  for (size_t i = 0; i < r.conn_shards.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += Fmt("%d", r.conn_shards[i]);
+  }
+  out += "]}";
+  return out;
+}
+
 }  // namespace
 
 std::string RenderRunJson(const EngineConfig& config,
                           const LoadGenResult& result) {
   std::string out = "{\n  \"meta\": " + MetaJson(config) + ",\n";
   out += "  \"totals\": " + TotalsJson(result) + ",\n";
+  if (!result.conn_shards.empty()) {
+    out += "  \"shard_distribution\": " + ShardDistributionJson(result) + ",\n";
+  }
   out += "  \"latency_us\": " + ToJson(result.latency) + ",\n";
   out += "  \"segments\": [\n";
   for (size_t i = 0; i < result.segments.size(); ++i) {

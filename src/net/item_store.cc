@@ -74,7 +74,7 @@ ItemStore::StoreResult ItemStore::Upsert(std::string_view key, uint32_t flags,
   e.item.flags = flags;
   e.item.expires_at = ResolveExptime(exptime, now);
   e.item.stored_at = now;
-  e.item.cas = next_cas_++;
+  e.item.cas = NextCas();
   bytes_used_ += need;
   index_.emplace(std::string_view(e.key), lru_.begin());
   return StoreResult::kStored;

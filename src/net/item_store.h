@@ -14,6 +14,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -60,6 +61,13 @@ class ItemStore {
   /// Marks all currently stored items dead once `now + delay_s` passes.
   void FlushAll(int64_t now, int64_t delay_s);
 
+  /// Sharded serving: draws cas values from a process-wide atomic sequence
+  /// instead of the private counter, so cas stays unique across shard
+  /// partitions (and, for a sequential client, identical to the
+  /// single-threaded server's numbering). Null (the default) keeps the
+  /// private counter — the single-threaded path touches no atomics.
+  void set_shared_cas(std::atomic<uint64_t>* seq) { shared_cas_ = seq; }
+
   size_t item_count() const { return index_.size(); }
   size_t bytes_used() const { return bytes_used_; }
   size_t capacity_bytes() const { return capacity_bytes_; }
@@ -81,9 +89,16 @@ class ItemStore {
   StoreResult Upsert(std::string_view key, uint32_t flags, int64_t exptime,
                      std::string_view data, int64_t now);
 
+  uint64_t NextCas() {
+    return shared_cas_ != nullptr
+               ? shared_cas_->fetch_add(1, std::memory_order_relaxed) + 1
+               : next_cas_++;
+  }
+
   size_t capacity_bytes_;
   size_t bytes_used_ = 0;
   uint64_t next_cas_ = 1;
+  std::atomic<uint64_t>* shared_cas_ = nullptr;
   int64_t flush_at_ = -1;  // <0: no flush pending/applied
   uint64_t evictions_ = 0;
   uint64_t expired_reaped_ = 0;

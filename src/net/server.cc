@@ -15,6 +15,7 @@
 #include <chrono>
 #include <ctime>
 #include <fstream>
+#include <thread>
 
 #include "src/obs/exporters.h"
 #include "src/util/logging.h"
@@ -111,6 +112,11 @@ int NetServer::OpenListener(uint16_t port, uint16_t* bound_port) {
   }
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+#ifdef SO_REUSEPORT
+  if (config_.reuse_port) {
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+  }
+#endif
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -131,9 +137,11 @@ int NetServer::OpenListener(uint16_t port, uint16_t* bound_port) {
 }
 
 bool NetServer::Start() {
-  listen_fd_ = OpenListener(config_.port, &port_);
-  if (listen_fd_ < 0) {
-    return false;
+  if (!config_.skip_cache_listener) {
+    listen_fd_ = OpenListener(config_.port, &port_);
+    if (listen_fd_ < 0) {
+      return false;
+    }
   }
   if (config_.metrics_port >= 0) {
     metrics_listen_fd_ =
@@ -151,9 +159,11 @@ bool NetServer::Start() {
   }
   epoll_event ev{};
   ev.events = EPOLLIN;
-  ev.data.fd = listen_fd_;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
-    return false;
+  if (listen_fd_ >= 0) {
+    ev.data.fd = listen_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+      return false;
+    }
   }
   ev.data.fd = wake_fd_;
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
@@ -178,18 +188,23 @@ bool NetServer::Run() {
     telemetry_->SetOrigin(t0_us_);
   }
   const bool instrument = loop_iterations_ != nullptr;
+  // A hub-attached shard wakes periodically to epoch-publish its registry;
+  // the plain server keeps the pure block-forever wait.
+  const int wait_ms = hub_ != nullptr ? 50 : -1;
+  bool ok = true;
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   while (running_) {
     const int64_t t_wait0 = instrument ? RequestTelemetry::NowMicros() : 0;
-    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, wait_ms);
     const int64_t t_work0 = instrument ? RequestTelemetry::NowMicros() : 0;
     if (n < 0) {
       if (errno == EINTR) {
         continue;
       }
       SPOTCACHE_LOG(kError) << "epoll_wait failed: " << strerror(errno);
-      return false;
+      ok = false;
+      break;
     }
     for (int i = 0; i < n && running_; ++i) {
       const int fd = events[i].data.fd;
@@ -226,7 +241,11 @@ bool NetServer::Run() {
         ConnWritable(conn);
       }
     }
+    if (core_.sharded()) {
+      core_.ServiceInbox();  // peers' ops, queued while we were waiting
+    }
     MaybeDumpTelemetry();
+    MaybeFlushHub(/*force=*/false);
     if (instrument) {
       const int64_t t_end = RequestTelemetry::NowMicros();
       loop_wait_hist_->Record(static_cast<double>(t_work0 - t_wait0) * 1e-6);
@@ -241,7 +260,21 @@ bool NetServer::Run() {
       }
     }
   }
-  return true;
+  if (core_.sharded()) {
+    // Shutdown drain: peers may still be blocked awaiting ops we owe them.
+    // Announce our exit, then keep servicing our inbox until every shard has
+    // left its loop — after which no op can be outstanding (each op is
+    // awaited within the batch that created it).
+    ShardExchange* ex = shard_ctx_.exchange;
+    ex->NotifyStopped();
+    while (!ex->AllStopped()) {
+      core_.ServiceInbox();
+      std::this_thread::yield();
+    }
+    core_.ServiceInbox();
+  }
+  MaybeFlushHub(/*force=*/true);
+  return ok;
 }
 
 void NetServer::Stop() {
@@ -280,6 +313,12 @@ void NetServer::MaybeDumpTelemetry() {
 }
 
 void NetServer::DumpTelemetry(const char* reason) {
+  // Shards append to one shared span file; the dump mutex keeps each dump's
+  // JSONL lines contiguous.
+  std::unique_lock<std::mutex> dump_lock;
+  if (dump_mu_ != nullptr) {
+    dump_lock = std::unique_lock<std::mutex>(*dump_mu_);
+  }
   size_t spans = 0;
   if (telemetry_ != nullptr && !config_.span_dump_path.empty()) {
     spans = telemetry_->ring_size();
@@ -291,9 +330,14 @@ void NetServer::DumpTelemetry(const char* reason) {
                            << config_.span_dump_path;
     }
   }
-  if (obs_ != nullptr && !config_.metrics_dump_path.empty()) {
-    WriteStringToFile(config_.metrics_dump_path,
-                      ToPrometheusText(obs_->registry));
+  if (!config_.metrics_dump_path.empty()) {
+    if (hub_ != nullptr) {
+      MaybeFlushHub(/*force=*/true);
+      WriteStringToFile(config_.metrics_dump_path, hub_->RenderPrometheus());
+    } else if (obs_ != nullptr) {
+      WriteStringToFile(config_.metrics_dump_path,
+                        ToPrometheusText(obs_->registry));
+    }
   }
   SPOTCACHE_LOG(kInfo) << "telemetry dump (" << reason << "): " << spans
                        << " spans";
@@ -309,6 +353,21 @@ void NetServer::AcceptReady(int listen_fd, bool metrics) {
     if (fd < 0) {
       return;  // EAGAIN or transient accept error: wait for the next event
     }
+    // Hash-dispatch accept fallback: the dispatcher shard accepts for
+    // everyone and round-robins fds to the other shards (kAdoptConn,
+    // awaited so the fd has exactly one owner at any instant).
+    if (!metrics && dispatcher_ && core_.sharded()) {
+      const uint32_t target = dispatch_rr_++ % core_.shard_count();
+      if (target != shard_ctx_.self) {
+        CrossShardOp op;
+        op.kind = CrossShardOp::Kind::kAdoptConn;
+        op.fd = fd;
+        shard_ctx_.exchange->Submit(shard_ctx_.self, target, &op);
+        shard_ctx_.exchange->Wake(target);
+        shard_ctx_.exchange->AwaitOp(shard_ctx_.self, &op);
+        continue;
+      }
+    }
     // Scrape connections have their own small cap so metrics stay reachable
     // even when the cache listener is at max_connections, and vice versa.
     const bool over_limit = metrics
@@ -322,35 +381,84 @@ void NetServer::AcceptReady(int listen_fd, bool metrics) {
       ::close(fd);
       continue;
     }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto conn = std::make_unique<Connection>();
-    conn->fd = fd;
-    conn->id = next_conn_id_++;
-    conn->is_metrics = metrics;
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = fd;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
-      ::close(fd);
-      continue;
+    RegisterConn(fd, metrics);
+  }
+}
+
+void NetServer::RegisterConn(int fd, bool metrics) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  auto conn = std::make_unique<Connection>();
+  conn->fd = fd;
+  conn->id = next_conn_id_++;
+  conn->is_metrics = metrics;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    ::close(fd);
+    return;
+  }
+  if (metrics) {
+    ++metrics_conns_;
+  } else {
+    if (conns_opened_ != nullptr) {
+      conns_opened_->Increment();
     }
-    if (metrics) {
-      ++metrics_conns_;
-    } else {
-      if (conns_opened_ != nullptr) {
-        conns_opened_->Increment();
-      }
-      Trace("conn_open", {{"conn", EventTracer::JsonNumber(
-                                       static_cast<int64_t>(conn->id))}});
+    Trace("conn_open", {{"conn", EventTracer::JsonNumber(
+                                     static_cast<int64_t>(conn->id))}});
+  }
+  conns_.emplace(fd, std::move(conn));
+  if (conns_.size() > conns_high_water_) {
+    conns_high_water_ = conns_.size();
+    if (conns_hw_gauge_ != nullptr) {
+      conns_hw_gauge_->Set(static_cast<double>(conns_high_water_));
     }
-    conns_.emplace(fd, std::move(conn));
-    if (conns_.size() > conns_high_water_) {
-      conns_high_water_ = conns_.size();
-      if (conns_hw_gauge_ != nullptr) {
-        conns_hw_gauge_->Set(static_cast<double>(conns_high_water_));
-      }
+  }
+}
+
+void NetServer::AdoptFd(int fd) {
+  if (conns_.size() - metrics_conns_ >= config_.max_connections) {
+    if (conns_rejected_ != nullptr) {
+      conns_rejected_->Increment();
     }
+    ::close(fd);
+    return;
+  }
+  RegisterConn(fd, /*metrics=*/false);
+}
+
+void NetServer::ExecuteShardOp(CrossShardOp* op) {
+  if (op->kind == CrossShardOp::Kind::kAdoptConn) {
+    AdoptFd(op->fd);
+    op->done.store(true, std::memory_order_release);
+    return;
+  }
+  core_.ExecuteCrossOp(op);
+}
+
+void NetServer::ConfigureShard(const ShardContext& ctx) {
+  shard_ctx_ = ctx;
+  core_.ConfigureShard(ctx);
+}
+
+void NetServer::MaybeFlushHub(bool force) {
+  if (hub_ == nullptr || obs_ == nullptr) {
+    return;
+  }
+  const int64_t now = LoopMicros();
+  if (!force && now - last_hub_flush_us_ < 100'000) {
+    return;
+  }
+  last_hub_flush_us_ = now;
+  hub_->Publish(hub_slot_, obs_->registry);
+  // Shard 0 also owns publishing the shared control-plane registry
+  // (resilience counters live there) into the hub's dedicated last slot.
+  if (shard_ctx_.self == 0 && shard_ctx_.system_obs != nullptr &&
+      shard_ctx_.system_mu != nullptr &&
+      hub_->slots() > shard_ctx_.count) {
+    std::lock_guard<std::mutex> lock(*shard_ctx_.system_mu);
+    hub_->Publish(hub_->slots() - 1, shard_ctx_.system_obs->registry);
   }
 }
 
@@ -423,8 +531,15 @@ void NetServer::MetricsReadable(Connection* conn) {
   if (metrics_scrapes_ != nullptr) {
     metrics_scrapes_->Increment();
   }
-  const std::string body =
-      obs_ != nullptr ? ToPrometheusText(obs_->registry) : std::string();
+  std::string body;
+  if (hub_ != nullptr) {
+    // Publish our own registry first so the scrape includes this shard's
+    // freshest epoch, then render the cross-shard aggregate.
+    MaybeFlushHub(/*force=*/true);
+    body = hub_->RenderPrometheus();
+  } else if (obs_ != nullptr) {
+    body = ToPrometheusText(obs_->registry);
+  }
   char header[160];
   const int header_len = snprintf(
       header, sizeof(header),
@@ -440,6 +555,10 @@ void NetServer::MetricsReadable(Connection* conn) {
 }
 
 void NetServer::Drain(Connection* conn) {
+  if (core_.sharded()) {
+    DrainSharded(conn);
+    return;
+  }
   const int64_t now = NowUnix();
   RequestTelemetry* t = telemetry_.get();
   if (t != nullptr) {
@@ -476,6 +595,69 @@ void NetServer::Drain(Connection* conn) {
       break;
     }
   }
+  FlushTimed(conn, t);
+}
+
+void NetServer::DrainSharded(Connection* conn) {
+  const int64_t now = NowUnix();
+  RequestTelemetry* t = telemetry_.get();
+  if (t != nullptr) {
+    t->BeginBatch(conn->id);
+  }
+  // Phase 1: parse everything buffered into owned events (the parser's
+  // string_views die on the next Next(), and scatter-ahead needs the whole
+  // batch before execution starts).
+  events_.clear();
+  bool ended_need_more = false;
+  for (;;) {
+    const ParseStatus st = conn->parser.Next();
+    if (st == ParseStatus::kNeedMore) {
+      ended_need_more = true;
+      break;
+    }
+    if (st == ParseStatus::kError) {
+      PendingEvent& ev = events_.emplace_back();
+      ev.is_error = true;
+      ev.error = conn->parser.error();
+      Trace("protocol_error",
+            {{"conn",
+              EventTracer::JsonNumber(static_cast<int64_t>(conn->id))},
+             {"kind",
+              EventTracer::JsonString(ToString(conn->parser.error()))}});
+      continue;
+    }
+    const TextRequest& req = conn->parser.request();
+    PendingEvent& ev = events_.emplace_back();
+    ev.verb = req.verb;
+    ev.keys.reserve(req.keys.size());
+    for (const std::string_view key : req.keys) {
+      ev.keys.emplace_back(key);
+    }
+    ev.flags = req.flags;
+    ev.exptime = req.exptime;
+    ev.delay_s = req.delay_s;
+    ev.stats_arg = std::string(req.stats_arg);
+    ev.data = std::string(req.data);
+    ev.noreply = req.noreply;
+    if (req.verb == Verb::kQuit) {
+      break;  // the single-threaded drain stops here too (close after quit)
+    }
+  }
+  // Phase 2: scatter/execute in request order.
+  if (!events_.empty() &&
+      !core_.ExecuteBatch(events_, now, &conn->assembler)) {
+    conn->close_after_flush = true;
+  }
+  if (t != nullptr && ended_need_more) {
+    // The trailing partial request consumes a sampler slot exactly like the
+    // single-threaded drain's abandoned BeginRequest.
+    t->BeginRequest();
+    t->OnAbandoned();
+  }
+  FlushTimed(conn, t);
+}
+
+void NetServer::FlushTimed(Connection* conn, RequestTelemetry* t) {
   // Time the flush only when spans are waiting for their write stamp —
   // unsampled batches skip both clock reads.
   if (t != nullptr && t->batch_has_spans()) {

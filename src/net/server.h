@@ -47,12 +47,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/net/protocol.h"
 #include "src/net/response.h"
 #include "src/net/server_core.h"
+#include "src/obs/metrics_hub.h"
 #include "src/obs/obs.h"
 #include "src/obs/request_telemetry.h"
 
@@ -84,6 +87,13 @@ struct NetServerConfig {
   std::string span_dump_path;
   /// Metrics snapshot dump target (Prometheus text, overwritten per dump).
   std::string metrics_dump_path;
+
+  /// Sharded serving: bind the cache listener with SO_REUSEPORT so N shard
+  /// listeners share one port (the kernel spreads connections by 4-tuple).
+  bool reuse_port = false;
+  /// Hash-dispatch fallback: this shard opens no cache listener of its own
+  /// and only serves connections the dispatcher shard hands over.
+  bool skip_cache_listener = false;
 };
 
 class NetServer {
@@ -117,9 +127,35 @@ class NetServer {
   void SetClock(std::function<int64_t()> now_unix);
 
   ServerCore& core() { return core_; }
+  const ServerCore& core() const { return core_; }
   /// The serving-path telemetry, or nullptr when disabled by config.
   RequestTelemetry* telemetry() { return telemetry_.get(); }
   size_t connection_count() const { return conns_.size(); }
+
+  // --- Sharded serving (wired by ShardedServer; see sharded_server.h). ---
+
+  /// Makes this server shard ctx.self of ctx.count. Must run before Start().
+  void ConfigureShard(const ShardContext& ctx);
+  /// Dispatcher role (hash-dispatch accept fallback): this shard accepts on
+  /// behalf of everyone and round-robins the accepted fds across shards.
+  void SetDispatcher(bool on) { dispatcher_ = on; }
+  /// Adopts an fd handed over by the dispatcher shard. Owning thread only.
+  void AdoptFd(int fd);
+  /// This shard's inbox executor (installed into the ShardExchange):
+  /// connection adoptions are handled here, everything else goes to the core.
+  void ExecuteShardOp(CrossShardOp* op);
+  /// Publishes this shard's registry into `hub` slot `slot` at epoch
+  /// boundaries; scrapes then serve the hub aggregate (never a mid-update
+  /// counter). Shard 0 additionally publishes the shared control-plane
+  /// registry (ShardContext::system_obs) into the hub's last slot.
+  void AttachMetricsHub(MetricsHub* hub, size_t slot) {
+    hub_ = hub;
+    hub_slot_ = slot;
+  }
+  /// Serializes flight-recorder dumps across shards (shared span file).
+  void SetDumpMutex(std::mutex* mu) { dump_mu_ = mu; }
+  /// The loop's eventfd (the exchange's wake target). Valid after Start().
+  int wake_fd() const { return wake_fd_; }
 
  private:
   struct Connection {
@@ -144,6 +180,18 @@ class NetServer {
   void ConnWritable(Connection* conn);
   /// Runs parse/execute over buffered bytes, then flushes.
   void Drain(Connection* conn);
+  /// Sharded drain: parses the whole buffered batch into owned PendingEvents
+  /// first (scatter-ahead needs requests that outlive the parser buffer),
+  /// then executes via ServerCore::ExecuteBatch.
+  void DrainSharded(Connection* conn);
+  /// End-of-batch flush with the span write-stamp bookkeeping.
+  void FlushTimed(Connection* conn, RequestTelemetry* t);
+  /// Registers an accepted/adopted fd as a live connection (nodelay, epoll,
+  /// counters, traces).
+  void RegisterConn(int fd, bool metrics);
+  /// Epoch-publishes this shard's registry into the hub (rate-limited unless
+  /// forced).
+  void MaybeFlushHub(bool force);
   /// writev the assembler + pending buffer; buffers any remainder.
   void Flush(Connection* conn);
   void CloseConn(Connection* conn, const char* reason);
@@ -181,6 +229,16 @@ class NetServer {
 
   std::atomic<bool> dump_requested_{false};
   int64_t last_auto_dump_us_ = -1'000'000;
+
+  // Sharded-serving state (inert in the single-threaded server).
+  ShardContext shard_ctx_;
+  bool dispatcher_ = false;
+  uint32_t dispatch_rr_ = 0;
+  MetricsHub* hub_ = nullptr;
+  size_t hub_slot_ = 0;
+  std::mutex* dump_mu_ = nullptr;
+  int64_t last_hub_flush_us_ = -1'000'000;
+  std::vector<PendingEvent> events_;  // sharded-drain scratch (reused)
 
   // High-water marks mirrored into gauges (kept locally so the hot path
   // compares against a plain size_t, not a double).

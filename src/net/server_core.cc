@@ -44,9 +44,20 @@ ServerCore::ServerCore(const ServerCoreConfig& config, SpotCacheSystem* system,
   }
 }
 
+void ServerCore::ConfigureShard(const ShardContext& ctx) {
+  shard_ = ctx;
+  if (sharded()) {
+    store_.set_shared_cas(shard_.exchange->shared_cas());
+  }
+}
+
 ServedBy ServerCore::GateGet(std::string_view key) {
   if (system_ == nullptr) {
     return ServedBy::kCacheNode;
+  }
+  if (shard_.system_mu != nullptr) {
+    std::lock_guard<std::mutex> lock(*shard_.system_mu);
+    return system_->Get(HashString(key)).served_by;
   }
   const CacheResponse r = system_->Get(HashString(key));
   return r.served_by;
@@ -54,6 +65,11 @@ ServedBy ServerCore::GateGet(std::string_view key) {
 
 void ServerCore::GatePut(std::string_view key, size_t bytes) {
   if (system_ == nullptr) {
+    return;
+  }
+  if (shard_.system_mu != nullptr) {
+    std::lock_guard<std::mutex> lock(*shard_.system_mu);
+    system_->Put(HashString(key), static_cast<uint32_t>(bytes));
     return;
   }
   system_->Put(HashString(key), static_cast<uint32_t>(bytes));
@@ -66,7 +82,8 @@ ServerCore::Outcome ServerCore::HandleRetrieve(const TextRequest& req,
   const bool time_route =
       system_ != nullptr && telemetry_ != nullptr && telemetry_->span_active();
   Outcome result{RequestOutcome::kHit, 0};
-  for (std::string_view key : req.keys) {
+  for (size_t ki = 0; ki < req.keys.size(); ++ki) {
+    const std::string_view key = req.keys[ki];
     ++cmd_get_;
     ServedBy served;
     if (time_route) {
@@ -79,6 +96,8 @@ ServerCore::Outcome ServerCore::HandleRetrieve(const TextRequest& req,
     if (served == ServedBy::kDropped) {
       // The ladder shed this key: fail the whole retrieval loudly rather
       // than silently reporting a miss — clients must see backpressure.
+      // (Sharded mode: any ops already scattered for the remaining keys are
+      // awaited at batch end; their results are discarded.)
       ++sheds_;
       if (obs_sheds_ != nullptr) {
         obs_sheds_->Increment();
@@ -89,6 +108,37 @@ ServerCore::Outcome ServerCore::HandleRetrieve(const TextRequest& req,
     }
     if (served == ServedBy::kBackup) {
       result.outcome = RequestOutcome::kBackup;
+    }
+    if (CrossShardOp* rop = RemoteOp(ki); rop != nullptr) {
+      // Remote-owned key: the fetch was scattered when the batch was parsed;
+      // gather here so VALUE blocks come back in request order.
+      AwaitOp(rop);
+      if (!rop->found) {
+        ++get_misses_;
+        if (obs_get_misses_ != nullptr) {
+          obs_get_misses_->Increment();
+        }
+        if (result.outcome == RequestOutcome::kHit) {
+          result.outcome = RequestOutcome::kMiss;
+        }
+        continue;
+      }
+      ++get_hits_;
+      if (obs_get_hits_ != nullptr) {
+        obs_get_hits_->Increment();
+      }
+      result.value_bytes += static_cast<uint32_t>(rop->rdata->size());
+      if (with_cas) {
+        out->Appendf("VALUE %.*s %u %zu %" PRIu64 "\r\n",
+                     static_cast<int>(key.size()), key.data(), rop->rflags,
+                     rop->rdata->size(), rop->rcas);
+      } else {
+        out->Appendf("VALUE %.*s %u %zu\r\n", static_cast<int>(key.size()),
+                     key.data(), rop->rflags, rop->rdata->size());
+      }
+      out->AppendPinned(*rop->rdata, rop->rdata);
+      out->Append("\r\n");
+      continue;
     }
     const Item* item = store_.Get(key, now);
     if (item == nullptr) {
@@ -129,21 +179,27 @@ ServerCore::Outcome ServerCore::HandleStorage(const TextRequest& req,
     obs_sets_->Increment();
   }
   const std::string_view key = req.keys[0];
-  ItemStore::StoreResult result = ItemStore::StoreResult::kNotStored;
-  switch (req.verb) {
-    case Verb::kSet:
-      result = store_.Set(key, req.flags, req.exptime, req.data, now);
-      break;
-    case Verb::kAdd:
-      result = store_.Add(key, req.flags, req.exptime, req.data, now);
-      break;
-    case Verb::kReplace:
-      result = store_.Replace(key, req.flags, req.exptime, req.data, now);
-      break;
-    default:
-      break;
+  bool stored = false;
+  if (CrossShardOp* rop = RemoteOp(0); rop != nullptr) {
+    AwaitOp(rop);
+    stored = rop->stored;
+  } else {
+    ItemStore::StoreResult result = ItemStore::StoreResult::kNotStored;
+    switch (req.verb) {
+      case Verb::kSet:
+        result = store_.Set(key, req.flags, req.exptime, req.data, now);
+        break;
+      case Verb::kAdd:
+        result = store_.Add(key, req.flags, req.exptime, req.data, now);
+        break;
+      case Verb::kReplace:
+        result = store_.Replace(key, req.flags, req.exptime, req.data, now);
+        break;
+      default:
+        break;
+    }
+    stored = result == ItemStore::StoreResult::kStored;
   }
-  const bool stored = result == ItemStore::StoreResult::kStored;
   if (stored) {
     if (telemetry_ != nullptr && telemetry_->span_active() &&
         system_ != nullptr) {
@@ -162,6 +218,12 @@ ServerCore::Outcome ServerCore::HandleStorage(const TextRequest& req,
 }
 
 void ServerCore::AppendResilienceStats(ResponseAssembler* out) {
+  // Sharded mode: the system (and its obs bundle, where resilience counters
+  // live) is shared across shards — serialize the reads.
+  std::unique_lock<std::mutex> sys_lock;
+  if (shard_.system_mu != nullptr) {
+    sys_lock = std::unique_lock<std::mutex>(*shard_.system_mu);
+  }
   const ResilienceLayer* layer =
       system_ != nullptr ? system_->resilience() : nullptr;
   if (layer != nullptr) {
@@ -172,10 +234,10 @@ void ServerCore::AppendResilienceStats(ResponseAssembler* out) {
     out->Appendf("STAT spotcache_breaker_trips %" PRId64 "\r\n",
                  layer->breaker_trips());
   }
-  if (obs_ != nullptr) {
-    const auto rung = [this](const char* r) {
-      return this->obs_->registry.CounterValue("resilience/served",
-                                               {{"rung", r}});
+  const Obs* robs = shard_.system_obs != nullptr ? shard_.system_obs : obs_;
+  if (robs != nullptr) {
+    const auto rung = [robs](const char* r) {
+      return robs->registry.CounterValue("resilience/served", {{"rung", r}});
     };
     out->Appendf("STAT spotcache_served_primary %" PRId64 "\r\n",
                  rung("primary"));
@@ -194,6 +256,13 @@ void ServerCore::AppendResilienceStats(ResponseAssembler* out) {
 
 void ServerCore::AppendSpotcacheStats(ResponseAssembler* out) {
   out->Appendf("STAT spotcache_version %s\r\n", config_.version.c_str());
+  if (sharded()) {
+    // Which reactor owns this connection (loadgen uses this to report its
+    // per-connection shard distribution), plus the shard fan-out. Telemetry
+    // lines below stay per-shard: they describe this reactor's loop.
+    out->Appendf("STAT spotcache_shard %u\r\n", shard_.self);
+    out->Appendf("STAT spotcache_shard_count %u\r\n", shard_.count);
+  }
   AppendResilienceStats(out);
   if (telemetry_ != nullptr) {
     const RequestTelemetryConfig& tc = telemetry_->config();
@@ -268,26 +337,33 @@ void ServerCore::AppendSpotcacheStats(ResponseAssembler* out) {
 }
 
 void ServerCore::AppendDefaultStats(int64_t now, ResponseAssembler* out) {
+  // Sharded mode aggregates every shard's snapshot (stats is an ordering
+  // barrier, so no scattered-ahead op of this batch can race the gather);
+  // single-shard mode reads the same fields directly.
+  CoreSnapshot t = Snapshot();
+  if (sharded()) {
+    GatherPeerSnapshots(&t);
+  }
   const auto stat_u = [out](const char* name, uint64_t v) {
     out->Appendf("STAT %s %" PRIu64 "\r\n", name, v);
   };
   out->Appendf("STAT version %s\r\n", config_.version.c_str());
   stat_u("uptime",
-         start_time_ >= 0 ? static_cast<uint64_t>(now - start_time_) : 0);
-  stat_u("curr_items", store_.item_count());
-  stat_u("bytes", store_.bytes_used());
-  stat_u("limit_maxbytes", store_.capacity_bytes());
-  stat_u("cmd_get", cmd_get_);
-  stat_u("cmd_set", cmd_set_);
-  stat_u("cmd_touch", cmd_touch_);
-  stat_u("cmd_delete", cmd_delete_);
-  stat_u("cmd_flush", cmd_flush_);
-  stat_u("get_hits", get_hits_);
-  stat_u("get_misses", get_misses_);
-  stat_u("evictions", store_.evictions());
-  stat_u("expired_unfetched", store_.expired_reaped());
-  stat_u("sheds", sheds_);
-  stat_u("protocol_errors", protocol_errors_);
+         t.start_time >= 0 ? static_cast<uint64_t>(now - t.start_time) : 0);
+  stat_u("curr_items", t.curr_items);
+  stat_u("bytes", t.bytes_used);
+  stat_u("limit_maxbytes", t.capacity_bytes);
+  stat_u("cmd_get", t.cmd_get);
+  stat_u("cmd_set", t.cmd_set);
+  stat_u("cmd_touch", t.cmd_touch);
+  stat_u("cmd_delete", t.cmd_delete);
+  stat_u("cmd_flush", t.cmd_flush);
+  stat_u("get_hits", t.get_hits);
+  stat_u("get_misses", t.get_misses);
+  stat_u("evictions", t.evictions);
+  stat_u("expired_unfetched", t.expired_reaped);
+  stat_u("sheds", t.sheds);
+  stat_u("protocol_errors", t.protocol_errors);
   if (system_ != nullptr) {
     AppendResilienceStats(out);
   }
@@ -331,7 +407,13 @@ bool ServerCore::Handle(const TextRequest& req, int64_t now,
 
     case Verb::kDelete: {
       ++cmd_delete_;
-      const bool deleted = store_.Delete(req.keys[0], now);
+      bool deleted;
+      if (CrossShardOp* rop = RemoteOp(0); rop != nullptr) {
+        AwaitOp(rop);
+        deleted = rop->found;
+      } else {
+        deleted = store_.Delete(req.keys[0], now);
+      }
       if (!req.noreply) {
         out->Append(deleted ? "DELETED\r\n" : "NOT_FOUND\r\n");
       }
@@ -342,7 +424,13 @@ bool ServerCore::Handle(const TextRequest& req, int64_t now,
 
     case Verb::kTouch: {
       ++cmd_touch_;
-      const bool touched = store_.Touch(req.keys[0], req.exptime, now);
+      bool touched;
+      if (CrossShardOp* rop = RemoteOp(0); rop != nullptr) {
+        AwaitOp(rop);
+        touched = rop->found;
+      } else {
+        touched = store_.Touch(req.keys[0], req.exptime, now);
+      }
       if (!req.noreply) {
         out->Append(touched ? "TOUCHED\r\n" : "NOT_FOUND\r\n");
       }
@@ -362,6 +450,13 @@ bool ServerCore::Handle(const TextRequest& req, int64_t now,
     case Verb::kFlushAll:
       ++cmd_flush_;
       store_.FlushAll(now, req.delay_s);
+      if (sharded()) {
+        // Ordering barrier: every scattered op before this point has been
+        // awaited (scatter windows stop at flush_all), and nothing after it
+        // is scattered until the broadcast round-trips, so "stores before
+        // the flush die, stores after survive" holds across shards.
+        BroadcastFlush(now, req.delay_s);
+      }
       if (!req.noreply) {
         out->Append("OK\r\n");
       }
@@ -384,5 +479,287 @@ void ServerCore::HandleParseError(ParseErrorKind kind, ResponseAssembler* out) {
   }
   out->Append(ErrorReply(kind));
 }
+
+// --- Sharded-batch execution. ---------------------------------------------
+
+CoreSnapshot ServerCore::Snapshot() const {
+  CoreSnapshot s;
+  s.curr_items = store_.item_count();
+  s.bytes_used = store_.bytes_used();
+  s.capacity_bytes = store_.capacity_bytes();
+  s.evictions = store_.evictions();
+  s.expired_reaped = store_.expired_reaped();
+  s.cmd_get = cmd_get_;
+  s.cmd_set = cmd_set_;
+  s.cmd_touch = cmd_touch_;
+  s.cmd_delete = cmd_delete_;
+  s.cmd_flush = cmd_flush_;
+  s.get_hits = get_hits_;
+  s.get_misses = get_misses_;
+  s.sheds = sheds_;
+  s.protocol_errors = protocol_errors_;
+  s.start_time = start_time_;
+  return s;
+}
+
+void ServerCore::ExecuteCrossOp(CrossShardOp* op) {
+  using Kind = CrossShardOp::Kind;
+  switch (op->kind) {
+    case Kind::kGet: {
+      const Item* item = store_.Get(op->key, op->now);
+      if (item != nullptr) {
+        op->found = true;
+        op->rflags = item->flags;
+        op->rcas = item->cas;
+        op->rdata = item->data;
+      } else {
+        op->found = false;
+      }
+      break;
+    }
+    case Kind::kSet:
+      op->stored = store_.Set(op->key, op->flags, op->exptime, op->data,
+                              op->now) == ItemStore::StoreResult::kStored;
+      break;
+    case Kind::kAdd:
+      op->stored = store_.Add(op->key, op->flags, op->exptime, op->data,
+                              op->now) == ItemStore::StoreResult::kStored;
+      break;
+    case Kind::kReplace:
+      op->stored = store_.Replace(op->key, op->flags, op->exptime, op->data,
+                                  op->now) == ItemStore::StoreResult::kStored;
+      break;
+    case Kind::kDelete:
+      op->found = store_.Delete(op->key, op->now);
+      break;
+    case Kind::kTouch:
+      op->found = store_.Touch(op->key, op->exptime, op->now);
+      break;
+    case Kind::kFlushAll:
+      store_.FlushAll(op->now, op->delay_s);
+      break;
+    case Kind::kSnapshot:
+      op->snapshot = Snapshot();
+      break;
+    case Kind::kAdoptConn:
+      break;  // connection handoff is the server's job, not the core's
+  }
+  op->done.store(true, std::memory_order_release);
+}
+
+void ServerCore::ServiceInbox() {
+  if (sharded()) {
+    shard_.exchange->ServiceInbox(shard_.self);
+  }
+}
+
+void ServerCore::ScatterEvent(const PendingEvent& ev, size_t index,
+                              uint64_t* wake_mask) {
+  std::vector<CrossShardOp*>& ops = event_ops_[index];
+  // Every op is fully populated BEFORE Submit: the ring's release/acquire
+  // on the tail index is what publishes the fields to the owner thread.
+  const auto make_op = [this](CrossShardOp::Kind kind,
+                              const std::string& key) -> CrossShardOp* {
+    CrossShardOp& op = batch_ops_.emplace_back();
+    op.kind = kind;
+    op.key = key;
+    op.now = batch_now_;
+    return &op;
+  };
+  const auto submit = [this, wake_mask](CrossShardOp* op, uint32_t owner) {
+    shard_.exchange->Submit(shard_.self, owner, op);
+    *wake_mask |= uint64_t{1} << owner;
+  };
+  switch (ev.verb) {
+    case Verb::kGet:
+    case Verb::kGets:
+      ops.assign(ev.keys.size(), nullptr);
+      for (size_t ki = 0; ki < ev.keys.size(); ++ki) {
+        const uint32_t owner = ShardOfKey(ev.keys[ki], shard_.count);
+        if (owner != shard_.self) {
+          CrossShardOp* op = make_op(CrossShardOp::Kind::kGet, ev.keys[ki]);
+          ops[ki] = op;
+          submit(op, owner);
+        }
+      }
+      break;
+    case Verb::kSet:
+    case Verb::kAdd:
+    case Verb::kReplace: {
+      ops.assign(1, nullptr);
+      const uint32_t owner = ShardOfKey(ev.keys[0], shard_.count);
+      if (owner != shard_.self) {
+        const CrossShardOp::Kind kind =
+            ev.verb == Verb::kSet     ? CrossShardOp::Kind::kSet
+            : ev.verb == Verb::kAdd   ? CrossShardOp::Kind::kAdd
+                                      : CrossShardOp::Kind::kReplace;
+        CrossShardOp* op = make_op(kind, ev.keys[0]);
+        op->flags = ev.flags;
+        op->exptime = ev.exptime;
+        op->data = ev.data;
+        ops[0] = op;
+        submit(op, owner);
+      }
+      break;
+    }
+    case Verb::kDelete:
+    case Verb::kTouch: {
+      ops.assign(1, nullptr);
+      const uint32_t owner = ShardOfKey(ev.keys[0], shard_.count);
+      if (owner != shard_.self) {
+        CrossShardOp* op =
+            make_op(ev.verb == Verb::kDelete ? CrossShardOp::Kind::kDelete
+                                             : CrossShardOp::Kind::kTouch,
+                    ev.keys[0]);
+        op->exptime = ev.exptime;
+        ops[0] = op;
+        submit(op, owner);
+      }
+      break;
+    }
+    default:
+      ops.clear();
+      break;
+  }
+}
+
+size_t ServerCore::ScatterWindow(const std::vector<PendingEvent>& events,
+                                 size_t from) {
+  const auto is_barrier = [](const PendingEvent& ev) {
+    return !ev.is_error &&
+           (ev.verb == Verb::kStats || ev.verb == Verb::kFlushAll ||
+            ev.verb == Verb::kQuit);
+  };
+  if (from < events.size() && is_barrier(events[from])) {
+    // A barrier at the window start executes before anything past it may
+    // scatter: resume scatter at the next event.
+    return from + 1;
+  }
+  uint64_t wake_mask = 0;
+  size_t i = from;
+  for (; i < events.size() && !is_barrier(events[i]); ++i) {
+    ScatterEvent(events[i], i, &wake_mask);
+  }
+  // One wake per touched shard per window, after all pushes (no lost
+  // wakeups: the op is visible in the ring before the eventfd write).
+  for (uint32_t s = 0; wake_mask != 0 && s < shard_.count; ++s) {
+    if ((wake_mask >> s) & 1) {
+      shard_.exchange->Wake(s);
+    }
+  }
+  return i;
+}
+
+bool ServerCore::ExecuteBatch(const std::vector<PendingEvent>& events,
+                              int64_t now, ResponseAssembler* out) {
+  batch_now_ = now;
+  event_ops_.resize(events.size());
+  for (auto& ops : event_ops_) {
+    ops.clear();
+  }
+  bool keep_open = true;
+  size_t scatter_from = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i >= scatter_from) {
+      scatter_from = ScatterWindow(events, i);
+    }
+    if ((i & 63) == 0) {
+      ServiceInbox();  // bound cross-shard latency inside big batches
+    }
+    const PendingEvent& ev = events[i];
+    if (telemetry_ != nullptr) {
+      telemetry_->BeginRequest();
+    }
+    if (ev.is_error) {
+      if (telemetry_ != nullptr) {
+        telemetry_->OnParsed(TelemetryOp::kOther, 0);
+      }
+      HandleParseError(ev.error, out);
+      if (telemetry_ != nullptr) {
+        telemetry_->OnExecuted(RequestOutcome::kError, 0);
+      }
+      continue;
+    }
+    key_views_.assign(ev.keys.begin(), ev.keys.end());
+    TextRequest req;
+    req.verb = ev.verb;
+    req.keys = std::span<const std::string_view>(key_views_);
+    req.flags = ev.flags;
+    req.exptime = ev.exptime;
+    req.delay_s = ev.delay_s;
+    req.stats_arg = ev.stats_arg;
+    req.data = ev.data;
+    req.noreply = ev.noreply;
+    current_event_ops_ = &event_ops_[i];
+    keep_open = Handle(req, now, out);
+    current_event_ops_ = nullptr;
+    if (!keep_open) {
+      break;
+    }
+  }
+  // Await every scattered op before reusing the deque: ops past a `quit`
+  // (or simply unconsumed) must not dangle into the next batch.
+  for (CrossShardOp& op : batch_ops_) {
+    AwaitOp(&op);
+  }
+  batch_ops_.clear();
+  event_ops_.clear();
+  return keep_open;
+}
+
+void ServerCore::GatherPeerSnapshots(CoreSnapshot* total) {
+  std::deque<CrossShardOp> ops;
+  for (uint32_t s = 0; s < shard_.count; ++s) {
+    if (s == shard_.self) {
+      continue;
+    }
+    CrossShardOp& op = ops.emplace_back();
+    op.kind = CrossShardOp::Kind::kSnapshot;
+    op.now = batch_now_;
+    shard_.exchange->Submit(shard_.self, s, &op);
+    shard_.exchange->Wake(s);
+  }
+  for (CrossShardOp& op : ops) {
+    AwaitOp(&op);
+    const CoreSnapshot& s = op.snapshot;
+    total->curr_items += s.curr_items;
+    total->bytes_used += s.bytes_used;
+    total->capacity_bytes += s.capacity_bytes;
+    total->evictions += s.evictions;
+    total->expired_reaped += s.expired_reaped;
+    total->cmd_get += s.cmd_get;
+    total->cmd_set += s.cmd_set;
+    total->cmd_touch += s.cmd_touch;
+    total->cmd_delete += s.cmd_delete;
+    total->cmd_flush += s.cmd_flush;
+    total->get_hits += s.get_hits;
+    total->get_misses += s.get_misses;
+    total->sheds += s.sheds;
+    total->protocol_errors += s.protocol_errors;
+    if (s.start_time >= 0 &&
+        (total->start_time < 0 || s.start_time < total->start_time)) {
+      total->start_time = s.start_time;
+    }
+  }
+}
+
+void ServerCore::BroadcastFlush(int64_t now, int64_t delay_s) {
+  std::deque<CrossShardOp> ops;
+  for (uint32_t s = 0; s < shard_.count; ++s) {
+    if (s == shard_.self) {
+      continue;
+    }
+    CrossShardOp& op = ops.emplace_back();
+    op.kind = CrossShardOp::Kind::kFlushAll;
+    op.now = now;
+    op.delay_s = delay_s;
+    shard_.exchange->Submit(shard_.self, s, &op);
+    shard_.exchange->Wake(s);
+  }
+  for (CrossShardOp& op : ops) {
+    AwaitOp(&op);
+  }
+}
+
 
 }  // namespace spotcache::net

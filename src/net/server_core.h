@@ -26,15 +26,30 @@
 // `stats spotcache` emits the full server-telemetry extension (event-loop
 // health, sampled span counts, per-(op, outcome) latency quantiles).
 
+// Sharded serving (multi-core PR): when a ShardContext is attached, the
+// core becomes one of N partitions. Keys it owns (ShardOfKey == self) run
+// the exact single-threaded path — no locks, no atomics; keys owned by
+// other shards are scattered ahead through the ShardExchange mailboxes
+// (ExecuteBatch parses a whole drain batch, submits every remote op up to
+// the next ordering barrier, then executes requests in order, awaiting each
+// remote reply at its emission point so multi-key `get` responses come back
+// in request order). `stats` and `flush_all` are barriers: they gather
+// kSnapshot/kFlushAll round-trips from every peer, so aggregate stats are
+// coherent and flush ordering matches the sequential server.
+
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "src/cache/cache_protocol.h"
 #include "src/net/item_store.h"
 #include "src/net/protocol.h"
 #include "src/net/response.h"
+#include "src/net/sharding.h"
 #include "src/obs/obs.h"
 #include "src/obs/request_telemetry.h"
 #include "src/routing/hash.h"
@@ -48,6 +63,37 @@ namespace spotcache::net {
 struct ServerCoreConfig {
   size_t capacity_bytes = 64 * 1024 * 1024;
   std::string version = "spotcache-1.6.0";
+};
+
+/// Identity + plumbing of one shard in the multi-core server. Default state
+/// (null exchange) means "not sharded" and leaves every hot path untouched.
+struct ShardContext {
+  uint32_t self = 0;
+  uint32_t count = 1;
+  ShardExchange* exchange = nullptr;
+  /// Serializes access to the shared SpotCacheSystem (the control-plane
+  /// model is not thread-safe; its gate calls are heavyweight already).
+  std::mutex* system_mu = nullptr;
+  /// The obs bundle the shared system publishes into (resilience counters
+  /// live there, not in the per-shard registries).
+  Obs* system_obs = nullptr;
+};
+
+/// One parsed-and-owned request (or parse error) from a drain batch. The
+/// sharded path deep-copies out of the parser buffer so remote operations
+/// can be scattered ahead while later requests are still being parsed.
+struct PendingEvent {
+  bool is_error = false;
+  ParseErrorKind error = ParseErrorKind::kUnknownCommand;
+
+  Verb verb = Verb::kGet;
+  std::vector<std::string> keys;
+  uint32_t flags = 0;
+  int64_t exptime = 0;
+  int64_t delay_s = 0;
+  std::string stats_arg;
+  std::string data;
+  bool noreply = false;
 };
 
 class ServerCore {
@@ -68,6 +114,34 @@ class ServerCore {
   /// Appends the reply for a parse error (always sent: memcached reports
   /// protocol errors even on noreply commands).
   void HandleParseError(ParseErrorKind kind, ResponseAssembler* out);
+
+  /// Makes this core shard `ctx.self` of `ctx.count`: wires the exchange,
+  /// the shared cas sequence, and the system serialization. Must be called
+  /// before serving starts.
+  void ConfigureShard(const ShardContext& ctx);
+  bool sharded() const {
+    return shard_.exchange != nullptr && shard_.count > 1;
+  }
+  uint32_t shard_index() const { return shard_.self; }
+  uint32_t shard_count() const { return shard_.count; }
+
+  /// Sharded drain: executes one batch of parsed events in order, scattering
+  /// remote-key operations ahead (up to the next stats/flush_all/quit
+  /// barrier) and reassembling replies in request order. Returns false when
+  /// the connection should close (quit).
+  bool ExecuteBatch(const std::vector<PendingEvent>& events, int64_t now,
+                    ResponseAssembler* out);
+
+  /// Owner-side execution of a cross-shard op against this core's store.
+  /// Runs on this core's thread only; publishes the reply via op->done.
+  void ExecuteCrossOp(CrossShardOp* op);
+
+  /// Drains this shard's mailbox (loop-top servicing).
+  void ServiceInbox();
+
+  /// This shard's aggregatable counter snapshot (thread-safe only on the
+  /// owning thread, or after the loop stopped).
+  CoreSnapshot Snapshot() const;
 
   ItemStore& store() { return store_; }
   const ItemStore& store() const { return store_; }
@@ -104,12 +178,41 @@ class ServerCore {
   ServedBy GateGet(std::string_view key);
   void GatePut(std::string_view key, size_t bytes);
 
+  // --- Sharded-batch machinery (no-ops when not sharded). ---------------
+  /// Scatters remote ops for events [from, barrier) into the batch deque,
+  /// wakes the touched shards once, and returns the index scatter should
+  /// resume at (always > from).
+  size_t ScatterWindow(const std::vector<PendingEvent>& events, size_t from);
+  void ScatterEvent(const PendingEvent& ev, size_t index, uint64_t* wake_mask);
+  /// The pre-scattered remote op for key position `ki` of the event being
+  /// executed (null = local key).
+  CrossShardOp* RemoteOp(size_t ki) const {
+    return current_event_ops_ != nullptr && ki < current_event_ops_->size()
+               ? (*current_event_ops_)[ki]
+               : nullptr;
+  }
+  void AwaitOp(CrossShardOp* op) {
+    shard_.exchange->AwaitOp(shard_.self, op);
+  }
+  /// stats barrier: kSnapshot round-trip to every peer, summed into `total`.
+  void GatherPeerSnapshots(CoreSnapshot* total);
+  /// flush_all barrier: kFlushAll round-trip to every peer.
+  void BroadcastFlush(int64_t now, int64_t delay_s);
+
   ServerCoreConfig config_;
   ItemStore store_;
   SpotCacheSystem* system_;
   Obs* obs_;
   RequestTelemetry* telemetry_ = nullptr;
+  ShardContext shard_;
   int64_t start_time_ = -1;  // first-request time, for the uptime stat
+
+  // Per-batch scratch for the sharded path (reused across batches).
+  std::deque<CrossShardOp> batch_ops_;  // stable addresses; awaited in-batch
+  std::vector<std::vector<CrossShardOp*>> event_ops_;  // per event, per key
+  const std::vector<CrossShardOp*>* current_event_ops_ = nullptr;
+  std::vector<std::string_view> key_views_;  // TextRequest reconstruction
+  int64_t batch_now_ = 0;
 
   uint64_t cmd_get_ = 0;
   uint64_t cmd_set_ = 0;

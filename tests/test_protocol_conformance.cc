@@ -28,6 +28,7 @@
 #include "src/net/response.h"
 #include "src/net/server.h"
 #include "src/net/server_core.h"
+#include "src/net/sharded_server.h"
 #include "src/obs/obs.h"
 
 namespace spotcache::net {
@@ -512,6 +513,55 @@ TEST(ProtocolConformance, ConnectionCapAndStartFailures) {
   EXPECT_EQ(obs.registry.CounterValue("net/conns_rejected"), 1);
   EXPECT_EQ(obs.registry.CounterValue("net/conns_opened"), 1);
   // `first` stays connected past Stop(): the destructor sweep reaps it.
+}
+
+// The whole wire table, byte-for-byte, through a ShardedServer. The
+// partition, the cross-shard mailboxes, the shared cas sequence, and the
+// stats/flush barriers must be invisible on the wire: expectations are the
+// exact same bytes the single-threaded server produces.
+void RunTableSharded(uint32_t threads, bool force_dispatch) {
+  std::atomic<int64_t> now{kT0};
+  ShardedServerConfig config;
+  config.base.port = 0;
+  config.base.metrics_port = -1;
+  config.threads = threads;
+  config.force_dispatch = force_dispatch;
+  ShardedServer server(config);
+  server.SetClock([&now] { return now.load(); });
+  ASSERT_TRUE(server.Start());
+  std::thread loop([&server] { server.Run(); });
+
+  {
+    NetClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+    for (const WireCase& c : ConformanceCases()) {
+      now += c.advance;
+      const auto got = client.RoundTripRaw(c.in, kVersion);
+      ASSERT_TRUE(got.has_value())
+          << "case " << c.name << " lost the connection";
+      EXPECT_EQ(*got, c.want) << "case " << c.name;
+    }
+    client.Close();
+  }
+  server.Stop();
+  loop.join();
+  EXPECT_EQ(server.TotalSnapshot().protocol_errors,
+            ExpectedProtocolErrors(ConformanceCases()));
+}
+
+TEST(ProtocolConformance, ShardedFourReactors) {
+  RunTableSharded(4, /*force_dispatch=*/false);
+}
+
+TEST(ProtocolConformance, ShardedDispatchFallback) {
+  RunTableSharded(3, /*force_dispatch=*/true);
+}
+
+// threads=1 is a passthrough: no exchange, no hub, the plain NetServer — the
+// table must hold byte-for-byte there too (the --threads=1 identity the
+// sharding work must not disturb).
+TEST(ProtocolConformance, ShardedSingleThreadPassthrough) {
+  RunTableSharded(1, /*force_dispatch=*/false);
 }
 
 }  // namespace

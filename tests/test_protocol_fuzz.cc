@@ -12,15 +12,27 @@
 //
 // Everything is seeded from spotcache::Rng, so a failure reproduces exactly.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/net/protocol.h"
 #include "src/net/response.h"
+#include "src/net/server.h"
 #include "src/net/server_core.h"
+#include "src/net/sharded_server.h"
 #include "src/util/rng.h"
 
 namespace spotcache::net {
@@ -290,6 +302,129 @@ TEST(ProtocolFuzz, OverlongLineResyncsAtNewline) {
   const Outcome trickled = RunChunked(stream, every_byte);
   EXPECT_EQ(trickled.events, whole.events);
   EXPECT_EQ(trickled.response, whole.response);
+}
+
+// --- Sharded serving must be invisible at the byte level (ISSUE 8). -------
+//
+// The same seed-driven hostile streams, but over real sockets: a plain
+// single-threaded NetServer receives each stream in one send; a 4-shard
+// ShardedServer receives the identical bytes split into arbitrary chunks
+// (separate recv batches, so commands — including multigets and payloads —
+// straddle the sharded two-phase drain's batch boundaries). Both servers run
+// the same fixed clock and accumulate the same state across seeds, so their
+// response bytes must match exactly. One comparison pins two properties at
+// once: chunking invariance through the scatter/execute path, and
+// threads=4 == threads=1 byte identity on arbitrary (mis)input.
+
+int ConnectLoopback(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+void SendAll(int fd, std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    off += static_cast<size_t>(n);
+  }
+}
+
+/// Drains every fd until `window_ms` passes with no readable data on any.
+void DrainUntilSilence(std::vector<std::pair<int, std::string*>> conns,
+                       int window_ms) {
+  std::vector<pollfd> pfds;
+  for (const auto& [fd, out] : conns) {
+    pfds.push_back({fd, POLLIN, 0});
+  }
+  char buf[8192];
+  for (;;) {
+    const int ready = ::poll(pfds.data(), pfds.size(), window_ms);
+    if (ready <= 0) {
+      return;  // silence (or error): everything in flight has landed
+    }
+    for (size_t i = 0; i < pfds.size(); ++i) {
+      if ((pfds[i].revents & POLLIN) == 0) {
+        continue;
+      }
+      const ssize_t n = ::recv(pfds[i].fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        conns[i].second->append(buf, static_cast<size_t>(n));
+      }
+    }
+  }
+}
+
+TEST(ProtocolFuzz, ShardedServerMatchesSingleThreadedByteForByte) {
+  NetServerConfig plain_config;
+  NetServer plain(plain_config);
+  plain.SetClock([] { return kNow; });
+  ASSERT_TRUE(plain.Start());
+  std::thread plain_loop([&plain] { plain.Run(); });
+
+  ShardedServerConfig sharded_config;
+  sharded_config.base.port = 0;
+  sharded_config.base.metrics_port = -1;
+  sharded_config.threads = 4;
+  ShardedServer sharded(sharded_config);
+  sharded.SetClock([] { return kNow; });
+  ASSERT_TRUE(sharded.Start());
+  std::thread sharded_loop([&sharded] { sharded.Run(); });
+
+  const int plain_fd = ConnectLoopback(plain.port());
+  const int sharded_fd = ConnectLoopback(sharded.port());
+
+  // Responses are compared as cumulative byte totals so a reply that lands
+  // after one seed's drain window still counts against the right stream.
+  std::string plain_total;
+  std::string sharded_total;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed);
+    const std::string stream = RandomStream(rng);
+    if (stream.empty()) {
+      continue;
+    }
+    // Whole bytes to the plain server...
+    SendAll(plain_fd, stream);
+    // ...identical bytes to the sharded server, in up to 8 bursts separated
+    // long enough to land as distinct recv batches (distinct drain calls).
+    std::vector<size_t> cuts = RandomCuts(rng, stream.size());
+    const size_t stride = cuts.size() / 7 + 1;
+    size_t start = 0;
+    for (size_t i = stride - 1; i < cuts.size(); i += stride) {
+      SendAll(sharded_fd, std::string_view(stream).substr(start, cuts[i] - start));
+      start = cuts[i];
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    SendAll(sharded_fd, std::string_view(stream).substr(start));
+
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(3);
+    do {
+      DrainUntilSilence(
+          {{plain_fd, &plain_total}, {sharded_fd, &sharded_total}},
+          /*window_ms=*/60);
+    } while (plain_total != sharded_total &&
+             std::chrono::steady_clock::now() < deadline);
+    ASSERT_EQ(sharded_total, plain_total) << "seed " << seed;
+  }
+
+  ::close(plain_fd);
+  ::close(sharded_fd);
+  plain.Stop();
+  plain_loop.join();
+  sharded.Stop();
+  sharded_loop.join();
 }
 
 }  // namespace
