@@ -1,0 +1,180 @@
+// spotcache_fleet: the end-to-end chaos drill against real server processes.
+//
+//   spotcache_fleet --server=./spotcache_server [--seed=42] [--kills=2]
+//                   [--primaries=3] [--report=FILE] [--trace=FILE]
+//
+// Spawns a fleet (N primaries + 1 burstable-style backup) of real
+// spotcache_server processes, drives paced Zipf traffic through the
+// client-side FleetRouter, and executes a (seed, scenario)-deterministic
+// kill schedule: revocation warning, SIGKILL at the deadline, replacement
+// launch, and wire-level warm-up from the backup — the paper's Figure 4
+// recovery cases (1a/1b/2) acted out with live sockets. The JSON report is
+// the recovery timeline: per-kill warning/kill/warm-up timestamps, hit-rate
+// windows, and router degradation counters.
+//
+// Flags:
+//   --server=PATH          spotcache_server binary (required)
+//   --seed=N               drives the kill schedule AND the traffic stream
+//   --kills=N              revocation storms in the chaos window (default 2)
+//   --primaries=N          primary fleet size (default 3)
+//   --missed-warning=F     fraction of warnings suppressed (Fig 4 case 2)
+//   --late-warning=F       fraction of warnings with reduced lead
+//   --capacity-mb=N        per-process LRU capacity (default 16)
+//   --keys=N --hot=N       key-space and hot-set sizes
+//   --rate=N               offered ops/sec (default 2000)
+//   --lead-in-ms=N         pre-chaos baseline traffic (default 400)
+//   --chaos-ms=N           chaos window length (default 2000)
+//   --recovery-ms=N        post-chaos observation window (default 1200)
+//   --warning-lead-ms=N    drill-scale two-minute notice (default 400)
+//   --boot-delay-ms=N      modeled replacement boot time (default 150)
+//   --warmup-mbps=F        warm-up token-bucket rate (default 4 MiB/s)
+//   --no-breakers          surface connection errors instead of degrading
+//   --report=FILE          write the JSON drill report (default stdout only)
+//   --trace=FILE           write the merged JSONL event trace
+//   --help
+//
+// Exit codes: 0 = drill ran and the fleet recovered; 1 = drill failed to
+// run; 4 = drill ran but the hit rate never re-reached the recovery
+// threshold (so CI can gate on recovery specifically).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/fleet/drill.h"
+#include "src/obs/exporters.h"
+
+using namespace spotcache;
+using namespace spotcache::fleet;
+
+namespace {
+
+constexpr int kExitNoRecovery = 4;
+
+int Usage(int exit_code) {
+  std::printf(
+      "usage: spotcache_fleet --server=PATH [--seed=N] [--kills=N]\n"
+      "                       [--primaries=N] [--missed-warning=F]\n"
+      "                       [--late-warning=F] [--capacity-mb=N]\n"
+      "                       [--keys=N] [--hot=N] [--rate=N]\n"
+      "                       [--lead-in-ms=N] [--chaos-ms=N]\n"
+      "                       [--recovery-ms=N] [--warning-lead-ms=N]\n"
+      "                       [--boot-delay-ms=N] [--warmup-mbps=F]\n"
+      "                       [--no-breakers] [--report=FILE]\n"
+      "                       [--trace=FILE] [--help]\n"
+      "\n"
+      "Runs the fleet chaos drill: real spotcache_server processes, real\n"
+      "SIGKILL revocations on a (seed, scenario)-deterministic schedule,\n"
+      "and wire-level warm-up of replacements from the backup.\n"
+      "Exit: 0 recovered, 1 drill error, 4 ran but did not recover.\n");
+  return exit_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FleetDrillConfig config;
+  int kills = 2;
+  double missed_warning = 0.0;
+  double late_warning = 0.0;
+  double warmup_mbps = 4.0;
+  std::string report_path;
+  std::string trace_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--server=", 0) == 0) {
+      config.server_binary = arg.substr(9);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      config.seed = static_cast<uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg.rfind("--kills=", 0) == 0) {
+      kills = std::atoi(arg.c_str() + 8);
+    } else if (arg.rfind("--primaries=", 0) == 0) {
+      config.primaries = std::atoi(arg.c_str() + 12);
+    } else if (arg.rfind("--missed-warning=", 0) == 0) {
+      missed_warning = std::atof(arg.c_str() + 17);
+    } else if (arg.rfind("--late-warning=", 0) == 0) {
+      late_warning = std::atof(arg.c_str() + 15);
+    } else if (arg.rfind("--capacity-mb=", 0) == 0) {
+      config.capacity_mb = std::atoi(arg.c_str() + 14);
+    } else if (arg.rfind("--keys=", 0) == 0) {
+      config.num_keys = static_cast<uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg.rfind("--hot=", 0) == 0) {
+      config.hot_keys = static_cast<uint64_t>(std::atoll(arg.c_str() + 6));
+    } else if (arg.rfind("--rate=", 0) == 0) {
+      config.rate = std::atof(arg.c_str() + 7);
+    } else if (arg.rfind("--lead-in-ms=", 0) == 0) {
+      config.lead_in = Duration::Millis(std::atoll(arg.c_str() + 13));
+    } else if (arg.rfind("--chaos-ms=", 0) == 0) {
+      config.chaos_window = Duration::Millis(std::atoll(arg.c_str() + 11));
+    } else if (arg.rfind("--recovery-ms=", 0) == 0) {
+      config.recovery_window = Duration::Millis(std::atoll(arg.c_str() + 14));
+    } else if (arg.rfind("--warning-lead-ms=", 0) == 0) {
+      config.warning_lead = Duration::Millis(std::atoll(arg.c_str() + 18));
+    } else if (arg.rfind("--boot-delay-ms=", 0) == 0) {
+      config.replacement_boot_delay =
+          Duration::Millis(std::atoll(arg.c_str() + 16));
+    } else if (arg.rfind("--warmup-mbps=", 0) == 0) {
+      warmup_mbps = std::atof(arg.c_str() + 14);
+    } else if (arg == "--no-breakers") {
+      config.router.breakers_enabled = false;
+    } else if (arg.rfind("--report=", 0) == 0) {
+      report_path = arg.substr(9);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(0);
+    } else {
+      std::printf("unknown flag '%s'\n\n", arg.c_str());
+      return Usage(2);
+    }
+  }
+
+  if (config.server_binary.empty()) {
+    std::printf("--server=PATH is required\n\n");
+    return Usage(2);
+  }
+
+  config.scenario.name = "fleet_drill";
+  config.scenario.storm_count = kills;
+  config.scenario.storm_market_fraction =
+      1.0 / static_cast<double>(std::max(config.primaries, 1));
+  config.scenario.missed_warning_fraction = missed_warning;
+  config.scenario.late_warning_fraction = late_warning;
+  config.scenario.window_start = SimTime();
+  config.scenario.window_end = SimTime() + Duration::Minutes(10);
+  config.warmup.bytes_per_sec = warmup_mbps * 1024.0 * 1024.0;
+
+  std::printf(
+      "fleet drill: %d primaries + backup, %d storm(s), seed %llu, "
+      "%.0f ops/s\n",
+      config.primaries, kills,
+      static_cast<unsigned long long>(config.seed), config.rate);
+  std::fflush(stdout);
+
+  const FleetDrillReport report = RunFleetDrill(config);
+  const std::string json = RenderDrillJson(report);
+
+  if (!report_path.empty() && WriteStringToFile(report_path, json)) {
+    std::printf("report written to %s\n", report_path.c_str());
+  } else if (report_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+  }
+  if (!trace_path.empty() &&
+      WriteStringToFile(trace_path, report.trace_jsonl)) {
+    std::printf("trace written to %s\n", trace_path.c_str());
+  }
+
+  if (!report.ok) {
+    std::fprintf(stderr, "drill failed: %s\n", report.error.c_str());
+    return 1;
+  }
+
+  std::printf(
+      "drill: %llu ops in %.2fs; pre-kill hit rate %.3f, final %.3f, "
+      "recovered=%s\n",
+      static_cast<unsigned long long>(report.total_ops), report.duration_s,
+      report.pre_kill_hit_rate, report.final_hit_rate,
+      report.recovered ? "yes" : "no");
+  return report.recovered ? 0 : kExitNoRecovery;
+}

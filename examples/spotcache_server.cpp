@@ -50,6 +50,8 @@
 // handlers are async-signal-safe (atomic flag + eventfd; the dump itself
 // runs on the loop thread).
 
+#include <unistd.h>
+
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -65,6 +67,12 @@
 using namespace spotcache;
 
 namespace {
+
+// Exit codes a supervisor can branch on: bind failure ("port taken") is not
+// the same failure as a crash or a dirty event-loop exit.
+constexpr int kExitRunFailure = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitBindFailure = 3;
 
 net::NetServer* g_server = nullptr;
 net::ShardedServer* g_sharded = nullptr;
@@ -87,7 +95,7 @@ void HandleDumpSignal(int /*sig*/) {
   }
 }
 
-int Usage() {
+int Usage(int exit_code) {
   std::printf(
       "usage: spotcache_server [--port=11211] [--host=127.0.0.1]\n"
       "                        [--capacity-mb=64] [--threads=N] [--pin]\n"
@@ -95,8 +103,44 @@ int Usage() {
       "                        [--trace=FILE] [--metrics=FILE]\n"
       "                        [--metrics-port=N] [--spans=FILE]\n"
       "                        [--span-sample=N] [--latency-sample=N]\n"
-      "                        [--slow-us=N] [--stall-us=N] [--span-ring=N]\n");
-  return 2;
+      "                        [--slow-us=N] [--stall-us=N] [--span-ring=N]\n"
+      "                        [--pidfile=FILE] [--help]\n"
+      "\n"
+      "Readiness contract (for supervisors and harnesses):\n"
+      "  The first stdout line is exactly `listening <port>`, flushed only\n"
+      "  after listen(2) succeeded — start with --port=0 and read the bound\n"
+      "  port from it instead of racing the bind. With --metrics-port the\n"
+      "  next line is `metrics listening <port>`. Human-readable banner\n"
+      "  lines follow; anything machine-parsed comes first.\n"
+      "\n"
+      "  --pidfile=FILE writes the server pid after a successful bind (at\n"
+      "  the same instant the readiness line is printed) and removes the\n"
+      "  file on clean shutdown.\n"
+      "\n"
+      "Exit codes:\n"
+      "  0  clean shutdown (SIGINT/SIGTERM/quit)\n"
+      "  1  event loop failed after a successful bind\n"
+      "  2  bad flags\n"
+      "  3  bind failure (address/port taken or not bindable) — distinct so\n"
+      "     a supervisor can tell \"port taken\" from \"crashed\"\n");
+  return exit_code;
+}
+
+/// Writes the pid to `path` (best-effort; a failure is a warning, not fatal).
+void WritePidFile(const std::string& path) {
+  if (path.empty()) {
+    return;
+  }
+  if (!WriteStringToFile(path, std::to_string(::getpid()) + "\n")) {
+    std::fprintf(stderr, "spotcache_server: could not write pidfile %s\n",
+                 path.c_str());
+  }
+}
+
+void RemovePidFile(const std::string& path) {
+  if (!path.empty()) {
+    ::unlink(path.c_str());
+  }
 }
 
 }  // namespace
@@ -111,6 +155,7 @@ int main(int argc, char** argv) {
   bool force_dispatch = false;
   std::string trace_path;
   std::string metrics_path;
+  std::string pidfile_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -156,9 +201,13 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--span-ring=", 0) == 0) {
       config.telemetry.flight_ring_capacity =
           static_cast<uint32_t>(std::atoll(arg.c_str() + 12));
+    } else if (arg.rfind("--pidfile=", 0) == 0) {
+      pidfile_path = arg.substr(10);
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(0);
     } else {
       std::printf("unknown flag '%s'\n\n", arg.c_str());
-      return Usage();
+      return Usage(kExitUsage);
     }
   }
   // Signal-driven dumps write the live metrics snapshot to the same file the
@@ -193,9 +242,10 @@ int main(int argc, char** argv) {
     if (!server.Start()) {
       std::fprintf(stderr, "spotcache_server: failed to bind %s:%u\n",
                    config.bind_host.c_str(), config.port);
-      return 1;
+      return kExitBindFailure;
     }
     g_sharded = &server;
+    WritePidFile(pidfile_path);
     std::signal(SIGINT, HandleSignal);
     std::signal(SIGTERM, HandleSignal);
     std::signal(SIGUSR1, HandleDumpSignal);
@@ -259,16 +309,18 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(total.cmd_set),
         static_cast<unsigned long long>(total.sheds),
         static_cast<unsigned long long>(total.protocol_errors));
-    return ok ? 0 : 1;
+    RemovePidFile(pidfile_path);
+    return ok ? 0 : kExitRunFailure;
   }
 
   net::NetServer server(config, system.get(), &obs);
   if (!server.Start()) {
     std::fprintf(stderr, "spotcache_server: failed to bind %s:%u\n",
                  config.bind_host.c_str(), config.port);
-    return 1;
+    return kExitBindFailure;
   }
   g_server = &server;
+  WritePidFile(pidfile_path);
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   std::signal(SIGUSR1, HandleDumpSignal);
@@ -320,5 +372,6 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(core.cmd_set()),
       static_cast<unsigned long long>(core.sheds()),
       static_cast<unsigned long long>(core.protocol_errors()));
-  return ok ? 0 : 1;
+  RemovePidFile(pidfile_path);
+  return ok ? 0 : kExitRunFailure;
 }

@@ -1,0 +1,375 @@
+#include "src/fleet/drill.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/loadgen/key_sampler.h"
+#include "src/net/client.h"
+#include "src/obs/exporters.h"
+#include "src/util/rng.h"
+
+namespace spotcache::fleet {
+
+namespace {
+
+int64_t WallUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SleepUs(int64_t us) {
+  if (us <= 0) {
+    return;
+  }
+  timespec ts{};
+  ts.tv_sec = us / 1'000'000;
+  ts.tv_nsec = (us % 1'000'000) * 1000;
+  ::nanosleep(&ts, nullptr);
+}
+
+std::string KeyName(uint64_t id) { return "fk:" + std::to_string(id); }
+
+/// Deterministic per-key payload, so a re-fill after a kill stores the same
+/// bytes the prefill did.
+std::string ValueFor(uint64_t id, size_t bytes) {
+  std::string v(bytes, 'x');
+  for (size_t i = 0; i < bytes; ++i) {
+    v[i] = static_cast<char>('a' + (id + i) % 26);
+  }
+  return v;
+}
+
+/// Aggregated hit rate over a window range (inclusive indices).
+double AggregateHitRate(const std::vector<DrillWindow>& windows, size_t begin,
+                        size_t end) {
+  uint64_t gets = 0;
+  uint64_t hits = 0;
+  for (size_t i = begin; i < end && i < windows.size(); ++i) {
+    gets += windows[i].gets;
+    hits += windows[i].hits + windows[i].backup_hits;
+  }
+  return gets == 0 ? 0.0
+                   : static_cast<double>(hits) / static_cast<double>(gets);
+}
+
+}  // namespace
+
+FleetDrillReport RunFleetDrill(const FleetDrillConfig& config) {
+  FleetDrillReport report;
+
+  // --- The pure half: the kill schedule. ---
+  KillScheduleParams sched_params;
+  sched_params.seed = config.seed;
+  sched_params.scenario = config.scenario;
+  sched_params.node_count = config.primaries;
+  sched_params.window_start = config.lead_in;
+  sched_params.window_length = config.chaos_window;
+  sched_params.warning_lead = config.warning_lead;
+  report.schedule = BuildKillSchedule(sched_params);
+
+  // --- Components. ---
+  EventTracer router_tracer;   // traffic thread only
+  EventTracer control_tracer;  // drill thread only
+  router_tracer.set_enabled(true);
+  control_tracer.set_enabled(true);
+
+  FleetRouterConfig router_config = config.router;
+  router_config.seed = config.seed;
+  FleetRouter router(router_config, &router_tracer);
+
+  FleetControllerConfig ctl;
+  ctl.supervisor = config.supervisor;
+  ctl.supervisor.server_binary = config.server_binary;
+  ctl.supervisor.seed = config.seed;
+  ctl.warmup = config.warmup;
+  ctl.primaries = config.primaries;
+  ctl.capacity_mb = config.capacity_mb;
+  ctl.replacement_boot_delay = config.replacement_boot_delay;
+  FleetController controller(ctl, &router, &control_tracer);
+
+  std::string error;
+  if (!controller.StartFleet(&error)) {
+    report.error = error;
+    return report;
+  }
+
+  // --- Prefill: every key to its owner; the hot set also to the backup
+  // (the paper's backup holds copies of hot items at all times). ---
+  for (uint64_t id = 0; id < config.num_keys; ++id) {
+    if (!router.Set(KeyName(id), ValueFor(id, config.value_bytes))) {
+      report.error = "prefill set failed for key " + std::to_string(id);
+      return report;
+    }
+  }
+  {
+    net::NetClient backup;
+    if (!backup.Connect("127.0.0.1", controller.backup_port(), 2000)) {
+      report.error = "prefill backup connect failed";
+      return report;
+    }
+    for (uint64_t id = 0; id < config.hot_keys && id < config.num_keys;
+         ++id) {
+      if (!backup.Set(KeyName(id), ValueFor(id, config.value_bytes))) {
+        report.error = "prefill backup set failed for key " +
+                       std::to_string(id);
+        return report;
+      }
+    }
+  }
+
+  // Hot keys a slot's replacement must be re-fed: the hot ids the ring homes
+  // on that slot. Ring ownership is stable across kills (SetNode re-points
+  // the same slot id), so this can be computed from the live router.
+  const auto hot_keys_for_slot = [&](int slot) {
+    std::vector<std::string> keys;
+    for (uint64_t id = 0; id < config.hot_keys && id < config.num_keys;
+         ++id) {
+      std::string key = KeyName(id);
+      const auto owner = router.OwnerOf(key);
+      if (owner.has_value() && *owner == static_cast<uint64_t>(slot)) {
+        keys.push_back(std::move(key));
+      }
+    }
+    return keys;
+  };
+
+  // --- Traffic thread: paced ops through the router, windowed tallies. ---
+  const Duration total_duration =
+      config.lead_in + config.chaos_window + config.recovery_window;
+  const int64_t window_us = std::max<int64_t>(config.hit_window.micros(), 1);
+  const size_t window_count =
+      static_cast<size_t>(total_duration.micros() / window_us) + 2;
+  std::vector<DrillWindow> windows(window_count);
+  for (size_t i = 0; i < windows.size(); ++i) {
+    windows[i].start_us = static_cast<int64_t>(i) * window_us;
+  }
+
+  const int64_t epoch_us = WallUs();
+  std::atomic<bool> stop{false};
+  uint64_t total_ops = 0;
+
+  std::thread traffic([&] {
+    Rng rng(config.seed ^ 0xf1ee7d41ULL);
+    loadgen::KeySampler sampler(
+        {.num_keys = config.num_keys, .theta = config.zipf_theta,
+         .scramble = false});
+    const double interval_us = 1e6 / std::max(config.rate, 1.0);
+    uint64_t op_index = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const int64_t scheduled =
+          epoch_us + static_cast<int64_t>(interval_us *
+                                          static_cast<double>(op_index));
+      SleepUs(scheduled - WallUs());
+      if (stop.load(std::memory_order_relaxed)) {
+        break;
+      }
+
+      const uint64_t id = sampler.KeyFor(sampler.SampleRank(rng), 0);
+      const bool is_set =
+          static_cast<double>(rng()) <
+          config.set_fraction * 18446744073709551616.0;  // 2^64
+      const std::string key = KeyName(id);
+
+      const int64_t now = WallUs() - epoch_us;
+      const size_t w = std::min(static_cast<size_t>(now / window_us),
+                                windows.size() - 1);
+      if (is_set) {
+        ++windows[w].sets;
+        router.Set(key, ValueFor(id, config.value_bytes));
+      } else {
+        ++windows[w].gets;
+        const RoutedGet got = router.Get(key);
+        switch (got.outcome) {
+          case RouteOutcome::kHit:
+            ++windows[w].hits;
+            break;
+          case RouteOutcome::kBackupHit:
+            ++windows[w].backup_hits;
+            break;
+          case RouteOutcome::kMiss:
+            ++windows[w].misses;
+            if (config.read_through) {
+              router.Set(key, ValueFor(id, config.value_bytes));
+            }
+            break;
+          case RouteOutcome::kShed:
+            ++windows[w].sheds;
+            break;
+          case RouteOutcome::kConnError:
+            ++windows[w].conn_errors;
+            break;
+        }
+      }
+      ++op_index;
+    }
+    total_ops = op_index;
+  });
+
+  // --- The chaos: execute the schedule while traffic runs. ---
+  report.recoveries =
+      controller.ExecuteSchedule(report.schedule, hot_keys_for_slot, epoch_us);
+
+  // Let the fleet serve through the recovery window, then stop.
+  const int64_t end_us = epoch_us + total_duration.micros();
+  SleepUs(end_us - WallUs());
+  stop.store(true, std::memory_order_relaxed);
+  traffic.join();
+
+  controller.StopFleet();
+
+  // --- Derived summary. ---
+  report.windows = std::move(windows);
+  report.router_stats = router.stats();
+  report.total_ops = total_ops;
+  report.duration_s = static_cast<double>(WallUs() - epoch_us) / 1e6;
+
+  int64_t first_kill_us = -1;
+  int64_t last_kill_us = -1;
+  for (const RecoveryRecord& r : report.recoveries) {
+    if (r.kill_us >= 0) {
+      first_kill_us = first_kill_us < 0 ? r.kill_us
+                                        : std::min(first_kill_us, r.kill_us);
+      last_kill_us = std::max(last_kill_us, r.kill_us);
+    }
+  }
+
+  if (first_kill_us > 0) {
+    const size_t pre_end = static_cast<size_t>(first_kill_us / window_us);
+    report.pre_kill_hit_rate = AggregateHitRate(report.windows, 0, pre_end);
+  } else {
+    report.pre_kill_hit_rate =
+        AggregateHitRate(report.windows, 0, report.windows.size());
+  }
+
+  // Final rate: the last fifth of the run (at least one window).
+  const size_t tail_begin =
+      report.windows.size() - std::max<size_t>(report.windows.size() / 5, 1);
+  report.final_hit_rate =
+      AggregateHitRate(report.windows, tail_begin, report.windows.size());
+
+  if (last_kill_us >= 0) {
+    const double target = config.recovery_threshold * report.pre_kill_hit_rate;
+    for (const DrillWindow& w : report.windows) {
+      if (w.start_us < last_kill_us || w.gets == 0) {
+        continue;
+      }
+      if (w.HitRate() >= target) {
+        report.recovered_us = w.start_us;
+        report.recovered = true;
+        break;
+      }
+    }
+  } else {
+    report.recovered = true;  // nothing was killed; trivially recovered
+  }
+
+  report.trace_jsonl = ToJsonl(control_tracer) + ToJsonl(router_tracer);
+  report.ok = report.error.empty();
+  return report;
+}
+
+std::string RenderDrillJson(const FleetDrillReport& report) {
+  using spotcache::EventTracer;
+  std::string out = "{\n";
+  auto num = [](double v) { return EventTracer::JsonNumber(v); };
+  auto inum = [](int64_t v) { return EventTracer::JsonNumber(v); };
+
+  out += "\"ok\": " + std::string(report.ok ? "true" : "false") + ",\n";
+  if (!report.error.empty()) {
+    out += "\"error\": " + EventTracer::JsonString(report.error) + ",\n";
+  }
+
+  out += "\"schedule\": [";
+  for (size_t i = 0; i < report.schedule.actions.size(); ++i) {
+    const KillAction& a = report.schedule.actions[i];
+    if (i > 0) {
+      out += ", ";
+    }
+    out += "{\"kill_at_ms\": " + inum(a.kill_at.micros() / 1000) +
+           ", \"slot\": " + inum(a.slot) +
+           ", \"warned\": " + (a.warned ? "true" : "false") +
+           ", \"late\": " + (a.late ? "true" : "false") +
+           ", \"warning_lead_ms\": " + inum(a.warning_lead.micros() / 1000) +
+           "}";
+  }
+  out += "],\n";
+
+  out += "\"recoveries\": [";
+  for (size_t i = 0; i < report.recoveries.size(); ++i) {
+    const RecoveryRecord& r = report.recoveries[i];
+    if (i > 0) {
+      out += ", ";
+    }
+    out += "{\"slot\": " + inum(r.slot) +
+           ", \"case\": " + EventTracer::JsonString(r.case_label) +
+           ", \"warned\": " + (r.warned ? "true" : "false") +
+           ", \"planned_kill_ms\": " +
+           inum(r.planned_kill_at.micros() / 1000) +
+           ", \"warning_us\": " + inum(r.warning_us) +
+           ", \"kill_us\": " + inum(r.kill_us) +
+           ", \"replacement_ready_us\": " + inum(r.replacement_ready_us) +
+           ", \"warmup_start_us\": " + inum(r.warmup_start_us) +
+           ", \"warmup_end_us\": " + inum(r.warmup_end_us) +
+           ", \"replacement_ok\": " + (r.replacement_ok ? "true" : "false") +
+           ", \"spawn_attempts\": " + inum(r.spawn_attempts) +
+           ", \"warmup\": {\"items_copied\": " + inum(r.warmup.items_copied) +
+           ", \"items_missing\": " + inum(r.warmup.items_missing) +
+           ", \"bytes_copied\": " + inum(r.warmup.bytes_copied) +
+           ", \"reconnects\": " + inum(r.warmup.reconnects) +
+           ", \"duration_s\": " + num(r.warmup.duration_s) +
+           ", \"token_rate_bytes_per_s\": " + num(r.warmup.token_rate) +
+           ", \"token_burst_bytes\": " + num(r.warmup.token_burst) +
+           ", \"token_initial_bytes\": " + num(r.warmup.token_initial) +
+           "}}";
+  }
+  out += "],\n";
+
+  out += "\"windows\": [";
+  bool first = true;
+  for (const DrillWindow& w : report.windows) {
+    if (w.gets == 0 && w.sets == 0) {
+      continue;  // trailing empty buckets
+    }
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += "{\"start_ms\": " + inum(w.start_us / 1000) +
+           ", \"gets\": " + inum(w.gets) + ", \"hits\": " + inum(w.hits) +
+           ", \"backup_hits\": " + inum(w.backup_hits) +
+           ", \"misses\": " + inum(w.misses) +
+           ", \"sheds\": " + inum(w.sheds) +
+           ", \"conn_errors\": " + inum(w.conn_errors) +
+           ", \"sets\": " + inum(w.sets) +
+           ", \"hit_rate\": " + num(w.HitRate()) + "}";
+  }
+  out += "],\n";
+
+  const FleetRouterStats& s = report.router_stats;
+  out += "\"router\": {\"gets\": " + inum(s.gets) +
+         ", \"hits\": " + inum(s.hits) +
+         ", \"backup_hits\": " + inum(s.backup_hits) +
+         ", \"misses\": " + inum(s.misses) + ", \"sets\": " + inum(s.sets) +
+         ", \"set_ok\": " + inum(s.set_ok) + ", \"sheds\": " + inum(s.sheds) +
+         ", \"conn_errors_surfaced\": " + inum(s.conn_errors_surfaced) +
+         ", \"conn_failures_absorbed\": " +
+         inum(s.conn_failures_absorbed) +
+         ", \"reconnects\": " + inum(s.reconnects) + "},\n";
+
+  out += "\"summary\": {\"pre_kill_hit_rate\": " +
+         num(report.pre_kill_hit_rate) +
+         ", \"final_hit_rate\": " + num(report.final_hit_rate) +
+         ", \"recovered\": " + (report.recovered ? "true" : "false") +
+         ", \"recovered_us\": " + inum(report.recovered_us) +
+         ", \"total_ops\": " + inum(report.total_ops) +
+         ", \"duration_s\": " + num(report.duration_s) + "}\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace spotcache::fleet

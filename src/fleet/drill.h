@@ -1,0 +1,119 @@
+// The end-to-end fleet drill: real processes, real traffic, real kills.
+//
+// RunFleetDrill wires everything together: a ProcessSupervisor-spawned fleet
+// (N primaries + 1 backup), a FleetRouter carrying open-loop-style traffic
+// from a paced client thread (PR-6 loadgen key sampling: Zipf ranks, the
+// same FastZipf machinery the latency harness uses), and a FleetController
+// executing the (seed, scenario)-deterministic KillSchedule while the
+// traffic runs. The report is the paper's recovery story as measured data:
+// per-kill timelines (warning -> SIGKILL -> replacement ready -> warm-up
+// start/end), hit-rate windows across the whole drill, and the merged JSONL
+// event trace (control plane + router breaker transitions).
+//
+// Determinism boundary: the kill/launch *schedule* and the op stream are
+// pure functions of (seed, scenario, config); wall-clock timings, byte
+// arrival order, and therefore the measured hit-rate trajectory are not.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault_plan.h"
+#include "src/fleet/fleet_controller.h"
+#include "src/fleet/fleet_router.h"
+#include "src/fleet/kill_schedule.h"
+#include "src/fleet/warmup_streamer.h"
+
+namespace spotcache::fleet {
+
+struct FleetDrillConfig {
+  std::string server_binary;
+  uint64_t seed = 42;
+  /// Storm events in this spec become real SIGKILLs; other fault families
+  /// are control-loop-only and ignored by fleet mode.
+  FaultScenarioSpec scenario;
+
+  int primaries = 3;
+  int capacity_mb = 16;
+
+  // --- Key space and traffic mix. ---
+  uint64_t num_keys = 2000;
+  double zipf_theta = 0.99;
+  /// The hot set: ids [0, hot_keys) are prefilled into the backup and
+  /// re-streamed to replacements (rank == id; the drill never scrambles).
+  uint64_t hot_keys = 400;
+  size_t value_bytes = 96;
+  double rate = 2000.0;  // offered ops/sec from the traffic thread
+  double set_fraction = 0.1;
+  /// Cache-aside client behavior: a get miss is followed by a set, so the
+  /// fleet re-fills cold keys lost to a kill (how real traffic recovers).
+  bool read_through = true;
+
+  // --- Drill timeline (wall clock). ---
+  Duration lead_in = Duration::Millis(400);  // pre-chaos baseline traffic
+  Duration chaos_window = Duration::Seconds(2);
+  Duration recovery_window = Duration::Millis(1200);
+  Duration warning_lead = Duration::Millis(400);
+  Duration replacement_boot_delay = Duration::Millis(150);
+  Duration hit_window = Duration::Millis(100);  // hit-rate bucketing
+
+  /// Recovered = a post-kill window reaches this fraction of the pre-kill
+  /// hit rate.
+  double recovery_threshold = 0.9;
+
+  WarmupConfig warmup;
+  FleetRouterConfig router;
+  /// Launch handshake/retry knobs (server_binary is filled in from above).
+  SupervisorConfig supervisor;
+};
+
+/// One hit-rate bucket of the traffic timeline.
+struct DrillWindow {
+  int64_t start_us = 0;
+  uint64_t gets = 0;
+  uint64_t hits = 0;         // primary hits
+  uint64_t backup_hits = 0;  // degraded hits via the backup
+  uint64_t misses = 0;
+  uint64_t sheds = 0;
+  uint64_t conn_errors = 0;
+  uint64_t sets = 0;
+
+  double HitRate() const {
+    return gets == 0 ? 0.0
+                     : static_cast<double>(hits + backup_hits) /
+                           static_cast<double>(gets);
+  }
+};
+
+struct FleetDrillReport {
+  bool ok = false;
+  std::string error;
+
+  KillSchedule schedule;  // the pure, replayable plan
+  std::vector<RecoveryRecord> recoveries;
+  std::vector<DrillWindow> windows;
+  FleetRouterStats router_stats;
+
+  double pre_kill_hit_rate = 0.0;
+  double final_hit_rate = 0.0;
+  /// First window start (drill us) at/after the last kill whose hit rate
+  /// reached recovery_threshold * pre_kill_hit_rate; -1 if never.
+  int64_t recovered_us = -1;
+  bool recovered = false;
+
+  uint64_t total_ops = 0;
+  double duration_s = 0.0;
+
+  /// Merged JSONL: controller events then router events (each stream is
+  /// internally time-ordered; consumers sort on t_us).
+  std::string trace_jsonl;
+};
+
+FleetDrillReport RunFleetDrill(const FleetDrillConfig& config);
+
+/// The drill report as a JSON document (schema documented in DESIGN.md).
+std::string RenderDrillJson(const FleetDrillReport& report);
+
+}  // namespace spotcache::fleet

@@ -1,0 +1,260 @@
+#include "src/fleet/fleet_router.h"
+
+#include <chrono>
+
+#include "src/routing/hash.h"
+
+namespace spotcache::fleet {
+
+namespace {
+
+int64_t WallUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool TransportFailed(net::NetClientError e) {
+  return e != net::NetClientError::kNone;
+}
+
+}  // namespace
+
+FleetRouter::FleetRouter(const FleetRouterConfig& config, EventTracer* tracer)
+    : config_(config), tracer_(tracer), epoch_us_(WallUs()) {}
+
+SimTime FleetRouter::Now() const {
+  return SimTime::FromMicros(WallUs() - epoch_us_);
+}
+
+void FleetRouter::SetNode(uint64_t slot, const std::string& host,
+                          uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Node& node = nodes_[slot];
+  node.host = host;
+  node.port = port;
+  node.client.Close();
+  node.connected = false;
+  // A replacement is a fresh process: it earns a fresh breaker. (The old
+  // process's failure history describes a corpse, not this endpoint.)
+  node.breaker = std::make_unique<CircuitBreaker>(config_.breaker,
+                                                  config_.seed, slot);
+  ring_.SetNode(slot, 1.0);
+}
+
+void FleetRouter::SetBackup(const std::string& host, uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  backup_.emplace();
+  backup_->host = host;
+  backup_->port = port;
+  // Slot id ~0 keeps the backup's breaker jitter decorrelated from primaries.
+  backup_->breaker = std::make_unique<CircuitBreaker>(config_.breaker,
+                                                      config_.seed, ~0ULL);
+}
+
+void FleetRouter::MarkDead(uint64_t slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(slot);
+  if (it == nodes_.end()) {
+    return;
+  }
+  Node& node = it->second;
+  node.client.Close();
+  node.connected = false;
+  const SimTime now = Now();
+  const BreakerState before = node.breaker->state(now);
+  // Enough consecutive failures to trip regardless of threshold config.
+  for (int i = 0; i < config_.breaker.failure_threshold; ++i) {
+    node.breaker->RecordFailure(now);
+  }
+  TraceBreaker(slot, before, node.breaker->state(now));
+}
+
+bool FleetRouter::EnsureConnected(Node& node) {
+  if (node.connected && node.client.connected()) {
+    return true;
+  }
+  node.connected =
+      node.client.Connect(node.host, node.port, config_.op_timeout_ms);
+  return node.connected;
+}
+
+bool FleetRouter::HandleTransportFailure(Node& node, uint64_t slot) {
+  const SimTime now = Now();
+  const BreakerState before = node.breaker->state(now);
+  node.breaker->RecordFailure(now);
+  ++stats_.conn_failures_absorbed;
+  node.connected = false;
+  if (node.client.Reconnect(config_.reconnect)) {
+    ++stats_.reconnects;
+    node.connected = true;
+  }
+  TraceBreaker(slot, before, node.breaker->state(Now()));
+  return node.connected;
+}
+
+void FleetRouter::TraceBreaker(uint64_t slot, BreakerState before,
+                               BreakerState after) {
+  if (tracer_ != nullptr && before != after) {
+    tracer_->BreakerTransition(Now(), slot, ToString(before), ToString(after));
+  }
+}
+
+std::optional<uint64_t> FleetRouter::OwnerOf(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.NodeFor(HashString(key));
+}
+
+RoutedGet FleetRouter::Get(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.gets;
+  RoutedGet out;
+
+  const auto owner = ring_.NodeFor(HashString(key));
+  Node* primary = nullptr;
+  if (owner.has_value()) {
+    auto it = nodes_.find(*owner);
+    if (it != nodes_.end()) {
+      primary = &it->second;
+    }
+  }
+
+  // --- Primary leg, breaker-gated. ---
+  if (primary != nullptr) {
+    const SimTime now = Now();
+    if (!config_.breakers_enabled || primary->breaker->Allow(now)) {
+      const BreakerState before = primary->breaker->state(now);
+      bool transport_failed = false;
+      if (EnsureConnected(*primary)) {
+        const auto got = primary->client.Get(key);
+        if (got.found) {
+          primary->breaker->RecordSuccess(Now());
+          TraceBreaker(*owner, before, primary->breaker->state(Now()));
+          ++stats_.hits;
+          out.outcome = RouteOutcome::kHit;
+          out.value = got.value;
+          return out;
+        }
+        if (!TransportFailed(primary->client.last_error())) {
+          // Clean miss from a live primary: definitive, no fallback (the
+          // backup only holds hot copies; a primary miss means not cached).
+          primary->breaker->RecordSuccess(Now());
+          TraceBreaker(*owner, before, primary->breaker->state(Now()));
+          ++stats_.misses;
+          out.outcome = RouteOutcome::kMiss;
+          return out;
+        }
+        transport_failed = true;
+      } else {
+        transport_failed = true;
+      }
+      if (transport_failed) {
+        HandleTransportFailure(*primary, *owner);
+        if (!config_.breakers_enabled) {
+          ++stats_.conn_errors_surfaced;
+          out.outcome = RouteOutcome::kConnError;
+          return out;
+        }
+        // fall through to the backup leg
+      }
+    }
+  }
+
+  // --- Backup leg (degradation): hot copies only. ---
+  if (backup_.has_value() &&
+      (!config_.breakers_enabled || backup_->breaker->Allow(Now()))) {
+    if (EnsureConnected(*backup_)) {
+      const auto got = backup_->client.Get(key);
+      if (got.found) {
+        backup_->breaker->RecordSuccess(Now());
+        ++stats_.backup_hits;
+        out.outcome = RouteOutcome::kBackupHit;
+        out.value = got.value;
+        return out;
+      }
+      if (!TransportFailed(backup_->client.last_error())) {
+        backup_->breaker->RecordSuccess(Now());
+        ++stats_.misses;
+        out.outcome = RouteOutcome::kMiss;
+        return out;
+      }
+    }
+    HandleTransportFailure(*backup_, ~0ULL);
+    if (!config_.breakers_enabled) {
+      ++stats_.conn_errors_surfaced;
+      out.outcome = RouteOutcome::kConnError;
+      return out;
+    }
+  }
+
+  // Nothing reachable: absorbed as a shed, never a connection error.
+  ++stats_.sheds;
+  if (tracer_ != nullptr) {
+    tracer_->Shed(Now(), "fleet_router", 1.0);
+  }
+  out.outcome = RouteOutcome::kShed;
+  return out;
+}
+
+bool FleetRouter::Set(std::string_view key, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.sets;
+
+  const auto owner = ring_.NodeFor(HashString(key));
+  if (owner.has_value()) {
+    auto it = nodes_.find(*owner);
+    if (it != nodes_.end()) {
+      Node& primary = it->second;
+      const SimTime now = Now();
+      if (!config_.breakers_enabled || primary.breaker->Allow(now)) {
+        const BreakerState before = primary.breaker->state(now);
+        if (EnsureConnected(primary) && primary.client.Set(key, value)) {
+          primary.breaker->RecordSuccess(Now());
+          TraceBreaker(*owner, before, primary.breaker->state(Now()));
+          ++stats_.set_ok;
+          return true;
+        }
+        if (TransportFailed(primary.client.last_error()) ||
+            !primary.connected) {
+          HandleTransportFailure(primary, *owner);
+          if (!config_.breakers_enabled) {
+            ++stats_.conn_errors_surfaced;
+            return false;
+          }
+        }
+      }
+    }
+  }
+
+  // Degraded write: land it on the backup so post-kill warm-up (and backup
+  // fall-through reads) still see fresh data — the paper's write-to-backup
+  // failover discipline.
+  if (backup_.has_value() &&
+      (!config_.breakers_enabled || backup_->breaker->Allow(Now()))) {
+    if (EnsureConnected(*backup_) && backup_->client.Set(key, value)) {
+      backup_->breaker->RecordSuccess(Now());
+      ++stats_.set_ok;
+      return true;
+    }
+    if (TransportFailed(backup_->client.last_error()) || !backup_->connected) {
+      HandleTransportFailure(*backup_, ~0ULL);
+      if (!config_.breakers_enabled) {
+        ++stats_.conn_errors_surfaced;
+        return false;
+      }
+    }
+  }
+
+  ++stats_.sheds;
+  if (tracer_ != nullptr) {
+    tracer_->Shed(Now(), "fleet_router", 1.0);
+  }
+  return false;
+}
+
+FleetRouterStats FleetRouter::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace spotcache::fleet

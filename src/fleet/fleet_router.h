@@ -1,0 +1,143 @@
+// FleetRouter: the thin client-side proxy tier (mcrouter's role) that lets
+// traffic keep flowing while fleet processes die and respawn under it.
+//
+// Keys are homed on primary slots by weighted consistent hashing (the same
+// ring the simulated Router uses), and each slot is fronted by a
+// src/resilience CircuitBreaker. The absorption contract — the property
+// test_fleet_drill pins — is that with breakers enabled NO request ever
+// surfaces a connection error to the caller:
+//
+//   * a transport failure (reset / pipe / refused / closed: the slot's
+//     process was SIGKILLed) records a breaker failure, is retried once
+//     through Reconnect()'s capped backoff, and on continued failure the
+//     request degrades — gets fall through to the backup node, then to a
+//     miss; sets fall through to the backup so the write lands somewhere
+//     warm-up can find it;
+//   * while a slot's breaker is open, requests skip the socket entirely and
+//     degrade the same way (shed, in resilience vocabulary);
+//   * when the supervisor swaps in a replacement endpoint (SetNode with the
+//     same slot id), the slot's breaker and connection reset and the next
+//     request probes the new process.
+//
+// Thread safety: all public entry points take one internal mutex. The drill
+// calls Get/Set from its traffic thread while the controller swaps endpoints
+// from the chaos thread; neither blocks the other for longer than one
+// synchronous round trip.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "src/net/client.h"
+#include "src/obs/trace.h"
+#include "src/resilience/circuit_breaker.h"
+#include "src/routing/consistent_hash.h"
+#include "src/util/time.h"
+
+namespace spotcache::fleet {
+
+struct FleetRouterConfig {
+  bool breakers_enabled = true;
+  CircuitBreakerConfig breaker{
+      .failure_threshold = 2,
+      .open_base = Duration::Millis(100),
+      .open_backoff = 2.0,
+      .open_max = Duration::Seconds(2),
+      .half_open_successes = 1,
+      .probe_jitter = 0.25,
+  };
+  net::ReconnectPolicy reconnect{.max_attempts = 1,
+                                 .initial_backoff_ms = 5,
+                                 .max_backoff_ms = 50,
+                                 .backoff_factor = 2.0};
+  int op_timeout_ms = 250;
+  uint64_t seed = 0;
+};
+
+/// How one routed request was ultimately served.
+enum class RouteOutcome : uint8_t {
+  kHit,           // value returned by the owning primary
+  kBackupHit,     // primary unavailable, backup had it
+  kMiss,          // a reachable node answered: not found
+  kShed,          // nothing reachable (breaker open / no endpoint); absorbed
+  kConnError,     // transport error surfaced to the caller
+                  // (only possible with breakers_enabled = false)
+};
+
+struct RoutedGet {
+  RouteOutcome outcome = RouteOutcome::kShed;
+  std::string value;
+};
+
+struct FleetRouterStats {
+  uint64_t gets = 0;
+  uint64_t hits = 0;
+  uint64_t backup_hits = 0;
+  uint64_t misses = 0;
+  uint64_t sets = 0;
+  uint64_t set_ok = 0;
+  uint64_t sheds = 0;
+  uint64_t conn_errors_surfaced = 0;  // kConnError outcomes (breakers off)
+  uint64_t conn_failures_absorbed = 0;  // transport failures hidden by breakers
+  uint64_t reconnects = 0;
+};
+
+class FleetRouter {
+ public:
+  explicit FleetRouter(const FleetRouterConfig& config,
+                       EventTracer* tracer = nullptr);
+
+  /// Adds slot `slot` to the ring, or re-points it at a replacement
+  /// endpoint. Re-pointing resets the slot's breaker and connection; ring
+  /// ownership (and therefore key placement) does not move.
+  void SetNode(uint64_t slot, const std::string& host, uint16_t port);
+
+  /// The off-ring backup node (holds hot copies; read/write fallback).
+  void SetBackup(const std::string& host, uint16_t port);
+
+  /// Immediately force the slot's breaker open (the controller knows a kill
+  /// just happened; traffic need not discover it the hard way).
+  void MarkDead(uint64_t slot);
+
+  RoutedGet Get(std::string_view key);
+  /// True when the value landed on the primary or (degraded) the backup.
+  bool Set(std::string_view key, std::string_view value);
+
+  FleetRouterStats stats() const;
+  /// The slot currently owning `key` (for tests / warm-up key selection).
+  std::optional<uint64_t> OwnerOf(std::string_view key) const;
+
+ private:
+  struct Node {
+    std::string host;
+    uint16_t port = 0;
+    net::NetClient client;
+    std::unique_ptr<CircuitBreaker> breaker;
+    bool connected = false;
+  };
+
+  SimTime Now() const;
+  bool EnsureConnected(Node& node);
+  /// Records a transport failure on `node` (breaker + trace) and tries one
+  /// reconnect. Returns true when the connection was re-established.
+  bool HandleTransportFailure(Node& node, uint64_t slot);
+  void TraceBreaker(uint64_t slot, BreakerState before, BreakerState after);
+
+  FleetRouterConfig config_;
+  EventTracer* tracer_;  // traffic-thread-only; see drill.cc merge step
+
+  mutable std::mutex mu_;
+  ConsistentHashRing ring_;
+  std::map<uint64_t, Node> nodes_;
+  std::optional<Node> backup_;
+  FleetRouterStats stats_;
+  /// Wall anchor for the breakers' SimTime clock (drill-relative micros).
+  int64_t epoch_us_ = 0;
+};
+
+}  // namespace spotcache::fleet

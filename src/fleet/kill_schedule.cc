@@ -1,0 +1,75 @@
+#include "src/fleet/kill_schedule.h"
+
+#include <algorithm>
+
+#include "src/fault/fault_injector.h"
+#include "src/routing/hash.h"
+
+namespace spotcache::fleet {
+
+namespace {
+
+/// The spot market's contractual notice (paper §2.1): warning fates are
+/// expressed relative to it and scaled down to drill time.
+constexpr Duration kSimWarningNotice = Duration::Minutes(2);
+
+}  // namespace
+
+KillSchedule BuildKillSchedule(const KillScheduleParams& params) {
+  KillSchedule schedule;
+  const FaultPlan plan = FaultPlan::Build(params.seed, params.scenario);
+  FaultInjector injector(plan);  // only the pure hash helpers are used
+
+  const Duration sim_window =
+      params.scenario.window_end - params.scenario.window_start;
+  const int64_t sim_us = std::max<int64_t>(sim_window.micros(), 1);
+
+  for (const FaultEvent& ev : plan.events()) {
+    if (ev.kind != FaultKind::kRevocationStorm) {
+      continue;  // fleet mode realizes revocations; other families are
+                 // control-loop-only and stay simulated
+    }
+    // Linear map of the event's position in the sim window onto the drill's
+    // chaos window (integer arithmetic, so the map is exact and replayable).
+    const int64_t offset_us = (ev.time - params.scenario.window_start).micros();
+    const Duration kill_at =
+        params.window_start +
+        Duration::Micros(params.window_length.micros() * offset_us / sim_us);
+
+    for (int slot = 0; slot < params.node_count; ++slot) {
+      if (!injector.StormHitsMarket(ev, static_cast<size_t>(slot),
+                                    static_cast<size_t>(params.node_count))) {
+        continue;
+      }
+      KillAction action;
+      action.kill_at = kill_at;
+      action.slot = slot;
+      // Per-(event, slot) warning fate: the id mixes the storm's salt so two
+      // storms hitting the same slot can draw different fates.
+      const WarningFate fate = injector.FateForWarning(
+          HashCombine(static_cast<uint64_t>(slot) + 1, ev.salt));
+      if (fate.suppress) {
+        action.warned = false;
+        action.warning_lead = Duration();
+      } else {
+        action.warned = true;
+        action.late = fate.delay > Duration::Micros(0);
+        const double remaining =
+            std::max(0.0, 1.0 - fate.delay / kSimWarningNotice);
+        action.warning_lead = params.warning_lead * remaining;
+      }
+      schedule.actions.push_back(action);
+    }
+  }
+
+  std::sort(schedule.actions.begin(), schedule.actions.end(),
+            [](const KillAction& a, const KillAction& b) {
+              if (a.kill_at != b.kill_at) {
+                return a.kill_at < b.kill_at;
+              }
+              return a.slot < b.slot;
+            });
+  return schedule;
+}
+
+}  // namespace spotcache::fleet

@@ -1,0 +1,59 @@
+// The determinism boundary of fleet mode: WHAT gets killed WHEN is a pure
+// function of (seed, scenario); what the bytes do afterwards is wall-clock.
+//
+// BuildKillSchedule maps a PR-1 FaultPlan onto the drill's wall-clock chaos
+// window: every kRevocationStorm event becomes one or more KillActions
+// (which primary slots the storm hits comes from the same seeded hashing the
+// simulator uses, via FaultInjector::StormHitsMarket with primaries standing
+// in for markets), and each action's warning fate — suppressed (Fig 4 case
+// 2) or delivered with full / reduced lead (cases 1a/1b) — comes from
+// FaultInjector::FateForWarning, keyed by the victim slot. Building the same
+// (seed, scenario, node_count, window) twice yields identical schedules; the
+// replay half of test_fleet_drill pins this.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fault/fault_plan.h"
+#include "src/util/time.h"
+
+namespace spotcache::fleet {
+
+/// One planned SIGKILL of a primary slot, in drill-relative wall time.
+struct KillAction {
+  Duration kill_at;       // offset from drill start
+  int slot = 0;           // primary slot index (the ring node it owns)
+  bool warned = true;     // false = missed warning (Fig 4 case 2)
+  bool late = false;      // warning delivered with reduced lead
+  /// Lead between the revocation warning and the kill (the scaled
+  /// "2-minute notice"); reduced when the warning is late, zero if !warned.
+  Duration warning_lead;
+
+  bool operator==(const KillAction&) const = default;
+};
+
+struct KillSchedule {
+  std::vector<KillAction> actions;  // sorted by kill_at, then slot
+
+  bool operator==(const KillSchedule&) const = default;
+};
+
+struct KillScheduleParams {
+  uint64_t seed = 0;
+  FaultScenarioSpec scenario;
+  /// Primary slots in the fleet (storm targets).
+  int node_count = 1;
+  /// Chaos window in drill wall time: faults land in
+  /// [window_start, window_start + window_length).
+  Duration window_start = Duration::Millis(500);
+  Duration window_length = Duration::Seconds(2);
+  /// Full warning lead at drill scale (the 2-minute notice, compressed).
+  Duration warning_lead = Duration::Millis(600);
+};
+
+/// Pure: same params -> same schedule, independently of any live state.
+KillSchedule BuildKillSchedule(const KillScheduleParams& params);
+
+}  // namespace spotcache::fleet

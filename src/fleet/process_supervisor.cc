@@ -1,0 +1,265 @@
+#include "src/fleet/process_supervisor.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+
+namespace spotcache::fleet {
+
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SleepWall(Duration d) {
+  if (d <= Duration::Micros(0)) {
+    return;
+  }
+  timespec ts{};
+  ts.tv_sec = d.micros() / 1'000'000;
+  ts.tv_nsec = (d.micros() % 1'000'000) * 1000;
+  ::nanosleep(&ts, nullptr);
+}
+
+/// Waits up to `timeout_ms` for the child to exit; returns true (and the
+/// status) if it did.
+bool WaitTimed(pid_t pid, int timeout_ms, int* status) {
+  const int64_t deadline = NowMs() + timeout_ms;
+  for (;;) {
+    const pid_t r = ::waitpid(pid, status, WNOHANG);
+    if (r == pid) {
+      return true;
+    }
+    if (r < 0) {
+      return false;  // already reaped elsewhere
+    }
+    if (NowMs() >= deadline) {
+      return false;
+    }
+    SleepWall(Duration::Millis(5));
+  }
+}
+
+}  // namespace
+
+std::string_view ToString(ProcessState s) {
+  switch (s) {
+    case ProcessState::kReady:
+      return "ready";
+    case ProcessState::kKilled:
+      return "killed";
+    case ProcessState::kExited:
+      return "exited";
+  }
+  return "unknown";
+}
+
+ProcessSupervisor::ProcessSupervisor(const SupervisorConfig& config)
+    : config_(config), retry_(config.retry, config.seed) {}
+
+bool ProcessSupervisor::SpawnOnce(const std::string& label,
+                                  const std::vector<std::string>& extra_args,
+                                  ServerProcess* out, bool* bind_failure,
+                                  std::string* error) {
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) {
+    *error = "pipe() failed: " + std::string(::strerror(errno));
+    return false;
+  }
+
+  std::vector<std::string> args;
+  args.push_back(config_.server_binary);
+  for (const auto& a : config_.base_args) {
+    args.push_back(a);
+  }
+  for (const auto& a : extra_args) {
+    args.push_back(a);
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pipefd[0]);
+    ::close(pipefd[1]);
+    *error = "fork() failed: " + std::string(::strerror(errno));
+    return false;
+  }
+  if (pid == 0) {
+    // Child: stdout -> pipe, then exec the server. Stderr is inherited so
+    // crash output lands in the harness log.
+    ::close(pipefd[0]);
+    ::dup2(pipefd[1], STDOUT_FILENO);
+    ::close(pipefd[1]);
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (auto& a : args) {
+      argv.push_back(a.data());
+    }
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    _exit(127);  // exec failed
+  }
+
+  // Parent: wait for the `listening <port>` readiness line.
+  ::close(pipefd[1]);
+  const int fd = pipefd[0];
+  const int64_t deadline =
+      NowMs() + config_.launch_timeout.micros() / 1000;
+  std::string buffered;
+  for (;;) {
+    const size_t nl = buffered.find('\n');
+    if (nl != std::string::npos) {
+      const std::string line = buffered.substr(0, nl);
+      buffered.erase(0, nl + 1);
+      if (line.rfind("listening ", 0) == 0) {
+        out->pid = pid;
+        out->port = static_cast<uint16_t>(std::atoi(line.c_str() + 10));
+        out->stdout_fd = fd;
+        out->state = ProcessState::kReady;
+        out->label = label;
+        return true;
+      }
+      continue;  // banner noise before/after the readiness line
+    }
+
+    const int64_t remaining = deadline - NowMs();
+    if (remaining <= 0) {
+      break;  // launch timeout
+    }
+    pollfd p{fd, POLLIN, 0};
+    const int pr = ::poll(&p, 1, static_cast<int>(remaining));
+    if (pr < 0 && errno != EINTR) {
+      break;
+    }
+    if (pr > 0) {
+      char chunk[4096];
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n > 0) {
+        buffered.append(chunk, static_cast<size_t>(n));
+        continue;
+      }
+      // EOF: the child exited before becoming ready. Classify its status.
+      int status = 0;
+      WaitTimed(pid, 1000, &status);
+      ::close(fd);
+      if (WIFEXITED(status) && WEXITSTATUS(status) == kServerBindFailureExit) {
+        *bind_failure = true;
+        *error = "child reported bind failure (port taken)";
+      } else {
+        *error = "child exited before readiness (status " +
+                 std::to_string(status) + ")";
+      }
+      return false;
+    }
+  }
+
+  // Timed out waiting for readiness: kill and reap.
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  WaitTimed(pid, 2000, &status);
+  ::close(fd);
+  *error = "launch timeout (" + std::to_string(config_.launch_timeout.micros() / 1000) +
+           " ms) waiting for readiness line";
+  return false;
+}
+
+SpawnResult ProcessSupervisor::Spawn(
+    const std::string& label, const std::vector<std::string>& extra_args) {
+  SpawnResult result;
+  const uint64_t op_id = spawn_counter_++;
+  for (int attempt = 1;; ++attempt) {
+    result.attempts = attempt;
+    std::string error;
+    bool bind_failure = false;
+    if (SpawnOnce(label, extra_args, &result.process, &bind_failure, &error)) {
+      result.ok = true;
+      ++spawned_;
+      return result;
+    }
+    ++launch_failures_;
+    result.bind_failure = result.bind_failure || bind_failure;
+    result.error = error;
+    if (retry_.Exhausted(attempt)) {
+      return result;
+    }
+    SleepWall(retry_.Delay(op_id, attempt));
+  }
+}
+
+void ProcessSupervisor::Reap(ServerProcess& process, ProcessState final_state) {
+  if (process.pid > 0) {
+    int status = 0;
+    if (!WaitTimed(process.pid, 5000, &status)) {
+      // Last resort: a process ignoring SIGKILL does not exist on Linux;
+      // this path only covers waitpid races.
+      ::waitpid(process.pid, &status, 0);
+    }
+    process.exit_status = status;
+    process.pid = -1;
+  }
+  if (process.stdout_fd >= 0) {
+    ::close(process.stdout_fd);
+    process.stdout_fd = -1;
+  }
+  process.state = final_state;
+}
+
+void ProcessSupervisor::Kill(ServerProcess& process) {
+  if (process.pid > 0) {
+    ::kill(process.pid, SIGKILL);
+    ++killed_;
+  }
+  Reap(process, ProcessState::kKilled);
+}
+
+int ProcessSupervisor::Terminate(ServerProcess& process, Duration grace) {
+  if (process.pid > 0) {
+    ::kill(process.pid, SIGTERM);
+    int status = 0;
+    if (WaitTimed(process.pid, static_cast<int>(grace.micros() / 1000),
+                  &status)) {
+      process.exit_status = status;
+      process.pid = -1;
+      if (process.stdout_fd >= 0) {
+        ::close(process.stdout_fd);
+        process.stdout_fd = -1;
+      }
+      process.state = ProcessState::kExited;
+      return status;
+    }
+    ::kill(process.pid, SIGKILL);
+  }
+  Reap(process, ProcessState::kExited);
+  return process.exit_status;
+}
+
+std::string ProcessSupervisor::DrainOutput(ServerProcess& process) {
+  std::string out;
+  if (process.stdout_fd < 0) {
+    return out;
+  }
+  const int flags = ::fcntl(process.stdout_fd, F_GETFL, 0);
+  ::fcntl(process.stdout_fd, F_SETFL, flags | O_NONBLOCK);
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(process.stdout_fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      break;
+    }
+    out.append(chunk, static_cast<size_t>(n));
+  }
+  ::fcntl(process.stdout_fd, F_SETFL, flags);
+  return out;
+}
+
+}  // namespace spotcache::fleet

@@ -1,0 +1,79 @@
+// WarmupStreamer: feed a replacement node its hot items over the memcached
+// text protocol itself, bounded by a token bucket — Fig 4 made of real bytes.
+//
+// The paper's warm-up (§3.2) reads the backup's hot items and writes them to
+// the replacement at a rate the backup's burstable network-token bucket can
+// sustain. Here both ends are real spotcache_server processes: each item is
+// one `get` round-trip against the source and one `set` against the
+// destination, and the streamer refuses to put a byte on the wire until the
+// bucket (src/cloud TokenBucket, charged in wire bytes) has accrued enough —
+// so the transfer's wall-clock duration observably respects
+//   bytes <= initial_tokens + rate * elapsed  (+ one item of slack).
+//
+// Connection failures mid-stream (the source being SIGKILLed is the
+// backup-loss fault) surface as typed NetClient errors; the streamer
+// reconnects with capped backoff and resumes at the current item. Items the
+// source no longer holds are counted, not fatal: a warm-up after an
+// unwarned kill (case 2) legitimately finds nothing on the dead primary and
+// everything on the backup.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/client.h"
+#include "src/util/time.h"
+
+namespace spotcache::fleet {
+
+struct WarmupConfig {
+  /// Token accrual rate in wire bytes per second.
+  double bytes_per_sec = 4.0 * 1024 * 1024;
+  /// Bucket cap (burst allowance), bytes.
+  double burst_bytes = 256.0 * 1024;
+  /// Launch balance, bytes (EC2-style launch credits; 0 = start empty
+  /// and pace from the first item).
+  double initial_tokens = 0.0;
+  /// Sleep granularity while waiting for tokens to accrue.
+  Duration pace_quantum = Duration::Millis(2);
+  /// Reconnect schedule for either endpoint dying mid-stream.
+  net::ReconnectPolicy reconnect;
+  /// Per-round-trip socket timeout.
+  int op_timeout_ms = 1000;
+};
+
+struct WarmupResult {
+  bool ok = false;
+  std::string error;        // first fatal failure when !ok
+  uint64_t items_copied = 0;
+  uint64_t items_missing = 0;  // source did not hold the key
+  uint64_t bytes_copied = 0;   // wire bytes charged to the bucket
+  uint64_t reconnects = 0;     // successful re-dials across both endpoints
+  double duration_s = 0.0;     // wall time of the streaming loop
+  double token_rate = 0.0;     // echo of the config bound, for the report
+  double token_burst = 0.0;
+  double token_initial = 0.0;
+};
+
+class WarmupStreamer {
+ public:
+  explicit WarmupStreamer(const WarmupConfig& config) : config_(config) {}
+
+  /// Streams `keys` from source to destination. Blocks for the duration of
+  /// the (paced) transfer.
+  WarmupResult Stream(const std::string& source_host, uint16_t source_port,
+                      const std::string& dest_host, uint16_t dest_port,
+                      const std::vector<std::string>& keys);
+
+ private:
+  WarmupConfig config_;
+};
+
+/// Wire bytes of one item transfer: the `get` request + VALUE reply on the
+/// source leg and the `set` + STORED on the destination leg. This is the
+/// amount charged to the token bucket per item.
+uint64_t WarmupWireBytes(std::string_view key, std::string_view value);
+
+}  // namespace spotcache::fleet

@@ -7,8 +7,10 @@
 #include <string.h>
 #include <sys/socket.h>
 #include <sys/time.h>
+#include <time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <charconv>
 #include <vector>
 
@@ -42,20 +44,74 @@ bool ToInt(std::string_view tok, Int* out) {
   return ec == std::errc() && ptr == tok.data() + tok.size();
 }
 
+NetClientError ClassifyErrno(int err) {
+  switch (err) {
+    case ECONNREFUSED:
+      return NetClientError::kRefused;
+    case ECONNRESET:
+      return NetClientError::kReset;
+    case EPIPE:
+      return NetClientError::kPipe;
+    case EAGAIN:
+#if EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case ETIMEDOUT:
+    case EINPROGRESS:
+      return NetClientError::kTimeout;
+    default:
+      return NetClientError::kOther;
+  }
+}
+
+void SleepMs(int ms) {
+  timespec ts{};
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = static_cast<long>(ms % 1000) * 1'000'000L;
+  ::nanosleep(&ts, nullptr);
+}
+
 }  // namespace
+
+std::string_view ToString(NetClientError e) {
+  switch (e) {
+    case NetClientError::kNone:
+      return "none";
+    case NetClientError::kRefused:
+      return "refused";
+    case NetClientError::kTimeout:
+      return "timeout";
+    case NetClientError::kReset:
+      return "reset";
+    case NetClientError::kPipe:
+      return "pipe";
+    case NetClientError::kClosed:
+      return "closed";
+    case NetClientError::kNotConnected:
+      return "not_connected";
+    case NetClientError::kOther:
+      return "other";
+  }
+  return "unknown";
+}
 
 NetClient::~NetClient() { Close(); }
 
-bool NetClient::Connect(const std::string& host, uint16_t port,
-                        int timeout_ms) {
+void NetClient::RecordError(NetClientError e, int err) {
+  last_error_ = e;
+  last_errno_ = err;
+}
+
+bool NetClient::DialOnce() {
   Close();
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) {
+    RecordError(NetClientError::kOther, errno);
     return false;
   }
   timeval tv{};
-  tv.tv_sec = timeout_ms / 1000;
-  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  tv.tv_sec = timeout_ms_ / 1000;
+  tv.tv_usec = (timeout_ms_ % 1000) * 1000;
   ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
   const int one = 1;
@@ -63,13 +119,49 @@ bool NetClient::Connect(const std::string& host, uint16_t port,
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
-      ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    RecordError(NetClientError::kRefused, 0);
     Close();
     return false;
   }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    RecordError(ClassifyErrno(errno), errno);
+    Close();
+    return false;
+  }
+  RecordError(NetClientError::kNone, 0);
   return true;
+}
+
+bool NetClient::Connect(const std::string& host, uint16_t port,
+                        int timeout_ms) {
+  host_ = host;
+  port_ = port;
+  timeout_ms_ = timeout_ms;
+  return DialOnce();
+}
+
+bool NetClient::Reconnect(const ReconnectPolicy& policy) {
+  if (host_.empty()) {
+    RecordError(NetClientError::kNotConnected, 0);
+    return false;
+  }
+  double backoff = static_cast<double>(policy.initial_backoff_ms);
+  for (int attempt = 1; attempt <= std::max(policy.max_attempts, 1);
+       ++attempt) {
+    if (DialOnce()) {
+      ++reconnects_;
+      return true;
+    }
+    if (attempt == policy.max_attempts) {
+      break;
+    }
+    SleepMs(static_cast<int>(backoff));
+    backoff = std::min(backoff * policy.backoff_factor,
+                       static_cast<double>(policy.max_backoff_ms));
+  }
+  return false;
 }
 
 void NetClient::Close() {
@@ -82,6 +174,13 @@ void NetClient::Close() {
 }
 
 bool NetClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) {
+    RecordError(NetClientError::kNotConnected, 0);
+    return false;
+  }
+  // Each operation starts with a clean slate so last_error() always refers
+  // to the most recent round trip, not a stale, already-recovered failure.
+  RecordError(NetClientError::kNone, 0);
   size_t sent = 0;
   while (sent < bytes.size()) {
     const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
@@ -90,6 +189,8 @@ bool NetClient::SendRaw(std::string_view bytes) {
       if (n < 0 && errno == EINTR) {
         continue;
       }
+      RecordError(n < 0 ? ClassifyErrno(errno) : NetClientError::kClosed,
+                  n < 0 ? errno : 0);
       return false;
     }
     sent += static_cast<size_t>(n);
@@ -98,9 +199,18 @@ bool NetClient::SendRaw(std::string_view bytes) {
 }
 
 bool NetClient::FillMore() {
+  if (fd_ < 0) {
+    RecordError(NetClientError::kNotConnected, 0);
+    return false;
+  }
   char chunk[16 * 1024];
   const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-  if (n <= 0) {
+  if (n < 0) {
+    RecordError(ClassifyErrno(errno), errno);
+    return false;
+  }
+  if (n == 0) {
+    RecordError(NetClientError::kClosed, 0);
     return false;
   }
   // Compact the consumed prefix before growing.

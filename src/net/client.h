@@ -1,7 +1,15 @@
 // NetClient: a small blocking memcached text-protocol client, used by the
-// conformance suite, the loopback bench, and anyone who wants to poke a
-// spotcache_server by hand. Not a connection pool — one socket, synchronous
-// round trips, explicit timeouts.
+// conformance suite, the loopback bench, the fleet warm-up streamer, and
+// anyone who wants to poke a spotcache_server by hand. Not a connection pool —
+// one socket, synchronous round trips, explicit timeouts.
+//
+// Transport failures are surfaced as typed NetClientError values (refused /
+// reset / pipe / timeout / peer-closed), which is what lets callers like the
+// FleetRouter distinguish "the process was SIGKILLed under me" (reset or
+// closed: trip the breaker, reconnect to the replacement) from "the server is
+// slow" (timeout: back off). Reconnect() re-dials the last Connect() target
+// with capped exponential backoff, so a client can ride through a supervisor
+// respawning the process behind its endpoint.
 //
 // For conformance testing there is also a raw path: SendRaw() +
 // RoundTripRaw(), which appends a `version` sentinel so arbitrary (even
@@ -18,6 +26,31 @@
 
 namespace spotcache::net {
 
+/// Why the last transport operation failed. kNone after any success;
+/// protocol-level failures (e.g. NOT_STORED) are not errors — these cover the
+/// socket only.
+enum class NetClientError : uint8_t {
+  kNone,        // no transport failure recorded
+  kRefused,     // connect() rejected (ECONNREFUSED / bad address)
+  kTimeout,     // SO_RCVTIMEO / SO_SNDTIMEO expired (EAGAIN / ETIMEDOUT)
+  kReset,       // ECONNRESET: the peer was killed or dropped us mid-stream
+  kPipe,        // EPIPE on send: writing into a dead connection
+  kClosed,      // orderly FIN from the peer (recv returned 0)
+  kNotConnected,// operation attempted with no socket
+  kOther,       // anything else (errno preserved in last_errno())
+};
+
+std::string_view ToString(NetClientError e);
+
+/// Backoff schedule for Reconnect(): capped exponential, no jitter (the
+/// caller's RetryPolicy owns jittered scheduling when it matters).
+struct ReconnectPolicy {
+  int max_attempts = 5;
+  int initial_backoff_ms = 10;
+  int max_backoff_ms = 500;
+  double backoff_factor = 2.0;
+};
+
 class NetClient {
  public:
   NetClient() = default;
@@ -30,6 +63,20 @@ class NetClient {
                int timeout_ms = 5000);
   void Close();
   bool connected() const { return fd_ >= 0; }
+
+  /// Re-dials the last Connect() target, sleeping between attempts on the
+  /// policy's capped-exponential schedule. Returns true once connected; on
+  /// exhaustion last_error() holds the final attempt's failure. Safe to call
+  /// while still connected (the old socket is closed first).
+  bool Reconnect(const ReconnectPolicy& policy = {});
+
+  /// Last transport failure (kNone after any successful Connect/Reconnect or
+  /// completed read/write).
+  NetClientError last_error() const { return last_error_; }
+  /// The errno captured with last_error() (0 for kClosed / kNotConnected).
+  int last_errno() const { return last_errno_; }
+  /// Total successful Reconnect() dials over the client's lifetime.
+  uint64_t reconnects() const { return reconnects_; }
 
   // --- Typed helpers (true / value on protocol success). ---------------
   bool Set(std::string_view key, std::string_view value, uint32_t flags = 0,
@@ -71,11 +118,22 @@ class NetClient {
  private:
   std::optional<std::string> SimpleCommand(std::string cmd);
   GetResult Retrieve(std::string_view verb, std::string_view key);
+  bool DialOnce();
+  void RecordError(NetClientError e, int err);
 
   int fd_ = -1;
   std::string rbuf_;  // bytes received but not yet consumed
   size_t rpos_ = 0;
   bool FillMore();
+
+  // Last Connect() target, for Reconnect().
+  std::string host_;
+  uint16_t port_ = 0;
+  int timeout_ms_ = 5000;
+
+  NetClientError last_error_ = NetClientError::kNone;
+  int last_errno_ = 0;
+  uint64_t reconnects_ = 0;
 };
 
 }  // namespace spotcache::net

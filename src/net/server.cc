@@ -179,7 +179,6 @@ bool NetServer::Start() {
 }
 
 bool NetServer::Run() {
-  running_ = true;
   t0_us_ = 0;
   t0_us_ = LoopMicros();
   if (telemetry_ != nullptr) {
@@ -194,7 +193,7 @@ bool NetServer::Run() {
   bool ok = true;
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
-  while (running_) {
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
     const int64_t t_wait0 = instrument ? RequestTelemetry::NowMicros() : 0;
     const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, wait_ms);
     const int64_t t_work0 = instrument ? RequestTelemetry::NowMicros() : 0;
@@ -206,7 +205,8 @@ bool NetServer::Run() {
       ok = false;
       break;
     }
-    for (int i = 0; i < n && running_; ++i) {
+    for (int i = 0;
+         i < n && !stop_requested_.load(std::memory_order_relaxed); ++i) {
       const int fd = events[i].data.fd;
       if (fd == listen_fd_) {
         AcceptReady(listen_fd_, /*metrics=*/false);
@@ -278,7 +278,11 @@ bool NetServer::Run() {
 }
 
 void NetServer::Stop() {
-  running_ = false;
+  // Async-signal-safe: one relaxed atomic store + one write(2). Sticky, so a
+  // SIGTERM arriving between the readiness line and Run() entry still stops
+  // the loop (the fleet supervisor terminates fast enough to hit that
+  // window).
+  stop_requested_.store(true, std::memory_order_relaxed);
   if (wake_fd_ >= 0) {
     const uint64_t one = 1;
     (void)!::write(wake_fd_, &one, sizeof(one));

@@ -221,7 +221,10 @@ class NetServer {
   int wake_fd_ = -1;
   uint16_t port_ = 0;
   uint16_t metrics_port_ = 0;
-  bool running_ = false;
+  /// Sticky stop request: set by Stop() (possibly from a signal handler,
+  /// possibly before Run() has even been entered) and only ever read by the
+  /// loop — a stop can never be lost to the start-up race.
+  std::atomic<bool> stop_requested_{false};
   uint64_t next_conn_id_ = 1;
   int64_t t0_us_ = 0;
   std::unordered_map<int, std::unique_ptr<Connection>> conns_;

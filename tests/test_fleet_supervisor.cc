@@ -1,0 +1,314 @@
+// ProcessSupervisor + KillSchedule + WarmupStreamer unit coverage (fleet
+// mode): the readiness-line launch handshake against the real
+// spotcache_server binary, launch-failure classification (missing binary vs
+// bind failure), SIGKILL revocation semantics, the --pidfile contract, the
+// purity of the kill schedule, and the warm-up token-bucket pacing bound.
+//
+// The server binary path arrives as argv[1] (wired by CMake via
+// $<TARGET_FILE:spotcache_server>); process-spawning tests skip without it.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/fleet/kill_schedule.h"
+#include "src/fleet/process_supervisor.h"
+#include "src/fleet/warmup_streamer.h"
+#include "src/net/client.h"
+
+namespace spotcache::fleet {
+namespace {
+
+std::string g_server_bin;  // set from argv[1] in main() below
+
+/// Drill-scale retry schedule so failure tests finish in milliseconds.
+SupervisorConfig FastConfig() {
+  SupervisorConfig config;
+  config.server_binary = g_server_bin;
+  config.launch_timeout = Duration::Seconds(10);
+  config.retry.initial_delay = Duration::Millis(5);
+  config.retry.max_delay = Duration::Millis(20);
+  config.retry.max_attempts = 3;
+  return config;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return "";
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Launch handshake.
+
+TEST(ProcessSupervisor, SpawnHandshakeYieldsAServingProcess) {
+  if (g_server_bin.empty()) {
+    GTEST_SKIP() << "server binary path not provided";
+  }
+  ProcessSupervisor supervisor(FastConfig());
+  SpawnResult result =
+      supervisor.Spawn("primary-0", {"--port=0", "--capacity-mb=4"});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.attempts, 1);
+  EXPECT_GT(result.process.port, 0);
+  EXPECT_EQ(result.process.state, ProcessState::kReady);
+  EXPECT_EQ(supervisor.spawned(), 1);
+
+  // The readiness line is not a lie: the port serves the text protocol.
+  net::NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", result.process.port, 2000));
+  EXPECT_TRUE(client.Set("k", "v"));
+  const auto got = client.Get("k");
+  EXPECT_TRUE(got.found);
+  EXPECT_EQ(got.value, "v");
+  client.Close();
+
+  const int status = supervisor.Terminate(result.process);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  EXPECT_EQ(result.process.state, ProcessState::kExited);
+}
+
+TEST(ProcessSupervisor, MissingBinaryExhaustsTheRetryBudget) {
+  SupervisorConfig config = FastConfig();
+  config.server_binary = "/nonexistent/spotcache_server";
+  ProcessSupervisor supervisor(config);
+  const SpawnResult result = supervisor.Spawn("primary-0", {"--port=0"});
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.attempts, config.retry.max_attempts);
+  EXPECT_EQ(supervisor.launch_failures(), config.retry.max_attempts);
+  EXPECT_FALSE(result.bind_failure);
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(ProcessSupervisor, BindFailureExitCodeIsClassified) {
+  if (g_server_bin.empty()) {
+    GTEST_SKIP() << "server binary path not provided";
+  }
+  // Occupy a port so the child's bind fails deterministically.
+  const int blocker = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(blocker, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(blocker, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(blocker, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  ASSERT_EQ(::listen(blocker, 1), 0);
+  const uint16_t taken = ntohs(addr.sin_port);
+
+  ProcessSupervisor supervisor(FastConfig());
+  const SpawnResult result =
+      supervisor.Spawn("primary-0", {"--port=" + std::to_string(taken)});
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.bind_failure)
+      << "exit code should identify 'port taken': " << result.error;
+  ::close(blocker);
+}
+
+// ---------------------------------------------------------------------------
+// Revocation semantics.
+
+TEST(ProcessSupervisor, KillIsSigkillAndReaps) {
+  if (g_server_bin.empty()) {
+    GTEST_SKIP() << "server binary path not provided";
+  }
+  ProcessSupervisor supervisor(FastConfig());
+  SpawnResult result = supervisor.Spawn("victim", {"--port=0"});
+  ASSERT_TRUE(result.ok) << result.error;
+  const uint16_t port = result.process.port;
+
+  supervisor.Kill(result.process);
+  EXPECT_EQ(result.process.state, ProcessState::kKilled);
+  EXPECT_EQ(result.process.pid, -1);  // reaped, no zombie
+  EXPECT_EQ(supervisor.killed(), 1);
+  EXPECT_TRUE(WIFSIGNALED(result.process.exit_status));
+  EXPECT_EQ(WTERMSIG(result.process.exit_status), SIGKILL);
+
+  // The endpoint is actually dead: a fresh dial must fail.
+  net::NetClient client;
+  EXPECT_FALSE(client.Connect("127.0.0.1", port, 500));
+}
+
+TEST(ProcessSupervisor, PidfileWrittenOnReadinessRemovedOnCleanExit) {
+  if (g_server_bin.empty()) {
+    GTEST_SKIP() << "server binary path not provided";
+  }
+  const std::string pidfile =
+      testing::TempDir() + "spotcache_test_pidfile_" +
+      std::to_string(::getpid()) + ".pid";
+  ProcessSupervisor supervisor(FastConfig());
+  SpawnResult result =
+      supervisor.Spawn("primary-0", {"--port=0", "--pidfile=" + pidfile});
+  ASSERT_TRUE(result.ok) << result.error;
+
+  // Readiness implies the pidfile exists and names the child.
+  const std::string contents = ReadFileOrEmpty(pidfile);
+  ASSERT_FALSE(contents.empty()) << "pidfile missing at readiness";
+  EXPECT_EQ(std::stoi(contents), result.process.pid);
+
+  const int status = supervisor.Terminate(result.process);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  EXPECT_TRUE(ReadFileOrEmpty(pidfile).empty())
+      << "pidfile not removed on clean shutdown";
+}
+
+// ---------------------------------------------------------------------------
+// Kill schedule purity.
+
+TEST(KillSchedule, SameSeedAndScenarioReplayIdentically) {
+  KillScheduleParams params;
+  params.seed = 0xfee7;
+  params.scenario.name = "storms";
+  params.scenario.storm_count = 4;
+  params.scenario.storm_market_fraction = 0.4;
+  params.scenario.missed_warning_fraction = 0.3;
+  params.scenario.late_warning_fraction = 0.3;
+  params.scenario.window_end = SimTime() + Duration::Minutes(10);
+  params.node_count = 3;
+
+  const KillSchedule a = BuildKillSchedule(params);
+  const KillSchedule b = BuildKillSchedule(params);
+  EXPECT_EQ(a, b);
+  ASSERT_FALSE(a.actions.empty());
+
+  for (size_t i = 0; i < a.actions.size(); ++i) {
+    const KillAction& action = a.actions[i];
+    EXPECT_GE(action.kill_at, params.window_start);
+    EXPECT_LE(action.kill_at, params.window_start + params.window_length);
+    EXPECT_GE(action.slot, 0);
+    EXPECT_LT(action.slot, params.node_count);
+    if (action.warned) {
+      EXPECT_LE(action.warning_lead, params.warning_lead);
+    } else {
+      EXPECT_EQ(action.warning_lead, Duration());
+    }
+    if (i > 0) {
+      EXPECT_GE(action.kill_at, a.actions[i - 1].kill_at) << "not sorted";
+    }
+  }
+
+  // A different seed must not replay the same schedule (storm times move).
+  KillScheduleParams other = params;
+  other.seed = 0xfee8;
+  EXPECT_FALSE(BuildKillSchedule(other) == a);
+}
+
+TEST(KillSchedule, SuppressedAndLateWarningsAppearAtForcedFractions) {
+  KillScheduleParams params;
+  params.scenario.storm_count = 8;
+  params.scenario.storm_market_fraction = 1.0;  // every slot, every storm
+  params.scenario.missed_warning_fraction = 1.0;
+  params.scenario.window_end = SimTime() + Duration::Minutes(10);
+  params.node_count = 2;
+  for (const KillAction& action : BuildKillSchedule(params).actions) {
+    EXPECT_FALSE(action.warned);  // fraction 1.0 suppresses every warning
+  }
+
+  params.scenario.missed_warning_fraction = 0.0;
+  params.scenario.late_warning_fraction = 0.0;
+  for (const KillAction& action : BuildKillSchedule(params).actions) {
+    EXPECT_TRUE(action.warned);
+    EXPECT_FALSE(action.late);
+    EXPECT_EQ(action.warning_lead, params.warning_lead);  // full notice
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Warm-up streaming.
+
+TEST(WarmupStreamer, WireBytesCoverBothLegs) {
+  const uint64_t bytes = WarmupWireBytes("key", "value");
+  // get + VALUE reply + set + STORED must all be charged: strictly more than
+  // the payload alone on each leg.
+  EXPECT_GT(bytes, 2u * 5u);
+}
+
+TEST(WarmupStreamer, StreamsHotItemsWithinTheTokenBound) {
+  if (g_server_bin.empty()) {
+    GTEST_SKIP() << "server binary path not provided";
+  }
+  ProcessSupervisor supervisor(FastConfig());
+  SpawnResult source = supervisor.Spawn("backup", {"--port=0"});
+  SpawnResult dest = supervisor.Spawn("replacement", {"--port=0"});
+  ASSERT_TRUE(source.ok) << source.error;
+  ASSERT_TRUE(dest.ok) << dest.error;
+
+  // Prefill the source with the hot set.
+  const std::string value(512, 'h');
+  std::vector<std::string> keys;
+  uint64_t wire_bytes = 0;
+  {
+    net::NetClient fill;
+    ASSERT_TRUE(fill.Connect("127.0.0.1", source.process.port, 2000));
+    for (int i = 0; i < 24; ++i) {
+      keys.push_back("hot:" + std::to_string(i));
+      ASSERT_TRUE(fill.Set(keys.back(), value));
+      wire_bytes += WarmupWireBytes(keys.back(), value);
+    }
+  }
+  keys.push_back("hot:missing");  // never stored: counted, not fatal
+
+  WarmupConfig config;
+  config.bytes_per_sec = static_cast<double>(wire_bytes) * 2.0;  // ~0.5 s
+  config.burst_bytes = 2048.0;
+  config.initial_tokens = 0.0;
+  WarmupStreamer streamer(config);
+  const WarmupResult result =
+      streamer.Stream("127.0.0.1", source.process.port, "127.0.0.1",
+                      dest.process.port, keys);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.items_copied, 24u);
+  EXPECT_EQ(result.items_missing, 1u);
+  EXPECT_EQ(result.bytes_copied, wire_bytes);
+
+  // The pacing property from the header: no more wire bytes than the bucket
+  // could have accrued over the observed duration (+ burst cap slack).
+  EXPECT_LE(static_cast<double>(result.bytes_copied),
+            config.initial_tokens + config.bytes_per_sec * result.duration_s +
+                config.burst_bytes);
+  // And the transfer was genuinely paced, not instantaneous.
+  EXPECT_GT(result.duration_s, 0.1);
+
+  // Every copied item is servable from the replacement.
+  net::NetClient check;
+  ASSERT_TRUE(check.Connect("127.0.0.1", dest.process.port, 2000));
+  for (int i = 0; i < 24; ++i) {
+    const auto got = check.Get("hot:" + std::to_string(i));
+    EXPECT_TRUE(got.found) << "hot:" << i;
+    EXPECT_EQ(got.value, value);
+  }
+  EXPECT_FALSE(check.Get("hot:missing").found);
+
+  supervisor.Terminate(source.process);
+  supervisor.Terminate(dest.process);
+}
+
+}  // namespace
+}  // namespace spotcache::fleet
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (argc > 1) {
+    spotcache::fleet::g_server_bin = argv[1];
+  }
+  return RUN_ALL_TESTS();
+}

@@ -15,6 +15,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <functional>
@@ -235,6 +236,132 @@ TEST(NetClientErrors, SendToStalledPeerFailsInsteadOfSpinning) {
   EXPECT_FALSE(sent);
   EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
             30);
+}
+
+// ---------------------------------------------------------------------------
+// Typed transport errors + Reconnect() (fleet-mode satellite): the failure
+// taxonomy the FleetRouter branches on when a server process is SIGKILLed
+// behind a live connection.
+
+TEST(NetClientTypedErrors, ConnectRefusedIsTyped) {
+  // Grab an ephemeral port and close it so nothing is listening there.
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const uint16_t dead_port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  NetClient client;
+  EXPECT_FALSE(client.Connect("127.0.0.1", dead_port, 500));
+  EXPECT_EQ(client.last_error(), NetClientError::kRefused);
+  EXPECT_EQ(client.last_errno(), ECONNREFUSED);
+  EXPECT_EQ(ToString(NetClientError::kRefused), "refused");
+}
+
+TEST(NetClientTypedErrors, PeerFinIsTypedClosed) {
+  ScriptedServer server([](int fd) { ReadUntil(fd, "\r\n"); });
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 2000));
+  EXPECT_EQ(client.last_error(), NetClientError::kNone);
+  EXPECT_FALSE(client.Get("k").found);
+  EXPECT_EQ(client.last_error(), NetClientError::kClosed);
+  EXPECT_EQ(client.last_errno(), 0);
+}
+
+TEST(NetClientTypedErrors, ProtocolErrorIsNotATransportError) {
+  // SERVER_ERROR is a healthy connection delivering bad news: last_error()
+  // must stay kNone so callers don't trip breakers on overload replies.
+  ScriptedServer server([](int fd) {
+    ReadUntil(fd, "\r\n");
+    WriteAll(fd, "SERVER_ERROR temporarily overloaded\r\n");
+  });
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 2000));
+  EXPECT_FALSE(client.Get("k").found);
+  EXPECT_EQ(client.last_error(), NetClientError::kNone);
+}
+
+TEST(NetClientTypedErrors, OperationWithoutSocketIsNotConnected) {
+  NetClient client;
+  EXPECT_FALSE(client.Get("k").found);
+  EXPECT_EQ(client.last_error(), NetClientError::kNotConnected);
+}
+
+TEST(NetClientTypedErrors, ReconnectRedialsAfterPeerDeath) {
+  // A persistent listener whose first accepted connection dies instantly
+  // (the SIGKILLed process) and whose second serves normally (the
+  // replacement bound to the same endpoint).
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(
+      ::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(
+      ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const uint16_t port = ntohs(addr.sin_port);
+  ASSERT_EQ(::listen(listen_fd, 4), 0);
+  std::thread peer([listen_fd] {
+    const int fd1 = ::accept(listen_fd, nullptr, nullptr);
+    if (fd1 >= 0) {
+      ::close(fd1);  // dies under the client
+    }
+    const int fd2 = ::accept(listen_fd, nullptr, nullptr);
+    if (fd2 >= 0) {
+      ReadUntil(fd2, "\r\n");
+      WriteAll(fd2, "VALUE k 0 2\r\nok\r\nEND\r\n");
+      ::close(fd2);
+    }
+  });
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port, 2000));
+  EXPECT_FALSE(client.Get("k").found);
+  // Depending on timing the failed round trip lands as FIN, RST, or EPIPE —
+  // all are transport errors, never kNone.
+  EXPECT_NE(client.last_error(), NetClientError::kNone);
+
+  ReconnectPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_ms = 5;
+  EXPECT_TRUE(client.Reconnect(policy));
+  EXPECT_EQ(client.reconnects(), 1u);
+  EXPECT_EQ(client.last_error(), NetClientError::kNone);
+  EXPECT_TRUE(client.Get("k").found);
+
+  peer.join();
+  ::close(listen_fd);
+}
+
+TEST(NetClientTypedErrors, ReconnectExhaustionKeepsFinalError) {
+  ScriptedServer server([](int fd) { ReadUntil(fd, "\r\n"); });
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 2000));
+  EXPECT_FALSE(client.Get("k").found);  // peer closed; listener also gone
+
+  ReconnectPolicy policy;
+  policy.max_attempts = 2;
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 2;
+  // The ScriptedServer's listener may linger until its destructor; either
+  // every dial is refused, or a dial lands on the dead backlog and the next
+  // round trip fails. Exhaustion must report false with a typed error.
+  if (!client.Reconnect(policy)) {
+    EXPECT_NE(client.last_error(), NetClientError::kNone);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "src/core/experiment.h"
@@ -76,6 +77,67 @@ TEST(RetryPolicy, DeadlineBudget) {
   RetryPolicyConfig open_ended;
   open_ended.deadline = Duration();
   EXPECT_TRUE(RetryPolicy(open_ended, 1).WithinDeadline(Duration::Days(365)));
+}
+
+TEST(RetryPolicy, ZeroDeadlineDisablesTheBudgetEntirely) {
+  // Zero means "no budget", not "already exhausted": the very first check
+  // (elapsed == 0) and an arbitrarily old op must both pass.
+  RetryPolicyConfig cfg;
+  cfg.deadline = Duration();
+  const RetryPolicy policy(cfg, 9);
+  EXPECT_TRUE(policy.WithinDeadline(Duration::Micros(0)));
+  EXPECT_TRUE(policy.WithinDeadline(Duration::Days(10'000)));
+}
+
+TEST(RetryPolicy, DeadlineShorterThanInitialDelayDegradesBeforeFirstRetry) {
+  // A budget smaller than the first backoff step is legal: the op gets its
+  // first try, but the deadline check fails before any retry can be slept —
+  // the caller must fail over instead of waiting out initial_delay.
+  RetryPolicyConfig cfg;
+  cfg.initial_delay = Duration::Seconds(10);
+  cfg.deadline = Duration::Seconds(1);
+  EXPECT_TRUE(Validate(cfg).empty());
+  const RetryPolicy policy(cfg, 9);
+  EXPECT_TRUE(policy.WithinDeadline(Duration::Micros(0)));
+  EXPECT_FALSE(policy.WithinDeadline(policy.Delay(/*op_id=*/1, /*attempt=*/1)));
+}
+
+TEST(RetryPolicy, OneMicrosecondDeadlineBoundary) {
+  // The budget is exclusive at the boundary: elapsed == deadline is over.
+  RetryPolicyConfig cfg;
+  cfg.deadline = Duration::Micros(1);
+  const RetryPolicy policy(cfg, 9);
+  EXPECT_TRUE(policy.WithinDeadline(Duration::Micros(0)));
+  EXPECT_FALSE(policy.WithinDeadline(Duration::Micros(1)));
+}
+
+TEST(RetryPolicy, ExhaustedNearIntMaxDoesNotOverflow) {
+  // An effectively-unbounded attempts budget must not wrap: the comparison
+  // is attempts >= max_attempts, with no +1 anywhere that could overflow.
+  RetryPolicyConfig cfg;
+  cfg.max_attempts = std::numeric_limits<int>::max();
+  const RetryPolicy policy(cfg, 9);
+  EXPECT_FALSE(policy.Exhausted(0));
+  EXPECT_FALSE(policy.Exhausted(std::numeric_limits<int>::max() - 1));
+  EXPECT_TRUE(policy.Exhausted(std::numeric_limits<int>::max()));
+}
+
+TEST(RetryPolicy, DelayStaysBoundedAndPureForHugeAttemptNumbers) {
+  // Deep retry chains (supervisors that never give up) keep sampling inside
+  // [initial, max]: the decorrelated-jitter recurrence saturates at the cap
+  // instead of growing or going non-finite.
+  RetryPolicyConfig cfg;
+  cfg.initial_delay = Duration::Millis(10);
+  cfg.max_delay = Duration::Seconds(5);
+  cfg.max_attempts = std::numeric_limits<int>::max();
+  const RetryPolicy a(cfg, 11);
+  const RetryPolicy b(cfg, 11);
+  for (const int attempt : {100, 1000, 5000}) {
+    const Duration d = a.Delay(/*op_id=*/3, attempt);
+    EXPECT_GE(d, cfg.initial_delay) << "attempt " << attempt;
+    EXPECT_LE(d, cfg.max_delay) << "attempt " << attempt;
+    EXPECT_EQ(d, b.Delay(3, attempt)) << "attempt " << attempt;
+  }
 }
 
 TEST(RetryPolicy, ValidateRejectsMalformedConfigs) {
