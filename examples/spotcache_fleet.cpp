@@ -2,6 +2,7 @@
 //
 //   spotcache_fleet --server=./spotcache_server [--seed=42] [--kills=2]
 //                   [--primaries=3] [--report=FILE] [--trace=FILE]
+//   spotcache_fleet --server=./spotcache_server --proxy=./spotcache_proxy
 //
 // Spawns a fleet (N primaries + 1 burstable-style backup) of real
 // spotcache_server processes, drives paced Zipf traffic through the
@@ -12,8 +13,19 @@
 // the recovery timeline: per-kill warning/kill/warm-up timestamps, hit-rate
 // windows, and router degradation counters.
 //
+// With --proxy the drill instead launches a standalone spotcache_proxy as
+// another supervised process, narrates every chaos action to it through the
+// fleet membership file + SIGHUP, and drives open-loop loadgen traffic
+// through the proxy — the paper's application-facing routing tier, end to
+// end on one box.
+//
 // Flags:
 //   --server=PATH          spotcache_server binary (required)
+//   --proxy=PATH           spotcache_proxy binary: route traffic through a
+//                          standalone proxy tier instead of the in-process
+//                          router
+//   --connections=N        open-loop connections against the proxy (def. 4)
+//   --window=N             proxy per-upstream pipelined window (default 32)
 //   --seed=N               drives the kill schedule AND the traffic stream
 //   --kills=N              revocation storms in the chaos window (default 2)
 //   --primaries=N          primary fleet size (default 3)
@@ -29,19 +41,25 @@
 //   --boot-delay-ms=N      modeled replacement boot time (default 150)
 //   --warmup-mbps=F        warm-up token-bucket rate (default 4 MiB/s)
 //   --no-breakers          surface connection errors instead of degrading
+//   --grid                 sweep the (seed x storms x warning fate) drill
+//                          grid instead of one drill; markdown to stdout
+//   --grid-out=FILE        write the grid markdown table to FILE
 //   --report=FILE          write the JSON drill report (default stdout only)
 //   --trace=FILE           write the merged JSONL event trace
 //   --help
 //
 // Exit codes: 0 = drill ran and the fleet recovered; 1 = drill failed to
 // run; 4 = drill ran but the hit rate never re-reached the recovery
-// threshold (so CI can gate on recovery specifically).
+// threshold; 5 = proxy drill recovered but surfaced connection failures to
+// clients (failed conns or abandoned in-flight ops — the proxy's absorption
+// contract broke). CI gates on 4 and 5 specifically.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "src/fleet/drill.h"
+#include "src/fleet/drill_grid.h"
 #include "src/obs/exporters.h"
 
 using namespace spotcache;
@@ -50,23 +68,29 @@ using namespace spotcache::fleet;
 namespace {
 
 constexpr int kExitNoRecovery = 4;
+constexpr int kExitConnErrors = 5;
 
 int Usage(int exit_code) {
   std::printf(
-      "usage: spotcache_fleet --server=PATH [--seed=N] [--kills=N]\n"
+      "usage: spotcache_fleet --server=PATH [--proxy=PATH]\n"
+      "                       [--connections=N] [--window=N]\n"
+      "                       [--seed=N] [--kills=N]\n"
       "                       [--primaries=N] [--missed-warning=F]\n"
       "                       [--late-warning=F] [--capacity-mb=N]\n"
       "                       [--keys=N] [--hot=N] [--rate=N]\n"
       "                       [--lead-in-ms=N] [--chaos-ms=N]\n"
       "                       [--recovery-ms=N] [--warning-lead-ms=N]\n"
       "                       [--boot-delay-ms=N] [--warmup-mbps=F]\n"
-      "                       [--no-breakers] [--report=FILE]\n"
-      "                       [--trace=FILE] [--help]\n"
+      "                       [--no-breakers] [--grid] [--grid-out=FILE]\n"
+      "                       [--report=FILE] [--trace=FILE] [--help]\n"
       "\n"
       "Runs the fleet chaos drill: real spotcache_server processes, real\n"
       "SIGKILL revocations on a (seed, scenario)-deterministic schedule,\n"
-      "and wire-level warm-up of replacements from the backup.\n"
-      "Exit: 0 recovered, 1 drill error, 4 ran but did not recover.\n");
+      "and wire-level warm-up of replacements from the backup. With\n"
+      "--proxy, traffic flows through a supervised spotcache_proxy that\n"
+      "follows the chaos via membership-file reloads.\n"
+      "Exit: 0 recovered, 1 drill error, 4 ran but did not recover,\n"
+      "5 recovered but surfaced connection failures to clients.\n");
   return exit_code;
 }
 
@@ -78,6 +102,8 @@ int main(int argc, char** argv) {
   double missed_warning = 0.0;
   double late_warning = 0.0;
   double warmup_mbps = 4.0;
+  bool grid = false;
+  std::string grid_out_path;
   std::string report_path;
   std::string trace_path;
 
@@ -85,6 +111,12 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--server=", 0) == 0) {
       config.server_binary = arg.substr(9);
+    } else if (arg.rfind("--proxy=", 0) == 0) {
+      config.proxy_binary = arg.substr(8);
+    } else if (arg.rfind("--connections=", 0) == 0) {
+      config.proxy_connections = std::atoi(arg.c_str() + 14);
+    } else if (arg.rfind("--window=", 0) == 0) {
+      config.proxy_window = std::atoi(arg.c_str() + 9);
     } else if (arg.rfind("--seed=", 0) == 0) {
       config.seed = static_cast<uint64_t>(std::atoll(arg.c_str() + 7));
     } else if (arg.rfind("--kills=", 0) == 0) {
@@ -118,6 +150,11 @@ int main(int argc, char** argv) {
       warmup_mbps = std::atof(arg.c_str() + 14);
     } else if (arg == "--no-breakers") {
       config.router.breakers_enabled = false;
+    } else if (arg == "--grid") {
+      grid = true;
+    } else if (arg.rfind("--grid-out=", 0) == 0) {
+      grid = true;
+      grid_out_path = arg.substr(11);
     } else if (arg.rfind("--report=", 0) == 0) {
       report_path = arg.substr(9);
     } else if (arg.rfind("--trace=", 0) == 0) {
@@ -147,10 +184,34 @@ int main(int argc, char** argv) {
 
   std::printf(
       "fleet drill: %d primaries + backup, %d storm(s), seed %llu, "
-      "%.0f ops/s\n",
+      "%.0f ops/s%s\n",
       config.primaries, kills,
-      static_cast<unsigned long long>(config.seed), config.rate);
+      static_cast<unsigned long long>(config.seed), config.rate,
+      config.proxy_binary.empty() ? "" : ", via proxy");
   std::fflush(stdout);
+
+  if (grid) {
+    const std::vector<DrillGridCell> cells = DefaultDrillGrid(config);
+    std::printf("drill grid: %zu cells (seed x storms x warning fate)\n",
+                cells.size());
+    std::fflush(stdout);
+    const std::vector<DrillGridRow> rows = RunDrillGrid(config, cells);
+    const std::string table = RenderDrillGridMarkdown(rows);
+    std::fputs(table.c_str(), stdout);
+    if (!grid_out_path.empty() &&
+        WriteStringToFile(grid_out_path, table)) {
+      std::printf("grid table written to %s\n", grid_out_path.c_str());
+    }
+    int failures = 0;
+    for (const DrillGridRow& row : rows) {
+      if (!row.report.ok) {
+        std::fprintf(stderr, "cell %s failed: %s\n", row.cell.label.c_str(),
+                     row.report.error.c_str());
+        ++failures;
+      }
+    }
+    return failures == 0 ? 0 : 1;
+  }
 
   const FleetDrillReport report = RunFleetDrill(config);
   const std::string json = RenderDrillJson(report);
@@ -176,5 +237,22 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(report.total_ops), report.duration_s,
       report.pre_kill_hit_rate, report.final_hit_rate,
       report.recovered ? "yes" : "no");
+  if (report.via_proxy) {
+    const uint64_t conn_errors =
+        report.loadgen.failed_conns + report.loadgen.abandoned;
+    std::printf(
+        "proxy: offered %.0f rps, achieved %.0f rps, p99 %.2f ms, "
+        "client conn errors %llu (generation %llu)\n",
+        report.loadgen.offered_rps, report.loadgen.achieved_rps,
+        report.loadgen.latency.p99_us / 1000.0,
+        static_cast<unsigned long long>(conn_errors),
+        static_cast<unsigned long long>(report.membership_generation));
+    if (report.recovered && conn_errors > 0) {
+      std::fprintf(stderr,
+                   "proxy surfaced %llu connection failure(s) to clients\n",
+                   static_cast<unsigned long long>(conn_errors));
+      return kExitConnErrors;
+    }
+  }
   return report.recovered ? 0 : kExitNoRecovery;
 }

@@ -1,0 +1,344 @@
+// spotcache_proxy: a standalone memcached-text-protocol proxy over src/net
+// that fans requests out to the spot/burstable cache fleet.
+//
+//   spotcache_proxy --fleet=members.txt [--port=11311] [--host=127.0.0.1]
+//   spotcache_proxy --node=0:127.0.0.1:11211 --node=1:127.0.0.1:11212
+//                   --backup=127.0.0.1:11210
+//
+// The client side is the full src/net serving surface (epoll loop, zero-copy
+// parser, writev assembly, metrics scrape, flight recorder); the execution
+// step is a ProxyCore that homes each key on the fleet's consistent-hash
+// ring, pipelines multigets per upstream under a bounded window, and rides
+// the breaker-gated degradation ladder (primary -> backup -> miss) so
+// upstream churn never surfaces to the client as a connection error.
+//
+// Readiness: the first stdout line is `listening <port>` (flushed once the
+// socket is bound); with --metrics-port the second line is
+// `metrics listening <port>` — the same contract as spotcache_server, so
+// ProcessSupervisor treats both binaries identically.
+//
+// Flags:
+//   --fleet=FILE       fleet membership file (see src/proxy/membership.h);
+//                      loaded at startup, re-read on SIGHUP
+//   --node=S:H:P       add ring slot S at host H port P (repeatable;
+//                      alternative to --fleet for static fleets)
+//   --backup=H:P       the off-ring backup node (read/write fallback)
+//   --port=N           listen port (0 picks an ephemeral port, printed)
+//   --host=H           bind address
+//   --window=N         per-upstream pipelined in-flight window (default 32)
+//   --timeout-ms=N     per-operation upstream socket deadline (default 250)
+//   --trace=FILE       on shutdown, write the JSONL event stream
+//   --metrics=FILE     on shutdown, write a Prometheus-style snapshot
+//   --metrics-port=N   serve live Prometheus text over HTTP on port N
+//   --spans=FILE       flight-recorder dump target (SIGUSR1 / slow-request)
+//   --span-sample=N    span-sample every ~Nth request (default 256)
+//   --latency-sample=N latency-sample every ~Nth request (default 16)
+//   --slow-us=N        auto-capture threshold in microseconds
+//   --stall-us=N       event-loop stall threshold in microseconds
+//   --span-ring=N      flight-recorder capacity in spans
+//   --pidfile=FILE     write pid after a successful bind
+//
+// Signals: SIGINT/SIGTERM stop cleanly. SIGHUP re-reads --fleet from loop
+// context (generation + node count printed; a malformed file keeps the
+// previous view). SIGUSR1 dumps the flight-recorder ring. All handlers are
+// async-signal-safe (atomic flag + eventfd).
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/net/server.h"
+#include "src/obs/exporters.h"
+#include "src/obs/obs.h"
+#include "src/proxy/membership.h"
+#include "src/proxy/proxy_core.h"
+
+using namespace spotcache;
+
+namespace {
+
+// Exit codes a supervisor can branch on (same table as spotcache_server).
+constexpr int kExitRunFailure = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitBindFailure = 3;
+
+net::NetServer* g_server = nullptr;
+
+void HandleSignal(int /*sig*/) {
+  if (g_server != nullptr) {
+    g_server->Stop();  // eventfd write: async-signal-safe
+  }
+}
+
+void HandleDumpSignal(int /*sig*/) {
+  if (g_server != nullptr) {
+    g_server->RequestTelemetryDump();
+  }
+}
+
+void HandleReloadSignal(int /*sig*/) {
+  if (g_server != nullptr) {
+    g_server->RequestReload();  // atomic flag + eventfd write
+  }
+}
+
+int Usage(int exit_code) {
+  std::printf(
+      "usage: spotcache_proxy [--fleet=FILE] [--node=SLOT:HOST:PORT]...\n"
+      "                       [--backup=HOST:PORT] [--port=11311]\n"
+      "                       [--host=127.0.0.1] [--window=N]\n"
+      "                       [--timeout-ms=N] [--trace=FILE]\n"
+      "                       [--metrics=FILE] [--metrics-port=N]\n"
+      "                       [--spans=FILE] [--span-sample=N]\n"
+      "                       [--latency-sample=N] [--slow-us=N]\n"
+      "                       [--stall-us=N] [--span-ring=N]\n"
+      "                       [--pidfile=FILE] [--help]\n"
+      "\n"
+      "Speaks memcached text to clients and fans out to the fleet named by\n"
+      "--fleet / --node over the breaker-gated consistent-hash ring. SIGHUP\n"
+      "re-reads --fleet without dropping client connections.\n"
+      "\n"
+      "Readiness contract: first stdout line is exactly `listening <port>`\n"
+      "(after listen(2) succeeded); with --metrics-port the next line is\n"
+      "`metrics listening <port>`.\n"
+      "\n"
+      "Exit codes: 0 clean, 1 loop failure, 2 bad flags, 3 bind failure.\n");
+  return exit_code;
+}
+
+/// Parses "SLOT:HOST:PORT" (slot decimal, host may not contain ':').
+bool ParseNodeFlag(const std::string& value, uint64_t* slot, std::string* host,
+                   uint16_t* port) {
+  const size_t first = value.find(':');
+  const size_t last = value.rfind(':');
+  if (first == std::string::npos || first == last) {
+    return false;
+  }
+  char* end = nullptr;
+  *slot = std::strtoull(value.substr(0, first).c_str(), &end, 10);
+  const long p = std::strtol(value.substr(last + 1).c_str(), nullptr, 10);
+  *host = value.substr(first + 1, last - first - 1);
+  if (host->empty() || p <= 0 || p > 65535) {
+    return false;
+  }
+  *port = static_cast<uint16_t>(p);
+  return true;
+}
+
+/// Parses "HOST:PORT".
+bool ParseHostPortFlag(const std::string& value, std::string* host,
+                       uint16_t* port) {
+  const size_t colon = value.rfind(':');
+  if (colon == std::string::npos || colon == 0) {
+    return false;
+  }
+  const long p = std::strtol(value.substr(colon + 1).c_str(), nullptr, 10);
+  if (p <= 0 || p > 65535) {
+    return false;
+  }
+  *host = value.substr(0, colon);
+  *port = static_cast<uint16_t>(p);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::NetServerConfig config;
+  config.port = 11311;
+  proxy::ProxyCoreConfig proxy_config;
+  std::string fleet_path;
+  std::vector<proxy::MemberNode> static_nodes;
+  std::optional<proxy::MemberNode> static_backup;
+  std::string trace_path;
+  std::string metrics_path;
+  std::string pidfile_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--port=", 0) == 0) {
+      config.port = static_cast<uint16_t>(std::atoi(arg.c_str() + 7));
+    } else if (arg.rfind("--host=", 0) == 0) {
+      config.bind_host = arg.substr(7);
+    } else if (arg.rfind("--fleet=", 0) == 0) {
+      fleet_path = arg.substr(8);
+    } else if (arg.rfind("--node=", 0) == 0) {
+      proxy::MemberNode node;
+      if (!ParseNodeFlag(arg.substr(7), &node.slot, &node.host, &node.port)) {
+        std::printf("bad --node '%s' (want SLOT:HOST:PORT)\n\n", arg.c_str());
+        return Usage(kExitUsage);
+      }
+      static_nodes.push_back(node);
+    } else if (arg.rfind("--backup=", 0) == 0) {
+      proxy::MemberNode backup;
+      if (!ParseHostPortFlag(arg.substr(9), &backup.host, &backup.port)) {
+        std::printf("bad --backup '%s' (want HOST:PORT)\n\n", arg.c_str());
+        return Usage(kExitUsage);
+      }
+      static_backup = backup;
+    } else if (arg.rfind("--window=", 0) == 0) {
+      proxy_config.upstreams.window = std::atoi(arg.c_str() + 9);
+    } else if (arg.rfind("--timeout-ms=", 0) == 0) {
+      proxy_config.upstreams.op_timeout_ms = std::atoi(arg.c_str() + 13);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(10);
+    } else if (arg.rfind("--metrics-port=", 0) == 0) {
+      config.metrics_port = std::atoi(arg.c_str() + 15);
+    } else if (arg.rfind("--spans=", 0) == 0) {
+      config.span_dump_path = arg.substr(8);
+    } else if (arg.rfind("--span-sample=", 0) == 0) {
+      config.telemetry.span_sample_every =
+          static_cast<uint32_t>(std::atoll(arg.c_str() + 14));
+    } else if (arg.rfind("--latency-sample=", 0) == 0) {
+      config.telemetry.latency_sample_every =
+          static_cast<uint32_t>(std::atoll(arg.c_str() + 17));
+    } else if (arg.rfind("--slow-us=", 0) == 0) {
+      config.telemetry.slow_request_us = std::atoll(arg.c_str() + 10);
+    } else if (arg.rfind("--stall-us=", 0) == 0) {
+      config.stall_threshold_us = std::atoll(arg.c_str() + 11);
+    } else if (arg.rfind("--span-ring=", 0) == 0) {
+      config.telemetry.flight_ring_capacity =
+          static_cast<uint32_t>(std::atoll(arg.c_str() + 12));
+    } else if (arg.rfind("--pidfile=", 0) == 0) {
+      pidfile_path = arg.substr(10);
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(0);
+    } else {
+      std::printf("unknown flag '%s'\n\n", arg.c_str());
+      return Usage(kExitUsage);
+    }
+  }
+  if (fleet_path.empty() && static_nodes.empty()) {
+    std::printf("need --fleet=FILE or at least one --node=SLOT:HOST:PORT\n\n");
+    return Usage(kExitUsage);
+  }
+  config.metrics_dump_path = metrics_path;
+  // The proxy's upstream waits (timeout x rungs) are legitimate loop work;
+  // scale the stall threshold so every degraded fetch is not a "stall".
+  if (config.stall_threshold_us > 0) {
+    const int64_t worst_leg_us =
+        static_cast<int64_t>(proxy_config.upstreams.op_timeout_ms) * 2 * 1000;
+    if (config.stall_threshold_us < worst_leg_us) {
+      config.stall_threshold_us = worst_leg_us;
+    }
+  }
+
+  Obs obs;
+  obs.tracer.set_enabled(!trace_path.empty());
+
+  proxy::ProxyCore proxy_core(proxy_config, &obs, &obs.tracer);
+  if (!fleet_path.empty()) {
+    std::string error;
+    const auto m = proxy::LoadMembership(fleet_path, &error);
+    if (!m.has_value()) {
+      std::printf("bad --fleet file %s: %s\n\n", fleet_path.c_str(),
+                  error.c_str());
+      return Usage(kExitUsage);
+    }
+    proxy_core.pool().ApplyMembership(*m);
+  }
+  for (const proxy::MemberNode& node : static_nodes) {
+    if (node.dead()) {
+      proxy_core.pool().MarkDead(node.slot);
+    } else {
+      proxy_core.pool().SetNode(node.slot, node.host, node.port);
+    }
+  }
+  if (static_backup.has_value()) {
+    proxy_core.pool().SetBackup(static_backup->host, static_backup->port);
+  }
+
+  net::NetServer server(config, /*system=*/nullptr, &obs);
+  server.SetHandler(&proxy_core);
+  if (!fleet_path.empty()) {
+    server.SetReloadHandler([&proxy_core, &fleet_path] {
+      if (proxy_core.ReloadMembership(fleet_path)) {
+        std::printf("fleet reloaded: generation %llu, %zu nodes%s\n",
+                    static_cast<unsigned long long>(
+                        proxy_core.pool().generation()),
+                    proxy_core.pool().node_count(),
+                    proxy_core.pool().has_backup() ? " + backup" : "");
+      } else {
+        std::printf("fleet reload failed; keeping previous membership\n");
+      }
+      std::fflush(stdout);
+    });
+  }
+  if (!server.Start()) {
+    std::fprintf(stderr, "spotcache_proxy: failed to bind %s:%u\n",
+                 config.bind_host.c_str(), config.port);
+    return kExitBindFailure;
+  }
+  g_server = &server;
+  if (!pidfile_path.empty() &&
+      !WriteStringToFile(pidfile_path, std::to_string(::getpid()) + "\n")) {
+    std::fprintf(stderr, "spotcache_proxy: could not write pidfile %s\n",
+                 pidfile_path.c_str());
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGUSR1, HandleDumpSignal);
+  std::signal(SIGHUP, HandleReloadSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Readiness contract: identical to spotcache_server, so harnesses and the
+  // ProcessSupervisor drive both binaries with the same parser.
+  std::printf("listening %u\n", server.port());
+  if (config.metrics_port >= 0) {
+    std::printf("metrics listening %u\n", server.metrics_port());
+  }
+  std::printf("spotcache_proxy listening on %s:%u (%zu nodes%s, window %d, "
+              "timeout %d ms)\n",
+              config.bind_host.c_str(), server.port(),
+              proxy_core.pool().node_count(),
+              proxy_core.pool().has_backup() ? " + backup" : "",
+              proxy_config.upstreams.window,
+              proxy_config.upstreams.op_timeout_ms);
+  std::fflush(stdout);
+
+  const bool ok = server.Run();
+  g_server = nullptr;
+
+  if (!trace_path.empty() &&
+      WriteStringToFile(trace_path, ToJsonl(obs.tracer))) {
+    std::printf("trace written to %s\n", trace_path.c_str());
+  }
+  if (!metrics_path.empty() &&
+      WriteStringToFile(metrics_path, ToPrometheusText(obs.registry))) {
+    std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
+  }
+  if (!config.span_dump_path.empty() && server.telemetry() != nullptr &&
+      WriteStringToFile(config.span_dump_path,
+                        server.telemetry()->RenderFlightRecorderJsonl())) {
+    std::printf("flight recorder (%zu spans) written to %s\n",
+                server.telemetry()->ring_size(),
+                config.span_dump_path.c_str());
+  }
+
+  const proxy::ProxyStats& stats = proxy_core.stats();
+  const proxy::UpstreamPoolStats& pool = proxy_core.pool().stats();
+  std::printf(
+      "proxied: %llu requests, %llu get keys (%llu hits, %llu backup, "
+      "%llu misses, %llu sheds), %llu sets (%llu failed), "
+      "%llu absorbed failures, %llu reconnects, %llu reloads\n",
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.get_keys),
+      static_cast<unsigned long long>(stats.get_hits),
+      static_cast<unsigned long long>(stats.backup_hits),
+      static_cast<unsigned long long>(stats.misses),
+      static_cast<unsigned long long>(stats.sheds),
+      static_cast<unsigned long long>(stats.sets),
+      static_cast<unsigned long long>(stats.set_failures),
+      static_cast<unsigned long long>(pool.absorbed_failures),
+      static_cast<unsigned long long>(pool.reconnects),
+      static_cast<unsigned long long>(stats.reloads));
+  if (!pidfile_path.empty()) {
+    ::unlink(pidfile_path.c_str());
+  }
+  return ok ? 0 : kExitRunFailure;
+}

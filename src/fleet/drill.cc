@@ -1,12 +1,15 @@
 #include "src/fleet/drill.h"
 
+#include <signal.h>
 #include <time.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
 
+#include "src/fleet/membership_publisher.h"
 #include "src/loadgen/key_sampler.h"
 #include "src/net/client.h"
 #include "src/obs/exporters.h"
@@ -57,6 +60,279 @@ double AggregateHitRate(const std::vector<DrillWindow>& windows, size_t begin,
                    : static_cast<double>(hits) / static_cast<double>(gets);
 }
 
+/// Pre-kill / final hit rates and the recovery verdict, derived from
+/// report->windows + report->recoveries (shared by both drill modes).
+void FinalizeSummary(const FleetDrillConfig& config, int64_t window_us,
+                     FleetDrillReport* report) {
+  int64_t first_kill_us = -1;
+  int64_t last_kill_us = -1;
+  for (const RecoveryRecord& r : report->recoveries) {
+    if (r.kill_us >= 0) {
+      first_kill_us = first_kill_us < 0 ? r.kill_us
+                                        : std::min(first_kill_us, r.kill_us);
+      last_kill_us = std::max(last_kill_us, r.kill_us);
+    }
+  }
+
+  if (first_kill_us > 0) {
+    const size_t pre_end = static_cast<size_t>(first_kill_us / window_us);
+    report->pre_kill_hit_rate = AggregateHitRate(report->windows, 0, pre_end);
+  } else {
+    report->pre_kill_hit_rate =
+        AggregateHitRate(report->windows, 0, report->windows.size());
+  }
+
+  // Final rate: the last fifth of the run (at least one window).
+  const size_t tail_begin =
+      report->windows.size() -
+      std::min(report->windows.size(),
+               std::max<size_t>(report->windows.size() / 5, 1));
+  report->final_hit_rate =
+      AggregateHitRate(report->windows, tail_begin, report->windows.size());
+
+  if (last_kill_us >= 0) {
+    const double target =
+        config.recovery_threshold * report->pre_kill_hit_rate;
+    for (const DrillWindow& w : report->windows) {
+      if (w.start_us < last_kill_us || w.gets == 0) {
+        continue;
+      }
+      if (w.HitRate() >= target) {
+        report->recovered_us = w.start_us;
+        report->recovered = true;
+        break;
+      }
+    }
+  } else {
+    report->recovered = true;  // nothing was killed; trivially recovered
+  }
+}
+
+/// Pipelined closed-loop prefill of keys [0, n) into host:port, with the
+/// same key names ("fk:<id>") and value bytes the loadgen stream writes.
+bool PrefillEndpoint(const std::string& host, uint16_t port, uint64_t n,
+                     size_t value_bytes, int timeout_ms) {
+  net::NetClient client;
+  if (!client.Connect(host, port, timeout_ms)) {
+    return false;
+  }
+  const std::string value(value_bytes, 'v');
+  constexpr uint64_t kBatch = 128;
+  for (uint64_t base = 0; base < n; base += kBatch) {
+    const uint64_t end = std::min(base + kBatch, n);
+    std::string batch;
+    for (uint64_t id = base; id < end; ++id) {
+      batch += "set " + KeyName(id) + " 0 0 " +
+               std::to_string(value.size()) + "\r\n" + value + "\r\n";
+    }
+    if (!client.SendRaw(batch)) {
+      return false;
+    }
+    for (uint64_t id = base; id < end; ++id) {
+      if (client.ReadLine() != "STORED") {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Scrapes the proxy's deterministic `stats` block into name -> value.
+std::map<std::string, uint64_t> ScrapeProxyStats(uint16_t port) {
+  std::map<std::string, uint64_t> stats;
+  net::NetClient client;
+  if (!client.Connect("127.0.0.1", port, 2000)) {
+    return stats;
+  }
+  if (!client.SendRaw("stats\r\n")) {
+    return stats;
+  }
+  for (int i = 0; i < 256; ++i) {
+    const auto line = client.ReadLine();
+    if (!line.has_value() || *line == "END") {
+      break;
+    }
+    // "STAT <name> <value>" (the version line fails the number parse and is
+    // skipped).
+    const std::string& s = *line;
+    if (s.rfind("STAT ", 0) != 0) {
+      continue;
+    }
+    const size_t space = s.rfind(' ');
+    if (space == std::string::npos || space < 5) {
+      continue;
+    }
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str() + space + 1, &end, 10);
+    if (end == nullptr || *end != '\0') {
+      continue;
+    }
+    stats[s.substr(5, space - 5)] = static_cast<uint64_t>(v);
+  }
+  return stats;
+}
+
+/// The drill with a standalone proxy tier in front of the fleet: chaos is
+/// narrated through the membership file + SIGHUP, traffic goes through the
+/// proxy via the open-loop loadgen engine.
+FleetDrillReport RunProxyDrill(const FleetDrillConfig& config,
+                               FleetDrillReport report) {
+  report.via_proxy = true;
+
+  EventTracer control_tracer;
+  control_tracer.set_enabled(true);
+
+  const std::string members_path =
+      config.membership_path.empty()
+          ? "/tmp/spotcache_members_" + std::to_string(::getpid()) + ".txt"
+          : config.membership_path;
+
+  // The proxy learns every chaos action via membership generations; until it
+  // is spawned the publisher just writes the file.
+  std::atomic<pid_t> proxy_pid{-1};
+  MembershipPublisher publisher(members_path, [&proxy_pid] {
+    const pid_t pid = proxy_pid.load(std::memory_order_relaxed);
+    if (pid > 0) {
+      ::kill(pid, SIGHUP);
+    }
+  });
+
+  FleetControllerConfig ctl;
+  ctl.supervisor = config.supervisor;
+  ctl.supervisor.server_binary = config.server_binary;
+  ctl.supervisor.seed = config.seed;
+  ctl.warmup = config.warmup;
+  ctl.primaries = config.primaries;
+  ctl.capacity_mb = config.capacity_mb;
+  ctl.replacement_boot_delay = config.replacement_boot_delay;
+  FleetController controller(ctl, &publisher, &control_tracer);
+
+  std::string error;
+  if (!controller.StartFleet(&error)) {
+    report.error = error;
+    return report;
+  }
+  if (!publisher.healthy()) {
+    report.error = "membership publish failed: " + members_path;
+    return report;
+  }
+
+  // --- The proxy process, supervised like any fleet node (same readiness
+  // contract, same retry schedule). ---
+  SupervisorConfig proxy_sup_config = config.supervisor;
+  proxy_sup_config.server_binary = config.proxy_binary;
+  proxy_sup_config.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
+  proxy_sup_config.base_args = {
+      "--fleet=" + members_path,
+      "--window=" + std::to_string(config.proxy_window),
+      "--timeout-ms=" + std::to_string(config.router.op_timeout_ms)};
+  ProcessSupervisor proxy_sup(proxy_sup_config);
+  SpawnResult proxy = proxy_sup.Spawn("proxy", {"--port=0"});
+  if (!proxy.ok) {
+    report.error = "proxy launch failed: " + proxy.error;
+    controller.StopFleet();
+    return report;
+  }
+  proxy_pid.store(proxy.process.pid, std::memory_order_relaxed);
+
+  // --- Prefill through the proxy (keys land on their ring owners), plus
+  // the hot set into the backup directly. ---
+  if (!PrefillEndpoint("127.0.0.1", proxy.process.port, config.num_keys,
+                       config.value_bytes, 2000)) {
+    report.error = "prefill through proxy failed";
+    proxy_sup.Terminate(proxy.process);
+    controller.StopFleet();
+    return report;
+  }
+  if (!PrefillEndpoint("127.0.0.1", controller.backup_port(),
+                       std::min(config.hot_keys, config.num_keys),
+                       config.value_bytes, 2000)) {
+    report.error = "prefill backup failed";
+    proxy_sup.Terminate(proxy.process);
+    controller.StopFleet();
+    return report;
+  }
+
+  const auto hot_keys_for_slot = [&](int slot) {
+    std::vector<std::string> keys;
+    for (uint64_t id = 0; id < config.hot_keys && id < config.num_keys;
+         ++id) {
+      std::string key = KeyName(id);
+      const auto owner = publisher.OwnerOf(key);
+      if (owner.has_value() && *owner == static_cast<uint64_t>(slot)) {
+        keys.push_back(std::move(key));
+      }
+    }
+    return keys;
+  };
+
+  // --- Open-loop traffic through the proxy, windowed by completion time. ---
+  const Duration total_duration =
+      config.lead_in + config.chaos_window + config.recovery_window;
+  const int64_t window_us = std::max<int64_t>(config.hit_window.micros(), 1);
+
+  loadgen::EngineConfig lg;
+  lg.host = "127.0.0.1";
+  lg.port = proxy.process.port;
+  lg.connections = std::max(config.proxy_connections, 1);
+  lg.prefill = false;     // done above, through the proxy
+  lg.probe_shards = false;
+  lg.key_prefix = "fk:";  // KeyName() format
+  lg.window_us = window_us;
+  lg.read_through = config.read_through;
+  lg.stream.seed = config.seed ^ 0xf1ee7d41ULL;
+  lg.stream.schedule.kind = loadgen::ScheduleConfig::Kind::kPoisson;
+  lg.stream.schedule.base_rate_rps = config.rate;
+  lg.stream.schedule.duration_s =
+      static_cast<double>(total_duration.micros()) / 1e6;
+  lg.stream.keys = {.num_keys = config.num_keys, .theta = config.zipf_theta,
+                    .scramble = false};
+  lg.stream.mix.get_ratio = 1.0 - config.set_fraction;
+  lg.stream.mix.value_bytes = static_cast<uint32_t>(config.value_bytes);
+
+  const int64_t epoch_us = WallUs();
+  loadgen::LoadGenResult lg_result;
+  std::thread traffic([&] { lg_result = loadgen::RunOpenLoop(lg); });
+
+  // --- The chaos: the controller kills primaries while the proxy absorbs. --
+  report.recoveries =
+      controller.ExecuteSchedule(report.schedule, hot_keys_for_slot, epoch_us);
+  traffic.join();
+
+  report.proxy_stats = ScrapeProxyStats(proxy.process.port);
+  report.membership_generation = publisher.generation();
+  proxy_sup.Terminate(proxy.process);
+  controller.StopFleet();
+  ::unlink(members_path.c_str());
+
+  if (!lg_result.ok) {
+    report.error = "loadgen through proxy failed: " + lg_result.error;
+    return report;
+  }
+
+  // --- Client-observed windows (the proxy hides which rung served a hit;
+  // its own stats carry the primary/backup split). ---
+  report.windows.reserve(lg_result.windows.size());
+  for (const loadgen::LoadGenWindow& w : lg_result.windows) {
+    DrillWindow dw;
+    dw.start_us = w.start_us;
+    dw.gets = w.gets;
+    dw.hits = w.get_hits;
+    dw.misses = w.get_misses;
+    dw.sheds = w.errors;  // SERVER_ERROR replies (writes with no rung)
+    dw.sets = w.sets;
+    report.windows.push_back(dw);
+  }
+  report.total_ops = lg_result.completed;
+  report.duration_s = static_cast<double>(WallUs() - epoch_us) / 1e6;
+  report.loadgen = std::move(lg_result);
+
+  FinalizeSummary(config, window_us, &report);
+  report.trace_jsonl = ToJsonl(control_tracer);
+  report.ok = report.error.empty();
+  return report;
+}
+
 }  // namespace
 
 FleetDrillReport RunFleetDrill(const FleetDrillConfig& config) {
@@ -71,6 +347,11 @@ FleetDrillReport RunFleetDrill(const FleetDrillConfig& config) {
   sched_params.window_length = config.chaos_window;
   sched_params.warning_lead = config.warning_lead;
   report.schedule = BuildKillSchedule(sched_params);
+
+  // Proxy tier requested: same schedule, different serving path.
+  if (!config.proxy_binary.empty()) {
+    return RunProxyDrill(config, std::move(report));
+  }
 
   // --- Components. ---
   EventTracer router_tracer;   // traffic thread only
@@ -228,45 +509,7 @@ FleetDrillReport RunFleetDrill(const FleetDrillConfig& config) {
   report.total_ops = total_ops;
   report.duration_s = static_cast<double>(WallUs() - epoch_us) / 1e6;
 
-  int64_t first_kill_us = -1;
-  int64_t last_kill_us = -1;
-  for (const RecoveryRecord& r : report.recoveries) {
-    if (r.kill_us >= 0) {
-      first_kill_us = first_kill_us < 0 ? r.kill_us
-                                        : std::min(first_kill_us, r.kill_us);
-      last_kill_us = std::max(last_kill_us, r.kill_us);
-    }
-  }
-
-  if (first_kill_us > 0) {
-    const size_t pre_end = static_cast<size_t>(first_kill_us / window_us);
-    report.pre_kill_hit_rate = AggregateHitRate(report.windows, 0, pre_end);
-  } else {
-    report.pre_kill_hit_rate =
-        AggregateHitRate(report.windows, 0, report.windows.size());
-  }
-
-  // Final rate: the last fifth of the run (at least one window).
-  const size_t tail_begin =
-      report.windows.size() - std::max<size_t>(report.windows.size() / 5, 1);
-  report.final_hit_rate =
-      AggregateHitRate(report.windows, tail_begin, report.windows.size());
-
-  if (last_kill_us >= 0) {
-    const double target = config.recovery_threshold * report.pre_kill_hit_rate;
-    for (const DrillWindow& w : report.windows) {
-      if (w.start_us < last_kill_us || w.gets == 0) {
-        continue;
-      }
-      if (w.HitRate() >= target) {
-        report.recovered_us = w.start_us;
-        report.recovered = true;
-        break;
-      }
-    }
-  } else {
-    report.recovered = true;  // nothing was killed; trivially recovered
-  }
+  FinalizeSummary(config, window_us, &report);
 
   report.trace_jsonl = ToJsonl(control_tracer) + ToJsonl(router_tracer);
   report.ok = report.error.empty();
@@ -361,8 +604,35 @@ std::string RenderDrillJson(const FleetDrillReport& report) {
          inum(s.conn_failures_absorbed) +
          ", \"reconnects\": " + inum(s.reconnects) + "},\n";
 
-  out += "\"summary\": {\"pre_kill_hit_rate\": " +
-         num(report.pre_kill_hit_rate) +
+  if (report.via_proxy) {
+    const loadgen::LoadGenResult& lg = report.loadgen;
+    out += "\"proxy\": {\"membership_generation\": " +
+           inum(static_cast<int64_t>(report.membership_generation)) +
+           ", \"offered_rps\": " + num(lg.offered_rps) +
+           ", \"achieved_rps\": " + num(lg.achieved_rps) +
+           ", \"scheduled\": " + inum(lg.scheduled) +
+           ", \"completed\": " + inum(lg.completed) +
+           ", \"errors\": " + inum(lg.errors) +
+           ", \"failed_conns\": " + inum(lg.failed_conns) +
+           ", \"abandoned\": " + inum(lg.abandoned) +
+           ", \"p50_us\": " + num(lg.latency.p50_us) +
+           ", \"p99_us\": " + num(lg.latency.p99_us) +
+           ", \"stats\": {";
+    bool first_stat = true;
+    for (const auto& [name, value] : report.proxy_stats) {
+      if (!first_stat) {
+        out += ", ";
+      }
+      first_stat = false;
+      out += EventTracer::JsonString(name) + ": " +
+             inum(static_cast<int64_t>(value));
+    }
+    out += "}},\n";
+  }
+
+  out += "\"summary\": {\"via_proxy\": " +
+         std::string(report.via_proxy ? "true" : "false") +
+         ", \"pre_kill_hit_rate\": " + num(report.pre_kill_hit_rate) +
          ", \"final_hit_rate\": " + num(report.final_hit_rate) +
          ", \"recovered\": " + (report.recovered ? "true" : "false") +
          ", \"recovered_us\": " + inum(report.recovered_us) +

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,7 @@
 #include "src/fleet/fleet_router.h"
 #include "src/fleet/kill_schedule.h"
 #include "src/fleet/warmup_streamer.h"
+#include "src/loadgen/engine.h"
 
 namespace spotcache::fleet {
 
@@ -43,7 +45,11 @@ struct FleetDrillConfig {
   double zipf_theta = 0.99;
   /// The hot set: ids [0, hot_keys) are prefilled into the backup and
   /// re-streamed to replacements (rank == id; the drill never scrambles).
-  uint64_t hot_keys = 400;
+  /// Under Zipf(0.99) the hot set must cover at least recovery_threshold of
+  /// the get mass for recovery to be a property of the warm-up path rather
+  /// than of read-through luck: H(hot)/H(num_keys) >= 0.9 needs
+  /// hot/num_keys >~ 0.55 at these sizes.
+  uint64_t hot_keys = 1200;
   size_t value_bytes = 96;
   double rate = 2000.0;  // offered ops/sec from the traffic thread
   double set_fraction = 0.1;
@@ -67,6 +73,19 @@ struct FleetDrillConfig {
   FleetRouterConfig router;
   /// Launch handshake/retry knobs (server_binary is filled in from above).
   SupervisorConfig supervisor;
+
+  // --- Proxy tier (optional). ---
+  /// When set, the drill launches this spotcache_proxy binary in front of
+  /// the fleet, narrates every chaos action to it through the membership
+  /// file + SIGHUP, and drives traffic through the proxy with the open-loop
+  /// loadgen engine instead of the in-process FleetRouter.
+  std::string proxy_binary;
+  /// Open-loop connections against the proxy (proxy mode only).
+  int proxy_connections = 4;
+  /// Per-upstream pipelined in-flight window forwarded to the proxy.
+  int proxy_window = 32;
+  /// Membership file path; empty derives a per-pid file under /tmp.
+  std::string membership_path;
 };
 
 /// One hit-rate bucket of the traffic timeline.
@@ -109,6 +128,16 @@ struct FleetDrillReport {
   /// Merged JSONL: controller events then router events (each stream is
   /// internally time-ordered; consumers sort on t_us).
   std::string trace_jsonl;
+
+  // --- Proxy mode only. ---
+  bool via_proxy = false;
+  /// The client-side view through the proxy: open-loop latency, achieved
+  /// vs offered, failed_conns/abandoned (the zero-surfaced-errors gate).
+  loadgen::LoadGenResult loadgen;
+  /// The proxy's own `stats` counters (proxy_* lines) scraped at drill end.
+  std::map<std::string, uint64_t> proxy_stats;
+  /// Final membership-file generation the publisher reached.
+  uint64_t membership_generation = 0;
 };
 
 FleetDrillReport RunFleetDrill(const FleetDrillConfig& config);

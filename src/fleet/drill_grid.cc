@@ -1,0 +1,128 @@
+#include "src/fleet/drill_grid.h"
+
+#include <cstdio>
+
+#include "src/exec/thread_pool.h"
+
+namespace spotcache::fleet {
+
+namespace {
+
+std::string CellLabel(const DrillGridCell& cell) {
+  if (!cell.label.empty()) {
+    return cell.label;
+  }
+  std::string label = "seed" + std::to_string(cell.seed) + "/" +
+                      std::to_string(cell.storms) +
+                      (cell.storms == 1 ? " storm" : " storms");
+  label += cell.missed_warning_fraction >= 0.5 ? "/unwarned" : "/warned";
+  return label;
+}
+
+std::string Fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<DrillGridCell> DefaultDrillGrid(const FleetDrillConfig& base) {
+  std::vector<DrillGridCell> cells;
+  const int heavy_storms = std::max(2, base.primaries);
+  for (const uint64_t seed : {base.seed, base.seed + 1}) {
+    for (const int storms : {1, heavy_storms}) {
+      for (const double missed : {0.0, 1.0}) {
+        DrillGridCell cell;
+        cell.seed = seed;
+        cell.storms = storms;
+        cell.missed_warning_fraction = missed;
+        cells.push_back(cell);
+      }
+    }
+  }
+  return cells;
+}
+
+std::vector<DrillGridRow> RunDrillGrid(const FleetDrillConfig& base,
+                                       const std::vector<DrillGridCell>& cells,
+                                       const DrillCostModel& cost,
+                                       int threads) {
+  std::vector<DrillGridRow> rows(cells.size());
+
+  auto run_cell = [&](size_t i) {
+    FleetDrillConfig config = base;
+    config.seed = cells[i].seed;
+    config.scenario.storm_count = cells[i].storms;
+    config.scenario.missed_warning_fraction =
+        cells[i].missed_warning_fraction;
+
+    DrillGridRow& row = rows[i];
+    row.cell = cells[i];
+    row.cell.label = CellLabel(cells[i]);
+    row.report = RunFleetDrill(config);
+
+    const double primaries = static_cast<double>(config.primaries);
+    row.fleet_cost_hr = primaries * cost.spot_hr + cost.burstable_hr +
+                        (row.report.via_proxy ? cost.proxy_hr : 0.0);
+    // The on-demand baseline needs no backup tier (on-demand nodes are not
+    // revoked), but a proxy tier fronts either fleet.
+    row.on_demand_cost_hr = (primaries + 1.0) * cost.on_demand_hr +
+                            (row.report.via_proxy ? cost.proxy_hr : 0.0);
+    row.savings_fraction =
+        row.on_demand_cost_hr <= 0.0
+            ? 0.0
+            : 1.0 - row.fleet_cost_hr / row.on_demand_cost_hr;
+  };
+
+  if (threads <= 1) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      run_cell(i);
+    }
+  } else {
+    ThreadPool pool(threads);
+    ParallelFor(pool, cells.size(), run_cell);
+  }
+  return rows;
+}
+
+std::string RenderDrillGridMarkdown(const std::vector<DrillGridRow>& rows) {
+  const bool via_proxy = !rows.empty() && rows[0].report.via_proxy;
+  std::string out;
+  out += via_proxy
+             ? "| cell | $/h (spot+backup+proxy) | $/h (on-demand) | saved | "
+               "pre-kill hit | final hit | recovered | p99 (ms) | "
+               "conn errors |\n|---|---|---|---|---|---|---|---|---|\n"
+             : "| cell | $/h (spot+backup) | $/h (on-demand) | saved | "
+               "pre-kill hit | final hit | recovered | conn errors |\n"
+               "|---|---|---|---|---|---|---|---|\n";
+  for (const DrillGridRow& row : rows) {
+    const FleetDrillReport& r = row.report;
+    out += "| " + row.cell.label + " | " + Fmt("%.3f", row.fleet_cost_hr) +
+           " | " + Fmt("%.3f", row.on_demand_cost_hr) + " | " +
+           Fmt("%.0f%%", row.savings_fraction * 100.0) + " | " +
+           Fmt("%.3f", r.pre_kill_hit_rate) + " | " +
+           Fmt("%.3f", r.final_hit_rate) + " | ";
+    if (!r.ok) {
+      out += "error";
+    } else if (r.recovered) {
+      out += r.recovered_us >= 0
+                 ? "yes @" + std::to_string(r.recovered_us / 1000) + "ms"
+                 : "yes";
+    } else {
+      out += "no";
+    }
+    if (via_proxy) {
+      const uint64_t conn_errors =
+          r.loadgen.failed_conns + r.loadgen.abandoned;
+      out += " | " + Fmt("%.2f", r.loadgen.latency.p99_us / 1000.0) + " | " +
+             std::to_string(conn_errors);
+    } else {
+      out += " | " + std::to_string(r.router_stats.conn_errors_surfaced);
+    }
+    out += " |\n";
+  }
+  return out;
+}
+
+}  // namespace spotcache::fleet

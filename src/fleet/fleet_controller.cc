@@ -30,8 +30,8 @@ constexpr std::string_view kMarket = "fleet";
 }  // namespace
 
 FleetController::FleetController(const FleetControllerConfig& config,
-                                 FleetRouter* router, EventTracer* tracer)
-    : config_(config), router_(router), tracer_(tracer),
+                                 FleetView* view, EventTracer* tracer)
+    : config_(config), view_(view), tracer_(tracer),
       supervisor_(config.supervisor) {}
 
 FleetController::~FleetController() { StopFleet(); }
@@ -62,7 +62,7 @@ bool FleetController::StartFleet(std::string* error) {
   }
   backup_ = backup.process;
   backup_started_ = true;
-  router_->SetBackup("127.0.0.1", backup_.port);
+  view_->SetBackup("127.0.0.1", backup_.port);
 
   primaries_.clear();
   for (int slot = 0; slot < config_.primaries; ++slot) {
@@ -74,7 +74,7 @@ bool FleetController::StartFleet(std::string* error) {
       return false;
     }
     primaries_.push_back(r.process);
-    router_->SetNode(static_cast<uint64_t>(slot), "127.0.0.1", r.process.port);
+    view_->SetNode(static_cast<uint64_t>(slot), "127.0.0.1", r.process.port);
     if (tracer_ != nullptr) {
       tracer_->Launched(SimTime(), static_cast<uint64_t>(slot), kMarket,
                         "process", r.process.label);
@@ -169,7 +169,7 @@ void FleetController::ExecuteAction(const KillAction& action,
 
   if (ready_before_kill) {
     // Warm replacement takes over immediately: swap the slot's endpoint.
-    router_->SetNode(static_cast<uint64_t>(slot), "127.0.0.1",
+    view_->SetNode(static_cast<uint64_t>(slot), "127.0.0.1",
                      replacement.port);
     primaries_[slot] = replacement;
     record->new_port = replacement.port;
@@ -179,7 +179,7 @@ void FleetController::ExecuteAction(const KillAction& action,
 
   // Dead slot until the replacement is warm: force the breaker open so
   // traffic degrades to the backup instead of discovering the corpse.
-  router_->MarkDead(static_cast<uint64_t>(slot));
+  view_->MarkDead(static_cast<uint64_t>(slot));
 
   // --- Case 2: no warning — the spawn starts only now. ---
   if (!action.warned) {
@@ -233,7 +233,7 @@ void FleetController::ExecuteAction(const KillAction& action,
   }
 
   // Only now does the replacement join the ring (backup-serves-until-warm).
-  router_->SetNode(static_cast<uint64_t>(slot), "127.0.0.1", replacement.port);
+  view_->SetNode(static_cast<uint64_t>(slot), "127.0.0.1", replacement.port);
   primaries_[slot] = replacement;
   record->new_port = replacement.port;
   record->replacement_ok = true;

@@ -68,9 +68,11 @@ struct RecoveryRecord {
 
 class FleetController {
  public:
+  /// `view` is the routing tier the chaos is narrated to: the in-process
+  /// FleetRouter, or a MembershipPublisher feeding a standalone proxy.
   /// `tracer` (nullable) receives the control-plane event stream; it must
   /// only be touched from the thread calling ExecuteSchedule.
-  FleetController(const FleetControllerConfig& config, FleetRouter* router,
+  FleetController(const FleetControllerConfig& config, FleetView* view,
                   EventTracer* tracer);
   ~FleetController();
 
@@ -105,7 +107,7 @@ class FleetController {
                      int64_t epoch_us, RecoveryRecord* record);
 
   FleetControllerConfig config_;
-  FleetRouter* router_;
+  FleetView* view_;
   EventTracer* tracer_;
   ProcessSupervisor supervisor_;
   std::vector<ServerProcess> primaries_;

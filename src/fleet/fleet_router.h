@@ -33,6 +33,7 @@
 #include <optional>
 #include <string>
 
+#include "src/fleet/fleet_view.h"
 #include "src/net/client.h"
 #include "src/obs/trace.h"
 #include "src/resilience/circuit_breaker.h"
@@ -87,7 +88,7 @@ struct FleetRouterStats {
   uint64_t reconnects = 0;
 };
 
-class FleetRouter {
+class FleetRouter : public FleetView {
  public:
   explicit FleetRouter(const FleetRouterConfig& config,
                        EventTracer* tracer = nullptr);
@@ -95,14 +96,14 @@ class FleetRouter {
   /// Adds slot `slot` to the ring, or re-points it at a replacement
   /// endpoint. Re-pointing resets the slot's breaker and connection; ring
   /// ownership (and therefore key placement) does not move.
-  void SetNode(uint64_t slot, const std::string& host, uint16_t port);
+  void SetNode(uint64_t slot, const std::string& host, uint16_t port) override;
 
   /// The off-ring backup node (holds hot copies; read/write fallback).
-  void SetBackup(const std::string& host, uint16_t port);
+  void SetBackup(const std::string& host, uint16_t port) override;
 
   /// Immediately force the slot's breaker open (the controller knows a kill
   /// just happened; traffic need not discover it the hard way).
-  void MarkDead(uint64_t slot);
+  void MarkDead(uint64_t slot) override;
 
   RoutedGet Get(std::string_view key);
   /// True when the value landed on the primary or (degraded) the backup.

@@ -1,0 +1,41 @@
+// FleetView: the controller-facing membership surface of a routing tier.
+//
+// FleetController mutates fleet membership through exactly three verbs —
+// point a slot at an endpoint, point the backup, declare a slot dead — and
+// does not care who consumes them. Two implementations exist:
+//
+//   * FleetRouter (fleet_router.h): the in-process client-side router; the
+//     verbs mutate its ring/breakers directly.
+//   * MembershipPublisher (membership_publisher.h): writes the membership
+//     file a standalone spotcache_proxy re-reads on SIGHUP, so the same
+//     chaos choreography drives an out-of-process proxy tier.
+//
+// Implementations must tolerate calls from the controller's chaos thread
+// concurrently with their own traffic-side readers.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spotcache::fleet {
+
+class FleetView {
+ public:
+  virtual ~FleetView() = default;
+
+  /// Adds ring slot `slot` or re-points it at a replacement endpoint.
+  /// Re-pointing resets the slot's health state; ring ownership (and
+  /// therefore key placement) does not move.
+  virtual void SetNode(uint64_t slot, const std::string& host,
+                       uint16_t port) = 0;
+
+  /// The off-ring backup node (holds hot copies; read/write fallback).
+  virtual void SetBackup(const std::string& host, uint16_t port) = 0;
+
+  /// Declares the slot dead right now (a kill just happened; traffic need
+  /// not discover the corpse the hard way).
+  virtual void MarkDead(uint64_t slot) = 0;
+};
+
+}  // namespace spotcache::fleet

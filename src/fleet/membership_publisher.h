@@ -1,0 +1,70 @@
+// MembershipPublisher: a FleetView that feeds an out-of-process proxy.
+//
+// The controller's SetNode / SetBackup / MarkDead verbs mutate a
+// FleetMembership document (src/proxy/membership.h); every mutation bumps
+// the generation, rewrites the membership file atomically (tmp + rename),
+// and fires the notify callback — in the drill, a SIGHUP to the
+// spotcache_proxy process, whose loop then re-reads the file. The proxy
+// therefore sees each chaos action as a whole-document generation step,
+// never a torn intermediate state.
+//
+// A mirror ConsistentHashRing (built exactly like the proxy's UpstreamPool
+// ring: HashString on the key, weight 1.0 per slot, dead slots kept on the
+// ring) answers OwnerOf so the drill can compute which hot keys a slot's
+// replacement must be re-fed without asking the proxy.
+//
+// Thread safety: all entry points take one internal mutex (the controller
+// calls from its chaos thread; the drill reads OwnerOf from setup code).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "src/fleet/fleet_view.h"
+#include "src/proxy/membership.h"
+#include "src/routing/consistent_hash.h"
+
+namespace spotcache::fleet {
+
+class MembershipPublisher : public FleetView {
+ public:
+  /// Writes membership documents to `path`; `notify` (nullable) runs after
+  /// every successful publish (e.g. kill(proxy_pid, SIGHUP)).
+  MembershipPublisher(std::string path, std::function<void()> notify);
+
+  void SetNode(uint64_t slot, const std::string& host,
+               uint16_t port) override;
+  void SetBackup(const std::string& host, uint16_t port) override;
+  void MarkDead(uint64_t slot) override;
+
+  /// The slot owning `key` on the mirror ring (dead slots still own their
+  /// keys — the proxy degrades them to the backup rather than rehashing).
+  std::optional<uint64_t> OwnerOf(std::string_view key) const;
+
+  /// Current document (for tests and the drill report).
+  proxy::FleetMembership Snapshot() const;
+  uint64_t generation() const;
+  /// True when every publish so far hit the file (a failed write keeps the
+  /// document in memory and is retried by the next mutation).
+  bool healthy() const;
+
+ private:
+  /// Bumps the generation, saves, notifies. Caller holds mu_.
+  void PublishLocked();
+  /// The document's node entry for `slot` (created on demand).
+  proxy::MemberNode* NodeLocked(uint64_t slot);
+
+  const std::string path_;
+  const std::function<void()> notify_;
+
+  mutable std::mutex mu_;
+  proxy::FleetMembership membership_;
+  ConsistentHashRing ring_;
+  bool save_failed_ = false;
+};
+
+}  // namespace spotcache::fleet

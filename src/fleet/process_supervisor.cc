@@ -12,6 +12,8 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "src/net/readiness.h"
+
 namespace spotcache::fleet {
 
 namespace {
@@ -110,28 +112,14 @@ bool ProcessSupervisor::SpawnOnce(const std::string& label,
     _exit(127);  // exec failed
   }
 
-  // Parent: wait for the `listening <port>` readiness line.
+  // Parent: wait for the `listening <port>` readiness line (the shared
+  // contract in src/net/readiness.h; banner noise is skipped for us).
   ::close(pipefd[1]);
   const int fd = pipefd[0];
   const int64_t deadline =
       NowMs() + config_.launch_timeout.micros() / 1000;
-  std::string buffered;
+  net::ReadinessParser readiness;
   for (;;) {
-    const size_t nl = buffered.find('\n');
-    if (nl != std::string::npos) {
-      const std::string line = buffered.substr(0, nl);
-      buffered.erase(0, nl + 1);
-      if (line.rfind("listening ", 0) == 0) {
-        out->pid = pid;
-        out->port = static_cast<uint16_t>(std::atoi(line.c_str() + 10));
-        out->stdout_fd = fd;
-        out->state = ProcessState::kReady;
-        out->label = label;
-        return true;
-      }
-      continue;  // banner noise before/after the readiness line
-    }
-
     const int64_t remaining = deadline - NowMs();
     if (remaining <= 0) {
       break;  // launch timeout
@@ -145,7 +133,14 @@ bool ProcessSupervisor::SpawnOnce(const std::string& label,
       char chunk[4096];
       const ssize_t n = ::read(fd, chunk, sizeof(chunk));
       if (n > 0) {
-        buffered.append(chunk, static_cast<size_t>(n));
+        if (readiness.Feed(std::string_view(chunk, static_cast<size_t>(n)))) {
+          out->pid = pid;
+          out->port = *readiness.port();
+          out->stdout_fd = fd;
+          out->state = ProcessState::kReady;
+          out->label = label;
+          return true;
+        }
         continue;
       }
       // EOF: the child exited before becoming ready. Classify its status.

@@ -72,6 +72,7 @@ struct Inflight {
   int64_t scheduled_us = 0;
   uint8_t segment = 0;
   bool is_get = false;
+  uint64_t key = 0;  // numeric key id, for read-through repair sets
 };
 
 struct Conn {
@@ -333,6 +334,18 @@ LoadGenResult RunOpenLoop(const EngineConfig& config) {
   // connection currently being fed.
   Conn* sink_conn = nullptr;
   int64_t sink_now_us = 0;
+  std::vector<LoadGenWindow> windows;
+  auto window_at = [&](int64_t at_us) -> LoadGenWindow& {
+    const size_t w = static_cast<size_t>(at_us / config.window_us);
+    if (w >= windows.size()) {
+      const size_t old = windows.size();
+      windows.resize(w + 1);
+      for (size_t i = old; i < windows.size(); ++i) {
+        windows[i].start_us = static_cast<int64_t>(i) * config.window_us;
+      }
+    }
+    return windows[w];
+  };
   auto sink = [&](net::ReplyReader::Status status) {
     Conn& c = *sink_conn;
     const Inflight fl = c.inflight.front();
@@ -348,11 +361,45 @@ LoadGenResult RunOpenLoop(const EngineConfig& config) {
     if (status == net::ReplyReader::Status::kError) {
       ++seg.errors;
       ++errors;
+      if (config.window_us > 0) {
+        ++window_at(sink_now_us).errors;
+      }
       return;  // error replies do not contribute latency samples
     }
     if (fl.is_get && status == net::ReplyReader::Status::kMiss) {
       ++seg.get_misses;
       ++get_misses;
+      if (config.read_through) {
+        // Cache-aside repair: refill the missed key right here, pipelined on
+        // the same connection. The set's latency clock starts now — it is a
+        // new op, not part of the missed get.
+        const uint32_t vlen = config.stream.mix.value_bytes;
+        c.out += "set ";
+        c.out += config.key_prefix;
+        AppendUint(c.out, fl.key);
+        c.out += " 0 0 ";
+        AppendUint(c.out, vlen);
+        c.out += "\r\n";
+        c.out.append(value_buf.data(), vlen);
+        c.out += "\r\n";
+        c.reader.Push(net::ReplyReader::Expect::kLine);
+        c.inflight.push_back({sink_now_us, fl.segment, false, fl.key});
+        ++seg.scheduled;
+        ++result.scheduled;
+      }
+    }
+    if (config.window_us > 0) {
+      LoadGenWindow& w = window_at(sink_now_us);
+      if (fl.is_get) {
+        ++w.gets;
+        if (status == net::ReplyReader::Status::kMiss) {
+          ++w.get_misses;
+        } else {
+          ++w.get_hits;
+        }
+      } else {
+        ++w.sets;
+      }
     }
     const double latency_s =
         static_cast<double>(sink_now_us - fl.scheduled_us) * 1e-6;
@@ -403,7 +450,7 @@ LoadGenResult RunOpenLoop(const EngineConfig& config) {
         c->reader.Push(net::ReplyReader::Expect::kLine);
       }
       c->inflight.push_back(
-          {op.send_us, seg_idx, op.kind == OpKind::kGet});
+          {op.send_us, seg_idx, op.kind == OpKind::kGet, op.key});
       next = gen.Next();
     }
 
@@ -509,6 +556,7 @@ LoadGenResult RunOpenLoop(const EngineConfig& config) {
   result.get_misses = get_misses;
   result.abandoned = abandoned;
   result.per_second_completed = std::move(per_second);
+  result.windows = std::move(windows);
 
   LogHistogram overall = MakeLatencyHistogram();
   for (size_t s = 0; s < num_segments; ++s) {

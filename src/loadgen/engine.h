@@ -50,6 +50,26 @@ struct EngineConfig {
   /// server's shard count so offered load spreads evenly (the CLI's
   /// --server-shards flag rounds it up).
   bool probe_shards = true;
+  /// Completion-time bucket width for LoadGenResult::windows (hit-rate
+  /// timelines through fleet churn). 0 disables windowing.
+  int64_t window_us = 0;
+  /// Cache-aside repair: every get miss immediately issues a set of the
+  /// missed key on the same connection, the way a read-through client
+  /// refills keys a revoked node took with it. Repair sets ride outside the
+  /// paced schedule but count in scheduled/completed/sets totals.
+  bool read_through = false;
+};
+
+/// Completion counts for one window_us bucket of the run (completion time,
+/// not scheduled time: a reply delayed by a dying upstream lands in the
+/// bucket where the client actually saw it).
+struct LoadGenWindow {
+  int64_t start_us = 0;
+  uint64_t gets = 0;        // classified get replies (hit + miss)
+  uint64_t get_hits = 0;
+  uint64_t get_misses = 0;
+  uint64_t sets = 0;        // non-error non-get completions
+  uint64_t errors = 0;      // error replies (e.g. SERVER_ERROR sheds)
 };
 
 /// Stats for one traffic segment: the baseline stream or one scripted phase.
@@ -87,6 +107,9 @@ struct LoadGenResult {
 
   /// Completions bucketed by wall-clock second of the run (JSONL traces).
   std::vector<uint64_t> per_second_completed;
+
+  /// Completion windows (empty unless EngineConfig::window_us > 0).
+  std::vector<LoadGenWindow> windows;
 
   /// Shard the server reported for each connection (`stats spotcache` probe;
   /// 0 against a single-threaded server, -1 when the probe failed). Empty

@@ -1,0 +1,73 @@
+#include "src/net/readiness.h"
+
+namespace spotcache::net {
+
+namespace {
+
+/// Parses `text` as a bare decimal port in [1, 65535]: digits only, no sign,
+/// no whitespace, no trailing junk.
+std::optional<uint16_t> ParsePort(std::string_view text) {
+  if (text.empty() || text.size() > 5) {
+    return std::nullopt;
+  }
+  uint32_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+    value = value * 10 + static_cast<uint32_t>(c - '0');
+  }
+  if (value == 0 || value > 65535) {
+    return std::nullopt;
+  }
+  return static_cast<uint16_t>(value);
+}
+
+std::optional<uint16_t> ParseAfterPrefix(std::string_view line,
+                                         std::string_view prefix) {
+  if (line.size() <= prefix.size() ||
+      line.compare(0, prefix.size(), prefix) != 0) {
+    return std::nullopt;
+  }
+  std::string_view rest = line.substr(prefix.size());
+  if (!rest.empty() && rest.back() == '\r') {
+    rest.remove_suffix(1);  // tolerate CRLF-translated pipes
+  }
+  return ParsePort(rest);
+}
+
+}  // namespace
+
+std::optional<uint16_t> ParseListeningLine(std::string_view line) {
+  return ParseAfterPrefix(line, "listening ");
+}
+
+std::optional<uint16_t> ParseMetricsListeningLine(std::string_view line) {
+  return ParseAfterPrefix(line, "metrics listening ");
+}
+
+bool ReadinessParser::Feed(std::string_view chunk) {
+  bool port_arrived = false;
+  pending_.append(chunk);
+  for (;;) {
+    const size_t nl = pending_.find('\n');
+    if (nl == std::string::npos) {
+      return port_arrived;
+    }
+    const std::string_view line(pending_.data(), nl);
+    if (!port_.has_value()) {
+      if (const auto p = ParseListeningLine(line); p.has_value()) {
+        port_ = p;
+        port_arrived = true;
+      }
+    }
+    if (!metrics_port_.has_value()) {
+      if (const auto p = ParseMetricsListeningLine(line); p.has_value()) {
+        metrics_port_ = p;
+      }
+    }
+    pending_.erase(0, nl + 1);
+  }
+}
+
+}  // namespace spotcache::net

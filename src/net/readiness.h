@@ -1,0 +1,55 @@
+// The server readiness-line contract, in one place.
+//
+// Every serving binary (spotcache_server, spotcache_proxy) announces its
+// bound ports on stdout as machine-readable lines, flushed before any banner
+// text:
+//
+//   listening <port>
+//   metrics listening <port>        (only when the scrape listener is on)
+//
+// ProcessSupervisor (fork/exec launches), the CI smoke jobs, and any harness
+// that tails a server's stdout all parse the same two lines. This header is
+// the single implementation: strict single-line parsers plus an incremental
+// ReadinessParser that accepts arbitrarily segmented stdout reads — partial
+// lines, interleaved banner noise, both announcements in one chunk — and
+// latches the first valid port of each kind.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace spotcache::net {
+
+/// Parses one complete stdout line (no trailing newline) as the cache
+/// readiness announcement `listening <port>`. Strict: exactly one decimal
+/// port in [1, 65535], no leading zeros padding tricks, no trailing junk.
+std::optional<uint16_t> ParseListeningLine(std::string_view line);
+
+/// Parses one complete stdout line as `metrics listening <port>`.
+std::optional<uint16_t> ParseMetricsListeningLine(std::string_view line);
+
+/// Incremental readiness scanner for a child process's stdout stream. Feed()
+/// accepts any segmentation of the bytes (single characters, whole buffers,
+/// reads that end mid-line); lines that are not readiness announcements are
+/// ignored as banner noise. The first valid announcement of each kind wins.
+class ReadinessParser {
+ public:
+  /// Appends one stdout chunk. Returns true if this chunk completed the
+  /// cache readiness line (i.e. port() just became available).
+  bool Feed(std::string_view chunk);
+
+  /// The announced cache port, once its line has fully arrived.
+  std::optional<uint16_t> port() const { return port_; }
+  /// The announced metrics port, once its line has fully arrived.
+  std::optional<uint16_t> metrics_port() const { return metrics_port_; }
+
+ private:
+  std::string pending_;  // bytes after the last newline seen
+  std::optional<uint16_t> port_;
+  std::optional<uint16_t> metrics_port_;
+};
+
+}  // namespace spotcache::net

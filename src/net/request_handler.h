@@ -1,0 +1,49 @@
+// The request-execution seam between NetServer's transport loop and whoever
+// answers the protocol.
+//
+// NetServer parses bytes into TextRequests and hands each one to a
+// RequestHandler; ServerCore (the local cache) is the default
+// implementation, and ProxyCore (src/proxy) substitutes a fan-out to a fleet
+// of upstreams behind the identical wire surface. The contract mirrors
+// ServerCore exactly:
+//
+//   * Handle() appends the complete reply bytes for one request (noreply
+//     suppression is the handler's job) and returns false when the
+//     connection should close (quit).
+//   * HandleParseError() appends the error reply for a malformed command —
+//     always sent, even under noreply.
+//   * set_telemetry() receives the server's RequestTelemetry so the handler
+//     can classify (op, outcome) per request; handlers may ignore it.
+//
+// Handlers run on the server's loop thread only — no locking required, and
+// a handler that blocks stalls the whole loop (ProxyCore bounds its upstream
+// waits with per-operation timeouts for exactly this reason).
+
+#pragma once
+
+#include <cstdint>
+
+#include "src/net/protocol.h"
+#include "src/net/response.h"
+#include "src/obs/request_telemetry.h"
+
+namespace spotcache::net {
+
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+
+  /// Executes one request at unix-seconds `now`, appending the reply to
+  /// `out`. Returns false when the connection should close (quit).
+  virtual bool Handle(const TextRequest& req, int64_t now,
+                      ResponseAssembler* out) = 0;
+
+  /// Appends the reply for a parse error (always sent, even on noreply).
+  virtual void HandleParseError(ParseErrorKind kind,
+                                ResponseAssembler* out) = 0;
+
+  /// Attaches the serving-path telemetry (non-owning; may be null).
+  virtual void set_telemetry(RequestTelemetry* telemetry) { (void)telemetry; }
+};
+
+}  // namespace spotcache::net

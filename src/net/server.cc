@@ -39,6 +39,7 @@ NetServer::NetServer(const NetServerConfig& config, SpotCacheSystem* system,
                      Obs* obs)
     : config_(config),
       core_(config.core, system, obs),
+      handler_(&core_),
       obs_(obs),
       clock_([] { return static_cast<int64_t>(::time(nullptr)); }) {
   const RequestTelemetryConfig& tc = config_.telemetry;
@@ -244,6 +245,12 @@ bool NetServer::Run() {
     if (core_.sharded()) {
       core_.ServiceInbox();  // peers' ops, queued while we were waiting
     }
+    if (reload_requested_.load(std::memory_order_relaxed)) {
+      reload_requested_.store(false, std::memory_order_relaxed);
+      if (on_reload_) {
+        on_reload_();  // loop context: safe to touch handler state
+      }
+    }
     MaybeDumpTelemetry();
     MaybeFlushHub(/*force=*/false);
     if (instrument) {
@@ -292,6 +299,24 @@ void NetServer::Stop() {
 void NetServer::RequestTelemetryDump() {
   // Async-signal-safe: one relaxed atomic store + one write(2).
   dump_requested_.store(true, std::memory_order_relaxed);
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    (void)!::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void NetServer::SetHandler(RequestHandler* handler) {
+  handler_ = handler != nullptr ? handler : &core_;
+  handler_->set_telemetry(telemetry_.get());
+}
+
+void NetServer::SetReloadHandler(std::function<void()> on_reload) {
+  on_reload_ = std::move(on_reload);
+}
+
+void NetServer::RequestReload() {
+  // Async-signal-safe: one relaxed atomic store + one write(2).
+  reload_requested_.store(true, std::memory_order_relaxed);
   if (wake_fd_ >= 0) {
     const uint64_t one = 1;
     (void)!::write(wake_fd_, &one, sizeof(one));
@@ -583,7 +608,7 @@ void NetServer::Drain(Connection* conn) {
       if (t != nullptr) {
         t->OnParsed(TelemetryOp::kOther, 0);
       }
-      core_.HandleParseError(conn->parser.error(), &conn->assembler);
+      handler_->HandleParseError(conn->parser.error(), &conn->assembler);
       if (t != nullptr) {
         t->OnExecuted(RequestOutcome::kError, 0);
       }
@@ -594,7 +619,7 @@ void NetServer::Drain(Connection* conn) {
               EventTracer::JsonString(ToString(conn->parser.error()))}});
       continue;
     }
-    if (!core_.Handle(conn->parser.request(), now, &conn->assembler)) {
+    if (!handler_->Handle(conn->parser.request(), now, &conn->assembler)) {
       conn->close_after_flush = true;
       break;
     }

@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "src/net/protocol.h"
+#include "src/net/request_handler.h"
 #include "src/net/response.h"
 #include "src/net/server_core.h"
 #include "src/obs/metrics_hub.h"
@@ -122,6 +123,20 @@ class NetServer {
   /// Async-signal-safe (atomic store + eventfd write): signal handlers for
   /// SIGUSR1/SIGHUP call this directly.
   void RequestTelemetryDump();
+
+  /// Substitutes `handler` for the built-in ServerCore on the single-threaded
+  /// drain path (the proxy seam; see request_handler.h). Must be called
+  /// before Run(); the handler must outlive the server. Incompatible with
+  /// sharded serving (DrainSharded executes through ServerCore batches).
+  void SetHandler(RequestHandler* handler);
+
+  /// Installs the loop-context reload callback RequestReload() triggers.
+  /// Must be called before Run(); runs on the loop thread between batches.
+  void SetReloadHandler(std::function<void()> on_reload);
+
+  /// Requests a config reload from loop context. Async-signal-safe (atomic
+  /// store + eventfd write): the SIGHUP handler calls this directly.
+  void RequestReload();
 
   /// Unix-seconds clock used for expiry (defaults to the wall clock).
   void SetClock(std::function<int64_t()> now_unix);
@@ -211,6 +226,9 @@ class NetServer {
 
   NetServerConfig config_;
   ServerCore core_;
+  /// The active request executor: &core_ unless SetHandler() swapped in a
+  /// different implementation (e.g. the proxy's fan-out core).
+  RequestHandler* handler_ = nullptr;
   Obs* obs_;
   std::unique_ptr<RequestTelemetry> telemetry_;
   std::function<int64_t()> clock_;
@@ -232,6 +250,8 @@ class NetServer {
 
   std::atomic<bool> dump_requested_{false};
   int64_t last_auto_dump_us_ = -1'000'000;
+  std::atomic<bool> reload_requested_{false};
+  std::function<void()> on_reload_;
 
   // Sharded-serving state (inert in the single-threaded server).
   ShardContext shard_ctx_;

@@ -48,6 +48,7 @@
 #include "src/cache/cache_protocol.h"
 #include "src/net/item_store.h"
 #include "src/net/protocol.h"
+#include "src/net/request_handler.h"
 #include "src/net/response.h"
 #include "src/net/sharding.h"
 #include "src/obs/obs.h"
@@ -96,7 +97,7 @@ struct PendingEvent {
   bool noreply = false;
 };
 
-class ServerCore {
+class ServerCore : public RequestHandler {
  public:
   explicit ServerCore(const ServerCoreConfig& config,
                       SpotCacheSystem* system = nullptr, Obs* obs = nullptr);
@@ -104,16 +105,19 @@ class ServerCore {
   /// Attaches the serving-path telemetry (non-owning; may be null). The
   /// server wires its RequestTelemetry in here so Handle() can classify
   /// outcomes and stamp route/store phases on sampled requests.
-  void set_telemetry(RequestTelemetry* telemetry) { telemetry_ = telemetry; }
+  void set_telemetry(RequestTelemetry* telemetry) override {
+    telemetry_ = telemetry;
+  }
 
   /// Executes one request at unix-seconds `now`, appending any reply to
   /// `out` (noreply suppresses success/failure status lines, per protocol).
   /// Returns false when the connection should close (quit).
-  bool Handle(const TextRequest& req, int64_t now, ResponseAssembler* out);
+  bool Handle(const TextRequest& req, int64_t now,
+              ResponseAssembler* out) override;
 
   /// Appends the reply for a parse error (always sent: memcached reports
   /// protocol errors even on noreply commands).
-  void HandleParseError(ParseErrorKind kind, ResponseAssembler* out);
+  void HandleParseError(ParseErrorKind kind, ResponseAssembler* out) override;
 
   /// Makes this core shard `ctx.self` of `ctx.count`: wires the exchange,
   /// the shared cas sequence, and the system serialization. Must be called

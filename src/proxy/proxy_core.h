@@ -1,0 +1,124 @@
+// ProxyCore: the memcached-speaking front of the proxy tier.
+//
+// Plugs into NetServer through the RequestHandler seam (request_handler.h),
+// so the proxy binary reuses the entire src/net serving surface — epoll
+// loop, zero-copy parser, writev assembly, backpressure, metrics scrape,
+// flight recorder — and only the execution step changes: instead of an
+// ItemStore lookup, every request fans out to the fleet through an
+// UpstreamPool.
+//
+// Wire semantics are pinned byte-for-byte against direct serving by the
+// conformance suite's proxy transport:
+//
+//   * get/gets scatter across owning upstreams (pipelined, bounded window)
+//     and reassemble VALUE blocks in request-key order; unreachable keys
+//     degrade to backup copies and finally to plain misses — a client can
+//     see a miss where direct serving would hit, but never an error;
+//   * storage/delete/touch forward to the owner and relay its status line
+//     verbatim (noreply suppresses the relay, but the round trip still
+//     happens so upstream cas numbering stays in lockstep);
+//   * version and stats answer locally — stats is the proxy's own
+//     deterministic counter block (proxy_* lines), not an upstream's;
+//   * flush_all broadcasts to every upstream plus the backup;
+//   * parse errors never touch an upstream: the reply comes from the same
+//     ErrorReply table the server uses.
+//
+// Handle() runs on the server's loop thread; upstream waits are bounded by
+// the pool's op timeout so one dead upstream cannot stall the loop longer
+// than (timeout × rungs). Counters land in the obs registry under proxy/*.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/net/request_handler.h"
+#include "src/obs/obs.h"
+#include "src/proxy/membership.h"
+#include "src/proxy/upstream_pool.h"
+
+namespace spotcache::proxy {
+
+struct ProxyCoreConfig {
+  std::string version = "spotcache-1.6.0";
+  UpstreamPoolConfig upstreams;
+};
+
+/// Monotonic request counters, mirrored into proxy/* obs counters when an
+/// Obs is attached. All loop-thread-only.
+struct ProxyStats {
+  uint64_t requests = 0;
+  uint64_t gets = 0;        // get/gets commands
+  uint64_t get_keys = 0;    // keys across those commands
+  uint64_t get_hits = 0;    // keys served by their owning primary
+  uint64_t backup_hits = 0; // keys served by the backup rung
+  uint64_t misses = 0;      // keys a live rung definitively missed
+  uint64_t sheds = 0;       // keys no rung could serve (reported as misses)
+  uint64_t sets = 0;        // set/add/replace commands
+  uint64_t set_primary = 0;
+  uint64_t set_backup = 0;
+  uint64_t set_failures = 0;  // SERVER_ERROR relayed: no rung reachable
+  uint64_t deletes = 0;
+  uint64_t touches = 0;
+  uint64_t flushes = 0;
+  uint64_t reloads = 0;
+  uint64_t reload_failures = 0;
+  uint64_t protocol_errors = 0;
+};
+
+class ProxyCore final : public net::RequestHandler {
+ public:
+  explicit ProxyCore(const ProxyCoreConfig& config, Obs* obs = nullptr,
+                     EventTracer* tracer = nullptr);
+
+  bool Handle(const net::TextRequest& req, int64_t now,
+              net::ResponseAssembler* out) override;
+  void HandleParseError(net::ParseErrorKind kind,
+                        net::ResponseAssembler* out) override;
+  void set_telemetry(RequestTelemetry* telemetry) override {
+    telemetry_ = telemetry;
+  }
+
+  /// Re-reads `path` and applies it to the pool (loop context only — wire
+  /// this behind NetServer::SetReloadHandler). Returns false (keeping the
+  /// previous fleet view) when the file is unreadable or malformed.
+  bool ReloadMembership(const std::string& path);
+
+  UpstreamPool& pool() { return pool_; }
+  const UpstreamPool& pool() const { return pool_; }
+  const ProxyStats& stats() const { return stats_; }
+
+ private:
+  void HandleRetrieve(const net::TextRequest& req,
+                      net::ResponseAssembler* out, RequestOutcome* outcome,
+                      uint32_t* value_bytes);
+  void HandleForwarded(const net::TextRequest& req,
+                       net::ResponseAssembler* out, RequestOutcome* outcome);
+  void AppendStats(net::ResponseAssembler* out);
+  /// Rebuilds the forwarded wire bytes for one request (storage payload and
+  /// flags included, noreply stripped).
+  std::string RebuildWire(const net::TextRequest& req) const;
+
+  ProxyCoreConfig config_;
+  UpstreamPool pool_;
+  RequestTelemetry* telemetry_ = nullptr;
+  ProxyStats stats_;
+
+  // Scratch reused across requests (loop-thread-only).
+  std::vector<std::string_view> keys_;
+  std::vector<KeyFetch> fetches_;
+
+  // proxy/* obs counters (null when obs is detached).
+  Counter* obs_requests_ = nullptr;
+  Counter* obs_get_hits_ = nullptr;
+  Counter* obs_backup_hits_ = nullptr;
+  Counter* obs_misses_ = nullptr;
+  Counter* obs_sheds_ = nullptr;
+  Counter* obs_sets_ = nullptr;
+  Counter* obs_absorbed_ = nullptr;
+  Counter* obs_reconnects_ = nullptr;
+  Counter* obs_reloads_ = nullptr;
+  Counter* obs_protocol_errors_ = nullptr;
+};
+
+}  // namespace spotcache::proxy

@@ -1,0 +1,447 @@
+#include "src/proxy/upstream_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "src/net/protocol.h"
+#include "src/routing/hash.h"
+
+namespace spotcache::proxy {
+
+namespace {
+
+int64_t WallUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The complete reply vocabulary for status-line commands (storage /
+/// delete / touch / flush_all). Error lines carry a free-form tail.
+bool ValidStatusLine(std::string_view line) {
+  return line == "STORED" || line == "NOT_STORED" || line == "EXISTS" ||
+         line == "NOT_FOUND" || line == "DELETED" || line == "TOUCHED" ||
+         line == "OK" || line == "ERROR" ||
+         line.rfind("CLIENT_ERROR", 0) == 0 ||
+         line.rfind("SERVER_ERROR", 0) == 0;
+}
+
+/// Splits `line` into space-separated tokens (no empty tokens).
+void SplitTokens(std::string_view line, std::vector<std::string_view>* out) {
+  out->clear();
+  size_t at = 0;
+  while (at < line.size()) {
+    const size_t space = line.find(' ', at);
+    const size_t end = space == std::string_view::npos ? line.size() : space;
+    if (end > at) {
+      out->push_back(line.substr(at, end - at));
+    }
+    at = end + 1;
+  }
+}
+
+bool ParseU64Token(std::string_view token, uint64_t* out) {
+  if (token.empty() || token.size() > 20) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (~0ULL - digit) / 10) {
+      return false;
+    }
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+UpstreamPool::UpstreamPool(const UpstreamPoolConfig& config,
+                           EventTracer* tracer)
+    : config_(config), tracer_(tracer), epoch_us_(WallUs()) {}
+
+SimTime UpstreamPool::Now() const {
+  return SimTime::FromMicros(WallUs() - epoch_us_);
+}
+
+void UpstreamPool::SetNode(uint64_t slot, const std::string& host,
+                           uint16_t port) {
+  Node& node = nodes_[slot];
+  if (node.breaker != nullptr && !node.dead && node.host == host &&
+      node.port == port) {
+    return;  // unchanged endpoint: keep the connection and breaker history
+  }
+  node.host = host;
+  node.port = port;
+  node.client.Close();
+  node.connected = false;
+  node.dead = false;
+  // A replacement is a fresh process: it earns a fresh breaker.
+  node.breaker =
+      std::make_unique<CircuitBreaker>(config_.breaker, config_.seed, slot);
+  ring_.SetNode(slot, 1.0);
+}
+
+void UpstreamPool::SetBackup(const std::string& host, uint16_t port) {
+  if (backup_.has_value() && backup_->host == host && backup_->port == port) {
+    return;
+  }
+  backup_.emplace();
+  backup_->host = host;
+  backup_->port = port;
+  // Slot id ~0 keeps the backup's breaker jitter decorrelated from primaries.
+  backup_->breaker =
+      std::make_unique<CircuitBreaker>(config_.breaker, config_.seed, ~0ULL);
+}
+
+void UpstreamPool::MarkDead(uint64_t slot) {
+  auto it = nodes_.find(slot);
+  if (it == nodes_.end()) {
+    // An unknown-but-dead slot still owns ring range; keys homed there must
+    // degrade to the backup instead of rehashing onto live primaries.
+    Node& node = nodes_[slot];
+    node.breaker =
+        std::make_unique<CircuitBreaker>(config_.breaker, config_.seed, slot);
+    node.dead = true;
+    ring_.SetNode(slot, 1.0);
+    return;
+  }
+  Node& node = it->second;
+  node.client.Close();
+  node.connected = false;
+  node.dead = true;
+  const SimTime now = Now();
+  const BreakerState before = node.breaker->state(now);
+  for (int i = 0; i < config_.breaker.failure_threshold; ++i) {
+    node.breaker->RecordFailure(now);
+  }
+  TraceBreaker(slot, before, node.breaker->state(now));
+}
+
+void UpstreamPool::RemoveNode(uint64_t slot) {
+  auto it = nodes_.find(slot);
+  if (it == nodes_.end()) {
+    return;
+  }
+  nodes_.erase(it);
+  ring_.RemoveNode(slot);
+}
+
+void UpstreamPool::ApplyMembership(const FleetMembership& m) {
+  if (m.backup.has_value()) {
+    SetBackup(m.backup->host, m.backup->port);
+  } else {
+    backup_.reset();
+  }
+  // Drop slots the document no longer names.
+  std::vector<uint64_t> stale;
+  for (const auto& [slot, node] : nodes_) {
+    bool named = false;
+    for (const MemberNode& n : m.nodes) {
+      if (n.slot == slot) {
+        named = true;
+        break;
+      }
+    }
+    if (!named) {
+      stale.push_back(slot);
+    }
+  }
+  for (const uint64_t slot : stale) {
+    RemoveNode(slot);
+  }
+  for (const MemberNode& n : m.nodes) {
+    if (n.dead()) {
+      MarkDead(n.slot);
+    } else {
+      SetNode(n.slot, n.host, n.port);
+    }
+  }
+  generation_ = m.generation;
+}
+
+std::optional<uint64_t> UpstreamPool::OwnerOf(std::string_view key) const {
+  return ring_.NodeFor(HashString(key));
+}
+
+bool UpstreamPool::EnsureConnected(Node& node) {
+  if (node.connected && node.client.connected()) {
+    return true;
+  }
+  node.connected =
+      node.client.Connect(node.host, node.port, config_.op_timeout_ms);
+  return node.connected;
+}
+
+bool UpstreamPool::HandleTransportFailure(Node& node, uint64_t slot) {
+  const SimTime now = Now();
+  const BreakerState before = node.breaker->state(now);
+  node.breaker->RecordFailure(now);
+  ++stats_.absorbed_failures;
+  node.connected = false;
+  if (node.client.Reconnect(config_.reconnect)) {
+    ++stats_.reconnects;
+    node.connected = true;
+  }
+  TraceBreaker(slot, before, node.breaker->state(Now()));
+  return node.connected;
+}
+
+void UpstreamPool::TraceBreaker(uint64_t slot, BreakerState before,
+                                BreakerState after) {
+  if (tracer_ != nullptr && before != after) {
+    tracer_->BreakerTransition(Now(), slot, ToString(before), ToString(after));
+  }
+}
+
+bool UpstreamPool::ReadOneGetReply(Node& node, KeyFetch* fetch) {
+  std::vector<std::string_view> tokens;
+  for (;;) {
+    const auto line = node.client.ReadLine();
+    if (!line.has_value()) {
+      return false;
+    }
+    if (*line == "END") {
+      return true;
+    }
+    if (line->rfind("VALUE ", 0) != 0) {
+      return false;  // upstream protocol violation: treated as a dead socket
+    }
+    SplitTokens(*line, &tokens);
+    uint64_t flags = 0;
+    uint64_t bytes = 0;
+    uint64_t cas = 0;
+    if (tokens.size() < 4 || tokens.size() > 5 ||
+        !ParseU64Token(tokens[2], &flags) ||
+        !ParseU64Token(tokens[3], &bytes) || bytes > net::kMaxValueBytes ||
+        (tokens.size() == 5 && !ParseU64Token(tokens[4], &cas))) {
+      return false;
+    }
+    auto data = node.client.ReadBytes(bytes + 2);
+    if (!data.has_value() ||
+        data->compare(bytes, 2, "\r\n") != 0) {
+      return false;
+    }
+    data->resize(bytes);
+    fetch->found = true;
+    fetch->flags = static_cast<uint32_t>(flags);
+    fetch->cas = cas;
+    fetch->data = std::move(*data);
+  }
+}
+
+bool UpstreamPool::FetchFromNode(Node& node, uint64_t slot,
+                                 const std::vector<PendingKey>& keys,
+                                 bool with_cas, ServedRung rung,
+                                 size_t* resolved,
+                                 std::vector<KeyFetch>* out) {
+  *resolved = 0;
+  if (!EnsureConnected(node)) {
+    return false;
+  }
+  const size_t window =
+      config_.window > 0 ? static_cast<size_t>(config_.window) : 1;
+  const char* verb = with_cas ? "gets " : "get ";
+  size_t sent = 0;
+  size_t read = 0;
+  std::string burst;
+  while (read < keys.size()) {
+    if (sent < keys.size() && sent - read < window) {
+      // Top the window up in one send: the upstream sees a pipelined burst,
+      // so a cross-node multiget costs one round trip per window, not per
+      // key.
+      burst.clear();
+      while (sent < keys.size() && sent - read < window) {
+        burst += verb;
+        burst.append(keys[sent].key);
+        burst += "\r\n";
+        ++sent;
+      }
+      if (!node.client.SendRaw(burst)) {
+        *resolved = read;
+        return false;
+      }
+    }
+    KeyFetch fetch;
+    if (!ReadOneGetReply(node, &fetch)) {
+      *resolved = read;
+      return false;
+    }
+    fetch.rung = rung;
+    (*out)[keys[read].index] = std::move(fetch);
+    ++read;
+  }
+  *resolved = read;
+  const SimTime now = Now();
+  const BreakerState before = node.breaker->state(now);
+  node.breaker->RecordSuccess(now);
+  TraceBreaker(slot, before, node.breaker->state(now));
+  return true;
+}
+
+void UpstreamPool::MultiGet(const std::vector<std::string_view>& keys,
+                            bool with_cas, std::vector<KeyFetch>* out) {
+  out->clear();
+  out->resize(keys.size());
+
+  // Group keys by owning slot, preserving request order within each group.
+  std::map<uint64_t, std::vector<PendingKey>> by_slot;
+  std::vector<PendingKey> backup_keys;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const auto owner = ring_.NodeFor(HashString(keys[i]));
+    if (owner.has_value()) {
+      by_slot[*owner].push_back({i, keys[i]});
+    } else {
+      backup_keys.push_back({i, keys[i]});
+    }
+  }
+
+  // Primary legs, breaker-gated; unresolved keys fall to the backup list.
+  for (auto& [slot, pending] : by_slot) {
+    auto it = nodes_.find(slot);
+    Node* node = it != nodes_.end() ? &it->second : nullptr;
+    if (node == nullptr || node->dead || !node->breaker->Allow(Now())) {
+      if (node != nullptr) {
+        ++stats_.breaker_skips;
+      }
+      backup_keys.insert(backup_keys.end(), pending.begin(), pending.end());
+      continue;
+    }
+    size_t resolved = 0;
+    if (!FetchFromNode(*node, slot, pending, with_cas, ServedRung::kPrimary,
+                       &resolved, out)) {
+      HandleTransportFailure(*node, slot);
+      backup_keys.insert(backup_keys.end(), pending.begin() + resolved,
+                         pending.end());
+    }
+  }
+
+  // Backup leg: hot copies only; a clean backup miss is final.
+  if (!backup_keys.empty()) {
+    std::sort(backup_keys.begin(), backup_keys.end(),
+              [](const PendingKey& a, const PendingKey& b) {
+                return a.index < b.index;
+              });
+    size_t resolved = 0;
+    bool served = false;
+    if (backup_.has_value() && backup_->breaker->Allow(Now())) {
+      served = FetchFromNode(*backup_, ~0ULL, backup_keys, with_cas,
+                             ServedRung::kBackup, &resolved, out);
+      if (!served) {
+        HandleTransportFailure(*backup_, ~0ULL);
+      }
+    }
+    stats_.backup_served += resolved;
+    stats_.unreachable += backup_keys.size() - resolved;
+    // Unresolved keys stay at their zero-initialized state: a miss on the
+    // kNone rung — absorbed, never an error.
+    if (tracer_ != nullptr && resolved < backup_keys.size()) {
+      tracer_->Shed(Now(), "proxy_pool",
+                    static_cast<double>(backup_keys.size() - resolved));
+    }
+  }
+}
+
+std::optional<std::string> UpstreamPool::RoundTripLine(
+    Node& node, const std::string& wire) {
+  if (!EnsureConnected(node)) {
+    return std::nullopt;
+  }
+  if (!node.client.SendRaw(wire)) {
+    return std::nullopt;
+  }
+  auto line = node.client.ReadLine();
+  if (line.has_value() && !ValidStatusLine(*line)) {
+    // An upstream answering a status-line command with anything else (a
+    // torn VALUE block, half a reply before a kill) has lost protocol sync;
+    // treat the socket as dead rather than relaying garbage to the client.
+    return std::nullopt;
+  }
+  return line;
+}
+
+ForwardResult UpstreamPool::ForwardLineCommand(std::string_view key,
+                                               const std::string& wire) {
+  ForwardResult result;
+  const auto owner = ring_.NodeFor(HashString(key));
+  if (owner.has_value()) {
+    auto it = nodes_.find(*owner);
+    if (it != nodes_.end()) {
+      Node& node = it->second;
+      if (!node.dead && node.breaker->Allow(Now())) {
+        auto line = RoundTripLine(node, wire);
+        if (line.has_value()) {
+          const SimTime now = Now();
+          const BreakerState before = node.breaker->state(now);
+          node.breaker->RecordSuccess(now);
+          TraceBreaker(*owner, before, node.breaker->state(now));
+          result.line = std::move(line);
+          result.rung = ServedRung::kPrimary;
+          return result;
+        }
+        HandleTransportFailure(node, *owner);
+      } else {
+        ++stats_.breaker_skips;
+      }
+    }
+  }
+
+  // Degraded leg: land the command on the backup so warm-up (and backup
+  // fall-through reads) see fresh data.
+  if (backup_.has_value() && backup_->breaker->Allow(Now())) {
+    auto line = RoundTripLine(*backup_, wire);
+    if (line.has_value()) {
+      backup_->breaker->RecordSuccess(Now());
+      ++stats_.backup_served;
+      result.line = std::move(line);
+      result.rung = ServedRung::kBackup;
+      return result;
+    }
+    HandleTransportFailure(*backup_, ~0ULL);
+  }
+
+  ++stats_.unreachable;
+  if (tracer_ != nullptr) {
+    tracer_->Shed(Now(), "proxy_pool", 1.0);
+  }
+  return result;
+}
+
+size_t UpstreamPool::BroadcastFlush(int64_t delay_s) {
+  std::string wire = "flush_all";
+  if (delay_s > 0) {
+    wire += " " + std::to_string(delay_s);
+  }
+  wire += "\r\n";
+  size_t acked = 0;
+  for (auto& [slot, node] : nodes_) {
+    if (node.dead || !node.breaker->Allow(Now())) {
+      continue;
+    }
+    const auto line = RoundTripLine(node, wire);
+    if (line.has_value() && *line == "OK") {
+      node.breaker->RecordSuccess(Now());
+      ++acked;
+    } else if (!line.has_value()) {
+      HandleTransportFailure(node, slot);
+    }
+  }
+  if (backup_.has_value() && backup_->breaker->Allow(Now())) {
+    const auto line = RoundTripLine(*backup_, wire);
+    if (line.has_value() && *line == "OK") {
+      backup_->breaker->RecordSuccess(Now());
+      ++acked;
+    } else if (!line.has_value()) {
+      HandleTransportFailure(*backup_, ~0ULL);
+    }
+  }
+  return acked;
+}
+
+}  // namespace spotcache::proxy

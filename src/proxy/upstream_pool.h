@@ -1,0 +1,186 @@
+// UpstreamPool: the proxy's server-side fan-out to the cache fleet.
+//
+// Keys are homed on consistent-hash slots exactly like the in-process
+// FleetRouter (same ring construction, same HashString, weight 1.0 per
+// slot), and each slot is fronted by a src/resilience CircuitBreaker. The
+// absorption contract carries over unchanged: no transport failure ever
+// surfaces to the proxy's client — gets degrade primary → backup → miss,
+// writes degrade primary → backup → unavailable, and a failed upstream
+// records a breaker failure plus one capped-backoff reconnect attempt.
+//
+// What is new over FleetRouter is pipelined upstream multiplexing: MultiGet
+// scatters a request's keys across their owning upstreams and streams each
+// upstream's fetches through a bounded in-flight window (`window` commands
+// on the wire before the first reply is awaited), reassembling results in
+// request-key order. Cross-node multigets therefore cost max-over-nodes
+// round trips, not sum-over-keys.
+//
+// Membership is applied as whole documents (see membership.h): endpoints
+// that did not change keep their connection and breaker history; changed or
+// dead slots reset. The pool is loop-thread-only — no internal locking, by
+// design (it lives inside ProxyCore, which NetServer drives from its single
+// event loop).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/net/client.h"
+#include "src/obs/trace.h"
+#include "src/proxy/membership.h"
+#include "src/resilience/circuit_breaker.h"
+#include "src/routing/consistent_hash.h"
+#include "src/util/time.h"
+
+namespace spotcache::proxy {
+
+struct UpstreamPoolConfig {
+  CircuitBreakerConfig breaker{
+      .failure_threshold = 2,
+      .open_base = Duration::Millis(100),
+      .open_backoff = 2.0,
+      .open_max = Duration::Seconds(2),
+      .half_open_successes = 1,
+      .probe_jitter = 0.25,
+  };
+  net::ReconnectPolicy reconnect{.max_attempts = 1,
+                                 .initial_backoff_ms = 5,
+                                 .max_backoff_ms = 50,
+                                 .backoff_factor = 2.0};
+  /// Per-operation socket timeout (connect + send + recv deadlines).
+  int op_timeout_ms = 250;
+  /// Per-upstream in-flight command window for pipelined multigets.
+  int window = 32;
+  uint64_t seed = 0;
+};
+
+/// Which rung of the degradation ladder served one key (or one write).
+enum class ServedRung : uint8_t {
+  kPrimary,  // the owning slot answered
+  kBackup,   // primary unreachable / breaker open; the backup answered
+  kNone,     // nothing reachable: a get becomes a miss, a write is lost
+};
+
+/// Per-key result of a MultiGet, in request-key order.
+struct KeyFetch {
+  bool found = false;
+  ServedRung rung = ServedRung::kNone;
+  uint32_t flags = 0;
+  uint64_t cas = 0;
+  std::string data;
+};
+
+/// Result of forwarding a single status-line command (storage / delete /
+/// touch): the upstream's reply line (CRLF stripped), or nullopt when no
+/// rung was reachable.
+struct ForwardResult {
+  std::optional<std::string> line;
+  ServedRung rung = ServedRung::kNone;
+};
+
+struct UpstreamPoolStats {
+  uint64_t absorbed_failures = 0;  // transport failures hidden by degradation
+  uint64_t reconnects = 0;
+  uint64_t breaker_skips = 0;  // upstream legs skipped while a breaker is open
+  uint64_t backup_served = 0;  // keys/writes that landed on the backup rung
+  uint64_t unreachable = 0;    // keys/writes no rung could serve
+};
+
+class UpstreamPool {
+ public:
+  explicit UpstreamPool(const UpstreamPoolConfig& config,
+                        EventTracer* tracer = nullptr);
+
+  /// Adds slot `slot` to the ring or re-points it. A changed endpoint resets
+  /// the slot's connection and breaker; an identical endpoint is a no-op.
+  void SetNode(uint64_t slot, const std::string& host, uint16_t port);
+  /// The off-ring backup (hot copies; read/write fallback).
+  void SetBackup(const std::string& host, uint16_t port);
+  /// Trips the slot's breaker open without waiting for traffic to find the
+  /// corpse (the membership file said `dead`).
+  void MarkDead(uint64_t slot);
+  /// Removes the slot from the ring entirely.
+  void RemoveNode(uint64_t slot);
+
+  /// Applies a whole membership document: unchanged endpoints keep their
+  /// breaker and connection, changed ones reset, absent slots are removed,
+  /// `dead` slots are marked. Records the document's generation.
+  void ApplyMembership(const FleetMembership& m);
+
+  /// Fetches `keys` (with cas values when `with_cas`), filling `out` in
+  /// request-key order. Never fails: every key resolves to found / miss /
+  /// unreachable-miss via the degradation ladder.
+  void MultiGet(const std::vector<std::string_view>& keys, bool with_cas,
+                std::vector<KeyFetch>* out);
+
+  /// Forwards one command whose reply is a single status line (set / add /
+  /// replace / delete / touch). `wire` is the full request bytes including
+  /// payload and CRLFs; `key` homes it on the ring.
+  ForwardResult ForwardLineCommand(std::string_view key,
+                                   const std::string& wire);
+
+  /// Broadcasts flush_all (with optional delay) to every node + the backup.
+  /// Returns how many upstreams acknowledged with OK.
+  size_t BroadcastFlush(int64_t delay_s);
+
+  const UpstreamPoolStats& stats() const { return stats_; }
+  uint64_t generation() const { return generation_; }
+  size_t node_count() const { return nodes_.size(); }
+  bool has_backup() const { return backup_.has_value(); }
+  /// The slot owning `key` (for tests).
+  std::optional<uint64_t> OwnerOf(std::string_view key) const;
+
+ private:
+  struct Node {
+    std::string host;
+    uint16_t port = 0;
+    net::NetClient client;
+    std::unique_ptr<CircuitBreaker> breaker;
+    bool connected = false;
+    bool dead = false;  // membership said so; breaker held open via MarkDead
+  };
+
+  /// One key of a multiget while it is in flight against a specific node.
+  struct PendingKey {
+    size_t index = 0;  // position in the request key list
+    std::string_view key;
+  };
+
+  SimTime Now() const;
+  bool EnsureConnected(Node& node);
+  /// Breaker failure + absorbed count + one reconnect attempt.
+  bool HandleTransportFailure(Node& node, uint64_t slot);
+  void TraceBreaker(uint64_t slot, BreakerState before, BreakerState after);
+  /// Pipelined fetch of `keys` from one node with the bounded window.
+  /// Returns false on transport failure; *resolved is how many keys got a
+  /// definitive answer (their KeyFetch entries in `out` are final).
+  bool FetchFromNode(Node& node, uint64_t slot,
+                     const std::vector<PendingKey>& keys, bool with_cas,
+                     ServedRung rung, size_t* resolved,
+                     std::vector<KeyFetch>* out);
+  /// Reads one single-key get reply (VALUE block + END, or bare END).
+  /// Returns false on transport failure or protocol violation.
+  bool ReadOneGetReply(Node& node, KeyFetch* fetch);
+  /// Sends `wire` and reads the status line from one node. nullopt on
+  /// transport failure.
+  std::optional<std::string> RoundTripLine(Node& node, const std::string& wire);
+
+  UpstreamPoolConfig config_;
+  EventTracer* tracer_;
+
+  ConsistentHashRing ring_;
+  std::map<uint64_t, Node> nodes_;
+  std::optional<Node> backup_;
+  UpstreamPoolStats stats_;
+  uint64_t generation_ = 0;
+  /// Wall anchor for the breakers' SimTime clock (proxy-relative micros).
+  int64_t epoch_us_ = 0;
+};
+
+}  // namespace spotcache::proxy

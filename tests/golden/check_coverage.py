@@ -96,7 +96,30 @@ def main() -> int:
               f"({covered}/{total} lines, floor {floor:.0f}%)")
         if pct < floor:
             failures += 1
+            report_uncovered(prefix, hits)
     return 1 if failures else 0
+
+
+def as_ranges(numbers):
+    """Collapses sorted line numbers into 'a-b' range strings."""
+    out = []
+    for n in numbers:
+        if out and n == out[-1][1] + 1:
+            out[-1][1] = n
+        else:
+            out.append([n, n])
+    return [str(a) if a == b else f"{a}-{b}" for a, b in out]
+
+
+def report_uncovered(prefix, hits):
+    """Prints every uncovered line range under a regressing directory, so a
+    CI failure names the exact code that lost its tests."""
+    for path in sorted(hits):
+        if not path.startswith(prefix + os.sep):
+            continue
+        missed = sorted(n for n, c in hits[path].items() if c == 0)
+        if missed:
+            print(f"     uncovered {path}: {', '.join(as_ranges(missed))}")
 
 
 if __name__ == "__main__":

@@ -9,21 +9,29 @@
 //   5. the kill/launch schedule replays identically from (seed, scenario).
 //
 // The server binary path arrives as argv[1] (wired by CMake via
-// $<TARGET_FILE:spotcache_server>); tests skip without it.
+// $<TARGET_FILE:spotcache_server>), the proxy binary as argv[2]
+// ($<TARGET_FILE:spotcache_proxy>); tests skip without them.
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <string>
 #include <vector>
 
 #include "src/fleet/drill.h"
+#include "src/fleet/membership_publisher.h"
 #include "src/fleet/process_supervisor.h"
 #include "src/net/client.h"
+#include "src/proxy/membership.h"
 
 namespace spotcache::fleet {
 namespace {
 
 std::string g_server_bin;  // set from argv[1] in main() below
+std::string g_proxy_bin;   // set from argv[2] in main() below
 
 FleetDrillConfig PinnedConfig() {
   FleetDrillConfig config;
@@ -221,6 +229,167 @@ TEST(FleetRouter, BreakersAbsorbKilledPrimaryBreakersOffSurfacesIt) {
   supervisor.Terminate(backup.process);
 }
 
+// With every endpoint refusing connections (no primary, no backup), the
+// router's contract is to shed — absorbed, typed, never a kConnError — on
+// both the read and the write path.
+TEST(FleetRouter, NothingReachableShedsInsteadOfErroring) {
+  // A port that refuses: bind, learn the number, close the listener.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const uint16_t refused = ntohs(addr.sin_port);
+  ::close(fd);
+
+  FleetRouterConfig config;
+  config.breakers_enabled = true;
+  FleetRouter router(config);
+  router.SetNode(0, "127.0.0.1", refused);
+  router.SetBackup("127.0.0.1", refused);
+
+  for (int i = 0; i < 4; ++i) {
+    const RoutedGet got = router.Get("orphan");
+    EXPECT_NE(got.outcome, RouteOutcome::kConnError) << "request " << i;
+  }
+  EXPECT_FALSE(router.Set("orphan", "v"));
+  EXPECT_GT(router.stats().sheds, 0u);
+  EXPECT_EQ(router.stats().conn_errors_surfaced, 0u);
+  EXPECT_GT(router.stats().conn_failures_absorbed, 0u);
+}
+
+// The proxy-tier drill (ISSUE 10 tentpole acceptance): the same chaos
+// machinery, but traffic flows client -> spotcache_proxy (a real supervised
+// process) -> fleet, with the open-loop loadgen as the client and the
+// membership file + SIGHUP as the control plane. Pins the gate the CI
+// proxy-smoke job enforces: recovery through the proxy with ZERO
+// client-surfaced connection errors while primaries are SIGKILLed.
+TEST(FleetDrill, ProxyRoutedChaosDrillPinned) {
+  if (g_server_bin.empty() || g_proxy_bin.empty()) {
+    GTEST_SKIP() << "server/proxy binary paths not provided";
+  }
+  FleetDrillConfig config;  // defaults: the validated proxy-drill geometry
+  config.server_binary = g_server_bin;
+  config.proxy_binary = g_proxy_bin;
+  config.seed = 42;
+  config.scenario.name = "proxy_drill_pinned";
+  config.scenario.storm_count = 2;
+  config.scenario.storm_market_fraction = 0.34;
+  config.scenario.missed_warning_fraction = 0.3;
+  config.scenario.late_warning_fraction = 0.2;
+  config.scenario.window_end = SimTime() + Duration::Minutes(10);
+
+  const FleetDrillReport report = RunFleetDrill(config);
+  ASSERT_TRUE(report.ok) << report.error;
+  ASSERT_TRUE(report.via_proxy);
+  ASSERT_FALSE(report.schedule.actions.empty());
+
+  // Recovery through the proxy: same bar as the in-process router drill.
+  EXPECT_GT(report.pre_kill_hit_rate, 0.5);
+  EXPECT_TRUE(report.recovered)
+      << "proxy-routed hit rate never re-reached "
+      << config.recovery_threshold << " of pre-kill "
+      << report.pre_kill_hit_rate << " (final " << report.final_hit_rate
+      << ")";
+
+  // The zero-surfaced-errors gate, measured at the real client socket: the
+  // loadgen never failed to connect and never abandoned a connection
+  // mid-stream, even though the fleet behind the proxy was being SIGKILLed.
+  EXPECT_EQ(report.loadgen.failed_conns, 0u);
+  EXPECT_EQ(report.loadgen.abandoned, 0u);
+  EXPECT_GT(report.loadgen.completed, 0u);
+
+  // The kills were real and the proxy absorbed them (else the gate was
+  // vacuous), and the membership control plane actually stepped.
+  const auto absorbed = report.proxy_stats.find("proxy_absorbed_failures");
+  ASSERT_NE(absorbed, report.proxy_stats.end())
+      << "drill did not scrape the proxy's stats block";
+  EXPECT_GT(absorbed->second, 0u);
+  EXPECT_GT(report.membership_generation, 0u);
+  const auto generation = report.proxy_stats.find("proxy_generation");
+  ASSERT_NE(generation, report.proxy_stats.end());
+  EXPECT_EQ(generation->second, report.membership_generation)
+      << "proxy never applied the controller's final membership edition";
+
+  // The proxy-mode report rendering carries the client-side acceptance
+  // numbers alongside the usual drill story.
+  const std::string json = RenderDrillJson(report);
+  EXPECT_NE(json.find("\"via_proxy\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"proxy\": {\"membership_generation\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"failed_conns\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"proxy_absorbed_failures\""), std::string::npos);
+}
+
+// MembershipPublisher is the controller half of the proxy control plane:
+// every fleet mutation must land on disk as a complete, parseable document
+// with a bumped generation, fire the notify hook, and keep the mirror ring's
+// OwnerOf stable across a kill (dead slots keep their keys — the proxy
+// degrades them, it does not rehash).
+TEST(MembershipPublisher, PublishesAtomicGenerationsAndMirrorsTheRing) {
+  const std::string path = ::testing::TempDir() + "membership_pub_" +
+                           std::to_string(::getpid()) + ".txt";
+  int notifies = 0;
+  MembershipPublisher pub(path, [&notifies] { ++notifies; });
+
+  pub.SetBackup("127.0.0.1", 18000);
+  pub.SetNode(0, "127.0.0.1", 18001);
+  pub.SetNode(1, "127.0.0.1", 18002);
+  EXPECT_TRUE(pub.healthy());
+  EXPECT_EQ(notifies, 3);
+  EXPECT_EQ(pub.generation(), 3u);
+
+  auto loaded = proxy::LoadMembership(path);
+  ASSERT_TRUE(loaded.has_value()) << "published file must parse";
+  EXPECT_EQ(loaded->generation, 3u);
+  ASSERT_TRUE(loaded->backup.has_value());
+  EXPECT_EQ(loaded->backup->port, 18000);
+  ASSERT_EQ(loaded->nodes.size(), 2u);
+
+  // The in-memory snapshot is the same document the file round-trips.
+  const proxy::FleetMembership snap = pub.Snapshot();
+  EXPECT_EQ(snap.generation, loaded->generation);
+  EXPECT_EQ(snap.nodes.size(), loaded->nodes.size());
+
+  // Ownership before the kill...
+  const auto owner_a = pub.OwnerOf("alpha");
+  const auto owner_b = pub.OwnerOf("beta");
+  ASSERT_TRUE(owner_a.has_value());
+  ASSERT_TRUE(owner_b.has_value());
+
+  // ...survives MarkDead: the slot stays on the ring, the file says `dead`.
+  pub.MarkDead(*owner_a);
+  EXPECT_EQ(pub.generation(), 4u);
+  EXPECT_EQ(pub.OwnerOf("alpha"), owner_a);
+  EXPECT_EQ(pub.OwnerOf("beta"), owner_b);
+  loaded = proxy::LoadMembership(path);
+  ASSERT_TRUE(loaded.has_value());
+  bool saw_dead = false;
+  for (const proxy::MemberNode& n : loaded->nodes) {
+    if (n.slot == *owner_a) {
+      saw_dead = n.dead();
+    }
+  }
+  EXPECT_TRUE(saw_dead) << "killed slot must publish as dead, not vanish";
+
+  // A replacement on the same slot revives it in the next edition.
+  pub.SetNode(*owner_a, "127.0.0.1", 18005);
+  loaded = proxy::LoadMembership(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->generation, 5u);
+  for (const proxy::MemberNode& n : loaded->nodes) {
+    if (n.slot == *owner_a) {
+      EXPECT_FALSE(n.dead());
+      EXPECT_EQ(n.port, 18005);
+    }
+  }
+  EXPECT_EQ(notifies, 5);
+  ::unlink(path.c_str());
+}
+
 }  // namespace
 }  // namespace spotcache::fleet
 
@@ -228,6 +397,9 @@ int main(int argc, char** argv) {
   ::testing::InitGoogleTest(&argc, argv);
   if (argc > 1) {
     spotcache::fleet::g_server_bin = argv[1];
+  }
+  if (argc > 2) {
+    spotcache::fleet::g_proxy_bin = argv[2];
   }
   return RUN_ALL_TESTS();
 }

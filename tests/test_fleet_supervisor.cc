@@ -95,6 +95,47 @@ TEST(ProcessSupervisor, MissingBinaryExhaustsTheRetryBudget) {
   EXPECT_FALSE(result.error.empty());
 }
 
+TEST(ProcessSupervisor, ProcessStateNamesAreStable) {
+  EXPECT_EQ(ToString(ProcessState::kReady), "ready");
+  EXPECT_EQ(ToString(ProcessState::kKilled), "killed");
+  EXPECT_EQ(ToString(ProcessState::kExited), "exited");
+}
+
+// A child that runs but never prints the readiness line must be SIGKILLed
+// and classified as a launch timeout, not left lingering.
+TEST(ProcessSupervisor, SilentChildIsALaunchTimeout) {
+  SupervisorConfig config = FastConfig();
+  config.server_binary = "/bin/sleep";
+  config.launch_timeout = Duration::Millis(150);
+  config.retry.max_attempts = 1;
+  ProcessSupervisor supervisor(config);
+  const SpawnResult result = supervisor.Spawn("mute", {"600"});
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.bind_failure);
+  EXPECT_NE(result.error.find("launch timeout"), std::string::npos)
+      << result.error;
+}
+
+// DrainOutput grabs whatever the child printed after the readiness line
+// without blocking, and leaves the fd usable.
+TEST(ProcessSupervisor, DrainOutputIsNonBlocking) {
+  if (g_server_bin.empty()) {
+    GTEST_SKIP() << "server binary path not provided";
+  }
+  ProcessSupervisor supervisor(FastConfig());
+  SpawnResult result = supervisor.Spawn("primary-0", {"--port=0"});
+  ASSERT_TRUE(result.ok) << result.error;
+  // Whatever the server printed post-readiness (possibly nothing): the call
+  // must return immediately rather than block on the open pipe.
+  const std::string first = supervisor.DrainOutput(result.process);
+  const std::string second = supervisor.DrainOutput(result.process);
+  (void)first;
+  EXPECT_TRUE(second.empty() || second != first);
+  supervisor.Terminate(result.process);
+  // After Terminate the fd is closed; draining is a no-op.
+  EXPECT_TRUE(supervisor.DrainOutput(result.process).empty());
+}
+
 TEST(ProcessSupervisor, BindFailureExitCodeIsClassified) {
   if (g_server_bin.empty()) {
     GTEST_SKIP() << "server binary path not provided";

@@ -33,6 +33,7 @@
 #include "src/net/server.h"
 #include "src/net/server_core.h"
 #include "src/net/sharded_server.h"
+#include "src/proxy/proxy_core.h"
 #include "src/util/rng.h"
 
 namespace spotcache::net {
@@ -425,6 +426,129 @@ TEST(ProtocolFuzz, ShardedServerMatchesSingleThreadedByteForByte) {
   plain_loop.join();
   sharded.Stop();
   sharded_loop.join();
+}
+
+// --- Proxy tier chunking invariance (ISSUE 10). ---------------------------
+//
+// The same hostile seed-driven streams, but through a live two-hop stack:
+// client socket -> proxy NetServer (ProxyCore fan-out) -> upstream NetServer
+// (ServerCore), all on the fixed test clock. Each run builds a FRESH stack so
+// cas numbering and item state start identical; then the identical bytes are
+// sent under a different client-hop segmentation (distinct recv batches at
+// the proxy, which in turn re-fragments its forwarded upstream writes). The
+// pinned property: the client-visible response bytes and the proxy's request
+// accounting are functions of the byte stream alone, never of how TCP cut it
+// on either hop. `stats` rows are fair game — the proxy's block is pure
+// counters (no clocks), so it must be byte-stable too.
+
+struct ProxyRunResult {
+  std::string response;
+  uint64_t requests = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t absorbed = 0;
+};
+
+ProxyRunResult RunThroughProxyStack(std::string_view stream,
+                                    const std::vector<size_t>& cuts) {
+  NetServerConfig up_cfg;
+  NetServer upstream(up_cfg);
+  upstream.SetClock([] { return kNow; });
+  EXPECT_TRUE(upstream.Start());
+  std::thread up_loop([&upstream] { upstream.Run(); });
+
+  proxy::ProxyCoreConfig pc;
+  proxy::ProxyCore core(pc);
+  core.pool().SetNode(0, "127.0.0.1", upstream.port());
+  NetServerConfig px_cfg;
+  NetServer proxy_server(px_cfg);
+  proxy_server.SetHandler(&core);
+  proxy_server.SetClock([] { return kNow; });
+  EXPECT_TRUE(proxy_server.Start());
+  std::thread px_loop([&proxy_server] { proxy_server.Run(); });
+
+  ProxyRunResult result;
+  const int fd = ConnectLoopback(proxy_server.port());
+  std::vector<size_t> bounds = cuts;
+  bounds.push_back(stream.size());
+  size_t start = 0;
+  size_t burst = 0;
+  for (size_t bound : bounds) {
+    if (bound <= start) {
+      continue;
+    }
+    SendAll(fd, stream.substr(start, bound - start));
+    start = bound;
+    // Periodic pauses land bursts as distinct recv batches at the proxy, so
+    // commands and payloads straddle its drain boundaries mid-parse.
+    if (++burst % 8 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  DrainUntilSilence({{fd, &result.response}}, /*window_ms=*/150);
+  ::close(fd);
+  proxy_server.Stop();
+  px_loop.join();
+  upstream.Stop();
+  up_loop.join();
+
+  result.requests = core.stats().requests;
+  result.protocol_errors = core.stats().protocol_errors;
+  result.absorbed = core.pool().stats().absorbed_failures;
+  return result;
+}
+
+TEST(ProtocolFuzz, ProxyTierChunkingInvariance) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const std::string stream = RandomStream(rng);
+    if (stream.empty()) {
+      continue;
+    }
+    const ProxyRunResult whole = RunThroughProxyStack(stream, {});
+    // A healthy upstream must never trip the degradation machinery, no
+    // matter how hostile the client bytes are.
+    ASSERT_EQ(whole.absorbed, 0u) << "seed " << seed;
+    for (int split = 0; split < 2; ++split) {
+      const std::vector<size_t> cuts = RandomCuts(rng, stream.size());
+      const ProxyRunResult chunked = RunThroughProxyStack(stream, cuts);
+      ASSERT_EQ(chunked.response, whole.response)
+          << "seed " << seed << " split " << split;
+      ASSERT_EQ(chunked.requests, whole.requests)
+          << "seed " << seed << " split " << split;
+      ASSERT_EQ(chunked.protocol_errors, whole.protocol_errors)
+          << "seed " << seed << " split " << split;
+      ASSERT_EQ(chunked.absorbed, 0u) << "seed " << seed << " split " << split;
+    }
+  }
+}
+
+// A pinned pipelined stream — storage, multiget, cas reads, parse errors,
+// noreply, misdeclared payload, delayed flush — split at sampled byte
+// positions through the proxy. Every sampled single split (including ones
+// landing mid-payload and mid-token) must reproduce the unsplit bytes.
+TEST(ProtocolFuzz, ProxyTierSplitPositionsOfPipelinedStream) {
+  const std::string stream =
+      "set alpha 7 0 5\r\nhello\r\n"
+      "get alpha beta\r\n"
+      "gets alpha\r\n"
+      "bogus junk\r\n"
+      "set beta 0 0 3 noreply\r\nxyz\r\n"
+      "set bad 0 0 9\r\nshort\r\n"
+      "delete alpha\r\n"
+      "touch beta 100\r\n"
+      "flush_all 1\r\n"
+      "stats\r\n"
+      "version\r\n";
+  const ProxyRunResult whole = RunThroughProxyStack(stream, {});
+  ASSERT_FALSE(whole.response.empty());
+  EXPECT_GT(whole.protocol_errors, 0u);  // bogus + bad data chunk fired
+  EXPECT_EQ(whole.absorbed, 0u);
+  for (size_t at = 3; at < stream.size(); at += 11) {
+    const ProxyRunResult split = RunThroughProxyStack(stream, {at});
+    ASSERT_EQ(split.response, whole.response) << "split at byte " << at;
+    ASSERT_EQ(split.protocol_errors, whole.protocol_errors)
+        << "split at byte " << at;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,98 @@
+// Unit tests for the shared `listening <port>` readiness contract
+// (src/net/readiness.h) — the parsing ProcessSupervisor and the CI smoke
+// jobs both rely on, including partial-line and interleaved-stdout reads.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/net/readiness.h"
+
+namespace spotcache::net {
+namespace {
+
+TEST(Readiness, ParsesExactLine) {
+  EXPECT_EQ(ParseListeningLine("listening 11211"), 11211);
+  EXPECT_EQ(ParseListeningLine("listening 1"), 1);
+  EXPECT_EQ(ParseListeningLine("listening 65535"), 65535);
+  EXPECT_EQ(ParseMetricsListeningLine("metrics listening 9090"), 9090);
+}
+
+TEST(Readiness, ToleratesCarriageReturn) {
+  EXPECT_EQ(ParseListeningLine("listening 4242\r"), 4242);
+  EXPECT_EQ(ParseMetricsListeningLine("metrics listening 4243\r"), 4243);
+}
+
+TEST(Readiness, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseListeningLine("listening").has_value());
+  EXPECT_FALSE(ParseListeningLine("listening ").has_value());
+  EXPECT_FALSE(ParseListeningLine("listening 0").has_value());
+  EXPECT_FALSE(ParseListeningLine("listening 65536").has_value());
+  EXPECT_FALSE(ParseListeningLine("listening 123456").has_value());
+  EXPECT_FALSE(ParseListeningLine("listening -1").has_value());
+  EXPECT_FALSE(ParseListeningLine("listening 12x4").has_value());
+  EXPECT_FALSE(ParseListeningLine("listening 1234 extra").has_value());
+  EXPECT_FALSE(ParseListeningLine("listening  1234").has_value());
+  EXPECT_FALSE(ParseListeningLine("LISTENING 1234").has_value());
+  EXPECT_FALSE(ParseListeningLine("now listening 1234").has_value());
+  // The metrics line must not satisfy the cache-port parser and vice versa.
+  EXPECT_FALSE(ParseListeningLine("metrics listening 9090").has_value());
+  EXPECT_FALSE(ParseMetricsListeningLine("listening 9090").has_value());
+}
+
+TEST(Readiness, WholeChunkWithBannerNoise) {
+  ReadinessParser p;
+  EXPECT_TRUE(
+      p.Feed("listening 18211\nmetrics listening 18212\n"
+             "spotcache-server 1.6.0 ready; 4 shards\n"));
+  EXPECT_EQ(p.port(), 18211);
+  EXPECT_EQ(p.metrics_port(), 18212);
+}
+
+TEST(Readiness, PartialLineReads) {
+  ReadinessParser p;
+  EXPECT_FALSE(p.Feed("listen"));
+  EXPECT_FALSE(p.Feed("ing 182"));
+  EXPECT_FALSE(p.port().has_value());  // line not complete yet
+  EXPECT_TRUE(p.Feed("11\n"));
+  EXPECT_EQ(p.port(), 18211);
+}
+
+TEST(Readiness, ByteAtATime) {
+  const std::string out = "boot...\nlistening 777\nmetrics listening 778\n";
+  ReadinessParser p;
+  int completions = 0;
+  for (const char c : out) {
+    completions += p.Feed(std::string_view(&c, 1)) ? 1 : 0;
+  }
+  EXPECT_EQ(completions, 1);  // Feed() reported readiness exactly once
+  EXPECT_EQ(p.port(), 777);
+  EXPECT_EQ(p.metrics_port(), 778);
+}
+
+TEST(Readiness, InterleavedStdoutBeforeAndBetween) {
+  ReadinessParser p;
+  EXPECT_FALSE(p.Feed("warming caches\npreloading 100 items\nlis"));
+  EXPECT_TRUE(p.Feed("tening 9001\nlog: accepting\nmetrics "));
+  EXPECT_EQ(p.port(), 9001);
+  EXPECT_FALSE(p.metrics_port().has_value());
+  EXPECT_FALSE(p.Feed("listening 9002\n"));  // port already latched
+  EXPECT_EQ(p.metrics_port(), 9002);
+}
+
+TEST(Readiness, FirstAnnouncementWins) {
+  ReadinessParser p;
+  EXPECT_TRUE(p.Feed("listening 1000\nlistening 2000\n"));
+  EXPECT_EQ(p.port(), 1000);
+}
+
+TEST(Readiness, MalformedLinesAreBannerNoise) {
+  ReadinessParser p;
+  EXPECT_FALSE(p.Feed("listening zero\nlistening 99999\nlistening\n"));
+  EXPECT_FALSE(p.port().has_value());
+  EXPECT_TRUE(p.Feed("listening 8080\n"));
+  EXPECT_EQ(p.port(), 8080);
+}
+
+}  // namespace
+}  // namespace spotcache::net
